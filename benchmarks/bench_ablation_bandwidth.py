@@ -1,0 +1,70 @@
+"""Ablation — input-delivery bandwidth sensitivity.
+
+The paper notes the multi-bank design needs "a larger data bus
+connecting the scratchpad to the SRAM banks, increasing costs".  This
+ablation quantifies the other side of that trade: if the bus/scratchpad
+can only deliver an input every ``spad_latency`` cycles per bank, banks
+with thin per-input work stall.  The cycle-accurate scheduler exposes
+exactly where the paper's one-input-per-bank-per-cycle assumption stops
+being free.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.scheduler import simulate_layer
+from repro.arch.workloads import vgg8_conv1
+
+LAYER = vgg8_conv1()
+
+
+def bandwidth_rows() -> list[dict[str, object]]:
+    rows = []
+    for banks, pes in ((1, 128), (4, 64), (16, 16)):
+        for latency in (1, 2, 4, 8):
+            sim = simulate_layer(LAYER, pes, banks, spad_latency=latency)
+            rows.append(
+                {
+                    "design": f"{banks} bank(s) x {pes} PEs",
+                    "delivery latency": latency,
+                    "cycles": sim.cycles,
+                    "stall cycles": sim.stall_cycles,
+                    "utilization": f"{sim.utilization:.3f}",
+                }
+            )
+    return rows
+
+
+def render(rows=None) -> str:
+    return (
+        title("Ablation: cycles vs input-delivery latency (VGG-8 conv1)")
+        + "\n"
+        + format_table(rows or bandwidth_rows())
+    )
+
+
+def test_bandwidth_shape(capsys):
+    rows = bandwidth_rows()
+    by_design: dict[str, list[dict]] = {}
+    for r in rows:
+        by_design.setdefault(r["design"], []).append(r)
+    for design, series in by_design.items():
+        cycles = [r["cycles"] for r in series]
+        # Latency can only hurt, monotonically.
+        assert all(a <= b for a, b in zip(cycles, cycles[1:])), design
+    # Thin-work banked designs are the most bandwidth-sensitive: the
+    # 16-bank design degrades by a larger factor than the single bank.
+    single = [r["cycles"] for r in rows if r["design"].startswith("1 ")]
+    banked = [r["cycles"] for r in rows if r["design"].startswith("16 ")]
+    assert banked[-1] / banked[0] > single[-1] / single[0]
+    with capsys.disabled():
+        print(render(rows))
+
+
+def test_bench_latency_sweep(benchmark):
+    sim = benchmark.pedantic(
+        simulate_layer, args=(LAYER, 16, 16), kwargs={"spad_latency": 4}, rounds=2, iterations=1
+    )
+    assert sim.stall_cycles >= 0
+
+
+if __name__ == "__main__":
+    print(render())

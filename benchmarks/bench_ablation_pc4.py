@@ -1,0 +1,64 @@
+"""Ablation — extending pre-computation beyond the paper: PC4.
+
+Table I stops at PC3; this ablation adds PC4 (all combinations of the
+top four partial products pre-computed) and shows the diminishing
+return: accuracy keeps improving but each step doubles the combination
+lines, while the energy per computation barely moves — quantifying why
+the paper's "PC3 is the best choice" conclusion holds.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.core.config import extended_configs
+from repro.core.errors import mantissa_error_stats
+from repro.core.mantissa import max_simultaneous_lines
+from repro.energy.multiplier_energy import daism_multiplier_energy
+from repro.formats.floatfmt import BFLOAT16
+from repro.sram.layout import KernelLayout
+
+
+def pc_sweep_rows() -> list[dict[str, object]]:
+    rows = []
+    for config in extended_configs():
+        layout = KernelLayout(config, 8)
+        stats = mantissa_error_stats(8, config, samples=1 << 14, seed=0)
+        energy = daism_multiplier_energy(config, BFLOAT16, 8 * 1024)
+        rows.append(
+            {
+                "config": config.name,
+                "mean rel err": f"{stats.mean:.4f}",
+                "logical lines": layout.logical_lines,
+                "padded lines": layout.padded_lines,
+                "max active lines": max_simultaneous_lines(8, config),
+                "energy/comp [pJ]": f"{energy.total_pj:.4f}",
+            }
+        )
+    return rows
+
+
+def render(rows=None) -> str:
+    return (
+        title("Ablation: pre-computation depth sweep (FLA -> PC2 -> PC3 -> PC4)")
+        + "\n"
+        + format_table(rows or pc_sweep_rows())
+    )
+
+
+def test_pc4_diminishing_returns(capsys):
+    rows = {r["config"]: r for r in pc_sweep_rows()}
+    e = {k: float(v["mean rel err"]) for k, v in rows.items()}
+    assert e["FLA"] > e["PC2"] > e["PC3"] > e["PC4"]
+    # The marginal gain shrinks with each pre-computed PP...
+    assert (e["PC2"] - e["PC3"]) > (e["PC3"] - e["PC4"])
+    # ...while PC4 still fits the same padded 16-line budget at n=8.
+    assert rows["PC4"]["padded lines"] == rows["PC3"]["padded lines"] == 16
+    with capsys.disabled():
+        print(render(list(rows.values())))
+
+
+def test_bench_pc_sweep(benchmark):
+    rows = benchmark(pc_sweep_rows)
+    assert len(rows) == 7
+
+
+if __name__ == "__main__":
+    print(render())

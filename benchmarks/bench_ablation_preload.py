@@ -1,0 +1,57 @@
+"""Ablation — pre-loading amortisation (Sec. V-B2 / V-D claims).
+
+Quantifies "the cost of pre-loading data is made negligible by the large
+operands reuse" per VGG-8 layer, and shows where it *stops* being true
+(the FC tail at batch 1) and how batching restores it.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.daism import DaismDesign
+from repro.arch.preload import preload_analysis
+from repro.arch.workloads import vgg8_layers
+
+DESIGN = DaismDesign(banks=16, bank_kb=8)
+
+
+def preload_rows(batch: int = 1) -> list[dict[str, object]]:
+    rows = []
+    for layer in vgg8_layers():
+        r = preload_analysis(DESIGN, layer, batch=batch)
+        rows.append(
+            {
+                "layer": layer.name,
+                "batch": batch,
+                "kernel reuse": f"{r.kernel_element_reuse:.0f}",
+                "reads/writes": f"{r.read_write_ratio:.1f}",
+                "load energy share": f"{100 * r.load_energy_fraction:.1f}%",
+            }
+        )
+    return rows
+
+
+def render() -> str:
+    return (
+        title("Ablation: pre-load amortisation per VGG-8 layer (16x8kB)")
+        + "\n"
+        + format_table(preload_rows(batch=1) + preload_rows(batch=64))
+    )
+
+
+def test_conv_loading_negligible_fc_needs_batching(capsys):
+    conv1 = preload_analysis(DESIGN, vgg8_layers()[0])
+    assert conv1.load_energy_fraction < 0.01
+    fc = preload_analysis(DESIGN, vgg8_layers()[5])
+    assert fc.load_energy_fraction > 0.5  # the claim's limit at batch 1
+    fc_batched = preload_analysis(DESIGN, vgg8_layers()[5], batch=256)
+    assert fc_batched.load_energy_fraction < 0.15  # batching restores it
+    with capsys.disabled():
+        print(render())
+
+
+def test_bench_preload_sweep(benchmark):
+    rows = benchmark(preload_rows, 64)
+    assert len(rows) == 8
+
+
+if __name__ == "__main__":
+    print(render())

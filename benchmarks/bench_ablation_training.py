@@ -1,0 +1,64 @@
+"""Ablation — the title claim: *training* on approximate arithmetic.
+
+Trains the same MLP (same seed, same batches) under exact float32 and
+under the DAISM bfloat16 PC3_tr backend (forward *and* backward GEMMs
+approximate), and compares final accuracies.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.core.config import PC3_TR
+from repro.nn.backend import daism_backend
+from repro.nn.data import blobs_dataset
+from repro.nn.models import build_mlp
+from repro.nn.train import train
+
+
+def training_rows() -> list[dict[str, object]]:
+    data = blobs_dataset(n_train=512, n_test=256, spread=2.0, seed=0)
+    rows = []
+    for label, backend in [("float32", None), ("bfloat16 PC3_tr", daism_backend(PC3_TR))]:
+        model = build_mlp(in_features=32, num_classes=4, seed=3)
+        result = train(model, data, epochs=8, batch_size=32, lr=0.05, seed=0, backend=backend)
+        rows.append(
+            {
+                "training arithmetic": label,
+                "final loss": f"{result.losses[-1]:.3f}",
+                "train acc": f"{result.train_accuracy:.3f}",
+                "test acc": f"{result.test_accuracy:.3f}",
+            }
+        )
+    return rows
+
+
+def render(rows=None) -> str:
+    return (
+        title("Ablation: training under approximate arithmetic (fwd + bwd GEMMs)")
+        + "\n"
+        + format_table(rows or training_rows())
+    )
+
+
+def test_approximate_training_converges(capsys):
+    rows = training_rows()
+    accs = {r["training arithmetic"]: float(r["test acc"]) for r in rows}
+    assert accs["float32"] > 0.85
+    assert accs["bfloat16 PC3_tr"] > 0.80
+    assert accs["float32"] - accs["bfloat16 PC3_tr"] < 0.10
+    with capsys.disabled():
+        print(render(rows))
+
+
+def test_bench_one_approx_training_epoch(benchmark):
+    data = blobs_dataset(n_train=256, n_test=64, seed=1)
+    backend = daism_backend(PC3_TR)
+
+    def run():
+        model = build_mlp(in_features=32, num_classes=4, seed=5)
+        return train(model, data, epochs=1, batch_size=64, backend=backend)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.losses
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,66 @@
+"""Ablation — mapper utilisation across VGG-8 layers and bank counts.
+
+The paper's utilisation argument (Sec. V-C2) on the whole network: which
+layers map well onto which bank geometries, and where the single-bank
+penalty comes from.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.daism import DaismDesign
+from repro.arch.workloads import vgg8_layers
+
+
+def utilization_rows() -> list[dict[str, object]]:
+    designs = [
+        DaismDesign(banks=1, bank_kb=512),
+        DaismDesign(banks=4, bank_kb=128),
+        DaismDesign(banks=16, bank_kb=32),
+        DaismDesign(banks=16, bank_kb=8),
+    ]
+    rows = []
+    for layer in vgg8_layers():
+        row: dict[str, object] = {"layer": layer.name}
+        for d in designs:
+            m = d.map_conv(layer)
+            row[f"{d.banks}x{d.bank_kb}kB util"] = f"{m.utilization:.3f}"
+            row[f"{d.banks}x{d.bank_kb}kB cyc"] = m.cycles
+        rows.append(row)
+    return rows
+
+
+def render() -> str:
+    return title("Ablation: utilisation per VGG-8 layer and bank geometry") + "\n" + format_table(
+        utilization_rows()
+    )
+
+
+def test_every_layer_maps(capsys):
+    rows = utilization_rows()
+    assert len(rows) == 8
+    for row in rows:
+        for key, value in row.items():
+            if key.endswith("util"):
+                assert 0.0 < float(value) <= 1.0
+    with capsys.disabled():
+        print(render())
+
+
+def test_deep_layers_fit_better():
+    """Wide late layers (F=512) divide evenly into rows: utilisation 1."""
+    d = DaismDesign(banks=16, bank_kb=8)
+    late = vgg8_layers()[4]  # conv5: 256 -> 512
+    assert d.map_conv(late).utilization > 0.95
+
+
+def test_bench_whole_network_mapping(benchmark):
+    d = DaismDesign(banks=16, bank_kb=8)
+
+    def run():
+        return [d.map_conv(layer).cycles for layer in vgg8_layers()]
+
+    cycles = benchmark(run)
+    assert all(c > 0 for c in cycles)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,76 @@
+"""Fig. 4 — CNN accuracy under bfloat16 truncated PC3 vs exact float32.
+
+The paper evaluates ImageNet CNNs; offline we train the model-zoo CNNs
+(LeNet/VGG/ResNet families) on the synthetic shapes dataset and
+re-evaluate the same float32-trained weights under approximate
+arithmetic.  The claim to reproduce: "minimal to no degradation in model
+accuracy" for bfloat16 PC3_tr.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.core.config import FLA, PC3_TR
+from repro.formats.floatfmt import BFLOAT16
+from repro.nn.backend import daism_backend, exact_backend, quantized_backend
+from repro.nn.data import shapes_dataset
+from repro.nn.models import model_zoo
+from repro.nn.train import accuracy_comparison, train
+
+BACKENDS = {
+    "float32 (baseline)": exact_backend(),
+    "bfloat16 exact": quantized_backend(BFLOAT16),
+    "bfloat16 PC3_tr (DAISM)": daism_backend(PC3_TR, BFLOAT16),
+    "bfloat16 FLA (ablation)": daism_backend(FLA, BFLOAT16),
+}
+
+
+def accuracy_rows(models, data) -> list[dict[str, object]]:
+    rows = []
+    for name, model in models.items():
+        accs = accuracy_comparison(model, data, BACKENDS)
+        rows.append(
+            {
+                "model": name,
+                **{k: f"{v:.3f}" for k, v in accs.items()},
+                "pc3_tr drop [pts]": f"{100 * (accs['float32 (baseline)'] - accs['bfloat16 PC3_tr (DAISM)']):+.1f}",
+            }
+        )
+    return rows
+
+
+def render(models, data) -> str:
+    head = title("Fig. 4: accuracy, bfloat16 PC3_tr vs exact float32 baseline")
+    return head + "\n" + format_table(accuracy_rows(models, data))
+
+
+def test_fig4_minimal_degradation(trained_suite, capsys):
+    models, data = trained_suite
+    rows = accuracy_rows(models, data)
+    for row in rows:
+        drop_pts = float(row["pc3_tr drop [pts]"])
+        assert drop_pts < 8.0, f"{row['model']}: PC3_tr drop {drop_pts} pts too large"
+    with capsys.disabled():
+        print(render(models, data))
+
+
+def test_bench_pc3tr_inference(benchmark, trained_suite):
+    models, data = trained_suite
+    model = models["lenet"]
+    backend = daism_backend(PC3_TR, BFLOAT16)
+
+    from repro.nn.train import evaluate
+
+    result = benchmark.pedantic(
+        lambda: evaluate(model, data.test_x[:64], data.test_y[:64], backend=backend),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 <= result <= 1.0
+
+
+if __name__ == "__main__":
+    data = shapes_dataset(n_train=640, n_test=256, size=16, seed=0)
+    models = {}
+    for name, model in model_zoo().items():
+        train(model, data, epochs=16, batch_size=32, lr=0.04, seed=0)
+        models[name] = model
+    print(render(models, data))

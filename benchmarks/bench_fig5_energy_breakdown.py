@@ -1,0 +1,59 @@
+"""Fig. 5 — energy breakdown per multiplication.
+
+All proposed mantissa multipliers against the common baseline, for
+float32 and bfloat16 operands and 8 kB / 32 kB banks, itemised into
+memory read / multiplier / register file / decoder.  The four findings
+the paper calls out are asserted (they are also pinned in
+``tests/energy/test_multiplier_energy.py``).
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.analysis.sweeps import fig5_rows
+from repro.core.config import PC3, PC3_TR, all_configs
+from repro.energy.multiplier_energy import daism_multiplier_energy
+from repro.formats.floatfmt import BFLOAT16, FLOAT32
+
+
+def render() -> str:
+    rows = fig5_rows()
+    pretty = [
+        {
+            "datatype": r["datatype"],
+            "bank": r["bank"],
+            "design": r["design"],
+            "memory_read [pJ]": f"{r['memory_read']:.4f}",
+            "multiplier [pJ]": f"{r['multiplier']:.4f}",
+            "register_file [pJ]": f"{r['register_file']:.4f}",
+            "decoder [pJ]": f"{r['decoder']:.5f}",
+            "total [pJ]": f"{r['total_pj']:.4f}",
+        }
+        for r in rows
+    ]
+    return title("Fig. 5: energy breakdown per multiplication") + "\n" + format_table(pretty)
+
+
+def test_fig5_findings(capsys):
+    for fmt in (BFLOAT16, FLOAT32):
+        for kb in (8, 32):
+            for config in all_configs():
+                bd = daism_multiplier_energy(config, fmt, kb * 1024)
+                assert bd.fraction("decoder") < 0.005  # finding 1
+                assert bd.fraction("memory_read") > 0.5  # finding 2
+    # finding 3: flat across bank sizes
+    e8 = daism_multiplier_energy(PC3_TR, BFLOAT16, 8 * 1024).total_pj
+    e32 = daism_multiplier_energy(PC3_TR, BFLOAT16, 32 * 1024).total_pj
+    assert abs(e8 - e32) / max(e8, e32) < 0.15
+    # finding 4: truncation ~halves energy per computation
+    untr = daism_multiplier_energy(PC3, BFLOAT16, 8 * 1024).total_pj
+    assert 0.4 < e8 / untr < 0.6
+    with capsys.disabled():
+        print(render())
+
+
+def test_bench_fig5_sweep(benchmark):
+    rows = benchmark(fig5_rows)
+    assert len(rows) == 2 * 2 * 6  # 2 fmts x 2 banks x (baseline + 5 configs)
+
+
+if __name__ == "__main__":
+    print(render())

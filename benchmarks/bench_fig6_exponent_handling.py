@@ -1,0 +1,51 @@
+"""Fig. 6 — relative energy improvement including exponent handling.
+
+PC3_tr against the baseline with the common exponent-handling cost
+folded into both sides, across bank sizes and datatypes.  Shape claims:
+every point stays > 1x, the improvement shrinks versus the raw
+multiplier-only ratio, and truncation is what buys most of the win.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.analysis.sweeps import fig6_rows
+from repro.core.config import PC3, PC3_TR
+from repro.energy.multiplier_energy import energy_improvement_with_exponent
+from repro.formats.floatfmt import BFLOAT16, FLOAT32
+
+
+def render() -> str:
+    rows = [
+        {
+            "datatype": r["datatype"],
+            "bank": r["bank"],
+            "improvement": f"{r['improvement_x']:.1f}x",
+        }
+        for r in fig6_rows()
+    ]
+    return (
+        title("Fig. 6: relative energy improvement of PC3_tr incl. exponent handling")
+        + "\n"
+        + format_table(rows)
+    )
+
+
+def test_fig6_shape(capsys):
+    for fmt in (BFLOAT16, FLOAT32):
+        for kb in (2, 8, 32, 128, 512):
+            improvement = energy_improvement_with_exponent(PC3_TR, fmt, kb * 1024)
+            assert improvement > 1.0
+    # Truncation drives the benefit.
+    assert energy_improvement_with_exponent(
+        PC3_TR, BFLOAT16, 32 * 1024
+    ) > energy_improvement_with_exponent(PC3, BFLOAT16, 32 * 1024)
+    with capsys.disabled():
+        print(render())
+
+
+def test_bench_fig6_sweep(benchmark):
+    rows = benchmark(fig6_rows)
+    assert len(rows) == 2 * 5
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,56 @@
+"""Fig. 7 — cycles vs on-chip area executing VGG-8 conv1 (bfloat16).
+
+DAISM bank/size variants against the Eyeriss baseline.  Shape claims:
+splitting into banks buys cycles at the cost of area, the 16x8 kB point
+matches the 4x128 kB point's performance at less area, and banked DAISM
+beats Eyeriss cycles at a smaller footprint.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.compare import fig7_tradeoff
+from repro.arch.workloads import vgg8_conv1
+
+
+def render(points=None) -> str:
+    points = points or fig7_tradeoff()
+    rows = [
+        {
+            "design": p.name,
+            "cycles": p.cycles,
+            "area [mm2]": f"{p.area_mm2:.2f}",
+            "PEs": p.total_pes,
+            "utilization": f"{p.utilization:.3f}",
+        }
+        for p in sorted(points, key=lambda p: p.cycles)
+    ]
+    return (
+        title("Fig. 7: cycles vs on-chip area, VGG-8 conv1 (bfloat16, PC3_tr)")
+        + "\n"
+        + format_table(rows)
+    )
+
+
+def test_fig7_shape(capsys):
+    points = {p.name: p for p in fig7_tradeoff()}
+    # Banking buys cycles at the cost of area.
+    assert points["16x32kB"].cycles < points["4x128kB"].cycles < points["1x512kB"].cycles
+    assert points["16x32kB"].area_mm2 > points["16x8kB"].area_mm2
+    # 16x8 kB: smallest iso-performance design.
+    assert points["16x8kB"].cycles == points["4x128kB"].cycles
+    assert points["16x8kB"].area_mm2 < points["4x128kB"].area_mm2
+    # DAISM beats Eyeriss at comparable (smaller) area.
+    eyeriss = points["Eyeriss 12x14"]
+    assert points["16x32kB"].cycles < eyeriss.cycles
+    assert points["16x32kB"].area_mm2 < eyeriss.area_mm2
+    with capsys.disabled():
+        print(render(list(points.values())))
+
+
+def test_bench_fig7_sweep(benchmark):
+    layer = vgg8_conv1()
+    points = benchmark(fig7_tradeoff, layer)
+    assert len(points) == 9  # 8 DAISM variants + Eyeriss
+
+
+if __name__ == "__main__":
+    print(render())

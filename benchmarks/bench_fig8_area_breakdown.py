@@ -1,0 +1,48 @@
+"""Fig. 8 — detailed area breakdown of the DAISM architecture.
+
+SRAM area vs other digital circuits (exponent handling, accumulators,
+per-bank overheads) under two sweeps: growing bank width, and splitting
+a fixed 512 kB across more banks.  Shape claims: SRAM dominates as banks
+widen; digital dominates as the bank count grows.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.compare import fig8_breakdown
+
+
+def render(rows=None) -> str:
+    rows = rows or fig8_breakdown()
+    pretty = [
+        {
+            "sweep": r["sweep"],
+            "banks": r["banks"],
+            "bank_kb": r["bank_kb"],
+            "sram [mm2]": f"{r['sram']:.3f}",
+            "pe_digital [mm2]": f"{r['pe_digital']:.3f}",
+            "bank_ovh [mm2]": f"{r['bank_overhead']:.3f}",
+            "spad_ctl [mm2]": f"{r['scratchpad_control']:.3f}",
+            "total [mm2]": f"{r['total']:.3f}",
+            "sram share": f"{100 * r['sram_fraction']:.1f}%",
+        }
+        for r in rows
+    ]
+    return title("Fig. 8: DAISM area breakdown") + "\n" + format_table(pretty)
+
+
+def test_fig8_shape(capsys):
+    rows = fig8_breakdown()
+    widths = [r["sram_fraction"] for r in rows if r["sweep"] == "bank_kb"]
+    assert all(a < b for a, b in zip(widths, widths[1:]))
+    banks = [r["sram_fraction"] for r in rows if r["sweep"] == "banks"]
+    assert all(a > b for a, b in zip(banks, banks[1:]))
+    with capsys.disabled():
+        print(render(rows))
+
+
+def test_bench_fig8_sweep(benchmark):
+    rows = benchmark(fig8_breakdown)
+    assert len(rows) == 9
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,48 @@
+"""Extension — whole-network execution (beyond Fig. 7's single layer).
+
+Runs all eight VGG-8 layers on the paper's headline designs and on the
+Eyeriss baseline: per-layer cycles/energy, pass counts for layers whose
+weights exceed the compute SRAM, and the end-to-end speedup.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.daism import DaismDesign
+from repro.arch.network_runner import compare_with_eyeriss, run_network
+from repro.arch.workloads import vgg8_layers
+
+
+def render() -> str:
+    design = DaismDesign(banks=16, bank_kb=32)
+    report = run_network(design, vgg8_layers())
+    cmp = compare_with_eyeriss(design, vgg8_layers())
+    body = format_table(report.rows())
+    tail = (
+        f"\nEnd-to-end vs Eyeriss: {cmp['cycle_ratio']:.2f}x fewer cycles at "
+        f"{cmp['area_ratio']:.2f}x smaller area"
+    )
+    return title(f"VGG-8 end-to-end on {design.name}") + "\n" + body + tail
+
+
+def test_end_to_end_speedup(capsys):
+    design = DaismDesign(banks=16, bank_kb=32)
+    cmp = compare_with_eyeriss(design, vgg8_layers())
+    assert cmp["cycle_ratio"] > 1.5
+    assert cmp["area_ratio"] > 1.0
+    with capsys.disabled():
+        print(render())
+
+
+def test_per_layer_sanity():
+    report = run_network(DaismDesign(banks=16, bank_kb=32), vgg8_layers())
+    assert all(l.cycles > 0 for l in report.layers)
+    assert report.mean_utilization > 0.8
+
+
+def test_bench_whole_network(benchmark):
+    design = DaismDesign(banks=16, bank_kb=32)
+    report = benchmark(run_network, design, vgg8_layers())
+    assert report.total_cycles > 0
+
+
+if __name__ == "__main__":
+    print(render())

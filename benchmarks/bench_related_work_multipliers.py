@@ -1,0 +1,93 @@
+"""Extension — error comparison against related-work approx multipliers.
+
+Sec. II-B positions DAISM against conventional approximate multipliers:
+Guo et al.'s lower-part-OR (LPO) design [3] and Qiqieh et al.'s
+PP-compression design [2].  Both still need adder trees and cannot
+operate in memory; this benchmark compares their *arithmetic* error to
+the DAISM configurations on the bfloat16 significand range, showing PC3
+sits in the same accuracy class while needing no adders at all.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, title
+from repro.core.config import all_configs
+from repro.core.related_work import (
+    compressed_pp_multiply_array,
+    lower_part_or_multiply_array,
+)
+from repro.core.vectorized import approx_multiply_array
+
+
+def _operands(n: int = 1 << 14, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(128, 256, n, dtype=np.uint64)
+    b = rng.integers(128, 256, n, dtype=np.uint64)
+    return a, b, (a * b).astype(np.float64)
+
+
+def comparison_rows() -> list[dict[str, object]]:
+    a, b, exact = _operands()
+    rows = []
+
+    def add(name, approx, needs_adders):
+        err = ((exact - approx.astype(np.float64)) / exact)
+        rows.append(
+            {
+                "multiplier": name,
+                "mean rel err": f"{err.mean():.4f}",
+                "max rel err": f"{err.max():.4f}",
+                "adder tree": needs_adders,
+                "in-memory": "no" if needs_adders == "yes" else "yes",
+            }
+        )
+
+    for config in all_configs():
+        approx = approx_multiply_array(a, b, 8, config).astype(np.float64)
+        if config.truncated:
+            approx = approx * 256.0
+        add(f"DAISM {config.name}", approx, "no")
+    for split in (8, 10, 12):
+        add(
+            f"LPO split={split} [Guo'18]",
+            lower_part_or_multiply_array(a, b, 8, split),
+            "yes",
+        )
+    for stages in (1, 2):
+        add(
+            f"PP-compress x{stages} [Qiqieh'17]",
+            compressed_pp_multiply_array(a, b, 8, stages),
+            "yes",
+        )
+    return rows
+
+
+def render(rows=None) -> str:
+    return (
+        title("Extension: DAISM vs related-work approximate multipliers (bf16 range)")
+        + "\n"
+        + format_table(rows or comparison_rows())
+    )
+
+
+def test_pc3_in_the_adder_tree_accuracy_class(capsys):
+    rows = {r["multiplier"]: float(r["mean rel err"]) for r in comparison_rows()}
+    # PC3 (no adders, in-memory) sits inside the LPO accuracy band — it
+    # beats the half-ORed design (split=12) and is within 2x of the
+    # split=10 point, without needing any adder tree.
+    assert rows["DAISM PC3"] < rows["LPO split=12 [Guo'18]"]
+    assert rows["DAISM PC3"] < 2 * rows["LPO split=10 [Guo'18]"]
+    assert rows["DAISM PC3"] < 3 * rows["PP-compress x1 [Qiqieh'17]"]
+    # FLA is the everything-ORed limiting case: worst of the set.
+    assert rows["DAISM FLA"] == max(rows.values())
+    with capsys.disabled():
+        print(render())
+
+
+def test_bench_comparison(benchmark):
+    rows = benchmark(comparison_rows)
+    assert len(rows) == 10
+
+
+if __name__ == "__main__":
+    print(render())

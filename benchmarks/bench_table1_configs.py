@@ -1,0 +1,40 @@
+"""Table I — summary of the proposed multipliers.
+
+Regenerates the configuration table and benchmarks the scalar multiplier
+across all five configurations.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, title
+from repro.core.config import all_configs, table1_rows
+from repro.core.vectorized import approx_multiply_array
+
+
+def render() -> str:
+    return title("Table I: Summary of the proposed multipliers") + "\n" + format_table(table1_rows())
+
+
+def test_table1_matches_paper(capsys):
+    rows = {r["Config."]: r for r in table1_rows()}
+    assert rows["FLA"]["Precomputed wordlines"] == "No"
+    assert rows["PC2"]["Precomputed wordlines"] == "Between 2 PP"
+    assert rows["PC3_tr"]["Truncation"] == "Yes"
+    with capsys.disabled():
+        print(render())
+
+
+def test_bench_all_configs_bulk_multiply(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.integers(128, 256, 1 << 14, dtype=np.uint64)
+    b = rng.integers(128, 256, 1 << 14, dtype=np.uint64)
+
+    def run():
+        return [approx_multiply_array(a, b, 8, cfg) for cfg in all_configs()]
+
+    results = benchmark(run)
+    assert len(results) == 5
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,36 @@
+"""Table III — qualitative comparison of the accelerator families."""
+
+from repro.analysis.reporting import format_table, title
+from repro.arch.compare import table3_rows
+
+
+def render() -> str:
+    return (
+        title("Table III: key differences between DAISM and related work")
+        + "\n"
+        + format_table(table3_rows())
+    )
+
+
+def test_table3_matches_paper(capsys):
+    rows = {r["Family"]: r for r in table3_rows()}
+    assert rows["DAISM"] == {
+        "Family": "DAISM",
+        "Data Movement": "None",
+        "Type of Computation": "Digital",
+        "Memory Technology": "Legacy",
+        "Memory Reads": "Single",
+    }
+    assert rows["SRAM Digital PIM"]["Memory Reads"] == "Multiple"
+    assert rows["Analog PIM"]["Type of Computation"] == "Analog"
+    with capsys.disabled():
+        print(render())
+
+
+def test_bench_table3(benchmark):
+    rows = benchmark(table3_rows)
+    assert len(rows) == 4
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark file regenerates one table or figure of the paper
+(printing the same rows/series the paper reports) and times its central
+computation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated tables; each file is also directly
+runnable (``python benchmarks/bench_table2_pim_comparison.py``).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def trained_suite():
+    """Float32-trained models + data shared by the accuracy benchmarks.
+
+    Training happens once per session; the accuracy benchmarks then
+    re-evaluate the same weights under different arithmetic.
+    """
+    from repro.nn.data import shapes_dataset
+    from repro.nn.models import model_zoo
+    from repro.nn.train import train
+
+    data = shapes_dataset(n_train=640, n_test=256, size=16, seed=0)
+    models = {}
+    for name, model in model_zoo().items():
+        train(model, data, epochs=16, batch_size=32, lr=0.04, seed=0)
+        models[name] = model
+    return models, data

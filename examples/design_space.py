@@ -1,0 +1,56 @@
+"""Design-space exploration of the DAISM accelerator (the Fig. 7 view).
+
+Sweeps bank count and bank size, mapping VGG-8 conv1 onto every design
+and reporting cycles, area, utilisation, sustained GOPS and efficiency —
+then picks Pareto-optimal points.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.arch.daism import DaismDesign
+from repro.arch.eyeriss import EyerissDesign
+from repro.arch.workloads import vgg8_conv1
+
+
+def explore() -> list[dict[str, object]]:
+    layer = vgg8_conv1()
+    rows = []
+    for banks in (1, 4, 16):
+        for bank_kb in (8, 32, 128, 512):
+            design = DaismDesign(banks=banks, bank_kb=bank_kb)
+            mapping = design.map_conv(layer)
+            rows.append(
+                {
+                    "design": f"{banks}x{bank_kb}kB",
+                    "PEs": design.total_pes,
+                    "cycles": mapping.cycles,
+                    "area [mm2]": round(design.area_mm2(), 2),
+                    "util": round(mapping.utilization, 3),
+                    "GOPS": round(design.gops(layer), 1),
+                    "GOPS/mm2": round(design.gops_per_mm2(layer), 1),
+                    "GOPS/mW": round(design.gops_per_mw(layer), 3),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    layer = vgg8_conv1()
+    rows = explore()
+    print(f"Workload: {layer} ({layer.macs:,} MACs)\n")
+    print(format_table(rows))
+
+    eyeriss = EyerissDesign()
+    print(f"\nEyeriss baseline: {eyeriss.cycles(layer):,} cycles at "
+          f"{eyeriss.area_mm2():.2f} mm^2 (45 nm GE)")
+
+    from repro.arch.compare import fig7_tradeoff, pareto_front
+
+    points = [p for p in fig7_tradeoff(layer) if not p.name.startswith("Eyeriss")]
+    names = ", ".join(p.name for p in pareto_front(points))
+    print(f"Pareto-optimal DAISM designs (cycles vs area): {names}")
+
+
+if __name__ == "__main__":
+    main()

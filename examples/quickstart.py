@@ -1,0 +1,66 @@
+"""Quickstart: the DAISM approximate multiplier in five minutes.
+
+Walks through the paper's core idea at three levels:
+
+1. a single integer multiplication as the SRAM performs it (partial
+   products on wordlines, wired-OR read);
+2. approximate floating point products (bfloat16 PC3_tr vs exact);
+3. an approximate GEMM — the operation the accelerator runs.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BFLOAT16, PC3, PC3_TR, approx_fp_multiply, approx_matmul, approx_multiply
+from repro.core.config import FLA
+from repro.sram.bank import InSRAMMultiplier
+
+
+def demo_integer_multiplier() -> None:
+    print("=== 1. The in-SRAM OR-approximate multiplier ===")
+    a, b, bits = 0b1011, 0b0101, 4  # the paper's Fig. 1 example
+    exact = a * b
+    fla = approx_multiply(a, b, bits, FLA)
+    print(f"a={a:04b}, b={b:04b}:  exact={exact}  FLA(OR of partial products)={fla}")
+
+    # The same computation on the bit-level SRAM simulation.
+    sram = InSRAMMultiplier(FLA, bits)
+    sram.store(a)
+    print(f"bit-level SRAM simulation reads: {sram.multiply(b)} (identical by construction)")
+
+    # Pre-computed wordlines recover accuracy: PC3 sums the top three
+    # partial products exactly.
+    pc3 = approx_multiply(200, 213, 8, PC3)
+    print(f"8-bit 200*213: exact={200 * 213}, PC3={pc3} "
+          f"({100 * (200 * 213 - pc3) / (200 * 213):.2f}% low)")
+    print()
+
+
+def demo_fp_products() -> None:
+    print("=== 2. Approximate bfloat16 products (PC3_tr) ===")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(5).astype(np.float32)
+    y = rng.standard_normal(5).astype(np.float32)
+    approx = approx_fp_multiply(x, y, BFLOAT16, PC3_TR)
+    for xi, yi, ai in zip(x, y, approx):
+        print(f"  {xi:+.4f} * {yi:+.4f} = {xi * yi:+.4f}   DAISM: {ai:+.4f}")
+    print()
+
+
+def demo_gemm() -> None:
+    print("=== 3. Approximate GEMM (what the accelerator executes) ===")
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((64, 128)).astype(np.float32)
+    b = rng.standard_normal((128, 32)).astype(np.float32)
+    exact = a @ b
+    approx = approx_matmul(a, b, BFLOAT16, PC3_TR)
+    rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+    print(f"  (64x128) @ (128x32): relative Frobenius error = {rel:.3f}")
+    print("  -> small, systematic underestimate; DNNs absorb it (see Fig. 4 bench)")
+
+
+if __name__ == "__main__":
+    demo_integer_multiplier()
+    demo_fp_products()
+    demo_gemm()

@@ -1,0 +1,52 @@
+"""Zero-input bypass in action (Sec. III-C's "multiplications by zero
+are bypassed").
+
+ReLU networks produce sparse activations; because DAISM streams inputs
+one at a time through the address decoder, a zero input simply never
+fires — whole cycles disappear.  This script pushes a ReLU-sparsified
+activation tensor through the cycle-accurate scheduler and shows the
+cycle count tracking the sparsity, the word-granular counterpart of the
+bit-serial sparsity tricks Z-PIM/T-PIM use.
+
+Run:  python examples/sparsity_bypass.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import bar_chart
+from repro.arch.scheduler import simulate_layer
+from repro.arch.workloads import ConvLayer
+
+
+def relu_activations(layer: ConvLayer, sparsity: float, seed: int = 0) -> np.ndarray:
+    """A synthetic post-ReLU tensor with the requested zero fraction."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((layer.in_channels, layer.height, layer.width))
+    threshold = np.quantile(x, sparsity)
+    return np.where(x < threshold, 0.0, x).astype(np.float32)
+
+
+def main() -> None:
+    layer = ConvLayer("relu_fed", 16, 64, 3, 28, 28)
+    print(f"Workload: {layer}\n")
+
+    dense = simulate_layer(layer, 32, 16)
+    print(f"Dense execution: {dense.cycles} cycles "
+          f"({dense.macs_issued:,} MACs, utilisation {dense.utilization:.3f})\n")
+
+    series = []
+    for sparsity in (0.0, 0.2, 0.4, 0.6, 0.8, 0.9):
+        sim = simulate_layer(layer, 32, 16, inputs=relu_activations(layer, sparsity))
+        series.append((f"sparsity {sparsity:.1f}", sim.cycles))
+        print(f"sparsity {sparsity:.1f}: {sim.cycles:6d} cycles "
+              f"({sim.skipped_inputs:5d} inputs bypassed, "
+              f"{sim.macs_issued:9,d} MACs issued)")
+
+    print("\nCycles vs input sparsity:")
+    print(bar_chart(series, unit=" cyc"))
+    print("\nZero inputs are never streamed into the register file, so the "
+          "bank never spends a cycle on them — word-granular sparsity for free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of DAISM (DATE 2024).
+
+DAISM: Digital Approximate In-SRAM Multiplier-based Accelerator for DNN
+Training and Inference (Sonnino, Shresthamali, He, Kondo).
+
+Subpackages
+-----------
+``repro.core``
+    The in-SRAM approximate multiplier (FLA/PC2/PC3, truncated variants),
+    the approximate FP pipeline and GEMM backends.
+``repro.formats``
+    Floating point formats (float32/bfloat16/custom) and block FP.
+``repro.sram``
+    Bit-level SRAM substrate: multi-wordline wired-OR array, address
+    decoders, kernel line layout, structural multiplier simulation.
+``repro.energy``
+    CACTI-lite SRAM model, 45 nm component library, per-computation
+    energy models (Fig. 5/6).
+``repro.arch``
+    DAISM accelerator model, Eyeriss-class baseline, PIM comparators,
+    design-space exploration (Fig. 7/8, Tables II/III).
+``repro.nn``
+    Pure-numpy DNN framework with pluggable matmul backends (Fig. 4).
+``repro.analysis``
+    Reporting and sweep helpers shared by the benchmarks.
+"""
+
+from . import core, formats
+from .core import (
+    FLA,
+    PC2,
+    PC2_TR,
+    PC3,
+    PC3_TR,
+    ApproxMatmul,
+    ExactMatmul,
+    MultiplierConfig,
+    QuantizedMatmul,
+    all_configs,
+    approx_fp_multiply,
+    approx_matmul,
+    approx_multiply,
+    exact_fp_multiply,
+)
+from .formats import BFLOAT16, FLOAT16, FLOAT32, FloatFormat, quantize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FLA",
+    "PC2",
+    "PC3",
+    "PC2_TR",
+    "PC3_TR",
+    "MultiplierConfig",
+    "all_configs",
+    "ApproxMatmul",
+    "ExactMatmul",
+    "QuantizedMatmul",
+    "approx_fp_multiply",
+    "exact_fp_multiply",
+    "approx_matmul",
+    "approx_multiply",
+    "BFLOAT16",
+    "FLOAT16",
+    "FLOAT32",
+    "FloatFormat",
+    "quantize",
+    "__version__",
+]

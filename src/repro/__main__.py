@@ -1,0 +1,127 @@
+"""Command line entry point: regenerate the paper's artefacts.
+
+Usage::
+
+    python -m repro                 # list available artefacts
+    python -m repro table2          # print one artefact
+    python -m repro all             # print everything (trains CNNs: slow)
+
+Each artefact is the same output the corresponding benchmark prints; the
+``fig4`` accuracy study trains three small CNNs and takes a couple of
+minutes, everything else is seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .analysis.reporting import bar_chart, format_table, title
+from .analysis.sweeps import fig5_rows, fig6_rows
+from .arch.compare import fig7_tradeoff, fig8_breakdown, table2, table3_rows
+from .core.config import table1_rows
+
+
+def _render_table1() -> str:
+    return title("Table I") + "\n" + format_table(table1_rows())
+
+
+def _render_fig4() -> str:
+    from .core.config import PC3_TR
+    from .formats.floatfmt import BFLOAT16
+    from .nn.backend import daism_backend, exact_backend
+    from .nn.data import shapes_dataset
+    from .nn.models import model_zoo
+    from .nn.train import accuracy_comparison, train
+
+    data = shapes_dataset(n_train=448, n_test=192, size=16, seed=0)
+    rows = []
+    for name, model in model_zoo().items():
+        train(model, data, epochs=10, batch_size=32, lr=0.05, seed=0)
+        accs = accuracy_comparison(
+            model,
+            data,
+            {"float32": exact_backend(), "bf16_pc3_tr": daism_backend(PC3_TR, BFLOAT16)},
+        )
+        rows.append({"model": name, **{k: f"{v:.3f}" for k, v in accs.items()}})
+    return title("Fig. 4 (accuracy)") + "\n" + format_table(rows)
+
+
+def _render_fig5() -> str:
+    rows = fig5_rows()
+    chart = bar_chart(
+        [(f"{r['datatype']}/{r['bank']}/{r['design']}", float(r["total_pj"])) for r in rows],
+        unit=" pJ",
+    )
+    return title("Fig. 5 (energy per multiplication)") + "\n" + chart
+
+
+def _render_fig6() -> str:
+    rows = fig6_rows()
+    chart = bar_chart(
+        [(f"{r['datatype']}/{r['bank']}", float(r["improvement_x"])) for r in rows], unit="x"
+    )
+    return title("Fig. 6 (improvement incl. exponent handling)") + "\n" + chart
+
+
+def _render_fig7() -> str:
+    points = sorted(fig7_tradeoff(), key=lambda p: p.cycles)
+    rows = [
+        {
+            "design": p.name,
+            "cycles": p.cycles,
+            "area [mm2]": f"{p.area_mm2:.2f}",
+            "PEs": p.total_pes,
+        }
+        for p in points
+    ]
+    return title("Fig. 7 (cycles vs area, VGG-8 conv1)") + "\n" + format_table(rows)
+
+
+def _render_fig8() -> str:
+    return title("Fig. 8 (area breakdown)") + "\n" + format_table(
+        [
+            {k: (f"{v:.3f}" if isinstance(v, float) else v) for k, v in row.items()}
+            for row in fig8_breakdown()
+        ]
+    )
+
+
+def _render_table2() -> str:
+    return title("Table II") + "\n" + format_table(table2())
+
+
+def _render_table3() -> str:
+    return title("Table III") + "\n" + format_table(table3_rows())
+
+
+ARTEFACTS = {
+    "table1": _render_table1,
+    "fig4": _render_fig4,
+    "fig5": _render_fig5,
+    "fig6": _render_fig6,
+    "fig7": _render_fig7,
+    "fig8": _render_fig8,
+    "table2": _render_table2,
+    "table3": _render_table3,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro <artefact>|all")
+        print("artefacts:", ", ".join(ARTEFACTS))
+        return 0
+    targets = list(ARTEFACTS) if argv[0] == "all" else argv
+    unknown = [t for t in targets if t not in ARTEFACTS]
+    if unknown:
+        print(f"unknown artefact(s): {', '.join(unknown)}", file=sys.stderr)
+        print("artefacts:", ", ".join(ARTEFACTS), file=sys.stderr)
+        return 2
+    for target in targets:
+        print(ARTEFACTS[target]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

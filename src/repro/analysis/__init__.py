@@ -1,0 +1,13 @@
+"""Reporting and sweep helpers shared by benchmarks and examples."""
+
+from .reporting import format_range, format_series, format_table, title
+from .sweeps import fig5_rows, fig6_rows
+
+__all__ = [
+    "format_range",
+    "format_series",
+    "format_table",
+    "title",
+    "fig5_rows",
+    "fig6_rows",
+]

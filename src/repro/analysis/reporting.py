@@ -1,0 +1,73 @@
+"""Plain-text table/series rendering shared by benchmarks and examples.
+
+The paper's figures are regenerated as printed series (this environment
+has no plotting); every benchmark prints the same rows/series the paper
+plots, so shapes can be compared directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_range", "format_series", "title", "bar_chart"]
+
+
+def format_range(value: object, digits: int = 2) -> str:
+    """Render scalars and (low, high) ranges uniformly."""
+    if isinstance(value, tuple) and len(value) == 2:
+        low, high = value
+        if abs(float(low) - float(high)) < 10 ** (-digits):
+            return f"{float(low):.{digits}f}"
+        return f"{float(low):.{digits}f}~{float(high):.{digits}f}"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], digits: int = 2) -> str:
+    """Align a list of dict rows into a printable table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    rendered = [[format_range(row.get(col, ""), digits) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Sequence[tuple[object, float]], digits: int = 4) -> str:
+    """One figure series as ``name: x=y`` pairs."""
+    body = "  ".join(f"{x}={y:.{digits}g}" for x, y in points)
+    return f"{name}: {body}"
+
+
+def title(text: str) -> str:
+    """Underlined section title."""
+    return f"\n{text}\n{'=' * len(text)}"
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]], width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal ASCII bar chart (the offline stand-in for a figure).
+
+    Bars are scaled to the largest value; labels are right-padded and
+    values printed after each bar.
+    """
+    if not items:
+        return "(empty chart)"
+    peak = max(value for _label, value in items)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _value in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)

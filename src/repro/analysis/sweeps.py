@@ -1,0 +1,83 @@
+"""Parameter-sweep helpers shared by the energy/architecture benchmarks."""
+
+from __future__ import annotations
+
+from ..core.config import MultiplierConfig, all_configs
+from ..energy.cacti_lite import CactiLite
+from ..energy.multiplier_energy import (
+    baseline_multiplier_energy,
+    daism_multiplier_energy,
+    energy_improvement_with_exponent,
+)
+from ..formats.floatfmt import BFLOAT16, FLOAT32, FloatFormat
+
+__all__ = ["fig5_rows", "fig6_rows"]
+
+
+def fig5_rows(
+    bank_kbs: tuple[int, ...] = (8, 32),
+    fmts: tuple[FloatFormat, ...] = (BFLOAT16, FLOAT32),
+    configs: tuple[MultiplierConfig, ...] | None = None,
+    cacti: CactiLite | None = None,
+) -> list[dict[str, object]]:
+    """The Fig. 5 grid: energy breakdown per config x datatype x bank size."""
+    cacti = cacti or CactiLite()
+    configs = configs or all_configs()
+    rows: list[dict[str, object]] = []
+    for fmt in fmts:
+        for kb in bank_kbs:
+            base = baseline_multiplier_energy(fmt, kb * 1024, cacti=cacti)
+            rows.append(
+                {
+                    "datatype": fmt.name,
+                    "bank": f"{kb}kB",
+                    "design": "baseline",
+                    "memory_read": base.parts["operand_reads"],
+                    "multiplier": base.parts["multiplier"],
+                    "register_file": 0.0,
+                    "decoder": 0.0,
+                    "total_pj": base.total_pj,
+                }
+            )
+            for config in configs:
+                bd = daism_multiplier_energy(config, fmt, kb * 1024, cacti)
+                rows.append(
+                    {
+                        "datatype": fmt.name,
+                        "bank": f"{kb}kB",
+                        "design": config.name,
+                        "memory_read": bd.parts["memory_read"],
+                        "multiplier": 0.0,
+                        "register_file": bd.parts["register_file"],
+                        "decoder": bd.parts["decoder"],
+                        "total_pj": bd.total_pj,
+                    }
+                )
+    return rows
+
+
+def fig6_rows(
+    bank_kbs: tuple[int, ...] = (2, 8, 32, 128, 512),
+    fmts: tuple[FloatFormat, ...] = (BFLOAT16, FLOAT32),
+    config: MultiplierConfig | None = None,
+    cacti: CactiLite | None = None,
+) -> list[dict[str, object]]:
+    """Fig. 6: PC3_tr relative improvement incl. exponent handling."""
+    from ..core.config import PC3_TR
+
+    cacti = cacti or CactiLite()
+    config = config or PC3_TR
+    rows: list[dict[str, object]] = []
+    for fmt in fmts:
+        for kb in bank_kbs:
+            rows.append(
+                {
+                    "datatype": fmt.name,
+                    "bank": f"{kb}kB",
+                    "config": config.name,
+                    "improvement_x": energy_improvement_with_exponent(
+                        config, fmt, kb * 1024, cacti
+                    ),
+                }
+            )
+    return rows

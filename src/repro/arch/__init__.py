@@ -1,0 +1,66 @@
+"""Accelerator architecture models: DAISM, Eyeriss baseline, PIM specs."""
+
+from .compare import (
+    DesignPoint,
+    default_design_sweep,
+    fig7_tradeoff,
+    fig8_breakdown,
+    pareto_front,
+    table2,
+    table3_rows,
+)
+from .daism import AreaBreakdown, DaismDesign
+from .dse import EvaluatedDesign, best_under_area, enumerate_designs, smallest_meeting_cycles
+from .eyeriss import EyerissDesign
+from .layout_mapper import MappingResult, build_rows, map_layer, tap_masks
+from .network_runner import LayerReport, NetworkReport, compare_with_eyeriss, run_network
+from .scheduler import CycleSimResult, simulate_layer
+from .pim_baselines import T_PIM, Z_PIM, PimBaseline, pim_baselines
+from .preload import PreloadReport, preload_analysis
+from .workloads import (
+    ConvLayer,
+    alexnet_like_layers,
+    lenet_like_layers,
+    resnet_mini_layers,
+    vgg8_conv1,
+    vgg8_layers,
+)
+
+__all__ = [
+    "DesignPoint",
+    "default_design_sweep",
+    "fig7_tradeoff",
+    "fig8_breakdown",
+    "pareto_front",
+    "table2",
+    "table3_rows",
+    "AreaBreakdown",
+    "DaismDesign",
+    "EvaluatedDesign",
+    "best_under_area",
+    "enumerate_designs",
+    "smallest_meeting_cycles",
+    "EyerissDesign",
+    "MappingResult",
+    "map_layer",
+    "build_rows",
+    "tap_masks",
+    "LayerReport",
+    "NetworkReport",
+    "compare_with_eyeriss",
+    "run_network",
+    "CycleSimResult",
+    "simulate_layer",
+    "PimBaseline",
+    "PreloadReport",
+    "preload_analysis",
+    "T_PIM",
+    "Z_PIM",
+    "pim_baselines",
+    "ConvLayer",
+    "alexnet_like_layers",
+    "lenet_like_layers",
+    "resnet_mini_layers",
+    "vgg8_conv1",
+    "vgg8_layers",
+]

@@ -1,0 +1,239 @@
+"""Design-space exploration and table generators (Fig. 7/8, Tables II/III).
+
+Functions here assemble the paper's architecture-level results from the
+models in this package:
+
+* :func:`fig7_tradeoff` — cycles-vs-area series for DAISM bank sweeps
+  against the Eyeriss baseline on VGG-8 conv1;
+* :func:`fig8_breakdown` — area breakdown sweeps (bank width, bank count);
+* :func:`table2` — the PIM comparison table (DAISM model outputs next to
+  the published Z-PIM/T-PIM specs);
+* :func:`table3` — the qualitative feature summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import PC3_TR, MultiplierConfig
+from ..energy.cacti_lite import CactiLite
+from ..formats.floatfmt import BFLOAT16, FloatFormat
+from .daism import DaismDesign
+from .eyeriss import EyerissDesign
+from .pim_baselines import pim_baselines
+from .workloads import ConvLayer, vgg8_conv1
+
+__all__ = [
+    "DesignPoint",
+    "default_design_sweep",
+    "fig7_tradeoff",
+    "fig8_breakdown",
+    "pareto_front",
+    "table2",
+    "table3_rows",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One point of the Fig. 7 scatter."""
+
+    name: str
+    cycles: int
+    area_mm2: float
+    total_pes: int
+    utilization: float
+
+
+def default_design_sweep(
+    config: MultiplierConfig = PC3_TR, fmt: FloatFormat = BFLOAT16
+) -> list[DaismDesign]:
+    """The bank/size variations the paper sweeps in Fig. 7.
+
+    "evaluated by using one single 512kB or 8kB SRAM memory, then by
+    splitting it into smaller square banks" — plus the 16x8 kB point the
+    paper singles out as the smallest iso-performance design.
+    """
+    sweep = [
+        (1, 512),
+        (4, 128),
+        (16, 32),
+        (1, 128),
+        (4, 32),
+        (16, 8),
+        (1, 8),
+        (4, 8),
+    ]
+    return [DaismDesign(banks=b, bank_kb=kb, config=config, fmt=fmt) for b, kb in sweep]
+
+
+def fig7_tradeoff(
+    layer: ConvLayer | None = None,
+    designs: list[DaismDesign] | None = None,
+    cacti: CactiLite | None = None,
+) -> list[DesignPoint]:
+    """Cycles vs on-chip area for DAISM variants and Eyeriss (Fig. 7)."""
+    layer = layer or vgg8_conv1()
+    designs = designs if designs is not None else default_design_sweep()
+    cacti = cacti or CactiLite()
+
+    points = []
+    for design in designs:
+        mapping = design.map_conv(layer)
+        points.append(
+            DesignPoint(
+                name=f"{design.banks}x{design.bank_kb}kB",
+                cycles=mapping.cycles,
+                area_mm2=design.area_mm2(cacti),
+                total_pes=design.total_pes,
+                utilization=mapping.utilization,
+            )
+        )
+    eyeriss = EyerissDesign()
+    points.append(
+        DesignPoint(
+            name=eyeriss.name,
+            cycles=eyeriss.cycles(layer),
+            area_mm2=eyeriss.area_mm2(cacti),
+            total_pes=eyeriss.total_pes,
+            utilization=eyeriss.spatial_utilization(layer),
+        )
+    )
+    return points
+
+
+def fig8_breakdown(
+    bank_kb_sweep: tuple[int, ...] = (2, 8, 32, 128, 512),
+    banks_sweep: tuple[int, ...] = (1, 4, 16, 64),
+    total_kb: int = 512,
+    config: MultiplierConfig = PC3_TR,
+    fmt: FloatFormat = BFLOAT16,
+    cacti: CactiLite | None = None,
+) -> list[dict[str, object]]:
+    """Area breakdown rows: SRAM share vs other digital (Fig. 8).
+
+    Two sweeps, matching the paper's reading of the figure:
+
+    * **bank width** at a fixed bank count — "when the SRAM's width is
+      increased, its area [grows] quadratically while the number of PE
+      increases linearly", so the SRAM share rises;
+    * **bank count at fixed total capacity** (512 kB split into N banks)
+      — total PEs grow only with sqrt(N) while per-bank overheads grow
+      with N, so "the area becomes dominated by other digital circuits".
+    """
+    cacti = cacti or CactiLite()
+    rows: list[dict[str, object]] = []
+    for kb in bank_kb_sweep:
+        design = DaismDesign(banks=4, bank_kb=kb, config=config, fmt=fmt)
+        bd = design.area_breakdown(cacti)
+        rows.append(
+            {
+                "sweep": "bank_kb",
+                "banks": 4,
+                "bank_kb": kb,
+                **bd.as_dict(),
+                "total": bd.total,
+                "sram_fraction": bd.sram_fraction,
+            }
+        )
+    for banks in banks_sweep:
+        if total_kb % banks:
+            raise ValueError(f"total capacity {total_kb} kB does not split into {banks} banks")
+        design = DaismDesign(banks=banks, bank_kb=total_kb // banks, config=config, fmt=fmt)
+        bd = design.area_breakdown(cacti)
+        rows.append(
+            {
+                "sweep": "banks",
+                "banks": banks,
+                "bank_kb": total_kb // banks,
+                **bd.as_dict(),
+                "total": bd.total,
+                "sram_fraction": bd.sram_fraction,
+            }
+        )
+    return rows
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Cycles-vs-area Pareto-optimal subset of Fig. 7 points.
+
+    A point survives iff no other point is at least as good on both axes
+    and strictly better on one — the designs a user would actually pick
+    from the trade-off.
+    """
+    front = []
+    for p in points:
+        dominated = any(
+            (o.cycles <= p.cycles and o.area_mm2 < p.area_mm2)
+            or (o.cycles < p.cycles and o.area_mm2 <= p.area_mm2)
+            for o in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.cycles)
+
+
+def table2(
+    layer: ConvLayer | None = None, cacti: CactiLite | None = None
+) -> list[dict[str, object]]:
+    """Table II: DAISM 16x8 kB / 16x32 kB vs published Z-PIM / T-PIM."""
+    layer = layer or vgg8_conv1()
+    cacti = cacti or CactiLite()
+    rows: list[dict[str, object]] = []
+    for bank_kb in (8, 32):
+        design = DaismDesign(banks=16, bank_kb=bank_kb)
+        gops = design.gops(layer)
+        rows.append(
+            {
+                "Architecture": "DAISM",
+                "Config": f"16x{bank_kb}kB",
+                "Computations": "bit-parallel",
+                "Node [nm]": design.node.feature_nm,
+                "Area [mm2]": design.area_mm2(cacti),
+                "GE Area [mm2]": design.ge_area_mm2(cacti),
+                "Clock [MHz]": (design.clock_hz / 1e6, design.clock_hz / 1e6),
+                "Supply [V]": (design.node.vdd, design.node.vdd),
+                "GOPS": (gops, gops),
+                "GOPS/mW": (design.gops_per_mw(layer, cacti), design.gops_per_mw(layer, cacti)),
+                "GOPS/mm2": (design.gops_per_mm2(layer, cacti), design.gops_per_mm2(layer, cacti)),
+            }
+        )
+    for baseline in pim_baselines():
+        row = baseline.row()
+        row["Config"] = "—"
+        rows.append(row)
+    return rows
+
+
+def table3_rows() -> list[dict[str, str]]:
+    """Table III: qualitative comparison of accelerator families."""
+    return [
+        {
+            "Family": "DAISM",
+            "Data Movement": "None",
+            "Type of Computation": "Digital",
+            "Memory Technology": "Legacy",
+            "Memory Reads": "Single",
+        },
+        {
+            "Family": "Digital Multipliers",
+            "Data Movement": "Required",
+            "Type of Computation": "Digital",
+            "Memory Technology": "Legacy",
+            "Memory Reads": "Single",
+        },
+        {
+            "Family": "Analog PIM",
+            "Data Movement": "None",
+            "Type of Computation": "Analog",
+            "Memory Technology": "Novel",
+            "Memory Reads": "Single",
+        },
+        {
+            "Family": "SRAM Digital PIM",
+            "Data Movement": "None",
+            "Type of Computation": "Digital",
+            "Memory Technology": "Legacy",
+            "Memory Reads": "Multiple",
+        },
+    ]

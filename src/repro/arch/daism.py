@@ -1,0 +1,226 @@
+"""The DAISM accelerator model (Sec. IV + Sec. V-C of the paper).
+
+A :class:`DaismDesign` is one point of the paper's design space: ``banks``
+square compute-SRAM banks of ``bank_kb`` each, running one multiplier
+configuration on one datatype.  The model provides:
+
+* **geometry** — PEs per bank and in total (a PE is one result slot of
+  the SRAM row plus its accumulator/exponent slice);
+* **performance** — exact cycle counts and utilisation for a conv layer,
+  via :mod:`repro.arch.layout_mapper`;
+* **area** — compute SRAM (CACTI-lite) + per-PE digital + per-bank
+  overheads + scratchpads/control, with the Fig. 8 breakdown;
+* **energy/power** — per-MAC energy built from the Fig. 5 multiplier
+  path plus the architecture-level costs (exponent handling, partial-sum
+  read-modify-write, accumulation, input streaming), giving Table II's
+  GOPS/mW.
+
+Geometry conventions (see DESIGN.md §5): kernel elements occupy
+``padded_lines`` wordlines; the PE pitch is the *datatype* width (16 bits
+for bfloat16), which reproduces the paper's PE counts (512 PEs for
+16x32 kB) and bank capacities (128x256 elements in 512 kB).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import PC3_TR, MultiplierConfig
+from ..energy import components
+from ..energy.cacti_lite import CactiLite
+from ..energy.multiplier_energy import daism_multiplier_energy
+from ..energy.technology import NODE_45NM, TechNode, ge_area_mm2
+from ..formats.floatfmt import BFLOAT16, FloatFormat
+from ..sram.layout import KernelLayout
+from .layout_mapper import MappingResult, map_layer
+from .workloads import ConvLayer
+
+__all__ = ["DaismDesign", "AreaBreakdown"]
+
+#: Partial sums are read-modified-written in per-PE psum buffers (each PE
+#: owns its filter's output tile).  Successive element rows touch
+#: different output coordinates, so psums cannot stay in a register — but
+#: the buffer is banked per PE, so each access hits a small array.
+PSUM_BUFFER_BYTES = 2 * 1024
+
+#: Control + clock distribution energy per MAC [pJ] (fitted; see DESIGN.md).
+CONTROL_CLOCK_PJ_PER_MAC = 0.50
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaBreakdown:
+    """On-chip area split used by Fig. 8 [mm^2]."""
+
+    sram: float
+    pe_digital: float
+    bank_overhead: float
+    scratchpad_control: float
+
+    @property
+    def total(self) -> float:
+        return self.sram + self.pe_digital + self.bank_overhead + self.scratchpad_control
+
+    @property
+    def sram_fraction(self) -> float:
+        return self.sram / self.total
+
+    @property
+    def digital_fraction(self) -> float:
+        return 1.0 - self.sram_fraction
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sram": self.sram,
+            "pe_digital": self.pe_digital,
+            "bank_overhead": self.bank_overhead,
+            "scratchpad_control": self.scratchpad_control,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class DaismDesign:
+    """One DAISM design point (e.g. the paper's ``16 x 8 kB`` PC3_tr)."""
+
+    banks: int = 16
+    bank_kb: int = 8
+    config: MultiplierConfig = PC3_TR
+    fmt: FloatFormat = BFLOAT16
+    clock_hz: float = 1.0e9
+    node: TechNode = NODE_45NM
+
+    def __post_init__(self) -> None:
+        if self.banks < 1 or self.bank_kb < 1:
+            raise ValueError("banks and bank_kb must be positive")
+        CactiLite.square_geometry(self.bank_bytes)  # validates squareness
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.bank_kb * 1024
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return self.banks * self.bank_bytes
+
+    @property
+    def side_bits(self) -> int:
+        side, _ = CactiLite.square_geometry(self.bank_bytes)
+        return side
+
+    @property
+    def layout(self) -> KernelLayout:
+        return KernelLayout(self.config, self.fmt.significand_bits)
+
+    @property
+    def pe_slot_bits(self) -> int:
+        """PE pitch: one result slot per datatype width (16 b for bf16)."""
+        return max(self.fmt.total_bits, self.layout.word_bits)
+
+    @property
+    def pes_per_bank(self) -> int:
+        return self.side_bits // self.pe_slot_bits
+
+    @property
+    def total_pes(self) -> int:
+        return self.banks * self.pes_per_bank
+
+    @property
+    def element_rows_per_bank(self) -> int:
+        return self.side_bits // self.layout.padded_lines
+
+    @property
+    def kernel_capacity(self) -> int:
+        """Kernel elements one bank holds at element-slot granularity."""
+        slots = self.side_bits // self.layout.word_bits
+        return slots * self.element_rows_per_bank
+
+    @property
+    def name(self) -> str:
+        return f"DAISM {self.banks}x{self.bank_kb}kB {self.config.name} {self.fmt.name}"
+
+    # -- performance ---------------------------------------------------------
+
+    def map_conv(self, layer: ConvLayer) -> MappingResult:
+        """Map a conv layer onto this design (exact cycles/utilisation)."""
+        return map_layer(
+            layer,
+            pes_per_row=self.pes_per_bank,
+            banks=self.banks,
+            bank_element_rows=self.element_rows_per_bank,
+        )
+
+    def latency_s(self, layer: ConvLayer) -> float:
+        """Single-image latency for one layer."""
+        return self.map_conv(layer).cycles / self.clock_hz
+
+    def gops(self, layer: ConvLayer | None = None) -> float:
+        """Sustained GOPS (2 ops per MAC) at steady-state utilisation.
+
+        Without a layer, peak GOPS (utilisation 1) is returned.
+        """
+        peak = 2.0 * self.total_pes * self.clock_hz / 1e9
+        if layer is None:
+            return peak
+        return peak * self.map_conv(layer).throughput_utilization
+
+    # -- area ------------------------------------------------------------------
+
+    def area_breakdown(self, cacti: CactiLite | None = None) -> AreaBreakdown:
+        """Fig. 8: compute SRAM vs the other digital circuits."""
+        cacti = cacti or CactiLite()
+        return AreaBreakdown(
+            sram=self.banks * cacti.area_mm2(self.bank_bytes),
+            pe_digital=self.total_pes * components.pe_digital_area_mm2(),
+            bank_overhead=self.banks * components.bank_overhead_area_mm2(),
+            scratchpad_control=components.scratchpad_control_area_mm2(),
+        )
+
+    def area_mm2(self, cacti: CactiLite | None = None) -> float:
+        """Total on-chip area."""
+        return self.area_breakdown(cacti).total
+
+    def ge_area_mm2(self, cacti: CactiLite | None = None) -> tuple[float, float]:
+        """ITRS gate-equivalent area (Table II normalisation)."""
+        return ge_area_mm2(self.area_mm2(cacti), self.node)
+
+    # -- energy / power -----------------------------------------------------------
+
+    def energy_per_mac_pj(self, cacti: CactiLite | None = None) -> dict[str, float]:
+        """Architecture-level energy per MAC, itemised [pJ].
+
+        The multiplier path is the Fig. 5 model; on top of it every MAC
+        pays exponent handling, a partial-sum read-modify-write in the
+        psum buffer, the accumulator add, and a control/clock share.
+        """
+        cacti = cacti or CactiLite()
+        mult = daism_multiplier_energy(self.config, self.fmt, self.bank_bytes, cacti)
+        psum_word = cacti.word_read_energy_pj(PSUM_BUFFER_BYTES, 32)
+        return {
+            "multiplier_path": mult.total_pj,
+            "exponent_handling": components.exponent_handling_energy_pj(self.fmt),
+            "accumulator": components.accumulator_energy_pj(self.fmt),
+            "psum_rmw": 2.0 * psum_word,
+            "control_clock": CONTROL_CLOCK_PJ_PER_MAC,
+        }
+
+    def power_mw(self, utilization: float = 1.0, cacti: CactiLite | None = None) -> float:
+        """Dynamic power at a given sustained utilisation."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        e_mac = sum(self.energy_per_mac_pj(cacti).values())
+        macs_per_s = self.total_pes * self.clock_hz * utilization
+        return e_mac * macs_per_s * 1e-9  # pJ * 1/s -> mW
+
+    def gops_per_mw(self, layer: ConvLayer | None = None, cacti: CactiLite | None = None) -> float:
+        """Table II's energy-efficiency metric."""
+        util = 1.0 if layer is None else self.map_conv(layer).throughput_utilization
+        power = self.power_mw(util, cacti)
+        return self.gops(layer) / power if power else 0.0
+
+    def gops_per_mm2(self, layer: ConvLayer | None = None, cacti: CactiLite | None = None) -> float:
+        """Table II's area-efficiency metric."""
+        return self.gops(layer) / self.area_mm2(cacti)
+
+    def __str__(self) -> str:
+        return self.name

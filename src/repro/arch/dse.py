@@ -1,0 +1,87 @@
+"""Automated design-space search over DAISM configurations.
+
+Fig. 7 is a hand-picked sweep; this module automates the selection the
+paper does informally in Sec. V-D ("a trade-off exists between
+performance and on-chip area, which can be fine-tuned by selecting an
+appropriate number of banks and memory size"): grid-search bank count ×
+bank size, evaluate each design on a workload, and answer constrained
+queries such as *smallest design meeting a cycle budget* or *fastest
+design under an area cap*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import PC3_TR, MultiplierConfig
+from ..formats.floatfmt import BFLOAT16, FloatFormat
+from .daism import DaismDesign
+from .workloads import ConvLayer
+
+__all__ = ["EvaluatedDesign", "enumerate_designs", "best_under_area", "smallest_meeting_cycles"]
+
+#: Default grid: the paper's bank counts and square-capable sizes.
+DEFAULT_BANKS = (1, 2, 4, 8, 16, 32)
+DEFAULT_BANK_KB = (2, 8, 32, 128, 512)
+
+
+@dataclasses.dataclass(frozen=True)
+class EvaluatedDesign:
+    """A design point with its workload evaluation."""
+
+    design: DaismDesign
+    cycles: int
+    area_mm2: float
+    utilization: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.design.banks}x{self.design.bank_kb}kB"
+
+
+def enumerate_designs(
+    layer: ConvLayer,
+    banks_grid: tuple[int, ...] = DEFAULT_BANKS,
+    bank_kb_grid: tuple[int, ...] = DEFAULT_BANK_KB,
+    config: MultiplierConfig = PC3_TR,
+    fmt: FloatFormat = BFLOAT16,
+) -> list[EvaluatedDesign]:
+    """Evaluate every grid design on a layer."""
+    results = []
+    for banks in banks_grid:
+        for bank_kb in bank_kb_grid:
+            design = DaismDesign(banks=banks, bank_kb=bank_kb, config=config, fmt=fmt)
+            mapping = design.map_conv(layer)
+            results.append(
+                EvaluatedDesign(
+                    design=design,
+                    cycles=mapping.cycles,
+                    area_mm2=design.area_mm2(),
+                    utilization=mapping.utilization,
+                )
+            )
+    return results
+
+
+def best_under_area(
+    layer: ConvLayer, area_budget_mm2: float, **grid_kwargs
+) -> EvaluatedDesign:
+    """Fastest design whose on-chip area fits the budget."""
+    candidates = [
+        e for e in enumerate_designs(layer, **grid_kwargs) if e.area_mm2 <= area_budget_mm2
+    ]
+    if not candidates:
+        raise ValueError(f"no design fits {area_budget_mm2} mm^2")
+    return min(candidates, key=lambda e: (e.cycles, e.area_mm2))
+
+
+def smallest_meeting_cycles(
+    layer: ConvLayer, cycle_budget: int, **grid_kwargs
+) -> EvaluatedDesign:
+    """Smallest design meeting a latency (cycle) budget."""
+    candidates = [
+        e for e in enumerate_designs(layer, **grid_kwargs) if e.cycles <= cycle_budget
+    ]
+    if not candidates:
+        raise ValueError(f"no design meets {cycle_budget} cycles")
+    return min(candidates, key=lambda e: (e.area_mm2, e.cycles))

@@ -1,0 +1,147 @@
+"""Analytic Eyeriss-class baseline (the paper's architecture comparator).
+
+The paper evaluates DAISM "compared to the Eyeriss architecture [1] using
+Accelergy and Timeloop [22]".  Neither tool is available offline; this
+module provides an analytic row-stationary model with the same
+first-order outputs those tools report for a dense conv layer:
+
+* **cycles** — MACs over busy PEs, with the spatial utilisation a
+  row-stationary mapping achieves on a 12x14 array (kernel rows must tile
+  the 12 PE rows) and a temporal efficiency factor for pipeline/buffer
+  stalls;
+* **area** — the published 65 nm chip scaled to 45 nm gate-equivalents
+  using the same ITRS factors as Table II, plus a component-level
+  breakdown (168 PEs with scratchpads + a 108 kB global buffer).
+
+Eyeriss constants are from Chen et al., JSSC 2017 [1].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..energy import components
+from ..energy.cacti_lite import CactiLite
+from ..energy.technology import NODE_45NM, NODE_65NM, ge_area_mm2
+from ..formats.floatfmt import BFLOAT16, FloatFormat
+from .workloads import ConvLayer
+
+__all__ = ["EyerissDesign"]
+
+#: Published Eyeriss core figures (65 nm, Chen et al. JSSC'17).
+EYERISS_PE_ROWS = 12
+EYERISS_PE_COLS = 14
+EYERISS_CHIP_AREA_65NM_MM2 = 12.25
+EYERISS_GLB_BYTES = 108 * 1024
+#: Per-PE local scratchpad (filter 224 B + ifmap 24 B + psum 48 B ≈ 0.3 kB).
+EYERISS_SPAD_BYTES = 304
+#: Temporal efficiency of the row-stationary pipeline (fills, drains,
+#: buffer contention); Timeloop-class results for dense 3x3 layers.
+TEMPORAL_EFFICIENCY = 0.85
+
+
+@dataclasses.dataclass(frozen=True)
+class EyerissDesign:
+    """A row-stationary accelerator with Eyeriss's published geometry."""
+
+    pe_rows: int = EYERISS_PE_ROWS
+    pe_cols: int = EYERISS_PE_COLS
+    clock_hz: float = 200e6
+    fmt: FloatFormat = BFLOAT16
+
+    @property
+    def total_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def name(self) -> str:
+        return f"Eyeriss {self.pe_rows}x{self.pe_cols}"
+
+    # -- performance ----------------------------------------------------
+
+    def spatial_utilization(self, layer: ConvLayer) -> float:
+        """Fraction of the PE array a row-stationary mapping keeps busy.
+
+        RS maps one kernel row per PE row, so ``kernel`` must tile the
+        ``pe_rows`` dimension; PE columns hold output-row strips and are
+        limited by the layer's output height.
+        """
+        sets_per_col = self.pe_rows // layer.kernel
+        if sets_per_col == 0:
+            # Kernel taller than the array: rows are folded over multiple
+            # temporal passes and the whole array stays busy.
+            row_util = 1.0
+        else:
+            row_util = sets_per_col * layer.kernel / self.pe_rows
+        col_util = min(1.0, layer.out_height / self.pe_cols)
+        return row_util * col_util
+
+    def cycles(self, layer: ConvLayer) -> int:
+        """Cycle count for one layer (dense MAC accounting, as Timeloop)."""
+        util = self.spatial_utilization(layer) * TEMPORAL_EFFICIENCY
+        if util <= 0:
+            raise ValueError(f"layer {layer.name} cannot be mapped")
+        return int(round(layer.macs_dense / (self.total_pes * util)))
+
+    def latency_s(self, layer: ConvLayer) -> float:
+        return self.cycles(layer) / self.clock_hz
+
+    def gops(self, layer: ConvLayer) -> float:
+        """Sustained GOPS on a layer (2 ops per MAC)."""
+        return 2.0 * layer.macs_dense / self.cycles(layer) * self.clock_hz / 1e9
+
+    # -- area --------------------------------------------------------------
+
+    def area_mm2(self, cacti: CactiLite | None = None) -> float:
+        """45 nm gate-equivalent area of the published 65 nm chip."""
+        low, _high = ge_area_mm2(EYERISS_CHIP_AREA_65NM_MM2, NODE_65NM)
+        # The GE factor normalises to the ITRS reference; bring it to the
+        # 45 nm frame Fig. 7 plots in by dividing the 45 nm factor out.
+        return low / NODE_45NM.ge_factor_nominal
+
+    # -- energy ------------------------------------------------------------
+
+    def energy_per_mac_pj(self, cacti: CactiLite | None = None) -> dict[str, float]:
+        """Itemised per-MAC energy of the row-stationary datapath.
+
+        Each MAC pays the conventional multiplier, two local scratchpad
+        accesses (filter + ifmap — the row-stationary point is that these
+        are *small* arrays), a psum spad update, a share of global-buffer
+        traffic (amortised by the ~R*S reuse the dataflow provides) and
+        NoC hops.  Values are 45 nm-frame estimates from the same
+        component library the DAISM model uses, so the comparison in
+        Sec. V-D ("reduces energy consumption compared to Eyeriss due to
+        lower per-computation energy") is apples-to-apples.
+        """
+        cacti = cacti or CactiLite()
+        spad_word = cacti.word_read_energy_pj(2048, self.fmt.total_bits)
+        glb_word = cacti.word_read_energy_pj(EYERISS_GLB_BYTES, self.fmt.total_bits)
+        reuse = 9.0  # typical R*S reuse of a fetched operand
+        return {
+            "multiplier": components.baseline_multiplier_energy_pj(self.fmt),
+            "operand_spads": 2.0 * spad_word,
+            "psum_spad": 2.0 * spad_word,
+            "glb_amortised": 2.0 * glb_word / reuse,
+            "noc": 0.30,
+            "control_clock": 0.50,
+        }
+
+    def power_mw(self, utilization: float = 1.0, cacti: CactiLite | None = None) -> float:
+        """Dynamic power at a sustained utilisation."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        e_mac = sum(self.energy_per_mac_pj(cacti).values())
+        return e_mac * self.total_pes * self.clock_hz * utilization * 1e-9
+
+    def area_breakdown_mm2(self, cacti: CactiLite | None = None) -> dict[str, float]:
+        """Component-level (45 nm) area model: GLB + PEs with spads."""
+        cacti = cacti or CactiLite()
+        glb = cacti.area_mm2(EYERISS_GLB_BYTES)
+        spad = EYERISS_SPAD_BYTES * 8 * 0.30e-6 / 0.6  # loose small-array packing
+        pe_logic = components.baseline_multiplier_area_mm2(self.fmt) + 0.004
+        pes = self.total_pes * (pe_logic + spad)
+        noc_control = 0.8
+        return {"glb": glb, "pes": pes, "noc_control": noc_control}
+
+    def __str__(self) -> str:
+        return self.name

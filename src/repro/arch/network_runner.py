@@ -1,0 +1,125 @@
+"""End-to-end network execution on a DAISM design.
+
+Maps every layer of a network (a list of :class:`ConvLayer`) onto one
+:class:`~repro.arch.daism.DaismDesign` and aggregates cycles, time,
+energy and utilisation — the whole-network view behind the paper's
+single-layer Fig. 7 study.  Weight sets larger than the compute SRAM are
+handled by the mapper's multi-pass mechanism; the report carries the
+pass count per layer so reload pressure is visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .daism import DaismDesign
+from .eyeriss import EyerissDesign
+from .workloads import ConvLayer
+
+__all__ = ["LayerReport", "NetworkReport", "run_network", "compare_with_eyeriss"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerReport:
+    """Per-layer execution summary."""
+
+    name: str
+    cycles: int
+    macs: int
+    utilization: float
+    passes: int
+    energy_uj: float
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkReport:
+    """Whole-network execution summary on one design."""
+
+    design_name: str
+    layers: tuple[LayerReport, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(l.cycles for l in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def total_energy_uj(self) -> float:
+        return sum(l.energy_uj for l in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """MAC-weighted utilisation across layers."""
+        total = self.total_macs
+        if not total:
+            return 0.0
+        return sum(l.utilization * l.macs for l in self.layers) / total
+
+    def latency_s(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz
+
+    def rows(self) -> list[dict[str, object]]:
+        """Printable per-layer rows plus a totals row."""
+        out: list[dict[str, object]] = [
+            {
+                "layer": l.name,
+                "cycles": l.cycles,
+                "MACs": l.macs,
+                "util": f"{l.utilization:.3f}",
+                "passes": l.passes,
+                "energy [uJ]": f"{l.energy_uj:.1f}",
+            }
+            for l in self.layers
+        ]
+        out.append(
+            {
+                "layer": "TOTAL",
+                "cycles": self.total_cycles,
+                "MACs": self.total_macs,
+                "util": f"{self.mean_utilization:.3f}",
+                "passes": "",
+                "energy [uJ]": f"{self.total_energy_uj:.1f}",
+            }
+        )
+        return out
+
+
+def run_network(design: DaismDesign, layers: list[ConvLayer]) -> NetworkReport:
+    """Execute a layer list on a design and aggregate the results."""
+    if not layers:
+        raise ValueError("network has no layers")
+    e_mac_pj = sum(design.energy_per_mac_pj().values())
+    reports = []
+    for layer in layers:
+        mapping = design.map_conv(layer)
+        reports.append(
+            LayerReport(
+                name=layer.name,
+                cycles=mapping.cycles,
+                macs=mapping.macs,
+                utilization=mapping.utilization,
+                passes=mapping.passes,
+                energy_uj=mapping.macs * e_mac_pj * 1e-6,
+            )
+        )
+    return NetworkReport(design_name=design.name, layers=tuple(reports))
+
+
+def compare_with_eyeriss(
+    design: DaismDesign, layers: list[ConvLayer], eyeriss: EyerissDesign | None = None
+) -> dict[str, float]:
+    """Whole-network cycle/area comparison against the Eyeriss baseline."""
+    eyeriss = eyeriss or EyerissDesign()
+    daism_cycles = run_network(design, layers).total_cycles
+    eyeriss_cycles = sum(eyeriss.cycles(layer) for layer in layers)
+    return {
+        "daism_cycles": float(daism_cycles),
+        "eyeriss_cycles": float(eyeriss_cycles),
+        "cycle_ratio": eyeriss_cycles / daism_cycles,
+        "daism_area_mm2": design.area_mm2(),
+        "eyeriss_area_mm2": eyeriss.area_mm2(),
+        "area_ratio": eyeriss.area_mm2() / design.area_mm2(),
+    }

@@ -1,0 +1,91 @@
+"""Published in-SRAM PIM baselines: Z-PIM and T-PIM (Table II).
+
+The paper compares DAISM against two fabricated digital in-SRAM PIM
+chips, quoting their published measurements (as we do here — these
+numbers are *specs from the papers*, not simulation outputs):
+
+* **Z-PIM** (Kim et al., JSSC 2021 [10]): 65 nm, bit-serial,
+  sparsity-dependent throughput/efficiency.
+* **T-PIM** (Heo et al., JSSC 2023 [11]): 28 nm, bit-serial, on-device
+  training, sparsity-dependent figures.
+
+Both are bit-serial — the very overhead DAISM's bit-parallel read avoids;
+Table II's point is that DAISM reaches 1-2 orders of magnitude higher
+GOPS and GOPS/mm^2 at comparable GOPS/mW despite the older node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..energy.technology import TechNode, ge_area_mm2, node_by_nm
+
+__all__ = ["PimBaseline", "Z_PIM", "T_PIM", "pim_baselines"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PimBaseline:
+    """Published figures of one PIM chip (ranges where sparsity-dependent)."""
+
+    name: str
+    computation: str
+    node: TechNode
+    area_mm2: float
+    clock_mhz: tuple[float, float]
+    supply_v: tuple[float, float]
+    gops: tuple[float, float]
+    gops_per_mw: tuple[float, float]
+    gops_per_mm2: tuple[float, float]
+    notes: str
+
+    @property
+    def ge_area_range_mm2(self) -> tuple[float, float]:
+        """ITRS gate-equivalent area (the Table II § row)."""
+        return ge_area_mm2(self.area_mm2, self.node)
+
+    def row(self) -> dict[str, object]:
+        """A Table II style row."""
+        return {
+            "Architecture": self.name,
+            "Computations": self.computation,
+            "Node [nm]": self.node.feature_nm,
+            "Area [mm2]": self.area_mm2,
+            "GE Area [mm2]": self.ge_area_range_mm2,
+            "Clock [MHz]": self.clock_mhz,
+            "Supply [V]": self.supply_v,
+            "GOPS": self.gops,
+            "GOPS/mW": self.gops_per_mw,
+            "GOPS/mm2": self.gops_per_mm2,
+        }
+
+
+Z_PIM = PimBaseline(
+    name="Z-PIM",
+    computation="bit-serial",
+    node=node_by_nm(65),
+    area_mm2=7.57,
+    clock_mhz=(200.0, 200.0),
+    supply_v=(1.0, 1.0),
+    gops=(1.52, 16.0),
+    gops_per_mw=(0.31, 3.07),
+    gops_per_mm2=(0.53, 5.31),
+    notes="throughput/efficiency vary with weight sparsity 0.1-0.9",
+)
+
+T_PIM = PimBaseline(
+    name="T-PIM",
+    computation="bit-serial",
+    node=node_by_nm(28),
+    area_mm2=5.04,
+    clock_mhz=(50.0, 280.0),
+    supply_v=(0.75, 1.05),
+    gops=(5.56, 5.56),
+    gops_per_mw=(0.13, 1.26),
+    gops_per_mm2=(1.1, 1.1),
+    notes="GOPS measured at input sparsity 0.9, weight sparsity 0.5",
+)
+
+
+def pim_baselines() -> tuple[PimBaseline, ...]:
+    """The two Table II comparison chips."""
+    return (Z_PIM, T_PIM)

@@ -1,0 +1,176 @@
+"""Workload descriptions: convolution layers and layer tables.
+
+The paper's architecture study (Sec. V-C) uses the first layer of VGG-8
+on 224x224x3 inputs — "150,528 inputs for 1728 kernel elements".  This
+module defines the :class:`ConvLayer` shape record plus the layer tables
+used across the benchmarks (VGG-8, a reduced ResNet, AlexNet-style and
+LeNet-style networks for the sweeps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "ConvLayer",
+    "vgg8_layers",
+    "vgg8_conv1",
+    "alexnet_like_layers",
+    "lenet_like_layers",
+    "resnet_mini_layers",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvLayer:
+    """Shape of one convolution layer (stride-s, zero padding p).
+
+    ``height``/``width`` are the *input* spatial dimensions.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    height: int
+    width: int
+    stride: int = 1
+    padding: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel, self.height, self.width) < 1:
+            raise ValueError(f"{self.name}: all dimensions must be positive")
+        if self.stride < 1 or self.padding < 0:
+            raise ValueError(f"{self.name}: bad stride/padding")
+        if self.out_height < 1 or self.out_width < 1:
+            raise ValueError(f"{self.name}: empty output")
+
+    # -- derived shapes ---------------------------------------------------
+
+    @property
+    def out_height(self) -> int:
+        return (self.height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def input_elements(self) -> int:
+        """Input tensor size — the paper's "inputs" count (150,528 for VGG-8 L1)."""
+        return self.in_channels * self.height * self.width
+
+    @property
+    def kernel_elements(self) -> int:
+        """Unique kernel weights — the paper's count (1,728 for VGG-8 L1)."""
+        return self.in_channels * self.kernel * self.kernel * self.out_channels
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.out_height * self.out_width
+
+    def valid_positions(self, tap_row: int, tap_col: int) -> int:
+        """Input pixels that participate with kernel tap ``(tap_row, tap_col)``.
+
+        For stride ``s`` and padding ``p``, input pixel ``(h, w)``
+        participates with tap ``(kh, kw)`` iff ``h = oh*s + kh - p`` for
+        some output row ``oh`` (same for columns).
+        """
+        return self._valid_axis(tap_row, self.height, self.out_height) * self._valid_axis(
+            tap_col, self.width, self.out_width
+        )
+
+    def _valid_axis(self, tap: int, size: int, out_size: int) -> int:
+        count = 0
+        for o in range(out_size):
+            pos = o * self.stride + tap - self.padding
+            if 0 <= pos < size:
+                count += 1
+        return count
+
+    @property
+    def macs(self) -> int:
+        """Exact multiply-accumulate count (padding taps excluded).
+
+        Products against zero padding are bypassed by the DAISM datapath
+        (multiplications by zero are skipped), so they are not work.
+        """
+        taps = sum(
+            self.valid_positions(kh, kw)
+            for kh in range(self.kernel)
+            for kw in range(self.kernel)
+        )
+        return taps * self.in_channels * self.out_channels
+
+    @property
+    def macs_dense(self) -> int:
+        """MAC count including padding taps (conventional accounting)."""
+        return (
+            self.out_height
+            * self.out_width
+            * self.kernel
+            * self.kernel
+            * self.in_channels
+            * self.out_channels
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.in_channels}x{self.height}x{self.width} -> "
+            f"{self.out_channels}x{self.out_height}x{self.out_width} (k={self.kernel})"
+        )
+
+
+def vgg8_conv1() -> ConvLayer:
+    """The paper's evaluation layer: VGG-8 conv1 on ImageNet-size input."""
+    return ConvLayer("vgg8_conv1", in_channels=3, out_channels=64, kernel=3, height=224, width=224)
+
+
+def vgg8_layers() -> list[ConvLayer]:
+    """An 8-weight-layer VGG-style network on 224x224x3 input.
+
+    Five conv layers (each followed by 2x2 pooling in the network) plus
+    the three FC layers expressed as 1x1 convolutions over the pooled map.
+    """
+    return [
+        ConvLayer("conv1", 3, 64, 3, 224, 224),
+        ConvLayer("conv2", 64, 128, 3, 112, 112),
+        ConvLayer("conv3", 128, 256, 3, 56, 56),
+        ConvLayer("conv4", 256, 256, 3, 28, 28),
+        ConvLayer("conv5", 256, 512, 3, 14, 14),
+        ConvLayer("fc1", 512, 512, 7, 7, 7, padding=0),
+        ConvLayer("fc2", 512, 512, 1, 1, 1, padding=0),
+        ConvLayer("fc3", 512, 1000, 1, 1, 1, padding=0),
+    ]
+
+
+def alexnet_like_layers() -> list[ConvLayer]:
+    """AlexNet-style conv stack (large strided first layer)."""
+    return [
+        ConvLayer("conv1", 3, 96, 11, 227, 227, stride=4, padding=0),
+        ConvLayer("conv2", 96, 256, 5, 27, 27, padding=2),
+        ConvLayer("conv3", 256, 384, 3, 13, 13),
+        ConvLayer("conv4", 384, 384, 3, 13, 13),
+        ConvLayer("conv5", 384, 256, 3, 13, 13),
+    ]
+
+
+def lenet_like_layers() -> list[ConvLayer]:
+    """Small edge-class CNN (the paper notes edge devices as a key target)."""
+    return [
+        ConvLayer("conv1", 1, 6, 5, 28, 28, padding=2),
+        ConvLayer("conv2", 6, 16, 5, 14, 14, padding=0),
+    ]
+
+
+def resnet_mini_layers() -> list[ConvLayer]:
+    """Reduced ResNet-style stack (32x32 input, residual trunk shapes)."""
+    return [
+        ConvLayer("conv1", 3, 16, 3, 32, 32),
+        ConvLayer("block1a", 16, 16, 3, 32, 32),
+        ConvLayer("block1b", 16, 16, 3, 32, 32),
+        ConvLayer("block2a", 16, 32, 3, 32, 32, stride=2),
+        ConvLayer("block2b", 32, 32, 3, 16, 16),
+        ConvLayer("block3a", 32, 64, 3, 16, 16, stride=2),
+        ConvLayer("block3b", 64, 64, 3, 8, 8),
+    ]

@@ -1,0 +1,130 @@
+"""Multiplier configurations proposed by the DAISM paper (Table I).
+
+The paper evaluates five variants of the in-SRAM approximate multiplier:
+
+=========  ==========================  ==========
+Config.    Precomputed wordlines       Truncation
+=========  ==========================  ==========
+``FLA``    No                          No
+``PC2``    Between 2 partial products  No
+``PC3``    Between 3 partial products  No
+``PC2_tr`` Between 2 partial products  Yes
+``PC3_tr`` Between 3 partial products  Yes
+=========  ==========================  ==========
+
+A configuration is described by how many of the most significant partial
+products are summed exactly (stored as pre-computed wordlines, selected by
+the address decoder) and whether every stored line is truncated to the top
+``n`` bits of the ``2n``-bit product.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Scheme(enum.Enum):
+    """Pre-computation scheme for the most significant partial products.
+
+    ``PC4`` is not in the paper's Table I — it is the natural next design
+    point (pre-computing all combinations of the top *four* partial
+    products) included here as an extension for the ablation benchmarks:
+    it shows where the pre-computation idea stops paying (the number of
+    stored combination lines doubles per step while the recovered error
+    shrinks).
+    """
+
+    FLA = "FLA"
+    PC2 = "PC2"
+    PC3 = "PC3"
+    PC4 = "PC4"
+
+    @property
+    def precomputed(self) -> int:
+        """Number of top partial products whose sum is exact."""
+        return {Scheme.FLA: 0, Scheme.PC2: 2, Scheme.PC3: 3, Scheme.PC4: 4}[self]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiplierConfig:
+    """One point in the DAISM multiplier design space.
+
+    Parameters
+    ----------
+    scheme:
+        Pre-computation scheme (:class:`Scheme`).
+    truncated:
+        When true every stored line keeps only the bits at positions
+        ``>= n`` of the ``2n``-bit product (paper's ``_tr`` variants).
+    """
+
+    scheme: Scheme
+    truncated: bool = False
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``"PC3_tr"``."""
+        suffix = "_tr" if self.truncated else ""
+        return self.scheme.value + suffix
+
+    @property
+    def precomputed(self) -> int:
+        """Number of exactly-summed top partial products (0, 2 or 3)."""
+        return self.scheme.precomputed
+
+    @classmethod
+    def from_name(cls, name: str) -> "MultiplierConfig":
+        """Parse a paper-style name such as ``"PC2_tr"`` or ``"fla"``."""
+        base = name.strip()
+        truncated = base.lower().endswith("_tr")
+        if truncated:
+            base = base[: -len("_tr")]
+        try:
+            scheme = Scheme(base.upper())
+        except ValueError as exc:
+            valid = ", ".join(c.name for c in all_configs())
+            raise ValueError(f"unknown multiplier config {name!r}; expected one of: {valid}") from exc
+        return cls(scheme=scheme, truncated=truncated)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The five configurations evaluated in the paper (Table I).
+FLA = MultiplierConfig(Scheme.FLA)
+PC2 = MultiplierConfig(Scheme.PC2)
+PC3 = MultiplierConfig(Scheme.PC3)
+PC2_TR = MultiplierConfig(Scheme.PC2, truncated=True)
+PC3_TR = MultiplierConfig(Scheme.PC3, truncated=True)
+
+#: Extension beyond the paper: four pre-computed partial products.
+PC4 = MultiplierConfig(Scheme.PC4)
+PC4_TR = MultiplierConfig(Scheme.PC4, truncated=True)
+
+
+def all_configs() -> tuple[MultiplierConfig, ...]:
+    """All five configurations of Table I, in paper order."""
+    return (FLA, PC2, PC3, PC2_TR, PC3_TR)
+
+
+def extended_configs() -> tuple[MultiplierConfig, ...]:
+    """Table I plus the PC4 extension points (for the ablations)."""
+    return all_configs() + (PC4, PC4_TR)
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Rows of the paper's Table I (summary of the proposed multipliers)."""
+    descriptions = {
+        0: "No",
+        2: "Between 2 PP",
+        3: "Between 3 PP",
+    }
+    return [
+        {
+            "Config.": cfg.name,
+            "Precomputed wordlines": descriptions[cfg.precomputed],
+            "Truncation": "Yes" if cfg.truncated else "No",
+        }
+        for cfg in all_configs()
+    ]

@@ -1,0 +1,65 @@
+"""Analytic worst-case error bounds for the OR-approximate multiplier.
+
+The OR of the selected partial products underestimates their sum by
+exactly the carries it drops.  For a PCk configuration on ``n``-bit
+FP-range operands (both MSBs set), the exactly-summed top part carries
+at least ``a * 2^(n-1) * b_top`` of the product's mass, so the dropped
+mass — everything the non-pre-computed low lines could have contributed
+— is bounded by the sum of the low partial products:
+
+    dropped <= sum_{i < n-k} (a << i) < a * 2^(n-k)
+
+relative to ``a * b >= a * 2^(n-1) * 2^(n-1) / 2^(n-1) = a * 2^(n-1)``,
+giving the closed-form bound ``rel_err < 2^(1-k)`` for PCk (k >= 1) and
+``rel_err < 1`` for FLA.  The truncated variants add at most one unit in
+the ``n``-th result bit per line.
+
+These bounds are loose by design (they assume every dropped carry was
+real); the test suite checks them against the exhaustive maxima, and the
+exhaustive maxima against the paper-relevant operating points.
+"""
+
+from __future__ import annotations
+
+from .config import MultiplierConfig
+
+__all__ = ["worst_case_relative_error", "truncation_extra_error"]
+
+
+def worst_case_relative_error(config: MultiplierConfig, bits: int) -> float:
+    """Closed-form upper bound on the relative error, FP-range operands.
+
+    For PCk the top k partial products are exact; the OR can only lose
+    value carried by the remaining ``n - k`` lines, whose total is below
+    ``a * 2^(n-k)``.  With ``b >= 2^(n-1)`` the exact product is at least
+    ``a * 2^(n-1)``, so the relative loss is below ``2^(1-k)``.
+
+    FLA (k = 0) keeps the largest line exact only (the A line, always
+    active for FP operands), giving the same expression with k = 1
+    replaced by the OR's one-line guarantee: bound ``1/2 + ...`` — we
+    conservatively return 1.0 minus the guaranteed A-line mass, i.e. 0.5.
+    """
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    k = min(config.precomputed, bits - 1)
+    if k == 0:
+        # The A line alone guarantees at least a * 2^(n-1) of the product
+        # mass, and the product is below a * 2^n: at most half is lost.
+        bound = 0.5
+    else:
+        bound = 2.0 ** (1 - k)
+    if config.truncated:
+        bound += truncation_extra_error(bits)
+    return min(bound, 1.0)
+
+
+def truncation_extra_error(bits: int) -> float:
+    """Additional relative error available to the ``_tr`` variants.
+
+    Truncation drops the low ``n`` result bits, worth less than
+    ``2^n``, against a product of at least ``2^(2n-2)``: an additive
+    relative term below ``2^(2-n)``.
+    """
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    return 2.0 ** (2 - bits)

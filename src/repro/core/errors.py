@@ -1,0 +1,126 @@
+"""Error metrics for the approximate multipliers.
+
+Used by the accuracy analyses and the ablation benchmark: the paper's
+Sec. V-D argues PC3 is the best configuration partly because it "has
+better accuracy" — in distribution, which these helpers quantify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..formats.floatfmt import FloatFormat
+from .config import MultiplierConfig
+from .fp_mul import approx_fp_multiply, exact_fp_multiply
+from .vectorized import approx_multiply_array, exact_multiply_array
+
+__all__ = [
+    "ErrorStats",
+    "relative_errors",
+    "mantissa_error_stats",
+    "fp_error_stats",
+    "exhaustive_mantissa_errors",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics of a relative error distribution.
+
+    All values are relative errors ``(exact - approx) / exact``; the
+    OR-approximation never overshoots, so they are non-negative for the
+    mantissa path.
+    """
+
+    mean: float
+    std: float
+    max: float
+    p50: float
+    p99: float
+    exact_fraction: float
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorStats":
+        errors = np.asarray(errors, dtype=np.float64).ravel()
+        if errors.size == 0:
+            raise ValueError("cannot summarise an empty error array")
+        return cls(
+            mean=float(errors.mean()),
+            std=float(errors.std()),
+            max=float(errors.max()),
+            p50=float(np.percentile(errors, 50)),
+            p99=float(np.percentile(errors, 99)),
+            exact_fraction=float(np.mean(errors == 0.0)),
+        )
+
+
+def relative_errors(exact: np.ndarray, approx: np.ndarray) -> np.ndarray:
+    """Elementwise ``(exact - approx) / exact`` with exact zeros skipped."""
+    exact = np.asarray(exact, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    nonzero = exact != 0
+    return (exact[nonzero] - approx[nonzero]) / exact[nonzero]
+
+
+def mantissa_error_stats(
+    bits: int,
+    config: MultiplierConfig,
+    samples: int = 1 << 16,
+    seed: int = 0,
+    fp_range: bool = True,
+) -> ErrorStats:
+    """Error statistics of the integer mantissa multiplier.
+
+    ``fp_range=True`` restricts operands to significands with the MSB set
+    (the implicit leading one of normalised floats), which is the operating
+    range on the accelerator.
+    """
+    rng = np.random.default_rng(seed)
+    lo = (1 << (bits - 1)) if fp_range else 0
+    hi = 1 << bits
+    a = rng.integers(lo, hi, size=samples, dtype=np.uint64)
+    b = rng.integers(lo, hi, size=samples, dtype=np.uint64)
+    exact = exact_multiply_array(a, b, bits).astype(np.float64)
+    approx = approx_multiply_array(a, b, bits, config).astype(np.float64)
+    if config.truncated:
+        approx = approx * float(1 << bits)
+    return ErrorStats.from_errors(relative_errors(exact, approx))
+
+
+def exhaustive_mantissa_errors(
+    bits: int, config: MultiplierConfig, fp_range: bool = True
+) -> np.ndarray:
+    """Full relative-error matrix over every operand pair (small ``bits``)."""
+    if bits > 12:
+        raise ValueError("exhaustive sweep is limited to bits <= 12")
+    lo = (1 << (bits - 1)) if fp_range else 0
+    operands = np.arange(lo, 1 << bits, dtype=np.uint64)
+    a = operands[:, None]
+    b = operands[None, :]
+    exact = exact_multiply_array(a, b, bits).astype(np.float64)
+    approx = approx_multiply_array(a, b, bits, config).astype(np.float64)
+    if config.truncated:
+        approx = approx * float(1 << bits)
+    safe = np.where(exact == 0, 1.0, exact)
+    errs = np.where(exact == 0, 0.0, (exact - approx) / safe)
+    return errs
+
+
+def fp_error_stats(
+    fmt: FloatFormat,
+    config: MultiplierConfig,
+    samples: int = 1 << 16,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ErrorStats:
+    """End-to-end FP product error statistics on random normal operands."""
+    rng = np.random.default_rng(seed)
+    x = (rng.standard_normal(samples) * scale).astype(np.float32)
+    y = (rng.standard_normal(samples) * scale).astype(np.float32)
+    exact = exact_fp_multiply(x, y, fmt).astype(np.float64)
+    approx = approx_fp_multiply(x, y, fmt, config).astype(np.float64)
+    nonzero = exact != 0
+    errs = np.abs(exact[nonzero] - approx[nonzero]) / np.abs(exact[nonzero])
+    return ErrorStats.from_errors(errs)

@@ -1,0 +1,133 @@
+"""Approximate floating point multiplication (Sec. III-C of the paper).
+
+The DAISM datapath multiplies only the *significands* (mantissa with the
+implicit leading one) through the in-SRAM approximate multiplier; the rest
+of the FP pipeline is conventional:
+
+* signs are XORed;
+* exponents are added (and re-aligned after normalisation);
+* multiplications by zero are bypassed;
+* the significand product is normalised by at most one position (the
+  product of two values in ``[1, 2)`` lies in ``[1, 4)``).
+
+This module implements that pipeline, vectorised over numpy arrays, for
+any :class:`~repro.formats.floatfmt.FloatFormat` and any
+:class:`~repro.core.config.MultiplierConfig`.  Non-finite inputs (inf,
+NaN) are routed through the exact float path — the accelerator targets
+well-conditioned DNN tensors and the paper does not define approximate
+behaviour for specials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.floatfmt import FloatFormat, compose, decompose, quantize
+from .config import MultiplierConfig
+from .tables import table_supported, tabulated_multiply
+from .vectorized import approx_multiply_array
+
+__all__ = ["approx_fp_multiply", "exact_fp_multiply", "significand_product"]
+
+
+def significand_product(
+    ma: np.ndarray, mb: np.ndarray, bits: int, config: MultiplierConfig
+) -> np.ndarray:
+    """Approximate significand product, dispatching to the LUT fast path.
+
+    Contract matches :func:`repro.core.mantissa.approx_multiply`:
+    ``2*bits``-wide result untruncated, ``bits``-wide top half truncated.
+    """
+    if table_supported(bits):
+        return tabulated_multiply(ma, mb, bits, config)
+    return approx_multiply_array(ma, mb, bits, config)
+
+
+def _normalise(
+    product: np.ndarray, exponent: np.ndarray, bits: int, truncated: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise the significand product to ``bits`` wide, MSB set.
+
+    For nonzero FP operands the OR-approximation is bounded below by the
+    always-active ``A`` line, so the product cannot underflow past one
+    normalisation position; overflow by one position (value in ``[2, 4)``)
+    bumps the exponent.
+    """
+    exponent = exponent.astype(np.int64)
+    if truncated:
+        # product is the n-bit top half, value in [2^(n-2), 2^n).
+        overflow = product >> np.uint64(bits - 1) != 0
+        sig = np.where(overflow, product, product << np.uint64(1))
+        exp = np.where(overflow, exponent + 1, exponent)
+    else:
+        # product is 2n bits, value in [2^(2n-2), 2^(2n)).
+        overflow = product >> np.uint64(2 * bits - 1) != 0
+        sig = np.where(overflow, product >> np.uint64(bits), product >> np.uint64(bits - 1))
+        exp = np.where(overflow, exponent + 1, exponent)
+    return sig.astype(np.uint64), exp
+
+
+def exact_fp_multiply(x: np.ndarray, y: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Reference: quantise to ``fmt``, multiply exactly in float32."""
+    xq = quantize(x, fmt)
+    yq = quantize(y, fmt)
+    return (xq * yq).astype(np.float32)
+
+
+def approx_fp_multiply(
+    x: np.ndarray,
+    y: np.ndarray,
+    fmt: FloatFormat,
+    config: MultiplierConfig,
+    quantize_inputs: bool = True,
+) -> np.ndarray:
+    """Elementwise approximate FP product as computed by the DAISM datapath.
+
+    Parameters
+    ----------
+    x, y:
+        Input arrays (broadcastable).  Interpreted as, or quantised to,
+        ``fmt``.
+    fmt:
+        Floating point format of the operands.
+    config:
+        In-SRAM multiplier configuration (Table I).
+    quantize_inputs:
+        When true (default), inputs are first rounded to ``fmt`` with
+        round-to-nearest-even, mirroring how tensors are stored on the
+        accelerator.
+
+    Returns
+    -------
+    float32 array of approximate products.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    y = np.asarray(y, dtype=np.float32)
+    if quantize_inputs:
+        x = quantize(x, fmt)
+        y = quantize(y, fmt)
+
+    shape = np.broadcast(x, y).shape
+    x = np.broadcast_to(x, shape)
+    y = np.broadcast_to(y, shape)
+
+    sx, ex, mx = decompose(x, fmt)
+    sy, ey, my = decompose(y, fmt)
+    bits = fmt.significand_bits
+
+    product = significand_product(mx, my, bits, config)
+    sig, exp = _normalise(product, ex + ey, bits, config.truncated)
+    sign = sx ^ sy
+
+    # A zero significand would violate _normalise's preconditions; feed a
+    # harmless placeholder and overwrite with the bypass afterwards.
+    zero = (mx == 0) | (my == 0)
+    sig = np.where(zero, np.uint64(1) << np.uint64(bits - 1), sig)
+    result = compose(sign, exp, sig, fmt)
+    result = np.where(zero, np.float32(0.0) * np.where(sign, -1.0, 1.0).astype(np.float32), result)
+
+    # Specials bypass: inf/NaN take the exact float path.
+    special = ~np.isfinite(x) | ~np.isfinite(y)
+    if np.any(special):
+        result = np.where(special, (x * y).astype(np.float32), result)
+    return result.astype(np.float32)

@@ -1,0 +1,165 @@
+"""Approximate GEMM built on the in-SRAM approximate multiplier.
+
+On the accelerator, a GEMM is a stream of approximate scalar products that
+a conventional accumulator sums (Sec. IV-A: SRAM rows produce products,
+the adder at the bottom accumulates).  This module reproduces exactly
+that: elementwise approximate FP products, exact accumulation in float32.
+
+Three backends with a common ``matmul`` interface let the numpy DNN stack
+(:mod:`repro.nn`) swap arithmetic without touching model code:
+
+* :class:`ExactMatmul` — plain float32 ``A @ B`` (the paper's baseline);
+* :class:`QuantizedMatmul` — quantise to a format, then exact products
+  (isolates quantisation error from approximation error);
+* :class:`ApproxMatmul` — quantise and run every product through the
+  approximate multiplier (the DAISM datapath).
+
+The approximate path decomposes both operands once and processes the
+reduction dimension in chunks, so memory stays bounded while the LUT
+gather stays fully vectorised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..formats.floatfmt import FLOAT32, FloatFormat, compose, decompose, quantize
+from .config import MultiplierConfig
+from .fp_mul import _normalise, significand_product
+
+__all__ = [
+    "approx_matmul",
+    "MatmulBackend",
+    "ExactMatmul",
+    "QuantizedMatmul",
+    "ApproxMatmul",
+]
+
+
+def _default_chunk(m: int, n: int, budget_elems: int = 1 << 22) -> int:
+    """Reduction-chunk size keeping the (m, chunk, n) block under budget."""
+    per_k = max(1, m * n)
+    return max(1, budget_elems // per_k)
+
+
+def approx_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    fmt: FloatFormat,
+    config: MultiplierConfig,
+    k_chunk: int | None = None,
+) -> np.ndarray:
+    """``a @ b`` with every scalar product computed approximately.
+
+    Parameters
+    ----------
+    a:
+        ``(M, K)`` float array (quantised to ``fmt`` internally).
+    b:
+        ``(K, N)`` float array.
+    fmt:
+        Operand floating point format (e.g. bfloat16).
+    config:
+        Multiplier configuration (Table I).
+    k_chunk:
+        Reduction chunk size; defaults to a memory-bounded choice.
+
+    Returns
+    -------
+    ``(M, N)`` float32 result, accumulated exactly in float32.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
+    m, k = a.shape
+    _, n = b.shape
+    if k_chunk is None:
+        k_chunk = _default_chunk(m, n)
+
+    aq = quantize(a, fmt)
+    bq = quantize(b, fmt)
+    sa, ea, ma = decompose(aq, fmt)
+    sb, eb, mb = decompose(bq, fmt)
+    bits = fmt.significand_bits
+
+    out = np.zeros((m, n), dtype=np.float32)
+    for start in range(0, k, k_chunk):
+        stop = min(k, start + k_chunk)
+        mx = ma[:, start:stop, None]
+        my = mb[None, start:stop, :]
+        ex = ea[:, start:stop, None].astype(np.int64)
+        ey = eb[None, start:stop, :].astype(np.int64)
+        sx = sa[:, start:stop, None]
+        sy = sb[None, start:stop, :]
+
+        product = significand_product(mx, my, bits, config)
+        zero = (mx == 0) | (my == 0)
+        sig, exp = _normalise(
+            np.where(zero, np.uint64(1) << np.uint64(2 * bits - 2 if not config.truncated else bits - 2), product),
+            ex + ey,
+            bits,
+            config.truncated,
+        )
+        values = compose(sx ^ sy, exp, sig, fmt)
+        values = np.where(zero, np.float32(0.0), values)
+        out += values.sum(axis=1, dtype=np.float32)
+    return out
+
+
+class MatmulBackend:
+    """Interface: a named object computing ``matmul(a, b) -> (M, N)``."""
+
+    name = "abstract"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class ExactMatmul(MatmulBackend):
+    """Plain float32 matmul — the paper's exact baseline."""
+
+    name = "exact_float32"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)
+
+
+@dataclasses.dataclass
+class QuantizedMatmul(MatmulBackend):
+    """Quantise operands to ``fmt``, then multiply exactly.
+
+    Separates the error due to the narrow datatype from the error due to
+    the OR-approximation; used as an intermediate point in Fig. 4-style
+    studies.
+    """
+
+    fmt: FloatFormat = FLOAT32
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"quantized_{self.fmt.name}"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return quantize(a, self.fmt) @ quantize(b, self.fmt)
+
+
+@dataclasses.dataclass
+class ApproxMatmul(MatmulBackend):
+    """Full DAISM arithmetic: quantise + approximate products."""
+
+    fmt: FloatFormat
+    config: MultiplierConfig
+    k_chunk: int | None = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"approx_{self.fmt.name}_{self.config.name}"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return approx_matmul(a, b, self.fmt, self.config, k_chunk=self.k_chunk)

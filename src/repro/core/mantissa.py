@@ -1,0 +1,158 @@
+"""Scalar reference models of the in-SRAM approximate mantissa multiplier.
+
+These are the *functional ground truth* for every other implementation in
+the repository (the vectorised numpy kernels in
+:mod:`repro.core.vectorized`, the lookup tables in
+:mod:`repro.core.tables` and the structural bit-level SRAM simulation in
+:mod:`repro.sram.bank` are all cross-validated against this module in the
+test suite).
+
+Terminology follows Sec. III of the paper.  For ``n``-bit unsigned
+operands ``a`` (multiplicand, stored in the SRAM) and ``b`` (multiplier,
+driving the address decoder):
+
+* partial product ``i`` is ``a << i`` and is named with capital letters
+  from the top: ``A = a << (n-1)``, ``B = a << (n-2)``, ..., down to the
+  unshifted multiplicand.
+* ``FLA`` reads the bitwise OR of the partial products selected by the set
+  bits of ``b`` — no adder tree, no carries.
+* ``PC2`` / ``PC3`` store the *exact* sums of every combination of the top
+  2 / top 3 partial products as pre-computed wordlines; the decoder picks
+  the single pre-computed line matching the top bits of ``b`` and ORs it
+  with the remaining plain partial products.
+* the ``_tr`` variants truncate every stored line to the bits at positions
+  ``>= n`` of the ``2n``-bit product, so the read-out is only ``n`` bits
+  wide (the paper's arbitrary truncation, enabled by the absence of
+  carries).
+"""
+
+from __future__ import annotations
+
+from .config import MultiplierConfig
+
+__all__ = [
+    "exact_multiply",
+    "or_multiply",
+    "approx_multiply",
+    "approx_multiply_truncated",
+    "activated_line_values",
+]
+
+
+def _check_operand(value: int, bits: int, name: str) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{name}={value} does not fit in {bits} unsigned bits")
+
+
+def exact_multiply(a: int, b: int, bits: int) -> int:
+    """Exact ``2*bits``-wide product — the adder-tree reference."""
+    _check_operand(a, bits, "a")
+    _check_operand(b, bits, "b")
+    return a * b
+
+
+def or_multiply(a: int, b: int, bits: int) -> int:
+    """FLA multiplier: bitwise OR of the selected partial products."""
+    _check_operand(a, bits, "a")
+    _check_operand(b, bits, "b")
+    acc = 0
+    for i in range(bits):
+        if (b >> i) & 1:
+            acc |= a << i
+    return acc
+
+
+def approx_multiply(a: int, b: int, bits: int, config: MultiplierConfig) -> int:
+    """Approximate product of two ``bits``-wide unsigned integers.
+
+    Implements all five Table I configurations.  The result is the full
+    ``2*bits``-wide value for untruncated configs; for truncated configs it
+    is the ``bits``-wide top half (use
+    :func:`approx_multiply_truncated` semantics: the caller re-scales).
+
+    The pre-computed part is *exact by construction*: a wordline that
+    stores the sum ``A + B (+ C)`` holds precisely
+    ``a * (top_bits_of_b << shift)``.  The OR between that line and the
+    remaining plain partial-product lines is still an OR — matching the
+    wired-OR read of the SRAM.
+    """
+    _check_operand(a, bits, "a")
+    _check_operand(b, bits, "b")
+    k = min(config.precomputed, bits)
+    low_bits = bits - k
+
+    if config.truncated:
+        return approx_multiply_truncated(a, b, bits, config)
+
+    acc = 0
+    if k:
+        top = b >> low_bits
+        acc = a * (top << low_bits)
+    for i in range(low_bits):
+        if (b >> i) & 1:
+            acc |= a << i
+    return acc
+
+
+def approx_multiply_truncated(a: int, b: int, bits: int, config: MultiplierConfig) -> int:
+    """Truncated variant: every stored line keeps bits ``>= bits`` only.
+
+    Returns the ``bits``-wide top half of the product, i.e. a value that
+    approximates ``(a * b) >> bits``.  Truncation is applied to each line
+    *before* the wired OR (that is what the hardware stores), so
+    ``tr(x) | tr(y) == tr(x | y)`` for the plain lines but the pre-computed
+    sum is truncated after being summed exactly.
+    """
+    _check_operand(a, bits, "a")
+    _check_operand(b, bits, "b")
+    k = min(config.precomputed, bits)
+    low_bits = bits - k
+
+    acc = 0
+    if k:
+        top = b >> low_bits
+        acc = (a * (top << low_bits)) >> bits
+    for i in range(low_bits):
+        if (b >> i) & 1:
+            acc |= (a << i) >> bits
+    return acc
+
+
+def activated_line_values(b: int, bits: int, config: MultiplierConfig) -> list[tuple[str, int]]:
+    """Describe which wordlines the decoder activates for multiplier ``b``.
+
+    Returns a list of ``(kind, payload)`` pairs where ``kind`` is either
+    ``"pp"`` (a plain partial product line, payload = shift amount) or
+    ``"pc"`` (a pre-computed line, payload = the top-bits value whose exact
+    sum the line stores, already shifted into position).
+
+    This is the contract between the arithmetic model and the structural
+    SRAM decoder — :mod:`repro.sram.decoder` activates exactly these lines.
+    """
+    _check_operand(b, bits, "b")
+    k = min(config.precomputed, bits)
+    low_bits = bits - k
+
+    lines: list[tuple[str, int]] = []
+    if k:
+        top = b >> low_bits
+        if top:
+            lines.append(("pc", top << low_bits))
+    for i in range(low_bits):
+        if (b >> i) & 1:
+            lines.append(("pp", i))
+    return lines
+
+
+def max_simultaneous_lines(bits: int, config: MultiplierConfig) -> int:
+    """Worst-case number of simultaneously active wordlines.
+
+    One of the paper's arguments for PC3 over FLA (Sec. V-D reason 2):
+    pre-computation reduces how many lines must be activated at once,
+    easing the multiple-wordline-activation constraint of the substrate
+    SRAM [15].
+    """
+    k = min(config.precomputed, bits)
+    low_bits = bits - k
+    pc_lines = 1 if k else 0
+    return pc_lines + low_bits

@@ -1,0 +1,134 @@
+"""Related-work approximate multipliers (the paper's Sec. II-B baselines).
+
+The paper positions its in-SRAM multiplier against two conventional
+(out-of-memory) approximate multiplier families:
+
+* **Lower-part-OR (LPO)** — Guo et al., TENCON'18 [3]: the low ``split``
+  result columns are approximated by ORing the partial products, the
+  upper part is summed exactly ("approximates the lower part of the
+  result via PP bitwise OR").  DAISM's FLA is the limiting case
+  ``split = 2n`` (everything ORed); its ``_tr`` variants drop what LPO
+  approximates.
+* **PP compression** — Qiqieh et al., DATE'17 [2]: adjacent partial
+  products are OR-compressed in ``stages`` rounds, halving their number
+  each round, and the survivors are summed exactly ("decreases PPs by
+  performing bitwise OR operations among them.  However, they still
+  demand adder trees").
+
+Neither can operate in memory — they still need adder trees — which is
+the paper's point; implementing them lets the benchmarks compare error
+behaviour on equal footing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lower_part_or_multiply",
+    "lower_part_or_multiply_array",
+    "compressed_pp_multiply",
+    "compressed_pp_multiply_array",
+]
+
+
+def _check(value: int, bits: int, name: str) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{name}={value} does not fit in {bits} unsigned bits")
+
+
+def lower_part_or_multiply(a: int, b: int, bits: int, split: int) -> int:
+    """Guo-style LPO multiplier: OR below ``split``, exact sum above.
+
+    Each partial product is cut at result column ``split``; the low
+    parts are ORed (no carries), the high parts go through a normal
+    adder.  ``split = 0`` is the exact multiplier, ``split = 2*bits``
+    degenerates to FLA.
+    """
+    _check(a, bits, "a")
+    _check(b, bits, "b")
+    if not 0 <= split <= 2 * bits:
+        raise ValueError(f"split must be in [0, {2 * bits}]")
+    mask = (1 << split) - 1
+    low_or = 0
+    high_sum = 0
+    for i in range(bits):
+        if (b >> i) & 1:
+            pp = a << i
+            low_or |= pp & mask
+            high_sum += pp >> split
+    return (high_sum << split) | low_or
+
+
+def lower_part_or_multiply_array(
+    a: np.ndarray, b: np.ndarray, bits: int, split: int
+) -> np.ndarray:
+    """Vectorised :func:`lower_part_or_multiply`."""
+    if not 0 <= split <= 2 * bits:
+        raise ValueError(f"split must be in [0, {2 * bits}]")
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    mask = np.uint64((1 << split) - 1)
+    low_or = np.zeros(np.broadcast(a, b).shape, dtype=np.uint64)
+    high_sum = np.zeros(np.broadcast(a, b).shape, dtype=np.uint64)
+    for i in range(bits):
+        sel = (b >> np.uint64(i)) & np.uint64(1)
+        lane = sel * np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        pp = (a << np.uint64(i)) & lane
+        low_or |= pp & mask
+        high_sum += pp >> np.uint64(split)
+    return (high_sum << np.uint64(split)) | low_or
+
+
+def compressed_pp_multiply(a: int, b: int, bits: int, stages: int = 1) -> int:
+    """Qiqieh-style PP compression: OR adjacent PP pairs, then add.
+
+    Each stage pairs the partial products ``(0,1), (2,3), ...`` and
+    replaces every pair by its bitwise OR; after ``stages`` rounds the
+    survivors are summed exactly (the adder tree the paper notes these
+    designs still need).  ``stages = 0`` is exact.
+    """
+    _check(a, bits, "a")
+    _check(b, bits, "b")
+    if stages < 0:
+        raise ValueError("stages must be non-negative")
+    pps = [(a << i) if (b >> i) & 1 else 0 for i in range(bits)]
+    for _ in range(stages):
+        if len(pps) <= 1:
+            break
+        merged = []
+        for j in range(0, len(pps) - 1, 2):
+            merged.append(pps[j] | pps[j + 1])
+        if len(pps) % 2:
+            merged.append(pps[-1])
+        pps = merged
+    return sum(pps)
+
+
+def compressed_pp_multiply_array(
+    a: np.ndarray, b: np.ndarray, bits: int, stages: int = 1
+) -> np.ndarray:
+    """Vectorised :func:`compressed_pp_multiply`."""
+    if stages < 0:
+        raise ValueError("stages must be non-negative")
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    shape = np.broadcast(a, b).shape
+    pps = []
+    for i in range(bits):
+        sel = (b >> np.uint64(i)) & np.uint64(1)
+        lane = sel * np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        pps.append(np.broadcast_to((a << np.uint64(i)) & lane, shape).copy())
+    for _ in range(stages):
+        if len(pps) <= 1:
+            break
+        merged = []
+        for j in range(0, len(pps) - 1, 2):
+            merged.append(pps[j] | pps[j + 1])
+        if len(pps) % 2:
+            merged.append(pps[-1])
+        pps = merged
+    total = np.zeros(shape, dtype=np.uint64)
+    for pp in pps:
+        total += pp
+    return total

@@ -1,0 +1,49 @@
+"""Energy/area models: CACTI-lite SRAM, 45 nm components, Fig. 5/6 math."""
+
+from .cacti_lite import CactiLite, SRAMCosts
+from .components import (
+    accumulator_energy_pj,
+    bank_overhead_area_mm2,
+    baseline_multiplier_area_mm2,
+    baseline_multiplier_energy_pj,
+    decoder_energy_pj,
+    exponent_handling_energy_pj,
+    pe_digital_area_mm2,
+    register_file_read_energy_pj,
+    scratchpad_control_area_mm2,
+)
+from .multiplier_energy import (
+    EnergyBreakdown,
+    average_active_lines,
+    baseline_multiplier_energy,
+    computations_per_read,
+    daism_multiplier_energy,
+    energy_improvement_with_exponent,
+)
+from .technology import NODE_28NM, NODE_45NM, NODE_65NM, TechNode, ge_area_mm2, node_by_nm
+
+__all__ = [
+    "CactiLite",
+    "SRAMCosts",
+    "EnergyBreakdown",
+    "average_active_lines",
+    "baseline_multiplier_energy",
+    "computations_per_read",
+    "daism_multiplier_energy",
+    "energy_improvement_with_exponent",
+    "accumulator_energy_pj",
+    "bank_overhead_area_mm2",
+    "baseline_multiplier_area_mm2",
+    "baseline_multiplier_energy_pj",
+    "decoder_energy_pj",
+    "exponent_handling_energy_pj",
+    "pe_digital_area_mm2",
+    "register_file_read_energy_pj",
+    "scratchpad_control_area_mm2",
+    "NODE_28NM",
+    "NODE_45NM",
+    "NODE_65NM",
+    "TechNode",
+    "ge_area_mm2",
+    "node_by_nm",
+]

@@ -1,0 +1,198 @@
+"""CACTI-lite: an analytic SRAM energy/area/latency model at 45 nm.
+
+The paper evaluates its SRAM costs "with CACTI [20], [21] and Synopsys's
+Design Compiler using NANGATE 45nm technology".  Neither tool is
+available offline, so this module provides a small analytic model with
+the same first-order physics CACTI uses:
+
+* a read drives one wordline (gate capacitance per attached cell) and
+  discharges every selected bitline (drain capacitance per cell on the
+  line, limited swing) into a sense amplifier;
+* long arrays are split into **subarray segments** — bitlines are never
+  longer than :data:`SEGMENT_ROWS` cells, which is why per-access energy
+  grows far slower than capacity (and why the paper's finding 3 holds:
+  per-computation energy is roughly flat across bank sizes);
+* area is cell area over an array-efficiency factor plus per-bank
+  periphery.
+
+All constants are CACTI-class magnitudes for a 45 nm bulk process and are
+*named*, so tests can pin the qualitative behaviours (monotonicity,
+segmentation plateaus) independent of exact values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["CactiLite", "SRAMCosts"]
+
+#: 6T cell area at 45 nm [um^2]; published 45 nm cells span 0.30-0.40.
+CELL_AREA_UM2 = 0.30
+#: Fraction of macro area that is cells (rest: decoders, SAs, routing).
+ARRAY_EFFICIENCY = 0.75
+#: Bitline drain capacitance contributed by one cell [fF].
+C_BITLINE_PER_CELL_FF = 0.10
+#: Wordline gate capacitance contributed by one cell [fF].
+C_WORDLINE_PER_CELL_FF = 0.12
+#: Supply voltage [V].
+VDD = 1.0
+#: Sensed bitline swing [V] (limited-swing sensing).
+BITLINE_SWING = 0.20
+#: Sense amplifier energy per column per access [fJ].
+E_SENSE_AMP_FJ = 2.0
+#: Maximum rows on one bitline segment (CACTI-style subarray split).
+SEGMENT_ROWS = 256
+#: Row-decoder energy per access, per log2(rows) stage [fJ].
+E_ROW_DECODE_PER_STAGE_FJ = 6.0
+#: Column-mux / H-tree energy per accessed bit for word reads [fJ].
+E_COLUMN_PATH_PER_BIT_FJ = 8.0
+#: Per-bank periphery area overhead [mm^2] (decoders, SAs, control).
+BANK_PERIPHERY_MM2 = 0.010
+
+
+@dataclasses.dataclass(frozen=True)
+class SRAMCosts:
+    """Bundle of per-access costs for one array geometry."""
+
+    row_read_pj: float
+    word_read_pj: float
+    row_write_pj: float
+    area_mm2: float
+    rows: int
+    cols: int
+
+
+class CactiLite:
+    """Analytic SRAM model; one instance is a parameter set (45 nm default)."""
+
+    def __init__(
+        self,
+        cell_area_um2: float = CELL_AREA_UM2,
+        array_efficiency: float = ARRAY_EFFICIENCY,
+        vdd: float = VDD,
+        segment_rows: int = SEGMENT_ROWS,
+    ):
+        if not 0 < array_efficiency <= 1:
+            raise ValueError("array_efficiency must be in (0, 1]")
+        self.cell_area_um2 = cell_area_um2
+        self.array_efficiency = array_efficiency
+        self.vdd = vdd
+        self.segment_rows = segment_rows
+
+    # -- geometry -------------------------------------------------------
+
+    @staticmethod
+    def square_geometry(capacity_bytes: int) -> tuple[int, int]:
+        """(rows, cols) of the paper's square bank for a capacity."""
+        bits = capacity_bytes * 8
+        side = int(round(math.sqrt(bits)))
+        if side * side != bits:
+            raise ValueError(f"{capacity_bytes} B is not a square bit count")
+        return side, side
+
+    @staticmethod
+    def rectangular_geometry(capacity_bytes: int) -> tuple[int, int]:
+        """Near-square (rows, cols) for arbitrary capacities.
+
+        Rows are the largest power of two not exceeding sqrt(bits) that
+        divides the bit count — what a memory compiler would pick for a
+        buffer that is not the paper's square compute bank (e.g. the
+        Eyeriss 108 kB GLB).
+        """
+        bits = capacity_bytes * 8
+        if bits <= 0:
+            raise ValueError("capacity must be positive")
+        rows = 1 << int(math.floor(math.log2(math.sqrt(bits))))
+        while rows > 1 and bits % rows:
+            rows //= 2
+        return rows, bits // rows
+
+    # -- energy ---------------------------------------------------------
+
+    def _decode_energy_fj(self, rows: int) -> float:
+        stages = max(1, int(math.ceil(math.log2(max(2, rows)))))
+        return stages * E_ROW_DECODE_PER_STAGE_FJ
+
+    def _wordline_energy_fj(self, cols: int) -> float:
+        c_wl = cols * C_WORDLINE_PER_CELL_FF
+        return c_wl * self.vdd * self.vdd
+
+    def _column_energy_fj(self, rows: int) -> float:
+        """Energy to discharge + sense one bitline column."""
+        effective_rows = min(rows, self.segment_rows)
+        c_bl = effective_rows * C_BITLINE_PER_CELL_FF
+        return c_bl * self.vdd * BITLINE_SWING + E_SENSE_AMP_FJ
+
+    def row_read_energy_pj(self, rows: int, cols: int, active_wordlines: float = 1) -> float:
+        """Energy of reading a full row, with optional multi-line activation.
+
+        Multi-wordline activation (the DAISM read) pays one extra wordline
+        drive per additional active line; bitline/sense energy is shared
+        (the wired OR discharges each bitline at most once).
+        """
+        if rows <= 0 or cols <= 0 or active_wordlines <= 0:
+            raise ValueError("rows, cols and active_wordlines must be positive")
+        e_fj = (
+            self._decode_energy_fj(rows)
+            + active_wordlines * self._wordline_energy_fj(cols)
+            + cols * self._column_energy_fj(rows)
+        )
+        return e_fj / 1000.0
+
+    def word_read_energy_pj(self, capacity_bytes: int, word_bits: int) -> float:
+        """Energy of a conventional word read (one subarray row + column path).
+
+        Models CACTI's behaviour for word-granularity access: the selected
+        subarray activates a segment-wide row, then a column mux extracts
+        the word.  Non-square capacities use the near-square geometry a
+        memory compiler would generate.
+        """
+        try:
+            rows, cols = self.square_geometry(capacity_bytes)
+        except ValueError:
+            rows, cols = self.rectangular_geometry(capacity_bytes)
+        seg_cols = min(cols, self.segment_rows)
+        e_fj = (
+            self._decode_energy_fj(rows)
+            + self._wordline_energy_fj(seg_cols)
+            + seg_cols * self._column_energy_fj(rows)
+            + word_bits * E_COLUMN_PATH_PER_BIT_FJ
+        )
+        return e_fj / 1000.0
+
+    def row_write_energy_pj(self, rows: int, cols: int) -> float:
+        """Full-row write: full-swing bitline drive on every column."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        effective_rows = min(rows, self.segment_rows)
+        e_fj = (
+            self._decode_energy_fj(rows)
+            + self._wordline_energy_fj(cols)
+            + cols * (effective_rows * C_BITLINE_PER_CELL_FF * self.vdd * self.vdd)
+        )
+        return e_fj / 1000.0
+
+    # -- area -------------------------------------------------------------
+
+    def area_mm2(self, capacity_bytes: int) -> float:
+        """Macro area of one bank."""
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        bits = capacity_bytes * 8
+        cell_mm2 = bits * self.cell_area_um2 * 1e-6
+        return cell_mm2 / self.array_efficiency + BANK_PERIPHERY_MM2
+
+    # -- bundles ------------------------------------------------------------
+
+    def costs(self, capacity_bytes: int, word_bits: int = 16) -> SRAMCosts:
+        """All per-access costs for a square bank of the given capacity."""
+        rows, cols = self.square_geometry(capacity_bytes)
+        return SRAMCosts(
+            row_read_pj=self.row_read_energy_pj(rows, cols),
+            word_read_pj=self.word_read_energy_pj(capacity_bytes, word_bits),
+            row_write_pj=self.row_write_energy_pj(rows, cols),
+            area_mm2=self.area_mm2(capacity_bytes),
+            rows=rows,
+            cols=cols,
+        )

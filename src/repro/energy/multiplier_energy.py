@@ -1,0 +1,147 @@
+"""Per-computation energy models — the machinery behind Fig. 5 and Fig. 6.
+
+Fig. 5 compares, per multiplication:
+
+* the **baseline**: a conventional (Yin et al. [17]) multiplier in an
+  Eyeriss-like architecture, paying the multiplier itself plus two
+  operand reads from an SRAM buffer of the considered size;
+* **DAISM**: one in-SRAM row read amortised over every element in the
+  row (``side / word_bits`` computations per read), plus the per-row
+  register-file read of the shared input operand and the (tiny) modified
+  address decoder.
+
+Fig. 6 folds in the exponent-handling cost common to both sides and
+reports the relative improvement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import MultiplierConfig
+from ..formats.floatfmt import FloatFormat
+from ..sram.layout import KernelLayout
+from . import components
+from .cacti_lite import CactiLite
+
+__all__ = [
+    "EnergyBreakdown",
+    "computations_per_read",
+    "average_active_lines",
+    "daism_multiplier_energy",
+    "baseline_multiplier_energy",
+    "energy_improvement_with_exponent",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per multiplication, itemised [pJ]."""
+
+    label: str
+    parts: dict[str, float]
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.parts.values())
+
+    def fraction(self, part: str) -> float:
+        """Share of one component in the total."""
+        return self.parts[part] / self.total_pj
+
+    def __str__(self) -> str:
+        items = ", ".join(f"{k}={v:.4f}" for k, v in self.parts.items())
+        return f"{self.label}: total={self.total_pj:.4f} pJ ({items})"
+
+
+def computations_per_read(bank_bytes: int, fmt: FloatFormat, config: MultiplierConfig) -> int:
+    """Products delivered by one row read of a square bank.
+
+    The stored word is ``2n`` bits untruncated and ``n`` bits truncated —
+    truncation "nearly doubles the number of computations per memory
+    read" (paper finding 4).
+    """
+    side, _ = CactiLite.square_geometry(bank_bytes)
+    layout = KernelLayout(config, fmt.significand_bits)
+    comps = side // layout.word_bits
+    if comps == 0:
+        raise ValueError(f"bank of {bank_bytes} B too narrow for {layout.word_bits}-bit words")
+    return comps
+
+
+def average_active_lines(fmt: FloatFormat, config: MultiplierConfig) -> float:
+    """Expected simultaneously-active wordlines for a random FP operand.
+
+    The implicit leading one pins the top bit; each remaining low bit is
+    active with probability 1/2.  PCk replaces the top k bits with exactly
+    one pre-computed line.
+    """
+    n = fmt.significand_bits
+    k = config.precomputed
+    if k:
+        return 1 + (n - k) / 2
+    return 1 + (n - 1) / 2
+
+
+def daism_multiplier_energy(
+    config: MultiplierConfig,
+    fmt: FloatFormat,
+    bank_bytes: int,
+    cacti: CactiLite | None = None,
+) -> EnergyBreakdown:
+    """DAISM energy per multiplication for one bank size (a Fig. 5 bar)."""
+    cacti = cacti or CactiLite()
+    side, _ = CactiLite.square_geometry(bank_bytes)
+    comps = computations_per_read(bank_bytes, fmt, config)
+    lines = average_active_lines(fmt, config)
+
+    row_read = cacti.row_read_energy_pj(side, side, active_wordlines=lines)
+    rf_read = components.register_file_read_energy_pj(fmt.total_bits)
+    decoder = components.decoder_energy_pj(lines)
+
+    return EnergyBreakdown(
+        label=f"DAISM {config.name} {fmt.name} {bank_bytes // 1024}kB",
+        parts={
+            "memory_read": row_read / comps,
+            "register_file": rf_read / comps,
+            "decoder": decoder / comps,
+        },
+    )
+
+
+def baseline_multiplier_energy(
+    fmt: FloatFormat,
+    bank_bytes: int,
+    truncated_columns: int = 0,
+    cacti: CactiLite | None = None,
+) -> EnergyBreakdown:
+    """Baseline energy per multiplication: Yin multiplier + 2 operand reads."""
+    cacti = cacti or CactiLite()
+    word = cacti.word_read_energy_pj(bank_bytes, fmt.total_bits)
+    mult = components.baseline_multiplier_energy_pj(fmt, truncated_columns)
+    return EnergyBreakdown(
+        label=f"baseline {fmt.name} {bank_bytes // 1024}kB",
+        parts={
+            "multiplier": mult,
+            "operand_reads": 2 * word,
+        },
+    )
+
+
+def energy_improvement_with_exponent(
+    config: MultiplierConfig,
+    fmt: FloatFormat,
+    bank_bytes: int,
+    cacti: CactiLite | None = None,
+) -> float:
+    """Fig. 6: baseline/DAISM energy ratio once exponent handling is added.
+
+    Exponent adding and realignment are "common costs for both the
+    baseline and the proposed multipliers"; including them shrinks the
+    relative benefit.
+    """
+    cacti = cacti or CactiLite()
+    exp = components.exponent_handling_energy_pj(fmt)
+    daism = daism_multiplier_energy(config, fmt, bank_bytes, cacti).total_pj + exp
+    base = baseline_multiplier_energy(fmt, bank_bytes, cacti=cacti).total_pj + exp
+    return base / daism

@@ -1,0 +1,34 @@
+"""Floating point formats (float32, bfloat16, custom) and block FP."""
+
+from .bfp import BlockFloat, bfp_matmul
+from .floatfmt import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    FloatFormat,
+    compose,
+    decompose,
+    format_by_name,
+    from_bits,
+    quantize,
+    to_bits,
+)
+
+__all__ = [
+    "BFLOAT16",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT8_E4M3",
+    "FLOAT8_E5M2",
+    "FloatFormat",
+    "compose",
+    "decompose",
+    "format_by_name",
+    "from_bits",
+    "quantize",
+    "to_bits",
+    "BlockFloat",
+    "bfp_matmul",
+]

@@ -1,0 +1,116 @@
+"""Block floating point (BFP) tensors (Sec. IV-B of the paper).
+
+The DAISM pipeline "can only be used to multiply mantissas as unsigned
+integers.  The exponents must be handled separately, similar to how a
+block floating point architecture would work.  This data type only has
+one exponent per matrix, reducing data size and improving performance."
+
+A :class:`BlockFloat` stores a tensor as one shared (per-block) exponent
+plus per-element signed integer mantissas.  Multiplying two BFP blocks
+needs only *integer* mantissa products and a single exponent addition —
+exactly the workload the in-SRAM multiplier accelerates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.config import MultiplierConfig
+from ..core.vectorized import approx_multiply_array
+
+__all__ = ["BlockFloat", "bfp_matmul"]
+
+
+@dataclasses.dataclass
+class BlockFloat:
+    """A tensor in block floating point: one exponent per block.
+
+    ``value = mantissa * 2**(exponent - (mantissa_bits - 1))`` with
+    ``mantissa`` a signed integer of magnitude ``< 2**mantissa_bits``.
+    """
+
+    mantissa: np.ndarray  # int64, signed
+    exponent: int
+    mantissa_bits: int
+
+    @classmethod
+    def from_float(cls, values: np.ndarray, mantissa_bits: int = 8) -> "BlockFloat":
+        """Quantise a float tensor into a single BFP block.
+
+        The shared exponent is chosen so the largest magnitude uses the
+        full mantissa range; all other elements lose the low bits their
+        smaller individual exponents would have kept — the classic BFP
+        trade-off.
+        """
+        if not 2 <= mantissa_bits <= 24:
+            raise ValueError("mantissa_bits must be in [2, 24]")
+        values = np.asarray(values, dtype=np.float64)
+        peak = float(np.max(np.abs(values))) if values.size else 0.0
+        if peak == 0.0:
+            return cls(np.zeros(values.shape, dtype=np.int64), 0, mantissa_bits)
+        exponent = int(np.floor(np.log2(peak)))
+        scale = 2.0 ** (exponent - (mantissa_bits - 1))
+        mant = np.round(values / scale).astype(np.int64)
+        limit = (1 << mantissa_bits) - 1
+        mant = np.clip(mant, -limit, limit)
+        return cls(mant, exponent, mantissa_bits)
+
+    def to_float(self) -> np.ndarray:
+        """Dequantise back to float64."""
+        scale = 2.0 ** (self.exponent - (self.mantissa_bits - 1))
+        return self.mantissa.astype(np.float64) * scale
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.mantissa.shape
+
+    def quantisation_error(self, reference: np.ndarray) -> float:
+        """RMS error of this block against a float reference tensor."""
+        reference = np.asarray(reference, dtype=np.float64)
+        diff = self.to_float() - reference
+        return float(np.sqrt(np.mean(diff * diff)))
+
+
+def bfp_matmul(
+    a: BlockFloat,
+    b: BlockFloat,
+    config: MultiplierConfig | None = None,
+) -> np.ndarray:
+    """Matrix product of two BFP blocks, optionally with approximate products.
+
+    Sign bits are handled outside the unsigned in-SRAM multiplier (the
+    datapath XORs them); the integer magnitude products go through the
+    configured approximate multiplier when ``config`` is given, or are
+    exact otherwise.  Accumulation is exact (int64 / float64).
+    """
+    if a.mantissa.ndim != 2 or b.mantissa.ndim != 2:
+        raise ValueError("bfp_matmul expects 2-D blocks")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+
+    scale = 2.0 ** (
+        a.exponent
+        + b.exponent
+        - (a.mantissa_bits - 1)
+        - (b.mantissa_bits - 1)
+    )
+    if config is None:
+        acc = a.mantissa @ b.mantissa
+        return acc.astype(np.float64) * scale
+
+    bits = max(a.mantissa_bits, b.mantissa_bits)
+    sign_a = np.signbit(a.mantissa.astype(np.float64))
+    sign_b = np.signbit(b.mantissa.astype(np.float64))
+    mag_a = np.abs(a.mantissa).astype(np.uint64)
+    mag_b = np.abs(b.mantissa).astype(np.uint64)
+
+    products = approx_multiply_array(
+        mag_a[:, :, None], mag_b[None, :, :], bits, config
+    ).astype(np.float64)
+    if config.truncated:
+        products = products * float(1 << bits)
+    signs = np.where(sign_a[:, :, None] ^ sign_b[None, :, :], -1.0, 1.0)
+    acc = (products * signs).sum(axis=1)
+    return acc * scale

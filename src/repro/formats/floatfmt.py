@@ -1,0 +1,267 @@
+"""IEEE-754-style floating point formats and bit-level (de)composition.
+
+The DAISM multiplier operates on the *mantissa* of a floating point number
+as an unsigned integer with the implicit leading one made explicit
+(Sec. III-C of the paper).  This module provides:
+
+* :class:`FloatFormat` — a parameterised sign/exponent/mantissa format
+  (``float32``, ``bfloat16``, ``float16`` plus arbitrary custom widths);
+* round-to-nearest-even quantisation of numpy arrays to a format;
+* vectorised decomposition of values into (sign, exponent, significand)
+  triples and recomposition, which is the exact front/back end that the
+  DAISM datapath wraps around its in-SRAM mantissa multiplier.
+
+All bit manipulation goes through the ``float32`` container: every
+supported format is at most 32 bits wide and embeds in float32 exactly
+(bfloat16 and float16 both do).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating point format with 1 sign bit.
+
+    Parameters
+    ----------
+    name:
+        Human readable name (``"float32"``, ``"bfloat16"``, ...).
+    exponent_bits:
+        Width of the biased exponent field.
+    mantissa_bits:
+        Width of the *explicit* mantissa field (fraction bits). The
+        significand processed by the multiplier is one bit wider because
+        of the implicit leading one.
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError("exponent_bits must be >= 2")
+        if not 1 <= self.mantissa_bits <= 23:
+            raise ValueError("mantissa_bits must be in [1, 23] (float32 container)")
+        if self.exponent_bits > 8:
+            raise ValueError("exponent_bits must be <= 8 (float32 container)")
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (``2**(e-1) - 1``)."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def significand_bits(self) -> int:
+        """Mantissa width including the implicit leading one (paper's ``n``)."""
+        return self.mantissa_bits + 1
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width of the format (sign + exponent + mantissa)."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest biased exponent that encodes a finite value."""
+        return (1 << self.exponent_bits) - 2
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Standard IEEE-754 binary32.
+FLOAT32 = FloatFormat("float32", exponent_bits=8, mantissa_bits=23)
+#: Google brain float: float32 with the mantissa cut to 7 bits.
+BFLOAT16 = FloatFormat("bfloat16", exponent_bits=8, mantissa_bits=7)
+#: IEEE-754 binary16.
+FLOAT16 = FloatFormat("float16", exponent_bits=5, mantissa_bits=10)
+#: OCP 8-bit formats — the paper's "any other FP representation can make
+#: use of this multiplier" claim taken to its modern extreme (4-/3-bit
+#: significands through the same in-SRAM datapath).
+FLOAT8_E4M3 = FloatFormat("float8_e4m3", exponent_bits=4, mantissa_bits=3)
+FLOAT8_E5M2 = FloatFormat("float8_e5m2", exponent_bits=5, mantissa_bits=2)
+
+
+def format_by_name(name: str) -> FloatFormat:
+    """Look up one of the built-in formats by name."""
+    table = {
+        f.name: f for f in (FLOAT32, BFLOAT16, FLOAT16, FLOAT8_E4M3, FLOAT8_E5M2)
+    }
+    try:
+        return table[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown float format {name!r}; known: {sorted(table)}") from exc
+
+
+def _as_float32_bits(values: np.ndarray) -> np.ndarray:
+    """View a float array as its uint32 float32 bit pattern."""
+    return np.asarray(values, dtype=np.float32).view(np.uint32)
+
+
+def quantize(values: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Quantise ``values`` to ``fmt`` with round-to-nearest-even.
+
+    The result is returned as ``float32`` (every supported format embeds in
+    float32 exactly).  Exponent-range narrowing (e.g. float16 overflow to
+    inf, flush of too-small magnitudes to zero) is applied for formats with
+    fewer than 8 exponent bits.  Subnormals of the *target* format are
+    flushed to zero — the DAISM datapath bypasses zeros and does not
+    implement gradual underflow, matching the paper's mantissa-with-
+    implicit-one assumption.
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    if fmt.mantissa_bits == 23 and fmt.exponent_bits == 8:
+        return arr.copy()
+
+    bits = arr.view(np.uint32)
+    shift = np.uint32(23 - fmt.mantissa_bits)
+    # Round to nearest even on the mantissa field.  This is the standard
+    # "add half ulp, with the tie broken by the lsb of the kept part" trick;
+    # carries propagating into the exponent are correct by construction.
+    lsb = (bits >> shift) & np.uint32(1)
+    round_bias = np.uint32((1 << (int(shift) - 1)) - 1) if shift else np.uint32(0)
+    rounded = bits + round_bias + lsb if shift else bits.copy()
+    rounded &= ~np.uint32((1 << int(shift)) - 1)
+
+    # NaN/inf must survive rounding: keep the (truncated) original pattern,
+    # and force the quiet bit if truncation would turn a NaN into an inf.
+    special = (bits & np.uint32(0x7F80_0000)) == np.uint32(0x7F80_0000)
+    truncated = bits & ~np.uint32((1 << int(shift)) - 1) if shift else bits
+    was_nan = special & ((bits & np.uint32(0x007F_FFFF)) != 0)
+    quiet = np.uint32(1 << 22)
+    truncated = np.where(was_nan, truncated | quiet, truncated)
+    rounded = np.where(special, truncated, rounded)
+
+    result = rounded.view(np.float32).copy()
+
+    if fmt.exponent_bits < 8:
+        # Narrow the exponent range: overflow -> signed inf, underflow -> 0.
+        exp_unbiased = ((rounded >> np.uint32(23)) & np.uint32(0xFF)).astype(np.int32) - 127
+        max_e = fmt.max_exponent - fmt.bias
+        min_e = 1 - fmt.bias
+        sign = np.where(result < 0, -1.0, 1.0).astype(np.float32)
+        finite = np.isfinite(result)
+        result = np.where(finite & (exp_unbiased > max_e), sign * np.float32(np.inf), result)
+        result = np.where(finite & (exp_unbiased < min_e), np.float32(0.0) * sign, result)
+
+    # Flush target-format subnormals (exponent field 0 in fmt) to zero.
+    if fmt.exponent_bits == 8:
+        tiny = (np.abs(result) > 0) & (np.abs(result) < np.float32(2.0 ** (1 - fmt.bias)))
+        result = np.where(tiny & np.isfinite(result), np.float32(0.0), result)
+    return result
+
+
+def decompose(values: np.ndarray, fmt: FloatFormat) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split finite nonzero values into (sign, unbiased exponent, significand).
+
+    Returns
+    -------
+    sign:
+        ``uint32`` array of 0/1 sign bits.
+    exponent:
+        ``int32`` array of unbiased exponents.
+    significand:
+        ``uint64`` array of ``fmt.significand_bits``-wide integers with the
+        implicit leading one set (zero inputs yield significand 0).
+
+    Inputs are assumed to already be representable in ``fmt`` (use
+    :func:`quantize` first).  Zeros decompose to ``(sign, 0, 0)``.
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    bits = arr.view(np.uint32)
+    sign = (bits >> np.uint32(31)).astype(np.uint32)
+    biased = ((bits >> np.uint32(23)) & np.uint32(0xFF)).astype(np.int32)
+    frac32 = (bits & np.uint32(0x007F_FFFF)).astype(np.uint64)
+
+    shift = 23 - fmt.mantissa_bits
+    frac = frac32 >> np.uint64(shift)
+    significand = frac | np.uint64(1 << fmt.mantissa_bits)
+    exponent = biased - 127
+
+    zero = biased == 0  # zeros and float32 subnormals: flushed
+    significand = np.where(zero, np.uint64(0), significand)
+    exponent = np.where(zero, np.int32(0), exponent).astype(np.int32)
+    return sign, exponent, significand
+
+
+def compose(
+    sign: np.ndarray,
+    exponent: np.ndarray,
+    significand: np.ndarray,
+    fmt: FloatFormat,
+) -> np.ndarray:
+    """Reassemble floats from (sign, unbiased exponent, significand) triples.
+
+    ``significand`` must be ``fmt.significand_bits`` wide with its top bit
+    set for nonzero values (i.e. already normalised); a zero significand
+    produces ±0.  Exponent overflow saturates to ±inf, underflow flushes
+    to zero — the same flush-to-zero policy the DAISM datapath uses.
+    """
+    sign = np.asarray(sign, dtype=np.uint32)
+    exponent = np.asarray(exponent, dtype=np.int64)
+    significand = np.asarray(significand, dtype=np.uint64)
+
+    n = fmt.significand_bits
+    nonzero = significand != 0
+    if np.any((significand >> np.uint64(n)) != 0):
+        raise ValueError("significand wider than format (not normalised)")
+
+    frac32 = (significand & np.uint64((1 << fmt.mantissa_bits) - 1)).astype(np.uint32)
+    frac32 = frac32 << np.uint32(23 - fmt.mantissa_bits)
+    biased = exponent + 127
+
+    overflow = nonzero & (exponent > (fmt.max_exponent - fmt.bias))
+    underflow = nonzero & (exponent < (1 - fmt.bias))
+    ok = nonzero & ~overflow & ~underflow
+
+    bits = np.where(ok, (biased.astype(np.int64) << 23).astype(np.uint32) | frac32, np.uint32(0))
+    bits = np.where(overflow, np.uint32(0x7F80_0000), bits)
+    bits = bits | (sign << np.uint32(31))
+    return bits.view(np.float32)
+
+
+def to_bits(values: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Encode values into ``fmt``'s native integer bit pattern (uint32).
+
+    Mainly used by the SRAM layout code and by tests to reason about the
+    storage representation (``total_bits`` wide, right aligned).
+    """
+    arr = quantize(values, fmt)
+    bits = _as_float32_bits(arr)
+    sign = bits >> np.uint32(31)
+    biased32 = (bits >> np.uint32(23)) & np.uint32(0xFF)
+    frac = (bits & np.uint32(0x007F_FFFF)) >> np.uint32(23 - fmt.mantissa_bits)
+
+    # Re-bias the exponent into the target field width.
+    exp = biased32.astype(np.int64) - 127 + fmt.bias
+    exp = np.clip(exp, 0, (1 << fmt.exponent_bits) - 1).astype(np.uint32)
+    exp = np.where(biased32 == 0, np.uint32(0), exp)
+
+    packed = (sign << np.uint32(fmt.exponent_bits + fmt.mantissa_bits)) | (
+        exp << np.uint32(fmt.mantissa_bits)
+    ) | frac
+    return packed
+
+
+def from_bits(bits: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Decode ``fmt``-native bit patterns (as produced by :func:`to_bits`)."""
+    bits = np.asarray(bits, dtype=np.uint32)
+    sign = (bits >> np.uint32(fmt.exponent_bits + fmt.mantissa_bits)) & np.uint32(1)
+    exp = (bits >> np.uint32(fmt.mantissa_bits)) & np.uint32((1 << fmt.exponent_bits) - 1)
+    frac = bits & np.uint32((1 << fmt.mantissa_bits) - 1)
+
+    biased32 = exp.astype(np.int64) - fmt.bias + 127
+    is_zero = exp == 0
+    is_inf = exp == (1 << fmt.exponent_bits) - 1
+    biased32 = np.where(is_zero, 0, biased32)
+    biased32 = np.where(is_inf, 0xFF, biased32).astype(np.uint32)
+
+    frac32 = frac.astype(np.uint32) << np.uint32(23 - fmt.mantissa_bits)
+    out = (sign << np.uint32(31)) | (biased32 << np.uint32(23)) | frac32
+    return out.view(np.float32)

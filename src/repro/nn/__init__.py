@@ -1,0 +1,77 @@
+"""Pure-numpy DNN framework with swappable arithmetic backends."""
+
+from .backend import (
+    BfpMatmul,
+    bfp_backend,
+    daism_backend,
+    default_backend,
+    exact_backend,
+    quantized_backend,
+    set_default_backend,
+    use_backend,
+)
+from .data import Dataset, blobs_dataset, iterate_batches, shapes_dataset
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from .metrics import confusion_matrix, per_class_accuracy, top_k_accuracy
+from .models import build_lenet, build_mini_resnet, build_mlp, build_vgg_small, model_zoo
+from .optim import SGD, Adam
+from .serialize import load_state_dict, load_weights, save_weights, state_dict
+from .train import TrainResult, accuracy_comparison, evaluate, train
+
+__all__ = [
+    "BfpMatmul",
+    "bfp_backend",
+    "daism_backend",
+    "default_backend",
+    "exact_backend",
+    "quantized_backend",
+    "set_default_backend",
+    "use_backend",
+    "Dataset",
+    "blobs_dataset",
+    "iterate_batches",
+    "shapes_dataset",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Residual",
+    "Sequential",
+    "build_lenet",
+    "build_mini_resnet",
+    "build_mlp",
+    "build_vgg_small",
+    "model_zoo",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "top_k_accuracy",
+    "SGD",
+    "Adam",
+    "load_state_dict",
+    "load_weights",
+    "save_weights",
+    "state_dict",
+    "TrainResult",
+    "accuracy_comparison",
+    "evaluate",
+    "train",
+]

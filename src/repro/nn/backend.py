@@ -1,0 +1,113 @@
+"""Pluggable arithmetic backends for the DNN stack.
+
+Every multiply-heavy operation in :mod:`repro.nn` (conv, linear) funnels
+through a single ``matmul`` so the arithmetic can be swapped without
+touching model code:
+
+* exact float32 (the paper's baseline),
+* quantised-only (bfloat16 storage, exact products),
+* full DAISM (bfloat16 + approximate in-SRAM products).
+
+A process-wide default backend can be set temporarily with
+:func:`use_backend` — this is how the Fig. 4 benchmark runs the *same*
+trained model under different arithmetic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from ..core.config import MultiplierConfig
+from ..core.gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul
+from ..formats.floatfmt import BFLOAT16, FloatFormat
+
+__all__ = [
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
+    "daism_backend",
+    "exact_backend",
+    "quantized_backend",
+    "bfp_backend",
+    "BfpMatmul",
+]
+
+_DEFAULT: MatmulBackend = ExactMatmul()
+
+
+def default_backend() -> MatmulBackend:
+    """The backend used when a layer is not given an explicit one."""
+    return _DEFAULT
+
+
+def set_default_backend(backend: MatmulBackend) -> MatmulBackend:
+    """Set the process-wide backend; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = backend
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(backend: MatmulBackend):
+    """Temporarily switch the default backend (context manager)."""
+    previous = set_default_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_default_backend(previous)
+
+
+def exact_backend() -> MatmulBackend:
+    """Exact float32 arithmetic."""
+    return ExactMatmul()
+
+
+def quantized_backend(fmt: FloatFormat = BFLOAT16) -> MatmulBackend:
+    """Narrow storage, exact products (quantisation-only ablation)."""
+    return QuantizedMatmul(fmt)
+
+
+def daism_backend(
+    config: MultiplierConfig, fmt: FloatFormat = BFLOAT16
+) -> MatmulBackend:
+    """Full DAISM arithmetic: ``fmt`` storage + approximate products."""
+    return ApproxMatmul(fmt=fmt, config=config)
+
+
+class BfpMatmul(MatmulBackend):
+    """Block floating point GEMM (Sec. IV-B): one exponent per matrix.
+
+    Each operand matrix is quantised to a single BFP block (shared
+    exponent, integer mantissas); the integer mantissa products run
+    through the configured approximate multiplier.  This is the "any
+    other FP representation can make use of this multiplier" claim made
+    concrete.
+    """
+
+    def __init__(self, config: MultiplierConfig | None = None, mantissa_bits: int = 8):
+        from ..formats.bfp import BlockFloat, bfp_matmul
+
+        self._block_float = BlockFloat
+        self._bfp_matmul = bfp_matmul
+        self.config = config
+        self.mantissa_bits = mantissa_bits
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        suffix = self.config.name if self.config else "exact"
+        return f"bfp{self.mantissa_bits}_{suffix}"
+
+    def matmul(self, a, b):
+        import numpy as np
+
+        block_a = self._block_float.from_float(a, self.mantissa_bits)
+        block_b = self._block_float.from_float(b, self.mantissa_bits)
+        return self._bfp_matmul(block_a, block_b, config=self.config).astype(np.float32)
+
+
+def bfp_backend(
+    config: MultiplierConfig | None = None, mantissa_bits: int = 8
+) -> MatmulBackend:
+    """Block-floating-point backend (optionally with approximate products)."""
+    return BfpMatmul(config=config, mantissa_bits=mantissa_bits)

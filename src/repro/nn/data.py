@@ -1,0 +1,134 @@
+"""Synthetic image datasets (the offline stand-in for ImageNet).
+
+The paper's accuracy study (Fig. 4) runs ImageNet-trained CNNs; with no
+network access we train small CNNs on procedurally generated data whose
+decision structure still requires real convolutional features:
+
+* :func:`shapes_dataset` — grayscale or RGB images of randomly placed,
+  sized and rotated geometric shapes (disk, square, cross, ring) with
+  additive noise; classifying them needs edge/curvature features, so the
+  approximate-arithmetic sensitivity of a trained CNN is exercised the
+  same way a natural-image model's is.
+* :func:`blobs_dataset` — Gaussian-blob vectors for MLP tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["Dataset", "shapes_dataset", "blobs_dataset", "iterate_batches", "SHAPE_CLASSES"]
+
+SHAPE_CLASSES = ("disk", "square", "cross", "ring")
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A labelled split pair."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.train_y.max()) + 1
+
+
+def _render_shape(
+    rng: np.random.Generator, size: int, kind: str
+) -> np.ndarray:
+    """One ``size x size`` grayscale image of the given shape."""
+    img = np.zeros((size, size), dtype=np.float32)
+    cy, cx = rng.uniform(size * 0.3, size * 0.7, size=2)
+    radius = rng.uniform(size * 0.15, size * 0.3)
+    yy, xx = np.mgrid[0:size, 0:size]
+    dy, dx = yy - cy, xx - cx
+    dist = np.sqrt(dy * dy + dx * dx)
+
+    if kind == "disk":
+        img[dist <= radius] = 1.0
+    elif kind == "square":
+        img[(np.abs(dy) <= radius) & (np.abs(dx) <= radius)] = 1.0
+    elif kind == "cross":
+        arm = max(1.0, radius * 0.35)
+        img[(np.abs(dy) <= arm) & (np.abs(dx) <= radius)] = 1.0
+        img[(np.abs(dx) <= arm) & (np.abs(dy) <= radius)] = 1.0
+    elif kind == "ring":
+        img[(dist <= radius) & (dist >= radius * 0.55)] = 1.0
+    else:
+        raise ValueError(f"unknown shape kind {kind!r}")
+    return img
+
+
+def shapes_dataset(
+    n_train: int = 512,
+    n_test: int = 256,
+    size: int = 16,
+    channels: int = 1,
+    noise: float = 0.15,
+    seed: int = 0,
+    classes: tuple[str, ...] = SHAPE_CLASSES,
+) -> Dataset:
+    """Procedural shape-classification images, ``(N, C, size, size)``.
+
+    Intensity contrast varies per sample and Gaussian noise is added, so
+    the classes are not separable by mean intensity — the classifier must
+    learn spatial features.
+    """
+    rng = np.random.default_rng(seed)
+
+    def make(n: int) -> tuple[np.ndarray, np.ndarray]:
+        x = np.zeros((n, channels, size, size), dtype=np.float32)
+        y = rng.integers(0, len(classes), size=n)
+        for i in range(n):
+            base = _render_shape(rng, size, classes[int(y[i])])
+            contrast = rng.uniform(0.6, 1.2)
+            for c in range(channels):
+                chan = base * contrast * rng.uniform(0.7, 1.0)
+                chan = chan + rng.normal(0.0, noise, size=(size, size))
+                x[i, c] = chan
+        return x.astype(np.float32), y.astype(np.int64)
+
+    train_x, train_y = make(n_train)
+    test_x, test_y = make(n_test)
+    return Dataset(train_x, train_y, test_x, test_y)
+
+
+def blobs_dataset(
+    n_train: int = 1024,
+    n_test: int = 512,
+    features: int = 32,
+    num_classes: int = 4,
+    spread: float = 1.6,
+    seed: int = 0,
+) -> Dataset:
+    """Gaussian blobs in feature space (MLP workload)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, features)) * spread
+
+    def make(n: int) -> tuple[np.ndarray, np.ndarray]:
+        y = rng.integers(0, num_classes, size=n)
+        x = centers[y] + rng.standard_normal((n, features))
+        return x.astype(np.float32), y.astype(np.int64)
+
+    train_x, train_y = make(n_train)
+    test_x, test_y = make(n_test)
+    return Dataset(train_x, train_y, test_x, test_y)
+
+
+def iterate_batches(
+    x: np.ndarray, y: np.ndarray, batch_size: int, rng: np.random.Generator | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled mini-batches (the last ragged batch is kept)."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    order = np.arange(len(x))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(x), batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]

@@ -1,0 +1,196 @@
+"""Functional building blocks: im2col convolution, pooling, losses.
+
+All dense products route through a :class:`~repro.core.gemm.MatmulBackend`
+so the whole network can run on exact float32 or on the DAISM
+approximate datapath (Sec. V-A of the paper evaluates full CNNs that
+way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gemm import MatmulBackend
+from .backend import default_backend
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool_global_forward",
+    "avgpool_global_backward",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+]
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(f"kernel {kernel} does not fit input of size {size}")
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * K * K)`` patches.
+
+    This is the kernel flattening of Fig. 3: convolution becomes a GEMM
+    between patch rows and flattened kernels.
+    """
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, padding)
+    ow = _out_size(w, kernel, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    # Gather with stride tricks: windows (N, C, K, K, OH, OW).
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kernel * kernel)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch gradients back to the input tensor (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, padding)
+    ow = _out_size(w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=np.float32)
+    cols6 = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    for kh in range(kernel):
+        h_slice = slice(kh, kh + stride * oh, stride)
+        for kw in range(kernel):
+            w_slice = slice(kw, kw + stride * ow, stride)
+            padded[:, :, h_slice, w_slice] += cols6[:, :, kh, kw]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    backend: MatmulBackend | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convolution via im2col GEMM.  Returns ``(output, cols_cache)``.
+
+    ``weight`` has shape ``(F, C, K, K)``.
+    """
+    backend = backend or default_backend()
+    n, _c, h, w = x.shape
+    f, _, kernel, _ = weight.shape
+    oh = _out_size(h, kernel, stride, padding)
+    ow = _out_size(w, kernel, stride, padding)
+
+    cols = im2col(x, kernel, stride, padding)
+    wmat = weight.reshape(f, -1).T  # (C*K*K, F)
+    out = backend.matmul(cols, wmat)
+    if bias is not None:
+        out = out + bias[None, :]
+    out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+    return np.ascontiguousarray(out, dtype=np.float32), cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    cols: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+    backend: MatmulBackend | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of the im2col convolution: ``(dx, dweight, dbias)``.
+
+    The two backward GEMMs also run on the configured backend — on the
+    accelerator, training's backward passes are the same in-SRAM GEMMs
+    (the paper targets "DNN Training and Inference").
+    """
+    backend = backend or default_backend()
+    f, c, kernel, _ = weight.shape
+    n = x_shape[0]
+    grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, f)  # (N*OH*OW, F)
+
+    dbias = grad_mat.sum(axis=0)
+    dweight = backend.matmul(grad_mat.T, cols).reshape(f, c, kernel, kernel)
+    dcols = backend.matmul(grad_mat, weight.reshape(f, -1))
+    dx = col2im(dcols, x_shape, kernel, stride, padding)
+    return dx.astype(np.float32), dweight.astype(np.float32), dbias.astype(np.float32)
+
+
+def maxpool2d_forward(x: np.ndarray, size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Non-overlapping max pooling.  Returns ``(output, argmax_cache)``."""
+    n, c, h, w = x.shape
+    if h % size or w % size:
+        raise ValueError(f"spatial dims {h}x{w} not divisible by pool size {size}")
+    oh, ow = h // size, w // size
+    windows = x.reshape(n, c, oh, size, ow, size).transpose(0, 1, 2, 4, 3, 5)
+    flat = windows.reshape(n, c, oh, ow, size * size)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return out.astype(np.float32), arg
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray, arg: np.ndarray, x_shape: tuple[int, int, int, int], size: int
+) -> np.ndarray:
+    """Route gradients to the argmax positions."""
+    n, c, h, w = x_shape
+    oh, ow = h // size, w // size
+    flat = np.zeros((n, c, oh, ow, size * size), dtype=np.float32)
+    np.put_along_axis(flat, arg[..., None], grad_out[..., None], axis=-1)
+    windows = flat.reshape(n, c, oh, ow, size, size).transpose(0, 1, 2, 4, 3, 5)
+    return windows.reshape(n, c, h, w)
+
+
+def avgpool_global_forward(x: np.ndarray) -> np.ndarray:
+    """Global average pooling ``(N, C, H, W) -> (N, C)``."""
+    return x.mean(axis=(2, 3), dtype=np.float32)
+
+
+def avgpool_global_backward(grad_out: np.ndarray, x_shape: tuple[int, int, int, int]) -> np.ndarray:
+    """Spread gradients uniformly over the pooled window."""
+    n, c, h, w = x_shape
+    scale = np.float32(1.0 / (h * w))
+    return np.broadcast_to(grad_out[:, :, None, None] * scale, x_shape).astype(np.float32)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax (numerically stabilised)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer labels."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    picked = probs[np.arange(n), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits."""
+    n = logits.shape[0]
+    grad = softmax(logits)
+    grad[np.arange(n), labels] -= 1.0
+    return (grad / n).astype(np.float32)

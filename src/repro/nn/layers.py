@@ -1,0 +1,376 @@
+"""Layer modules with explicit forward/backward (no autograd framework).
+
+A tiny PyTorch-shaped stack: :class:`Module` with parameters,
+``forward``/``backward`` pairs that cache what they need, and containers
+(:class:`Sequential`, :class:`Residual`).  Multiply-heavy layers accept a
+:class:`~repro.core.gemm.MatmulBackend` (or fall back to the process
+default), which is the single switch between exact float32 and the DAISM
+approximate datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gemm import MatmulBackend
+from . import functional as F
+from .backend import default_backend
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "MaxPool2d",
+    "GlobalAvgPool",
+    "BatchNorm2d",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "Residual",
+]
+
+
+class Parameter:
+    """A learnable tensor with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class: a forward/backward pair plus parameter discovery."""
+
+    training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(np.float32)
+
+
+class Conv2d(Module):
+    """2-D convolution via the backend GEMM (He initialisation)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 1,
+        bias: bool = True,
+        backend: MatmulBackend | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(
+            _he_init(rng, (out_channels, in_channels, kernel, kernel), fan_in), "conv.weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), "conv.bias") if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.backend = backend
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        backend = self.backend or default_backend()
+        out, cols = F.conv2d_forward(
+            x, self.weight.data, self.bias.data if self.bias else None,
+            self.stride, self.padding, backend,
+        )
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        backend = self.backend or default_backend()
+        x_shape, cols = self._cache
+        dx, dw, db = F.conv2d_backward(
+            grad, x_shape, cols, self.weight.data, self.stride, self.padding, backend
+        )
+        self.weight.grad += dw
+        if self.bias is not None:
+            self.bias.grad += db
+        return dx
+
+
+class Linear(Module):
+    """Fully connected layer via the backend GEMM."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        backend: MatmulBackend | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            _he_init(rng, (out_features, in_features), in_features), "linear.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
+        self.backend = backend
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        backend = self.backend or default_backend()
+        self._x = x
+        out = backend.matmul(x, self.weight.data.T)
+        if self.bias is not None:
+            out = out + self.bias.data[None, :]
+        return out.astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        backend = self.backend or default_backend()
+        self.weight.grad += backend.matmul(grad.T, self._x)
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return backend.matmul(grad, self.weight.data).astype(np.float32)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, 0.0).astype(np.float32)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, size: int = 2):
+        self.size = size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, arg = F.maxpool2d_forward(x, self.size)
+        self._cache = (x.shape, arg)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, arg = self._cache
+        return F.maxpool2d_backward(grad, arg, x_shape, self.size)
+
+
+class GlobalAvgPool(Module):
+    """Global average pooling to ``(N, C)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return F.avgpool_global_forward(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return F.avgpool_global_backward(grad, self._shape)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel, with running stats."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(channels), "bn.gamma")
+        self.beta = Parameter(np.zeros(channels), "bn.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std)
+        out = self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]
+        return out.astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        n, _c, h, w = grad.shape
+        m = n * h * w
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+
+        g = grad * self.gamma.data[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (inv_std[None, :, None, None] / m) * (m * g - sum_g - x_hat * sum_gx)
+        return dx.astype(np.float32)
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode).
+
+    Besides regularisation, dropout increases activation sparsity — the
+    very signal the DAISM zero-bypass exploits (see
+    :mod:`repro.arch.scheduler`).
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return (x * self._mask).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return (grad * self._mask).astype(np.float32)
+
+
+class Flatten(Module):
+    """``(N, ...) -> (N, prod)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+
+class Sequential(Module):
+    """Chain of modules executed in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for module in self.modules:
+            params.extend(module.parameters())
+        return params
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for module in self.modules:
+            module._set_mode(training)
+
+
+class Residual(Module):
+    """``y = f(x) + shortcut(x)`` — the ResNet building block."""
+
+    def __init__(self, body: Module, shortcut: Module | None = None):
+        self.body = body
+        self.shortcut = shortcut
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.body(x)
+        skip = self.shortcut(x) if self.shortcut is not None else x
+        if main.shape != skip.shape:
+            raise ValueError(f"residual shape mismatch: {main.shape} vs {skip.shape}")
+        return (main + skip).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        d_main = self.body.backward(grad)
+        d_skip = self.shortcut.backward(grad) if self.shortcut is not None else grad
+        return (d_main + d_skip).astype(np.float32)
+
+    def parameters(self) -> list[Parameter]:
+        params = self.body.parameters()
+        if self.shortcut is not None:
+            params.extend(self.shortcut.parameters())
+        return params
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        self.body._set_mode(training)
+        if self.shortcut is not None:
+            self.shortcut._set_mode(training)

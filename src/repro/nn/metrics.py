@@ -1,0 +1,47 @@
+"""Evaluation metrics beyond top-1 accuracy.
+
+Used by the accuracy studies to look *inside* a Fig. 4 delta: whether
+approximate arithmetic degrades specific classes (it shifts logits
+systematically downward, which affects near-boundary samples first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_accuracy", "confusion_matrix", "per_class_accuracy"]
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose true label is among the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or len(logits) != len(labels):
+        raise ValueError("logits must be (N, C) matching N labels")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}]")
+    topk = np.argsort(logits, axis=1)[:, -k:]
+    return float(np.mean([label in row for label, row in zip(labels, topk)]))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """``M[i, j]`` = count of samples with true class i predicted as j."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), labels.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Recall per true class (NaN for classes absent from ``labels``)."""
+    matrix = confusion_matrix(predictions, labels)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

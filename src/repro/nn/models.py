@@ -1,0 +1,124 @@
+"""Model zoo for the accuracy study (Fig. 4's CNN suite, scaled down).
+
+The paper evaluates "large CNNs" (ResNet-50-class) trained on ImageNet.
+Offline we use the same architectural families at dataset-appropriate
+scale: a LeNet-style CNN, a VGG-style CNN (the paper's own architecture
+workload), a residual network, and an MLP.  The Fig. 4 benchmark trains
+each in float32 and re-evaluates it under bfloat16 PC3_tr arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+)
+
+__all__ = ["build_mlp", "build_lenet", "build_vgg_small", "build_mini_resnet", "model_zoo"]
+
+
+def build_mlp(
+    in_features: int = 32, hidden: int = 64, num_classes: int = 4, seed: int = 0
+) -> Module:
+    """Two-hidden-layer MLP."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(in_features, hidden, rng=rng),
+        ReLU(),
+        Linear(hidden, hidden, rng=rng),
+        ReLU(),
+        Linear(hidden, num_classes, rng=rng),
+    )
+
+
+def build_lenet(
+    in_channels: int = 1, num_classes: int = 4, size: int = 16, seed: int = 0
+) -> Module:
+    """LeNet-style CNN: two conv+pool stages and two FC layers."""
+    rng = np.random.default_rng(seed)
+    feat = size // 4
+    return Sequential(
+        Conv2d(in_channels, 8, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(16 * feat * feat, 32, rng=rng),
+        ReLU(),
+        Linear(32, num_classes, rng=rng),
+    )
+
+
+def build_vgg_small(
+    in_channels: int = 1, num_classes: int = 4, size: int = 16, seed: int = 0
+) -> Module:
+    """VGG-style CNN: stacked 3x3 convs with BN, doubling widths."""
+    rng = np.random.default_rng(seed)
+    feat = size // 8
+    return Sequential(
+        Conv2d(in_channels, 16, 3, rng=rng),
+        BatchNorm2d(16),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(16, 32, 3, rng=rng),
+        BatchNorm2d(32),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(32, 64, 3, rng=rng),
+        BatchNorm2d(64),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(64 * feat * feat, num_classes, rng=rng),
+    )
+
+
+def _res_block(channels: int, rng: np.random.Generator) -> Module:
+    body = Sequential(
+        Conv2d(channels, channels, 3, rng=rng),
+        BatchNorm2d(channels),
+        ReLU(),
+        Conv2d(channels, channels, 3, rng=rng),
+        BatchNorm2d(channels),
+    )
+    return Sequential(Residual(body), ReLU())
+
+
+def build_mini_resnet(
+    in_channels: int = 1, num_classes: int = 4, width: int = 16, seed: int = 0
+) -> Module:
+    """Residual CNN (ResNet family at small scale): stem + 2 blocks + GAP."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(in_channels, width, 3, rng=rng),
+        BatchNorm2d(width),
+        ReLU(),
+        _res_block(width, rng),
+        MaxPool2d(2),
+        _res_block(width, rng),
+        GlobalAvgPool(),
+        Linear(width, num_classes, rng=rng),
+    )
+
+
+def model_zoo(
+    in_channels: int = 1, num_classes: int = 4, size: int = 16, seed: int = 0
+) -> dict[str, Module]:
+    """The Fig. 4 model suite, keyed by family name."""
+    return {
+        "lenet": build_lenet(in_channels, num_classes, size, seed),
+        "vgg_small": build_vgg_small(in_channels, num_classes, size, seed),
+        "mini_resnet": build_mini_resnet(in_channels, num_classes, seed=seed),
+    }

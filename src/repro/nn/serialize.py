@@ -1,0 +1,81 @@
+"""Weight (de)serialisation for the numpy DNN stack.
+
+Models are plain Python objects; their state is the ordered list of
+parameter tensors plus BatchNorm running statistics.  ``save_weights``
+writes a single ``.npz``; ``load_weights`` restores into an identically
+constructed model (same builder, same seed structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import BatchNorm2d, Module
+
+__all__ = ["state_dict", "load_state_dict", "save_weights", "load_weights"]
+
+
+def _batchnorms(model: Module) -> list[BatchNorm2d]:
+    found: list[BatchNorm2d] = []
+
+    def walk(module: Module) -> None:
+        if isinstance(module, BatchNorm2d):
+            found.append(module)
+        for value in vars(module).values():
+            if isinstance(value, Module):
+                walk(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Module):
+                        walk(item)
+
+    walk(model)
+    return found
+
+
+def state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Flatten a model's learnable + running state into named arrays."""
+    state: dict[str, np.ndarray] = {}
+    for i, p in enumerate(model.parameters()):
+        state[f"param_{i:03d}_{p.name}"] = p.data
+    for i, bn in enumerate(_batchnorms(model)):
+        state[f"bn_{i:03d}_running_mean"] = bn.running_mean
+        state[f"bn_{i:03d}_running_var"] = bn.running_var
+    return state
+
+
+def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
+    """Restore state produced by :func:`state_dict` into ``model``.
+
+    The model must have the same architecture (same parameter order and
+    shapes); mismatches raise ``ValueError``.
+    """
+    params = model.parameters()
+    param_keys = sorted(k for k in state if k.startswith("param_"))
+    if len(param_keys) != len(params):
+        raise ValueError(
+            f"state has {len(param_keys)} parameters, model has {len(params)}"
+        )
+    for key, p in zip(param_keys, params):
+        data = state[key]
+        if data.shape != p.data.shape:
+            raise ValueError(f"{key}: shape {data.shape} != model {p.data.shape}")
+        p.data[...] = data
+    bns = _batchnorms(model)
+    for i, bn in enumerate(bns):
+        mean_key = f"bn_{i:03d}_running_mean"
+        var_key = f"bn_{i:03d}_running_var"
+        if mean_key in state:
+            bn.running_mean = state[mean_key].copy()
+            bn.running_var = state[var_key].copy()
+
+
+def save_weights(model: Module, path: str) -> None:
+    """Write the model state to an ``.npz`` file."""
+    np.savez(path, **state_dict(model))
+
+
+def load_weights(model: Module, path: str) -> None:
+    """Load an ``.npz`` written by :func:`save_weights` into ``model``."""
+    with np.load(path) as data:
+        load_state_dict(model, dict(data))

@@ -1,0 +1,113 @@
+"""Training/evaluation loops and the Fig. 4 accuracy-comparison helper."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.gemm import MatmulBackend
+from . import functional as F
+from .backend import use_backend
+from .data import Dataset, iterate_batches
+from .layers import Module
+from .optim import SGD
+
+__all__ = ["TrainResult", "train", "evaluate", "accuracy_comparison"]
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: list[float]
+    train_accuracy: float
+    test_accuracy: float
+
+
+def evaluate(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 64,
+    backend: MatmulBackend | None = None,
+) -> float:
+    """Top-1 accuracy of a model on a labelled set, under a backend."""
+    model.eval()
+    correct = 0
+
+    def run() -> None:
+        nonlocal correct
+        for bx, by in iterate_batches(x, y, batch_size):
+            logits = model(bx)
+            correct += int((logits.argmax(axis=1) == by).sum())
+
+    if backend is not None:
+        with use_backend(backend):
+            run()
+    else:
+        run()
+    return correct / len(y)
+
+
+def train(
+    model: Module,
+    data: Dataset,
+    epochs: int = 8,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    weight_decay: float = 1e-4,
+    seed: int = 0,
+    backend: MatmulBackend | None = None,
+) -> TrainResult:
+    """SGD training with cross-entropy loss.
+
+    When ``backend`` is given, *both* forward and backward GEMMs run on
+    it — this is the paper's training claim (DAISM accelerates "DNN
+    Training and Inference"): gradients flow through the same approximate
+    in-SRAM products.
+    """
+    rng = np.random.default_rng(seed)
+    optimiser = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    losses: list[float] = []
+
+    def run() -> None:
+        for _epoch in range(epochs):
+            model.train()
+            for bx, by in iterate_batches(data.train_x, data.train_y, batch_size, rng):
+                optimiser.zero_grad()
+                logits = model(bx)
+                losses.append(F.cross_entropy(logits, by))
+                model.backward(F.cross_entropy_grad(logits, by))
+                optimiser.step()
+
+    if backend is not None:
+        with use_backend(backend):
+            run()
+    else:
+        run()
+
+    return TrainResult(
+        losses=losses,
+        train_accuracy=evaluate(model, data.train_x, data.train_y, backend=backend),
+        test_accuracy=evaluate(model, data.test_x, data.test_y, backend=backend),
+    )
+
+
+def accuracy_comparison(
+    model: Module,
+    data: Dataset,
+    backends: dict[str, MatmulBackend],
+    batch_size: int = 64,
+) -> dict[str, float]:
+    """Evaluate one trained model under several arithmetic backends.
+
+    This is the Fig. 4 primitive: the float32-trained model is re-run
+    with bfloat16 PC3_tr (and any other configurations) and the top-1
+    accuracies are compared.
+    """
+    return {
+        name: evaluate(model, data.test_x, data.test_y, batch_size, backend)
+        for name, backend in backends.items()
+    }

@@ -1,0 +1,25 @@
+"""Bit-level SRAM substrate: wired-OR array, decoders, layouts, banks."""
+
+from .array import AccessStats, SRAMArray
+from .bank import ComputeBank, InSRAMMultiplier
+from .decoder import AddressDecoder, DecoderStats
+from .faults import FaultModel, FaultySRAMArray, inject_random_faults
+from .layout import KernelLayout, LineSpec
+from .timing import max_clock_mhz, read_latency_ns, supports_clock
+
+__all__ = [
+    "AccessStats",
+    "SRAMArray",
+    "ComputeBank",
+    "InSRAMMultiplier",
+    "AddressDecoder",
+    "DecoderStats",
+    "FaultModel",
+    "FaultySRAMArray",
+    "inject_random_faults",
+    "KernelLayout",
+    "LineSpec",
+    "max_clock_mhz",
+    "read_latency_ns",
+    "supports_clock",
+]

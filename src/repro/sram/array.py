@@ -1,0 +1,160 @@
+"""Bit-level model of the modified SRAM substrate (Dong et al. [15]).
+
+The paper's multiplier rests on one circuit-level capability: activating
+*multiple wordlines* of a conventional 6T/4+2T SRAM at once, so that each
+bitline senses the wired **OR** of every activated cell in its column
+(reading a single wordline degenerates to a normal read).  [15] showed
+this needs only a modified address decoder and re-wired sense amplifiers.
+
+:class:`SRAMArray` models exactly that contract at the bit level, plus
+access counters that the energy model and tests hook into.  It knows
+nothing about multipliers — that logic lives in
+:mod:`repro.sram.decoder` / :mod:`repro.sram.bank`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["SRAMArray", "AccessStats"]
+
+
+@dataclasses.dataclass
+class AccessStats:
+    """Counters of array activity, reset with :meth:`SRAMArray.reset_stats`.
+
+    ``wordline_activations`` counts every wordline raised (a multi-line
+    read of k lines adds k); ``row_reads`` counts read operations
+    (sense-amplifier fire events); ``row_writes`` counts write operations.
+    """
+
+    wordline_activations: int = 0
+    row_reads: int = 0
+    row_writes: int = 0
+
+    def reset(self) -> None:
+        self.wordline_activations = 0
+        self.row_reads = 0
+        self.row_writes = 0
+
+
+class SRAMArray:
+    """A ``rows x cols`` SRAM with multi-wordline wired-OR reads.
+
+    Parameters
+    ----------
+    rows:
+        Number of wordlines.
+    cols:
+        Number of bitline pairs (bits per wordline).
+    max_active_wordlines:
+        Circuit limit on simultaneously active wordlines.  [15]
+        demonstrates multi-line activation is viable; the limit models the
+        signal-margin constraint that makes the paper prefer PC3 (fewer
+        simultaneously active lines, Sec. V-D).  ``None`` means unlimited.
+    """
+
+    def __init__(self, rows: int, cols: int, max_active_wordlines: int | None = None):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if max_active_wordlines is not None and max_active_wordlines < 1:
+            raise ValueError("max_active_wordlines must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self.max_active_wordlines = max_active_wordlines
+        self._cells = np.zeros((rows, cols), dtype=bool)
+        self.stats = AccessStats()
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage in bits."""
+        return self.rows * self.cols
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Total storage in bytes."""
+        return self.capacity_bits / 8
+
+    @classmethod
+    def square_from_bytes(cls, capacity_bytes: int, **kwargs) -> "SRAMArray":
+        """A square array of the given capacity (paper's bank geometry).
+
+        The side is ``sqrt(8 * capacity_bytes)`` bits; the capacity must
+        make that an integer (all paper sizes — 8/32/128/512 kB — do).
+        """
+        bits = capacity_bytes * 8
+        side = int(round(bits ** 0.5))
+        if side * side != bits:
+            raise ValueError(f"{capacity_bytes} bytes is not a square bit count")
+        return cls(side, side, **kwargs)
+
+    # -- access -------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+    def write_row(self, row: int, bits: np.ndarray, col_offset: int = 0) -> None:
+        """Write a bit vector into (part of) a wordline."""
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 1:
+            raise ValueError("write_row expects a 1-D bit vector")
+        if col_offset < 0 or col_offset + bits.size > self.cols:
+            raise ValueError(
+                f"write of {bits.size} bits at col {col_offset} exceeds {self.cols} cols"
+            )
+        self._cells[row, col_offset : col_offset + bits.size] = bits
+        self.stats.row_writes += 1
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Conventional single-wordline read."""
+        return self.read_or([row])
+
+    def read_or(self, rows) -> np.ndarray:
+        """Multi-wordline activation: the wired OR of the selected lines.
+
+        This is the paper's computation primitive.  Activating k lines
+        costs one sense event and k wordline activations in the counters.
+        """
+        rows = list(rows)
+        if not rows:
+            raise ValueError("read_or needs at least one wordline")
+        for row in rows:
+            self._check_row(row)
+        if len(set(rows)) != len(rows):
+            raise ValueError("duplicate wordline in activation set")
+        if self.max_active_wordlines is not None and len(rows) > self.max_active_wordlines:
+            raise ValueError(
+                f"{len(rows)} simultaneous wordlines exceed the circuit limit "
+                f"of {self.max_active_wordlines}"
+            )
+        self.stats.wordline_activations += len(rows)
+        self.stats.row_reads += 1
+        return self._cells[rows].any(axis=0)
+
+    def reset_stats(self) -> None:
+        """Zero the access counters."""
+        self.stats.reset()
+
+    # -- helpers ------------------------------------------------------
+
+    @staticmethod
+    def int_to_bits(value: int, width: int) -> np.ndarray:
+        """Little-endian bit vector of an unsigned integer."""
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"{value} does not fit in {width} bits")
+        return np.array([(value >> i) & 1 for i in range(width)], dtype=bool)
+
+    @staticmethod
+    def bits_to_int(bits: np.ndarray) -> int:
+        """Inverse of :meth:`int_to_bits`."""
+        bits = np.asarray(bits, dtype=bool)
+        return int(sum(1 << i for i, bit in enumerate(bits) if bit))
+
+    def __repr__(self) -> str:
+        return f"SRAMArray({self.rows}x{self.cols}, {self.capacity_bytes:.0f} B)"

@@ -1,0 +1,200 @@
+"""Structural simulation of a DAISM compute bank (Fig. 1-3 of the paper).
+
+A :class:`ComputeBank` glues the three substrate pieces together:
+
+* an :class:`~repro.sram.array.SRAMArray` holding the expanded kernel
+  elements (one line group per element, side by side in column slots);
+* a :class:`~repro.sram.layout.KernelLayout` defining the line expansion;
+* an :class:`~repro.sram.decoder.AddressDecoder` turning each input
+  operand into a multi-wordline activation.
+
+``multiply_row(b, row)`` performs one paper "cycle": the input operand
+``b`` activates lines of element row ``row`` and every element stored in
+that row is multiplied simultaneously — the wired-OR read delivers all
+the approximate products at once.
+
+This is the *slow, bit-faithful* model.  The test suite proves it
+bit-identical to the fast arithmetic models in :mod:`repro.core`, which
+is what entitles the rest of the stack (GEMM, DNN accuracy, energy) to
+use the fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import MultiplierConfig
+from .array import SRAMArray
+from .decoder import AddressDecoder
+from .layout import KernelLayout
+
+__all__ = ["ComputeBank", "InSRAMMultiplier"]
+
+
+class ComputeBank:
+    """A square SRAM bank storing kernel elements for in-memory multiply.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Bank capacity; the array is square (side ``sqrt(8*capacity)`` bits).
+    config:
+        Multiplier configuration (Table I).
+    significand_bits:
+        Operand width ``n`` (8 for bfloat16).
+    fp_mode:
+        Operands carry the implicit leading one (default, paper's use).
+    enforce_line_limit:
+        When true the array rejects activations beyond the layout's
+        worst case — a self-check that the decoder and layout agree.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        config: MultiplierConfig,
+        significand_bits: int,
+        fp_mode: bool = True,
+        enforce_line_limit: bool = True,
+        fault_model=None,
+    ):
+        self.layout = KernelLayout(config, significand_bits, fp_mode=fp_mode)
+        limit = self.layout.max_simultaneous_lines() if enforce_line_limit else None
+        if fault_model is None:
+            self.array = SRAMArray.square_from_bytes(
+                capacity_bytes, max_active_wordlines=limit
+            )
+        else:
+            from .faults import FaultySRAMArray
+
+            side = SRAMArray.square_from_bytes(capacity_bytes).rows
+            self.array = FaultySRAMArray(
+                side, side, fault_model, max_active_wordlines=limit
+            )
+        self.config = config
+        self.significand_bits = significand_bits
+        self._elements: np.ndarray | None = None
+        side = self.array.cols
+        self.slots_per_row = side // self.layout.word_bits
+        self.element_rows = self.array.rows // self.layout.padded_lines
+        self.decoder = AddressDecoder(
+            self.layout,
+            base_rows=[g * self.layout.padded_lines for g in range(self.element_rows)],
+        )
+
+    # -- capacity -------------------------------------------------------
+
+    @property
+    def capacity_elements(self) -> int:
+        """How many kernel elements the bank can hold."""
+        return self.slots_per_row * self.element_rows
+
+    # -- loading --------------------------------------------------------
+
+    def load_elements(self, values: np.ndarray) -> None:
+        """Expand and store a 2-D grid of multiplicands.
+
+        ``values`` has shape ``(element_rows, slots)`` (ragged tails may be
+        passed as a smaller array); each entry is an ``n``-bit unsigned
+        integer.  Loading writes every logical line of every element — the
+        pre-loading cost the paper amortises over operand reuse.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        if values.ndim != 2:
+            raise ValueError("load_elements expects a 2-D (rows, slots) array")
+        rows, slots = values.shape
+        if rows > self.element_rows or slots > self.slots_per_row:
+            raise ValueError(
+                f"{values.shape} exceeds bank capacity "
+                f"({self.element_rows} rows x {self.slots_per_row} slots)"
+            )
+        w = self.layout.word_bits
+        for r in range(rows):
+            base = r * self.layout.padded_lines
+            for line_idx, spec in enumerate(self.layout.lines):
+                row_bits = np.zeros(self.array.cols, dtype=bool)
+                for s in range(slots):
+                    stored = spec.stored_value(
+                        int(values[r, s]),
+                        self.significand_bits,
+                        self.layout.k,
+                        self.config.truncated,
+                    )
+                    row_bits[s * w : (s + 1) * w] = SRAMArray.int_to_bits(stored, w)
+                self.array.write_row(base + line_idx, row_bits)
+        self._elements = values.copy()
+
+    # -- computing ------------------------------------------------------
+
+    def multiply_row(self, b: int, element_row: int) -> np.ndarray:
+        """One cycle: multiply operand ``b`` by every element in a row.
+
+        Returns the approximate products (uint64) of all occupied slots in
+        that element row, exactly as the accumulators at the bottom of the
+        bank would receive them.  ``b == 0`` is bypassed and returns zeros.
+        """
+        if self._elements is None:
+            raise RuntimeError("bank has no loaded elements")
+        if not 0 <= element_row < self._elements.shape[0]:
+            raise IndexError(f"element row {element_row} not loaded")
+        slots = self._elements.shape[1]
+        if b == 0:
+            return np.zeros(slots, dtype=np.uint64)
+
+        rows = self.decoder.decode(b, group=element_row)
+        word = self.array.read_or(rows)
+        w = self.layout.word_bits
+        products = np.empty(slots, dtype=np.uint64)
+        for s in range(slots):
+            products[s] = SRAMArray.bits_to_int(word[s * w : (s + 1) * w])
+        return products
+
+    def multiply_all(self, b: int) -> np.ndarray:
+        """Multiply ``b`` against every loaded element row (row by row)."""
+        if self._elements is None:
+            raise RuntimeError("bank has no loaded elements")
+        return np.stack(
+            [self.multiply_row(b, r) for r in range(self._elements.shape[0])]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ComputeBank({self.array.capacity_bytes/1024:.0f} kB, {self.config.name}, "
+            f"n={self.significand_bits}, {self.element_rows}x{self.slots_per_row} elements)"
+        )
+
+
+class InSRAMMultiplier:
+    """Convenience wrapper: a single-element bank used as a scalar multiplier.
+
+    Mirrors Fig. 1/2 of the paper: store one multiplicand, stream
+    multiplier operands, read approximate products.  Used by tests and the
+    quickstart example to show the mechanism in isolation.
+    """
+
+    def __init__(self, config: MultiplierConfig, significand_bits: int, fp_mode: bool = False):
+        self.layout = KernelLayout(config, significand_bits, fp_mode=fp_mode)
+        rows = self.layout.padded_lines
+        self.array = SRAMArray(rows, self.layout.word_bits)
+        self.decoder = AddressDecoder(self.layout)
+        self.config = config
+        self.significand_bits = significand_bits
+        self._loaded = False
+
+    def store(self, a: int) -> None:
+        """Write the multiplicand's expanded lines."""
+        for idx, spec in enumerate(self.layout.lines):
+            value = spec.stored_value(
+                a, self.significand_bits, self.layout.k, self.config.truncated
+            )
+            self.array.write_row(idx, SRAMArray.int_to_bits(value, self.layout.word_bits))
+        self._loaded = True
+
+    def multiply(self, b: int) -> int:
+        """Approximate product with the stored multiplicand."""
+        if not self._loaded:
+            raise RuntimeError("no multiplicand stored")
+        if b == 0:
+            return 0
+        rows = self.decoder.decode(b)
+        return SRAMArray.bits_to_int(self.array.read_or(rows))

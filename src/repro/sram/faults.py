@@ -1,0 +1,105 @@
+"""Fault injection for the compute SRAM.
+
+The paper leans on DNN error resilience (citing FAWS [13], a fault-aware
+weight scheduler) to justify approximate arithmetic; the same resilience
+argument applies to *hardware* faults in the compute SRAM.  This module
+injects the classic SRAM failure modes into the bit-level model so the
+test-suite and the fault ablation can measure their arithmetic impact:
+
+* **stuck-at-0 / stuck-at-1 cells** — manufacturing defects;
+* **dead wordlines** — a row that never activates (reads as all zeros).
+
+Faults interact with the OR-read asymmetrically: a stuck-at-1 can only
+*increase* the read value (and is masked whenever any activated line has
+that bit set); a stuck-at-0 or dead line can only decrease it — the same
+one-sided behaviour the OR approximation itself has.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .array import SRAMArray
+
+__all__ = ["FaultModel", "FaultySRAMArray", "inject_random_faults"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """A set of cell/row faults to impose on an array."""
+
+    stuck_at_0: frozenset[tuple[int, int]] = frozenset()
+    stuck_at_1: frozenset[tuple[int, int]] = frozenset()
+    dead_rows: frozenset[int] = frozenset()
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.stuck_at_0) + len(self.stuck_at_1) + len(self.dead_rows)
+
+    def validate(self, rows: int, cols: int) -> None:
+        for r, c in list(self.stuck_at_0) + list(self.stuck_at_1):
+            if not (0 <= r < rows and 0 <= c < cols):
+                raise ValueError(f"fault at ({r}, {c}) outside {rows}x{cols} array")
+        if self.stuck_at_0 & self.stuck_at_1:
+            raise ValueError("a cell cannot be stuck at both 0 and 1")
+        for r in self.dead_rows:
+            if not 0 <= r < rows:
+                raise ValueError(f"dead row {r} outside array")
+
+
+class FaultySRAMArray(SRAMArray):
+    """An :class:`SRAMArray` whose reads go through a fault model.
+
+    Writes store the intended data; faults corrupt what is *sensed*
+    (matching real silicon, where the cell latch or the wordline driver
+    is broken, not the data path that wrote it).
+    """
+
+    def __init__(self, rows: int, cols: int, faults: FaultModel, **kwargs):
+        super().__init__(rows, cols, **kwargs)
+        faults.validate(rows, cols)
+        self.faults = faults
+        self._sa0 = np.zeros((rows, cols), dtype=bool)
+        self._sa1 = np.zeros((rows, cols), dtype=bool)
+        for r, c in faults.stuck_at_0:
+            self._sa0[r, c] = True
+        for r, c in faults.stuck_at_1:
+            self._sa1[r, c] = True
+        self._dead = np.zeros(rows, dtype=bool)
+        for r in faults.dead_rows:
+            self._dead[r] = True
+
+    def read_or(self, rows) -> np.ndarray:
+        rows = list(rows)
+        # Run the base read for its validation and access accounting; the
+        # returned (fault-free) value is discarded and recomputed through
+        # the fault masks.
+        super().read_or(rows)
+        live = [r for r in rows if not self._dead[r]]
+        if not live:
+            return np.zeros(self.cols, dtype=bool)
+        cells = self._cells[live].copy()
+        cells[self._sa0[live]] = False
+        cells[self._sa1[live]] = True
+        return cells.any(axis=0)
+
+
+def inject_random_faults(
+    rows: int,
+    cols: int,
+    cell_fault_rate: float,
+    dead_row_rate: float = 0.0,
+    seed: int = 0,
+) -> FaultModel:
+    """Sample a random fault map (half stuck-at-0, half stuck-at-1)."""
+    if not 0.0 <= cell_fault_rate < 1.0 or not 0.0 <= dead_row_rate < 1.0:
+        raise ValueError("fault rates must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    faulty = rng.random((rows, cols)) < cell_fault_rate
+    polarity = rng.random((rows, cols)) < 0.5
+    sa0 = frozenset(map(tuple, np.argwhere(faulty & polarity)))
+    sa1 = frozenset(map(tuple, np.argwhere(faulty & ~polarity)))
+    dead = frozenset(int(r) for r in np.flatnonzero(rng.random(rows) < dead_row_rate))
+    return FaultModel(stuck_at_0=sa0, stuck_at_1=sa1, dead_rows=dead)

@@ -1,0 +1,175 @@
+"""Wordline layout of a stored multiplicand (Sec. III-B/III-C).
+
+A kernel element (the multiplicand) does not occupy a single wordline: it
+is *expanded* into one line per partial product, plus pre-computed sum
+lines for PC2/PC3.  This module decides, for a given multiplier
+configuration and significand width:
+
+* which logical lines exist and what integer value each stores;
+* the stored word width (``2n`` bits untruncated, ``n`` truncated — the
+  paper's "truncation nearly doubles computations per memory read");
+* the padded line count (rounded to a power of two for the decoder, which
+  is how a 512 kB bank holds "128x256" bfloat16 kernel elements).
+
+In FP mode the implicit leading one makes partial product ``A`` active
+for every operand, so pre-computed combinations without ``A`` are never
+selected and are not stored ("the line for PP B ... can be left out,
+reducing memory consumption").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import MultiplierConfig
+
+__all__ = ["LineSpec", "KernelLayout"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LineSpec:
+    """One logical wordline of a stored element.
+
+    ``kind`` is ``"pp"`` (plain partial product; ``selector`` is the shift
+    ``i``, the line stores ``a << i``) or ``"pc"`` (pre-computed sum;
+    ``selector`` is the top-bits value ``t``, the line stores
+    ``a * (t << (n - k))``).
+    """
+
+    kind: str
+    selector: int
+
+    def stored_value(self, a: int, bits: int, k: int, truncated: bool) -> int:
+        """The integer this line holds for multiplicand ``a``."""
+        if self.kind == "pp":
+            value = a << self.selector
+        elif self.kind == "pc":
+            value = a * (self.selector << (bits - k))
+        else:
+            raise ValueError(f"unknown line kind {self.kind!r}")
+        return value >> bits if truncated else value
+
+
+def _next_pow2(x: int) -> int:
+    p = 1
+    while p < x:
+        p *= 2
+    return p
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelLayout:
+    """Line-level layout of one stored element.
+
+    Parameters
+    ----------
+    config:
+        Multiplier configuration (Table I).
+    significand_bits:
+        Operand width ``n`` (8 for bfloat16, 24 for float32).
+    fp_mode:
+        When true, the multiplier operand always has its MSB set (implicit
+        leading one) and combination lines without the top bit are elided.
+    pad_lines_pow2:
+        Round the per-element line count up to a power of two, modelling
+        the simple address decoder the paper assumes (and reproducing its
+        bank capacity numbers).  Enabled by default.
+    """
+
+    config: MultiplierConfig
+    significand_bits: int
+    fp_mode: bool = True
+    pad_lines_pow2: bool = True
+
+    def __post_init__(self) -> None:
+        if self.significand_bits < 2:
+            raise ValueError("significand_bits must be >= 2")
+        if self.config.precomputed >= self.significand_bits:
+            raise ValueError("precomputed lines must be fewer than operand bits")
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of exactly-summed top partial products."""
+        return self.config.precomputed
+
+    @property
+    def word_bits(self) -> int:
+        """Stored word width per line (2n untruncated, n truncated)."""
+        n = self.significand_bits
+        return n if self.config.truncated else 2 * n
+
+    @property
+    def lines(self) -> tuple[LineSpec, ...]:
+        """All logical lines of one element, in storage order."""
+        n = self.significand_bits
+        k = self.k
+        specs: list[LineSpec] = []
+        if k:
+            if self.fp_mode:
+                selectors = range(1 << (k - 1), 1 << k)  # MSB always set
+            else:
+                selectors = range(1, 1 << k)  # any nonzero combination
+            specs.extend(LineSpec("pc", t) for t in selectors)
+        specs.extend(LineSpec("pp", i) for i in range(n - k - 1, -1, -1))
+        return tuple(specs)
+
+    @property
+    def logical_lines(self) -> int:
+        """Number of lines that actually store data."""
+        return len(self.lines)
+
+    @property
+    def padded_lines(self) -> int:
+        """Line count after power-of-two padding for the decoder."""
+        return _next_pow2(self.logical_lines) if self.pad_lines_pow2 else self.logical_lines
+
+    @property
+    def element_bits(self) -> int:
+        """SRAM bits consumed by one stored element (incl. padding)."""
+        return self.padded_lines * self.word_bits
+
+    # -- encoding -----------------------------------------------------
+
+    def line_index(self, spec: LineSpec) -> int:
+        """Storage-order index of a line."""
+        return self.lines.index(spec)
+
+    def stored_values(self, a: int) -> list[int]:
+        """The integer stored on each logical line for multiplicand ``a``."""
+        n = self.significand_bits
+        if not 0 <= a < (1 << n):
+            raise ValueError(f"multiplicand {a} does not fit in {n} bits")
+        return [
+            spec.stored_value(a, n, self.k, self.config.truncated) for spec in self.lines
+        ]
+
+    def active_line_indices(self, b: int) -> list[int]:
+        """Indices of the lines the decoder activates for multiplier ``b``.
+
+        This is the layout half of the decoder contract; the electrical
+        half lives in :mod:`repro.sram.decoder`.
+        """
+        n = self.significand_bits
+        if not 0 <= b < (1 << n):
+            raise ValueError(f"multiplier {b} does not fit in {n} bits")
+        if self.fp_mode and b and not (b >> (n - 1)) & 1:
+            raise ValueError("fp_mode operand must have its MSB (implicit one) set")
+        k = self.k
+        low = n - k
+        indices: list[int] = []
+        if k:
+            top = b >> low
+            if top:
+                indices.append(self.line_index(LineSpec("pc", top)))
+        for i in range(low):
+            if (b >> i) & 1:
+                indices.append(self.line_index(LineSpec("pp", i)))
+        return indices
+
+    def max_simultaneous_lines(self) -> int:
+        """Worst-case simultaneously active lines (Sec. V-D argument)."""
+        k = self.k
+        low = self.significand_bits - k
+        return (1 if k else self.significand_bits - low) + low

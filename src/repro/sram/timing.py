@@ -1,0 +1,57 @@
+"""SRAM access-time model — supports the paper's 1 GHz clock claim.
+
+Table II runs DAISM at 1000 MHz against Z-PIM's 200 MHz and T-PIM's
+50–280 MHz.  For that to be credible the compute-SRAM read (decode +
+wordline rise + bitline discharge + sense) must fit in a nanosecond for
+the bank sizes used.  This module provides the standard first-order RC
+model CACTI uses, with the same subarray segmentation as
+:mod:`repro.energy.cacti_lite`:
+
+* decoder delay grows with ``log2(rows)`` (one gate per stage);
+* wordline RC grows with the row length (cols);
+* bitline RC grows with the *segment* length, not total rows;
+* multiple-wordline activation does not slow the read down — the wired
+  OR only ever discharges bitlines faster (more pull-down paths), which
+  is why [15] reports no throughput penalty.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["read_latency_ns", "max_clock_mhz", "supports_clock"]
+
+#: Per-stage decoder delay [ns] (a couple of FO4s at 45 nm).
+DECODE_STAGE_NS = 0.018
+#: Wordline RC delay per attached cell [ns].
+WORDLINE_PER_CELL_NS = 0.00009
+#: Bitline discharge delay per cell on the segment [ns].
+BITLINE_PER_CELL_NS = 0.0006
+#: Sense amplifier resolution time [ns].
+SENSE_NS = 0.10
+#: Maximum rows per bitline segment (matches cacti_lite).
+SEGMENT_ROWS = 256
+
+
+def read_latency_ns(rows: int, cols: int) -> float:
+    """Access time of one (multi-)wordline read."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    decode = DECODE_STAGE_NS * max(1, math.ceil(math.log2(max(2, rows))))
+    wordline = WORDLINE_PER_CELL_NS * cols
+    bitline = BITLINE_PER_CELL_NS * min(rows, SEGMENT_ROWS)
+    return decode + wordline + bitline + SENSE_NS
+
+
+def max_clock_mhz(capacity_bytes: int) -> float:
+    """Highest clock a square bank of this capacity sustains."""
+    bits = capacity_bytes * 8
+    side = int(round(math.sqrt(bits)))
+    if side * side != bits:
+        raise ValueError(f"{capacity_bytes} B is not a square bit count")
+    return 1000.0 / read_latency_ns(side, side)
+
+
+def supports_clock(capacity_bytes: int, clock_hz: float) -> bool:
+    """Whether a bank of this size meets the given clock."""
+    return max_clock_mhz(capacity_bytes) * 1e6 >= clock_hz

@@ -1,0 +1,117 @@
+"""Tests for the figure/table generators."""
+
+import pytest
+
+from repro.arch.compare import (
+    default_design_sweep,
+    fig7_tradeoff,
+    fig8_breakdown,
+    table2,
+    table3_rows,
+)
+
+
+class TestFig7:
+    def test_contains_eyeriss_and_sweep(self):
+        points = fig7_tradeoff()
+        names = [p.name for p in points]
+        assert "Eyeriss 12x14" in names
+        assert "16x8kB" in names
+        assert "1x512kB" in names
+
+    def test_pareto_shape(self):
+        """Somewhere in the sweep, spending area buys cycles (the Fig. 7
+        trade-off), and the 16x8kB point dominates the 4x128kB point."""
+        points = {p.name: p for p in fig7_tradeoff()}
+        assert points["16x32kB"].cycles < points["1x512kB"].cycles
+        assert points["16x32kB"].area_mm2 > points["1x8kB"].area_mm2
+        assert points["16x8kB"].cycles == points["4x128kB"].cycles
+        assert points["16x8kB"].area_mm2 < points["4x128kB"].area_mm2
+
+    def test_daism_beats_eyeriss_at_comparable_area(self):
+        points = {p.name: p for p in fig7_tradeoff()}
+        eyeriss = points["Eyeriss 12x14"]
+        best = points["16x32kB"]
+        assert best.cycles < eyeriss.cycles
+        assert best.area_mm2 < eyeriss.area_mm2
+
+
+class TestFig8:
+    def test_rows_cover_both_sweeps(self):
+        rows = fig8_breakdown()
+        sweeps = {r["sweep"] for r in rows}
+        assert sweeps == {"bank_kb", "banks"}
+
+    def test_fraction_monotonicity(self):
+        rows = fig8_breakdown()
+        by_kb = [r["sram_fraction"] for r in rows if r["sweep"] == "bank_kb"]
+        assert all(a < b for a, b in zip(by_kb, by_kb[1:]))
+        by_banks = [r["sram_fraction"] for r in rows if r["sweep"] == "banks"]
+        assert all(a > b for a, b in zip(by_banks, by_banks[1:]))
+
+
+class TestTable2:
+    def test_four_rows(self):
+        rows = table2()
+        assert [r["Architecture"] for r in rows] == ["DAISM", "DAISM", "Z-PIM", "T-PIM"]
+
+    def test_daism_dominates_gops(self):
+        rows = table2()
+        daism_gops = min(r["GOPS"][0] for r in rows if r["Architecture"] == "DAISM")
+        pim_gops = max(r["GOPS"][1] for r in rows if r["Architecture"] != "DAISM")
+        assert daism_gops > 10 * pim_gops
+
+    def test_computation_styles(self):
+        rows = table2()
+        assert all(
+            r["Computations"] == ("bit-parallel" if r["Architecture"] == "DAISM" else "bit-serial")
+            for r in rows
+        )
+
+
+class TestTable3:
+    def test_matches_paper(self):
+        rows = {r["Family"]: r for r in table3_rows()}
+        assert rows["DAISM"]["Data Movement"] == "None"
+        assert rows["DAISM"]["Memory Reads"] == "Single"
+        assert rows["Digital Multipliers"]["Data Movement"] == "Required"
+        assert rows["Analog PIM"]["Memory Technology"] == "Novel"
+        assert rows["SRAM Digital PIM"]["Memory Reads"] == "Multiple"
+
+
+class TestSweep:
+    def test_default_sweep_valid_designs(self):
+        for design in default_design_sweep():
+            assert design.total_pes > 0
+
+
+class TestParetoFront:
+    def test_front_members_not_dominated(self):
+        from repro.arch.compare import pareto_front
+
+        points = fig7_tradeoff()
+        front = pareto_front(points)
+        assert front
+        for p in front:
+            assert not any(
+                (o.cycles <= p.cycles and o.area_mm2 < p.area_mm2)
+                or (o.cycles < p.cycles and o.area_mm2 <= p.area_mm2)
+                for o in points
+            )
+
+    def test_16x8kb_on_the_front(self):
+        """The paper's highlighted design is Pareto-optimal (it dominates
+        4x128kB outright)."""
+        from repro.arch.compare import pareto_front
+
+        daism_only = [p for p in fig7_tradeoff() if not p.name.startswith("Eyeriss")]
+        names = {p.name for p in pareto_front(daism_only)}
+        assert "16x8kB" in names
+        assert "4x128kB" not in names
+
+    def test_front_sorted_by_cycles(self):
+        from repro.arch.compare import pareto_front
+
+        front = pareto_front(fig7_tradeoff())
+        cycles = [p.cycles for p in front]
+        assert cycles == sorted(cycles)

@@ -1,0 +1,55 @@
+"""Tests for the automated design-space search."""
+
+import pytest
+
+from repro.arch.dse import (
+    best_under_area,
+    enumerate_designs,
+    smallest_meeting_cycles,
+)
+from repro.arch.workloads import vgg8_conv1
+
+
+class TestEnumerate:
+    def test_grid_size(self):
+        results = enumerate_designs(vgg8_conv1(), banks_grid=(1, 4), bank_kb_grid=(8, 32))
+        assert len(results) == 4
+        assert all(e.cycles > 0 and e.area_mm2 > 0 for e in results)
+
+    def test_names(self):
+        results = enumerate_designs(vgg8_conv1(), banks_grid=(16,), bank_kb_grid=(8,))
+        assert results[0].name == "16x8kB"
+
+
+class TestConstrainedQueries:
+    def test_best_under_area_respects_budget(self):
+        best = best_under_area(vgg8_conv1(), area_budget_mm2=2.5)
+        assert best.area_mm2 <= 2.5
+        # No in-budget design is faster.
+        for e in enumerate_designs(vgg8_conv1()):
+            if e.area_mm2 <= 2.5:
+                assert best.cycles <= e.cycles
+
+    def test_paper_design_wins_its_bracket(self):
+        """Under a ~2.5 mm^2 budget the search lands on the paper's
+        highlighted 16x8 kB point."""
+        best = best_under_area(vgg8_conv1(), area_budget_mm2=2.5)
+        assert best.name == "16x8kB"
+
+    def test_smallest_meeting_cycles(self):
+        target = smallest_meeting_cycles(vgg8_conv1(), cycle_budget=400_000)
+        assert target.cycles <= 400_000
+        for e in enumerate_designs(vgg8_conv1()):
+            if e.cycles <= 400_000:
+                assert target.area_mm2 <= e.area_mm2
+
+    def test_infeasible_budgets_raise(self):
+        with pytest.raises(ValueError, match="no design fits"):
+            best_under_area(vgg8_conv1(), area_budget_mm2=0.01)
+        with pytest.raises(ValueError, match="no design meets"):
+            smallest_meeting_cycles(vgg8_conv1(), cycle_budget=10)
+
+    def test_larger_budget_never_slower(self):
+        small = best_under_area(vgg8_conv1(), area_budget_mm2=2.0)
+        large = best_under_area(vgg8_conv1(), area_budget_mm2=6.0)
+        assert large.cycles <= small.cycles

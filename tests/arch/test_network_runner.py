@@ -1,0 +1,59 @@
+"""Tests for whole-network execution reports."""
+
+import pytest
+
+from repro.arch.daism import DaismDesign
+from repro.arch.network_runner import compare_with_eyeriss, run_network
+from repro.arch.workloads import lenet_like_layers, vgg8_layers
+
+
+class TestRunNetwork:
+    def test_vgg8_report(self):
+        design = DaismDesign(banks=16, bank_kb=8)
+        report = run_network(design, vgg8_layers())
+        assert len(report.layers) == 8
+        assert report.total_cycles == sum(l.cycles for l in report.layers)
+        assert report.total_macs == sum(layer.macs for layer in vgg8_layers())
+        assert 0 < report.mean_utilization <= 1.0
+        assert report.total_energy_uj > 0
+
+    def test_rows_include_total(self):
+        design = DaismDesign(banks=4, bank_kb=32)
+        rows = run_network(design, lenet_like_layers()).rows()
+        assert rows[-1]["layer"] == "TOTAL"
+        assert len(rows) == len(lenet_like_layers()) + 1
+
+    def test_latency_uses_clock(self):
+        design = DaismDesign(banks=16, bank_kb=8)
+        report = run_network(design, lenet_like_layers())
+        assert report.latency_s(1e9) == pytest.approx(report.total_cycles / 1e9)
+
+    def test_deep_layers_need_passes_on_small_banks(self):
+        """VGG-8's wide late layers exceed a 16x8 kB array: multi-pass."""
+        design = DaismDesign(banks=16, bank_kb=8)
+        report = run_network(design, vgg8_layers())
+        assert any(l.passes > 1 for l in report.layers)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            run_network(DaismDesign(), [])
+
+
+class TestEyerissComparison:
+    def test_whole_network_speedup(self):
+        """The Fig. 7 single-layer win holds across the full VGG-8."""
+        design = DaismDesign(banks=16, bank_kb=32)
+        cmp = compare_with_eyeriss(design, vgg8_layers())
+        assert cmp["cycle_ratio"] > 1.0
+        assert cmp["area_ratio"] > 1.0  # Eyeriss is larger
+
+    def test_keys(self):
+        cmp = compare_with_eyeriss(DaismDesign(), lenet_like_layers())
+        assert set(cmp) == {
+            "daism_cycles",
+            "eyeriss_cycles",
+            "cycle_ratio",
+            "daism_area_mm2",
+            "eyeriss_area_mm2",
+            "area_ratio",
+        }

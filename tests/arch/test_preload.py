@@ -1,0 +1,51 @@
+"""Tests for the pre-loading amortisation analysis (Sec. V-B2)."""
+
+import pytest
+
+from repro.arch.daism import DaismDesign
+from repro.arch.preload import preload_analysis
+from repro.arch.workloads import vgg8_conv1, vgg8_layers
+
+
+class TestPreloadAmortisation:
+    def test_paper_reuse_quote(self):
+        """"each kernel element is reused for thousands of inputs"."""
+        report = preload_analysis(DaismDesign(banks=16, bank_kb=8), vgg8_conv1())
+        assert report.kernel_element_reuse > 1000
+        assert report.input_element_reuse > 100
+
+    def test_loading_negligible_for_conv1(self):
+        report = preload_analysis(DaismDesign(banks=16, bank_kb=8), vgg8_conv1())
+        assert report.read_write_ratio > 100
+        assert report.load_energy_fraction < 0.02
+
+    def test_fc_layers_are_load_dominated_at_batch_1(self):
+        """The FC tail has reuse ~1 per kernel element: at batch 1 the
+        pre-load writes dominate — a real limit of the scheme."""
+        design = DaismDesign(banks=16, bank_kb=8)
+        conv1 = preload_analysis(design, vgg8_layers()[0])
+        fc1 = preload_analysis(design, vgg8_layers()[5])
+        assert fc1.read_write_ratio < conv1.read_write_ratio
+        assert fc1.load_energy_fraction > 0.5
+
+    def test_batching_amortises_fc_loading(self):
+        """...and batching is the paper's fix: "when batch size is large
+        during inference, it amortizes the cost of populating SRAM"."""
+        design = DaismDesign(banks=16, bank_kb=8)
+        fc1 = vgg8_layers()[5]
+        b1 = preload_analysis(design, fc1, batch=1)
+        b64 = preload_analysis(design, fc1, batch=64)
+        b256 = preload_analysis(design, fc1, batch=256)
+        assert b64.load_energy_fraction < b1.load_energy_fraction / 2
+        assert b64.load_energy_fraction < 0.35
+        assert b256.load_energy_fraction < 0.15
+
+    def test_energy_terms_positive(self):
+        report = preload_analysis(DaismDesign(), vgg8_conv1())
+        assert report.load_energy_uj > 0
+        assert report.compute_energy_uj > 0
+        assert 0.0 <= report.load_energy_fraction <= 1.0
+
+    def test_batch_validated(self):
+        with pytest.raises(ValueError):
+            preload_analysis(DaismDesign(), vgg8_conv1(), batch=0)

@@ -1,0 +1,106 @@
+"""Tests for the cycle-accurate DAISM scheduler.
+
+The load-bearing property: with unit input-delivery latency and dense
+inputs, the cycle simulation reproduces the analytic mapper exactly —
+each validates the other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.layout_mapper import map_layer
+from repro.arch.scheduler import simulate_layer
+from repro.arch.workloads import ConvLayer, vgg8_conv1
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize(
+        "banks,pes", [(1, 16), (1, 128), (4, 16), (4, 64), (16, 16), (16, 32)]
+    )
+    def test_matches_analytic_mapper(self, banks, pes):
+        layer = vgg8_conv1()
+        sim = simulate_layer(layer, pes, banks)
+        ana = map_layer(layer, pes, banks)
+        assert sim.cycles == ana.cycles
+        assert sim.macs_issued == ana.macs
+        assert sim.utilization == pytest.approx(ana.utilization)
+
+    def test_matches_on_strided_layer(self):
+        layer = ConvLayer("s2", 3, 8, 3, 16, 16, stride=2)
+        sim = simulate_layer(layer, 8, 2)
+        ana = map_layer(layer, 8, 2)
+        assert sim.cycles == ana.cycles
+
+    def test_no_stalls_at_unit_latency(self):
+        sim = simulate_layer(vgg8_conv1(), 32, 16, spad_latency=1)
+        assert sim.stall_cycles == 0
+
+    @pytest.mark.parametrize("distribution", ["round_robin", "lpt", "block"])
+    def test_matches_mapper_under_every_policy(self, distribution):
+        layer = vgg8_conv1()
+        sim = simulate_layer(layer, 32, 16, distribution=distribution)
+        ana = map_layer(layer, 32, 16, distribution=distribution)
+        assert sim.cycles == ana.cycles
+
+
+class TestDeliveryLatency:
+    def test_latency_stalls_thin_work(self):
+        """When the per-bank work per input is thinner than the delivery
+        latency, banks stall — cycles rise above the analytic count."""
+        layer = ConvLayer("t", 2, 8, 3, 12, 12)
+        fast = simulate_layer(layer, 16, 4, spad_latency=1)
+        slow = simulate_layer(layer, 16, 4, spad_latency=8)
+        assert slow.cycles > fast.cycles
+        assert slow.stall_cycles > 0
+        assert slow.compute_cycles == fast.compute_cycles
+
+    def test_thick_work_hides_latency(self):
+        """Single-bank designs hold all rows, so each input brings many
+        rows of work and modest delivery latency is fully hidden."""
+        layer = ConvLayer("t", 2, 8, 3, 12, 12)
+        base = simulate_layer(layer, 8, 1, spad_latency=1)
+        buffered = simulate_layer(layer, 8, 1, spad_latency=2)
+        assert buffered.cycles == base.cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_layer(vgg8_conv1(), 16, 1, spad_latency=0)
+
+
+class TestZeroBypass:
+    def test_zero_inputs_skipped(self):
+        layer = ConvLayer("t", 2, 8, 3, 12, 12)
+        x = np.ones((2, 12, 12), dtype=np.float32)
+        x[0] = 0.0  # an entire channel of zeros
+        dense = simulate_layer(layer, 16, 4)
+        sparse = simulate_layer(layer, 16, 4, inputs=x)
+        assert sparse.cycles < dense.cycles
+        assert sparse.skipped_inputs == 144
+        assert sparse.macs_issued < dense.macs_issued
+
+    def test_all_zero_input_does_nothing(self):
+        layer = ConvLayer("t", 1, 4, 3, 8, 8)
+        sim = simulate_layer(layer, 4, 1, inputs=np.zeros((1, 8, 8)))
+        assert sim.cycles == 0
+        assert sim.macs_issued == 0
+
+    def test_dense_tensor_equals_no_tensor(self):
+        layer = ConvLayer("t", 2, 8, 3, 10, 10)
+        explicit = simulate_layer(layer, 8, 2, inputs=np.ones((2, 10, 10)))
+        implicit = simulate_layer(layer, 8, 2)
+        assert explicit.cycles == implicit.cycles
+        assert explicit.macs_issued == implicit.macs_issued
+
+    def test_sparsity_scales_cycles_roughly_linearly(self):
+        layer = ConvLayer("t", 4, 16, 3, 16, 16)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 16, 16))
+        x[rng.random((4, 16, 16)) < 0.5] = 0.0
+        dense = simulate_layer(layer, 16, 4)
+        sparse = simulate_layer(layer, 16, 4, inputs=x)
+        ratio = sparse.cycles / dense.cycles
+        assert 0.35 < ratio < 0.65  # ~50 % sparsity -> ~50 % cycles
+
+    def test_input_shape_validated(self):
+        with pytest.raises(ValueError, match="inputs shape"):
+            simulate_layer(ConvLayer("t", 2, 4, 3, 8, 8), 4, 1, inputs=np.ones((1, 8, 8)))

@@ -1,0 +1,76 @@
+"""Tests for the convolution workload descriptions."""
+
+import pytest
+
+from repro.arch.workloads import (
+    ConvLayer,
+    alexnet_like_layers,
+    lenet_like_layers,
+    resnet_mini_layers,
+    vgg8_conv1,
+    vgg8_layers,
+)
+
+
+class TestVgg8Conv1:
+    def test_paper_counts(self):
+        """Sec. V-B: "The first layer of VGG-8 has 150,528 inputs for
+        1728 kernel elements"."""
+        layer = vgg8_conv1()
+        assert layer.input_elements == 150_528
+        assert layer.kernel_elements == 1_728
+
+    def test_output_shape(self):
+        layer = vgg8_conv1()
+        assert layer.out_height == layer.out_width == 224
+
+    def test_mac_counts(self):
+        layer = vgg8_conv1()
+        assert layer.macs_dense == 224 * 224 * 9 * 3 * 64
+        # Padding taps are bypassed: true MACs slightly below dense.
+        assert layer.macs < layer.macs_dense
+        assert layer.macs > 0.98 * layer.macs_dense
+
+
+class TestConvLayerMath:
+    def test_strided_output(self):
+        layer = ConvLayer("s2", 3, 8, 3, 32, 32, stride=2, padding=1)
+        assert layer.out_height == 16
+
+    def test_no_padding(self):
+        layer = ConvLayer("v", 1, 1, 5, 28, 28, padding=0)
+        assert layer.out_height == 24
+
+    def test_valid_positions_interior_tap_full(self):
+        layer = ConvLayer("c", 1, 1, 3, 8, 8, padding=1)
+        # Centre tap participates at every input pixel.
+        assert layer.valid_positions(1, 1) == 64
+        # Corner tap misses one row and one column.
+        assert layer.valid_positions(0, 0) == 49
+
+    def test_valid_positions_sum_equals_macs(self):
+        layer = ConvLayer("c", 2, 4, 3, 10, 12, padding=1)
+        taps = sum(layer.valid_positions(kh, kw) for kh in range(3) for kw in range(3))
+        assert layer.macs == taps * 2 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 0, 1, 3, 8, 8)
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 1, 1, 9, 4, 4, padding=0)  # empty output
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 1, 1, 3, 8, 8, stride=0)
+
+
+class TestLayerTables:
+    def test_vgg8_has_eight_weight_layers(self):
+        assert len(vgg8_layers()) == 8
+
+    def test_all_tables_valid(self):
+        for table in (vgg8_layers(), alexnet_like_layers(), lenet_like_layers(), resnet_mini_layers()):
+            assert table
+            for layer in table:
+                assert layer.macs_dense > 0
+
+    def test_vgg8_first_layer_is_the_eval_layer(self):
+        assert vgg8_layers()[0].kernel_elements == vgg8_conv1().kernel_elements

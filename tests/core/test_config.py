@@ -1,0 +1,70 @@
+"""Tests for the multiplier configuration records (Table I)."""
+
+import pytest
+
+from repro.core.config import (
+    FLA,
+    PC2,
+    PC2_TR,
+    PC3,
+    PC3_TR,
+    MultiplierConfig,
+    Scheme,
+    all_configs,
+    table1_rows,
+)
+
+
+class TestScheme:
+    def test_precomputed_counts(self):
+        assert Scheme.FLA.precomputed == 0
+        assert Scheme.PC2.precomputed == 2
+        assert Scheme.PC3.precomputed == 3
+
+
+class TestMultiplierConfig:
+    def test_names_match_paper(self):
+        assert [c.name for c in all_configs()] == ["FLA", "PC2", "PC3", "PC2_tr", "PC3_tr"]
+
+    def test_truncation_flags(self):
+        assert not FLA.truncated
+        assert not PC2.truncated
+        assert not PC3.truncated
+        assert PC2_TR.truncated
+        assert PC3_TR.truncated
+
+    def test_from_name_roundtrip(self):
+        for config in all_configs():
+            assert MultiplierConfig.from_name(config.name) == config
+
+    def test_from_name_case_insensitive(self):
+        assert MultiplierConfig.from_name("pc3_TR") == PC3_TR
+        assert MultiplierConfig.from_name("fla") == FLA
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown multiplier config"):
+            MultiplierConfig.from_name("PC5")
+
+    def test_from_name_parses_extension_configs(self):
+        from repro.core.config import PC4, PC4_TR
+
+        assert MultiplierConfig.from_name("PC4") == PC4
+        assert MultiplierConfig.from_name("pc4_tr") == PC4_TR
+
+    def test_configs_are_hashable_and_distinct(self):
+        assert len(set(all_configs())) == 5
+
+    def test_str(self):
+        assert str(PC2_TR) == "PC2_tr"
+
+
+class TestTable1:
+    def test_row_count(self):
+        assert len(table1_rows()) == 5
+
+    def test_pc3_tr_row(self):
+        rows = {r["Config."]: r for r in table1_rows()}
+        assert rows["PC3_tr"]["Precomputed wordlines"] == "Between 3 PP"
+        assert rows["PC3_tr"]["Truncation"] == "Yes"
+        assert rows["FLA"]["Precomputed wordlines"] == "No"
+        assert rows["FLA"]["Truncation"] == "No"

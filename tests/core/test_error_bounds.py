@@ -1,0 +1,41 @@
+"""Analytic error bounds vs exhaustive maxima."""
+
+import pytest
+
+from repro.core.config import extended_configs
+from repro.core.error_bounds import truncation_extra_error, worst_case_relative_error
+from repro.core.errors import exhaustive_mantissa_errors
+
+
+class TestBoundsHold:
+    @pytest.mark.parametrize("config", extended_configs())
+    @pytest.mark.parametrize("bits", [6, 8])
+    def test_exhaustive_max_below_bound(self, config, bits):
+        errs = exhaustive_mantissa_errors(bits, config, fp_range=True)
+        bound = worst_case_relative_error(config, bits)
+        assert errs.max() <= bound + 1e-12
+
+    def test_bounds_tighten_with_k(self):
+        from repro.core.config import FLA, PC2, PC3, PC4
+
+        bounds = [worst_case_relative_error(c, 8) for c in (FLA, PC2, PC3, PC4)]
+        assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+
+    def test_bound_not_vacuous_for_pc3(self):
+        """The PC3 bound (2^-2 = 0.25) is within 2x of the true max."""
+        from repro.core.config import PC3
+
+        errs = exhaustive_mantissa_errors(8, PC3, fp_range=True)
+        bound = worst_case_relative_error(PC3, 8)
+        assert bound < 2.5 * errs.max()
+
+    def test_truncation_term(self):
+        assert truncation_extra_error(8) == pytest.approx(2.0 ** -6)
+        with pytest.raises(ValueError):
+            truncation_extra_error(1)
+
+    def test_validation(self):
+        from repro.core.config import PC3
+
+        with pytest.raises(ValueError):
+            worst_case_relative_error(PC3, 1)

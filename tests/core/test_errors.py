@@ -1,0 +1,79 @@
+"""Tests for the error-statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FLA, PC2, PC3, PC3_TR
+from repro.core.errors import (
+    ErrorStats,
+    exhaustive_mantissa_errors,
+    fp_error_stats,
+    mantissa_error_stats,
+    relative_errors,
+)
+from repro.formats.floatfmt import BFLOAT16
+
+
+class TestErrorStats:
+    def test_from_errors_basic(self):
+        stats = ErrorStats.from_errors(np.array([0.0, 0.1, 0.2, 0.3]))
+        assert stats.mean == pytest.approx(0.15)
+        assert stats.max == pytest.approx(0.3)
+        assert stats.exact_fraction == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorStats.from_errors(np.array([]))
+
+
+class TestRelativeErrors:
+    def test_skips_zero_exact(self):
+        errs = relative_errors(np.array([0.0, 2.0]), np.array([1.0, 1.0]))
+        assert errs.shape == (1,)
+        assert errs[0] == pytest.approx(0.5)
+
+
+class TestMantissaStats:
+    def test_errors_nonnegative(self):
+        stats = mantissa_error_stats(8, PC3, samples=2048)
+        assert stats.mean >= 0
+        assert stats.max <= 1.0
+
+    def test_ordering_matches_paper(self):
+        means = {
+            c.name: mantissa_error_stats(8, c, samples=1 << 14).mean for c in (FLA, PC2, PC3)
+        }
+        assert means["FLA"] > means["PC2"] > means["PC3"]
+
+    def test_truncated_rescaled_comparable(self):
+        tr = mantissa_error_stats(8, PC3_TR, samples=1 << 13)
+        untr = mantissa_error_stats(8, PC3, samples=1 << 13)
+        assert tr.mean >= untr.mean  # truncation only adds error
+        assert tr.mean < 0.10
+
+    def test_deterministic_with_seed(self):
+        s1 = mantissa_error_stats(8, PC3, samples=512, seed=9)
+        s2 = mantissa_error_stats(8, PC3, samples=512, seed=9)
+        assert s1 == s2
+
+
+class TestExhaustive:
+    def test_matrix_shape_fp_range(self):
+        errs = exhaustive_mantissa_errors(6, PC3)
+        assert errs.shape == (32, 32)
+        assert (errs >= 0).all()
+
+    def test_rejects_wide_operands(self):
+        with pytest.raises(ValueError):
+            exhaustive_mantissa_errors(16, PC3)
+
+    def test_pc3_max_error_bounded(self):
+        errs = exhaustive_mantissa_errors(8, PC3)
+        assert errs.max() < 0.25
+
+
+class TestFpStats:
+    def test_basic(self):
+        stats = fp_error_stats(BFLOAT16, PC3_TR, samples=4096)
+        assert 0 < stats.mean < 0.1
+        assert stats.p99 <= stats.max

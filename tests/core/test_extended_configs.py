@@ -1,0 +1,85 @@
+"""Tests for the PC4 extension configs (beyond the paper's Table I)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3, PC4, PC4_TR, all_configs, extended_configs
+from repro.core.errors import mantissa_error_stats
+from repro.core.mantissa import approx_multiply, max_simultaneous_lines
+from repro.core.vectorized import approx_multiply_array
+from repro.sram.layout import KernelLayout
+
+
+class TestPC4Semantics:
+    def test_not_in_table1(self):
+        assert PC4 not in all_configs()
+        assert PC4 in extended_configs()
+        assert PC4_TR in extended_configs()
+
+    def test_exact_when_bits_in_top_four(self):
+        n = 6
+        for top in range(1, 16):
+            b = top << (n - 4)
+            for a in range(0, 1 << n, 3):
+                assert approx_multiply(a, b, n, PC4) == a * b
+
+    def test_bounded_by_exact(self):
+        for a, b in itertools.product(range(0, 64, 5), repeat=2):
+            assert approx_multiply(a, b, 6, PC4) <= a * b
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 200, dtype=np.uint64)
+        b = rng.integers(0, 256, 200, dtype=np.uint64)
+        got = approx_multiply_array(a, b, 8, PC4)
+        want = np.array(
+            [approx_multiply(int(x), int(y), 8, PC4) for x, y in zip(a, b)], dtype=np.uint64
+        )
+        np.testing.assert_array_equal(got, want)
+
+
+class TestDiminishingReturns:
+    def test_pc4_more_accurate_than_pc3(self):
+        e3 = mantissa_error_stats(8, PC3, samples=1 << 14).mean
+        e4 = mantissa_error_stats(8, PC4, samples=1 << 14).mean
+        assert e4 < e3
+
+    def test_but_improvement_shrinks(self):
+        """PC2->PC3 buys more accuracy than PC3->PC4 (why the paper
+        stops at PC3)."""
+        from repro.core.config import PC2
+
+        e2 = mantissa_error_stats(8, PC2, samples=1 << 15).mean
+        e3 = mantissa_error_stats(8, PC3, samples=1 << 15).mean
+        e4 = mantissa_error_stats(8, PC4, samples=1 << 15).mean
+        assert (e2 - e3) > (e3 - e4)
+
+    def test_line_cost_doubles(self):
+        """Each extra pre-computed PP doubles the combination lines."""
+        pc3_lines = KernelLayout(PC3, 8).logical_lines
+        pc4_lines = KernelLayout(PC4, 8).logical_lines
+        # PC3: 4 combos + 5 pp = 9; PC4: 8 combos + 4 pp = 12.
+        assert pc3_lines == 9
+        assert pc4_lines == 12
+        # Padding pushes PC4 to the same 16-line budget though.
+        assert KernelLayout(PC4, 8).padded_lines == 16
+
+    def test_fewer_simultaneous_lines(self):
+        assert max_simultaneous_lines(8, PC4) < max_simultaneous_lines(8, PC3)
+
+
+class TestPC4Truncated:
+    def test_tr_equals_shifted_untruncated(self):
+        for a, b in itertools.product(range(0, 64, 7), repeat=2):
+            assert approx_multiply(a, b, 6, PC4_TR) == approx_multiply(a, b, 6, PC4) >> 6
+
+    def test_structural_bank_supports_pc4(self):
+        from repro.sram.bank import InSRAMMultiplier
+
+        mult = InSRAMMultiplier(PC4, 6, fp_mode=False)
+        for a in (17, 45, 63):
+            mult.store(a)
+            for b in (9, 33, 60):
+                assert mult.multiply(b) == approx_multiply(a, b, 6, PC4)

@@ -1,0 +1,151 @@
+"""Tests for the approximate floating point multiply pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FLA, PC2, PC3, PC3_TR, all_configs
+from repro.core.fp_mul import approx_fp_multiply, exact_fp_multiply
+from repro.formats.floatfmt import BFLOAT16, FLOAT32, quantize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+class TestIdentities:
+    def test_multiply_by_one_exact_configs(self):
+        """x * 1.0: the multiplier operand has a single active line, so
+        the OR approximation is exact and only quantisation remains."""
+        x = np.linspace(-4, 4, 33).astype(np.float32)
+        for config in all_configs():
+            got = approx_fp_multiply(x, np.float32(1.0), BFLOAT16, config)
+            want = quantize(x, BFLOAT16)
+            np.testing.assert_allclose(got, want, rtol=0, atol=0)
+
+    def test_multiply_by_power_of_two_is_exact(self):
+        x = np.array([1.5, -2.25, 0.375, 7.0], dtype=np.float32)
+        for scale in (2.0, 0.5, 8.0):
+            got = approx_fp_multiply(x, np.float32(scale), BFLOAT16, PC3)
+            np.testing.assert_array_equal(got, x * np.float32(scale))
+
+    def test_zero_bypass(self):
+        x = np.array([0.0, -0.0, 3.5, 0.0], dtype=np.float32)
+        y = np.array([2.0, 5.0, 0.0, -0.0], dtype=np.float32)
+        out = approx_fp_multiply(x, y, BFLOAT16, PC3_TR)
+        np.testing.assert_array_equal(np.abs(out), np.zeros(4, dtype=np.float32))
+
+    def test_sign_rule(self):
+        for sx, sy in [(1, 1), (1, -1), (-1, 1), (-1, -1)]:
+            out = approx_fp_multiply(
+                np.float32(sx * 1.5), np.float32(sy * 1.25), BFLOAT16, PC3
+            )
+            assert np.sign(out) == sx * sy
+
+
+class TestBounds:
+    @pytest.mark.parametrize("config", all_configs())
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32])
+    def test_magnitude_never_exceeds_exact(self, config, fmt):
+        """The OR is bounded by the sum, so |approx| <= |exact| always."""
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(4096).astype(np.float32)
+        y = rng.standard_normal(4096).astype(np.float32)
+        exact = exact_fp_multiply(x, y, fmt)
+        approx = approx_fp_multiply(x, y, fmt, config)
+        assert np.all(np.abs(approx) <= np.abs(exact) + 0.0)
+
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32])
+    def test_relative_error_bounded(self, fmt):
+        """PC3's worst significand underestimate is < 25 % (top 3 PPs are
+        exact; the missing mass is below the fourth partial product)."""
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal(4096).astype(np.float32)
+        y = rng.standard_normal(4096).astype(np.float32)
+        exact = exact_fp_multiply(x, y, fmt)
+        approx = approx_fp_multiply(x, y, fmt, PC3)
+        nz = exact != 0
+        rel = np.abs(exact[nz] - approx[nz]) / np.abs(exact[nz])
+        assert rel.max() < 0.25
+
+    def test_mean_error_ordering_fla_pc2_pc3(self):
+        rng = np.random.default_rng(17)
+        x = rng.standard_normal(1 << 14).astype(np.float32)
+        y = rng.standard_normal(1 << 14).astype(np.float32)
+        exact = exact_fp_multiply(x, y, BFLOAT16)
+        nz = exact != 0
+        means = {}
+        for config in (FLA, PC2, PC3):
+            approx = approx_fp_multiply(x, y, BFLOAT16, config)
+            means[config.name] = float(
+                np.mean(np.abs(exact[nz] - approx[nz]) / np.abs(exact[nz]))
+            )
+        assert means["FLA"] > means["PC2"] > means["PC3"]
+
+
+class TestSpecials:
+    def test_inf_routed_exactly(self):
+        out = approx_fp_multiply(np.float32(np.inf), np.float32(2.0), BFLOAT16, PC3_TR)
+        assert np.isinf(out) and out > 0
+
+    def test_nan_propagates(self):
+        out = approx_fp_multiply(np.float32(np.nan), np.float32(2.0), BFLOAT16, PC3_TR)
+        assert np.isnan(out)
+
+    def test_overflow_saturates_to_inf(self):
+        big = np.float32(1e38)
+        out = approx_fp_multiply(big, big, FLOAT32, PC3)
+        assert np.isinf(out)
+
+    def test_underflow_flushes_to_zero(self):
+        tiny = np.float32(1e-38)
+        out = approx_fp_multiply(tiny, tiny, FLOAT32, PC3)
+        assert out == 0.0
+
+
+class TestTruncationBehaviour:
+    def test_truncated_at_most_untruncated_error(self):
+        """Truncation can only drop low result bits, never add value."""
+        rng = np.random.default_rng(19)
+        x = np.abs(rng.standard_normal(2048)).astype(np.float32) + 0.5
+        y = np.abs(rng.standard_normal(2048)).astype(np.float32) + 0.5
+        untr = approx_fp_multiply(x, y, BFLOAT16, PC3)
+        tr = approx_fp_multiply(x, y, BFLOAT16, PC3_TR)
+        assert np.all(tr <= untr)
+
+    def test_truncated_error_still_small(self):
+        rng = np.random.default_rng(23)
+        x = rng.standard_normal(4096).astype(np.float32)
+        y = rng.standard_normal(4096).astype(np.float32)
+        exact = exact_fp_multiply(x, y, BFLOAT16)
+        approx = approx_fp_multiply(x, y, BFLOAT16, PC3_TR)
+        nz = exact != 0
+        rel = np.abs(exact[nz] - approx[nz]) / np.abs(exact[nz])
+        assert rel.mean() < 0.08
+
+
+class TestBroadcastingAndDtypes:
+    def test_broadcasting(self):
+        x = np.ones((3, 1), dtype=np.float32) * 1.5
+        y = np.ones((1, 4), dtype=np.float32) * 2.0
+        out = approx_fp_multiply(x, y, BFLOAT16, PC3)
+        assert out.shape == (3, 4)
+
+    def test_returns_float32(self):
+        out = approx_fp_multiply(np.float64(1.5), np.float64(2.5), BFLOAT16, PC3)
+        assert out.dtype == np.float32
+
+    def test_scalar_inputs(self):
+        out = approx_fp_multiply(1.5, 2.0, BFLOAT16, PC3)
+        assert out == np.float32(3.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(x=finite_floats, y=finite_floats, config=st.sampled_from(all_configs()))
+def test_property_bounded_and_sign_correct(x, y, config):
+    exact = exact_fp_multiply(np.float32(x), np.float32(y), BFLOAT16)
+    approx = approx_fp_multiply(np.float32(x), np.float32(y), BFLOAT16, config)
+    assert float(np.abs(approx)) <= float(np.abs(exact)) or np.isinf(exact)
+    if approx != 0 and np.isfinite(exact) and exact != 0:
+        assert np.sign(approx) == np.sign(exact)

@@ -1,0 +1,100 @@
+"""Tests for the approximate GEMM and the matmul backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FLA, PC3, PC3_TR
+from repro.core.fp_mul import approx_fp_multiply
+from repro.core.gemm import (
+    ApproxMatmul,
+    ExactMatmul,
+    QuantizedMatmul,
+    approx_matmul,
+)
+from repro.formats.floatfmt import BFLOAT16, FLOAT32, quantize
+
+
+class TestApproxMatmul:
+    def test_matches_elementwise_products(self):
+        """The GEMM is exactly sum-of-approximate-products."""
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((5, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 3)).astype(np.float32)
+        got = approx_matmul(a, b, BFLOAT16, PC3_TR)
+        want = np.zeros((5, 3), dtype=np.float32)
+        for k in range(7):
+            want += approx_fp_multiply(a[:, k : k + 1], b[k : k + 1, :], BFLOAT16, PC3_TR)
+        np.testing.assert_allclose(got, want, rtol=1e-6)
+
+    def test_chunking_invariant(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((9, 33)).astype(np.float32)
+        b = rng.standard_normal((33, 8)).astype(np.float32)
+        full = approx_matmul(a, b, BFLOAT16, PC3, k_chunk=None)
+        small = approx_matmul(a, b, BFLOAT16, PC3, k_chunk=5)
+        np.testing.assert_allclose(full, small, rtol=1e-6)
+
+    def test_identity_times_matrix_is_quantisation(self):
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal((6, 6)).astype(np.float32)
+        eye = np.eye(6, dtype=np.float32)
+        got = approx_matmul(eye, b, BFLOAT16, PC3)
+        np.testing.assert_allclose(got, quantize(b, BFLOAT16), rtol=0, atol=0)
+
+    def test_zero_rows_stay_zero(self):
+        a = np.zeros((3, 4), dtype=np.float32)
+        b = np.ones((4, 2), dtype=np.float32)
+        np.testing.assert_array_equal(approx_matmul(a, b, BFLOAT16, FLA), np.zeros((3, 2)))
+
+    def test_error_small_relative_to_exact(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((32, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 16)).astype(np.float32)
+        got = approx_matmul(a, b, BFLOAT16, PC3_TR)
+        exact = a @ b
+        rel = np.linalg.norm(got - exact) / np.linalg.norm(exact)
+        assert rel < 0.15
+
+    def test_shape_validation(self):
+        a = np.zeros((2, 3), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            approx_matmul(a, np.zeros((4, 2), dtype=np.float32), BFLOAT16, PC3)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            approx_matmul(np.zeros(3, dtype=np.float32), a, BFLOAT16, PC3)
+
+    def test_float32_format_supported(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        got = approx_matmul(a, b, FLOAT32, PC3)
+        exact = a @ b
+        rel = np.linalg.norm(got - exact) / np.linalg.norm(exact)
+        assert rel < 0.15
+
+
+class TestBackends:
+    def test_exact_backend_is_numpy(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        np.testing.assert_allclose(ExactMatmul().matmul(a, b), a @ b, rtol=1e-6)
+
+    def test_quantized_backend_quantizes(self):
+        a = np.array([[1.0 + 2.0 ** -10]], dtype=np.float32)  # not a bf16 value
+        b = np.array([[1.0]], dtype=np.float32)
+        out = QuantizedMatmul(BFLOAT16).matmul(a, b)
+        assert out[0, 0] == np.float32(1.0)
+
+    def test_approx_backend_name(self):
+        backend = ApproxMatmul(fmt=BFLOAT16, config=PC3_TR)
+        assert backend.name == "approx_bfloat16_PC3_tr"
+
+    def test_backend_results_ordered_by_fidelity(self):
+        """exact == quantised-fp32; PC3 closer to exact than FLA."""
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((16, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 8)).astype(np.float32)
+        exact = ExactMatmul().matmul(a, b)
+        err_pc3 = np.linalg.norm(ApproxMatmul(BFLOAT16, PC3).matmul(a, b) - exact)
+        err_fla = np.linalg.norm(ApproxMatmul(BFLOAT16, FLA).matmul(a, b) - exact)
+        assert err_pc3 < err_fla

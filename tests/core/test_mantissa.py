@@ -1,0 +1,194 @@
+"""Tests for the scalar reference mantissa multipliers.
+
+These pin the *semantics* of the OR-approximation: bounds against the
+exact product, exactness conditions, truncation consistency, and the
+paper's accuracy ordering (in distribution, not pointwise — see
+DESIGN.md §5).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FLA, PC2, PC2_TR, PC3, PC3_TR, all_configs
+from repro.core.mantissa import (
+    activated_line_values,
+    approx_multiply,
+    approx_multiply_truncated,
+    exact_multiply,
+    max_simultaneous_lines,
+    or_multiply,
+)
+
+UNTRUNCATED = [FLA, PC2, PC3]
+TRUNCATED = [PC2_TR, PC3_TR]
+
+
+class TestExactMultiply:
+    def test_matches_python(self):
+        assert exact_multiply(13, 11, 4) == 143
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            exact_multiply(16, 1, 4)
+        with pytest.raises(ValueError):
+            exact_multiply(1, -1, 4)
+
+
+class TestOrMultiply:
+    def test_single_bit_multiplier_is_exact(self):
+        for shift in range(8):
+            assert or_multiply(201, 1 << shift, 8) == 201 << shift
+
+    def test_zero_operands(self):
+        assert or_multiply(0, 255, 8) == 0
+        assert or_multiply(255, 0, 8) == 0
+
+    def test_is_fla(self):
+        for a, b in [(11, 5), (255, 255), (128, 3)]:
+            assert or_multiply(a, b, 8) == approx_multiply(a, b, 8, FLA)
+
+    def test_paper_figure1_example(self):
+        # Fig. 1: a=1011, b=0101 -> OR of (1011) and (101100).
+        assert or_multiply(0b1011, 0b0101, 4) == (0b1011 | 0b101100)
+
+
+class TestApproxBounds:
+    @pytest.mark.parametrize("config", UNTRUNCATED)
+    def test_never_exceeds_exact_exhaustive_n5(self, config):
+        for a, b in itertools.product(range(32), repeat=2):
+            assert approx_multiply(a, b, 5, config) <= a * b
+
+    @pytest.mark.parametrize("config", UNTRUNCATED)
+    def test_at_least_each_activated_line(self, config):
+        for a, b in itertools.product(range(1, 32, 3), range(1, 32, 3)):
+            result = approx_multiply(a, b, 5, config)
+            for kind, payload in activated_line_values(b, 5, config):
+                line = a << payload if kind == "pp" else a * payload
+                assert result >= line
+
+    @pytest.mark.parametrize("config", UNTRUNCATED)
+    def test_zero_multiplier_gives_zero(self, config):
+        assert approx_multiply(17, 0, 5, config) == 0
+
+
+class TestExactnessConditions:
+    def test_fla_exact_for_single_bit(self):
+        for i in range(6):
+            assert approx_multiply(45, 1 << i, 6, FLA) == 45 << i
+
+    def test_pc2_exact_when_bits_in_top_two(self):
+        n = 6
+        for top in (0b10, 0b01, 0b11):
+            b = top << (n - 2)
+            for a in range(1 << n):
+                assert approx_multiply(a, b, n, PC2) == a * b
+
+    def test_pc3_exact_when_bits_in_top_three(self):
+        n = 6
+        for top in range(1, 8):
+            b = top << (n - 3)
+            for a in range(0, 1 << n, 5):
+                assert approx_multiply(a, b, n, PC3) == a * b
+
+    def test_pc3_not_exact_in_general(self):
+        assert approx_multiply(63, 63, 6, PC3) < 63 * 63
+
+
+class TestAccuracyOrderingInDistribution:
+    def test_mean_error_strictly_ordered_fla_pc2_pc3(self):
+        """The paper's claim: PC3 has better accuracy (Sec. V-D reason 1).
+
+        Exhaustive over the FP significand range for n=6.
+        """
+        n = 6
+        lo = 1 << (n - 1)
+        totals = {}
+        for config in UNTRUNCATED:
+            total = 0.0
+            for a, b in itertools.product(range(lo, 1 << n), repeat=2):
+                total += (a * b - approx_multiply(a, b, n, config)) / (a * b)
+            totals[config.name] = total
+        assert totals["FLA"] > totals["PC2"] > totals["PC3"] > 0
+
+
+class TestTruncated:
+    @pytest.mark.parametrize("config", TRUNCATED)
+    def test_truncated_equals_shifted_untruncated(self, config):
+        """Right-shift distributes over bitwise OR, so truncating every
+        stored line before the wired OR equals truncating the full
+        untruncated result — exhaustively checked for n=6."""
+        n = 6
+        base = PC2 if config.precomputed == 2 else PC3
+        for a, b in itertools.product(range(64), repeat=2):
+            full = approx_multiply(a, b, n, base)
+            tr = approx_multiply(a, b, n, config)
+            assert tr == full >> n
+
+    @pytest.mark.parametrize("config", TRUNCATED)
+    def test_truncated_fits_in_n_bits(self, config):
+        n = 6
+        for a, b in itertools.product(range(64), repeat=2):
+            assert approx_multiply(a, b, n, config) < (1 << n)
+
+    def test_truncated_entry_point_equivalence(self):
+        for a, b in itertools.product(range(0, 64, 7), repeat=2):
+            assert approx_multiply(a, b, 6, PC3_TR) == approx_multiply_truncated(a, b, 6, PC3_TR)
+
+
+class TestActivatedLines:
+    def test_fla_lines_are_set_bits(self):
+        lines = activated_line_values(0b101101, 6, FLA)
+        assert lines == [("pp", 0), ("pp", 2), ("pp", 3), ("pp", 5)]
+
+    def test_pc3_single_pc_line(self):
+        lines = activated_line_values(0b111001, 6, PC3)
+        pc = [l for l in lines if l[0] == "pc"]
+        assert pc == [("pc", 0b111 << 3)]
+        assert ("pp", 0) in lines
+
+    def test_max_simultaneous_lines_ordering(self):
+        """Pre-computation reduces worst-case active lines (Sec. V-D)."""
+        n = 8
+        assert (
+            max_simultaneous_lines(n, PC3)
+            < max_simultaneous_lines(n, PC2)
+            < max_simultaneous_lines(n, FLA)
+        )
+        assert max_simultaneous_lines(n, FLA) == n
+        assert max_simultaneous_lines(n, PC3) == 1 + (n - 3)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+    config=st.sampled_from(all_configs()),
+)
+def test_property_bounded_by_exact(a, b, config):
+    """For any operands and any config, approx <= exact (scaled for tr)."""
+    result = approx_multiply(a, b, 8, config)
+    if config.truncated:
+        # Right-shift distributes over OR, so tr == untruncated >> n.
+        base = type(config)(config.scheme, truncated=False)
+        assert result == approx_multiply(a, b, 8, base) >> 8
+        assert result <= (a * b) >> 8
+    else:
+        assert result <= a * b
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=4095),
+    b=st.integers(min_value=0, max_value=4095),
+)
+def test_property_or_multiply_bit_superset(a, b):
+    """Every result bit of FLA is present in some activated line."""
+    result = or_multiply(a, b, 12)
+    union = 0
+    for i in range(12):
+        if (b >> i) & 1:
+            union |= a << i
+    assert result == union

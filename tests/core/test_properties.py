@@ -1,0 +1,95 @@
+"""Cross-cutting algebraic properties of the approximate arithmetic.
+
+These pin behaviours a user silently relies on: exponent-only operations
+are exact (the approximation lives entirely in the significand path),
+and the multiplier's operand roles are *not* interchangeable — the
+multiplicand sits in the SRAM, the multiplier drives the decoder.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PC2, PC3_TR, all_configs
+from repro.core.fp_mul import approx_fp_multiply
+from repro.core.gemm import approx_matmul
+from repro.core.mantissa import approx_multiply
+from repro.formats.floatfmt import BFLOAT16
+
+# Magnitudes far from the flush-to-zero and overflow boundaries, where
+# scaling by 2^k cannot change which side of the boundary a product is on.
+_magnitude = st.floats(min_value=0.0009765625, max_value=1024.0, allow_nan=False, width=32)
+moderate = st.tuples(_magnitude, st.booleans()).map(
+    lambda pair: np.float32(-pair[0] if pair[1] else pair[0])
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(x=moderate, y=moderate, k=st.integers(min_value=-8, max_value=8),
+       config=st.sampled_from(all_configs()))
+def test_power_of_two_scale_equivariance(x, y, k, config):
+    """Scaling an operand by 2^k only shifts its exponent, so the
+    approximate product scales exactly by 2^k."""
+    scale = np.float32(2.0 ** k)
+    base = approx_fp_multiply(np.float32(x), np.float32(y), BFLOAT16, config)
+    scaled = approx_fp_multiply(np.float32(x) * scale, np.float32(y), BFLOAT16, config)
+    np.testing.assert_allclose(scaled, base * scale, rtol=0, atol=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(k=st.integers(min_value=-4, max_value=4))
+def test_gemm_power_of_two_equivariance(k):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((6, 10)).astype(np.float32)
+    b = rng.standard_normal((10, 4)).astype(np.float32)
+    scale = np.float32(2.0 ** k)
+    base = approx_matmul(a, b, BFLOAT16, PC3_TR)
+    scaled = approx_matmul(a * scale, b, BFLOAT16, PC3_TR)
+    np.testing.assert_allclose(scaled, base * scale, rtol=1e-6)
+
+
+@settings(max_examples=150, deadline=None)
+@given(x=moderate, y=moderate, config=st.sampled_from(all_configs()))
+def test_negation_antisymmetry(x, y, config):
+    """Sign handling is exact: approx(-x, y) == -approx(x, y)."""
+    pos = approx_fp_multiply(np.float32(x), np.float32(y), BFLOAT16, config)
+    neg = approx_fp_multiply(np.float32(-x), np.float32(y), BFLOAT16, config)
+    np.testing.assert_array_equal(neg, -pos)
+
+
+class TestNonCommutativity:
+    def test_integer_multiplier_roles_differ(self):
+        """The multiplicand is stored (expanded into lines); the
+        multiplier drives the decoder.  Swapping them changes the result
+        — a concrete pair documents it."""
+        a, b, n = 0b10110111, 0b11010001, 8
+        assert approx_multiply(a, b, n, PC2) != approx_multiply(b, a, n, PC2)
+
+    def test_fla_is_commutative_though(self):
+        """FLA *is* symmetric: the OR of a<<i over bits of b equals the
+        union of pairwise bit products, which is symmetric in (a, b)."""
+        rng = np.random.default_rng(0)
+        from repro.core.config import FLA
+
+        for _ in range(200):
+            a, b = rng.integers(0, 256, 2)
+            assert approx_multiply(int(a), int(b), 8, FLA) == approx_multiply(
+                int(b), int(a), 8, FLA
+            )
+
+    def test_mean_error_insensitive_to_role_assignment(self):
+        """Although pointwise asymmetric, PC-config error statistics are
+        near-identical under role swap (no 'which operand goes in SRAM'
+        tuning is needed)."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(128, 256, 4096, dtype=np.uint64)
+        b = rng.integers(128, 256, 4096, dtype=np.uint64)
+        from repro.core.vectorized import approx_multiply_array
+
+        fwd = approx_multiply_array(a, b, 8, PC2).astype(np.float64)
+        rev = approx_multiply_array(b, a, 8, PC2).astype(np.float64)
+        exact = (a * b).astype(np.float64)
+        err_fwd = ((exact - fwd) / exact).mean()
+        err_rev = ((exact - rev) / exact).mean()
+        assert err_fwd == pytest.approx(err_rev, rel=0.1)

@@ -1,0 +1,123 @@
+"""Tests for the related-work baseline multipliers (LPO, PP compression)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.related_work import (
+    compressed_pp_multiply,
+    compressed_pp_multiply_array,
+    lower_part_or_multiply,
+    lower_part_or_multiply_array,
+)
+
+
+class TestLowerPartOr:
+    def test_split_zero_is_exact(self):
+        for a, b in itertools.product(range(0, 64, 5), repeat=2):
+            assert lower_part_or_multiply(a, b, 6, split=0) == a * b
+
+    def test_full_split_is_fla(self):
+        from repro.core.config import FLA
+        from repro.core.mantissa import approx_multiply
+
+        for a, b in itertools.product(range(0, 64, 3), repeat=2):
+            assert lower_part_or_multiply(a, b, 6, split=12) == approx_multiply(a, b, 6, FLA)
+
+    def test_bounded_by_exact(self):
+        for a, b in itertools.product(range(64), repeat=2):
+            assert lower_part_or_multiply(a, b, 6, split=4) <= a * b
+
+    def test_error_grows_with_split(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(128, 256, 4096, dtype=np.uint64)
+        b = rng.integers(128, 256, 4096, dtype=np.uint64)
+        exact = (a * b).astype(np.float64)
+        means = []
+        for split in (0, 4, 8, 12, 16):
+            approx = lower_part_or_multiply_array(a, b, 8, split).astype(np.float64)
+            means.append(((exact - approx) / exact).mean())
+        assert all(x <= y + 1e-12 for x, y in zip(means, means[1:]))
+
+    def test_vector_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 300, dtype=np.uint64)
+        b = rng.integers(0, 256, 300, dtype=np.uint64)
+        for split in (0, 5, 9, 16):
+            got = lower_part_or_multiply_array(a, b, 8, split)
+            want = np.array(
+                [lower_part_or_multiply(int(x), int(y), 8, split) for x, y in zip(a, b)],
+                dtype=np.uint64,
+            )
+            np.testing.assert_array_equal(got, want)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_part_or_multiply(1, 1, 4, split=9)
+        with pytest.raises(ValueError):
+            lower_part_or_multiply(16, 1, 4, split=0)
+
+
+class TestCompressedPP:
+    def test_zero_stages_exact(self):
+        for a, b in itertools.product(range(0, 64, 5), repeat=2):
+            assert compressed_pp_multiply(a, b, 6, stages=0) == a * b
+
+    def test_bounded_by_exact(self):
+        for a, b in itertools.product(range(64), repeat=2):
+            for stages in (1, 2, 3):
+                assert compressed_pp_multiply(a, b, 6, stages) <= a * b
+
+    def test_more_stages_more_error(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(128, 256, 4096, dtype=np.uint64)
+        b = rng.integers(128, 256, 4096, dtype=np.uint64)
+        exact = (a * b).astype(np.float64)
+        means = []
+        for stages in (0, 1, 2, 3):
+            approx = compressed_pp_multiply_array(a, b, 8, stages).astype(np.float64)
+            means.append(((exact - approx) / exact).mean())
+        assert all(x <= y + 1e-12 for x, y in zip(means, means[1:]))
+
+    def test_many_stages_converges_to_fla(self):
+        """Compressing until one PP survives is exactly the full OR."""
+        from repro.core.config import FLA
+        from repro.core.mantissa import approx_multiply
+
+        for a, b in itertools.product(range(0, 64, 7), repeat=2):
+            assert compressed_pp_multiply(a, b, 6, stages=10) == approx_multiply(a, b, 6, FLA)
+
+    def test_vector_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, 200, dtype=np.uint64)
+        b = rng.integers(0, 256, 200, dtype=np.uint64)
+        for stages in (0, 1, 2):
+            got = compressed_pp_multiply_array(a, b, 8, stages)
+            want = np.array(
+                [compressed_pp_multiply(int(x), int(y), 8, stages) for x, y in zip(a, b)],
+                dtype=np.uint64,
+            )
+            np.testing.assert_array_equal(got, want)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compressed_pp_multiply(1, 1, 4, stages=-1)
+
+
+class TestComparisonWithDaism:
+    def test_pc3_competitive_with_one_stage_compression(self):
+        """DAISM PC3 (no adder tree at all) stays within the error range
+        of a 1-stage compression multiplier (which still needs adders)."""
+        from repro.core.config import PC3
+        from repro.core.vectorized import approx_multiply_array
+
+        rng = np.random.default_rng(4)
+        a = rng.integers(128, 256, 1 << 14, dtype=np.uint64)
+        b = rng.integers(128, 256, 1 << 14, dtype=np.uint64)
+        exact = (a * b).astype(np.float64)
+        pc3 = approx_multiply_array(a, b, 8, PC3).astype(np.float64)
+        comp = compressed_pp_multiply_array(a, b, 8, stages=1).astype(np.float64)
+        err_pc3 = ((exact - pc3) / exact).mean()
+        err_comp = ((exact - comp) / exact).mean()
+        assert err_pc3 < 3 * err_comp

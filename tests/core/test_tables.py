@@ -1,0 +1,58 @@
+"""The LUT fast path must be bit-identical to the bit-loop kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3, PC3_TR, all_configs
+from repro.core.tables import (
+    MAX_TABLE_BITS,
+    product_table,
+    table_supported,
+    tabulated_multiply,
+)
+from repro.core.vectorized import approx_multiply_array
+
+
+class TestSupport:
+    def test_supported_range(self):
+        assert table_supported(1)
+        assert table_supported(8)
+        assert table_supported(MAX_TABLE_BITS)
+        assert not table_supported(MAX_TABLE_BITS + 1)
+        assert not table_supported(0)
+
+    def test_unsupported_raises(self):
+        with pytest.raises(ValueError, match="no table"):
+            product_table(24, PC3)
+
+
+class TestTableContents:
+    @pytest.mark.parametrize("config", all_configs())
+    def test_full_table_matches_bitloop_n8(self, config):
+        table = product_table(8, config)
+        operands = np.arange(256, dtype=np.uint64)
+        want = approx_multiply_array(operands[:, None], operands[None, :], 8, config)
+        np.testing.assert_array_equal(table.astype(np.uint64), want)
+
+    def test_table_is_readonly(self):
+        table = product_table(8, PC3)
+        with pytest.raises(ValueError):
+            table[0, 0] = 1
+
+    def test_table_cached(self):
+        assert product_table(8, PC3) is product_table(8, PC3)
+
+    def test_distinct_configs_get_distinct_tables(self):
+        assert not np.array_equal(product_table(8, PC3), product_table(8, PC3_TR))
+
+
+class TestGather:
+    @pytest.mark.parametrize("config", all_configs())
+    def test_gather_matches_bitloop(self, config):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, (17, 9), dtype=np.uint64)
+        b = rng.integers(0, 256, (17, 9), dtype=np.uint64)
+        got = tabulated_multiply(a, b, 8, config)
+        want = approx_multiply_array(a, b, 8, config)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == np.uint64

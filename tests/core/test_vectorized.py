@@ -1,0 +1,101 @@
+"""Vectorised kernels must match the scalar reference bit-for-bit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.config import all_configs
+from repro.core.mantissa import approx_multiply, or_multiply
+from repro.core.vectorized import (
+    approx_multiply_array,
+    exact_multiply_array,
+    or_multiply_array,
+)
+
+
+def scalar_reference(a, b, bits, config):
+    return np.array(
+        [approx_multiply(int(x), int(y), bits, config) for x, y in zip(a.ravel(), b.ravel())],
+        dtype=np.uint64,
+    ).reshape(a.shape)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("config", all_configs())
+    @pytest.mark.parametrize("bits", [4, 8, 12])
+    def test_matches_scalar_reference(self, config, bits):
+        rng = np.random.default_rng(42)
+        a = rng.integers(0, 1 << bits, 300, dtype=np.uint64)
+        b = rng.integers(0, 1 << bits, 300, dtype=np.uint64)
+        got = approx_multiply_array(a, b, bits, config)
+        want = scalar_reference(a, b, bits, config)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("config", all_configs())
+    def test_float32_width_24_bits(self, config):
+        rng = np.random.default_rng(7)
+        a = rng.integers(1 << 23, 1 << 24, 50, dtype=np.uint64)
+        b = rng.integers(1 << 23, 1 << 24, 50, dtype=np.uint64)
+        got = approx_multiply_array(a, b, 24, config)
+        want = scalar_reference(a, b, 24, config)
+        np.testing.assert_array_equal(got, want)
+
+    def test_or_multiply_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, 200, dtype=np.uint64)
+        b = rng.integers(0, 256, 200, dtype=np.uint64)
+        got = or_multiply_array(a, b, 8)
+        want = np.array([or_multiply(int(x), int(y), 8) for x, y in zip(a, b)], dtype=np.uint64)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestShapes:
+    def test_broadcasting_outer_product(self):
+        a = np.arange(8, dtype=np.uint64)[:, None]
+        b = np.arange(8, dtype=np.uint64)[None, :]
+        out = exact_multiply_array(a, b, 4)
+        assert out.shape == (8, 8)
+        np.testing.assert_array_equal(out, a * b)
+
+    def test_empty_input(self):
+        a = np.array([], dtype=np.uint64)
+        out = approx_multiply_array(a, a, 8, all_configs()[0])
+        assert out.shape == (0,)
+
+    def test_3d_broadcast(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (4, 5, 1), dtype=np.uint64)
+        b = rng.integers(0, 256, (1, 5, 3), dtype=np.uint64)
+        out = approx_multiply_array(a, b, 8, all_configs()[2])
+        assert out.shape == (4, 5, 3)
+
+
+class TestValidation:
+    def test_rejects_too_wide_operands(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            approx_multiply_array(np.array([256], dtype=np.uint64), np.array([1], dtype=np.uint64), 8, all_configs()[0])
+
+    def test_rejects_bad_bits(self):
+        a = np.array([1], dtype=np.uint64)
+        with pytest.raises(ValueError, match="bits"):
+            approx_multiply_array(a, a, 25, all_configs()[0])
+        with pytest.raises(ValueError, match="bits"):
+            approx_multiply_array(a, a, 0, all_configs()[0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=hnp.arrays(
+        dtype=np.uint64,
+        shape=st.integers(min_value=1, max_value=64),
+        elements=st.integers(min_value=0, max_value=255),
+    ),
+    config=st.sampled_from(all_configs()),
+)
+def test_property_vector_matches_scalar(data, config):
+    b = data[::-1].copy()
+    got = approx_multiply_array(data, b, 8, config)
+    want = scalar_reference(data, b, 8, config)
+    np.testing.assert_array_equal(got, want)

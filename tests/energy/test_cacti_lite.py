@@ -1,0 +1,103 @@
+"""Tests for the analytic CACTI-lite SRAM model."""
+
+import pytest
+
+from repro.energy.cacti_lite import CactiLite
+
+
+class TestGeometry:
+    def test_square_sizes(self):
+        assert CactiLite.square_geometry(8 * 1024) == (256, 256)
+        assert CactiLite.square_geometry(512 * 1024) == (2048, 2048)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            CactiLite.square_geometry(3000)
+
+    def test_rectangular_geometry_exact_cover(self):
+        """Near-square factorisation covers every bit exactly."""
+        for cap in (1024, 3 * 1024, 108 * 1024, 2048):
+            rows, cols = CactiLite.rectangular_geometry(cap)
+            assert rows * cols == cap * 8
+            assert rows & (rows - 1) == 0  # power of two
+            assert cols >= rows / 4  # near square
+
+    def test_rectangular_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CactiLite.rectangular_geometry(0)
+
+    def test_word_read_handles_non_square_buffers(self):
+        model = CactiLite()
+        assert model.word_read_energy_pj(108 * 1024, 16) > 0
+
+
+class TestEnergyScaling:
+    def test_row_read_energy_monotone_in_capacity(self):
+        model = CactiLite()
+        sizes = [2, 8, 32, 128, 512]
+        energies = [
+            model.row_read_energy_pj(*CactiLite.square_geometry(kb * 1024)) for kb in sizes
+        ]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_segmentation_caps_per_column_energy(self):
+        """Beyond the segment size, per-column energy stops growing —
+        per-computation energy stays flat across bank sizes (the paper's
+        Fig. 5 finding 3)."""
+        model = CactiLite()
+        e8 = model.row_read_energy_pj(256, 256) / 256
+        e512 = model.row_read_energy_pj(2048, 2048) / 2048
+        assert e512 / e8 < 1.15
+
+    def test_multi_wordline_activation_costs_extra_wordlines_only(self):
+        model = CactiLite()
+        e1 = model.row_read_energy_pj(256, 256, active_wordlines=1)
+        e4 = model.row_read_energy_pj(256, 256, active_wordlines=4)
+        assert e4 > e1
+        # The increment is 3 wordline drives, well under one full read.
+        assert (e4 - e1) < 0.25 * e1
+
+    def test_word_read_cheaper_than_row_read_for_large_banks(self):
+        model = CactiLite()
+        rows, cols = CactiLite.square_geometry(512 * 1024)
+        assert model.word_read_energy_pj(512 * 1024, 16) < model.row_read_energy_pj(rows, cols)
+
+    def test_write_full_swing_more_than_read(self):
+        model = CactiLite()
+        assert model.row_write_energy_pj(256, 256) > model.row_read_energy_pj(256, 256)
+
+    def test_validation(self):
+        model = CactiLite()
+        with pytest.raises(ValueError):
+            model.row_read_energy_pj(0, 256)
+        with pytest.raises(ValueError):
+            model.row_read_energy_pj(256, 256, active_wordlines=0)
+
+
+class TestArea:
+    def test_area_monotone_and_superlinear_overheads_amortise(self):
+        model = CactiLite()
+        a8 = model.area_mm2(8 * 1024)
+        a32 = model.area_mm2(32 * 1024)
+        assert a32 > a8
+        # 4x capacity costs less than 4x area +periphery amortisation.
+        assert a32 < 4 * a8
+
+    def test_plausible_45nm_magnitudes(self):
+        """512 kB at 45 nm should land in the low-mm^2 range."""
+        model = CactiLite()
+        assert 1.0 < model.area_mm2(512 * 1024) < 3.5
+
+    def test_costs_bundle(self):
+        costs = CactiLite().costs(8 * 1024)
+        assert costs.rows == costs.cols == 256
+        assert costs.row_read_pj > 0
+        assert costs.area_mm2 > 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CactiLite().area_mm2(0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            CactiLite(array_efficiency=0.0)

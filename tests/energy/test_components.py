@@ -1,0 +1,67 @@
+"""Tests for the 45 nm component library."""
+
+import pytest
+
+from repro.energy import components
+from repro.formats.floatfmt import BFLOAT16, FLOAT16, FLOAT32
+
+
+class TestBaselineMultiplier:
+    def test_bf16_derived_via_eq1(self):
+        e32 = components.baseline_multiplier_energy_pj(FLOAT32)
+        e16 = components.baseline_multiplier_energy_pj(BFLOAT16)
+        assert e16 == pytest.approx(e32 * components.EQ1_SIM_RATIO_BF16)
+
+    def test_eq1_t_factor(self):
+        base = components.baseline_multiplier_energy_pj(BFLOAT16)
+        scaled = components.baseline_multiplier_energy_pj(BFLOAT16, eq1_t_factor=0.5)
+        assert scaled == pytest.approx(base * 0.5)
+
+    def test_truncation_reduces_energy_monotonically(self):
+        energies = [
+            components.baseline_multiplier_energy_pj(FLOAT32, truncated_columns=t)
+            for t in (0, 6, 12, 18)
+        ]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+        assert energies[-1] > 0
+
+    def test_truncation_reduces_area(self):
+        a0 = components.baseline_multiplier_area_mm2(FLOAT32)
+        a12 = components.baseline_multiplier_area_mm2(FLOAT32, truncated_columns=12)
+        assert a12 < a0
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(ValueError):
+            components.baseline_multiplier_energy_pj(FLOAT16)
+
+    def test_truncation_bounds_checked(self):
+        with pytest.raises(ValueError):
+            components.baseline_multiplier_energy_pj(FLOAT32, truncated_columns=24)
+
+
+class TestSmallComponents:
+    def test_exponent_handling_scales_with_format(self):
+        assert components.exponent_handling_energy_pj(FLOAT32) > components.exponent_handling_energy_pj(BFLOAT16)
+
+    def test_accumulator_positive(self):
+        assert components.accumulator_energy_pj(BFLOAT16) > 0
+        assert components.accumulator_energy_pj(FLOAT32) > components.accumulator_energy_pj(BFLOAT16)
+
+    def test_register_file_scales_with_width(self):
+        assert components.register_file_read_energy_pj(32) == pytest.approx(
+            2 * components.register_file_read_energy_pj(16)
+        )
+        with pytest.raises(ValueError):
+            components.register_file_read_energy_pj(0)
+
+    def test_decoder_tiny(self):
+        """The decoder is orders of magnitude below a multiplier."""
+        e = components.decoder_energy_pj(6)
+        assert e < 0.01
+        with pytest.raises(ValueError):
+            components.decoder_energy_pj(-1)
+
+    def test_area_constants_positive(self):
+        assert components.pe_digital_area_mm2() > 0
+        assert components.bank_overhead_area_mm2() > 0
+        assert components.scratchpad_control_area_mm2() > 0

@@ -1,0 +1,113 @@
+"""Tests pinning the paper's four Fig. 5 findings and the Fig. 6 shape."""
+
+import pytest
+
+from repro.core.config import FLA, PC2, PC3, PC2_TR, PC3_TR, all_configs
+from repro.energy.multiplier_energy import (
+    average_active_lines,
+    baseline_multiplier_energy,
+    computations_per_read,
+    daism_multiplier_energy,
+    energy_improvement_with_exponent,
+)
+from repro.formats.floatfmt import BFLOAT16, FLOAT32
+
+
+class TestComputationsPerRead:
+    def test_truncation_doubles_computations(self):
+        """Fig. 5 finding 4: truncation nearly doubles comps per read."""
+        untr = computations_per_read(8 * 1024, BFLOAT16, PC3)
+        tr = computations_per_read(8 * 1024, BFLOAT16, PC3_TR)
+        assert tr == 2 * untr
+
+    def test_paper_row_widths(self):
+        # 512 kB bank (2048-bit rows), bf16 PC3_tr: 256 elements per row.
+        assert computations_per_read(512 * 1024, BFLOAT16, PC3_TR) == 256
+        assert computations_per_read(512 * 1024, BFLOAT16, PC3) == 128
+
+    def test_fp32_fewer_comps(self):
+        assert computations_per_read(32 * 1024, FLOAT32, PC3_TR) < computations_per_read(
+            32 * 1024, BFLOAT16, PC3_TR
+        )
+
+
+class TestActiveLines:
+    def test_precomputation_reduces_active_lines(self):
+        assert (
+            average_active_lines(BFLOAT16, PC3)
+            < average_active_lines(BFLOAT16, PC2)
+            < average_active_lines(BFLOAT16, FLA)
+        )
+
+    def test_values(self):
+        assert average_active_lines(BFLOAT16, FLA) == 1 + 7 / 2
+        assert average_active_lines(BFLOAT16, PC3) == 1 + 5 / 2
+
+
+class TestFig5Findings:
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32])
+    @pytest.mark.parametrize("bank_kb", [8, 32])
+    def test_finding1_decoder_below_half_percent(self, fmt, bank_kb):
+        """Paper: the decoder is "less than 0.5% of the energy
+        consumption in all cases"."""
+        for config in all_configs():
+            bd = daism_multiplier_energy(config, fmt, bank_kb * 1024)
+            assert bd.fraction("decoder") < 0.005
+
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32])
+    def test_finding2_memory_read_dominates(self, fmt):
+        for config in all_configs():
+            bd = daism_multiplier_energy(config, fmt, 32 * 1024)
+            assert bd.fraction("memory_read") > 0.5
+
+    @pytest.mark.parametrize("config", all_configs())
+    def test_finding3_flat_across_bank_sizes(self, config):
+        """Paper: "no major difference in terms of energy consumption
+        per computation" between 8 kB and 32 kB banks."""
+        e8 = daism_multiplier_energy(config, BFLOAT16, 8 * 1024).total_pj
+        e32 = daism_multiplier_energy(config, BFLOAT16, 32 * 1024).total_pj
+        assert abs(e8 - e32) / max(e8, e32) < 0.15
+
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32])
+    def test_finding4_truncation_nearly_halves_energy(self, fmt):
+        untr = daism_multiplier_energy(PC3, fmt, 8 * 1024).total_pj
+        tr = daism_multiplier_energy(PC3_TR, fmt, 8 * 1024).total_pj
+        assert 0.4 < tr / untr < 0.6
+
+    def test_pc_configs_similar_cost(self):
+        """Sec. V-D reason 3: FLA/PC2/PC3 energy per computation is
+        similar (within a few percent — only wordline count differs)."""
+        e = {c.name: daism_multiplier_energy(c, BFLOAT16, 8 * 1024).total_pj for c in (FLA, PC2, PC3)}
+        assert max(e.values()) / min(e.values()) < 1.05
+        # ...but PC3 is (slightly) the cheapest: fewer active wordlines.
+        assert e["PC3"] <= e["PC2"] <= e["FLA"]
+
+
+class TestBaselineAndImprovement:
+    def test_baseline_pays_two_operand_reads(self):
+        bd = baseline_multiplier_energy(BFLOAT16, 32 * 1024)
+        assert bd.parts["operand_reads"] > bd.parts["multiplier"]
+
+    def test_daism_beats_baseline(self):
+        base = baseline_multiplier_energy(BFLOAT16, 32 * 1024).total_pj
+        daism = daism_multiplier_energy(PC3_TR, BFLOAT16, 32 * 1024).total_pj
+        assert daism < base / 5
+
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32])
+    @pytest.mark.parametrize("bank_kb", [2, 8, 32, 128, 512])
+    def test_fig6_improvement_above_one(self, fmt, bank_kb):
+        assert energy_improvement_with_exponent(PC3_TR, fmt, bank_kb * 1024) > 1.0
+
+    def test_fig6_exponent_handling_reduces_benefit(self):
+        """Adding the common exponent cost shrinks the relative win."""
+        raw = (
+            baseline_multiplier_energy(BFLOAT16, 32 * 1024).total_pj
+            / daism_multiplier_energy(PC3_TR, BFLOAT16, 32 * 1024).total_pj
+        )
+        with_exp = energy_improvement_with_exponent(PC3_TR, BFLOAT16, 32 * 1024)
+        assert with_exp < raw
+
+    def test_truncated_improves_over_untruncated(self):
+        tr = energy_improvement_with_exponent(PC3_TR, BFLOAT16, 32 * 1024)
+        untr = energy_improvement_with_exponent(PC3, BFLOAT16, 32 * 1024)
+        assert tr > untr

@@ -1,0 +1,78 @@
+"""Tests for block floating point tensors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3, PC3_TR
+from repro.formats.bfp import BlockFloat, bfp_matmul
+
+
+class TestBlockFloat:
+    def test_roundtrip_accuracy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 8))
+        block = BlockFloat.from_float(x, mantissa_bits=12)
+        assert block.quantisation_error(x) < np.abs(x).max() * 2.0 ** -11
+
+    def test_shared_exponent_from_peak(self):
+        x = np.array([0.5, 4.0, -7.9])
+        block = BlockFloat.from_float(x, mantissa_bits=8)
+        assert block.exponent == 2  # floor(log2(7.9))
+
+    def test_zero_tensor(self):
+        block = BlockFloat.from_float(np.zeros((3, 3)))
+        np.testing.assert_array_equal(block.to_float(), np.zeros((3, 3)))
+
+    def test_mantissa_range(self):
+        rng = np.random.default_rng(1)
+        block = BlockFloat.from_float(rng.standard_normal(100), mantissa_bits=8)
+        assert np.all(np.abs(block.mantissa) < (1 << 8))
+
+    def test_small_values_lose_precision(self):
+        """The classic BFP trade-off: values far below the peak underflow."""
+        x = np.array([1.0, 2.0 ** -20])
+        block = BlockFloat.from_float(x, mantissa_bits=8)
+        assert block.to_float()[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockFloat.from_float(np.ones(3), mantissa_bits=1)
+
+
+class TestBfpMatmul:
+    def test_exact_integer_path(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        ba = BlockFloat.from_float(a, mantissa_bits=12)
+        bb = BlockFloat.from_float(b, mantissa_bits=12)
+        got = bfp_matmul(ba, bb)
+        want = ba.to_float() @ bb.to_float()
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    def test_approximate_path_close(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((8, 16))
+        b = rng.standard_normal((16, 4))
+        ba = BlockFloat.from_float(a, mantissa_bits=8)
+        bb = BlockFloat.from_float(b, mantissa_bits=8)
+        exact = ba.to_float() @ bb.to_float()
+        approx = bfp_matmul(ba, bb, config=PC3)
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert rel < 0.2
+
+    def test_truncated_config_supported(self):
+        rng = np.random.default_rng(4)
+        ba = BlockFloat.from_float(rng.standard_normal((4, 4)), mantissa_bits=8)
+        bb = BlockFloat.from_float(rng.standard_normal((4, 4)), mantissa_bits=8)
+        out = bfp_matmul(ba, bb, config=PC3_TR)
+        assert out.shape == (4, 4)
+        assert np.isfinite(out).all()
+
+    def test_shape_validation(self):
+        ba = BlockFloat.from_float(np.ones((2, 3)))
+        bb = BlockFloat.from_float(np.ones((4, 2)))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            bfp_matmul(ba, bb)
+        with pytest.raises(ValueError, match="2-D"):
+            bfp_matmul(BlockFloat.from_float(np.ones(3)), bb)

@@ -1,0 +1,170 @@
+"""Tests for float formats: quantisation, decomposition, bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.floatfmt import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FloatFormat,
+    compose,
+    decompose,
+    format_by_name,
+    from_bits,
+    quantize,
+    to_bits,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32).map(np.float32)
+
+
+class TestFormatDefinitions:
+    def test_float32(self):
+        assert FLOAT32.bias == 127
+        assert FLOAT32.significand_bits == 24
+        assert FLOAT32.total_bits == 32
+
+    def test_bfloat16(self):
+        assert BFLOAT16.bias == 127
+        assert BFLOAT16.significand_bits == 8
+        assert BFLOAT16.total_bits == 16
+
+    def test_float16(self):
+        assert FLOAT16.bias == 15
+        assert FLOAT16.significand_bits == 11
+        assert FLOAT16.total_bits == 16
+
+    def test_lookup(self):
+        assert format_by_name("bfloat16") is BFLOAT16
+        with pytest.raises(ValueError):
+            format_by_name("fp8")
+
+    def test_custom_format_validation(self):
+        FloatFormat("custom", exponent_bits=5, mantissa_bits=3)
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=1, mantissa_bits=3)
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=8, mantissa_bits=24)
+
+
+class TestQuantize:
+    def test_float32_identity(self):
+        x = np.array([1.1, -2.7, 3.3e-20], dtype=np.float32)
+        np.testing.assert_array_equal(quantize(x, FLOAT32), x)
+
+    def test_bf16_values_preserved(self):
+        exact_bf16 = np.array([1.0, 1.5, -2.25, 0.15625, 3.0], dtype=np.float32)
+        np.testing.assert_array_equal(quantize(exact_bf16, BFLOAT16), exact_bf16)
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 sits exactly between bf16 neighbours 1.0 and 1+2^-7;
+        # RNE picks the even mantissa (1.0).
+        x = np.float32(1.0 + 2.0 ** -8)
+        assert quantize(x, BFLOAT16) == np.float32(1.0)
+        # 1 + 3*2^-8 ties to 1 + 2^-6 (even) over 1 + 2^-7 + 2^-8? It is
+        # between 1+2^-7 and 1+2^-6; nearest-even picks 1+2^-6.
+        x = np.float32(1.0 + 3.0 * 2.0 ** -8)
+        assert quantize(x, BFLOAT16) == np.float32(1.0 + 2.0 ** -6)
+
+    def test_rounding_error_within_half_ulp(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(4096).astype(np.float32)
+        q = quantize(x, BFLOAT16)
+        ulp = 2.0 ** (np.floor(np.log2(np.abs(x))) - 7)
+        assert np.all(np.abs(q - x) <= ulp / 2 + 1e-12)
+
+    def test_nan_inf_survive(self):
+        x = np.array([np.nan, np.inf, -np.inf], dtype=np.float32)
+        q = quantize(x, BFLOAT16)
+        assert np.isnan(q[0])
+        assert q[1] == np.inf
+        assert q[2] == -np.inf
+
+    def test_float16_overflow_to_inf(self):
+        assert quantize(np.float32(1e6), FLOAT16) == np.inf
+        assert quantize(np.float32(-1e6), FLOAT16) == -np.inf
+
+    def test_float16_underflow_to_zero(self):
+        assert quantize(np.float32(1e-8), FLOAT16) == 0.0
+
+    def test_bf16_subnormal_flushed(self):
+        assert quantize(np.float32(1e-39), BFLOAT16) == 0.0
+
+    def test_sign_preserved(self):
+        q = quantize(np.array([-1.7], dtype=np.float32), BFLOAT16)
+        assert q[0] < 0
+
+
+class TestDecomposeCompose:
+    @pytest.mark.parametrize("fmt", [FLOAT32, BFLOAT16])
+    def test_roundtrip(self, fmt):
+        rng = np.random.default_rng(1)
+        x = quantize(rng.standard_normal(2048).astype(np.float32) * 100, fmt)
+        s, e, m = decompose(x, fmt)
+        back = compose(s, e, m, fmt)
+        np.testing.assert_array_equal(back, x)
+
+    def test_implicit_one_set(self):
+        _s, _e, m = decompose(np.array([1.0, 3.5, 0.25], dtype=np.float32), BFLOAT16)
+        assert np.all(m >> np.uint64(7) == 1)
+
+    def test_zero_decomposes_to_zero_significand(self):
+        _s, e, m = decompose(np.array([0.0], dtype=np.float32), BFLOAT16)
+        assert m[0] == 0
+        assert e[0] == 0
+
+    def test_known_value(self):
+        s, e, m = decompose(np.array([-6.5], dtype=np.float32), FLOAT32)
+        assert s[0] == 1
+        assert e[0] == 2  # 6.5 = 1.625 * 2^2
+        assert m[0] == int(1.625 * (1 << 23))
+
+    def test_compose_overflow_to_inf(self):
+        out = compose(np.array(0), np.array(300), np.array(1 << 7, dtype=np.uint64), BFLOAT16)
+        assert np.isinf(out)
+
+    def test_compose_underflow_to_zero(self):
+        out = compose(np.array(0), np.array(-300), np.array(1 << 7, dtype=np.uint64), BFLOAT16)
+        assert out == 0.0
+
+    def test_compose_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="not normalised"):
+            compose(np.array(0), np.array(0), np.array(1 << 9, dtype=np.uint64), BFLOAT16)
+
+
+class TestBitPacking:
+    @pytest.mark.parametrize("fmt", [FLOAT32, BFLOAT16, FLOAT16])
+    def test_roundtrip_through_bits(self, fmt):
+        rng = np.random.default_rng(2)
+        x = quantize((rng.standard_normal(512) * 10).astype(np.float32), fmt)
+        bits = to_bits(x, fmt)
+        assert np.all(bits < (1 << fmt.total_bits))
+        back = from_bits(bits, fmt)
+        np.testing.assert_array_equal(back, x)
+
+    def test_bfloat16_is_truncated_float32(self):
+        x = np.array([1.5, -3.25], dtype=np.float32)
+        bits = to_bits(x, BFLOAT16)
+        expected = x.view(np.uint32) >> 16
+        np.testing.assert_array_equal(bits, expected)
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=finite)
+def test_property_quantize_idempotent(x):
+    once = quantize(np.float32(x), BFLOAT16)
+    twice = quantize(once, BFLOAT16)
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=finite)
+def test_property_decompose_compose_identity(x):
+    q = quantize(np.float32(x), BFLOAT16)
+    if not np.isfinite(q):
+        return
+    s, e, m = decompose(q, BFLOAT16)
+    np.testing.assert_array_equal(compose(s, e, m, BFLOAT16), q)

@@ -1,0 +1,72 @@
+"""Tests for the FP8 extension formats through the DAISM datapath."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC2, PC3
+from repro.core.fp_mul import approx_fp_multiply, exact_fp_multiply
+from repro.formats.floatfmt import FLOAT8_E4M3, FLOAT8_E5M2, format_by_name, quantize
+
+
+class TestFormats:
+    def test_widths(self):
+        assert FLOAT8_E4M3.total_bits == 8
+        assert FLOAT8_E5M2.total_bits == 8
+        assert FLOAT8_E4M3.significand_bits == 4
+        assert FLOAT8_E5M2.significand_bits == 3
+
+    def test_lookup(self):
+        assert format_by_name("float8_e4m3") is FLOAT8_E4M3
+
+    def test_quantise_roundtrip_values(self):
+        # 1.5 = 1.1b needs only one mantissa bit: exact in both formats.
+        for fmt in (FLOAT8_E4M3, FLOAT8_E5M2):
+            assert quantize(np.float32(1.5), fmt) == np.float32(1.5)
+
+    def test_e4m3_narrow_range(self):
+        # bias 7 -> max exponent 7; values beyond ~2^8 overflow.
+        assert quantize(np.float32(1e4), FLOAT8_E4M3) == np.inf
+        assert quantize(np.float32(1e-4), FLOAT8_E4M3) == 0.0
+
+    def test_e5m2_wider_range(self):
+        assert np.isfinite(quantize(np.float32(1e4), FLOAT8_E5M2))
+
+
+class TestFp8Multiply:
+    @pytest.mark.parametrize("fmt", [FLOAT8_E4M3, FLOAT8_E5M2])
+    def test_approx_bounded_by_exact(self, fmt):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(2048).astype(np.float32)
+        y = rng.standard_normal(2048).astype(np.float32)
+        exact = exact_fp_multiply(x, y, fmt)
+        approx = approx_fp_multiply(x, y, fmt, PC2)
+        ok = np.isfinite(exact)
+        assert np.all(np.abs(approx[ok]) <= np.abs(exact[ok]))
+
+    def test_pc3_error_dominated_by_format_not_or(self):
+        """With n=4, PC3 pre-computes 3 of the 4 partial products, so
+        almost all remaining error is the unavoidable re-quantisation of
+        the product into the 3-bit output mantissa (< 2^-4 relative),
+        not the OR approximation — PC3 sits very close to FLA's floor
+        and both stay within the half-ulp-of-format band."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(4096).astype(np.float32)
+        y = rng.standard_normal(4096).astype(np.float32)
+        exact = exact_fp_multiply(x, y, FLOAT8_E4M3)
+        # Exclude products at/below the underflow boundary: an approx
+        # product marginally smaller than an exact product sitting right
+        # at min-normal legitimately flushes to zero.
+        min_normal = 2.0 ** (1 - FLOAT8_E4M3.bias)
+        ok = np.isfinite(exact) & (np.abs(exact) >= 2 * min_normal)
+
+        rel_pc3 = np.abs(
+            exact[ok] - approx_fp_multiply(x, y, FLOAT8_E4M3, PC3)[ok]
+        ) / np.abs(exact[ok])
+        from repro.core.config import FLA
+
+        rel_fla = np.abs(
+            exact[ok] - approx_fp_multiply(x, y, FLOAT8_E4M3, FLA)[ok]
+        ) / np.abs(exact[ok])
+        assert rel_pc3.mean() <= rel_fla.mean()
+        assert rel_pc3.mean() < 0.08  # ~ the 3-bit mantissa truncation floor
+        assert rel_pc3.max() < 0.20

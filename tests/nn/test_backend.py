@@ -1,0 +1,66 @@
+"""Tests for backend management and layer/backend interaction."""
+
+import numpy as np
+
+from repro.core.config import FLA, PC3_TR
+from repro.core.gemm import ExactMatmul
+from repro.formats.floatfmt import BFLOAT16
+from repro.nn.backend import (
+    daism_backend,
+    default_backend,
+    exact_backend,
+    quantized_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.nn.layers import Linear
+
+
+class TestBackendManagement:
+    def test_default_is_exact(self):
+        assert isinstance(default_backend(), ExactMatmul)
+
+    def test_set_and_restore(self):
+        approx = daism_backend(PC3_TR)
+        previous = set_default_backend(approx)
+        try:
+            assert default_backend() is approx
+        finally:
+            set_default_backend(previous)
+        assert default_backend() is previous
+
+    def test_context_manager_restores_on_exception(self):
+        before = default_backend()
+        try:
+            with use_backend(daism_backend(FLA)):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert default_backend() is before
+
+    def test_factories(self):
+        assert exact_backend().name == "exact_float32"
+        assert quantized_backend(BFLOAT16).name == "quantized_bfloat16"
+        assert daism_backend(PC3_TR).name == "approx_bfloat16_PC3_tr"
+
+
+class TestLayerBackendInteraction:
+    def test_layer_uses_context_backend(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(16, 8, rng=rng)
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        exact = layer(x)
+        with use_backend(daism_backend(FLA)):
+            approx = layer(x)
+        assert not np.allclose(exact, approx)
+        # FLA only underestimates magnitudes; outputs stay correlated.
+        corr = np.corrcoef(exact.ravel(), approx.ravel())[0, 1]
+        assert corr > 0.95
+
+    def test_explicit_backend_overrides_default(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(8, 4, backend=exact_backend(), rng=rng)
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        with use_backend(daism_backend(FLA)):
+            pinned = layer(x)
+        np.testing.assert_allclose(pinned, x @ layer.weight.data.T + layer.bias.data, rtol=1e-5)

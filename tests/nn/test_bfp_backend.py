@@ -1,0 +1,46 @@
+"""Tests for the block-floating-point matmul backend (Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3, PC3_TR
+from repro.nn.backend import bfp_backend, use_backend
+from repro.nn.layers import Linear
+
+
+class TestBfpBackend:
+    def test_exact_bfp_close_to_float(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 4)).astype(np.float32)
+        got = bfp_backend(mantissa_bits=12).matmul(a, b)
+        exact = a @ b
+        rel = np.linalg.norm(got - exact) / np.linalg.norm(exact)
+        assert rel < 0.01
+
+    def test_approximate_bfp(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 4)).astype(np.float32)
+        got = bfp_backend(PC3, mantissa_bits=8).matmul(a, b)
+        exact = a @ b
+        rel = np.linalg.norm(got - exact) / np.linalg.norm(exact)
+        assert 0.0 < rel < 0.25
+
+    def test_names(self):
+        assert bfp_backend().name == "bfp8_exact"
+        assert bfp_backend(PC3_TR).name == "bfp8_PC3_tr"
+
+    def test_returns_float32(self):
+        out = bfp_backend().matmul(np.ones((2, 3), np.float32), np.ones((3, 2), np.float32))
+        assert out.dtype == np.float32
+
+    def test_layer_runs_under_bfp(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(8, 4, rng=rng)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        exact = layer(x)
+        with use_backend(bfp_backend(PC3, mantissa_bits=8)):
+            approx = layer(x)
+        assert np.isfinite(approx).all()
+        assert np.corrcoef(exact.ravel(), approx.ravel())[0, 1] > 0.95

@@ -1,0 +1,88 @@
+"""Tests for the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import SHAPE_CLASSES, blobs_dataset, iterate_batches, shapes_dataset
+
+
+class TestShapes:
+    def test_shapes_and_dtypes(self):
+        data = shapes_dataset(n_train=64, n_test=32, size=16, channels=1)
+        assert data.train_x.shape == (64, 1, 16, 16)
+        assert data.test_x.shape == (32, 1, 16, 16)
+        assert data.train_x.dtype == np.float32
+        assert data.train_y.dtype == np.int64
+        assert data.num_classes == len(SHAPE_CLASSES)
+
+    def test_rgb_channels(self):
+        data = shapes_dataset(n_train=8, n_test=4, channels=3)
+        assert data.train_x.shape[1] == 3
+
+    def test_deterministic_with_seed(self):
+        d1 = shapes_dataset(n_train=16, n_test=8, seed=5)
+        d2 = shapes_dataset(n_train=16, n_test=8, seed=5)
+        np.testing.assert_array_equal(d1.train_x, d2.train_x)
+        np.testing.assert_array_equal(d1.train_y, d2.train_y)
+
+    def test_all_classes_present(self):
+        data = shapes_dataset(n_train=256, n_test=8)
+        assert set(np.unique(data.train_y)) == set(range(4))
+
+    def test_classes_not_separable_by_mean_intensity(self):
+        """The contrast jitter must prevent a trivial intensity rule."""
+        data = shapes_dataset(n_train=512, n_test=8, seed=1)
+        means = data.train_x.mean(axis=(1, 2, 3))
+        spans = []
+        for c in range(4):
+            vals = means[data.train_y == c]
+            spans.append((vals.min(), vals.max()))
+        # Every pair of classes overlaps in mean intensity.
+        for i in range(4):
+            for j in range(i + 1, 4):
+                lo = max(spans[i][0], spans[j][0])
+                hi = min(spans[i][1], spans[j][1])
+                assert hi > lo
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            shapes_dataset(n_train=4, n_test=2, classes=("disk", "pentagon"))
+
+
+class TestBlobs:
+    def test_shapes(self):
+        data = blobs_dataset(n_train=128, n_test=64, features=16, num_classes=3)
+        assert data.train_x.shape == (128, 16)
+        assert data.num_classes == 3
+
+    def test_linearly_separable_enough(self):
+        """A nearest-centroid rule should beat chance comfortably."""
+        data = blobs_dataset(n_train=512, n_test=256, spread=2.5, seed=3)
+        centroids = np.stack(
+            [data.train_x[data.train_y == c].mean(axis=0) for c in range(data.num_classes)]
+        )
+        d = ((data.test_x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        acc = (d.argmin(axis=1) == data.test_y).mean()
+        assert acc > 0.8
+
+
+class TestBatches:
+    def test_covers_all_samples(self):
+        x = np.arange(10)[:, None].astype(np.float32)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_batches(x, y, 3):
+            assert len(bx) == len(by)
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffling(self):
+        x = np.arange(100)[:, None].astype(np.float32)
+        y = np.arange(100)
+        rng = np.random.default_rng(0)
+        first = next(iter(iterate_batches(x, y, 100, rng)))[1]
+        assert not np.array_equal(first, y)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(np.zeros((3, 1)), np.zeros(2), 2))

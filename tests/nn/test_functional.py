@@ -1,0 +1,164 @@
+"""Tests for the functional ops: conv correctness and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, weight, bias, stride, padding):
+    """Direct-loop reference convolution."""
+    n, c, h, w = x.shape
+    f, _, k, _ = weight.shape
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, f, oh, ow), dtype=np.float64)
+    for i in range(n):
+        for o in range(f):
+            for y in range(oh):
+                for z in range(ow):
+                    patch = xp[i, :, y * stride : y * stride + k, z * stride : z * stride + k]
+                    out[i, o, y, z] = (patch * weight[o]).sum()
+            if bias is not None:
+                out[i, o] += bias[o]
+    return out.astype(np.float32)
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (1, 0), (2, 1)])
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out, _ = F.conv2d_forward(x, w, b, stride, padding)
+        np.testing.assert_allclose(out, naive_conv2d(x, w, b, stride, padding), rtol=1e-4, atol=1e-5)
+
+    def test_im2col_shape(self):
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        cols = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2 * 8 * 8, 27)
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            F.im2col(np.zeros((1, 1, 4, 4), dtype=np.float32), 7, 1, 0)
+
+
+class TestConvBackward:
+    def test_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+
+        out, cols = F.conv2d_forward(x, w, b, 1, 1)
+        grad_out = rng.standard_normal(out.shape).astype(np.float32)
+        dx, dw, db = F.conv2d_backward(grad_out, x.shape, cols, w, 1, 1)
+
+        def loss(x_, w_, b_):
+            out_, _ = F.conv2d_forward(x_, w_, b_, 1, 1)
+            return float((out_ * grad_out).sum())
+
+        eps = 1e-2
+        for (arr, grad) in [(x, dx), (w, dw), (b, db)]:
+            flat = arr.ravel()
+            idxs = np.linspace(0, flat.size - 1, 5, dtype=int)
+            for i in idxs:
+                orig = flat[i]
+                flat[i] = orig + eps
+                up = loss(x, w, b)
+                flat[i] = orig - eps
+                down = loss(x, w, b)
+                flat[i] = orig
+                num = (up - down) / (2 * eps)
+                assert num == pytest.approx(float(grad.ravel()[i]), rel=0.05, abs=0.05)
+
+    def test_numerical_gradient_strided(self):
+        """Stride-2, no-padding convolution gradients (col2im path with
+        non-unit stride)."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        out, cols = F.conv2d_forward(x, w, None, 2, 0)
+        grad_out = rng.standard_normal(out.shape).astype(np.float32)
+        dx, dw, _db = F.conv2d_backward(grad_out, x.shape, cols, w, 2, 0)
+
+        eps = 1e-2
+        flat = x.ravel()
+        for i in np.linspace(0, flat.size - 1, 6, dtype=int):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = float((F.conv2d_forward(x, w, None, 2, 0)[0] * grad_out).sum())
+            flat[i] = orig - eps
+            down = float((F.conv2d_forward(x, w, None, 2, 0)[0] * grad_out).sum())
+            flat[i] = orig
+            num = (up - down) / (2 * eps)
+            assert num == pytest.approx(float(dx.ravel()[i]), rel=0.06, abs=0.05)
+
+    def test_col2im_inverts_on_disjoint_patches(self):
+        """Stride == kernel gives non-overlapping patches: exact inverse."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        cols = F.im2col(x, 2, 2, 0)
+        back = F.col2im(cols, x.shape, 2, 2, 0)
+        np.testing.assert_allclose(back, x, rtol=1e-6)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out, _ = F.maxpool2d_forward(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out, arg = F.maxpool2d_forward(x, 2)
+        grad = np.ones_like(out)
+        dx = F.maxpool2d_backward(grad, arg, x.shape, 2)
+        assert dx.sum() == 4
+        assert dx[0, 0, 1, 1] == 1  # position of value 5
+
+    def test_maxpool_requires_divisible(self):
+        with pytest.raises(ValueError):
+            F.maxpool2d_forward(np.zeros((1, 1, 5, 5), dtype=np.float32), 2)
+
+    def test_global_avgpool_roundtrip(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = F.avgpool_global_forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)
+        dx = F.avgpool_global_backward(np.ones_like(out), x.shape)
+        assert dx.shape == x.shape
+        np.testing.assert_allclose(dx, 1.0 / 16, rtol=1e-6)
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        p = F.softmax(rng.standard_normal((8, 5)).astype(np.float32) * 10)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(8), rtol=1e-5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        assert F.cross_entropy(logits, np.array([0, 1])) < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((4, 10), dtype=np.float32)
+        assert F.cross_entropy(logits, np.zeros(4, dtype=np.int64)) == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_grad_matches_numerical(self):
+        rng = np.random.default_rng(5)
+        logits = rng.standard_normal((3, 4)).astype(np.float64)
+        labels = np.array([1, 0, 3])
+        grad = F.cross_entropy_grad(logits.astype(np.float32), labels)
+        eps = 1e-4
+        for i in range(3):
+            for j in range(4):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                num = (F.cross_entropy(up.astype(np.float32), labels) - F.cross_entropy(down.astype(np.float32), labels)) / (2 * eps)
+                # float32 loss evaluation limits finite-difference accuracy
+                assert num == pytest.approx(float(grad[i, j]), abs=5e-3)

@@ -1,0 +1,69 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import confusion_matrix, per_class_accuracy, top_k_accuracy
+
+
+class TestTopK:
+    def test_top1_matches_argmax(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2], [0.3, 0.7]])
+        labels = np.array([1, 0, 0])
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_top_all_is_one(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((10, 4))
+        labels = rng.integers(0, 4, 10)
+        assert top_k_accuracy(logits, labels, k=4) == 1.0
+
+    def test_k_monotone(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((64, 6))
+        labels = rng.integers(0, 6, 64)
+        accs = [top_k_accuracy(logits, labels, k) for k in range(1, 7)]
+        assert all(a <= b for a, b in zip(accs, accs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=4)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros(3), np.zeros(3))
+
+
+class TestConfusion:
+    def test_known_matrix(self):
+        pred = np.array([0, 1, 1, 0])
+        true = np.array([0, 1, 0, 0])
+        m = confusion_matrix(pred, true)
+        assert m[0, 0] == 2  # true 0 predicted 0
+        assert m[0, 1] == 1  # true 0 predicted 1
+        assert m[1, 1] == 1
+        assert m.sum() == 4
+
+    def test_diagonal_sums_to_correct(self):
+        rng = np.random.default_rng(2)
+        pred = rng.integers(0, 5, 100)
+        true = rng.integers(0, 5, 100)
+        m = confusion_matrix(pred, true, num_classes=5)
+        assert np.trace(m) == (pred == true).sum()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestPerClass:
+    def test_values(self):
+        pred = np.array([0, 0, 1, 1])
+        true = np.array([0, 1, 1, 1])
+        acc = per_class_accuracy(pred, true)
+        assert acc[0] == 1.0
+        assert acc[1] == pytest.approx(2 / 3)
+
+    def test_absent_class_nan(self):
+        pred = np.array([0, 1])
+        true = np.array([0, 0])
+        acc = per_class_accuracy(pred, true)
+        assert np.isnan(acc[1])

@@ -1,0 +1,77 @@
+"""Tests for the model zoo: shapes, parameter counts, determinism."""
+
+import numpy as np
+
+from repro.nn.models import (
+    build_lenet,
+    build_mini_resnet,
+    build_mlp,
+    build_vgg_small,
+    model_zoo,
+)
+
+
+class TestShapes:
+    def test_mlp(self):
+        model = build_mlp(in_features=32, num_classes=4)
+        out = model(np.zeros((3, 32), dtype=np.float32))
+        assert out.shape == (3, 4)
+
+    def test_lenet(self):
+        model = build_lenet(size=16)
+        out = model(np.zeros((2, 1, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 4)
+
+    def test_vgg_small(self):
+        model = build_vgg_small(size=16)
+        out = model(np.zeros((2, 1, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 4)
+
+    def test_mini_resnet(self):
+        model = build_mini_resnet()
+        out = model(np.zeros((2, 1, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 4)
+
+    def test_rgb_input_supported(self):
+        model = build_lenet(in_channels=3)
+        out = model(np.zeros((1, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (1, 4)
+
+
+class TestBackwardPass:
+    def test_full_backward_all_models(self):
+        rng = np.random.default_rng(0)
+        for name, model in model_zoo().items():
+            x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+            out = model(x)
+            dx = model.backward(np.ones_like(out))
+            assert dx.shape == x.shape, name
+            grads = [p.grad for p in model.parameters()]
+            assert any(np.abs(g).sum() > 0 for g in grads), name
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        m1 = build_lenet(seed=7)
+        m2 = build_lenet(seed=7)
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_different_seeds_differ(self):
+        m1 = build_lenet(seed=1)
+        m2 = build_lenet(seed=2)
+        assert any(
+            not np.array_equal(p1.data, p2.data)
+            for p1, p2 in zip(m1.parameters(), m2.parameters())
+        )
+
+
+class TestZoo:
+    def test_zoo_contents(self):
+        zoo = model_zoo()
+        assert set(zoo) == {"lenet", "vgg_small", "mini_resnet"}
+
+    def test_parameter_counts_reasonable(self):
+        for name, model in model_zoo().items():
+            count = sum(p.data.size for p in model.parameters())
+            assert 1_000 < count < 200_000, (name, count)

@@ -1,0 +1,55 @@
+"""Tests for the SGD optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[:] = [0.5, -0.5]
+        SGD([p], lr=0.1, momentum=0.0).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = [1.0]
+        opt.step()  # v=1, p=-1
+        opt.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        p.grad[:] = [0.0]
+        SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1).step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 1.0])
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad[:] = [3.0]
+        opt = SGD([p])
+        opt.zero_grad()
+        assert p.grad[0] == 0.0
+
+    def test_validation(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([p], weight_decay=-1.0)
+
+    def test_quadratic_convergence(self):
+        """Minimise (x-3)^2 — must converge to 3."""
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad[:] = 2 * (p.data - 3.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-4)

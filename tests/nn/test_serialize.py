@@ -1,0 +1,60 @@
+"""Tests for weight serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_lenet, build_mini_resnet, build_mlp
+from repro.nn.serialize import load_state_dict, load_weights, save_weights, state_dict
+
+
+class TestStateDict:
+    def test_roundtrip_in_memory(self):
+        m1 = build_lenet(seed=1)
+        m2 = build_lenet(seed=2)
+        load_state_dict(m2, state_dict(m1))
+        x = np.random.default_rng(0).standard_normal((2, 1, 16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(m1.eval()(x), m2.eval()(x))
+
+    def test_batchnorm_running_stats_carried(self):
+        m1 = build_mini_resnet(seed=1)
+        x = np.random.default_rng(1).standard_normal((8, 1, 16, 16)).astype(np.float32)
+        m1.train()
+        m1(x)  # update running stats
+        m2 = build_mini_resnet(seed=2)
+        load_state_dict(m2, state_dict(m1))
+        np.testing.assert_array_equal(m1.eval()(x), m2.eval()(x))
+
+    def test_mismatched_architecture_rejected(self):
+        with pytest.raises(ValueError, match="parameters"):
+            load_state_dict(build_mlp(), state_dict(build_lenet()))
+
+    def test_mismatched_shape_rejected(self):
+        big = build_mlp(hidden=64)
+        small = build_mlp(hidden=32)
+        with pytest.raises(ValueError):
+            load_state_dict(small, state_dict(big))
+
+
+class TestFileRoundtrip:
+    def test_npz_roundtrip(self, tmp_path):
+        m1 = build_lenet(seed=3)
+        path = str(tmp_path / "weights.npz")
+        save_weights(m1, path)
+        m2 = build_lenet(seed=9)
+        load_weights(m2, path)
+        x = np.random.default_rng(2).standard_normal((1, 1, 16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(m1.eval()(x), m2.eval()(x))
+
+    def test_trained_model_survives_roundtrip(self, tmp_path):
+        from repro.nn.data import blobs_dataset
+        from repro.nn.train import evaluate, train
+
+        data = blobs_dataset(n_train=128, n_test=64, seed=0)
+        model = build_mlp()
+        train(model, data, epochs=3, batch_size=32)
+        acc_before = evaluate(model, data.test_x, data.test_y)
+        path = str(tmp_path / "mlp.npz")
+        save_weights(model, path)
+        fresh = build_mlp(seed=42)
+        load_weights(fresh, path)
+        assert evaluate(fresh, data.test_x, data.test_y) == acc_before

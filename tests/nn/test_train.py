@@ -1,0 +1,79 @@
+"""Training-loop tests, including the Fig. 4 and training-claim shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FLA, PC3_TR
+from repro.formats.floatfmt import BFLOAT16
+from repro.nn.backend import daism_backend, exact_backend, quantized_backend
+from repro.nn.data import blobs_dataset, shapes_dataset
+from repro.nn.models import build_lenet, build_mlp
+from repro.nn.train import accuracy_comparison, evaluate, train
+
+
+class TestTrainingConvergence:
+    def test_mlp_learns_blobs(self):
+        data = blobs_dataset(n_train=512, n_test=256, spread=2.0, seed=0)
+        model = build_mlp(in_features=32, num_classes=4)
+        result = train(model, data, epochs=10, batch_size=32, lr=0.05)
+        assert result.test_accuracy > 0.85
+        assert result.losses[-1] < result.losses[0]
+
+    def test_lenet_learns_shapes(self):
+        data = shapes_dataset(n_train=448, n_test=128, size=16, seed=0)
+        model = build_lenet()
+        result = train(model, data, epochs=14, batch_size=32, lr=0.05)
+        assert result.test_accuracy > 0.7  # well above the 0.25 chance level
+
+
+class TestEvaluate:
+    def test_untrained_near_chance(self):
+        data = shapes_dataset(n_train=32, n_test=256, seed=1)
+        acc = evaluate(build_lenet(seed=3), data.test_x, data.test_y)
+        assert 0.05 < acc < 0.55
+
+    def test_evaluate_under_backend(self):
+        data = blobs_dataset(n_train=64, n_test=64)
+        model = build_mlp()
+        exact = evaluate(model, data.test_x, data.test_y, backend=exact_backend())
+        approx = evaluate(model, data.test_x, data.test_y, backend=daism_backend(PC3_TR))
+        assert 0.0 <= exact <= 1.0
+        assert 0.0 <= approx <= 1.0
+
+
+class TestFig4Shape:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        data = shapes_dataset(n_train=448, n_test=192, size=16, seed=0)
+        model = build_lenet()
+        train(model, data, epochs=14, batch_size=32, lr=0.05)
+        return model, data
+
+    def test_pc3_tr_small_drop_fla_larger(self, trained):
+        """Fig. 4's shape: bf16 PC3_tr stays within a few points of the
+        float32 baseline, while FLA (no pre-computation) degrades more."""
+        model, data = trained
+        accs = accuracy_comparison(
+            model,
+            data,
+            {
+                "fp32": exact_backend(),
+                "bf16": quantized_backend(BFLOAT16),
+                "pc3_tr": daism_backend(PC3_TR, BFLOAT16),
+                "fla": daism_backend(FLA, BFLOAT16),
+            },
+        )
+        assert accs["fp32"] > 0.7
+        assert accs["pc3_tr"] >= accs["fp32"] - 0.08
+        assert accs["fla"] <= accs["pc3_tr"] + 1e-9
+
+
+class TestApproximateTraining:
+    def test_training_on_daism_backend_converges(self):
+        """The title claim: training with approximate fwd+bwd GEMMs."""
+        data = blobs_dataset(n_train=256, n_test=128, spread=2.5, seed=2)
+        model = build_mlp(in_features=32, num_classes=4, seed=1)
+        result = train(
+            model, data, epochs=8, batch_size=32, lr=0.05, backend=daism_backend(PC3_TR)
+        )
+        assert result.test_accuracy > 0.8

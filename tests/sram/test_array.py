@@ -1,0 +1,104 @@
+"""Tests for the bit-level SRAM array with multi-wordline OR reads."""
+
+import numpy as np
+import pytest
+
+from repro.sram.array import SRAMArray
+
+
+class TestGeometry:
+    def test_square_from_bytes(self):
+        arr = SRAMArray.square_from_bytes(8 * 1024)
+        assert arr.rows == arr.cols == 256
+        assert arr.capacity_bytes == 8 * 1024
+
+    def test_square_from_bytes_512kb(self):
+        arr = SRAMArray.square_from_bytes(512 * 1024)
+        assert arr.rows == 2048
+
+    def test_non_square_capacity_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            SRAMArray.square_from_bytes(1000)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SRAMArray(0, 8)
+
+
+class TestReadWrite:
+    def test_single_row_roundtrip(self):
+        arr = SRAMArray(4, 8)
+        bits = SRAMArray.int_to_bits(0b10110001, 8)
+        arr.write_row(2, bits)
+        np.testing.assert_array_equal(arr.read_row(2), bits)
+
+    def test_partial_write_with_offset(self):
+        arr = SRAMArray(2, 8)
+        arr.write_row(0, SRAMArray.int_to_bits(0b11, 2), col_offset=4)
+        assert SRAMArray.bits_to_int(arr.read_row(0)) == 0b110000
+
+    def test_write_bounds_checked(self):
+        arr = SRAMArray(2, 8)
+        with pytest.raises(ValueError):
+            arr.write_row(0, np.ones(9, dtype=bool))
+        with pytest.raises(IndexError):
+            arr.write_row(5, np.ones(2, dtype=bool))
+
+
+class TestWiredOr:
+    def test_multi_line_read_is_or(self):
+        arr = SRAMArray(3, 8)
+        arr.write_row(0, SRAMArray.int_to_bits(0b0011, 8))
+        arr.write_row(1, SRAMArray.int_to_bits(0b0110, 8))
+        arr.write_row(2, SRAMArray.int_to_bits(0b1000, 8))
+        result = SRAMArray.bits_to_int(arr.read_or([0, 1, 2]))
+        assert result == 0b1111
+
+    def test_single_line_read_degenerates_to_normal_read(self):
+        arr = SRAMArray(2, 4)
+        arr.write_row(1, SRAMArray.int_to_bits(0b1010, 4))
+        assert SRAMArray.bits_to_int(arr.read_or([1])) == 0b1010
+
+    def test_duplicate_lines_rejected(self):
+        arr = SRAMArray(2, 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            arr.read_or([0, 0])
+
+    def test_empty_activation_rejected(self):
+        arr = SRAMArray(2, 4)
+        with pytest.raises(ValueError):
+            arr.read_or([])
+
+    def test_circuit_limit_enforced(self):
+        arr = SRAMArray(8, 4, max_active_wordlines=2)
+        arr.read_or([0, 1])
+        with pytest.raises(ValueError, match="circuit limit"):
+            arr.read_or([0, 1, 2])
+
+
+class TestStats:
+    def test_counters(self):
+        arr = SRAMArray(4, 4)
+        arr.write_row(0, np.ones(4, dtype=bool))
+        arr.read_or([0, 1, 2])
+        arr.read_row(0)
+        assert arr.stats.row_writes == 1
+        assert arr.stats.row_reads == 2
+        assert arr.stats.wordline_activations == 4
+
+    def test_reset(self):
+        arr = SRAMArray(2, 2)
+        arr.read_row(0)
+        arr.reset_stats()
+        assert arr.stats.row_reads == 0
+        assert arr.stats.wordline_activations == 0
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        for value in (0, 1, 0b1011, 255):
+            assert SRAMArray.bits_to_int(SRAMArray.int_to_bits(value, 8)) == value
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            SRAMArray.int_to_bits(256, 8)

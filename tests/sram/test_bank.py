@@ -1,0 +1,99 @@
+"""Structural compute-bank simulation vs the arithmetic reference.
+
+This is the load-bearing validation of the repository: the bit-level SRAM
+simulation (array + layout + decoder) must reproduce the arithmetic
+models exactly, which is what lets GEMM/DNN/energy work use the fast
+paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3, PC3_TR, all_configs
+from repro.core.mantissa import approx_multiply
+from repro.sram.bank import ComputeBank, InSRAMMultiplier
+
+
+class TestInSRAMMultiplier:
+    @pytest.mark.parametrize("config", all_configs())
+    def test_exhaustive_n4_integer_mode(self, config):
+        mult = InSRAMMultiplier(config, 4, fp_mode=False)
+        for a in range(16):
+            mult.store(a)
+            for b in range(16):
+                assert mult.multiply(b) == approx_multiply(a, b, 4, config)
+
+    @pytest.mark.parametrize("config", all_configs())
+    def test_fp_range_n8(self, config):
+        rng = np.random.default_rng(0)
+        mult = InSRAMMultiplier(config, 8, fp_mode=True)
+        for a in rng.integers(128, 256, 8):
+            mult.store(int(a))
+            for b in rng.integers(128, 256, 8):
+                assert mult.multiply(int(b)) == approx_multiply(int(a), int(b), 8, config)
+
+    def test_multiply_before_store_rejected(self):
+        with pytest.raises(RuntimeError):
+            InSRAMMultiplier(PC3, 8).multiply(200)
+
+    def test_zero_bypass(self):
+        mult = InSRAMMultiplier(PC3, 8, fp_mode=False)
+        mult.store(123)
+        assert mult.multiply(0) == 0
+
+
+class TestComputeBank:
+    def test_paper_geometry_512kb(self):
+        bank = ComputeBank(512 * 1024, PC3_TR, 8)
+        assert bank.element_rows == 128
+        assert bank.slots_per_row == 256
+        assert bank.capacity_elements == 128 * 256
+
+    def test_geometry_8kb(self):
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        assert bank.element_rows == 16
+        assert bank.slots_per_row == 32
+
+    @pytest.mark.parametrize("config", all_configs())
+    def test_row_multiply_matches_reference(self, config):
+        rng = np.random.default_rng(1)
+        bank = ComputeBank(8 * 1024, config, 8)
+        values = rng.integers(128, 256, size=(4, 6)).astype(np.uint64)
+        bank.load_elements(values)
+        for b in rng.integers(128, 256, 6):
+            products = bank.multiply_all(int(b))
+            for r in range(4):
+                for s in range(6):
+                    assert products[r, s] == approx_multiply(int(values[r, s]), int(b), 8, config)
+
+    def test_one_read_per_row_multiply(self):
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        bank.load_elements(np.full((1, 4), 200, dtype=np.uint64))
+        bank.array.reset_stats()
+        bank.multiply_row(0b10101010, 0)
+        assert bank.array.stats.row_reads == 1
+
+    def test_line_limit_respected_by_decoder(self):
+        """The decoder never activates more lines than the layout's
+        worst case — enforced electrically by the array limit."""
+        bank = ComputeBank(8 * 1024, PC3_TR, 8, enforce_line_limit=True)
+        bank.load_elements(np.full((1, 2), 255, dtype=np.uint64))
+        bank.multiply_row(0xFF, 0)  # worst case operand: all lines
+
+    def test_zero_input_bypassed(self):
+        bank = ComputeBank(8 * 1024, PC3, 8)
+        bank.load_elements(np.full((2, 3), 177, dtype=np.uint64))
+        bank.array.reset_stats()
+        out = bank.multiply_row(0, 0)
+        np.testing.assert_array_equal(out, np.zeros(3, dtype=np.uint64))
+        assert bank.array.stats.row_reads == 0
+
+    def test_capacity_validation(self):
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        with pytest.raises(ValueError, match="exceeds bank capacity"):
+            bank.load_elements(np.zeros((17, 1), dtype=np.uint64))
+
+    def test_multiply_unloaded_rejected(self):
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        with pytest.raises(RuntimeError):
+            bank.multiply_row(128, 0)

@@ -1,0 +1,50 @@
+"""Tests for the multi-line address decoder."""
+
+import pytest
+
+from repro.core.config import FLA, PC2, PC3
+from repro.sram.decoder import AddressDecoder
+from repro.sram.layout import KernelLayout
+
+
+class TestDecode:
+    def test_zero_operand_activates_nothing(self):
+        decoder = AddressDecoder(KernelLayout(PC3, 8))
+        assert decoder.decode(0) == []
+        assert decoder.stats.decodes == 0
+
+    def test_rows_are_base_plus_offsets(self):
+        layout = KernelLayout(PC3, 8)
+        decoder = AddressDecoder(layout, base_rows=[0, 100])
+        b = 0b10110101
+        rows0 = decoder.decode(b, group=0)
+        rows1 = decoder.decode(b, group=1)
+        assert [r + 100 for r in rows0] == rows1
+
+    def test_group_bounds_checked(self):
+        decoder = AddressDecoder(KernelLayout(PC3, 8), base_rows=[0])
+        with pytest.raises(IndexError):
+            decoder.decode(0x80, group=1)
+
+    def test_activation_count_matches_layout(self):
+        layout = KernelLayout(PC2, 8)
+        decoder = AddressDecoder(layout)
+        b = 0b11010110
+        rows = decoder.decode(b)
+        assert len(rows) == len(layout.active_line_indices(b))
+
+    def test_stats_accumulate(self):
+        decoder = AddressDecoder(KernelLayout(FLA, 8))
+        decoder.decode(0b10000001)
+        decoder.decode(0b10000011)
+        assert decoder.stats.decodes == 2
+        assert decoder.stats.lines_activated == 2 + 3
+
+
+class TestOneHot:
+    def test_fla_has_no_one_hot_stage(self):
+        assert AddressDecoder(KernelLayout(FLA, 8)).one_hot_width() == 0
+
+    def test_pc_one_hot_widths(self):
+        assert AddressDecoder(KernelLayout(PC2, 8)).one_hot_width() == 2
+        assert AddressDecoder(KernelLayout(PC3, 8)).one_hot_width() == 4

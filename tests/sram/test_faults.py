@@ -1,0 +1,129 @@
+"""Fault-injection tests for the compute SRAM."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3_TR
+from repro.core.mantissa import approx_multiply
+from repro.sram.array import SRAMArray
+from repro.sram.bank import ComputeBank
+from repro.sram.faults import FaultModel, FaultySRAMArray, inject_random_faults
+
+
+class TestFaultModel:
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            FaultModel(stuck_at_0=frozenset({(9, 0)})).validate(4, 4)
+        with pytest.raises(ValueError, match="dead row"):
+            FaultModel(dead_rows=frozenset({7})).validate(4, 4)
+
+    def test_conflicting_polarity_rejected(self):
+        fm = FaultModel(stuck_at_0=frozenset({(0, 0)}), stuck_at_1=frozenset({(0, 0)}))
+        with pytest.raises(ValueError, match="stuck at both"):
+            fm.validate(2, 2)
+
+    def test_fault_count(self):
+        fm = FaultModel(
+            stuck_at_0=frozenset({(0, 0)}),
+            stuck_at_1=frozenset({(1, 1)}),
+            dead_rows=frozenset({2}),
+        )
+        assert fm.fault_count == 3
+
+
+class TestFaultySRAMArray:
+    def test_stuck_at_1_can_only_raise_value(self):
+        fm = FaultModel(stuck_at_1=frozenset({(0, 3)}))
+        arr = FaultySRAMArray(2, 8, fm)
+        arr.write_row(0, SRAMArray.int_to_bits(0b0001, 8))
+        assert SRAMArray.bits_to_int(arr.read_row(0)) == 0b1001
+
+    def test_stuck_at_0_can_only_lower_value(self):
+        fm = FaultModel(stuck_at_0=frozenset({(0, 0)}))
+        arr = FaultySRAMArray(2, 8, fm)
+        arr.write_row(0, SRAMArray.int_to_bits(0b0011, 8))
+        assert SRAMArray.bits_to_int(arr.read_row(0)) == 0b0010
+
+    def test_stuck_at_1_masked_by_or(self):
+        """A stuck-at-1 is invisible when any activated line carries that
+        bit anyway — the wired OR hides it."""
+        fm = FaultModel(stuck_at_1=frozenset({(0, 1)}))
+        arr = FaultySRAMArray(2, 4, fm)
+        arr.write_row(0, SRAMArray.int_to_bits(0b0000, 4))
+        arr.write_row(1, SRAMArray.int_to_bits(0b0010, 4))
+        assert SRAMArray.bits_to_int(arr.read_or([0, 1])) == 0b0010
+
+    def test_dead_row_reads_zero(self):
+        fm = FaultModel(dead_rows=frozenset({0}))
+        arr = FaultySRAMArray(2, 4, fm)
+        arr.write_row(0, SRAMArray.int_to_bits(0b1111, 4))
+        arr.write_row(1, SRAMArray.int_to_bits(0b0100, 4))
+        assert SRAMArray.bits_to_int(arr.read_or([0])) == 0
+        assert SRAMArray.bits_to_int(arr.read_or([0, 1])) == 0b0100
+
+    def test_fault_free_model_is_transparent(self):
+        arr = FaultySRAMArray(2, 8, FaultModel())
+        bits = SRAMArray.int_to_bits(0b1010_1010, 8)
+        arr.write_row(1, bits)
+        np.testing.assert_array_equal(arr.read_row(1), bits)
+
+    def test_stats_still_counted(self):
+        arr = FaultySRAMArray(2, 4, FaultModel(dead_rows=frozenset({0})))
+        arr.write_row(1, np.ones(4, dtype=bool))
+        arr.read_or([0, 1])
+        assert arr.stats.row_reads == 1
+        assert arr.stats.wordline_activations == 2
+
+
+class TestRandomInjection:
+    def test_rates_respected(self):
+        fm = inject_random_faults(64, 64, cell_fault_rate=0.01, seed=1)
+        assert 0 < fm.fault_count < 64 * 64 * 0.05
+        fm.validate(64, 64)
+
+    def test_zero_rate_clean(self):
+        fm = inject_random_faults(16, 16, cell_fault_rate=0.0)
+        assert fm.fault_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inject_random_faults(4, 4, cell_fault_rate=1.5)
+
+
+class TestFaultyBank:
+    def test_bank_runs_with_faults(self):
+        fm = inject_random_faults(256, 256, cell_fault_rate=0.002, seed=3)
+        bank = ComputeBank(8 * 1024, PC3_TR, 8, fault_model=fm)
+        values = np.full((2, 8), 200, dtype=np.uint64)
+        bank.load_elements(values)
+        products = bank.multiply_all(0b10110101)
+        assert products.shape == (2, 8)
+
+    def test_error_grows_with_fault_rate(self):
+        """More faults -> larger average deviation from the fault-free
+        multiplier output (DNN resilience has a budget, not immunity)."""
+        rng = np.random.default_rng(0)
+        values = rng.integers(128, 256, size=(4, 16)).astype(np.uint64)
+        operands = rng.integers(128, 256, 16)
+
+        def mean_err(rate, seed):
+            fm = inject_random_faults(256, 256, cell_fault_rate=rate, seed=seed)
+            bank = ComputeBank(8 * 1024, PC3_TR, 8, fault_model=fm)
+            bank.load_elements(values)
+            errs = []
+            for b in operands:
+                got = bank.multiply_all(int(b)).astype(np.float64)
+                want = np.array(
+                    [
+                        [approx_multiply(int(a), int(b), 8, PC3_TR) for a in row]
+                        for row in values
+                    ],
+                    dtype=np.float64,
+                )
+                scale = np.where(want == 0, 1.0, want)
+                errs.append(np.abs(got - want) / scale)
+            return float(np.mean(errs))
+
+        low = np.mean([mean_err(0.001, s) for s in range(3)])
+        high = np.mean([mean_err(0.05, s) for s in range(3)])
+        assert high > low

@@ -1,0 +1,95 @@
+"""Tests for the kernel wordline layout (lines per element, widths)."""
+
+import pytest
+
+from repro.core.config import FLA, PC2, PC2_TR, PC3, PC3_TR
+from repro.core.mantissa import approx_multiply
+from repro.sram.layout import KernelLayout, LineSpec
+
+
+class TestGeometry:
+    def test_word_width_truncation(self):
+        assert KernelLayout(PC3, 8).word_bits == 16
+        assert KernelLayout(PC3_TR, 8).word_bits == 8
+        assert KernelLayout(PC3_TR, 24).word_bits == 24
+
+    def test_line_counts_fp_mode(self):
+        # bf16 (n=8): FLA 8 pp lines; PC2 2 pc + 6 pp; PC3 4 pc + 5 pp.
+        assert KernelLayout(FLA, 8).logical_lines == 8
+        assert KernelLayout(PC2, 8).logical_lines == 8
+        assert KernelLayout(PC3, 8).logical_lines == 9
+
+    def test_padded_lines_power_of_two(self):
+        assert KernelLayout(PC3, 8).padded_lines == 16
+        assert KernelLayout(FLA, 8).padded_lines == 8
+
+    def test_paper_bank_capacity(self):
+        """512 kB square bank, bfloat16 PC3_tr: the paper's 128x256."""
+        layout = KernelLayout(PC3_TR, 8)
+        side = 2048  # sqrt(512 kB * 8)
+        assert side // layout.padded_lines == 128
+        assert side // layout.word_bits == 256
+
+    def test_non_fp_mode_more_lines(self):
+        fp = KernelLayout(PC3, 8, fp_mode=True)
+        integer = KernelLayout(PC3, 8, fp_mode=False)
+        assert integer.logical_lines > fp.logical_lines
+        assert integer.logical_lines == 7 + 5  # 2^3-1 combos + 5 pp
+
+    def test_b_line_elimination(self):
+        """FP mode stores only combos containing A (the implicit one)."""
+        layout = KernelLayout(PC2, 8, fp_mode=True)
+        pc_selectors = sorted(s.selector for s in layout.lines if s.kind == "pc")
+        assert pc_selectors == [0b10, 0b11]  # A and A+B; no lone B line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelLayout(PC3, 2)  # k >= n
+
+
+class TestStoredValues:
+    def test_pp_line_value(self):
+        spec = LineSpec("pp", 3)
+        assert spec.stored_value(0b101, bits=4, k=0, truncated=False) == 0b101 << 3
+
+    def test_pc_line_value_is_exact_sum(self):
+        # PC3, n=8, selector 0b101 = A + C: stores a * (0b101 << 5).
+        spec = LineSpec("pc", 0b101)
+        assert spec.stored_value(200, bits=8, k=3, truncated=False) == 200 * (0b101 << 5)
+
+    def test_truncated_stored_value(self):
+        spec = LineSpec("pp", 2)
+        assert spec.stored_value(0b11011011, bits=8, k=0, truncated=True) == (0b11011011 << 2) >> 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LineSpec("xx", 0).stored_value(1, 4, 0, False)
+
+
+class TestActivation:
+    @pytest.mark.parametrize("config", [FLA, PC2, PC3, PC2_TR, PC3_TR])
+    def test_or_of_active_lines_reproduces_multiplier(self, config):
+        """Layout + OR semantics == the reference arithmetic, for every
+        FP-mode operand pair at n=6."""
+        n = 6
+        layout = KernelLayout(config, n)
+        for a in range(1 << (n - 1), 1 << n, 3):
+            stored = layout.stored_values(a)
+            for b in range(1 << (n - 1), 1 << n, 3):
+                acc = 0
+                for idx in layout.active_line_indices(b):
+                    acc |= stored[idx]
+                assert acc == approx_multiply(a, b, n, config), (a, b, config)
+
+    def test_fp_mode_requires_msb(self):
+        layout = KernelLayout(PC3, 8)
+        with pytest.raises(ValueError, match="MSB"):
+            layout.active_line_indices(0x7F)
+
+    def test_zero_operand_raises_nothing_active(self):
+        layout = KernelLayout(PC3, 8)
+        assert layout.active_line_indices(0) == []
+
+    def test_max_simultaneous_lines(self):
+        assert KernelLayout(FLA, 8).max_simultaneous_lines() == 8
+        assert KernelLayout(PC3, 8).max_simultaneous_lines() == 6

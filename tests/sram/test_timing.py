@@ -1,0 +1,38 @@
+"""Tests for the SRAM access-time model (the 1 GHz claim)."""
+
+import pytest
+
+from repro.sram.timing import max_clock_mhz, read_latency_ns, supports_clock
+
+
+class TestLatency:
+    def test_monotone_in_size(self):
+        latencies = [read_latency_ns(s, s) for s in (128, 256, 512, 2048)]
+        assert all(a < b for a, b in zip(latencies, latencies[1:]))
+
+    def test_segmentation_bounds_bitline_term(self):
+        """Doubling rows beyond the segment only adds decoder delay."""
+        small = read_latency_ns(256, 256)
+        tall = read_latency_ns(4096, 256)
+        assert tall - small < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            read_latency_ns(0, 16)
+
+
+class TestClockClaims:
+    def test_paper_banks_support_1ghz(self):
+        """Table II runs DAISM at 1000 MHz; every evaluated bank size
+        (8-512 kB) must close timing at 1 ns."""
+        for kb in (8, 32, 128, 512):
+            assert supports_clock(kb * 1024, 1.0e9), kb
+
+    def test_faster_than_pim_baselines(self):
+        """DAISM's conventional read path beats Z-PIM's 200 MHz and
+        T-PIM's 280 MHz ceilings comfortably."""
+        assert max_clock_mhz(32 * 1024) > 280
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            max_clock_mhz(3000)

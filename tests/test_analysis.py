@@ -1,0 +1,74 @@
+"""Tests for the reporting/sweep helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_range, format_series, format_table, title
+from repro.analysis.sweeps import fig5_rows, fig6_rows
+
+
+class TestFormatRange:
+    def test_scalar(self):
+        assert format_range(3.14159) == "3.14"
+        assert format_range(3.14159, digits=4) == "3.1416"
+
+    def test_collapsed_range(self):
+        assert format_range((2.0, 2.0)) == "2.00"
+
+    def test_open_range(self):
+        assert format_range((1.5, 16.0)) == "1.50~16.00"
+
+    def test_strings_pass_through(self):
+        assert format_range("bit-serial") == "bit-serial"
+        assert format_range(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "bee": "x"}, {"a": 22, "bee": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bee" in lines[0]
+        assert len(lines) == 4
+        # All rows padded to equal width per column.
+        assert len(set(len(l) for l in lines[2:])) <= 2
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_missing_keys_render_blank(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in text
+
+
+class TestSeriesAndTitle:
+    def test_series(self):
+        s = format_series("util", [(8, 0.5), (32, 0.75)])
+        assert s == "util: 8=0.5  32=0.75"
+
+    def test_title_underline(self):
+        t = title("Hello")
+        lines = t.strip().splitlines()
+        assert lines[1] == "=" * len(lines[0])
+
+
+class TestSweeps:
+    def test_fig5_row_count_and_keys(self):
+        rows = fig5_rows()
+        assert len(rows) == 2 * 2 * 6
+        assert {"datatype", "bank", "design", "total_pj"} <= set(rows[0])
+        baselines = [r for r in rows if r["design"] == "baseline"]
+        assert all(r["multiplier"] > 0 for r in baselines)
+
+    def test_fig5_daism_rows_have_no_multiplier_cost(self):
+        rows = [r for r in fig5_rows() if r["design"] != "baseline"]
+        assert all(r["multiplier"] == 0.0 for r in rows)
+
+    def test_fig6_rows(self):
+        rows = fig6_rows()
+        assert len(rows) == 10
+        assert all(r["improvement_x"] > 1.0 for r in rows)
+
+    def test_fig6_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            fig6_rows(bank_kbs=(3,))

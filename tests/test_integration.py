@@ -1,0 +1,115 @@
+"""Cross-module integration tests.
+
+These stitch the whole stack together: structural SRAM -> arithmetic ->
+GEMM -> DNN, and the architecture/energy models against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.daism import DaismDesign
+from repro.arch.workloads import vgg8_conv1
+from repro.core.config import PC3_TR, all_configs
+from repro.core.fp_mul import approx_fp_multiply
+from repro.core.gemm import approx_matmul
+from repro.energy.multiplier_energy import computations_per_read
+from repro.formats.floatfmt import BFLOAT16, decompose, quantize
+from repro.nn.backend import daism_backend, use_backend
+from repro.nn.layers import Conv2d
+from repro.sram.bank import ComputeBank
+
+
+class TestStructuralToArithmetic:
+    @pytest.mark.parametrize("config", all_configs())
+    def test_fp_product_via_physical_bank(self, config):
+        """An end-to-end FP multiply computed by the *bit-level SRAM
+        simulation* must equal the fast arithmetic pipeline.
+
+        This test performs the full datapath manually: decompose ->
+        in-SRAM significand product (structural) -> normalise/compose via
+        the fast model on the same significand product.
+        """
+        rng = np.random.default_rng(0)
+        xs = quantize(rng.standard_normal(6).astype(np.float32) + 1.5, BFLOAT16)
+        ys = quantize(rng.standard_normal(6).astype(np.float32) + 1.5, BFLOAT16)
+
+        bank = ComputeBank(8 * 1024, config, 8)
+        _sx, _ex, mx = decompose(xs, BFLOAT16)
+        bank.load_elements(mx[None, :].astype(np.uint64))
+
+        from repro.core.vectorized import approx_multiply_array
+
+        _sy, _ey, my = decompose(ys, BFLOAT16)
+        for j, m in enumerate(my):
+            if m == 0:
+                continue
+            products = bank.multiply_row(int(m), 0)
+            want = approx_multiply_array(mx.astype(np.uint64), np.uint64(m), 8, config)
+            np.testing.assert_array_equal(products, want)
+
+
+class TestGemmConsistency:
+    def test_conv_layer_under_backend_equals_direct_gemm(self):
+        """A Conv2d under the DAISM backend must equal im2col +
+        approx_matmul done by hand."""
+        rng = np.random.default_rng(1)
+        layer = Conv2d(2, 4, 3, backend=daism_backend(PC3_TR), rng=rng)
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        out = layer(x)
+
+        from repro.nn.functional import im2col
+
+        cols = im2col(x, 3, 1, 1)
+        wmat = layer.weight.data.reshape(4, -1).T
+        want = approx_matmul(cols, wmat, BFLOAT16, PC3_TR) + layer.bias.data[None, :]
+        want = want.reshape(1, 6, 6, 4).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, want, rtol=1e-6)
+
+    def test_elementwise_consistency_random(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 4)).astype(np.float32)
+        got = approx_matmul(a, b, BFLOAT16, PC3_TR)
+        want = np.zeros((8, 4), dtype=np.float32)
+        for k in range(16):
+            want += approx_fp_multiply(a[:, k, None], b[None, k, :], BFLOAT16, PC3_TR)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+
+class TestArchitectureEnergyConsistency:
+    def test_design_geometry_matches_bank_simulation(self):
+        """The analytic design model and the structural bank agree on
+        capacity and PE geometry."""
+        design = DaismDesign(banks=1, bank_kb=512)
+        bank = ComputeBank(512 * 1024, design.config, design.fmt.significand_bits)
+        assert design.element_rows_per_bank == bank.element_rows
+        assert design.kernel_capacity == bank.capacity_elements
+
+    def test_energy_comps_match_bank_slots(self):
+        """Computations-per-read in the energy model equals the slot
+        count of the structural bank."""
+        for kb in (8, 32, 512):
+            bank = ComputeBank(kb * 1024, PC3_TR, 8)
+            assert computations_per_read(kb * 1024, BFLOAT16, PC3_TR) == bank.slots_per_row
+
+    def test_vgg8_fits_16x8kb_in_one_pass(self):
+        """1728 kernel elements across 16 x 8 kB banks: one load pass."""
+        design = DaismDesign(banks=16, bank_kb=8)
+        mapping = design.map_conv(vgg8_conv1())
+        assert mapping.passes == 1
+        assert mapping.rows_per_bank_max <= design.element_rows_per_bank
+
+
+class TestWholeModelUnderBackend:
+    def test_small_cnn_forward_finite_and_close(self):
+        rng = np.random.default_rng(3)
+        from repro.nn.models import build_lenet
+
+        model = build_lenet(seed=5).eval()
+        x = rng.standard_normal((4, 1, 16, 16)).astype(np.float32)
+        exact = model(x)
+        with use_backend(daism_backend(PC3_TR)):
+            approx = model(x)
+        assert np.isfinite(approx).all()
+        corr = np.corrcoef(exact.ravel(), approx.ravel())[0, 1]
+        assert corr > 0.95

@@ -1,0 +1,53 @@
+"""Package hygiene: every module imports, exports resolve, docs exist."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_top_level_reexports():
+    from repro import (  # noqa: F401
+        BFLOAT16,
+        FLA,
+        PC3_TR,
+        ApproxMatmul,
+        approx_fp_multiply,
+        approx_matmul,
+    )
+
+
+def test_repo_documents_exist():
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        assert (root / doc).is_file(), doc
