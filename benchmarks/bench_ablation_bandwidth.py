@@ -1,36 +1,21 @@
 """Ablation — input-delivery bandwidth sensitivity.
 
-The paper notes the multi-bank design needs "a larger data bus
-connecting the scratchpad to the SRAM banks, increasing costs".  This
-ablation quantifies the other side of that trade: if the bus/scratchpad
-can only deliver an input every ``spad_latency`` cycles per bank, banks
-with thin per-input work stall.  The cycle-accurate scheduler exposes
-exactly where the paper's one-input-per-bank-per-cycle assumption stops
-being free.
+Thin wrapper over the registered ``ablation_bandwidth`` experiment
+(``python -m repro reproduce ablation_bandwidth --workers 4``).  The
+paper notes the multi-bank design needs "a larger data bus connecting
+the scratchpad to the SRAM banks, increasing costs"; this quantifies the
+other side of that trade: banks with thin per-input work stall when the
+bus delivers an input only every ``spad_latency`` cycles.
 """
 
 from repro.analysis.reporting import format_table, title
 from repro.arch.scheduler import simulate_layer
 from repro.arch.workloads import vgg8_conv1
-
-LAYER = vgg8_conv1()
+from repro.experiments import experiment_rows
 
 
 def bandwidth_rows() -> list[dict[str, object]]:
-    rows = []
-    for banks, pes in ((1, 128), (4, 64), (16, 16)):
-        for latency in (1, 2, 4, 8):
-            sim = simulate_layer(LAYER, pes, banks, spad_latency=latency)
-            rows.append(
-                {
-                    "design": f"{banks} bank(s) x {pes} PEs",
-                    "delivery latency": latency,
-                    "cycles": sim.cycles,
-                    "stall cycles": sim.stall_cycles,
-                    "utilization": f"{sim.utilization:.3f}",
-                }
-            )
-    return rows
+    return experiment_rows("ablation_bandwidth")
 
 
 def render(rows=None) -> str:
@@ -61,7 +46,7 @@ def test_bandwidth_shape(capsys):
 
 def test_bench_latency_sweep(benchmark):
     sim = benchmark.pedantic(
-        simulate_layer, args=(LAYER, 16, 16), kwargs={"spad_latency": 4}, rounds=2, iterations=1
+        simulate_layer, args=(vgg8_conv1(), 16, 16), kwargs={"spad_latency": 4}, rounds=2, iterations=1
     )
     assert sim.stall_cycles >= 0
 

@@ -1,52 +1,21 @@
 """Ablation — multiplier error under SRAM cell faults.
 
-The paper's resilience argument (error-tolerant DNNs, citing the
-fault-aware scheduling line of work [13]) extends to silicon defects in
-the compute SRAM.  This ablation measures the structural multiplier's
-relative error as stuck-at cell faults are injected, on top of the
-intrinsic OR-approximation error.
+Thin wrapper over the registered ``ablation_faults`` experiment
+(``python -m repro reproduce ablation_faults --workers 4``).  The
+paper's resilience argument (error-tolerant DNNs, citing the fault-aware
+scheduling line of work [13]) extends to silicon defects in the compute
+SRAM: this measures the structural multiplier's relative error as
+stuck-at cell faults are injected, on top of the intrinsic
+OR-approximation error.
 """
 
-import numpy as np
-
 from repro.analysis.reporting import format_table, title
-from repro.core.config import PC3_TR
-from repro.core.mantissa import approx_multiply
-from repro.sram.bank import ComputeBank
-from repro.sram.faults import inject_random_faults
-
-
-def _mean_extra_error(rate: float, seed: int) -> float:
-    """Mean |faulty - fault-free| / fault-free over a sample grid."""
-    rng = np.random.default_rng(seed)
-    values = rng.integers(128, 256, size=(4, 16)).astype(np.uint64)
-    operands = rng.integers(128, 256, 12)
-    fm = inject_random_faults(256, 256, cell_fault_rate=rate, seed=seed)
-    bank = ComputeBank(8 * 1024, PC3_TR, 8, fault_model=fm)
-    bank.load_elements(values)
-    errs = []
-    for b in operands:
-        got = bank.multiply_all(int(b)).astype(np.float64)
-        want = np.array(
-            [[approx_multiply(int(a), int(b), 8, PC3_TR) for a in row] for row in values],
-            dtype=np.float64,
-        )
-        scale = np.where(want == 0, 1.0, want)
-        errs.append(np.abs(got - want) / scale)
-    return float(np.mean(errs))
+from repro.experiments import experiment_rows
+from repro.experiments.defs.ablations import mean_fault_error
 
 
 def fault_rows() -> list[dict[str, object]]:
-    rows = []
-    for rate in (0.0, 0.001, 0.01, 0.05):
-        mean = np.mean([_mean_extra_error(rate, seed) for seed in range(3)])
-        rows.append(
-            {
-                "cell fault rate": f"{rate:.3f}",
-                "extra rel. error (mean)": f"{mean:.4f}",
-            }
-        )
-    return rows
+    return experiment_rows("ablation_faults")
 
 
 def render(rows=None) -> str:
@@ -68,7 +37,7 @@ def test_fault_error_monotone(capsys):
 
 
 def test_bench_fault_injection(benchmark):
-    err = benchmark.pedantic(_mean_extra_error, args=(0.01, 0), rounds=2, iterations=1)
+    err = benchmark.pedantic(mean_fault_error, args=(0.01, 0), rounds=2, iterations=1)
     assert err >= 0.0
 
 

@@ -1,32 +1,20 @@
 """Ablation — mantissa multiplier error distributions.
 
+Thin wrapper over the registered ``ablation_multiplier_error``
+experiment (``python -m repro reproduce ablation_multiplier_error``).
 Quantifies Sec. V-D's accuracy argument: mean relative error strictly
 ordered FLA > PC2 > PC3, truncation adding only a small increment, and
 the fraction of exactly-computed products per config.
 """
 
-import numpy as np
-
 from repro.analysis.reporting import format_table, title
 from repro.core.config import all_configs
 from repro.core.errors import exhaustive_mantissa_errors, mantissa_error_stats
-from repro.formats.floatfmt import BFLOAT16
+from repro.experiments import experiment_rows
 
 
 def error_rows() -> list[dict[str, object]]:
-    rows = []
-    for config in all_configs():
-        stats = mantissa_error_stats(8, config, samples=1 << 15, seed=0)
-        rows.append(
-            {
-                "config": config.name,
-                "mean rel err": f"{stats.mean:.4f}",
-                "p99": f"{stats.p99:.4f}",
-                "max": f"{stats.max:.4f}",
-                "exact products": f"{100 * stats.exact_fraction:.1f}%",
-            }
-        )
-    return rows
+    return experiment_rows("ablation_multiplier_error")
 
 
 def render() -> str:

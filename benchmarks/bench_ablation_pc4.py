@@ -1,38 +1,20 @@
 """Ablation — extending pre-computation beyond the paper: PC4.
 
-Table I stops at PC3; this ablation adds PC4 (all combinations of the
-top four partial products pre-computed) and shows the diminishing
-return: accuracy keeps improving but each step doubles the combination
-lines, while the energy per computation barely moves — quantifying why
-the paper's "PC3 is the best choice" conclusion holds.
+Thin wrapper over the registered ``ablation_pc4`` experiment
+(``python -m repro reproduce ablation_pc4``).  Table I stops at PC3;
+this adds PC4 (all combinations of the top four partial products
+pre-computed) and shows the diminishing return: accuracy keeps improving
+but each step doubles the combination lines, while the energy per
+computation barely moves — quantifying why the paper's "PC3 is the best
+choice" conclusion holds.
 """
 
 from repro.analysis.reporting import format_table, title
-from repro.core.config import extended_configs
-from repro.core.errors import mantissa_error_stats
-from repro.core.mantissa import max_simultaneous_lines
-from repro.energy.multiplier_energy import daism_multiplier_energy
-from repro.formats.floatfmt import BFLOAT16
-from repro.sram.layout import KernelLayout
+from repro.experiments import experiment_rows
 
 
 def pc_sweep_rows() -> list[dict[str, object]]:
-    rows = []
-    for config in extended_configs():
-        layout = KernelLayout(config, 8)
-        stats = mantissa_error_stats(8, config, samples=1 << 14, seed=0)
-        energy = daism_multiplier_energy(config, BFLOAT16, 8 * 1024)
-        rows.append(
-            {
-                "config": config.name,
-                "mean rel err": f"{stats.mean:.4f}",
-                "logical lines": layout.logical_lines,
-                "padded lines": layout.padded_lines,
-                "max active lines": max_simultaneous_lines(8, config),
-                "energy/comp [pJ]": f"{energy.total_pj:.4f}",
-            }
-        )
-    return rows
+    return experiment_rows("ablation_pc4")
 
 
 def render(rows=None) -> str:

@@ -1,39 +1,30 @@
 """Ablation — pre-loading amortisation (Sec. V-B2 / V-D claims).
 
-Quantifies "the cost of pre-loading data is made negligible by the large
-operands reuse" per VGG-8 layer, and shows where it *stops* being true
-(the FC tail at batch 1) and how batching restores it.
+Thin wrapper over the registered ``ablation_preload`` experiment
+(``python -m repro reproduce ablation_preload``).  Quantifies "the cost
+of pre-loading data is made negligible by the large operands reuse" per
+VGG-8 layer, and shows where it *stops* being true (the FC tail at
+batch 1) and how batching restores it.
 """
 
 from repro.analysis.reporting import format_table, title
 from repro.arch.daism import DaismDesign
 from repro.arch.preload import preload_analysis
 from repro.arch.workloads import vgg8_layers
+from repro.experiments import experiment_rows
 
 DESIGN = DaismDesign(banks=16, bank_kb=8)
 
 
 def preload_rows(batch: int = 1) -> list[dict[str, object]]:
-    rows = []
-    for layer in vgg8_layers():
-        r = preload_analysis(DESIGN, layer, batch=batch)
-        rows.append(
-            {
-                "layer": layer.name,
-                "batch": batch,
-                "kernel reuse": f"{r.kernel_element_reuse:.0f}",
-                "reads/writes": f"{r.read_write_ratio:.1f}",
-                "load energy share": f"{100 * r.load_energy_fraction:.1f}%",
-            }
-        )
-    return rows
+    return experiment_rows("ablation_preload", {"batch": batch})
 
 
 def render() -> str:
     return (
         title("Ablation: pre-load amortisation per VGG-8 layer (16x8kB)")
         + "\n"
-        + format_table(preload_rows(batch=1) + preload_rows(batch=64))
+        + format_table(experiment_rows("ablation_preload"))
     )
 
 

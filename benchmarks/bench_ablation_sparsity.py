@@ -1,43 +1,28 @@
 """Ablation — zero-input bypass under activation sparsity.
 
-The paper's datapath bypasses multiplications by zero (Sec. III-C); its
+Thin wrapper over the registered ``ablation_sparsity`` experiment
+(``python -m repro reproduce ablation_sparsity --workers 5``).  The
+paper's datapath bypasses multiplications by zero (Sec. III-C); its
 Table II competitors (Z-PIM, T-PIM) report sparsity-dependent figures.
-This ablation quantifies what word-granular zero skipping buys DAISM:
-cycles on the cycle-accurate scheduler versus post-ReLU input sparsity.
+This quantifies what word-granular zero skipping buys DAISM: cycles on
+the cycle-accurate scheduler versus post-ReLU input sparsity.
 """
-
-import numpy as np
 
 from repro.analysis.reporting import format_table, title
 from repro.arch.scheduler import simulate_layer
 from repro.arch.workloads import ConvLayer
+from repro.experiments import experiment_rows
+from repro.experiments.defs.ablations import SPARSITY_LAYER, sparsity_input
 
-LAYER = ConvLayer("relu_fed", 16, 64, 3, 28, 28)
+LAYER = ConvLayer(*SPARSITY_LAYER)
 
 
-def sparse_input(sparsity: float, seed: int = 0) -> np.ndarray:
-    rng = np.random.default_rng(seed)
-    x = np.abs(rng.standard_normal((LAYER.in_channels, LAYER.height, LAYER.width)))
-    threshold = np.quantile(x, sparsity)
-    x[x < threshold] = 0.0
-    return x.astype(np.float32)
+def sparse_input(sparsity: float, seed: int = 0):
+    return sparsity_input(sparsity, seed=seed)
 
 
 def sparsity_rows() -> list[dict[str, object]]:
-    dense = simulate_layer(LAYER, 32, 16)
-    rows = []
-    for sparsity in (0.0, 0.3, 0.5, 0.7, 0.9):
-        sim = simulate_layer(LAYER, 32, 16, inputs=sparse_input(sparsity))
-        rows.append(
-            {
-                "input sparsity": f"{sparsity:.1f}",
-                "cycles": sim.cycles,
-                "vs dense": f"{sim.cycles / dense.cycles:.2f}x",
-                "skipped inputs": sim.skipped_inputs,
-                "MACs issued": sim.macs_issued,
-            }
-        )
-    return rows
+    return experiment_rows("ablation_sparsity")
 
 
 def render(rows=None) -> str:

@@ -1,12 +1,15 @@
 """Ablation — the title claim: *training* on approximate arithmetic.
 
-Trains the same MLP (same seed, same batches) under exact float32 and
-under the DAISM bfloat16 PC3_tr backend (forward *and* backward GEMMs
+Thin wrapper over the registered ``ablation_training`` experiment
+(``python -m repro reproduce ablation_training --workers 2``).  Trains
+the same MLP (same seed, same batches) under exact float32 and under the
+DAISM bfloat16 PC3_tr backend (forward *and* backward GEMMs
 approximate), and compares final accuracies.
 """
 
 from repro.analysis.reporting import format_table, title
 from repro.core.config import PC3_TR
+from repro.experiments import experiment_rows
 from repro.nn.backend import daism_backend
 from repro.nn.data import blobs_dataset
 from repro.nn.models import build_mlp
@@ -14,20 +17,7 @@ from repro.nn.train import train
 
 
 def training_rows() -> list[dict[str, object]]:
-    data = blobs_dataset(n_train=512, n_test=256, spread=2.0, seed=0)
-    rows = []
-    for label, backend in [("float32", None), ("bfloat16 PC3_tr", daism_backend(PC3_TR))]:
-        model = build_mlp(in_features=32, num_classes=4, seed=3)
-        result = train(model, data, epochs=8, batch_size=32, lr=0.05, seed=0, backend=backend)
-        rows.append(
-            {
-                "training arithmetic": label,
-                "final loss": f"{result.losses[-1]:.3f}",
-                "train acc": f"{result.train_accuracy:.3f}",
-                "test acc": f"{result.test_accuracy:.3f}",
-            }
-        )
-    return rows
+    return experiment_rows("ablation_training")
 
 
 def render(rows=None) -> str:

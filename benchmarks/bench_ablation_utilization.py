@@ -1,31 +1,20 @@
 """Ablation — mapper utilisation across VGG-8 layers and bank counts.
 
-The paper's utilisation argument (Sec. V-C2) on the whole network: which
-layers map well onto which bank geometries, and where the single-bank
-penalty comes from.
+Thin wrapper over the registered ``ablation_utilization`` experiment
+(``python -m repro reproduce ablation_utilization``).  The paper's
+utilisation argument (Sec. V-C2) on the whole network: which layers map
+well onto which bank geometries, and where the single-bank penalty comes
+from.
 """
 
 from repro.analysis.reporting import format_table, title
 from repro.arch.daism import DaismDesign
 from repro.arch.workloads import vgg8_layers
+from repro.experiments import experiment_rows
 
 
 def utilization_rows() -> list[dict[str, object]]:
-    designs = [
-        DaismDesign(banks=1, bank_kb=512),
-        DaismDesign(banks=4, bank_kb=128),
-        DaismDesign(banks=16, bank_kb=32),
-        DaismDesign(banks=16, bank_kb=8),
-    ]
-    rows = []
-    for layer in vgg8_layers():
-        row: dict[str, object] = {"layer": layer.name}
-        for d in designs:
-            m = d.map_conv(layer)
-            row[f"{d.banks}x{d.bank_kb}kB util"] = f"{m.utilization:.3f}"
-            row[f"{d.banks}x{d.bank_kb}kB cyc"] = m.cycles
-        rows.append(row)
-    return rows
+    return experiment_rows("ablation_utilization")
 
 
 def render() -> str:

@@ -1,32 +1,26 @@
 """Fig. 4 — CNN accuracy under bfloat16 truncated PC3 vs exact float32.
 
-The paper evaluates ImageNet CNNs; offline we train the model-zoo CNNs
-(LeNet/VGG/ResNet families) on the synthetic shapes dataset and
-re-evaluate the same float32-trained weights under approximate
-arithmetic.  The claim to reproduce: "minimal to no degradation in model
-accuracy" for bfloat16 PC3_tr.
+Thin wrapper over the registered ``fig4_accuracy`` experiment
+(``python -m repro reproduce fig4_accuracy --workers 3`` trains the
+three model-zoo CNNs in parallel).  The pytest path reuses the
+session-trained ``trained_suite`` fixture so the accuracy claims are
+checked without retraining per test; the backend suite comes from the
+experiment definition so both paths evaluate identical arithmetic.
 """
 
 from repro.analysis.reporting import format_table, title
-from repro.core.config import FLA, PC3_TR
+from repro.core.config import PC3_TR
+from repro.experiments import experiment_rows
+from repro.experiments.defs.figures import fig4_backends
 from repro.formats.floatfmt import BFLOAT16
-from repro.nn.backend import daism_backend, exact_backend, quantized_backend
-from repro.nn.data import shapes_dataset
-from repro.nn.models import model_zoo
-from repro.nn.train import accuracy_comparison, train
-
-BACKENDS = {
-    "float32 (baseline)": exact_backend(),
-    "bfloat16 exact": quantized_backend(BFLOAT16),
-    "bfloat16 PC3_tr (DAISM)": daism_backend(PC3_TR, BFLOAT16),
-    "bfloat16 FLA (ablation)": daism_backend(FLA, BFLOAT16),
-}
+from repro.nn.backend import daism_backend
+from repro.nn.train import accuracy_comparison
 
 
 def accuracy_rows(models, data) -> list[dict[str, object]]:
     rows = []
     for name, model in models.items():
-        accs = accuracy_comparison(model, data, BACKENDS)
+        accs = accuracy_comparison(model, data, fig4_backends())
         rows.append(
             {
                 "model": name,
@@ -68,9 +62,9 @@ def test_bench_pc3tr_inference(benchmark, trained_suite):
 
 
 if __name__ == "__main__":
-    data = shapes_dataset(n_train=640, n_test=256, size=16, seed=0)
-    models = {}
-    for name, model in model_zoo().items():
-        train(model, data, epochs=16, batch_size=32, lr=0.04, seed=0)
-        models[name] = model
-    print(render(models, data))
+    rows = experiment_rows("fig4_accuracy")
+    print(
+        title("Fig. 4: accuracy, bfloat16 PC3_tr vs exact float32 baseline")
+        + "\n"
+        + format_table(rows)
+    )

@@ -1,21 +1,20 @@
 """Fig. 5 — energy breakdown per multiplication.
 
-All proposed mantissa multipliers against the common baseline, for
-float32 and bfloat16 operands and 8 kB / 32 kB banks, itemised into
-memory read / multiplier / register file / decoder.  The four findings
-the paper calls out are asserted (they are also pinned in
+Thin wrapper over the registered ``fig5_energy_breakdown`` experiment
+(``python -m repro reproduce fig5_energy_breakdown``).  The four
+findings the paper calls out are asserted (they are also pinned in
 ``tests/energy/test_multiplier_energy.py``).
 """
 
 from repro.analysis.reporting import format_table, title
-from repro.analysis.sweeps import fig5_rows
 from repro.core.config import PC3, PC3_TR, all_configs
 from repro.energy.multiplier_energy import daism_multiplier_energy
+from repro.experiments import experiment_rows
 from repro.formats.floatfmt import BFLOAT16, FLOAT32
 
 
 def render() -> str:
-    rows = fig5_rows()
+    rows = experiment_rows("fig5_energy_breakdown")
     pretty = [
         {
             "datatype": r["datatype"],
@@ -51,7 +50,7 @@ def test_fig5_findings(capsys):
 
 
 def test_bench_fig5_sweep(benchmark):
-    rows = benchmark(fig5_rows)
+    rows = benchmark(experiment_rows, "fig5_energy_breakdown")
     assert len(rows) == 2 * 2 * 6  # 2 fmts x 2 banks x (baseline + 5 configs)
 
 

@@ -1,15 +1,15 @@
 """Fig. 6 — relative energy improvement including exponent handling.
 
-PC3_tr against the baseline with the common exponent-handling cost
-folded into both sides, across bank sizes and datatypes.  Shape claims:
+Thin wrapper over the registered ``fig6_exponent_handling`` experiment
+(``python -m repro reproduce fig6_exponent_handling``).  Shape claims:
 every point stays > 1x, the improvement shrinks versus the raw
 multiplier-only ratio, and truncation is what buys most of the win.
 """
 
 from repro.analysis.reporting import format_table, title
-from repro.analysis.sweeps import fig6_rows
 from repro.core.config import PC3, PC3_TR
 from repro.energy.multiplier_energy import energy_improvement_with_exponent
+from repro.experiments import experiment_rows
 from repro.formats.floatfmt import BFLOAT16, FLOAT32
 
 
@@ -20,7 +20,7 @@ def render() -> str:
             "bank": r["bank"],
             "improvement": f"{r['improvement_x']:.1f}x",
         }
-        for r in fig6_rows()
+        for r in experiment_rows("fig6_exponent_handling")
     ]
     return (
         title("Fig. 6: relative energy improvement of PC3_tr incl. exponent handling")
@@ -43,7 +43,7 @@ def test_fig6_shape(capsys):
 
 
 def test_bench_fig6_sweep(benchmark):
-    rows = benchmark(fig6_rows)
+    rows = benchmark(experiment_rows, "fig6_exponent_handling")
     assert len(rows) == 2 * 5
 
 

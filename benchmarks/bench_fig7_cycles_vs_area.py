@@ -1,6 +1,7 @@
 """Fig. 7 — cycles vs on-chip area executing VGG-8 conv1 (bfloat16).
 
-DAISM bank/size variants against the Eyeriss baseline.  Shape claims:
+Thin wrapper over the registered ``fig7_cycles_vs_area`` experiment
+(``python -m repro reproduce fig7_cycles_vs_area``).  Shape claims:
 splitting into banks buys cycles at the cost of area, the 16x8 kB point
 matches the 4x128 kB point's performance at less area, and banked DAISM
 beats Eyeriss cycles at a smaller footprint.
@@ -8,45 +9,47 @@ beats Eyeriss cycles at a smaller footprint.
 
 from repro.analysis.reporting import format_table, title
 from repro.arch.compare import fig7_tradeoff
-from repro.arch.workloads import vgg8_conv1
+from repro.experiments import experiment_rows
 
 
-def render(points=None) -> str:
-    points = points or fig7_tradeoff()
-    rows = [
+def render(rows=None) -> str:
+    rows = rows or experiment_rows("fig7_cycles_vs_area")
+    pretty = [
         {
-            "design": p.name,
-            "cycles": p.cycles,
-            "area [mm2]": f"{p.area_mm2:.2f}",
-            "PEs": p.total_pes,
-            "utilization": f"{p.utilization:.3f}",
+            "design": r["design"],
+            "cycles": r["cycles"],
+            "area [mm2]": f"{r['area_mm2']:.2f}",
+            "PEs": r["total_pes"],
+            "utilization": f"{r['utilization']:.3f}",
         }
-        for p in sorted(points, key=lambda p: p.cycles)
+        for r in rows
     ]
     return (
         title("Fig. 7: cycles vs on-chip area, VGG-8 conv1 (bfloat16, PC3_tr)")
         + "\n"
-        + format_table(rows)
+        + format_table(pretty)
     )
 
 
 def test_fig7_shape(capsys):
-    points = {p.name: p for p in fig7_tradeoff()}
+    points = {r["design"]: r for r in experiment_rows("fig7_cycles_vs_area")}
     # Banking buys cycles at the cost of area.
-    assert points["16x32kB"].cycles < points["4x128kB"].cycles < points["1x512kB"].cycles
-    assert points["16x32kB"].area_mm2 > points["16x8kB"].area_mm2
+    assert points["16x32kB"]["cycles"] < points["4x128kB"]["cycles"] < points["1x512kB"]["cycles"]
+    assert points["16x32kB"]["area_mm2"] > points["16x8kB"]["area_mm2"]
     # 16x8 kB: smallest iso-performance design.
-    assert points["16x8kB"].cycles == points["4x128kB"].cycles
-    assert points["16x8kB"].area_mm2 < points["4x128kB"].area_mm2
+    assert points["16x8kB"]["cycles"] == points["4x128kB"]["cycles"]
+    assert points["16x8kB"]["area_mm2"] < points["4x128kB"]["area_mm2"]
     # DAISM beats Eyeriss at comparable (smaller) area.
     eyeriss = points["Eyeriss 12x14"]
-    assert points["16x32kB"].cycles < eyeriss.cycles
-    assert points["16x32kB"].area_mm2 < eyeriss.area_mm2
+    assert points["16x32kB"]["cycles"] < eyeriss["cycles"]
+    assert points["16x32kB"]["area_mm2"] < eyeriss["area_mm2"]
     with capsys.disabled():
         print(render(list(points.values())))
 
 
 def test_bench_fig7_sweep(benchmark):
+    from repro.arch.workloads import vgg8_conv1
+
     layer = vgg8_conv1()
     points = benchmark(fig7_tradeoff, layer)
     assert len(points) == 9  # 8 DAISM variants + Eyeriss

@@ -1,17 +1,16 @@
 """Fig. 8 — detailed area breakdown of the DAISM architecture.
 
-SRAM area vs other digital circuits (exponent handling, accumulators,
-per-bank overheads) under two sweeps: growing bank width, and splitting
-a fixed 512 kB across more banks.  Shape claims: SRAM dominates as banks
-widen; digital dominates as the bank count grows.
+Thin wrapper over the registered ``fig8_area_breakdown`` experiment
+(``python -m repro reproduce fig8_area_breakdown``).  Shape claims: SRAM
+dominates as banks widen; digital dominates as the bank count grows.
 """
 
 from repro.analysis.reporting import format_table, title
-from repro.arch.compare import fig8_breakdown
+from repro.experiments import experiment_rows
 
 
 def render(rows=None) -> str:
-    rows = rows or fig8_breakdown()
+    rows = rows or experiment_rows("fig8_area_breakdown")
     pretty = [
         {
             "sweep": r["sweep"],
@@ -30,7 +29,7 @@ def render(rows=None) -> str:
 
 
 def test_fig8_shape(capsys):
-    rows = fig8_breakdown()
+    rows = experiment_rows("fig8_area_breakdown")
     widths = [r["sram_fraction"] for r in rows if r["sweep"] == "bank_kb"]
     assert all(a < b for a, b in zip(widths, widths[1:]))
     banks = [r["sram_fraction"] for r in rows if r["sweep"] == "banks"]
@@ -40,7 +39,7 @@ def test_fig8_shape(capsys):
 
 
 def test_bench_fig8_sweep(benchmark):
-    rows = benchmark(fig8_breakdown)
+    rows = benchmark(experiment_rows, "fig8_area_breakdown")
     assert len(rows) == 9
 
 

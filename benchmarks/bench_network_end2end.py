@@ -1,26 +1,27 @@
 """Extension — whole-network execution (beyond Fig. 7's single layer).
 
-Runs all eight VGG-8 layers on the paper's headline designs and on the
-Eyeriss baseline: per-layer cycles/energy, pass counts for layers whose
-weights exceed the compute SRAM, and the end-to-end speedup.
+Thin wrapper over the registered ``network_end2end`` experiment
+(``python -m repro reproduce network_end2end``): all eight VGG-8 layers
+on the headline design with per-layer cycles/energy, pass counts, and
+the end-to-end speedup vs the Eyeriss baseline.
 """
 
 from repro.analysis.reporting import format_table, title
 from repro.arch.daism import DaismDesign
 from repro.arch.network_runner import compare_with_eyeriss, run_network
 from repro.arch.workloads import vgg8_layers
+from repro.experiments import experiment_rows
 
 
 def render() -> str:
-    design = DaismDesign(banks=16, bank_kb=32)
-    report = run_network(design, vgg8_layers())
-    cmp = compare_with_eyeriss(design, vgg8_layers())
-    body = format_table(report.rows())
+    rows = experiment_rows("network_end2end")
+    summary = rows[-1]
+    body = format_table(rows[:-1])
     tail = (
-        f"\nEnd-to-end vs Eyeriss: {cmp['cycle_ratio']:.2f}x fewer cycles at "
-        f"{cmp['area_ratio']:.2f}x smaller area"
+        f"\nEnd-to-end vs Eyeriss: {summary['cycle_ratio']} fewer cycles at "
+        f"{summary['area_ratio']} smaller area"
     )
-    return title(f"VGG-8 end-to-end on {design.name}") + "\n" + body + tail
+    return title("VGG-8 end-to-end on DAISM 16x32kB") + "\n" + body + tail
 
 
 def test_end_to_end_speedup(capsys):

@@ -1,65 +1,19 @@
 """Extension — error comparison against related-work approx multipliers.
 
-Sec. II-B positions DAISM against conventional approximate multipliers:
-Guo et al.'s lower-part-OR (LPO) design [3] and Qiqieh et al.'s
-PP-compression design [2].  Both still need adder trees and cannot
-operate in memory; this benchmark compares their *arithmetic* error to
-the DAISM configurations on the bfloat16 significand range, showing PC3
-sits in the same accuracy class while needing no adders at all.
+Thin wrapper over the registered ``related_work_multipliers`` experiment
+(``python -m repro reproduce related_work_multipliers``).  Sec. II-B
+positions DAISM against Guo et al.'s lower-part-OR (LPO) design [3] and
+Qiqieh et al.'s PP-compression design [2]: both still need adder trees
+and cannot operate in memory, while PC3 sits in the same accuracy class
+with no adders at all.
 """
 
-import numpy as np
-
 from repro.analysis.reporting import format_table, title
-from repro.core.config import all_configs
-from repro.core.related_work import (
-    compressed_pp_multiply_array,
-    lower_part_or_multiply_array,
-)
-from repro.core.vectorized import approx_multiply_array
-
-
-def _operands(n: int = 1 << 14, seed: int = 0):
-    rng = np.random.default_rng(seed)
-    a = rng.integers(128, 256, n, dtype=np.uint64)
-    b = rng.integers(128, 256, n, dtype=np.uint64)
-    return a, b, (a * b).astype(np.float64)
+from repro.experiments import experiment_rows
 
 
 def comparison_rows() -> list[dict[str, object]]:
-    a, b, exact = _operands()
-    rows = []
-
-    def add(name, approx, needs_adders):
-        err = ((exact - approx.astype(np.float64)) / exact)
-        rows.append(
-            {
-                "multiplier": name,
-                "mean rel err": f"{err.mean():.4f}",
-                "max rel err": f"{err.max():.4f}",
-                "adder tree": needs_adders,
-                "in-memory": "no" if needs_adders == "yes" else "yes",
-            }
-        )
-
-    for config in all_configs():
-        approx = approx_multiply_array(a, b, 8, config).astype(np.float64)
-        if config.truncated:
-            approx = approx * 256.0
-        add(f"DAISM {config.name}", approx, "no")
-    for split in (8, 10, 12):
-        add(
-            f"LPO split={split} [Guo'18]",
-            lower_part_or_multiply_array(a, b, 8, split),
-            "yes",
-        )
-    for stages in (1, 2):
-        add(
-            f"PP-compress x{stages} [Qiqieh'17]",
-            compressed_pp_multiply_array(a, b, 8, stages),
-            "yes",
-        )
-    return rows
+    return experiment_rows("related_work_multipliers")
 
 
 def render(rows=None) -> str:

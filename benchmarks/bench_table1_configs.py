@@ -1,22 +1,25 @@
 """Table I — summary of the proposed multipliers.
 
-Regenerates the configuration table and benchmarks the scalar multiplier
-across all five configurations.
+Thin wrapper over the registered ``table1_configs`` experiment
+(``python -m repro reproduce table1_configs``); also benchmarks the
+scalar multiplier across all five configurations.
 """
 
 import numpy as np
 
 from repro.analysis.reporting import format_table, title
-from repro.core.config import all_configs, table1_rows
+from repro.core.config import all_configs
 from repro.core.vectorized import approx_multiply_array
+from repro.experiments import experiment_rows
 
 
 def render() -> str:
-    return title("Table I: Summary of the proposed multipliers") + "\n" + format_table(table1_rows())
+    rows = experiment_rows("table1_configs")
+    return title("Table I: Summary of the proposed multipliers") + "\n" + format_table(rows)
 
 
 def test_table1_matches_paper(capsys):
-    rows = {r["Config."]: r for r in table1_rows()}
+    rows = {r["Config."]: r for r in experiment_rows("table1_configs")}
     assert rows["FLA"]["Precomputed wordlines"] == "No"
     assert rows["PC2"]["Precomputed wordlines"] == "Between 2 PP"
     assert rows["PC3_tr"]["Truncation"] == "Yes"

@@ -1,8 +1,9 @@
 """Table II — DAISM vs Z-PIM vs T-PIM.
 
-Our DAISM model outputs next to the published Z-PIM/T-PIM figures.
-Shape claims: 1-2 orders of magnitude higher GOPS and GOPS/mm^2 at
-comparable GOPS/mW, the advantage surviving a 200 MHz down-clock.
+Thin wrapper over the registered ``table2_pim_comparison`` experiment
+(``python -m repro reproduce table2_pim_comparison``).  Shape claims:
+1-2 orders of magnitude higher GOPS and GOPS/mm^2 at comparable GOPS/mW,
+the advantage surviving a 200 MHz down-clock.
 """
 
 from repro.analysis.reporting import format_table, title
@@ -10,10 +11,11 @@ from repro.arch.compare import table2
 from repro.arch.daism import DaismDesign
 from repro.arch.pim_baselines import T_PIM, Z_PIM
 from repro.arch.workloads import vgg8_conv1
+from repro.experiments import experiment_rows
 
 
 def render(rows=None) -> str:
-    rows = rows or table2()
+    rows = rows or experiment_rows("table2_pim_comparison")
     return title("Table II: performance comparison between PIM architectures") + "\n" + format_table(
         rows, digits=2
     )
@@ -33,7 +35,7 @@ def test_table2_shape(capsys):
     slow = DaismDesign(banks=16, bank_kb=32, clock_hz=200e6)
     assert slow.gops_per_mm2(vgg8_conv1()) > 8 * best_pim_area_eff
     with capsys.disabled():
-        print(render(rows))
+        print(render())
 
 
 def test_table2_calibration():
@@ -46,7 +48,7 @@ def test_table2_calibration():
 
 
 def test_bench_table2(benchmark):
-    rows = benchmark(table2)
+    rows = benchmark(experiment_rows, "table2_pim_comparison")
     assert len(rows) == 4
 
 

@@ -1,19 +1,23 @@
-"""Table III — qualitative comparison of the accelerator families."""
+"""Table III — qualitative comparison of the accelerator families.
+
+Thin wrapper over the registered ``table3_summary`` experiment
+(``python -m repro reproduce table3_summary``).
+"""
 
 from repro.analysis.reporting import format_table, title
-from repro.arch.compare import table3_rows
+from repro.experiments import experiment_rows
 
 
 def render() -> str:
     return (
         title("Table III: key differences between DAISM and related work")
         + "\n"
-        + format_table(table3_rows())
+        + format_table(experiment_rows("table3_summary"))
     )
 
 
 def test_table3_matches_paper(capsys):
-    rows = {r["Family"]: r for r in table3_rows()}
+    rows = {r["Family"]: r for r in experiment_rows("table3_summary")}
     assert rows["DAISM"] == {
         "Family": "DAISM",
         "Data Movement": "None",
@@ -28,7 +32,7 @@ def test_table3_matches_paper(capsys):
 
 
 def test_bench_table3(benchmark):
-    rows = benchmark(table3_rows)
+    rows = benchmark(experiment_rows, "table3_summary")
     assert len(rows) == 4
 
 

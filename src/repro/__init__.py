@@ -23,6 +23,10 @@ Subpackages
     Pure-numpy DNN framework with pluggable matmul backends (Fig. 4).
 ``repro.analysis``
     Reporting and sweep helpers shared by the benchmarks.
+``repro.experiments``
+    Unified experiment engine: every figure/table/ablation registered as
+    a named, parallel-sweepable, cached experiment, driven by
+    ``python -m repro reproduce``.
 """
 
 from . import core, formats

@@ -2,17 +2,25 @@
 
 Usage::
 
-    python -m repro                 # list available artefacts
-    python -m repro table2          # print one artefact
-    python -m repro all             # print everything (trains CNNs: slow)
+    python -m repro                           # list quick artefacts + help
+    python -m repro table2                    # print one quick artefact
+    python -m repro all                       # print every quick artefact
 
-Each artefact is the same output the corresponding benchmark prints; the
-``fig4`` accuracy study trains three small CNNs and takes a couple of
-minutes, everything else is seconds.
+    python -m repro reproduce --list          # enumerate every experiment
+    python -m repro reproduce fig5_energy_breakdown
+    python -m repro reproduce fig4_accuracy --workers 3
+    python -m repro reproduce --all --out results/
+    python -m repro reproduce ablation_faults --no-cache
+
+The quick artefact names (``table1`` .. ``fig8``) are the legacy
+renderers kept for interactive use; ``reproduce`` drives the unified
+experiment engine (:mod:`repro.experiments`) with parallel sweeps,
+content-addressed result caching and CSV/JSON artefact export.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from .analysis.reporting import bar_chart, format_table, title
@@ -26,23 +34,11 @@ def _render_table1() -> str:
 
 
 def _render_fig4() -> str:
-    from .core.config import PC3_TR
-    from .formats.floatfmt import BFLOAT16
-    from .nn.backend import daism_backend, exact_backend
-    from .nn.data import shapes_dataset
-    from .nn.models import model_zoo
-    from .nn.train import accuracy_comparison, train
+    # Delegates to the registered experiment so the training pipeline
+    # lives in one place and repeat invocations resolve from the cache.
+    from .experiments import run_experiment
 
-    data = shapes_dataset(n_train=448, n_test=192, size=16, seed=0)
-    rows = []
-    for name, model in model_zoo().items():
-        train(model, data, epochs=10, batch_size=32, lr=0.05, seed=0)
-        accs = accuracy_comparison(
-            model,
-            data,
-            {"float32": exact_backend(), "bf16_pc3_tr": daism_backend(PC3_TR, BFLOAT16)},
-        )
-        rows.append({"model": name, **{k: f"{v:.3f}" for k, v in accs.items()}})
+    rows = run_experiment("fig4_accuracy").rows
     return title("Fig. 4 (accuracy)") + "\n" + format_table(rows)
 
 
@@ -106,10 +102,116 @@ ARTEFACTS = {
 }
 
 
+def _list_experiments() -> str:
+    from .experiments import all_experiments
+
+    lines = ["registered experiments (python -m repro reproduce <name>):", ""]
+    width = max(len(e.name) for e in all_experiments())
+    for exp in all_experiments():
+        sweep = " x ".join(f"{k}[{len(v)}]" for k, v in exp.space.items()) or "single point"
+        est = f"~{exp.est_seconds:.0f}s" if exp.est_seconds >= 1 else "<1s"
+        lines.append(
+            f"  {exp.name.ljust(width)}  {exp.artifact:<9}  {sweep:<24} {est:>6}  {exp.title}"
+        )
+    return "\n".join(lines)
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, object]:
+    """``--set key=value`` pairs, values parsed as JSON scalars if possible."""
+    import json
+
+    overrides: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except ValueError:
+            overrides[key] = raw
+    return overrides
+
+
+def reproduce(argv: list[str]) -> int:
+    """The ``reproduce`` subcommand: drive the experiment engine."""
+    from .experiments import (
+        ResultCache,
+        experiment_names,
+        render_result,
+        run_experiment,
+        write_run,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro reproduce",
+        description="Run registered paper experiments (parallel, cached).",
+    )
+    parser.add_argument("names", nargs="*", help="experiment names (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    parser.add_argument("--cache-dir", default=None, help="override the cache directory")
+    parser.add_argument("--out", default=None, help="write CSV/JSON rows + manifest here")
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pin a sweep axis or override a default parameter",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_list_experiments())
+        return 0
+    names = experiment_names() if args.all else args.names
+    if not names:
+        parser.print_usage()
+        print(_list_experiments())
+        return 0
+    unknown = [n for n in names if n not in experiment_names()]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("known:", ", ".join(experiment_names()), file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    overrides = _parse_overrides(args.overrides)
+    if overrides:
+        # Fail fast on a bad --set before any experiment runs or writes
+        # artefacts: expansion is cheap, partial --all runs are not.
+        from .experiments import get_experiment
+
+        for name in names:
+            try:
+                get_experiment(name).points(overrides)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+    for name in names:
+        result = run_experiment(
+            name,
+            overrides=overrides or None,
+            workers=args.workers,
+            cache=cache,
+            use_cache=not args.no_cache,
+        )
+        print(render_result(result))
+        if args.out:
+            paths = write_run(result, args.out)
+            print(f"[wrote {paths['csv']}, {paths['json']}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "reproduce":
+        return reproduce(argv[1:])
     if not argv:
         print("usage: python -m repro <artefact>|all")
+        print("       python -m repro reproduce [--list] [<name> ...]")
         print("artefacts:", ", ".join(ARTEFACTS))
         return 0
     targets = list(ARTEFACTS) if argv[0] == "all" else argv
@@ -117,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown artefact(s): {', '.join(unknown)}", file=sys.stderr)
         print("artefacts:", ", ".join(ARTEFACTS), file=sys.stderr)
+        print("(experiment names go through: python -m repro reproduce <name>)", file=sys.stderr)
         return 2
     for target in targets:
         print(ARTEFACTS[target]())

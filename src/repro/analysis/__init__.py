@@ -1,7 +1,7 @@
 """Reporting and sweep helpers shared by benchmarks and examples."""
 
 from .reporting import format_range, format_series, format_table, title
-from .sweeps import fig5_rows, fig6_rows
+from .sweeps import fig5_rows, fig6_rows, registered_rows
 
 __all__ = [
     "format_range",
@@ -10,4 +10,5 @@ __all__ = [
     "title",
     "fig5_rows",
     "fig6_rows",
+    "registered_rows",
 ]

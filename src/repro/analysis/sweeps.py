@@ -1,6 +1,15 @@
-"""Parameter-sweep helpers shared by the energy/architecture benchmarks."""
+"""Parameter-sweep helpers shared by the energy/architecture benchmarks.
+
+:func:`fig5_rows` / :func:`fig6_rows` are the in-process row builders the
+corresponding experiments decompose into per-point calls; use
+:func:`registered_rows` (or ``python -m repro reproduce``) to run any
+registered experiment's full sweep through the engine instead — with
+parallel fan-out and result caching.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Mapping
 
 from ..core.config import MultiplierConfig, all_configs
 from ..energy.cacti_lite import CactiLite
@@ -11,7 +20,24 @@ from ..energy.multiplier_energy import (
 )
 from ..formats.floatfmt import BFLOAT16, FLOAT32, FloatFormat
 
-__all__ = ["fig5_rows", "fig6_rows"]
+__all__ = ["fig5_rows", "fig6_rows", "registered_rows"]
+
+
+def registered_rows(
+    name: str, overrides: Mapping[str, object] | None = None
+) -> list[dict]:
+    """Rows of a registered experiment's full sweep (serial, uncached).
+
+    Parameters
+    ----------
+    name:
+        Experiment name from ``python -m repro reproduce --list``.
+    overrides:
+        Optional sweep-axis pins / default-parameter replacements.
+    """
+    from ..experiments import experiment_rows
+
+    return experiment_rows(name, overrides=overrides)
 
 
 def fig5_rows(

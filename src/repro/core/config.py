@@ -104,17 +104,30 @@ PC4_TR = MultiplierConfig(Scheme.PC4, truncated=True)
 
 
 def all_configs() -> tuple[MultiplierConfig, ...]:
-    """All five configurations of Table I, in paper order."""
+    """All five configurations of Table I, in paper order.
+
+    Returns ``(FLA, PC2, PC3, PC2_tr, PC3_tr)`` — the evaluation set
+    used by every figure/ablation that sweeps multiplier designs.
+    """
     return (FLA, PC2, PC3, PC2_TR, PC3_TR)
 
 
 def extended_configs() -> tuple[MultiplierConfig, ...]:
-    """Table I plus the PC4 extension points (for the ablations)."""
+    """Table I plus the PC4 extension points (for the ablations).
+
+    Returns :func:`all_configs` followed by ``(PC4, PC4_tr)``, the
+    next-deeper pre-computation design points beyond the paper.
+    """
     return all_configs() + (PC4, PC4_TR)
 
 
 def table1_rows() -> list[dict[str, str]]:
-    """Rows of the paper's Table I (summary of the proposed multipliers)."""
+    """Rows of the paper's Table I (summary of the proposed multipliers).
+
+    Returns one dict per configuration with the columns ``Config.``,
+    ``Precomputed wordlines`` and ``Truncation``, ready for
+    :func:`repro.analysis.reporting.format_table`.
+    """
     descriptions = {
         0: "No",
         2: "Between 2 PP",

@@ -115,7 +115,21 @@ def fp_error_stats(
     seed: int = 0,
     scale: float = 1.0,
 ) -> ErrorStats:
-    """End-to-end FP product error statistics on random normal operands."""
+    """End-to-end FP product error statistics on random normal operands.
+
+    Parameters
+    ----------
+    fmt:
+        Floating point format both operands are quantised to.
+    config:
+        Multiplier configuration under test.
+    samples:
+        Number of operand pairs drawn.
+    seed:
+        RNG seed (results are deterministic per seed).
+    scale:
+        Standard deviation of the normal operand distribution.
+    """
     rng = np.random.default_rng(seed)
     x = (rng.standard_normal(samples) * scale).astype(np.float32)
     y = (rng.standard_normal(samples) * scale).astype(np.float32)

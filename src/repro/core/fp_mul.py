@@ -68,7 +68,17 @@ def _normalise(
 
 
 def exact_fp_multiply(x: np.ndarray, y: np.ndarray, fmt: FloatFormat) -> np.ndarray:
-    """Reference: quantise to ``fmt``, multiply exactly in float32."""
+    """Reference: quantise to ``fmt``, multiply exactly in float32.
+
+    Parameters
+    ----------
+    x, y:
+        Operand arrays (broadcastable); quantised to ``fmt`` first so
+        the comparison against :func:`approx_fp_multiply` isolates the
+        multiplier's error from the quantisation error.
+    fmt:
+        Floating point format of the simulated datapath.
+    """
     xq = quantize(x, fmt)
     yq = quantize(y, fmt)
     return (xq * yq).astype(np.float32)

@@ -110,7 +110,14 @@ def approx_matmul(
 
 
 class MatmulBackend:
-    """Interface: a named object computing ``matmul(a, b) -> (M, N)``."""
+    """Interface: a named object computing ``matmul(a, b) -> (M, N)``.
+
+    ``a`` is ``(M, K)`` and ``b`` is ``(K, N)``; implementations return a
+    float32 ``(M, N)`` product.  The ``name`` attribute labels result
+    columns in the accuracy studies.  This is the single seam through
+    which the ``nn`` stack reaches the DAISM arithmetic: swapping the
+    backend swaps the arithmetic of every layer.
+    """
 
     name = "abstract"
 
@@ -122,7 +129,11 @@ class MatmulBackend:
 
 
 class ExactMatmul(MatmulBackend):
-    """Plain float32 matmul — the paper's exact baseline."""
+    """Plain float32 matmul — the paper's exact baseline.
+
+    Stateless; both operands are cast to float32 and multiplied with
+    ``numpy.matmul``.
+    """
 
     name = "exact_float32"
 
@@ -151,7 +162,19 @@ class QuantizedMatmul(MatmulBackend):
 
 @dataclasses.dataclass
 class ApproxMatmul(MatmulBackend):
-    """Full DAISM arithmetic: quantise + approximate products."""
+    """Full DAISM arithmetic: quantise + approximate products.
+
+    Parameters
+    ----------
+    fmt:
+        Floating point format operands are quantised to (the paper's
+        headline configuration uses bfloat16).
+    config:
+        Multiplier configuration (e.g. ``PC3_TR``).
+    k_chunk:
+        Optional K-dimension tile size for :func:`approx_matmul`'s
+        accumulation loop; ``None`` lets the kernel pick.
+    """
 
     fmt: FloatFormat
     config: MultiplierConfig

@@ -45,14 +45,36 @@ def _check_operand(value: int, bits: int, name: str) -> None:
 
 
 def exact_multiply(a: int, b: int, bits: int) -> int:
-    """Exact ``2*bits``-wide product — the adder-tree reference."""
+    """Exact ``2*bits``-wide product — the adder-tree reference.
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned ``bits``-wide operands (validated; out-of-range raises
+        ``ValueError``).
+    bits:
+        Operand width, e.g. 8 for the bfloat16 significand.
+    """
     _check_operand(a, bits, "a")
     _check_operand(b, bits, "b")
     return a * b
 
 
 def or_multiply(a: int, b: int, bits: int) -> int:
-    """FLA multiplier: bitwise OR of the selected partial products."""
+    """FLA multiplier: bitwise OR of the selected partial products.
+
+    Models simultaneous multi-wordline activation with wired-OR
+    bitlines and no adder tree: every partial product ``a << i`` whose
+    selector bit ``b[i]`` is set is OR-ed (not added) into the result.
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned ``bits``-wide operands; ``a`` is the stored operand,
+        ``b`` drives the wordline selection.
+    bits:
+        Operand width in bits.
+    """
     _check_operand(a, bits, "a")
     _check_operand(b, bits, "b")
     acc = 0

@@ -63,7 +63,18 @@ def lower_part_or_multiply(a: int, b: int, bits: int, split: int) -> int:
 def lower_part_or_multiply_array(
     a: np.ndarray, b: np.ndarray, bits: int, split: int
 ) -> np.ndarray:
-    """Vectorised :func:`lower_part_or_multiply`."""
+    """Vectorised :func:`lower_part_or_multiply`.
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned operand arrays (broadcastable, values ``< 2**bits``).
+    bits:
+        Operand width in bits.
+    split:
+        Bit position dividing the exact upper part from the OR-ed lower
+        part; must lie in ``[0, 2*bits]``.
+    """
     if not 0 <= split <= 2 * bits:
         raise ValueError(f"split must be in [0, {2 * bits}]")
     a = np.asarray(a, dtype=np.uint64)
@@ -108,7 +119,18 @@ def compressed_pp_multiply(a: int, b: int, bits: int, stages: int = 1) -> int:
 def compressed_pp_multiply_array(
     a: np.ndarray, b: np.ndarray, bits: int, stages: int = 1
 ) -> np.ndarray:
-    """Vectorised :func:`compressed_pp_multiply`."""
+    """Vectorised :func:`compressed_pp_multiply`.
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned operand arrays (broadcastable, values ``< 2**bits``).
+    bits:
+        Operand width in bits.
+    stages:
+        Number of lossy OR-compression stages applied to the partial
+        product array before exact summation (0 = exact multiply).
+    """
     if stages < 0:
         raise ValueError("stages must be non-negative")
     a = np.asarray(a, dtype=np.uint64)

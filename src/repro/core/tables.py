@@ -57,7 +57,19 @@ def product_table(bits: int, config: MultiplierConfig) -> np.ndarray:
 def tabulated_multiply(
     a: np.ndarray, b: np.ndarray, bits: int, config: MultiplierConfig
 ) -> np.ndarray:
-    """Approximate product via table gather; same contract as the bit loop."""
+    """Approximate product via table gather; same contract as the bit loop.
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned operand arrays (any broadcastable shape, values
+        ``< 2**bits``).
+    bits:
+        Operand width; the backing :func:`product_table` is
+        ``2**bits x 2**bits`` and memoised per (bits, config).
+    config:
+        Multiplier configuration whose products are tabulated.
+    """
     table = product_table(bits, config)
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)

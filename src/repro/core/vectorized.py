@@ -35,13 +35,33 @@ def _check_inputs(a: np.ndarray, b: np.ndarray, bits: int) -> tuple[np.ndarray, 
 
 
 def exact_multiply_array(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
-    """Exact elementwise product (uint64), the adder-tree reference."""
+    """Exact elementwise product (uint64), the adder-tree reference.
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned operand arrays (broadcastable, values ``< 2**bits``;
+        validated).
+    bits:
+        Operand width in bits.
+    """
     a, b = _check_inputs(a, b, bits)
     return a * b
 
 
 def or_multiply_array(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
-    """FLA: bitwise OR of the partial products selected by ``b``'s bits."""
+    """FLA: bitwise OR of the partial products selected by ``b``'s bits.
+
+    Vectorised :func:`repro.core.mantissa.or_multiply` — bit-for-bit
+    identical results (pinned by tests).
+
+    Parameters
+    ----------
+    a, b:
+        Unsigned operand arrays (broadcastable, values ``< 2**bits``).
+    bits:
+        Operand width in bits.
+    """
     a, b = _check_inputs(a, b, bits)
     acc = np.zeros(np.broadcast(a, b).shape, dtype=np.uint64)
     one = np.uint64(1)

@@ -1,0 +1,53 @@
+"""Unified experiment engine: every paper artefact as a runnable unit.
+
+The subsystem that turns the repo's 18 standalone benchmark scripts into
+one engine (see ``DESIGN.md`` / ``EXPERIMENTS.md``):
+
+* :mod:`~repro.experiments.registry` — each figure/table/ablation
+  registers a name, a sweep space and a pure ``run(params) -> rows``;
+* :mod:`~repro.experiments.runner` — ``multiprocessing`` fan-out over
+  sweep points, deterministic row order, per-point caching;
+* :mod:`~repro.experiments.cache` — content-addressed on-disk result
+  cache keyed by code fingerprint + experiment + parameters;
+* :mod:`~repro.experiments.report` — plain-text rendering plus CSV/JSON
+  artefact and manifest writing;
+* :mod:`~repro.experiments.defs` — the built-in definitions (Fig. 4–8,
+  Tables I–III, eight ablations, two extensions).
+
+Driven from the CLI as ``python -m repro reproduce --list`` /
+``reproduce <name> [--workers N] [--no-cache] [--out DIR]``.
+"""
+
+from .cache import ResultCache, cache_key, code_fingerprint, default_cache_dir
+from .registry import (
+    Experiment,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    load_builtin,
+    register,
+    unregister,
+)
+from .report import render_result, write_rows_csv, write_rows_json, write_run
+from .runner import RunResult, experiment_rows, run_experiment
+
+__all__ = [
+    "Experiment",
+    "ResultCache",
+    "RunResult",
+    "all_experiments",
+    "cache_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "experiment_names",
+    "experiment_rows",
+    "get_experiment",
+    "load_builtin",
+    "register",
+    "render_result",
+    "run_experiment",
+    "unregister",
+    "write_rows_csv",
+    "write_rows_json",
+    "write_run",
+]

@@ -1,0 +1,136 @@
+"""Content-addressed on-disk cache for experiment sweep points.
+
+A cache entry is one sweep point's rows, keyed by a SHA-256 over
+
+* a **code fingerprint** — the hash of every ``.py`` file in the
+  ``repro`` package, so any source change (a new multiplier model, a
+  tweaked energy constant) invalidates all previous results;
+* the experiment **name**;
+* the point's **parameters** in canonical JSON (sorted keys), which
+  covers the ``MultiplierConfig`` / float-format / sweep-axis values the
+  point was produced from.
+
+Entries are JSON files sharded by key prefix under the cache root
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro-daism``).  Corrupt or
+truncated entries read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+__all__ = ["ResultCache", "cache_key", "code_fingerprint", "default_cache_dir"]
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the installed ``repro`` sources (computed once per process).
+
+    Hashing content (not mtimes) keeps the fingerprint stable across
+    checkouts of the same revision while changing whenever any module
+    that could influence a result changes.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def cache_key(name: str, params: dict, fingerprint: str | None = None) -> str:
+    """Content-addressed key for one (experiment, sweep point) pair."""
+    payload = json.dumps(
+        {
+            "code": fingerprint if fingerprint is not None else code_fingerprint(),
+            "experiment": name,
+            "params": params,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-daism``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-daism"
+
+
+class ResultCache:
+    """On-disk rows cache with atomic writes and corruption-safe reads.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on the first :meth:`put`.
+        Defaults to :func:`default_cache_dir`.
+    """
+
+    def __init__(self, root: pathlib.Path | str | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> list[dict] | None:
+        """Rows stored under ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+            rows = entry["rows"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return rows if isinstance(rows, list) else None
+
+    def put(self, key: str, rows: list[dict], meta: dict | None = None) -> None:
+        """Store ``rows`` under ``key`` atomically (write + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"meta": meta or {}, "rows": rows})
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def entries(self) -> int:
+        """Number of cached sweep points on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,13 @@
+"""Built-in experiment definitions (imported for their side effects).
+
+Each module registers the experiments of one group into
+:mod:`repro.experiments.registry` at import time:
+
+* :mod:`~repro.experiments.defs.figures` — Fig. 4–8;
+* :mod:`~repro.experiments.defs.tables` — Tables I–III;
+* :mod:`~repro.experiments.defs.ablations` — the eight ablation studies;
+* :mod:`~repro.experiments.defs.extensions` — beyond-the-paper runs
+  (whole-network execution, related-work multiplier comparison).
+"""
+
+from . import ablations, extensions, figures, tables  # noqa: F401

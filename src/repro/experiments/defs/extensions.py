@@ -1,0 +1,126 @@
+"""Beyond-the-paper extension experiments.
+
+Whole-network execution (all eight VGG-8 layers instead of Fig. 7's
+single conv1) and the arithmetic-error comparison against related-work
+approximate multipliers (LPO, PP-compression).
+"""
+
+from __future__ import annotations
+
+from ..registry import Experiment, register
+
+__all__ = ["network_end2end_point", "related_work_point"]
+
+
+def network_end2end_point(params: dict) -> list[dict]:
+    """All VGG-8 layers on one design, plus the vs-Eyeriss summary row."""
+    from ...arch.daism import DaismDesign
+    from ...arch.network_runner import compare_with_eyeriss, run_network
+    from ...arch.workloads import vgg8_layers
+
+    design = DaismDesign(banks=params["banks"], bank_kb=params["bank_kb"])
+    layers = vgg8_layers()
+    rows = run_network(design, layers).rows()
+    cmp = compare_with_eyeriss(design, layers)
+    rows.append(
+        {
+            "layer": "vs Eyeriss",
+            "cycle_ratio": f"{cmp['cycle_ratio']:.2f}x",
+            "area_ratio": f"{cmp['area_ratio']:.2f}x",
+        }
+    )
+    return rows
+
+
+def related_work_point(params: dict) -> list[dict]:
+    """Error rows for one multiplier family on the bf16 significand range."""
+    import numpy as np
+
+    from ...core.config import all_configs
+    from ...core.related_work import (
+        compressed_pp_multiply_array,
+        lower_part_or_multiply_array,
+    )
+    from ...core.vectorized import approx_multiply_array
+
+    rng = np.random.default_rng(params["seed"])
+    n = params["samples"]
+    a = rng.integers(128, 256, n, dtype=np.uint64)
+    b = rng.integers(128, 256, n, dtype=np.uint64)
+    exact = (a * b).astype(np.float64)
+
+    def row(name: str, approx: np.ndarray, needs_adders: str) -> dict:
+        err = (exact - approx.astype(np.float64)) / exact
+        return {
+            "multiplier": name,
+            "mean rel err": f"{err.mean():.4f}",
+            "max rel err": f"{err.max():.4f}",
+            "adder tree": needs_adders,
+            "in-memory": "no" if needs_adders == "yes" else "yes",
+        }
+
+    family = params["family"]
+    rows = []
+    if family == "daism":
+        for config in all_configs():
+            approx = approx_multiply_array(a, b, 8, config).astype(np.float64)
+            if config.truncated:
+                approx = approx * 256.0
+            rows.append(row(f"DAISM {config.name}", approx, "no"))
+    elif family == "lpo":
+        for split in (8, 10, 12):
+            rows.append(
+                row(
+                    f"LPO split={split} [Guo'18]",
+                    lower_part_or_multiply_array(a, b, 8, split),
+                    "yes",
+                )
+            )
+    elif family == "ppc":
+        for stages in (1, 2):
+            rows.append(
+                row(
+                    f"PP-compress x{stages} [Qiqieh'17]",
+                    compressed_pp_multiply_array(a, b, 8, stages),
+                    "yes",
+                )
+            )
+    else:
+        raise ValueError(f"unknown multiplier family {family!r}")
+    return rows
+
+
+register(
+    Experiment(
+        name="network_end2end",
+        artifact="Extension",
+        title="VGG-8 end-to-end execution (16x32kB)",
+        description=(
+            "Whole-network run beyond Fig. 7's single layer: per-layer "
+            "cycles/energy, pass counts for layers exceeding the compute "
+            "SRAM, and the end-to-end cycle/area ratio vs Eyeriss."
+        ),
+        run=network_end2end_point,
+        defaults={"banks": 16, "bank_kb": 32},
+        tags=("extension", "arch"),
+        est_seconds=2.0,
+    )
+)
+
+register(
+    Experiment(
+        name="related_work_multipliers",
+        artifact="Extension",
+        title="DAISM vs related-work approximate multipliers (bf16 range)",
+        description=(
+            "Arithmetic error of the DAISM configs next to Guo's lower-part-"
+            "OR and Qiqieh's PP-compression designs: PC3 sits in the same "
+            "accuracy class while needing no adder tree."
+        ),
+        run=related_work_point,
+        space={"family": ("daism", "lpo", "ppc")},
+        defaults={"samples": 1 << 14, "seed": 0},
+        tags=("extension", "core"),
+        est_seconds=2.0,
+    )
+)

@@ -1,0 +1,210 @@
+"""Experiments reproducing the paper's figures (Fig. 4–8).
+
+Every ``*_point`` function is a pure, module-level map from one sweep
+point to rows, so the runner can dispatch points to worker processes and
+cache them independently: Fig. 4 parallelises over models (each worker
+trains one CNN), Fig. 5/6 over the datatype x bank-size grid, Fig. 8
+over its two area sweeps.
+"""
+
+from __future__ import annotations
+
+from ..registry import Experiment, register
+
+__all__ = [
+    "fig4_backends",
+    "fig4_point",
+    "fig5_point",
+    "fig6_point",
+    "fig7_point",
+    "fig8_point",
+]
+
+
+def fig4_backends() -> dict:
+    """The Fig. 4 arithmetic suite: exact, quantised, DAISM, ablation."""
+    from ...core.config import FLA, PC3_TR
+    from ...formats.floatfmt import BFLOAT16
+    from ...nn.backend import daism_backend, exact_backend, quantized_backend
+
+    return {
+        "float32 (baseline)": exact_backend(),
+        "bfloat16 exact": quantized_backend(BFLOAT16),
+        "bfloat16 PC3_tr (DAISM)": daism_backend(PC3_TR, BFLOAT16),
+        "bfloat16 FLA (ablation)": daism_backend(FLA, BFLOAT16),
+    }
+
+
+def fig4_point(params: dict) -> list[dict]:
+    """Train one model-zoo CNN in float32, re-evaluate under each backend."""
+    from ...nn.data import shapes_dataset
+    from ...nn.models import model_zoo
+    from ...nn.train import accuracy_comparison, train
+
+    data = shapes_dataset(
+        n_train=params["n_train"],
+        n_test=params["n_test"],
+        size=params["size"],
+        seed=params["seed"],
+    )
+    model = model_zoo(size=params["size"])[params["model"]]
+    train(
+        model,
+        data,
+        epochs=params["epochs"],
+        batch_size=params["batch_size"],
+        lr=params["lr"],
+        seed=params["seed"],
+    )
+    accs = accuracy_comparison(model, data, fig4_backends())
+    baseline = accs["float32 (baseline)"]
+    daism = accs["bfloat16 PC3_tr (DAISM)"]
+    return [
+        {
+            "model": params["model"],
+            **{k: f"{v:.3f}" for k, v in accs.items()},
+            "pc3_tr drop [pts]": f"{100 * (baseline - daism):+.1f}",
+        }
+    ]
+
+
+def fig5_point(params: dict) -> list[dict]:
+    """One Fig. 5 grid cell: energy breakdown for (datatype, bank size)."""
+    from ...analysis.sweeps import fig5_rows
+    from ...formats.floatfmt import format_by_name
+
+    return fig5_rows(
+        bank_kbs=(params["bank_kb"],), fmts=(format_by_name(params["datatype"]),)
+    )
+
+
+def fig6_point(params: dict) -> list[dict]:
+    """One Fig. 6 point: relative improvement incl. exponent handling."""
+    from ...analysis.sweeps import fig6_rows
+    from ...core.config import MultiplierConfig
+    from ...formats.floatfmt import format_by_name
+
+    return fig6_rows(
+        bank_kbs=(params["bank_kb"],),
+        fmts=(format_by_name(params["datatype"]),),
+        config=MultiplierConfig.from_name(params["config"]),
+    )
+
+
+def fig7_point(params: dict) -> list[dict]:
+    """The Fig. 7 scatter: cycles vs area for bank variants + Eyeriss."""
+    from ...arch.compare import fig7_tradeoff
+
+    return [
+        {
+            "design": p.name,
+            "cycles": p.cycles,
+            "area_mm2": p.area_mm2,
+            "total_pes": p.total_pes,
+            "utilization": p.utilization,
+        }
+        for p in sorted(fig7_tradeoff(), key=lambda p: p.cycles)
+    ]
+
+
+def fig8_point(params: dict) -> list[dict]:
+    """One Fig. 8 sweep: area breakdown vs bank width or bank count."""
+    from ...arch.compare import fig8_breakdown
+
+    if params["sweep"] == "bank_kb":
+        return fig8_breakdown(banks_sweep=())
+    return fig8_breakdown(bank_kb_sweep=())
+
+
+register(
+    Experiment(
+        name="fig4_accuracy",
+        artifact="Fig. 4",
+        title="CNN accuracy: bfloat16 PC3_tr vs exact float32",
+        description=(
+            "Trains the model-zoo CNNs in float32 on the synthetic shapes "
+            "dataset and re-evaluates the same weights under exact bfloat16, "
+            "DAISM PC3_tr and the FLA ablation; reproduces the 'minimal to no "
+            "degradation' claim."
+        ),
+        run=fig4_point,
+        space={"model": ("lenet", "vgg_small", "mini_resnet")},
+        defaults={
+            "n_train": 448,
+            "n_test": 192,
+            "size": 16,
+            "seed": 0,
+            "epochs": 10,
+            "batch_size": 32,
+            "lr": 0.05,
+        },
+        tags=("figure", "nn", "slow"),
+        est_seconds=300.0,
+    )
+)
+
+register(
+    Experiment(
+        name="fig5_energy_breakdown",
+        artifact="Fig. 5",
+        title="Energy breakdown per multiplication",
+        description=(
+            "All proposed mantissa multipliers against the conventional "
+            "baseline, itemised into memory read / multiplier / register "
+            "file / decoder, per datatype and bank size."
+        ),
+        run=fig5_point,
+        space={"datatype": ("bfloat16", "float32"), "bank_kb": (8, 32)},
+        tags=("figure", "energy"),
+        est_seconds=1.0,
+    )
+)
+
+register(
+    Experiment(
+        name="fig6_exponent_handling",
+        artifact="Fig. 6",
+        title="Relative energy improvement incl. exponent handling",
+        description=(
+            "PC3_tr against the baseline with the common exponent-handling "
+            "cost folded into both sides, across bank sizes and datatypes."
+        ),
+        run=fig6_point,
+        space={"datatype": ("bfloat16", "float32"), "bank_kb": (2, 8, 32, 128, 512)},
+        defaults={"config": "PC3_tr"},
+        tags=("figure", "energy"),
+        est_seconds=1.0,
+    )
+)
+
+register(
+    Experiment(
+        name="fig7_cycles_vs_area",
+        artifact="Fig. 7",
+        title="Cycles vs on-chip area, VGG-8 conv1 (bfloat16, PC3_tr)",
+        description=(
+            "DAISM bank/size variants against the Eyeriss baseline executing "
+            "VGG-8 conv1: banking buys cycles at the cost of area."
+        ),
+        run=fig7_point,
+        tags=("figure", "arch"),
+        est_seconds=2.0,
+    )
+)
+
+register(
+    Experiment(
+        name="fig8_area_breakdown",
+        artifact="Fig. 8",
+        title="DAISM area breakdown",
+        description=(
+            "SRAM vs other digital circuit area under two sweeps: growing "
+            "bank width (SRAM dominates) and splitting a fixed 512 kB across "
+            "more banks (digital dominates)."
+        ),
+        run=fig8_point,
+        space={"sweep": ("bank_kb", "banks")},
+        tags=("figure", "arch"),
+        est_seconds=1.0,
+    )
+)

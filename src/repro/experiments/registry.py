@@ -1,0 +1,158 @@
+"""Experiment registry: every paper artefact as a named, composable unit.
+
+Each figure, table and ablation of the DAISM paper registers itself here
+as an :class:`Experiment`: a name, a declarative sweep space, and a pure
+``run(params) -> rows`` function over **one** sweep point.  The runner
+(:mod:`repro.experiments.runner`) expands the space into points, fans the
+points out over worker processes, and caches each point's rows on disk
+(:mod:`repro.experiments.cache`).
+
+Because ``run`` receives only JSON-serialisable parameters (strings,
+ints, floats, bools) and returns JSON-serialisable rows, every sweep
+point is trivially picklable for :mod:`multiprocessing` and hashable for
+the content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+
+__all__ = [
+    "Experiment",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
+    "load_builtin",
+    "register",
+    "unregister",
+]
+
+#: Global name -> Experiment table populated by :func:`register`.
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One registered paper artefact (figure, table, ablation, extension).
+
+    Parameters
+    ----------
+    name:
+        Unique CLI-facing identifier, e.g. ``"fig5_energy_breakdown"``.
+    artifact:
+        The paper artefact reproduced, e.g. ``"Fig. 5"`` or ``"Table II"``.
+    title:
+        Human-readable headline used when rendering the result.
+    description:
+        One paragraph on what the experiment shows.
+    run:
+        Pure function mapping one sweep point (a flat ``dict`` of
+        JSON-serialisable parameters) to a list of row dicts.  It must be
+        a module-level function so sweep points can be dispatched to
+        worker processes.
+    space:
+        Ordered sweep axes: parameter name -> tuple of values.  The
+        runner executes the cartesian product of all axes; an empty space
+        means a single point.
+    defaults:
+        Fixed parameters merged into every point (and into the cache
+        key, so changing a default invalidates cached rows).
+    tags:
+        Free-form labels (``"figure"``, ``"ablation"``, ...) used for
+        grouping in listings.
+    est_seconds:
+        Rough serial wall-clock estimate for the full sweep, shown in
+        listings so users know what they are about to run.
+    """
+
+    name: str
+    artifact: str
+    title: str
+    description: str
+    run: Callable[[dict], list[dict]]
+    space: Mapping[str, Sequence[object]] = dataclasses.field(default_factory=dict)
+    defaults: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+    est_seconds: float = 1.0
+
+    def points(self, overrides: Mapping[str, object] | None = None) -> list[dict]:
+        """Expand the sweep space into concrete parameter points.
+
+        ``overrides`` replaces sweep axes (pinning an axis to one value)
+        and/or default parameters; unknown keys raise ``KeyError`` so
+        typos fail loudly instead of silently sweeping the wrong grid.
+        """
+        overrides = dict(overrides or {})
+        space: dict[str, Sequence[object]] = {}
+        defaults = dict(self.defaults)
+        for key, values in self.space.items():
+            if key in overrides:
+                pinned = overrides.pop(key)
+                space[key] = pinned if isinstance(pinned, (list, tuple)) else (pinned,)
+            else:
+                space[key] = tuple(values)
+        for key in list(overrides):
+            if key not in defaults:
+                known = sorted(set(self.space) | set(defaults))
+                raise KeyError(
+                    f"{self.name}: unknown parameter {key!r}; known parameters: {known}"
+                )
+            defaults[key] = overrides.pop(key)
+        if not space:
+            return [dict(defaults)]
+        axes = list(space)
+        return [
+            {**defaults, **dict(zip(axes, combo))}
+            for combo in itertools.product(*(space[a] for a in axes))
+        ]
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add ``experiment`` to the global registry (unique names enforced)."""
+    if experiment.name in _REGISTRY:
+        raise ValueError(f"experiment {experiment.name!r} is already registered")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def unregister(name: str) -> None:
+    """Remove one experiment from the registry (used by tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment by name.
+
+    Raises ``KeyError`` with the sorted list of known names so the CLI
+    error message doubles as discovery.
+    """
+    load_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(experiment_names())}"
+        ) from None
+
+
+def experiment_names() -> list[str]:
+    """Sorted names of all registered experiments."""
+    load_builtin()
+    return sorted(_REGISTRY)
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments, sorted by name."""
+    load_builtin()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def load_builtin() -> None:
+    """Import the built-in experiment definitions (idempotent).
+
+    The defs modules register themselves at import time; importing here
+    rather than at package import keeps ``import repro`` light.
+    """
+    from . import defs  # noqa: F401

@@ -1,0 +1,112 @@
+"""Result rendering and artefact writing for experiment runs.
+
+Bridges the engine to :mod:`repro.analysis.reporting`: a
+:class:`~repro.experiments.runner.RunResult` renders to the same aligned
+plain-text tables the benchmarks print, and persists as ``.csv`` +
+``.json`` row files plus a ``manifest.json`` describing how every
+artefact was produced (experiment, sweep points, cache hits, timing).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+from ..analysis.reporting import format_table, title
+from .runner import RunResult
+
+__all__ = ["render_result", "write_rows_csv", "write_rows_json", "write_run"]
+
+
+def render_result(result: RunResult, digits: int = 4) -> str:
+    """Plain-text report: title, aligned row table, run footer.
+
+    Rows are padded to the union of all row keys (first-seen order)
+    before rendering: ``format_table`` takes its columns from the first
+    row, which would silently drop e.g. a summary row's extra columns.
+    """
+    exp = result.experiment
+    head = title(f"{exp.artifact} — {exp.title}")
+    columns: dict[str, None] = {}
+    for row in result.rows:
+        for key in row:
+            columns.setdefault(key)
+    padded = [{col: row.get(col, "") for col in columns} for row in result.rows]
+    table = format_table(padded, digits=digits)
+    footer = (
+        f"[{exp.name}: {result.points} point(s), {result.hits} cached, "
+        f"{result.misses} computed, workers={result.workers}, "
+        f"{result.elapsed_s:.2f} s]"
+    )
+    return f"{head}\n{table}\n{footer}"
+
+
+def _cell(value: object) -> object:
+    """CSV cell encoding: nested lists/dicts become compact JSON."""
+    if isinstance(value, (list, dict)):
+        return json.dumps(value, separators=(",", ":"))
+    return value
+
+
+def write_rows_csv(rows: list[dict], path: pathlib.Path | str) -> pathlib.Path:
+    """Write rows as CSV with the union of row keys as the header."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns or ["empty"])
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _cell(v) for k, v in row.items()})
+    return path
+
+
+def write_rows_json(rows: list[dict], path: pathlib.Path | str) -> pathlib.Path:
+    """Write rows as an indented JSON array."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def write_run(result: RunResult, out_dir: pathlib.Path | str) -> dict[str, str]:
+    """Persist one run: ``<name>.csv``, ``<name>.json``, manifest entry.
+
+    The manifest (``manifest.json`` in ``out_dir``) accumulates one
+    entry per experiment across invocations, so ``reproduce --all
+    --out DIR`` leaves a complete, self-describing artefact directory.
+    Returns the written paths keyed by kind.
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    exp = result.experiment
+    csv_path = write_rows_csv(result.rows, out_dir / f"{exp.name}.csv")
+    json_path = write_rows_json(result.rows, out_dir / f"{exp.name}.json")
+
+    manifest_path = out_dir / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if not isinstance(manifest, dict):
+            manifest = {}
+    except (OSError, ValueError):
+        manifest = {}
+    manifest[exp.name] = {
+        "artifact": exp.artifact,
+        "title": exp.title,
+        "points": result.points,
+        "rows": len(result.rows),
+        "cache_hits": result.hits,
+        "cache_misses": result.misses,
+        "workers": result.workers,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "params": list(result.params),
+        "csv": csv_path.name,
+        "json": json_path.name,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    return {"csv": str(csv_path), "json": str(json_path), "manifest": str(manifest_path)}

@@ -1,0 +1,188 @@
+"""Sweep execution: parallel fan-out over points with per-point caching.
+
+:func:`run_experiment` is the one entry point every consumer (CLI,
+benchmarks, tests) goes through: it expands an experiment's sweep space
+into points, resolves each point against the on-disk result cache,
+executes the misses — serially or on a ``multiprocessing`` pool — and
+reassembles the rows in deterministic point order, so the output is
+byte-identical whatever the worker count or cache state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from collections.abc import Mapping
+
+from .cache import ResultCache, cache_key
+from .registry import Experiment, get_experiment
+
+__all__ = ["RunResult", "experiment_rows", "run_experiment"]
+
+
+def _sanitize(value: object) -> object:
+    """Canonicalise a row value to plain JSON-serialisable Python.
+
+    numpy scalars become ``int``/``float``, tuples become lists — the
+    same shapes ``json.load`` would return — so rows computed fresh, rows
+    loaded from cache, and rows shipped back from worker processes are
+    indistinguishable.
+    """
+    if type(value) in (str, int, float, bool) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    tolist = getattr(value, "tolist", None)  # numpy scalar OR ndarray
+    if callable(tolist):
+        unpacked = tolist()
+        if type(unpacked) is not type(value):
+            return _sanitize(unpacked)
+    if isinstance(value, int):  # int subclasses (enum.IntEnum, ...)
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    return str(value)
+
+
+def sanitize_rows(rows: list[dict]) -> list[dict]:
+    """Canonicalise every row (see :func:`_sanitize`)."""
+    return [{str(k): _sanitize(v) for k, v in row.items()} for row in rows]
+
+
+def _run_point(job: tuple[Experiment, dict]) -> list[dict]:
+    """Worker entry: run one sweep point of a pickled experiment.
+
+    The experiment crosses the process boundary by pickle, which
+    serialises its module-level ``run`` function by reference — the
+    child re-imports the defining module, so dispatch works under both
+    fork and spawn start methods without any registry round-trip.
+    Experiments whose ``run`` cannot be pickled (lambdas, closures)
+    never reach here: the runner detects that up front and executes
+    them serially in-process.
+    """
+    exp, params = job
+    return sanitize_rows(exp.run(params))
+
+
+def _picklable(exp: Experiment) -> bool:
+    """Whether ``exp`` can be shipped to a worker process.
+
+    Module-level ``run`` functions pickle by reference; lambdas and
+    closures do not — those experiments run serially instead of
+    crashing the pool.
+    """
+    import pickle
+
+    try:
+        pickle.dumps(exp)
+    except Exception:
+        return False
+    return True
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :func:`run_experiment` call.
+
+    ``rows`` is the concatenation of every point's rows in point order;
+    ``hits``/``misses`` count cache resolution; ``elapsed_s`` is the
+    wall-clock for the whole sweep.
+    """
+
+    experiment: Experiment
+    params: tuple[dict, ...]
+    rows: list[dict]
+    hits: int
+    misses: int
+    elapsed_s: float
+    workers: int
+
+    @property
+    def points(self) -> int:
+        """Number of sweep points executed or resolved from cache."""
+        return len(self.params)
+
+
+def run_experiment(
+    name_or_experiment: str | Experiment,
+    overrides: Mapping[str, object] | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+) -> RunResult:
+    """Run one registered experiment over its full sweep space.
+
+    Parameters
+    ----------
+    name_or_experiment:
+        Registry name (e.g. ``"fig5_energy_breakdown"``) or an
+        :class:`Experiment` instance.
+    overrides:
+        Optional sweep-axis pins / default replacements, passed to
+        :meth:`Experiment.points`.
+    workers:
+        Process count for the fan-out; ``1`` runs in-process.  Only
+        cache misses are dispatched, so a warm cache never pays the
+        pool start-up cost.
+    cache:
+        Result cache to consult/populate; defaults to the standard
+        on-disk cache when ``use_cache`` is true.
+    use_cache:
+        ``False`` disables both lookup and population (the CLI's
+        ``--no-cache``).
+    """
+    exp = (
+        name_or_experiment
+        if isinstance(name_or_experiment, Experiment)
+        else get_experiment(name_or_experiment)
+    )
+    points = exp.points(overrides)
+    store = (cache or ResultCache()) if use_cache else None
+
+    start = time.perf_counter()
+    keys = [cache_key(exp.name, p) for p in points]
+    results: list[list[dict] | None] = [None] * len(points)
+    miss_indices: list[int] = []
+    for i, key in enumerate(keys):
+        cached = store.get(key) if store is not None else None
+        if cached is None:
+            miss_indices.append(i)
+        else:
+            results[i] = cached
+
+    jobs = [(exp, points[i]) for i in miss_indices]
+    if jobs:
+        if workers > 1 and len(jobs) > 1 and _picklable(exp):
+            with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+                fresh = pool.map(_run_point, jobs, chunksize=1)
+        else:
+            fresh = [sanitize_rows(exp.run(params)) for _exp, params in jobs]
+        for i, rows in zip(miss_indices, fresh):
+            results[i] = rows
+            if store is not None:
+                store.put(keys[i], rows, meta={"experiment": exp.name, "params": points[i]})
+
+    all_rows = [row for rows in results for row in (rows or [])]
+    return RunResult(
+        experiment=exp,
+        params=tuple(points),
+        rows=all_rows,
+        hits=len(points) - len(miss_indices),
+        misses=len(miss_indices),
+        elapsed_s=time.perf_counter() - start,
+        workers=workers,
+    )
+
+
+def experiment_rows(
+    name: str, overrides: Mapping[str, object] | None = None
+) -> list[dict]:
+    """Serial, uncached rows of one experiment (the benchmark-wrapper path).
+
+    The thin ``benchmarks/bench_*.py`` scripts and ad-hoc callers use
+    this to get canonical rows without touching the user's cache.
+    """
+    return run_experiment(name, overrides=overrides, workers=1, use_cache=False).rows

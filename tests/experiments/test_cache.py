@@ -1,0 +1,84 @@
+"""Result cache: keying, round-trip, invalidation, corruption safety."""
+
+import json
+
+from repro.experiments import ResultCache, cache_key, code_fingerprint
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("e", {"a": 1}) == cache_key("e", {"a": 1})
+
+    def test_param_order_irrelevant(self):
+        assert cache_key("e", {"a": 1, "b": 2}) == cache_key("e", {"b": 2, "a": 1})
+
+    def test_changes_with_params(self):
+        base = cache_key("e", {"config": "PC3_tr", "datatype": "bfloat16"})
+        assert base != cache_key("e", {"config": "PC3", "datatype": "bfloat16"})
+        assert base != cache_key("e", {"config": "PC3_tr", "datatype": "float32"})
+
+    def test_changes_with_experiment_name(self):
+        assert cache_key("e1", {"a": 1}) != cache_key("e2", {"a": 1})
+
+    def test_changes_with_code_fingerprint(self):
+        old = cache_key("e", {"a": 1}, fingerprint="rev-a")
+        new = cache_key("e", {"a": 1}, fingerprint="rev-b")
+        assert old != new
+
+    def test_default_fingerprint_is_code_hash(self):
+        assert cache_key("e", {}) == cache_key("e", {}, fingerprint=code_fingerprint())
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_is_hex_digest(self):
+        fp = code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rows = [{"x": 1, "y": "a"}, {"x": 2.5, "y": None}]
+        key = cache_key("toy", {"p": 1})
+        cache.put(key, rows, meta={"experiment": "toy"})
+        assert cache.get(key) == rows
+        assert key in cache
+        assert cache.entries() == 1
+
+    def test_different_params_different_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("toy", {"p": 1}), [{"v": 1}])
+        cache.put(cache_key("toy", {"p": 2}), [{"v": 2}])
+        assert cache.entries() == 2
+        assert cache.get(cache_key("toy", {"p": 1})) == [{"v": 1}]
+        assert cache.get(cache_key("toy", {"p": 2})) == [{"v": 2}]
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("toy", {"p": 1})
+        cache.put(key, [{"v": 1}])
+        cache._path(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_wrong_shape_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("toy", {"p": 1})
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"rows": "not-a-list"}), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("toy", {"p": 1}), [{"v": 1}])
+        cache.put(cache_key("toy", {"p": 2}), [{"v": 2}])
+        assert cache.clear() == 2
+        assert cache.entries() == 0
+        assert cache.get(cache_key("toy", {"p": 1})) is None

@@ -1,0 +1,116 @@
+"""CLI: ``python -m repro reproduce`` list/run/export smoke tests."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import experiment_names
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+class TestReproduceList:
+    def test_list_enumerates_every_experiment(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+
+    def test_bare_reproduce_prints_listing(self, capsys):
+        assert main(["reproduce"]) == 0
+        assert "fig5_energy_breakdown" in capsys.readouterr().out
+
+
+class TestReproduceRun:
+    def test_unknown_name_fails(self, capsys):
+        assert main(["reproduce", "not_an_experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig5_energy_breakdown" in err
+
+    def test_runs_and_renders(self, isolated_cache, capsys):
+        assert main(["reproduce", "fig5_energy_breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "baseline" in out
+        assert "4 point(s)" in out
+
+    def test_second_run_hits_cache(self, isolated_cache, capsys):
+        main(["reproduce", "table1_configs"])
+        capsys.readouterr()
+        assert main(["reproduce", "table1_configs"]) == 0
+        assert "1 cached, 0 computed" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, isolated_cache, capsys):
+        main(["reproduce", "table1_configs", "--no-cache"])
+        capsys.readouterr()
+        main(["reproduce", "table1_configs", "--no-cache"])
+        assert "0 cached, 1 computed" in capsys.readouterr().out
+
+    def test_bad_set_fails_before_running_anything(self, isolated_cache, capsys, tmp_path):
+        out_dir = tmp_path / "nothing-written"
+        code = main(
+            [
+                "reproduce",
+                "table1_configs",
+                "fig6_exponent_handling",
+                "--set",
+                "bank_kb=8",  # valid for fig6, unknown for table1
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 2
+        assert "unknown parameter" in capsys.readouterr().err
+        assert not out_dir.exists()  # fail-fast: no partial artefacts
+
+    def test_summary_row_columns_rendered(self, isolated_cache, capsys):
+        assert main(["reproduce", "network_end2end"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle_ratio" in out  # summary row's extra columns survive
+        assert "vs Eyeriss" in out
+
+    def test_set_override(self, isolated_cache, capsys):
+        assert main(["reproduce", "fig6_exponent_handling", "--set", "bank_kb=8"]) == 0
+        out = capsys.readouterr().out
+        assert "8kB" in out
+        assert "2 point(s)" in out  # 2 datatypes x 1 pinned bank size
+
+    def test_legacy_artefacts_still_work(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Analog PIM" in capsys.readouterr().out
+
+
+class TestReproduceOut:
+    def test_writes_csv_json_manifest(self, isolated_cache, capsys, tmp_path):
+        out_dir = tmp_path / "artefacts"
+        assert (
+            main(["reproduce", "fig5_energy_breakdown", "--workers", "2", "--out", str(out_dir)])
+            == 0
+        )
+        csv_path = out_dir / "fig5_energy_breakdown.csv"
+        json_path = out_dir / "fig5_energy_breakdown.json"
+        manifest_path = out_dir / "manifest.json"
+        assert csv_path.is_file() and json_path.is_file() and manifest_path.is_file()
+        rows = json.loads(json_path.read_text())
+        assert len(rows) == 24
+        assert rows[0]["design"] == "baseline"
+        header = csv_path.read_text().splitlines()[0]
+        assert "total_pj" in header
+        manifest = json.loads(manifest_path.read_text())
+        entry = manifest["fig5_energy_breakdown"]
+        assert entry["points"] == 4
+        assert entry["rows"] == 24
+        assert entry["workers"] == 2
+
+    def test_manifest_accumulates(self, isolated_cache, capsys, tmp_path):
+        out_dir = tmp_path / "artefacts"
+        main(["reproduce", "table1_configs", "--out", str(out_dir)])
+        main(["reproduce", "table3_summary", "--out", str(out_dir)])
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert {"table1_configs", "table3_summary"} <= set(manifest)

@@ -1,0 +1,128 @@
+"""Registry: registration, lookup, sweep-point expansion."""
+
+import pytest
+
+from repro.experiments import (
+    Experiment,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register,
+    unregister,
+)
+
+EXPECTED_NAMES = {
+    # figures
+    "fig4_accuracy",
+    "fig5_energy_breakdown",
+    "fig6_exponent_handling",
+    "fig7_cycles_vs_area",
+    "fig8_area_breakdown",
+    # tables
+    "table1_configs",
+    "table2_pim_comparison",
+    "table3_summary",
+    # ablations
+    "ablation_bandwidth",
+    "ablation_faults",
+    "ablation_multiplier_error",
+    "ablation_pc4",
+    "ablation_preload",
+    "ablation_sparsity",
+    "ablation_training",
+    "ablation_utilization",
+    # extensions
+    "network_end2end",
+    "related_work_multipliers",
+}
+
+
+def _toy_run(params):
+    return [dict(params)]
+
+
+def _toy(name="toy_experiment", **kwargs):
+    defaults = dict(
+        name=name,
+        artifact="Toy",
+        title="toy",
+        description="toy experiment for tests",
+        run=_toy_run,
+    )
+    defaults.update(kwargs)
+    return Experiment(**defaults)
+
+
+class TestBuiltinRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        assert EXPECTED_NAMES <= set(experiment_names())
+
+    def test_names_sorted_and_unique(self):
+        names = experiment_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_all_experiments_have_metadata(self):
+        for exp in all_experiments():
+            assert exp.artifact and exp.title and exp.description
+            assert callable(exp.run)
+            assert exp.est_seconds > 0
+
+    def test_get_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="fig5_energy_breakdown"):
+            get_experiment("nope_not_registered")
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        exp = _toy()
+        register(exp)
+        try:
+            assert get_experiment("toy_experiment") is exp
+        finally:
+            unregister("toy_experiment")
+
+    def test_duplicate_name_rejected(self):
+        register(_toy())
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register(_toy())
+        finally:
+            unregister("toy_experiment")
+
+
+class TestPointExpansion:
+    def test_empty_space_is_single_point(self):
+        exp = _toy(defaults={"alpha": 1})
+        assert exp.points() == [{"alpha": 1}]
+
+    def test_cartesian_product_order(self):
+        exp = _toy(space={"a": (1, 2), "b": ("x", "y")})
+        assert exp.points() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_defaults_merged_into_every_point(self):
+        exp = _toy(space={"a": (1, 2)}, defaults={"k": 7})
+        assert exp.points() == [{"k": 7, "a": 1}, {"k": 7, "a": 2}]
+
+    def test_override_pins_axis(self):
+        exp = _toy(space={"a": (1, 2, 3)})
+        assert exp.points({"a": 2}) == [{"a": 2}]
+
+    def test_override_replaces_default(self):
+        exp = _toy(space={"a": (1,)}, defaults={"k": 7})
+        assert exp.points({"k": 9}) == [{"k": 9, "a": 1}]
+
+    def test_unknown_override_raises(self):
+        exp = _toy(space={"a": (1,)})
+        with pytest.raises(KeyError, match="unknown parameter"):
+            exp.points({"typo": 1})
+
+    def test_builtin_fig5_grid(self):
+        points = get_experiment("fig5_energy_breakdown").points()
+        assert len(points) == 4
+        assert points[0] == {"datatype": "bfloat16", "bank_kb": 8}

@@ -1,0 +1,175 @@
+"""Runner: cache hit/miss accounting, workers parity, sanitisation."""
+
+import pytest
+
+from repro.experiments import (
+    Experiment,
+    ResultCache,
+    experiment_rows,
+    register,
+    run_experiment,
+    unregister,
+)
+
+
+def _square_point(params):
+    return [{"n": params["n"], "square": params["n"] ** 2, "tag": params["tag"]}]
+
+
+@pytest.fixture
+def square_experiment():
+    exp = Experiment(
+        name="toy_square",
+        artifact="Toy",
+        title="squares",
+        description="n -> n^2",
+        run=_square_point,
+        space={"n": (1, 2, 3, 4)},
+        defaults={"tag": "t"},
+    )
+    register(exp)
+    yield exp
+    unregister("toy_square")
+
+
+class TestSerialRun:
+    def test_rows_in_point_order(self, square_experiment):
+        result = run_experiment("toy_square", use_cache=False)
+        assert [r["square"] for r in result.rows] == [1, 4, 9, 16]
+        assert result.points == 4
+        assert result.misses == 4 and result.hits == 0
+
+    def test_overrides_thread_through(self, square_experiment):
+        result = run_experiment("toy_square", overrides={"n": 3, "tag": "x"}, use_cache=False)
+        assert result.rows == [{"n": 3, "square": 9, "tag": "x"}]
+
+    def test_experiment_rows_helper(self, square_experiment):
+        assert [r["n"] for r in experiment_rows("toy_square")] == [1, 2, 3, 4]
+
+
+class TestCaching:
+    def test_second_run_all_hits(self, square_experiment, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiment("toy_square", cache=cache)
+        second = run_experiment("toy_square", cache=cache)
+        assert first.misses == 4 and first.hits == 0
+        assert second.misses == 0 and second.hits == 4
+        assert second.rows == first.rows
+
+    def test_config_change_invalidates(self, square_experiment, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("toy_square", cache=cache)
+        changed = run_experiment("toy_square", overrides={"tag": "other"}, cache=cache)
+        assert changed.misses == 4  # every point re-keyed, nothing reused
+        assert all(r["tag"] == "other" for r in changed.rows)
+
+    def test_no_cache_never_touches_store(self, square_experiment, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("toy_square", cache=cache, use_cache=False)
+        assert cache.entries() == 0
+
+    def test_partial_hits(self, square_experiment, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("toy_square", overrides={"n": (1, 2)}, cache=cache)
+        mixed = run_experiment("toy_square", cache=cache)
+        assert mixed.hits == 2 and mixed.misses == 2
+        assert [r["square"] for r in mixed.rows] == [1, 4, 9, 16]
+
+
+class TestUnregisteredExperiment:
+    def test_instance_runs_without_registration(self):
+        exp = Experiment(
+            name="never_registered",
+            artifact="Toy",
+            title="adhoc",
+            description="instance passed directly",
+            run=_square_point,
+            space={"n": (2, 3)},
+            defaults={"tag": "adhoc"},
+        )
+        result = run_experiment(exp, use_cache=False)
+        assert [r["square"] for r in result.rows] == [4, 9]
+
+    def test_unpicklable_run_falls_back_to_serial(self):
+        exp = Experiment(
+            name="never_registered_parallel",
+            artifact="Toy",
+            title="adhoc",
+            description="lambda run cannot be shipped to a worker",
+            run=lambda params: [{"square": params["n"] ** 2}],
+            space={"n": (1, 2, 3)},
+        )
+        result = run_experiment(exp, workers=4, use_cache=False)
+        assert [r["square"] for r in result.rows] == [1, 4, 9]
+
+
+class TestWorkersParity:
+    def test_toy_parallel_matches_serial(self, square_experiment):
+        serial = run_experiment("toy_square", use_cache=False)
+        parallel = run_experiment("toy_square", workers=4, use_cache=False)
+        assert parallel.rows == serial.rows
+        assert parallel.workers == 4
+
+    def test_fig5_parallel_matches_serial(self):
+        serial = run_experiment("fig5_energy_breakdown", use_cache=False)
+        parallel = run_experiment("fig5_energy_breakdown", workers=4, use_cache=False)
+        assert parallel.rows == serial.rows
+        assert len(serial.rows) == 2 * 2 * 6
+
+    def test_parallel_populates_cache_serial_hits_it(self, square_experiment, tmp_path):
+        cache = ResultCache(tmp_path)
+        parallel = run_experiment("toy_square", workers=4, cache=cache)
+        warm = run_experiment("toy_square", cache=cache)
+        assert parallel.misses == 4
+        assert warm.hits == 4 and warm.misses == 0
+        assert warm.rows == parallel.rows
+
+
+def _messy_point(params):
+    import numpy as np
+
+    return [
+        {
+            "np_int": np.int64(3),
+            "np_float": np.float64(0.5),
+            "np_array": np.array([1, 2, 3]),
+            "tuple": (1, 2),
+            "nested": {"k": np.int32(7)},
+        }
+    ]
+
+
+class TestSanitisation:
+    def test_rows_are_plain_json_types(self):
+        exp = Experiment(
+            name="toy_messy",
+            artifact="Toy",
+            title="messy",
+            description="numpy/tuple row values",
+            run=_messy_point,
+        )
+        register(exp)
+        try:
+            rows = run_experiment("toy_messy", use_cache=False).rows
+        finally:
+            unregister("toy_messy")
+        assert rows == [
+            {
+                "np_int": 3,
+                "np_float": 0.5,
+                "np_array": [1, 2, 3],
+                "tuple": [1, 2],
+                "nested": {"k": 7},
+            }
+        ]
+        assert type(rows[0]["np_int"]) is int
+        assert type(rows[0]["np_float"]) is float
+
+    def test_fresh_rows_equal_cached_rows(self, square_experiment, tmp_path):
+        cache = ResultCache(tmp_path)
+        fresh = run_experiment("toy_square", cache=cache).rows
+        cached = run_experiment("toy_square", cache=cache).rows
+        assert fresh == cached
+        for fresh_row, cached_row in zip(fresh, cached):
+            for key in fresh_row:
+                assert type(fresh_row[key]) is type(cached_row[key])

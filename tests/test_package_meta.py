@@ -51,3 +51,20 @@ def test_repo_documents_exist():
     root = pathlib.Path(repro.__file__).resolve().parents[2]
     for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
         assert (root / doc).is_file(), doc
+
+
+@pytest.mark.parametrize(
+    "module_name", ["repro", "repro.core", "repro.experiments", "repro.analysis"]
+)
+def test_public_api_is_documented(module_name):
+    """Every class/function re-exported via ``__all__`` has a docstring."""
+    import inspect
+
+    module = importlib.import_module(module_name)
+    undocumented = [
+        name
+        for name in module.__all__
+        if (inspect.isclass(obj := getattr(module, name)) or inspect.isfunction(obj))
+        and not inspect.getdoc(obj)
+    ]
+    assert not undocumented, f"{module_name} exports lack docstrings: {undocumented}"
