@@ -1,0 +1,163 @@
+"""Performance-trajectory harness: writes ``BENCH_perf.json``.
+
+Times the two hot paths of the packed arithmetic pipeline and emits one
+machine-readable artifact so CI can track the perf trajectory over PRs:
+
+* **matmul throughput** across a size grid, for the exact, quantised and
+  DAISM backends — each approximate size both with per-call weight
+  packing (``raw``) and against a pre-packed weight (``prepared``);
+* **end-to-end network latency**: LeNet inference over a test set under
+  the bfloat16 PC3_tr DAISM backend, with the packing counters recorded
+  to prove the steady state performs zero weight re-pack work.
+
+Run::
+
+    python benchmarks/perf/bench_perf.py --out BENCH_perf.json [--quick]
+
+``--quick`` shrinks the grid and the dataset so a CI smoke step finishes
+in a few seconds; the JSON schema is identical either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+SCHEMA = "repro-perf/1"
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time of ``fn()`` in seconds (1 warmup call)."""
+    fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def matmul_rows(quick: bool) -> list[dict]:
+    """Throughput rows across the size grid and backend suite."""
+    from repro.core.config import PC3_TR
+    from repro.formats.floatfmt import BFLOAT16
+    from repro.nn.backend import daism_backend, exact_backend, quantized_backend
+
+    sizes = [(64, 64, 32)] if quick else [(64, 128, 64), (256, 288, 64), (1024, 64, 10)]
+    reps = 2 if quick else 5
+    rng = np.random.default_rng(0)
+    rows: list[dict] = []
+    for m, k, n in sizes:
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        macs = 2.0 * m * k * n
+        suites = [
+            ("exact_float32", exact_backend(), False),
+            ("quantized_bfloat16", quantized_backend(BFLOAT16), False),
+            ("approx_bfloat16_PC3_tr", daism_backend(PC3_TR, BFLOAT16), False),
+            ("approx_bfloat16_PC3_tr", daism_backend(PC3_TR, BFLOAT16), True),
+        ]
+        for name, backend, prepared in suites:
+            rhs = backend.prepare(b) if prepared else b
+            seconds = _best_of(lambda: backend.matmul(a, rhs), reps)
+            rows.append(
+                {
+                    "m": m,
+                    "k": k,
+                    "n": n,
+                    "backend": name,
+                    "variant": "prepared" if prepared else "raw",
+                    "ms_per_call": round(seconds * 1e3, 3),
+                    "mmacs_per_s": round(macs / seconds / 1e6, 1),
+                }
+            )
+    return rows
+
+
+def network_latency(quick: bool) -> dict:
+    """End-to-end LeNet inference latency under the DAISM backend."""
+    from repro.core.config import PC3_TR
+    from repro.formats.floatfmt import BFLOAT16
+    from repro.formats.packed import packing_counters, reset_packing_counters
+    from repro.nn.backend import daism_backend
+    from repro.nn.data import shapes_dataset
+    from repro.nn.models import build_lenet
+    from repro.nn.train import evaluate
+
+    n_test = 32 if quick else 256
+    data = shapes_dataset(n_train=8, n_test=n_test, size=16, seed=0)
+    model = build_lenet()
+    backend = daism_backend(PC3_TR, BFLOAT16)
+
+    def run() -> float:
+        return evaluate(model, data.test_x, data.test_y, backend=backend)
+
+    run()  # warm: populates the layers' prepared-weight caches
+    reset_packing_counters()
+    t0 = time.perf_counter()
+    run()
+    seconds = time.perf_counter() - t0
+    second = packing_counters()
+    reset_packing_counters()
+    run()
+    third = packing_counters()
+    # With warm weight caches, every pack in a steady-state pass is an
+    # activation; two identical passes must pack identically (no creeping
+    # weight re-pack work).
+    return {
+        "model": "lenet",
+        "backend": "approx_bfloat16_PC3_tr",
+        "samples": n_test,
+        "ms_total": round(seconds * 1e3, 2),
+        "ms_per_sample": round(seconds * 1e3 / n_test, 3),
+        "steady_state_pack_calls": second["pack_calls"],
+        "steady_state_elements_packed": second["elements_packed"],
+        "repack_free": second == third,
+    }
+
+
+def run(out_path: str, quick: bool = False) -> dict:
+    """Execute the harness and write the JSON artifact to ``out_path``."""
+    report = {
+        "schema": SCHEMA,
+        "generated_unix": round(time.time(), 1),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "quick": quick,
+        "matmul": matmul_rows(quick),
+        "network": network_latency(quick),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json", help="output JSON path")
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid for CI smoke runs"
+    )
+    args = parser.parse_args()
+    report = run(args.out, quick=args.quick)
+    net = report["network"]
+    print(f"wrote {args.out}")
+    for row in report["matmul"]:
+        print(
+            f"  {row['m']}x{row['k']}x{row['n']} {row['backend']:<24}"
+            f" {row['variant']:<9} {row['ms_per_call']:>9.3f} ms"
+            f" {row['mmacs_per_s']:>9.1f} Mmac/s"
+        )
+    print(
+        f"  lenet/{net['backend']}: {net['ms_total']} ms for {net['samples']}"
+        f" samples ({net['ms_per_sample']} ms/sample), repack_free={net['repack_free']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -51,7 +51,8 @@ def _normalise(
     For nonzero FP operands the OR-approximation is bounded below by the
     always-active ``A`` line, so the product cannot underflow past one
     normalisation position; overflow by one position (value in ``[2, 4)``)
-    bumps the exponent.
+    bumps the exponent.  A zero product (zero operand bypass) stays zero,
+    so downstream :func:`~repro.formats.floatfmt.compose` emits ±0.
     """
     exponent = exponent.astype(np.int64)
     if truncated:
@@ -125,16 +126,13 @@ def approx_fp_multiply(
     sy, ey, my = decompose(y, fmt)
     bits = fmt.significand_bits
 
+    # Zero operands produce a zero significand product, which _normalise
+    # keeps at zero and compose turns into the correctly signed zero —
+    # the datapath's zero bypass falls out of the pipeline itself.
     product = significand_product(mx, my, bits, config)
     sig, exp = _normalise(product, ex + ey, bits, config.truncated)
     sign = sx ^ sy
-
-    # A zero significand would violate _normalise's preconditions; feed a
-    # harmless placeholder and overwrite with the bypass afterwards.
-    zero = (mx == 0) | (my == 0)
-    sig = np.where(zero, np.uint64(1) << np.uint64(bits - 1), sig)
     result = compose(sign, exp, sig, fmt)
-    result = np.where(zero, np.float32(0.0) * np.where(sign, -1.0, 1.0).astype(np.float32), result)
 
     # Specials bypass: inf/NaN take the exact float path.
     special = ~np.isfinite(x) | ~np.isfinite(y)

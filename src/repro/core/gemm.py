@@ -14,20 +14,34 @@ Three backends with a common ``matmul`` interface let the numpy DNN stack
 * :class:`ApproxMatmul` — quantise and run every product through the
   approximate multiplier (the DAISM datapath).
 
-The approximate path decomposes both operands once and processes the
-reduction dimension in chunks, so memory stays bounded while the LUT
-gather stays fully vectorised.
+Operands flow through :class:`~repro.formats.packed.PackedTensor`: each
+side is quantised and decomposed exactly once per tensor (mirroring the
+one-time SRAM write of the paper's datapath), and pre-packed operands —
+built via ``MatmulBackend.prepare`` — skip that front end entirely.  All
+backends additionally accept stacked ``(B, M, K) @ (K, N)`` inputs,
+flattening the batch into the row dimension so a whole batch runs as one
+GEMM with bit-identical per-sample results.
+
+For table-supported significand widths the kernel collapses the
+normalise+compose back end into a single pre-computed ``uint32`` lookup
+(fraction bits, exponent bump and nonzero flag per significand pair), so
+the per-product work in the hot loop is one gather plus a handful of
+narrow integer ops — several times faster than running the FP pipeline
+per element, and bit-identical to it by construction.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
-from ..formats.floatfmt import FLOAT32, FloatFormat, compose, decompose, quantize
-from .config import MultiplierConfig
+from ..formats.floatfmt import FLOAT32, FloatFormat, compose, quantize
+from ..formats.packed import PackedTensor, pack
+from .config import MultiplierConfig, Scheme
 from .fp_mul import _normalise, significand_product
+from .tables import table_supported
 
 __all__ = [
     "approx_matmul",
@@ -44,9 +58,125 @@ def _default_chunk(m: int, n: int, budget_elems: int = 1 << 22) -> int:
     return max(1, budget_elems // per_k)
 
 
+@functools.lru_cache(maxsize=64)
+def _fused_table(bits: int, scheme: Scheme, truncated: bool) -> np.ndarray:
+    """Pre-computed normalise+compose of every significand pair.
+
+    Entry layout (uint32), indexed ``[ma, mb]``:
+
+    * bits 0..22  — the float32 fraction field of the normalised product
+      (already shifted into container position);
+    * bit 23      — the exponent bump from normalisation overflow;
+    * bit 24      — nonzero flag (0 exactly when the product is zero).
+
+    The entries are derived by running the real pipeline
+    (:func:`significand_product` + :func:`~repro.core.fp_mul._normalise`)
+    over the full operand square, so a gather from this table is
+    bit-identical to the per-element FP back end it replaces.
+    """
+    config = MultiplierConfig(scheme, truncated)
+    operands = np.arange(1 << bits, dtype=np.uint64)
+    product = significand_product(operands[:, None], operands[None, :], bits, config)
+    sig, bump = _normalise(product, np.zeros_like(product, dtype=np.int64), bits, truncated)
+    nonzero = product != 0
+    mantissa_bits = bits - 1
+    frac = ((sig & np.uint64((1 << mantissa_bits) - 1)) << np.uint64(23 - mantissa_bits)).astype(
+        np.uint32
+    )
+    entry = frac | (bump.astype(np.uint32) << np.uint32(23))
+    entry |= nonzero.astype(np.uint32) << np.uint32(24)
+    entry.setflags(write=False)
+    return entry
+
+
+def _as_packed(x: np.ndarray | PackedTensor, fmt: FloatFormat, side: str) -> PackedTensor:
+    """Pack a float operand, or validate an already-packed one."""
+    if isinstance(x, PackedTensor):
+        if x.fmt != fmt:
+            raise ValueError(
+                f"packed operand {side} is {x.fmt.name}, matmul expects {fmt.name}"
+            )
+        return x
+    return pack(x, fmt)
+
+
+def _matmul_fused(
+    pa: PackedTensor, pb: PackedTensor, config: MultiplierConfig, k_chunk: int
+) -> np.ndarray:
+    """2-D packed GEMM through the fused product table."""
+    fmt = pa.fmt
+    m, k = pa.shape
+    n = pb.shape[1]
+    table = _fused_table(fmt.significand_bits, config.scheme, config.truncated)
+
+    ma, mb = pa.significand, pb.significand
+    ea, eb = pa.exponent, pb.exponent
+    sa31 = pa.sign << np.uint32(31)
+    sb31 = pb.sign << np.uint32(31)
+    emax = fmt.max_exponent - fmt.bias
+    emin = 1 - fmt.bias
+    inf_bits = np.uint32(0x7F80_0000)
+    nz_flag = np.uint32(1 << 24)
+
+    out = np.zeros((m, n), dtype=np.float32)
+    for start in range(0, k, k_chunk):
+        stop = min(k, start + k_chunk)
+        entry = table[ma[:, start:stop, None], mb[None, start:stop, :]]
+        exp = ea[:, start:stop, None] + eb[None, start:stop, :]
+        exp = exp + ((entry >> np.uint32(23)) & np.uint32(1)).view(np.int32)
+
+        nonzero = entry >= nz_flag
+        overflow = exp > emax
+        ok = nonzero & ~overflow & ~(exp < emin)
+        # In-range biased exponents fit int32 even after <<23; out-of-range
+        # lanes may wrap but are masked out by `ok`/`overflow` below.
+        base = ((exp + 127) << 23).view(np.uint32)
+        bits32 = np.where(ok, base | (entry & np.uint32(0x007F_FFFF)), np.uint32(0))
+        bits32 = np.where(nonzero & overflow, inf_bits, bits32)
+        bits32 = bits32 | (sa31[:, start:stop, None] ^ sb31[None, start:stop, :])
+        out += bits32.view(np.float32).sum(axis=1, dtype=np.float32)
+    return out
+
+
+def _matmul_generic(
+    pa: PackedTensor, pb: PackedTensor, config: MultiplierConfig, k_chunk: int
+) -> np.ndarray:
+    """2-D packed GEMM through the per-element FP pipeline.
+
+    Used for significand widths too wide to tabulate (e.g. float32).  The
+    normalise/compose path is zero-aware: a zero operand yields a zero
+    product from the multiplier, which :func:`_normalise` keeps at zero
+    and :func:`compose` turns into a (signed) zero — no placeholder
+    significand needed.
+    """
+    fmt = pa.fmt
+    m, k = pa.shape
+    n = pb.shape[1]
+    bits = fmt.significand_bits
+
+    sa, ea, ma = pa.sign, pa.exponent, pa.significand
+    sb, eb, mb = pb.sign, pb.exponent, pb.significand
+
+    out = np.zeros((m, n), dtype=np.float32)
+    for start in range(0, k, k_chunk):
+        stop = min(k, start + k_chunk)
+        mx = ma[:, start:stop, None].astype(np.uint64)
+        my = mb[None, start:stop, :].astype(np.uint64)
+        ex = ea[:, start:stop, None].astype(np.int64)
+        ey = eb[None, start:stop, :].astype(np.int64)
+        sx = sa[:, start:stop, None]
+        sy = sb[None, start:stop, :]
+
+        product = significand_product(mx, my, bits, config)
+        sig, exp = _normalise(product, ex + ey, bits, config.truncated)
+        values = compose(sx ^ sy, exp, sig, fmt)
+        out += values.sum(axis=1, dtype=np.float32)
+    return out
+
+
 def approx_matmul(
-    a: np.ndarray,
-    b: np.ndarray,
+    a: np.ndarray | PackedTensor,
+    b: np.ndarray | PackedTensor,
     fmt: FloatFormat,
     config: MultiplierConfig,
     k_chunk: int | None = None,
@@ -56,73 +186,88 @@ def approx_matmul(
     Parameters
     ----------
     a:
-        ``(M, K)`` float array (quantised to ``fmt`` internally).
+        ``(M, K)`` or batched ``(B, M, K)`` float array, or an equally
+        shaped :class:`~repro.formats.packed.PackedTensor`.  Float inputs
+        are quantised to ``fmt`` internally (once); packed inputs are
+        consumed as-is with zero re-quantise/decompose work.
     b:
-        ``(K, N)`` float array.
+        ``(K, N)`` float array or ``PackedTensor``.
     fmt:
-        Operand floating point format (e.g. bfloat16).
+        Operand floating point format (e.g. bfloat16).  Packed operands
+        must have been packed to the same format.
     config:
         Multiplier configuration (Table I).
     k_chunk:
-        Reduction chunk size; defaults to a memory-bounded choice.
+        Reduction chunk size; defaults to a memory-bounded choice
+        computed from the *total* row count, so a batched call is
+        bit-identical to the same rows flattened into one 2-D GEMM.
 
     Returns
     -------
-    ``(M, N)`` float32 result, accumulated exactly in float32.
+    ``(M, N)`` (or ``(B, M, N)``) float32 result, accumulated exactly in
+    float32.
     """
-    a = np.asarray(a, dtype=np.float32)
-    b = np.asarray(b, dtype=np.float32)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
-    m, k = a.shape
-    _, n = b.shape
+    pa = _as_packed(a, fmt, "a")
+    pb = _as_packed(b, fmt, "b")
+    if pa.ndim not in (2, 3) or pb.ndim != 2 or pa.shape[-1] != pb.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {pa.shape} @ {pb.shape}")
+
+    batched = pa.ndim == 3
+    if batched:
+        batch, m, k = pa.shape
+        pa = pa.reshape(batch * m, k)
+    rows, _ = pa.shape
+    n = pb.shape[1]
     if k_chunk is None:
-        k_chunk = _default_chunk(m, n)
+        k_chunk = _default_chunk(rows, n)
 
-    aq = quantize(a, fmt)
-    bq = quantize(b, fmt)
-    sa, ea, ma = decompose(aq, fmt)
-    sb, eb, mb = decompose(bq, fmt)
-    bits = fmt.significand_bits
-
-    out = np.zeros((m, n), dtype=np.float32)
-    for start in range(0, k, k_chunk):
-        stop = min(k, start + k_chunk)
-        mx = ma[:, start:stop, None]
-        my = mb[None, start:stop, :]
-        ex = ea[:, start:stop, None].astype(np.int64)
-        ey = eb[None, start:stop, :].astype(np.int64)
-        sx = sa[:, start:stop, None]
-        sy = sb[None, start:stop, :]
-
-        product = significand_product(mx, my, bits, config)
-        zero = (mx == 0) | (my == 0)
-        sig, exp = _normalise(
-            np.where(zero, np.uint64(1) << np.uint64(2 * bits - 2 if not config.truncated else bits - 2), product),
-            ex + ey,
-            bits,
-            config.truncated,
-        )
-        values = compose(sx ^ sy, exp, sig, fmt)
-        values = np.where(zero, np.float32(0.0), values)
-        out += values.sum(axis=1, dtype=np.float32)
+    kernel = _matmul_fused if table_supported(fmt.significand_bits) else _matmul_generic
+    out = kernel(pa, pb, config, k_chunk)
+    if batched:
+        return out.reshape(batch, m, n)
     return out
+
+
+def _flatten_batch(a: np.ndarray) -> tuple[np.ndarray, tuple[int, ...] | None]:
+    """Collapse a ``(B, M, K)`` operand to ``(B*M, K)``; 2-D passes through."""
+    if a.ndim == 3:
+        b, m, k = a.shape
+        return a.reshape(b * m, k), (b, m)
+    return a, None
 
 
 class MatmulBackend:
     """Interface: a named object computing ``matmul(a, b) -> (M, N)``.
 
-    ``a`` is ``(M, K)`` and ``b`` is ``(K, N)``; implementations return a
-    float32 ``(M, N)`` product.  The ``name`` attribute labels result
-    columns in the accuracy studies.  This is the single seam through
-    which the ``nn`` stack reaches the DAISM arithmetic: swapping the
-    backend swaps the arithmetic of every layer.
+    ``a`` is ``(M, K)`` — or batched ``(B, M, K)``, returning
+    ``(B, M, N)`` — and ``b`` is ``(K, N)``; implementations return a
+    float32 product.  The ``name`` attribute labels result columns in the
+    accuracy studies.  This is the single seam through which the ``nn``
+    stack reaches the DAISM arithmetic: swapping the backend swaps the
+    arithmetic of every layer.
+
+    ``prepare(b)`` converts a static right-hand operand (typically a
+    weight matrix) into the backend's internal form once, so repeated
+    ``matmul`` calls against it skip the per-call front end entirely.
+    The ``prepare_key`` property names that internal form: backends whose
+    keys match produce interchangeable prepared operands (e.g. every
+    ``ApproxMatmul`` config over bfloat16 shares the same packed planes),
+    which lets callers cache one prepared tensor across backends.
     """
 
     name = "abstract"
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def matmul(self, a: np.ndarray, b) -> np.ndarray:
         raise NotImplementedError
+
+    def prepare(self, b: np.ndarray):
+        """Pre-convert a static ``(K, N)`` operand; identity by default."""
+        return b
+
+    @property
+    def prepare_key(self) -> str:
+        """Cache key identifying the representation ``prepare`` produces."""
+        return self.name
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
@@ -132,13 +277,25 @@ class ExactMatmul(MatmulBackend):
     """Plain float32 matmul — the paper's exact baseline.
 
     Stateless; both operands are cast to float32 and multiplied with
-    ``numpy.matmul``.
+    ``numpy.matmul``.  Batched inputs are flattened into the row
+    dimension so the result is bit-identical to the 2-D call.
     """
 
     name = "exact_float32"
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)
+    def matmul(self, a: np.ndarray, b) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        flat, batch = _flatten_batch(a)
+        out = flat @ b
+        return out.reshape(*batch, -1) if batch else out
+
+    def prepare(self, b: np.ndarray) -> np.ndarray:
+        return np.asarray(b, dtype=np.float32)
+
+    @property
+    def prepare_key(self) -> str:  # type: ignore[override]
+        return "dense_float32"
 
 
 @dataclasses.dataclass
@@ -147,7 +304,9 @@ class QuantizedMatmul(MatmulBackend):
 
     Separates the error due to the narrow datatype from the error due to
     the OR-approximation; used as an intermediate point in Fig. 4-style
-    studies.
+    studies.  Prepared operands are packed tensors whose cached dense
+    form is read back, so they interoperate with ``ApproxMatmul`` caches
+    of the same format.
     """
 
     fmt: FloatFormat = FLOAT32
@@ -156,8 +315,28 @@ class QuantizedMatmul(MatmulBackend):
     def name(self) -> str:  # type: ignore[override]
         return f"quantized_{self.fmt.name}"
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return quantize(a, self.fmt) @ quantize(b, self.fmt)
+    def _dense(self, x, side: str) -> np.ndarray:
+        if isinstance(x, PackedTensor):
+            if x.fmt != self.fmt:
+                raise ValueError(
+                    f"packed operand {side} is {x.fmt.name}, backend expects {self.fmt.name}"
+                )
+            return x.dense()
+        return quantize(x, self.fmt)
+
+    def matmul(self, a, b) -> np.ndarray:
+        aq = self._dense(a, "a")
+        bq = self._dense(b, "b")
+        flat, batch = _flatten_batch(aq)
+        out = flat @ bq
+        return out.reshape(*batch, -1) if batch else out
+
+    def prepare(self, b: np.ndarray) -> PackedTensor:
+        return b if isinstance(b, PackedTensor) else pack(b, self.fmt)
+
+    @property
+    def prepare_key(self) -> str:  # type: ignore[override]
+        return f"packed_{self.fmt.name}"
 
 
 @dataclasses.dataclass
@@ -184,5 +363,12 @@ class ApproxMatmul(MatmulBackend):
     def name(self) -> str:  # type: ignore[override]
         return f"approx_{self.fmt.name}_{self.config.name}"
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def matmul(self, a, b) -> np.ndarray:
         return approx_matmul(a, b, self.fmt, self.config, k_chunk=self.k_chunk)
+
+    def prepare(self, b: np.ndarray) -> PackedTensor:
+        return b if isinstance(b, PackedTensor) else pack(b, self.fmt)
+
+    @property
+    def prepare_key(self) -> str:  # type: ignore[override]
+        return f"packed_{self.fmt.name}"

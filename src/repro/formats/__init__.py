@@ -1,6 +1,7 @@
-"""Floating point formats (float32, bfloat16, custom) and block FP."""
+"""Floating point formats (float32, bfloat16, custom), packing, block FP."""
 
 from .bfp import BlockFloat, bfp_matmul
+from .packed import PackedTensor, pack, packing_counters, reset_packing_counters
 from .floatfmt import (
     BFLOAT16,
     FLOAT16,
@@ -31,4 +32,8 @@ __all__ = [
     "to_bits",
     "BlockFloat",
     "bfp_matmul",
+    "PackedTensor",
+    "pack",
+    "packing_counters",
+    "reset_packing_counters",
 ]

@@ -84,7 +84,16 @@ def bfp_matmul(
     datapath XORs them); the integer magnitude products go through the
     configured approximate multiplier when ``config`` is given, or are
     exact otherwise.  Accumulation is exact (int64 / float64).
+
+    ``a`` may also be a batched ``(B, M, K)`` block (``b`` stays 2-D);
+    the batch is flattened into the row dimension — exact because a
+    block shares one exponent regardless of shape — and the result is
+    returned as ``(B, M, N)``.
     """
+    if a.mantissa.ndim == 3:
+        batch, m, k = a.shape
+        flat = BlockFloat(a.mantissa.reshape(batch * m, k), a.exponent, a.mantissa_bits)
+        return bfp_matmul(flat, b, config=config).reshape(batch, m, -1)
     if a.mantissa.ndim != 2 or b.mantissa.ndim != 2:
         raise ValueError("bfp_matmul expects 2-D blocks")
     if a.shape[1] != b.shape[0]:

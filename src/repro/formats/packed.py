@@ -1,0 +1,147 @@
+"""Quantise-once packed tensors: the operand form the datapath streams.
+
+On the accelerator, a tensor is decomposed exactly once when it is
+written into SRAM — sign, exponent and significand land in separate bit
+planes, and every product afterwards reads those planes directly
+(Sec. III-C/IV-A of the paper).  The software stack mirrors that with
+:class:`PackedTensor`: :func:`pack` runs ``quantize`` + ``decompose``
+once, and the GEMM kernels in :mod:`repro.core.gemm` consume the planes
+as-is.  Static weights are packed a single time and reused for every
+matmul (see ``MatmulBackend.prepare`` and the weight caches in
+:mod:`repro.nn.layers`).
+
+The module keeps global packing counters so tests and the perf harness
+can assert that a hot path performs *zero* re-quantise/decompose work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .floatfmt import FloatFormat, compose, decompose, quantize
+
+__all__ = [
+    "PackedTensor",
+    "pack",
+    "packing_counters",
+    "reset_packing_counters",
+]
+
+#: Global instrumentation: how many times :func:`pack` ran and how many
+#: elements it processed.  Read with :func:`packing_counters`; the perf
+#: harness and the weight-cache tests use this to prove that cached
+#: operands are never re-packed.
+_COUNTERS = {"pack_calls": 0, "elements_packed": 0}
+
+
+def packing_counters() -> dict[str, int]:
+    """A snapshot of the global pack-call counters."""
+    return dict(_COUNTERS)
+
+
+def reset_packing_counters() -> None:
+    """Reset the global pack-call counters to zero."""
+    _COUNTERS["pack_calls"] = 0
+    _COUNTERS["elements_packed"] = 0
+
+
+@dataclasses.dataclass(eq=False, repr=False)
+class PackedTensor:
+    """A tensor decomposed into sign/exponent/significand planes.
+
+    Parameters
+    ----------
+    fmt:
+        The :class:`~repro.formats.floatfmt.FloatFormat` the values were
+        quantised to before decomposition.
+    sign:
+        ``uint32`` plane of 0/1 sign bits.
+    exponent:
+        ``int32`` plane of unbiased exponents (0 for zeros).
+    significand:
+        ``uint32`` plane of ``fmt.significand_bits``-wide integers with
+        the implicit leading one set (0 for zeros).
+
+    All three planes share one shape.  Instances are produced by
+    :func:`pack`; the planes are the *only* operand representation the
+    packed GEMM kernels touch, so building a ``PackedTensor`` up front
+    amortises the whole quantise+decompose front end across every
+    subsequent product.
+    """
+
+    fmt: FloatFormat
+    sign: np.ndarray
+    exponent: np.ndarray
+    significand: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.sign.shape == self.exponent.shape == self.significand.shape):
+            raise ValueError(
+                "plane shapes differ: "
+                f"{self.sign.shape} / {self.exponent.shape} / {self.significand.shape}"
+            )
+        self._dense: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.significand.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.significand.ndim
+
+    @property
+    def size(self) -> int:
+        return self.significand.size
+
+    def unpack(self) -> np.ndarray:
+        """Recompose the float32 values (equals ``quantize(src, fmt)``)."""
+        return compose(
+            self.sign, self.exponent, self.significand.astype(np.uint64), self.fmt
+        )
+
+    def dense(self) -> np.ndarray:
+        """The recomposed float32 array, computed once and cached.
+
+        Backends that need the quantised *values* rather than the planes
+        (e.g. ``QuantizedMatmul``) read this; repeated calls are free.
+        """
+        if self._dense is None:
+            self._dense = self.unpack()
+        return self._dense
+
+    def reshape(self, *shape: int) -> "PackedTensor":
+        """A view of the same planes with a new shape (numpy semantics)."""
+        out = PackedTensor(
+            self.fmt,
+            self.sign.reshape(*shape),
+            self.exponent.reshape(*shape),
+            self.significand.reshape(*shape),
+        )
+        out._dense = None if self._dense is None else self._dense.reshape(*shape)
+        return out
+
+    def __repr__(self) -> str:
+        return f"PackedTensor(fmt={self.fmt.name}, shape={self.shape})"
+
+
+def pack(values: np.ndarray, fmt: FloatFormat) -> "PackedTensor":
+    """Quantise ``values`` to ``fmt`` and decompose into planes, once.
+
+    This is the single entry point through which float tensors enter the
+    packed arithmetic pipeline — its call count is tracked in the global
+    packing counters precisely so callers can verify a value was packed
+    only once.
+    """
+    if isinstance(values, PackedTensor):
+        raise TypeError("values are already packed; pack() expects a float array")
+    arr = np.asarray(values, dtype=np.float32)
+    _COUNTERS["pack_calls"] += 1
+    _COUNTERS["elements_packed"] += arr.size
+    quantised = quantize(arr, fmt)
+    sign, exponent, significand = decompose(quantised, fmt)
+    packed = PackedTensor(fmt, sign, exponent, significand.astype(np.uint32))
+    packed._dense = quantised
+    return packed

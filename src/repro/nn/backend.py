@@ -8,14 +8,19 @@ touching model code:
 * quantised-only (bfloat16 storage, exact products),
 * full DAISM (bfloat16 + approximate in-SRAM products).
 
-A process-wide default backend can be set temporarily with
-:func:`use_backend` — this is how the Fig. 4 benchmark runs the *same*
-trained model under different arithmetic.
+A default backend can be set temporarily with :func:`use_backend` —
+this is how the Fig. 4 benchmark runs the *same* trained model under
+different arithmetic.  The default is **thread-local**: concurrent
+in-process sweeps (e.g. threads evaluating one model under different
+configurations) each see their own default and cannot race each other's
+``use_backend`` scopes.  A thread that never set a default falls back to
+exact float32.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 
 from ..core.config import MultiplierConfig
 from ..core.gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul
@@ -32,19 +37,27 @@ __all__ = [
     "BfpMatmul",
 ]
 
-_DEFAULT: MatmulBackend = ExactMatmul()
+#: Fallback for threads that never set their own default.
+_FALLBACK: MatmulBackend = ExactMatmul()
+
+_STATE = threading.local()
 
 
 def default_backend() -> MatmulBackend:
-    """The backend used when a layer is not given an explicit one."""
-    return _DEFAULT
+    """The backend used when a layer is not given an explicit one.
+
+    Reads this thread's default; threads that have not called
+    :func:`set_default_backend` (directly or via :func:`use_backend`)
+    see the exact float32 fallback.
+    """
+    backend = getattr(_STATE, "backend", None)
+    return backend if backend is not None else _FALLBACK
 
 
 def set_default_backend(backend: MatmulBackend) -> MatmulBackend:
-    """Set the process-wide backend; returns the previous one."""
-    global _DEFAULT
-    previous = _DEFAULT
-    _DEFAULT = backend
+    """Set *this thread's* default backend; returns the previous one."""
+    previous = default_backend()
+    _STATE.backend = backend
     return previous
 
 
@@ -98,11 +111,28 @@ class BfpMatmul(MatmulBackend):
         suffix = self.config.name if self.config else "exact"
         return f"bfp{self.mantissa_bits}_{suffix}"
 
+    @property
+    def prepare_key(self) -> str:  # type: ignore[override]
+        return f"bfp{self.mantissa_bits}"
+
+    def prepare(self, b):
+        """Quantise a static operand into its BFP block once."""
+        if isinstance(b, self._block_float):
+            if b.mantissa_bits != self.mantissa_bits:
+                raise ValueError(
+                    f"block has {b.mantissa_bits}-bit mantissas, backend expects "
+                    f"{self.mantissa_bits}"
+                )
+            return b
+        return self._block_float.from_float(b, self.mantissa_bits)
+
     def matmul(self, a, b):
         import numpy as np
 
-        block_a = self._block_float.from_float(a, self.mantissa_bits)
-        block_b = self._block_float.from_float(b, self.mantissa_bits)
+        block_a = a if isinstance(a, self._block_float) else self._block_float.from_float(
+            a, self.mantissa_bits
+        )
+        block_b = self.prepare(b)
         return self._bfp_matmul(block_a, block_b, config=self.config).astype(np.float32)
 
 

@@ -89,10 +89,16 @@ def conv2d_forward(
     stride: int,
     padding: int,
     backend: MatmulBackend | None = None,
+    prepared_weight=None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Convolution via im2col GEMM.  Returns ``(output, cols_cache)``.
+    """Convolution via one batched im2col GEMM.  Returns ``(output, cols_cache)``.
 
-    ``weight`` has shape ``(F, C, K, K)``.
+    ``weight`` has shape ``(F, C, K, K)``.  The whole batch runs as a
+    single ``(N, OH*OW, C*K*K) @ (C*K*K, F)`` GEMM on the backend.
+    ``prepared_weight``, when given, is a backend-prepared form of the
+    flattened-transposed kernel matrix (``backend.prepare`` of the
+    ``(C*K*K, F)`` matrix) — layers pass their cached packed weights here
+    so inference performs zero per-call weight packing.
     """
     backend = backend or default_backend()
     n, _c, h, w = x.shape
@@ -101,10 +107,10 @@ def conv2d_forward(
     ow = _out_size(w, kernel, stride, padding)
 
     cols = im2col(x, kernel, stride, padding)
-    wmat = weight.reshape(f, -1).T  # (C*K*K, F)
-    out = backend.matmul(cols, wmat)
+    wmat = prepared_weight if prepared_weight is not None else weight.reshape(f, -1).T
+    out = backend.matmul(cols.reshape(n, oh * ow, -1), wmat)
     if bias is not None:
-        out = out + bias[None, :]
+        out = out + bias[None, None, :]
     out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
     return np.ascontiguousarray(out, dtype=np.float32), cols
 
@@ -117,12 +123,15 @@ def conv2d_backward(
     stride: int,
     padding: int,
     backend: MatmulBackend | None = None,
+    prepared_weight=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gradients of the im2col convolution: ``(dx, dweight, dbias)``.
 
     The two backward GEMMs also run on the configured backend — on the
     accelerator, training's backward passes are the same in-SRAM GEMMs
-    (the paper targets "DNN Training and Inference").
+    (the paper targets "DNN Training and Inference").  ``prepared_weight``
+    is an optional backend-prepared form of the flattened ``(F, C*K*K)``
+    kernel matrix used by the ``dcols`` GEMM.
     """
     backend = backend or default_backend()
     f, c, kernel, _ = weight.shape
@@ -131,7 +140,8 @@ def conv2d_backward(
 
     dbias = grad_mat.sum(axis=0)
     dweight = backend.matmul(grad_mat.T, cols).reshape(f, c, kernel, kernel)
-    dcols = backend.matmul(grad_mat, weight.reshape(f, -1))
+    wrows = prepared_weight if prepared_weight is not None else weight.reshape(f, -1)
+    dcols = backend.matmul(grad_mat, wrows)
     dx = col2im(dcols, x_shape, kernel, stride, padding)
     return dx.astype(np.float32), dweight.astype(np.float32), dbias.astype(np.float32)
 

@@ -33,12 +33,24 @@ __all__ = [
 
 
 class Parameter:
-    """A learnable tensor with its gradient accumulator."""
+    """A learnable tensor with its gradient accumulator.
+
+    ``version`` counts value updates: the optimisers and the weight
+    loaders call :meth:`mark_updated` after mutating ``data``, and the
+    layers' prepared-weight caches use the counter to decide whether
+    their packed copy is still current.  Code that writes ``data`` in
+    place by hand must call :meth:`mark_updated` as well.
+    """
 
     def __init__(self, data: np.ndarray, name: str = "param"):
         self.data = np.asarray(data, dtype=np.float32)
         self.grad = np.zeros_like(self.data)
         self.name = name
+        self.version = 0
+
+    def mark_updated(self) -> None:
+        """Record that ``data`` changed, invalidating prepared caches."""
+        self.version += 1
 
     def zero_grad(self) -> None:
         self.grad[...] = 0.0
@@ -93,6 +105,35 @@ def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> n
     return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(np.float32)
 
 
+class _PreparedWeightCache:
+    """Backend-prepared (e.g. packed) views of one Parameter, cached.
+
+    Entries are keyed by ``(backend.prepare_key, orientation)`` and
+    stamped with the parameter's version: an optimiser step (or weight
+    load) bumps the version and silently invalidates every entry, while
+    repeated inference reuses the prepared operand with zero re-quantise
+    or decompose work.  Backends with the same ``prepare_key`` (every
+    DAISM config over one format, plus the quantised backend of that
+    format) share a single entry.
+    """
+
+    _MAX_ENTRIES = 8
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], tuple[int, object]] = {}
+
+    def get(self, backend: MatmulBackend, param: Parameter, orientation: str, build):
+        key = (backend.prepare_key, orientation)
+        hit = self._entries.get(key)
+        if hit is not None and hit[0] == param.version:
+            return hit[1]
+        prepared = backend.prepare(build())
+        if key not in self._entries and len(self._entries) >= self._MAX_ENTRIES:
+            self._entries.pop(next(iter(self._entries)))  # FIFO, evict one
+        self._entries[key] = (param.version, prepared)
+        return prepared
+
+
 class Conv2d(Module):
     """2-D convolution via the backend GEMM (He initialisation)."""
 
@@ -117,12 +158,17 @@ class Conv2d(Module):
         self.padding = padding
         self.backend = backend
         self._cache: tuple | None = None
+        self._prepared = _PreparedWeightCache()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         backend = self.backend or default_backend()
+        f = self.weight.data.shape[0]
+        wmat = self._prepared.get(
+            backend, self.weight, "fwd", lambda: self.weight.data.reshape(f, -1).T
+        )
         out, cols = F.conv2d_forward(
             x, self.weight.data, self.bias.data if self.bias else None,
-            self.stride, self.padding, backend,
+            self.stride, self.padding, backend, prepared_weight=wmat,
         )
         self._cache = (x.shape, cols)
         return out
@@ -132,8 +178,13 @@ class Conv2d(Module):
             raise RuntimeError("backward called before forward")
         backend = self.backend or default_backend()
         x_shape, cols = self._cache
+        f = self.weight.data.shape[0]
+        wrows = self._prepared.get(
+            backend, self.weight, "bwd", lambda: self.weight.data.reshape(f, -1)
+        )
         dx, dw, db = F.conv2d_backward(
-            grad, x_shape, cols, self.weight.data, self.stride, self.padding, backend
+            grad, x_shape, cols, self.weight.data, self.stride, self.padding, backend,
+            prepared_weight=wrows,
         )
         self.weight.grad += dw
         if self.bias is not None:
@@ -159,11 +210,13 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
         self.backend = backend
         self._x: np.ndarray | None = None
+        self._prepared = _PreparedWeightCache()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         backend = self.backend or default_backend()
         self._x = x
-        out = backend.matmul(x, self.weight.data.T)
+        wt = self._prepared.get(backend, self.weight, "fwd", lambda: self.weight.data.T)
+        out = backend.matmul(x, wt)
         if self.bias is not None:
             out = out + self.bias.data[None, :]
         return out.astype(np.float32)
@@ -175,7 +228,8 @@ class Linear(Module):
         self.weight.grad += backend.matmul(grad.T, self._x)
         if self.bias is not None:
             self.bias.grad += grad.sum(axis=0)
-        return backend.matmul(grad, self.weight.data).astype(np.float32)
+        w = self._prepared.get(backend, self.weight, "bwd", lambda: self.weight.data)
+        return backend.matmul(grad, w).astype(np.float32)
 
 
 class ReLU(Module):

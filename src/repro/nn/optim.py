@@ -45,6 +45,7 @@ class SGD:
             v *= self.momentum
             v += grad
             p.data -= self.lr * v
+            p.mark_updated()
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -100,6 +101,7 @@ class Adam:
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.mark_updated()
 
     def zero_grad(self) -> None:
         for p in self.parameters:

@@ -61,6 +61,7 @@ def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
         if data.shape != p.data.shape:
             raise ValueError(f"{key}: shape {data.shape} != model {p.data.shape}")
         p.data[...] = data
+        p.mark_updated()
     bns = _batchnorms(model)
     for i, bn in enumerate(bns):
         mean_key = f"bn_{i:03d}_running_mean"

@@ -1,0 +1,114 @@
+"""Tests for the quantise-once PackedTensor pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.formats.floatfmt import (
+    BFLOAT16,
+    FLOAT8_E4M3,
+    FLOAT16,
+    FLOAT32,
+    decompose,
+    quantize,
+)
+from repro.formats.packed import (
+    PackedTensor,
+    pack,
+    packing_counters,
+    reset_packing_counters,
+)
+
+FORMATS = [FLOAT32, BFLOAT16, FLOAT16, FLOAT8_E4M3]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_packing_counters()
+    yield
+    reset_packing_counters()
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_roundtrip_equals_quantize(self, fmt):
+        rng = np.random.default_rng(0)
+        x = (rng.standard_normal((13, 7)) * 2.0 ** rng.integers(-10, 10, (13, 7))).astype(
+            np.float32
+        )
+        x[0, :3] = 0.0
+        x[1, 0] = -0.0
+        packed = pack(x, fmt)
+        want = quantize(x, fmt)
+        np.testing.assert_array_equal(
+            packed.unpack().view(np.uint32), want.view(np.uint32)
+        )
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_planes_match_decompose(self, fmt):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        packed = pack(x, fmt)
+        sign, exponent, significand = decompose(quantize(x, fmt), fmt)
+        np.testing.assert_array_equal(packed.sign, sign)
+        np.testing.assert_array_equal(packed.exponent, exponent)
+        np.testing.assert_array_equal(packed.significand, significand.astype(np.uint32))
+
+    def test_dense_is_cached_and_correct(self):
+        x = np.linspace(-3, 3, 12, dtype=np.float32).reshape(3, 4)
+        packed = pack(x, BFLOAT16)
+        first = packed.dense()
+        np.testing.assert_array_equal(
+            first.view(np.uint32), quantize(x, BFLOAT16).view(np.uint32)
+        )
+        assert packed.dense() is first
+
+    def test_shape_properties(self):
+        packed = pack(np.zeros((2, 3, 4), dtype=np.float32), BFLOAT16)
+        assert packed.shape == (2, 3, 4)
+        assert packed.ndim == 3
+        assert packed.size == 24
+
+    def test_reshape_preserves_values(self):
+        x = np.arange(24, dtype=np.float32).reshape(4, 6)
+        packed = pack(x, BFLOAT16).reshape(2, 12)
+        assert packed.shape == (2, 12)
+        np.testing.assert_array_equal(
+            packed.unpack(), quantize(x, BFLOAT16).reshape(2, 12)
+        )
+
+    def test_mismatched_planes_rejected(self):
+        with pytest.raises(ValueError, match="plane shapes differ"):
+            PackedTensor(
+                BFLOAT16,
+                np.zeros((2, 2), dtype=np.uint32),
+                np.zeros((2, 3), dtype=np.int32),
+                np.zeros((2, 2), dtype=np.uint32),
+            )
+
+    def test_pack_of_packed_rejected(self):
+        packed = pack(np.ones((2, 2), dtype=np.float32), BFLOAT16)
+        with pytest.raises(TypeError, match="already packed"):
+            pack(packed, BFLOAT16)
+
+
+class TestCounters:
+    def test_pack_increments_counters(self):
+        assert packing_counters() == {"pack_calls": 0, "elements_packed": 0}
+        pack(np.zeros((3, 5), dtype=np.float32), BFLOAT16)
+        pack(np.zeros(7, dtype=np.float32), FLOAT16)
+        counters = packing_counters()
+        assert counters["pack_calls"] == 2
+        assert counters["elements_packed"] == 22
+
+    def test_reset(self):
+        pack(np.zeros(4, dtype=np.float32), BFLOAT16)
+        reset_packing_counters()
+        assert packing_counters() == {"pack_calls": 0, "elements_packed": 0}
+
+    def test_unpack_and_dense_do_not_count(self):
+        packed = pack(np.ones((2, 2), dtype=np.float32), BFLOAT16)
+        before = packing_counters()
+        packed.unpack()
+        packed.dense()
+        packed.dense()
+        assert packing_counters() == before

@@ -64,3 +64,57 @@ class TestLayerBackendInteraction:
         with use_backend(daism_backend(FLA)):
             pinned = layer(x)
         np.testing.assert_allclose(pinned, x @ layer.weight.data.T + layer.bias.data, rtol=1e-5)
+
+
+class TestThreadLocalDefault:
+    def test_threads_do_not_see_each_others_default(self):
+        import threading
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name, backend):
+            with use_backend(backend):
+                barrier.wait()  # both threads are inside their contexts
+                results[name] = default_backend()
+                barrier.wait()
+
+        approx = daism_backend(PC3_TR)
+        quant = quantized_backend(BFLOAT16)
+        threads = [
+            threading.Thread(target=worker, args=("a", approx)),
+            threading.Thread(target=worker, args=("b", quant)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results["a"] is approx
+        assert results["b"] is quant
+
+    def test_main_thread_unaffected_by_worker_default(self):
+        import threading
+
+        before = default_backend()
+
+        def worker():
+            set_default_backend(daism_backend(FLA))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert default_backend() is before
+
+    def test_fresh_thread_falls_back_to_exact(self):
+        import threading
+
+        with use_backend(daism_backend(PC3_TR)):
+            seen = {}
+
+            def worker():
+                seen["backend"] = default_backend()
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert isinstance(seen["backend"], ExactMatmul)

@@ -1,0 +1,42 @@
+"""Smoke test for the perf-trajectory harness (benchmarks/perf)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+HARNESS = REPO / "benchmarks" / "perf" / "bench_perf.py"
+
+
+def test_quick_run_writes_valid_artifact(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    env_src = str(REPO / "src")
+    result = subprocess.run(
+        [sys.executable, str(HARNESS), "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro-perf/1"
+    assert report["quick"] is True
+
+    assert len(report["matmul"]) == 4
+    for row in report["matmul"]:
+        assert row["ms_per_call"] > 0
+        assert row["mmacs_per_s"] > 0
+    variants = {(r["backend"], r["variant"]) for r in report["matmul"]}
+    assert ("approx_bfloat16_PC3_tr", "prepared") in variants
+    assert ("approx_bfloat16_PC3_tr", "raw") in variants
+    assert ("exact_float32", "raw") in variants
+
+    net = report["network"]
+    assert net["model"] == "lenet"
+    assert net["samples"] == 32
+    assert net["ms_total"] > 0
+    # The acceptance property: a steady-state inference pass performs no
+    # weight re-quantise/decompose work.
+    assert net["repack_free"] is True
