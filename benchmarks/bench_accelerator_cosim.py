@@ -1,0 +1,82 @@
+"""Extension — accelerator co-simulation suite.
+
+Thin wrapper over the three registered accelerator experiments
+(``python -m repro reproduce dse_sweep network_latency fault_sensitivity
+--workers 4``): whole-network design-space grids with the Pareto front
+marked, end-to-end latency vs the Eyeriss baseline across edge and
+datacenter workloads, and the fault-rate x dead-wordline error grid on
+the vectorized bit-plane readout.
+"""
+
+from repro.analysis.reporting import format_table, title
+from repro.experiments import experiment_rows
+from repro.experiments.defs.accelerator import fault_error_matrix
+
+
+def dse_rows() -> list[dict[str, object]]:
+    return experiment_rows("dse_sweep")
+
+
+def latency_rows() -> list[dict[str, object]]:
+    return experiment_rows("network_latency")
+
+
+def fault_rows() -> list[dict[str, object]]:
+    return experiment_rows("fault_sensitivity")
+
+
+def render(rows=None) -> str:
+    return (
+        title("Extension: design-space grids per workload (Pareto-marked)")
+        + "\n"
+        + format_table(rows or dse_rows())
+    )
+
+
+def test_dse_grid_has_pareto_front(capsys):
+    rows = dse_rows()
+    for workload in {r["workload"] for r in rows}:
+        sub = [r for r in rows if r["workload"] == workload]
+        front = [r for r in sub if r["pareto"]]
+        assert front, workload
+        # Front members are mutually non-dominated on (cycles, area).
+        for a in front:
+            for b in front:
+                assert not (
+                    (b["cycles"] <= a["cycles"] and b["area [mm2]"] < a["area [mm2]"])
+                    or (b["cycles"] < a["cycles"] and b["area [mm2]"] <= a["area [mm2]"])
+                )
+    with capsys.disabled():
+        print(render(rows))
+
+
+def test_network_latency_daism_wins_cycles(capsys):
+    rows = latency_rows()
+    by_key = {(r["network"], r["batch"], r["design"]): r for r in rows}
+    for (network, batch, design), row in by_key.items():
+        if design.startswith("DAISM"):
+            eyeriss = by_key[(network, batch, "Eyeriss 12x14")]
+            assert eyeriss["cycles"] > row["cycles"], (network, batch)
+    with capsys.disabled():
+        print(title("Extension: network latency vs Eyeriss") + "\n" + format_table(rows))
+
+
+def test_fault_sensitivity_monotone_in_rate(capsys):
+    rows = fault_rows()
+    for dead in {r["dead row rate"] for r in rows}:
+        sub = [r for r in rows if r["dead row rate"] == dead]
+        errors = [float(r["extra rel. error (mean)"]) for r in sub]
+        assert all(a <= b + 1e-3 for a, b in zip(errors, errors[1:]))
+    with capsys.disabled():
+        print(title("Extension: fault sensitivity grid") + "\n" + format_table(rows))
+
+
+def test_bench_vectorized_fault_grid(benchmark):
+    err = benchmark.pedantic(
+        fault_error_matrix, args=(0.01, 0.01, 0), rounds=2, iterations=1
+    )
+    assert float(err.mean()) >= 0.0
+
+
+if __name__ == "__main__":
+    print(render())

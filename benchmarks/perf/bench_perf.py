@@ -8,7 +8,11 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
   packing (``raw``) and against a pre-packed weight (``prepared``);
 * **end-to-end network latency**: LeNet inference over a test set under
   the bfloat16 PC3_tr DAISM backend, with the packing counters recorded
-  to prove the steady state performs zero weight re-pack work.
+  to prove the steady state performs zero weight re-pack work;
+* **fault-injection sweep**: the ``fault_sensitivity`` error grid
+  computed on the scalar row-by-row SRAM readout vs the vectorized
+  bit-plane path (``ComputeBank.multiply_batch``), with the products
+  asserted bit-identical and the speedup recorded.
 
 Run::
 
@@ -120,6 +124,54 @@ def network_latency(quick: bool) -> dict:
     }
 
 
+def fault_sweep(quick: bool) -> dict:
+    """Scalar vs vectorized fault-injection sweep (the co-sim hot path).
+
+    Runs the same ``fault_error_matrix`` grid the ``fault_sensitivity``
+    experiment sweeps, once through the scalar row-by-row readout and
+    once through the packed bit-plane batch path, asserting the error
+    matrices (and hence the underlying uint64 products) are identical
+    before reporting the speedup.
+    """
+    from repro.experiments.defs.accelerator import fault_error_matrix
+
+    points = (
+        [(0.01, 0.01, 0)]
+        if quick
+        else [(rate, dead, seed) for rate in (0.001, 0.01, 0.05) for dead in (0.0, 0.01) for seed in (0, 1)]
+    )
+
+    def timed_sweep(vectorized: bool, reps: int) -> tuple[list, float]:
+        """Best-of-``reps`` sweep time plus the (deterministic) results.
+
+        No separate warmup pass: the sweep is pure python + numpy (no JIT
+        to prime), and taking the min over reps absorbs cold-start noise.
+        """
+        best = float("inf")
+        rows = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            rows = [
+                fault_error_matrix(rate, dead, seed, vectorized=vectorized)
+                for rate, dead, seed in points
+            ]
+            best = min(best, time.perf_counter() - t0)
+        return rows, best
+
+    reps = 1 if quick else 3  # identical rep counts: min-of-N must not
+    scalar_rows, scalar_s = timed_sweep(False, reps)  # favour either path
+    vector_rows, vector_s = timed_sweep(True, reps)
+    for a, b in zip(scalar_rows, vector_rows):
+        np.testing.assert_array_equal(a, b)  # bit-identical readout paths
+    return {
+        "points": len(points),
+        "scalar_ms": round(scalar_s * 1e3, 2),
+        "vectorized_ms": round(vector_s * 1e3, 2),
+        "speedup_x": round(scalar_s / vector_s, 1),
+        "bit_identical": True,
+    }
+
+
 def run(out_path: str, quick: bool = False) -> dict:
     """Execute the harness and write the JSON artifact to ``out_path``."""
     report = {
@@ -130,6 +182,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "quick": quick,
         "matmul": matmul_rows(quick),
         "network": network_latency(quick),
+        "fault_sweep": fault_sweep(quick),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -156,6 +209,12 @@ def main() -> None:
     print(
         f"  lenet/{net['backend']}: {net['ms_total']} ms for {net['samples']}"
         f" samples ({net['ms_per_sample']} ms/sample), repack_free={net['repack_free']}"
+    )
+    fs = report["fault_sweep"]
+    print(
+        f"  fault sweep ({fs['points']} pts): scalar {fs['scalar_ms']} ms ->"
+        f" vectorized {fs['vectorized_ms']} ms ({fs['speedup_x']}x,"
+        f" bit_identical={fs['bit_identical']})"
     )
 
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro reproduce fig4_accuracy --workers 3
     python -m repro reproduce --all --out results/
     python -m repro reproduce ablation_faults --no-cache
+    python -m repro reproduce dse_sweep network_latency fault_sensitivity --workers 4
 
 The quick artefact names (``table1`` .. ``fig8``) are the legacy
 renderers kept for interactive use; ``reproduce`` drives the unified
@@ -145,6 +146,20 @@ def reproduce(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro reproduce",
         description="Run registered paper experiments (parallel, cached).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  python -m repro reproduce fig5_energy_breakdown\n"
+            "  python -m repro reproduce fig4_accuracy --workers 3\n"
+            "  python -m repro reproduce dse_sweep --workers 4 --out results/\n"
+            "  python -m repro reproduce network_latency --set network=transformer_block\n"
+            "  python -m repro reproduce fault_sensitivity --set dead_row_rate=0.01 --no-cache\n"
+            "  python -m repro reproduce --all --workers 4 --out results/\n"
+            "\n"
+            "EXPERIMENTS.md documents every experiment with a copy-pasteable\n"
+            "end-to-end command; ARCHITECTURE.md maps experiments to paper\n"
+            "sections."
+        ),
     )
     parser.add_argument("names", nargs="*", help="experiment names (see --list)")
     parser.add_argument("--list", action="store_true", help="list experiments and exit")

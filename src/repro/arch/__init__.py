@@ -10,10 +10,23 @@ from .compare import (
     table3_rows,
 )
 from .daism import AreaBreakdown, DaismDesign
-from .dse import EvaluatedDesign, best_under_area, enumerate_designs, smallest_meeting_cycles
+from .dse import (
+    EvaluatedDesign,
+    best_under_area,
+    enumerate_designs,
+    evaluate_grid,
+    smallest_meeting_cycles,
+)
 from .eyeriss import EyerissDesign
 from .layout_mapper import MappingResult, build_rows, map_layer, tap_masks
-from .network_runner import LayerReport, NetworkReport, compare_with_eyeriss, run_network
+from .model import AcceleratorModel
+from .network_runner import (
+    LayerReport,
+    NetworkReport,
+    compare_designs,
+    compare_with_eyeriss,
+    run_network,
+)
 from .scheduler import CycleSimResult, simulate_layer
 from .pim_baselines import T_PIM, Z_PIM, PimBaseline, pim_baselines
 from .preload import PreloadReport, preload_analysis
@@ -21,9 +34,13 @@ from .workloads import (
     ConvLayer,
     alexnet_like_layers,
     lenet_like_layers,
+    mobilenet_edge_layers,
     resnet_mini_layers,
+    transformer_block_layers,
     vgg8_conv1,
     vgg8_layers,
+    workload_by_name,
+    workload_names,
 )
 
 __all__ = [
@@ -34,11 +51,13 @@ __all__ = [
     "pareto_front",
     "table2",
     "table3_rows",
+    "AcceleratorModel",
     "AreaBreakdown",
     "DaismDesign",
     "EvaluatedDesign",
     "best_under_area",
     "enumerate_designs",
+    "evaluate_grid",
     "smallest_meeting_cycles",
     "EyerissDesign",
     "MappingResult",
@@ -47,6 +66,7 @@ __all__ = [
     "tap_masks",
     "LayerReport",
     "NetworkReport",
+    "compare_designs",
     "compare_with_eyeriss",
     "run_network",
     "CycleSimResult",
@@ -60,7 +80,11 @@ __all__ = [
     "ConvLayer",
     "alexnet_like_layers",
     "lenet_like_layers",
+    "mobilenet_edge_layers",
     "resnet_mini_layers",
+    "transformer_block_layers",
     "vgg8_conv1",
     "vgg8_layers",
+    "workload_by_name",
+    "workload_names",
 ]

@@ -154,12 +154,16 @@ def fig8_breakdown(
     return rows
 
 
-def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
-    """Cycles-vs-area Pareto-optimal subset of Fig. 7 points.
+def pareto_front(points):
+    """Cycles-vs-area Pareto-optimal subset of design points.
 
     A point survives iff no other point is at least as good on both axes
     and strictly better on one — the designs a user would actually pick
-    from the trade-off.
+    from the trade-off.  Accepts any objects with ``cycles`` and
+    ``area_mm2`` attributes (:class:`DesignPoint`,
+    :class:`~repro.arch.dse.EvaluatedDesign`, ...), returned sorted by
+    cycles.  Exact duplicates do not dominate each other, so tied
+    optima all survive.
     """
     front = []
     for p in points:

@@ -24,6 +24,7 @@ for bfloat16), which reproduces the paper's PE counts (512 PEs for
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from ..core.config import PC3_TR, MultiplierConfig
 from ..energy import components
@@ -58,17 +59,21 @@ class AreaBreakdown:
 
     @property
     def total(self) -> float:
+        """Total on-chip area [mm^2]."""
         return self.sram + self.pe_digital + self.bank_overhead + self.scratchpad_control
 
     @property
     def sram_fraction(self) -> float:
+        """Compute-SRAM share of the total area."""
         return self.sram / self.total
 
     @property
     def digital_fraction(self) -> float:
+        """Everything-but-SRAM share of the total area."""
         return 1.0 - self.sram_fraction
 
     def as_dict(self) -> dict[str, float]:
+        """The component areas as a plain dict (report rows)."""
         return {
             "sram": self.sram,
             "pe_digital": self.pe_digital,
@@ -97,19 +102,23 @@ class DaismDesign:
 
     @property
     def bank_bytes(self) -> int:
+        """Capacity of one compute bank [bytes]."""
         return self.bank_kb * 1024
 
     @property
     def total_sram_bytes(self) -> int:
+        """Compute SRAM across all banks [bytes]."""
         return self.banks * self.bank_bytes
 
     @property
     def side_bits(self) -> int:
+        """Side length of the square bank array [bits]."""
         side, _ = CactiLite.square_geometry(self.bank_bytes)
         return side
 
     @property
     def layout(self) -> KernelLayout:
+        """Per-element wordline layout of this config/datatype."""
         return KernelLayout(self.config, self.fmt.significand_bits)
 
     @property
@@ -119,14 +128,17 @@ class DaismDesign:
 
     @property
     def pes_per_bank(self) -> int:
+        """Result slots (PEs) one bank computes per cycle."""
         return self.side_bits // self.pe_slot_bits
 
     @property
     def total_pes(self) -> int:
+        """PEs across all banks (peak MACs per cycle)."""
         return self.banks * self.pes_per_bank
 
     @property
     def element_rows_per_bank(self) -> int:
+        """Kernel element rows (line groups) one bank holds."""
         return self.side_bits // self.layout.padded_lines
 
     @property
@@ -137,18 +149,49 @@ class DaismDesign:
 
     @property
     def name(self) -> str:
+        """Design label, e.g. ``DAISM 16x8kB PC3_tr bfloat16``."""
         return f"DAISM {self.banks}x{self.bank_kb}kB {self.config.name} {self.fmt.name}"
 
     # -- performance ---------------------------------------------------------
 
+    @functools.lru_cache(maxsize=1024)
     def map_conv(self, layer: ConvLayer) -> MappingResult:
-        """Map a conv layer onto this design (exact cycles/utilisation)."""
+        """Map a conv layer onto this design (exact cycles/utilisation).
+
+        Memoized: design and layer are frozen value objects, and the
+        per-layer protocol accessors below each read one field of the
+        same mapping — without the cache a ``run_network`` call would
+        re-run the mapper five times per layer.
+        """
         return map_layer(
             layer,
             pes_per_row=self.pes_per_bank,
             banks=self.banks,
             bank_element_rows=self.element_rows_per_bank,
         )
+
+    # The per-layer protocol surface (repro.arch.model.AcceleratorModel)
+    # is a thin view over one map_conv result.
+
+    def cycles(self, layer: ConvLayer) -> int:
+        """Single-image cycles (busiest bank) for one layer."""
+        return self.map_conv(layer).cycles
+
+    def steady_cycles(self, layer: ConvLayer) -> int:
+        """Sustained cycles per image at large batch (bank-balanced)."""
+        return self.map_conv(layer).throughput_cycles
+
+    def macs(self, layer: ConvLayer) -> int:
+        """MACs issued for one layer (zero-padding taps bypassed)."""
+        return self.map_conv(layer).macs
+
+    def utilization(self, layer: ConvLayer) -> float:
+        """Single-image utilisation of the PE array on one layer."""
+        return self.map_conv(layer).utilization
+
+    def passes(self, layer: ConvLayer) -> int:
+        """Kernel load passes when the layer exceeds the compute SRAM."""
+        return self.map_conv(layer).passes
 
     def latency_s(self, layer: ConvLayer) -> float:
         """Single-image latency for one layer."""

@@ -7,6 +7,13 @@ appropriate number of banks and memory size"): grid-search bank count ×
 bank size, evaluate each design on a workload, and answer constrained
 queries such as *smallest design meeting a cycle budget* or *fastest
 design under an area cap*.
+
+Single-layer queries (:func:`enumerate_designs` and friends) keep the
+paper's Fig. 7 frame; :func:`evaluate_grid` evaluates the grid on a
+*whole network* through :func:`~repro.arch.network_runner.run_network`
+(any :class:`~repro.arch.model.AcceleratorModel` metric set) and marks
+the cycles-vs-area Pareto front — the engine behind the registered
+``dse_sweep`` experiment, which fans grids out over worker processes.
 """
 
 from __future__ import annotations
@@ -18,7 +25,13 @@ from ..formats.floatfmt import BFLOAT16, FloatFormat
 from .daism import DaismDesign
 from .workloads import ConvLayer
 
-__all__ = ["EvaluatedDesign", "enumerate_designs", "best_under_area", "smallest_meeting_cycles"]
+__all__ = [
+    "EvaluatedDesign",
+    "enumerate_designs",
+    "best_under_area",
+    "evaluate_grid",
+    "smallest_meeting_cycles",
+]
 
 #: Default grid: the paper's bank counts and square-capable sizes.
 DEFAULT_BANKS = (1, 2, 4, 8, 16, 32)
@@ -36,6 +49,7 @@ class EvaluatedDesign:
 
     @property
     def name(self) -> str:
+        """Grid label, e.g. ``16x8kB``."""
         return f"{self.design.banks}x{self.design.bank_kb}kB"
 
 
@@ -85,3 +99,66 @@ def smallest_meeting_cycles(
     if not candidates:
         raise ValueError(f"no design meets {cycle_budget} cycles")
     return min(candidates, key=lambda e: (e.area_mm2, e.cycles))
+
+
+def evaluate_grid(
+    layers: list[ConvLayer],
+    banks_grid: tuple[int, ...] = DEFAULT_BANKS,
+    bank_kb_grid: tuple[int, ...] = DEFAULT_BANK_KB,
+    config: MultiplierConfig = PC3_TR,
+    fmt: FloatFormat = BFLOAT16,
+    batch: int = 1,
+) -> list[dict[str, object]]:
+    """Whole-network grid evaluation with Pareto marking (``dse_sweep``).
+
+    Every ``banks x bank_kb`` design executes the full layer list via
+    :func:`~repro.arch.network_runner.run_network`; each row carries
+    batch-amortised cycles, latency, energy, area, GOPS/mW and whether
+    the point is on the cycles-vs-area Pareto front.  Rows come back in
+    deterministic grid order (banks-major), so sweeps cache and compare
+    stably across worker counts.
+    """
+    from .compare import pareto_front
+    from .network_runner import run_network
+
+    reports = []
+    evaluated = []
+    for banks in banks_grid:
+        for bank_kb in bank_kb_grid:
+            design = DaismDesign(banks=banks, bank_kb=bank_kb, config=config, fmt=fmt)
+            report = run_network(design, layers)
+            reports.append(report)
+            evaluated.append(
+                EvaluatedDesign(
+                    design=design,
+                    cycles=report.batch_cycles(batch),
+                    area_mm2=design.area_mm2(),
+                    utilization=report.mean_utilization,
+                )
+            )
+    # Value equality marks exact grid duplicates together (either both on
+    # the front or both off), which is what a reader of the rows expects.
+    front = pareto_front(evaluated)
+
+    rows: list[dict[str, object]] = []
+    for entry, report in zip(evaluated, reports):
+        design = entry.design
+        seconds = entry.cycles / batch / design.clock_hz
+        gops = 2.0 * report.total_macs / seconds / 1e9
+        power = design.power_mw(entry.utilization)
+        rows.append(
+            {
+                "design": entry.name,
+                "banks": design.banks,
+                "bank_kb": design.bank_kb,
+                "batch": batch,
+                "cycles": entry.cycles,
+                "ms/img": round(seconds * 1e3, 3),
+                "util": round(entry.utilization, 3),
+                "area [mm2]": round(entry.area_mm2, 3),
+                "GOPS": round(gops, 1),
+                "GOPS/mW": round(gops / power, 3) if power else 0.0,
+                "pareto": entry in front,
+            }
+        )
+    return rows

@@ -51,10 +51,12 @@ class EyerissDesign:
 
     @property
     def total_pes(self) -> int:
+        """PEs in the row-stationary array (168 as published)."""
         return self.pe_rows * self.pe_cols
 
     @property
     def name(self) -> str:
+        """Design label, e.g. ``Eyeriss 12x14``."""
         return f"Eyeriss {self.pe_rows}x{self.pe_cols}"
 
     # -- performance ----------------------------------------------------
@@ -83,7 +85,24 @@ class EyerissDesign:
             raise ValueError(f"layer {layer.name} cannot be mapped")
         return int(round(layer.macs_dense / (self.total_pes * util)))
 
+    def steady_cycles(self, layer: ConvLayer) -> int:
+        """Sustained cycles per image: no cross-image overlap, so = cycles."""
+        return self.cycles(layer)
+
+    def macs(self, layer: ConvLayer) -> int:
+        """Dense MAC accounting (padding taps included, as Timeloop)."""
+        return layer.macs_dense
+
+    def utilization(self, layer: ConvLayer) -> float:
+        """Effective utilisation: spatial mapping x temporal efficiency."""
+        return self.spatial_utilization(layer) * TEMPORAL_EFFICIENCY
+
+    def passes(self, layer: ConvLayer) -> int:
+        """Row-stationary tiling streams weights; no whole-array reloads."""
+        return 1
+
     def latency_s(self, layer: ConvLayer) -> float:
+        """Single-image latency for one layer."""
         return self.cycles(layer) / self.clock_hz
 
     def gops(self, layer: ConvLayer) -> float:

@@ -54,6 +54,7 @@ class MappingResult:
 
     @property
     def total_pes(self) -> int:
+        """PEs across all banks under this mapping."""
         return self.banks * self.pes_per_row
 
     def __str__(self) -> str:
@@ -90,8 +91,10 @@ def build_rows(
     ``(channel, kh, kw, element_count)`` entries.  Slices are row-aligned:
     a slice of F elements takes ``ceil(F / pes)`` dedicated rows when it
     does not fit in one, and small slices are packed several per row.
+    For grouped/depthwise layers F is ``filters_per_slice`` — an input
+    channel only meets the filters of its own group.
     """
-    f = layer.out_channels
+    f = layer.filters_per_slice
     slices = [
         (c, kh, kw)
         for c in range(layer.in_channels)
@@ -220,7 +223,7 @@ def map_layer(
 
     cycles = max(bank_loads)
     macs = sum(
-        layer.valid_positions(kh, kw) * layer.out_channels
+        layer.valid_positions(kh, kw) * layer.filters_per_slice
         for kh in range(layer.kernel)
         for kw in range(layer.kernel)
     ) * layer.in_channels

@@ -1,0 +1,95 @@
+"""The accelerator-model protocol shared by every design in this package.
+
+:class:`~repro.arch.daism.DaismDesign` and
+:class:`~repro.arch.eyeriss.EyerissDesign` grew up as unrelated classes
+with overlapping-but-different method sets, so every consumer
+(:mod:`~repro.arch.network_runner`, :mod:`~repro.arch.compare`,
+:mod:`~repro.arch.dse`) special-cased one or the other.
+:class:`AcceleratorModel` is the one structural contract they all code
+against now: per-layer performance (``cycles`` / ``steady_cycles`` /
+``utilization`` / ``passes``), the model's own MAC accounting (``macs``
+— DAISM skips padding taps, Eyeriss counts dense, and energy must follow
+each model's own convention), and chip-level area/energy.  Any new
+baseline that implements the protocol plugs into the network runner, the
+comparison tables and the design-space exploration without touching
+them.
+
+The published PIM chips (:mod:`~repro.arch.pim_baselines`) deliberately
+do **not** implement the protocol — they are quoted spec sheets, not
+models that can be evaluated on an arbitrary layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..energy.cacti_lite import CactiLite
+    from .workloads import ConvLayer
+
+__all__ = ["AcceleratorModel"]
+
+
+@runtime_checkable
+class AcceleratorModel(Protocol):
+    """Structural interface of an accelerator that can execute a layer.
+
+    ``@runtime_checkable`` only verifies attribute presence on
+    ``isinstance`` checks; the behavioural contract (cycle/energy
+    semantics below) is pinned by ``tests/arch/test_model.py`` for every
+    implementation shipped here.
+    """
+
+    clock_hz: float
+
+    @property
+    def name(self) -> str:
+        """Human-readable design identifier (stable across runs)."""
+        ...
+
+    @property
+    def total_pes(self) -> int:
+        """Processing elements available per cycle."""
+        ...
+
+    def cycles(self, layer: "ConvLayer") -> int:
+        """Single-image cycles for one layer (first-image latency)."""
+        ...
+
+    def steady_cycles(self, layer: "ConvLayer") -> int:
+        """Sustained cycles per image at large batch (throughput frame).
+
+        Equals :meth:`cycles` for architectures without cross-image
+        overlap; banked DAISM designs amortise bank imbalance across the
+        batch, so this can be lower.
+        """
+        ...
+
+    def macs(self, layer: "ConvLayer") -> int:
+        """Multiply-accumulates the model charges for one layer.
+
+        Each model keeps its own accounting (DAISM bypasses zero-padding
+        taps, Eyeriss counts dense) so energy = ``macs * energy_per_mac``
+        stays self-consistent.
+        """
+        ...
+
+    def utilization(self, layer: "ConvLayer") -> float:
+        """Fraction of PE-cycles doing useful MACs on this layer."""
+        ...
+
+    def passes(self, layer: "ConvLayer") -> int:
+        """Weight-reload passes needed when the layer exceeds on-chip storage."""
+        ...
+
+    def area_mm2(self, cacti: "CactiLite | None" = None) -> float:
+        """Total on-chip area [mm^2]."""
+        ...
+
+    def energy_per_mac_pj(self, cacti: "CactiLite | None" = None) -> dict[str, float]:
+        """Itemised per-MAC energy [pJ] (sum for the total)."""
+        ...
+
+    def power_mw(self, utilization: float = 1.0, cacti: "CactiLite | None" = None) -> float:
+        """Dynamic power at a sustained utilisation [mW]."""
+        ...

@@ -1,22 +1,35 @@
-"""End-to-end network execution on a DAISM design.
+"""End-to-end network execution on any accelerator model.
 
 Maps every layer of a network (a list of :class:`ConvLayer`) onto one
-:class:`~repro.arch.daism.DaismDesign` and aggregates cycles, time,
+:class:`~repro.arch.model.AcceleratorModel` and aggregates cycles, time,
 energy and utilisation — the whole-network view behind the paper's
-single-layer Fig. 7 study.  Weight sets larger than the compute SRAM are
-handled by the mapper's multi-pass mechanism; the report carries the
-pass count per layer so reload pressure is visible.
+single-layer Fig. 7 study.  Weight sets larger than on-chip storage are
+handled by the model's multi-pass mechanism; the report carries the pass
+count per layer so reload pressure is visible.
+
+:func:`run_network` accepts a DAISM design, the Eyeriss baseline or any
+other protocol implementation; :func:`compare_designs` runs several
+models over the same network and emits one summary row each (the
+``network_latency`` experiment's engine).  Batch amortisation uses the
+model's ``steady_cycles``: the first image pays the busiest-bank
+latency, every further image the balanced sustained rate.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from .daism import DaismDesign
 from .eyeriss import EyerissDesign
+from .model import AcceleratorModel
 from .workloads import ConvLayer
 
-__all__ = ["LayerReport", "NetworkReport", "run_network", "compare_with_eyeriss"]
+__all__ = [
+    "LayerReport",
+    "NetworkReport",
+    "run_network",
+    "compare_designs",
+    "compare_with_eyeriss",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -25,6 +38,7 @@ class LayerReport:
 
     name: str
     cycles: int
+    steady_cycles: int
     macs: int
     utilization: float
     passes: int
@@ -40,14 +54,22 @@ class NetworkReport:
 
     @property
     def total_cycles(self) -> int:
+        """Single-image cycles summed over layers."""
         return sum(l.cycles for l in self.layers)
 
     @property
+    def total_steady_cycles(self) -> int:
+        """Sustained cycles per image once the pipeline is batch-filled."""
+        return sum(l.steady_cycles for l in self.layers)
+
+    @property
     def total_macs(self) -> int:
+        """MACs summed over layers (the model's own accounting)."""
         return sum(l.macs for l in self.layers)
 
     @property
     def total_energy_uj(self) -> float:
+        """Compute energy for one image [uJ]."""
         return sum(l.energy_uj for l in self.layers)
 
     @property
@@ -59,7 +81,19 @@ class NetworkReport:
         return sum(l.utilization * l.macs for l in self.layers) / total
 
     def latency_s(self, clock_hz: float) -> float:
+        """Single-image latency at a clock [s]."""
         return self.total_cycles / clock_hz
+
+    def batch_cycles(self, batch: int) -> int:
+        """Cycles for a batch: first image at latency, rest at steady rate.
+
+        The paper's amortisation lever ("when batch size is large during
+        inference, it amortizes...", Sec. V-D): bank imbalance is paid
+        once, further images stream at the balanced sustained rate.
+        """
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        return self.total_cycles + (batch - 1) * self.total_steady_cycles
 
     def rows(self) -> list[dict[str, object]]:
         """Printable per-layer rows plus a totals row."""
@@ -87,39 +121,73 @@ class NetworkReport:
         return out
 
 
-def run_network(design: DaismDesign, layers: list[ConvLayer]) -> NetworkReport:
-    """Execute a layer list on a design and aggregate the results."""
+def run_network(model: AcceleratorModel, layers: list[ConvLayer]) -> NetworkReport:
+    """Execute a layer list on any accelerator model and aggregate."""
     if not layers:
         raise ValueError("network has no layers")
-    e_mac_pj = sum(design.energy_per_mac_pj().values())
+    e_mac_pj = sum(model.energy_per_mac_pj().values())
     reports = []
     for layer in layers:
-        mapping = design.map_conv(layer)
+        macs = model.macs(layer)
         reports.append(
             LayerReport(
                 name=layer.name,
-                cycles=mapping.cycles,
-                macs=mapping.macs,
-                utilization=mapping.utilization,
-                passes=mapping.passes,
-                energy_uj=mapping.macs * e_mac_pj * 1e-6,
+                cycles=model.cycles(layer),
+                steady_cycles=model.steady_cycles(layer),
+                macs=macs,
+                utilization=model.utilization(layer),
+                passes=model.passes(layer),
+                energy_uj=macs * e_mac_pj * 1e-6,
             )
         )
-    return NetworkReport(design_name=design.name, layers=tuple(reports))
+    return NetworkReport(design_name=model.name, layers=tuple(reports))
+
+
+def compare_designs(
+    models: list[AcceleratorModel], layers: list[ConvLayer], batch: int = 1
+) -> list[dict[str, object]]:
+    """One summary row per model over the same network.
+
+    Rows carry the absolute figures (cycles, ms, uJ, mm^2) plus ratios
+    against the first model in the list (the reference design), which is
+    how the ``network_latency`` experiment reports DAISM vs baselines.
+    """
+    if not models:
+        raise ValueError("compare_designs needs at least one model")
+    rows: list[dict[str, object]] = []
+    ref_cycles: int | None = None
+    for model in models:
+        report = run_network(model, layers)
+        cycles = report.batch_cycles(batch)
+        if ref_cycles is None:
+            ref_cycles = cycles
+        rows.append(
+            {
+                "design": model.name,
+                "batch": batch,
+                "cycles": cycles,
+                "ms/img": round(cycles / batch / model.clock_hz * 1e3, 3),
+                "util": round(report.mean_utilization, 3),
+                "energy/img [uJ]": round(report.total_energy_uj, 1),
+                "area [mm2]": round(model.area_mm2(), 2),
+                "vs ref cycles": round(cycles / ref_cycles, 3),
+            }
+        )
+    return rows
 
 
 def compare_with_eyeriss(
-    design: DaismDesign, layers: list[ConvLayer], eyeriss: EyerissDesign | None = None
+    model: AcceleratorModel, layers: list[ConvLayer], eyeriss: EyerissDesign | None = None
 ) -> dict[str, float]:
     """Whole-network cycle/area comparison against the Eyeriss baseline."""
     eyeriss = eyeriss or EyerissDesign()
-    daism_cycles = run_network(design, layers).total_cycles
+    daism_cycles = run_network(model, layers).total_cycles
     eyeriss_cycles = sum(eyeriss.cycles(layer) for layer in layers)
     return {
         "daism_cycles": float(daism_cycles),
         "eyeriss_cycles": float(eyeriss_cycles),
         "cycle_ratio": eyeriss_cycles / daism_cycles,
-        "daism_area_mm2": design.area_mm2(),
+        "daism_area_mm2": model.area_mm2(),
         "eyeriss_area_mm2": eyeriss.area_mm2(),
-        "area_ratio": eyeriss.area_mm2() / design.area_mm2(),
+        "area_ratio": eyeriss.area_mm2() / model.area_mm2(),
     }

@@ -3,8 +3,13 @@
 The paper's architecture study (Sec. V-C) uses the first layer of VGG-8
 on 224x224x3 inputs — "150,528 inputs for 1728 kernel elements".  This
 module defines the :class:`ConvLayer` shape record plus the layer tables
-used across the benchmarks (VGG-8, a reduced ResNet, AlexNet-style and
-LeNet-style networks for the sweeps).
+used across the benchmarks and the DSE: VGG-8, a reduced ResNet,
+AlexNet-style and LeNet-style networks, a MobileNet-style depthwise-
+separable edge stack (``groups`` support), and a transformer encoder
+block expressed as 1x1 convolutions over the token axis — so the design
+sweeps cover edge-to-datacenter regimes, not just the paper's single
+layer.  :func:`workload_by_name` is the string registry the experiment
+engine sweeps over (experiment parameters must be JSON scalars).
 """
 
 from __future__ import annotations
@@ -17,7 +22,11 @@ __all__ = [
     "vgg8_conv1",
     "alexnet_like_layers",
     "lenet_like_layers",
+    "mobilenet_edge_layers",
     "resnet_mini_layers",
+    "transformer_block_layers",
+    "workload_by_name",
+    "workload_names",
 ]
 
 
@@ -25,7 +34,10 @@ __all__ = [
 class ConvLayer:
     """Shape of one convolution layer (stride-s, zero padding p).
 
-    ``height``/``width`` are the *input* spatial dimensions.
+    ``height``/``width`` are the *input* spatial dimensions.  ``groups``
+    splits channels as in grouped/depthwise convolution: input channel
+    ``c`` only meets the ``out_channels // groups`` filters of its group
+    (``groups == in_channels == out_channels`` is plain depthwise).
     """
 
     name: str
@@ -36,12 +48,15 @@ class ConvLayer:
     width: int
     stride: int = 1
     padding: int = 1
+    groups: int = 1
 
     def __post_init__(self) -> None:
         if min(self.in_channels, self.out_channels, self.kernel, self.height, self.width) < 1:
             raise ValueError(f"{self.name}: all dimensions must be positive")
         if self.stride < 1 or self.padding < 0:
             raise ValueError(f"{self.name}: bad stride/padding")
+        if self.groups < 1 or self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(f"{self.name}: groups must divide in/out channels")
         if self.out_height < 1 or self.out_width < 1:
             raise ValueError(f"{self.name}: empty output")
 
@@ -49,10 +64,12 @@ class ConvLayer:
 
     @property
     def out_height(self) -> int:
+        """Output feature-map height."""
         return (self.height + 2 * self.padding - self.kernel) // self.stride + 1
 
     @property
     def out_width(self) -> int:
+        """Output feature-map width."""
         return (self.width + 2 * self.padding - self.kernel) // self.stride + 1
 
     @property
@@ -61,12 +78,18 @@ class ConvLayer:
         return self.in_channels * self.height * self.width
 
     @property
+    def filters_per_slice(self) -> int:
+        """Filters one input channel feeds (``out_channels`` ungrouped)."""
+        return self.out_channels // self.groups
+
+    @property
     def kernel_elements(self) -> int:
         """Unique kernel weights — the paper's count (1,728 for VGG-8 L1)."""
-        return self.in_channels * self.kernel * self.kernel * self.out_channels
+        return self.in_channels * self.kernel * self.kernel * self.filters_per_slice
 
     @property
     def output_elements(self) -> int:
+        """Output tensor size."""
         return self.out_channels * self.out_height * self.out_width
 
     def valid_positions(self, tap_row: int, tap_col: int) -> int:
@@ -100,7 +123,7 @@ class ConvLayer:
             for kh in range(self.kernel)
             for kw in range(self.kernel)
         )
-        return taps * self.in_channels * self.out_channels
+        return taps * self.in_channels * self.filters_per_slice
 
     @property
     def macs_dense(self) -> int:
@@ -111,7 +134,7 @@ class ConvLayer:
             * self.kernel
             * self.kernel
             * self.in_channels
-            * self.out_channels
+            * self.filters_per_slice
         )
 
     def __str__(self) -> str:
@@ -174,3 +197,71 @@ def resnet_mini_layers() -> list[ConvLayer]:
         ConvLayer("block3a", 32, 64, 3, 16, 16, stride=2),
         ConvLayer("block3b", 64, 64, 3, 8, 8),
     ]
+
+
+def mobilenet_edge_layers() -> list[ConvLayer]:
+    """MobileNet-style depthwise-separable stack (96x96 edge input).
+
+    The canonical edge-inference workload: a strided full conv stem, then
+    depthwise 3x3 (``groups == channels``) + pointwise 1x1 pairs.
+    Depthwise layers have only ``C·k·k`` kernel elements, so they stress
+    the mapper's small-slice packing and the multi-bank balance in the
+    opposite way VGG's wide slices do.
+    """
+    return [
+        ConvLayer("stem", 3, 32, 3, 96, 96, stride=2),
+        ConvLayer("dw1", 32, 32, 3, 48, 48, groups=32),
+        ConvLayer("pw1", 32, 64, 1, 48, 48, padding=0),
+        ConvLayer("dw2", 64, 64, 3, 48, 48, stride=2, groups=64),
+        ConvLayer("pw2", 64, 128, 1, 24, 24, padding=0),
+        ConvLayer("dw3", 128, 128, 3, 24, 24, groups=128),
+        ConvLayer("pw3", 128, 128, 1, 24, 24, padding=0),
+    ]
+
+
+def transformer_block_layers(d_model: int = 256, seq_len: int = 64) -> list[ConvLayer]:
+    """One transformer encoder block's weight GEMMs as 1x1 convolutions.
+
+    A GEMM ``(seq, d) @ (d, f)`` is exactly a 1x1 conv over a
+    ``seq_len x 1`` map with ``d`` input and ``f`` output channels — the
+    datacenter-class workload shape (wide slices, zero spatial reuse).
+    The QKV/output projections and the 4x MLP are the *weight*
+    multiplications DAISM can serve from pre-loaded SRAM; the
+    activation-activation attention products (``QK^T``, ``AV``) have no
+    static operand to pre-load and are deliberately absent.
+    """
+    return [
+        ConvLayer("qkv_proj", d_model, 3 * d_model, 1, seq_len, 1, padding=0),
+        ConvLayer("attn_out", d_model, d_model, 1, seq_len, 1, padding=0),
+        ConvLayer("mlp_up", d_model, 4 * d_model, 1, seq_len, 1, padding=0),
+        ConvLayer("mlp_down", 4 * d_model, d_model, 1, seq_len, 1, padding=0),
+    ]
+
+
+#: Name -> layer-list factory; the string space the experiment engine
+#: sweeps (sweep-point parameters must stay JSON-serialisable).
+_WORKLOADS = {
+    "vgg8": vgg8_layers,
+    "vgg8_conv1": lambda: [vgg8_conv1()],
+    "alexnet": alexnet_like_layers,
+    "lenet": lenet_like_layers,
+    "resnet_mini": resnet_mini_layers,
+    "mobilenet_edge": mobilenet_edge_layers,
+    "transformer_block": transformer_block_layers,
+}
+
+
+def workload_names() -> list[str]:
+    """Sorted names accepted by :func:`workload_by_name`."""
+    return sorted(_WORKLOADS)
+
+
+def workload_by_name(name: str) -> list[ConvLayer]:
+    """Layer list of a named workload (the DSE/experiment registry)."""
+    try:
+        factory = _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        ) from None
+    return factory()

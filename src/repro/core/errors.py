@@ -43,6 +43,7 @@ class ErrorStats:
 
     @classmethod
     def from_errors(cls, errors: np.ndarray) -> "ErrorStats":
+        """Summarise a (non-empty) array of relative errors."""
         errors = np.asarray(errors, dtype=np.float64).ravel()
         if errors.size == 0:
             raise ValueError("cannot summarise an empty error array")

@@ -258,6 +258,7 @@ class MatmulBackend:
     name = "abstract"
 
     def matmul(self, a: np.ndarray, b) -> np.ndarray:
+        """Product of ``a`` and ``b`` under this backend's arithmetic."""
         raise NotImplementedError
 
     def prepare(self, b: np.ndarray):
@@ -284,6 +285,7 @@ class ExactMatmul(MatmulBackend):
     name = "exact_float32"
 
     def matmul(self, a: np.ndarray, b) -> np.ndarray:
+        """Exact float32 product (batched inputs flattened row-wise)."""
         a = np.asarray(a, dtype=np.float32)
         b = np.asarray(b, dtype=np.float32)
         flat, batch = _flatten_batch(a)
@@ -291,10 +293,12 @@ class ExactMatmul(MatmulBackend):
         return out.reshape(*batch, -1) if batch else out
 
     def prepare(self, b: np.ndarray) -> np.ndarray:
+        """Cast once to float32 (the backend's internal form)."""
         return np.asarray(b, dtype=np.float32)
 
     @property
     def prepare_key(self) -> str:  # type: ignore[override]
+        """Dense float32 operands; not shared with the packed backends."""
         return "dense_float32"
 
 
@@ -313,6 +317,7 @@ class QuantizedMatmul(MatmulBackend):
 
     @property
     def name(self) -> str:  # type: ignore[override]
+        """Backend label, e.g. ``quantized_bfloat16``."""
         return f"quantized_{self.fmt.name}"
 
     def _dense(self, x, side: str) -> np.ndarray:
@@ -325,6 +330,7 @@ class QuantizedMatmul(MatmulBackend):
         return quantize(x, self.fmt)
 
     def matmul(self, a, b) -> np.ndarray:
+        """Exact product of the ``fmt``-quantised operands."""
         aq = self._dense(a, "a")
         bq = self._dense(b, "b")
         flat, batch = _flatten_batch(aq)
@@ -332,10 +338,12 @@ class QuantizedMatmul(MatmulBackend):
         return out.reshape(*batch, -1) if batch else out
 
     def prepare(self, b: np.ndarray) -> PackedTensor:
+        """Quantise + decompose a static operand once (see ``pack``)."""
         return b if isinstance(b, PackedTensor) else pack(b, self.fmt)
 
     @property
     def prepare_key(self) -> str:  # type: ignore[override]
+        """Packed-plane form, shared with ``ApproxMatmul`` of the same ``fmt``."""
         return f"packed_{self.fmt.name}"
 
 
@@ -361,14 +369,18 @@ class ApproxMatmul(MatmulBackend):
 
     @property
     def name(self) -> str:  # type: ignore[override]
+        """Backend label, e.g. ``approx_bfloat16_PC3_tr``."""
         return f"approx_{self.fmt.name}_{self.config.name}"
 
     def matmul(self, a, b) -> np.ndarray:
+        """DAISM approximate product (see :func:`approx_matmul`)."""
         return approx_matmul(a, b, self.fmt, self.config, k_chunk=self.k_chunk)
 
     def prepare(self, b: np.ndarray) -> PackedTensor:
+        """Quantise + decompose a static operand once (see ``pack``)."""
         return b if isinstance(b, PackedTensor) else pack(b, self.fmt)
 
     @property
     def prepare_key(self) -> str:  # type: ignore[override]
+        """Packed-plane form, shared with ``QuantizedMatmul`` of the same ``fmt``."""
         return f"packed_{self.fmt.name}"

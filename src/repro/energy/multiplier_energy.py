@@ -43,6 +43,7 @@ class EnergyBreakdown:
 
     @property
     def total_pj(self) -> float:
+        """Sum of all components [pJ]."""
         return sum(self.parts.values())
 
     def fraction(self, part: str) -> float:

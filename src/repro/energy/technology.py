@@ -39,6 +39,7 @@ class TechNode:
 
     @property
     def ge_factor_nominal(self) -> float:
+        """Midpoint of the gate-equivalent density range."""
         low, high = self.ge_factor
         return (low + high) / 2
 

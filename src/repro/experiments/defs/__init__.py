@@ -7,7 +7,10 @@ Each module registers the experiments of one group into
 * :mod:`~repro.experiments.defs.tables` — Tables I–III;
 * :mod:`~repro.experiments.defs.ablations` — the eight ablation studies;
 * :mod:`~repro.experiments.defs.extensions` — beyond-the-paper runs
-  (whole-network execution, related-work multiplier comparison).
+  (whole-network execution, related-work multiplier comparison);
+* :mod:`~repro.experiments.defs.accelerator` — the accelerator
+  co-simulation suite (``dse_sweep``, ``network_latency``,
+  ``fault_sensitivity``).
 """
 
-from . import ablations, extensions, figures, tables  # noqa: F401
+from . import ablations, accelerator, extensions, figures, tables  # noqa: F401

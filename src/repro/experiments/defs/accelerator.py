@@ -1,0 +1,214 @@
+"""Accelerator co-simulation experiments (``dse_sweep``, ``network_latency``,
+``fault_sensitivity``).
+
+These drive the architecture third of the codebase through the cached,
+parallel experiment engine:
+
+* **dse_sweep** — whole-network design-space grids
+  (:func:`repro.arch.dse.evaluate_grid`) per workload, with the
+  cycles-vs-area Pareto front marked;
+* **network_latency** — end-to-end latency/energy of a DAISM design next
+  to the Eyeriss baseline on diverse networks (edge CNNs, depthwise
+  MobileNet, a transformer block) across batch sizes;
+* **fault_sensitivity** — multiplier error under stuck-at cell faults
+  *and* dead wordlines, computed on the vectorized bit-plane path
+  (:meth:`~repro.sram.bank.ComputeBank.multiply_batch`), which is what
+  makes a rate x dead-row grid tractable (the scalar reference path is
+  kept for the bit-identity property tests and the perf baseline in
+  ``benchmarks/perf``).
+"""
+
+from __future__ import annotations
+
+from ..registry import Experiment, register
+
+__all__ = [
+    "dse_sweep_point",
+    "fault_error_matrix",
+    "fault_sensitivity_point",
+    "network_latency_point",
+]
+
+
+def fault_error_matrix(
+    rate: float,
+    dead_row_rate: float,
+    seed: int,
+    config_name: str = "PC3_tr",
+    vectorized: bool = True,
+):
+    """Relative-error matrix of one faulty bank vs the fault-free multiplier.
+
+    Samples an implicit-one operand grid, injects stuck-at cells and dead
+    wordlines into an 8 kB compute bank, streams the operands, and
+    returns ``|faulty - fault-free| / fault-free`` per product (float64
+    array of shape ``(operands, rows, slots)``).  ``vectorized`` selects
+    :meth:`~repro.sram.bank.ComputeBank.multiply_batch` (bit-plane fast
+    path) or the scalar row-by-row loop — both are bit-identical
+    (property-tested), so the flag only changes the runtime; the perf
+    harness times one against the other.
+    """
+    import numpy as np
+
+    from ...core.config import MultiplierConfig
+    from ...core.vectorized import approx_multiply_array
+    from ...sram.bank import ComputeBank
+    from ...sram.faults import inject_random_faults
+
+    config = MultiplierConfig.from_name(config_name)
+    rng = np.random.default_rng(seed)
+    fm = inject_random_faults(
+        256, 256, cell_fault_rate=rate, dead_row_rate=dead_row_rate, seed=seed
+    )
+    bank = ComputeBank(8 * 1024, config, 8, fault_model=fm)
+    # Fill the whole bank (geometry depends on the config's word width and
+    # line count) and stream 96 operands — large enough that the readout
+    # path, not the per-point setup (fault sampling, line expansion),
+    # dominates the runtime.
+    values = rng.integers(
+        128, 256, size=(bank.element_rows, bank.slots_per_row)
+    ).astype(np.uint64)
+    operands = rng.integers(128, 256, 96).astype(np.uint64)
+    bank.load_elements(values)
+    if vectorized:
+        got = bank.multiply_batch(operands).astype(np.float64)
+    else:
+        got = np.stack([bank.multiply_all(int(b)) for b in operands]).astype(np.float64)
+
+    want = approx_multiply_array(
+        values[None, :, :], operands[:, None, None], 8, config
+    ).astype(np.float64)
+    scale = np.where(want == 0, 1.0, want)
+    return np.abs(got - want) / scale
+
+
+def fault_sensitivity_point(params: dict) -> list[dict]:
+    """Error statistics for one (cell fault rate, dead row rate) cell."""
+    import numpy as np
+
+    errs = np.stack(
+        [
+            fault_error_matrix(
+                params["rate"],
+                params["dead_row_rate"],
+                seed,
+                config_name=params["config"],
+            )
+            for seed in range(params["seeds"])
+        ]
+    )
+    return [
+        {
+            "cell fault rate": f"{params['rate']:.4f}",
+            "dead row rate": f"{params['dead_row_rate']:.3f}",
+            "config": params["config"],
+            "extra rel. error (mean)": f"{errs.mean():.4f}",
+            "p99": f"{np.quantile(errs, 0.99):.4f}",
+            "max": f"{errs.max():.4f}",
+            "affected products": f"{100.0 * np.mean(errs > 0):.1f}%",
+        }
+    ]
+
+
+def dse_sweep_point(params: dict) -> list[dict]:
+    """Whole-network DSE grid for one workload (Pareto front marked)."""
+    from ...arch.dse import evaluate_grid
+    from ...arch.workloads import workload_by_name
+
+    rows = evaluate_grid(
+        workload_by_name(params["workload"]),
+        banks_grid=tuple(params["banks_grid"]),
+        bank_kb_grid=tuple(params["bank_kb_grid"]),
+        batch=params["batch"],
+    )
+    for row in rows:
+        row["workload"] = params["workload"]
+    return rows
+
+
+def network_latency_point(params: dict) -> list[dict]:
+    """DAISM vs Eyeriss summary rows for one (network, batch) cell."""
+    from ...arch.daism import DaismDesign
+    from ...arch.eyeriss import EyerissDesign
+    from ...arch.network_runner import compare_designs
+    from ...arch.workloads import workload_by_name
+
+    design = DaismDesign(banks=params["banks"], bank_kb=params["bank_kb"])
+    layers = workload_by_name(params["network"])
+    rows = compare_designs([design, EyerissDesign()], layers, batch=params["batch"])
+    for row in rows:
+        row["network"] = params["network"]
+    return rows
+
+
+register(
+    Experiment(
+        name="dse_sweep",
+        artifact="Extension",
+        title="Design-space grids per workload (Pareto-marked)",
+        description=(
+            "Automates Sec. V-D's informal trade-off selection on whole "
+            "networks: every banks x bank-size design runs the full layer "
+            "list, rows carry cycles/latency/area/GOPS-per-mW and whether "
+            "the point is cycles-vs-area Pareto-optimal. Workloads span "
+            "the paper's VGG-8 conv1, a depthwise MobileNet edge stack "
+            "and a transformer block's weight GEMMs."
+        ),
+        run=dse_sweep_point,
+        space={"workload": ("vgg8_conv1", "mobilenet_edge", "transformer_block")},
+        defaults={
+            "banks_grid": (1, 4, 16, 32),
+            "bank_kb_grid": (2, 8, 32, 128),
+            "batch": 1,
+        },
+        tags=("extension", "arch", "dse"),
+        est_seconds=8.0,
+    )
+)
+
+register(
+    Experiment(
+        name="network_latency",
+        artifact="Extension",
+        title="End-to-end latency vs Eyeriss across networks and batch",
+        description=(
+            "Whole-network execution of one DAISM design next to the "
+            "Eyeriss baseline: cycles, ms/image, energy, area and the "
+            "cycle ratio, across edge CNNs (LeNet, MobileNet-style "
+            "depthwise), VGG-8 and a transformer block, at batch 1 and "
+            "batch 64 (the paper's amortisation lever)."
+        ),
+        run=network_latency_point,
+        space={
+            "network": ("lenet", "mobilenet_edge", "resnet_mini", "vgg8", "transformer_block"),
+            "batch": (1, 64),
+        },
+        defaults={"banks": 16, "bank_kb": 32},
+        tags=("extension", "arch"),
+        est_seconds=10.0,
+    )
+)
+
+register(
+    Experiment(
+        name="fault_sensitivity",
+        artifact="Extension",
+        title="Multiplier error vs cell-fault and dead-wordline rates",
+        description=(
+            "Extends the fault ablation to a full rate x dead-row grid on "
+            "the vectorized bit-plane readout: extra relative error "
+            "(mean/p99/max) and the fraction of affected products, per "
+            "fault regime. The scalar row-by-row path computes the same "
+            "products bit-identically ~an order of magnitude slower "
+            "(tracked in BENCH_perf.json)."
+        ),
+        run=fault_sensitivity_point,
+        space={
+            "rate": (0.0, 0.0001, 0.001, 0.01, 0.05),
+            "dead_row_rate": (0.0, 0.01),
+        },
+        defaults={"seeds": 3, "config": "PC3_tr"},
+        tags=("extension", "sram"),
+        est_seconds=6.0,
+    )
+)

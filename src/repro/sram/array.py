@@ -15,6 +15,7 @@ nothing about multipliers — that logic lives in
 from __future__ import annotations
 
 import dataclasses
+import sys
 
 import numpy as np
 
@@ -35,6 +36,7 @@ class AccessStats:
     row_writes: int = 0
 
     def reset(self) -> None:
+        """Zero every counter."""
         self.wordline_activations = 0
         self.row_reads = 0
         self.row_writes = 0
@@ -66,6 +68,9 @@ class SRAMArray:
         self.max_active_wordlines = max_active_wordlines
         self._cells = np.zeros((rows, cols), dtype=bool)
         self.stats = AccessStats()
+        #: Monotonic write counter (never reset, unlike ``stats``) — lets
+        #: callers cache derived views such as :meth:`packed_words`.
+        self.version = 0
 
     # -- geometry -----------------------------------------------------
 
@@ -110,6 +115,7 @@ class SRAMArray:
             )
         self._cells[row, col_offset : col_offset + bits.size] = bits
         self.stats.row_writes += 1
+        self.version += 1
 
     def read_row(self, row: int) -> np.ndarray:
         """Conventional single-wordline read."""
@@ -141,6 +147,33 @@ class SRAMArray:
         """Zero the access counters."""
         self.stats.reset()
 
+    # -- bulk views ---------------------------------------------------
+
+    def effective_cells(self) -> np.ndarray:
+        """The bit matrix a read would sense (fault models override this).
+
+        The base array is ideal, so this is the stored data itself; do
+        not mutate the returned array.
+        """
+        return self._cells
+
+    def packed_words(self, word_bits: int) -> np.ndarray:
+        """Every wordline packed into ``word_bits``-wide uint64 slot words.
+
+        Returns a ``(rows, cols // word_bits)`` uint64 array built from
+        :meth:`effective_cells`; trailing columns that do not fill a slot
+        are ignored.  Because the wired OR of bit vectors equals the
+        bitwise OR of their packed words, this is the representation the
+        vectorized compute path (:meth:`ComputeBank.multiply_batch
+        <repro.sram.bank.ComputeBank.multiply_batch>`) reduces over.
+        """
+        if not 1 <= word_bits <= 64:
+            raise ValueError("word_bits must be in [1, 64]")
+        slots = self.cols // word_bits
+        cells = self.effective_cells()[:, : slots * word_bits]
+        bits = cells.reshape(self.rows, slots, word_bits)
+        return SRAMArray.bits_to_ints(bits)
+
     # -- helpers ------------------------------------------------------
 
     @staticmethod
@@ -148,13 +181,53 @@ class SRAMArray:
         """Little-endian bit vector of an unsigned integer."""
         if value < 0 or value >= (1 << width):
             raise ValueError(f"{value} does not fit in {width} bits")
-        return np.array([(value >> i) & 1 for i in range(width)], dtype=bool)
+        return SRAMArray.ints_to_bits(np.array([value], dtype=np.uint64), width)[0]
 
     @staticmethod
     def bits_to_int(bits: np.ndarray) -> int:
         """Inverse of :meth:`int_to_bits`."""
         bits = np.asarray(bits, dtype=bool)
-        return int(sum(1 << i for i, bit in enumerate(bits) if bit))
+        return int(SRAMArray.bits_to_ints(bits))
+
+    @staticmethod
+    def ints_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+        """Little-endian bit planes of an unsigned-integer array.
+
+        ``values`` of any shape becomes a ``values.shape + (width,)``
+        boolean array via :func:`numpy.unpackbits` on the little-endian
+        byte view — the vectorized counterpart of :meth:`int_to_bits`.
+        ``width`` may be 1..64.
+        """
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if width < 64 and values.size and int(values.max(initial=0)) >> width:
+            bad = values[values >> np.uint64(width) != 0].flat[0]
+            raise ValueError(f"{int(bad)} does not fit in {width} bits")
+        le_bytes = values[..., None].view(np.uint8)
+        if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+            le_bytes = le_bytes[..., ::-1]
+        bits = np.unpackbits(le_bytes, axis=-1, bitorder="little")
+        return bits[..., :width].astype(bool)
+
+    @staticmethod
+    def bits_to_ints(bits: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`ints_to_bits`: pack trailing-axis bit vectors.
+
+        ``bits`` of shape ``(..., width)`` (width 1..64, little-endian)
+        packs to a uint64 array of shape ``(...,)`` via
+        :func:`numpy.packbits`.
+        """
+        bits = np.asarray(bits, dtype=bool)
+        width = bits.shape[-1]
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        packed = np.packbits(bits, axis=-1, bitorder="little")
+        padded = np.zeros(bits.shape[:-1] + (8,), dtype=np.uint8)
+        padded[..., : packed.shape[-1]] = packed
+        if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+            padded = padded[..., ::-1]
+        return padded.view(np.uint64)[..., 0]
 
     def __repr__(self) -> str:
         return f"SRAMArray({self.rows}x{self.cols}, {self.capacity_bytes:.0f} B)"

@@ -74,6 +74,7 @@ class ComputeBank:
         self.config = config
         self.significand_bits = significand_bits
         self._elements: np.ndarray | None = None
+        self._packed_cache: tuple[tuple[int, int], np.ndarray] | None = None
         side = self.array.cols
         self.slots_per_row = side // self.layout.word_bits
         self.element_rows = self.array.rows // self.layout.padded_lines
@@ -98,6 +99,12 @@ class ComputeBank:
         passed as a smaller array); each entry is an ``n``-bit unsigned
         integer.  Loading writes every logical line of every element — the
         pre-loading cost the paper amortises over operand reuse.
+
+        The line expansion is computed as whole bit planes
+        (:meth:`_stored_plane` per line, then one
+        :meth:`~repro.sram.array.SRAMArray.ints_to_bits` unpack); the
+        write still goes through ``write_row`` line by line so access
+        counters and bounds checks stay identical to a scalar load.
         """
         values = np.asarray(values, dtype=np.uint64)
         if values.ndim != 2:
@@ -109,20 +116,27 @@ class ComputeBank:
                 f"({self.element_rows} rows x {self.slots_per_row} slots)"
             )
         w = self.layout.word_bits
+        # (lines, rows, slots) stored words -> (lines, rows, slots, w) bits.
+        stored = np.stack([self._stored_plane(values, spec) for spec in self.layout.lines])
+        bits = SRAMArray.ints_to_bits(stored, w).reshape(len(self.layout.lines), rows, slots * w)
         for r in range(rows):
             base = r * self.layout.padded_lines
-            for line_idx, spec in enumerate(self.layout.lines):
+            for line_idx in range(len(self.layout.lines)):
                 row_bits = np.zeros(self.array.cols, dtype=bool)
-                for s in range(slots):
-                    stored = spec.stored_value(
-                        int(values[r, s]),
-                        self.significand_bits,
-                        self.layout.k,
-                        self.config.truncated,
-                    )
-                    row_bits[s * w : (s + 1) * w] = SRAMArray.int_to_bits(stored, w)
+                row_bits[: slots * w] = bits[line_idx, r]
                 self.array.write_row(base + line_idx, row_bits)
         self._elements = values.copy()
+
+    def _stored_plane(self, values: np.ndarray, spec) -> np.ndarray:
+        """Vectorized :meth:`LineSpec.stored_value` over a value grid."""
+        n, k = self.significand_bits, self.layout.k
+        if spec.kind == "pp":
+            plane = values << np.uint64(spec.selector)
+        elif spec.kind == "pc":
+            plane = values * np.uint64(spec.selector << (n - k))
+        else:  # pragma: no cover - layout only emits pp/pc
+            raise ValueError(f"unknown line kind {spec.kind!r}")
+        return plane >> np.uint64(n) if self.config.truncated else plane
 
     # -- computing ------------------------------------------------------
 
@@ -144,18 +158,68 @@ class ComputeBank:
         rows = self.decoder.decode(b, group=element_row)
         word = self.array.read_or(rows)
         w = self.layout.word_bits
-        products = np.empty(slots, dtype=np.uint64)
-        for s in range(slots):
-            products[s] = SRAMArray.bits_to_int(word[s * w : (s + 1) * w])
-        return products
+        return SRAMArray.bits_to_ints(word[: slots * w].reshape(slots, w))
 
     def multiply_all(self, b: int) -> np.ndarray:
-        """Multiply ``b`` against every loaded element row (row by row)."""
+        """Multiply ``b`` against every loaded element row (row by row).
+
+        This is the scalar reference path: one
+        :meth:`~repro.sram.array.SRAMArray.read_or` per element row, so
+        every circuit-level check and access counter fires exactly as the
+        hardware would.  :meth:`multiply_batch` is the bit-identical
+        vectorized equivalent.
+        """
         if self._elements is None:
             raise RuntimeError("bank has no loaded elements")
         return np.stack(
             [self.multiply_row(b, r) for r in range(self._elements.shape[0])]
         )
+
+    def multiply_batch(self, operands) -> np.ndarray:
+        """Vectorized :meth:`multiply_all` over a batch of operands.
+
+        Returns a ``(len(operands), element_rows, slots)`` uint64 array,
+        bit-identical to stacking ``multiply_all(b)`` per operand
+        (property-tested, faults included).  The wired OR distributes
+        over packed words — ``OR`` of bit vectors equals bitwise ``OR``
+        of their integers — so the whole batch reduces over one
+        ``packed_words`` view of the (fault-adjusted) cell matrix instead
+        of re-reading bit vectors row by row.  Access and decode counters
+        advance exactly as the scalar loop would.
+        """
+        if self._elements is None:
+            raise RuntimeError("bank has no loaded elements")
+        groups, slots = self._elements.shape
+        operands = [int(b) for b in operands]
+        out = np.zeros((len(operands), groups, slots), dtype=np.uint64)
+        if not operands:
+            return out
+        w = self.layout.word_bits
+        cache_key = (w, self.array.version)
+        if self._packed_cache is None or self._packed_cache[0] != cache_key:
+            self._packed_cache = (cache_key, self.array.packed_words(w))
+        packed = self._packed_cache[1][:, :slots]
+        bases = np.asarray(self.decoder.base_rows[:groups], dtype=np.intp)
+        limit = self.array.max_active_wordlines
+        offset_cache: dict[int, list[int]] = {}
+        for i, b in enumerate(operands):
+            if b == 0:  # zero operands are bypassed: no decode, no read
+                continue
+            offsets = offset_cache.get(b)
+            if offsets is None:
+                offsets = offset_cache[b] = self.layout.active_line_indices(b)
+            if limit is not None and len(offsets) > limit:
+                raise ValueError(
+                    f"{len(offsets)} simultaneous wordlines exceed the circuit limit "
+                    f"of {limit}"
+                )
+            rows = bases[:, None] + np.asarray(offsets, dtype=np.intp)[None, :]
+            out[i] = np.bitwise_or.reduce(packed[rows], axis=1)
+            self.decoder.stats.decodes += groups
+            self.decoder.stats.lines_activated += groups * len(offsets)
+            self.array.stats.row_reads += groups
+            self.array.stats.wordline_activations += groups * len(offsets)
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -31,6 +31,7 @@ class DecoderStats:
     lines_activated: int = 0
 
     def reset(self) -> None:
+        """Zero every counter."""
         self.decodes = 0
         self.lines_activated = 0
 

@@ -36,9 +36,11 @@ class FaultModel:
 
     @property
     def fault_count(self) -> int:
+        """Total faulty cells plus dead rows."""
         return len(self.stuck_at_0) + len(self.stuck_at_1) + len(self.dead_rows)
 
     def validate(self, rows: int, cols: int) -> None:
+        """Reject faults outside a ``rows x cols`` array or with both polarities."""
         for r, c in list(self.stuck_at_0) + list(self.stuck_at_1):
             if not (0 <= r < rows and 0 <= c < cols):
                 raise ValueError(f"fault at ({r}, {c}) outside {rows}x{cols} array")
@@ -61,15 +63,20 @@ class FaultySRAMArray(SRAMArray):
         super().__init__(rows, cols, **kwargs)
         faults.validate(rows, cols)
         self.faults = faults
-        self._sa0 = np.zeros((rows, cols), dtype=bool)
-        self._sa1 = np.zeros((rows, cols), dtype=bool)
-        for r, c in faults.stuck_at_0:
-            self._sa0[r, c] = True
-        for r, c in faults.stuck_at_1:
-            self._sa1[r, c] = True
+        self._sa0 = self._cell_mask(faults.stuck_at_0, rows, cols)
+        self._sa1 = self._cell_mask(faults.stuck_at_1, rows, cols)
         self._dead = np.zeros(rows, dtype=bool)
-        for r in faults.dead_rows:
-            self._dead[r] = True
+        if faults.dead_rows:
+            self._dead[np.fromiter(faults.dead_rows, dtype=np.intp)] = True
+
+    @staticmethod
+    def _cell_mask(cells: frozenset[tuple[int, int]], rows: int, cols: int) -> np.ndarray:
+        """Boolean (rows, cols) mask of a cell-coordinate set."""
+        mask = np.zeros((rows, cols), dtype=bool)
+        if cells:
+            idx = np.array(list(cells), dtype=np.intp)
+            mask[idx[:, 0], idx[:, 1]] = True
+        return mask
 
     def read_or(self, rows) -> np.ndarray:
         rows = list(rows)
@@ -77,13 +84,29 @@ class FaultySRAMArray(SRAMArray):
         # returned (fault-free) value is discarded and recomputed through
         # the fault masks.
         super().read_or(rows)
-        live = [r for r in rows if not self._dead[r]]
-        if not live:
+        idx = np.asarray(rows, dtype=np.intp)
+        live = idx[~self._dead[idx]]
+        if not live.size:
             return np.zeros(self.cols, dtype=bool)
         cells = self._cells[live].copy()
         cells[self._sa0[live]] = False
         cells[self._sa1[live]] = True
         return cells.any(axis=0)
+
+    def effective_cells(self) -> np.ndarray:
+        """The sensed bit matrix: stuck-at masks applied, dead rows zeroed.
+
+        Dead rows are zeroed *after* the stuck-at-1 mask — a broken
+        wordline driver never raises the line, so a stuck-at-1 cell on a
+        dead row cannot be sensed either.  Reading any row of this matrix
+        is bit-identical to :meth:`read_or` on that row, which is what
+        lets the packed fast path share one precomputed view.
+        """
+        cells = self._cells.copy()
+        cells[self._sa0] = False
+        cells[self._sa1] = True
+        cells[self._dead] = False
+        return cells
 
 
 def inject_random_faults(

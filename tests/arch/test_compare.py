@@ -115,3 +115,61 @@ class TestParetoFront:
         front = pareto_front(fig7_tradeoff())
         cycles = [p.cycles for p in front]
         assert cycles == sorted(cycles)
+
+
+class TestParetoEdgeCases:
+    @staticmethod
+    def point(name, cycles, area):
+        from repro.arch.compare import DesignPoint
+
+        return DesignPoint(
+            name=name, cycles=cycles, area_mm2=area, total_pes=1, utilization=1.0
+        )
+
+    def test_single_point_survives(self):
+        from repro.arch.compare import pareto_front
+
+        only = self.point("only", 10, 1.0)
+        assert pareto_front([only]) == [only]
+
+    def test_empty_input(self):
+        from repro.arch.compare import pareto_front
+
+        assert pareto_front([]) == []
+
+    def test_exact_duplicates_all_survive(self):
+        """Identical points do not dominate each other (no strict edge)."""
+        from repro.arch.compare import pareto_front
+
+        a = self.point("a", 10, 1.0)
+        b = self.point("b", 10, 1.0)
+        front = pareto_front([a, b, self.point("worse", 20, 2.0)])
+        assert {p.name for p in front} == {"a", "b"}
+
+    def test_dominated_tie_on_one_axis_removed(self):
+        """Equal cycles but strictly larger area is dominated (and the
+        symmetric case for equal area)."""
+        from repro.arch.compare import pareto_front
+
+        best = self.point("best", 10, 1.0)
+        tie_cycles = self.point("tie_cycles", 10, 1.5)
+        tie_area = self.point("tie_area", 12, 1.0)
+        front = pareto_front([best, tie_cycles, tie_area])
+        assert front == [best]
+
+    def test_incomparable_points_all_kept(self):
+        from repro.arch.compare import pareto_front
+
+        fast_big = self.point("fast_big", 5, 3.0)
+        slow_small = self.point("slow_small", 50, 0.5)
+        assert pareto_front([fast_big, slow_small]) == [fast_big, slow_small]
+
+    def test_duck_types_evaluated_designs(self):
+        """Any object with cycles/area_mm2 works (the DSE grid rows)."""
+        from repro.arch.compare import pareto_front
+        from repro.arch.dse import enumerate_designs
+        from repro.arch.workloads import vgg8_conv1
+
+        evaluated = enumerate_designs(vgg8_conv1(), banks_grid=(1, 16), bank_kb_grid=(8, 32))
+        front = pareto_front(evaluated)
+        assert front and all(e in evaluated for e in front)

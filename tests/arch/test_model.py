@@ -1,0 +1,73 @@
+"""AcceleratorModel protocol conformance and generalized runner tests."""
+
+import pytest
+
+from repro.arch.daism import DaismDesign
+from repro.arch.eyeriss import TEMPORAL_EFFICIENCY, EyerissDesign
+from repro.arch.model import AcceleratorModel
+from repro.arch.network_runner import compare_designs, run_network
+from repro.arch.workloads import lenet_like_layers, vgg8_conv1, vgg8_layers
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("model", [DaismDesign(), EyerissDesign()])
+    def test_isinstance(self, model):
+        assert isinstance(model, AcceleratorModel)
+
+    def test_daism_view_matches_mapper(self):
+        design = DaismDesign(banks=16, bank_kb=8)
+        layer = vgg8_conv1()
+        mapping = design.map_conv(layer)
+        assert design.cycles(layer) == mapping.cycles
+        assert design.steady_cycles(layer) == mapping.throughput_cycles
+        assert design.macs(layer) == mapping.macs
+        assert design.utilization(layer) == mapping.utilization
+        assert design.passes(layer) == mapping.passes
+
+    def test_eyeriss_view(self):
+        eyeriss = EyerissDesign()
+        layer = vgg8_conv1()
+        assert eyeriss.steady_cycles(layer) == eyeriss.cycles(layer)
+        assert eyeriss.macs(layer) == layer.macs_dense
+        assert eyeriss.passes(layer) == 1
+        assert eyeriss.utilization(layer) == pytest.approx(
+            eyeriss.spatial_utilization(layer) * TEMPORAL_EFFICIENCY
+        )
+
+    def test_steady_never_exceeds_latency_cycles(self):
+        design = DaismDesign(banks=16, bank_kb=32)
+        for layer in vgg8_layers():
+            assert design.steady_cycles(layer) <= design.cycles(layer)
+
+
+class TestGeneralizedRunner:
+    def test_run_network_accepts_eyeriss(self):
+        report = run_network(EyerissDesign(), lenet_like_layers())
+        assert report.design_name == "Eyeriss 12x14"
+        assert report.total_cycles > 0
+        assert report.total_energy_uj > 0
+        assert all(l.passes == 1 for l in report.layers)
+
+    def test_batch_amortises_toward_steady_rate(self):
+        design = DaismDesign(banks=16, bank_kb=32)
+        report = run_network(design, vgg8_layers())
+        assert report.batch_cycles(1) == report.total_cycles
+        per_image_64 = report.batch_cycles(64) / 64
+        assert report.total_steady_cycles <= per_image_64 <= report.total_cycles
+        with pytest.raises(ValueError):
+            report.batch_cycles(0)
+
+    def test_compare_designs_rows(self):
+        rows = compare_designs(
+            [DaismDesign(banks=16, bank_kb=32), EyerissDesign()],
+            lenet_like_layers(),
+            batch=4,
+        )
+        assert [r["design"] for r in rows] == ["DAISM 16x32kB PC3_tr bfloat16", "Eyeriss 12x14"]
+        assert rows[0]["vs ref cycles"] == 1.0  # first model is the reference
+        assert rows[1]["vs ref cycles"] > 1.0  # Eyeriss is slower end to end
+        assert all(r["batch"] == 4 for r in rows)
+
+    def test_compare_designs_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_designs([], lenet_like_layers())

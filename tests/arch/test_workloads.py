@@ -74,3 +74,67 @@ class TestLayerTables:
 
     def test_vgg8_first_layer_is_the_eval_layer(self):
         assert vgg8_layers()[0].kernel_elements == vgg8_conv1().kernel_elements
+
+
+class TestGroupedConv:
+    def test_depthwise_counts(self):
+        dw = ConvLayer("dw", 32, 32, 3, 16, 16, groups=32)
+        assert dw.filters_per_slice == 1
+        assert dw.kernel_elements == 32 * 3 * 3  # one 3x3 filter per channel
+        assert dw.macs_dense == 16 * 16 * 3 * 3 * 32
+        dense = ConvLayer("full", 32, 32, 3, 16, 16)
+        assert dense.macs == 32 * dw.macs  # grouping removes cross-channel work
+
+    def test_grouped_counts(self):
+        g = ConvLayer("g4", 8, 16, 3, 8, 8, groups=4)
+        assert g.filters_per_slice == 4
+        assert g.kernel_elements == 8 * 9 * 4
+
+    def test_groups_validation(self):
+        with pytest.raises(ValueError, match="groups"):
+            ConvLayer("bad", 6, 8, 3, 8, 8, groups=4)  # 6 % 4 != 0
+        with pytest.raises(ValueError, match="groups"):
+            ConvLayer("bad", 8, 6, 3, 8, 8, groups=4)
+        with pytest.raises(ValueError, match="groups"):
+            ConvLayer("bad", 8, 8, 3, 8, 8, groups=0)
+
+    def test_depthwise_maps_on_daism(self):
+        """The mapper packs one-filter slices several per row; MAC counts
+        stay consistent between layer accounting and the mapping."""
+        from repro.arch.layout_mapper import map_layer
+
+        dw = ConvLayer("dw", 16, 16, 3, 12, 12, groups=16)
+        mapping = map_layer(dw, pes_per_row=32, banks=4)
+        assert mapping.macs == dw.macs
+        assert 0 < mapping.utilization <= 1.0
+
+
+class TestNewWorkloads:
+    def test_mobilenet_stack_shapes_chain(self):
+        from repro.arch.workloads import mobilenet_edge_layers
+
+        layers = mobilenet_edge_layers()
+        assert any(l.groups > 1 for l in layers)
+        for prev, nxt in zip(layers, layers[1:]):
+            assert prev.out_channels == nxt.in_channels
+            assert (prev.out_height, prev.out_width) == (nxt.height, nxt.width)
+
+    def test_transformer_block_is_pure_gemm(self):
+        from repro.arch.workloads import transformer_block_layers
+
+        layers = transformer_block_layers(d_model=128, seq_len=32)
+        assert [l.name for l in layers] == ["qkv_proj", "attn_out", "mlp_up", "mlp_down"]
+        for l in layers:
+            assert l.kernel == 1 and l.padding == 0
+            # A (seq, d) @ (d, f) GEMM: seq MACs per weight.
+            assert l.macs == 32 * l.in_channels * l.out_channels
+
+    def test_workload_registry(self):
+        from repro.arch.workloads import workload_by_name, workload_names
+
+        assert {"vgg8", "mobilenet_edge", "transformer_block"} <= set(workload_names())
+        for name in workload_names():
+            layers = workload_by_name(name)
+            assert layers and all(l.macs > 0 for l in layers)
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_by_name("nope")

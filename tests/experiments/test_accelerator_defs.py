@@ -1,0 +1,107 @@
+"""The accelerator co-simulation experiments through the engine.
+
+Covers the ISSUE acceptance criteria: the three experiments are
+registered and run clean through the cache and the parallel runner, and
+the DSE rows are deterministic under ``--workers > 1``.
+"""
+
+import pytest
+
+from repro.experiments import ResultCache, experiment_names, get_experiment, run_experiment
+
+ACCELERATOR_EXPERIMENTS = ("dse_sweep", "network_latency", "fault_sensitivity")
+
+
+class TestRegistration:
+    def test_listed(self):
+        assert set(ACCELERATOR_EXPERIMENTS) <= set(experiment_names())
+
+    @pytest.mark.parametrize("name", ACCELERATOR_EXPERIMENTS)
+    def test_metadata(self, name):
+        exp = get_experiment(name)
+        assert exp.space and exp.defaults
+        assert "arch" in exp.tags or "sram" in exp.tags
+
+
+class TestFaultSensitivity:
+    def test_cache_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        overrides = {"rate": 0.01, "dead_row_rate": [0.0, 0.01], "seeds": 1}
+        first = run_experiment("fault_sensitivity", overrides=overrides, cache=cache)
+        second = run_experiment("fault_sensitivity", overrides=overrides, cache=cache)
+        assert first.misses == 2 and second.hits == 2
+        assert second.rows == first.rows
+
+    def test_fault_free_point_is_exact(self):
+        result = run_experiment(
+            "fault_sensitivity",
+            overrides={"rate": 0.0, "dead_row_rate": 0.0, "seeds": 1},
+            use_cache=False,
+        )
+        (row,) = result.rows
+        assert float(row["extra rel. error (mean)"]) == 0.0
+        assert row["affected products"] == "0.0%"
+
+    def test_dead_rows_alone_introduce_error(self):
+        result = run_experiment(
+            "fault_sensitivity",
+            overrides={"rate": 0.0, "dead_row_rate": 0.05, "seeds": 1},
+            use_cache=False,
+        )
+        (row,) = result.rows
+        assert float(row["extra rel. error (mean)"]) > 0.0
+
+
+class TestDseSweep:
+    OVERRIDES = {
+        "workload": ["lenet", "transformer_block"],
+        "banks_grid": [1, 16],
+        "bank_kb_grid": [8, 32],
+    }
+
+    def test_rows_and_pareto(self):
+        result = run_experiment("dse_sweep", overrides=self.OVERRIDES, use_cache=False)
+        assert len(result.rows) == 2 * 4  # workloads x grid designs
+        for workload in ("lenet", "transformer_block"):
+            sub = [r for r in result.rows if r["workload"] == workload]
+            assert any(r["pareto"] for r in sub)
+
+    def test_deterministic_under_parallel_workers(self, tmp_path):
+        """--workers > 1 must give byte-identical rows in the same order
+        (the runner reassembles in point order; each point is pure)."""
+        serial = run_experiment("dse_sweep", overrides=self.OVERRIDES, use_cache=False)
+        parallel = run_experiment(
+            "dse_sweep", overrides=self.OVERRIDES, workers=2, use_cache=False
+        )
+        assert parallel.workers == 2
+        assert parallel.rows == serial.rows
+        # And a parallel cold run populates the same cache entries a
+        # serial warm run then hits.
+        cache = ResultCache(tmp_path)
+        cold = run_experiment("dse_sweep", overrides=self.OVERRIDES, workers=2, cache=cache)
+        warm = run_experiment("dse_sweep", overrides=self.OVERRIDES, cache=cache)
+        assert cold.misses == 2 and warm.hits == 2
+        assert warm.rows == serial.rows
+
+
+class TestNetworkLatency:
+    def test_batch_amortisation_visible(self):
+        result = run_experiment(
+            "network_latency",
+            overrides={"network": "vgg8", "batch": [1, 64]},
+            use_cache=False,
+        )
+        daism = [r for r in result.rows if r["design"].startswith("DAISM")]
+        assert len(daism) == 2
+        by_batch = {r["batch"]: r for r in daism}
+        assert by_batch[64]["ms/img"] < by_batch[1]["ms/img"]
+
+    def test_workers_parity(self):
+        overrides = {"network": ["lenet", "mobilenet_edge"], "batch": 1}
+        serial = run_experiment("network_latency", overrides=overrides, use_cache=False)
+        parallel = run_experiment(
+            "network_latency", overrides=overrides, workers=2, use_cache=False
+        )
+        assert parallel.rows == serial.rows
+        networks = {r["network"] for r in serial.rows}
+        assert networks == {"lenet", "mobilenet_edge"}

@@ -1,0 +1,247 @@
+"""Bit-plane path tests: packbits helpers and the vectorized bank readout.
+
+The contract under test is *bit identity*: the packed fast path
+(``ints_to_bits``/``bits_to_ints``/``packed_words``/``multiply_batch``)
+must reproduce the scalar seed implementation exactly — values, fault
+behaviour and access counters — for every configuration, width and fault
+map. Widths 1–32 are the regression range the integer round-trip
+helpers originally mis-handled with per-bit loops; the helpers now go
+through :func:`numpy.packbits` and support 1–64.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import all_configs
+from repro.sram.array import SRAMArray
+from repro.sram.bank import ComputeBank
+from repro.sram.faults import FaultModel, FaultySRAMArray, inject_random_faults
+
+
+def scalar_int_to_bits(value: int, width: int) -> np.ndarray:
+    """The seed's per-bit loop, kept as the reference implementation."""
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=bool)
+
+
+def scalar_bits_to_int(bits: np.ndarray) -> int:
+    """The seed's per-bit accumulation, kept as the reference."""
+    return int(sum(1 << i for i, bit in enumerate(np.asarray(bits, dtype=bool)) if bit))
+
+
+class TestPackbitsHelpers:
+    @pytest.mark.parametrize("width", range(1, 33))
+    def test_roundtrip_matches_scalar_reference(self, width):
+        rng = np.random.default_rng(width)
+        values = rng.integers(0, 1 << width, 64, dtype=np.uint64)
+        bits = SRAMArray.ints_to_bits(values, width)
+        assert bits.shape == (64, width)
+        for value, row in zip(values, bits):
+            np.testing.assert_array_equal(row, scalar_int_to_bits(int(value), width))
+            assert scalar_bits_to_int(row) == int(value)
+        np.testing.assert_array_equal(SRAMArray.bits_to_ints(bits), values)
+
+    @pytest.mark.parametrize("width", [1, 7, 32, 63, 64])
+    def test_extremes(self, width):
+        top = (1 << width) - 1
+        vals = np.array([0, 1, top], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            SRAMArray.bits_to_ints(SRAMArray.ints_to_bits(vals, width)), vals
+        )
+
+    def test_scalar_wrappers_delegate(self):
+        for value in (0, 1, 0b1011, 255):
+            bits = SRAMArray.int_to_bits(value, 8)
+            np.testing.assert_array_equal(bits, scalar_int_to_bits(value, 8))
+            assert SRAMArray.bits_to_int(bits) == value
+
+    def test_multidimensional_shapes(self):
+        values = np.arange(24, dtype=np.uint64).reshape(2, 3, 4)
+        bits = SRAMArray.ints_to_bits(values, 5)
+        assert bits.shape == (2, 3, 4, 5)
+        np.testing.assert_array_equal(SRAMArray.bits_to_ints(bits), values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            SRAMArray.ints_to_bits(np.array([4], dtype=np.uint64), 2)
+        with pytest.raises(ValueError, match="width"):
+            SRAMArray.ints_to_bits(np.array([0], dtype=np.uint64), 0)
+        with pytest.raises(ValueError, match="width"):
+            SRAMArray.ints_to_bits(np.array([0], dtype=np.uint64), 65)
+
+    @given(
+        width=st.integers(1, 32),
+        values=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=32),
+    )
+    def test_roundtrip_property(self, width, values):
+        vals = np.array([v % (1 << width) for v in values], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            SRAMArray.bits_to_ints(SRAMArray.ints_to_bits(vals, width)), vals
+        )
+
+
+class TestPackedWords:
+    def test_matches_per_row_reads(self):
+        arr = SRAMArray(4, 16)
+        rng = np.random.default_rng(0)
+        for r in range(4):
+            arr.write_row(r, rng.integers(0, 2, 16).astype(bool))
+        packed = arr.packed_words(8)
+        assert packed.shape == (4, 2)
+        for r in range(4):
+            row = arr.read_row(r)
+            for s in range(2):
+                assert packed[r, s] == scalar_bits_to_int(row[s * 8 : (s + 1) * 8])
+
+    def test_trailing_partial_slot_ignored(self):
+        arr = SRAMArray(2, 10)
+        arr.write_row(0, np.ones(10, dtype=bool))
+        assert arr.packed_words(8).shape == (2, 1)
+
+    def test_faulty_array_uses_effective_cells(self):
+        fm = FaultModel(
+            stuck_at_1=frozenset({(0, 0)}),
+            stuck_at_0=frozenset({(1, 1)}),
+            dead_rows=frozenset({2}),
+        )
+        arr = FaultySRAMArray(3, 8, fm)
+        arr.write_row(1, SRAMArray.int_to_bits(0b11, 8))
+        arr.write_row(2, SRAMArray.int_to_bits(0xFF, 8))
+        packed = arr.packed_words(8)
+        assert packed[0, 0] == 0b1  # stuck-at-1 raises an empty row
+        assert packed[1, 0] == 0b01  # stuck-at-0 clears bit 1
+        assert packed[2, 0] == 0  # dead row senses nothing
+        # A stuck-at-1 on a dead row must not resurrect the wordline.
+        fm2 = FaultModel(stuck_at_1=frozenset({(0, 3)}), dead_rows=frozenset({0}))
+        assert FaultySRAMArray(1, 8, fm2).packed_words(8)[0, 0] == 0
+
+    def test_version_counts_writes_and_survives_stat_reset(self):
+        arr = SRAMArray(2, 8)
+        assert arr.version == 0
+        arr.write_row(0, np.ones(8, dtype=bool))
+        arr.reset_stats()
+        arr.write_row(1, np.ones(8, dtype=bool))
+        assert arr.version == 2
+
+
+def reference_products(bank: ComputeBank, operands) -> np.ndarray:
+    """Scalar readout: one ``multiply_all`` per operand (the seed path)."""
+    return np.stack([bank.multiply_all(int(b)) for b in operands])
+
+
+def stats_snapshot(bank: ComputeBank) -> tuple[int, int, int, int]:
+    return (
+        bank.array.stats.row_reads,
+        bank.array.stats.wordline_activations,
+        bank.decoder.stats.decodes,
+        bank.decoder.stats.lines_activated,
+    )
+
+
+class TestMultiplyBatch:
+    @pytest.mark.parametrize("config", all_configs(), ids=lambda c: c.name)
+    def test_bit_identical_to_scalar_faultless(self, config):
+        bank = ComputeBank(8 * 1024, config, 8)
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 256, size=(3, 9)).astype(np.uint64)
+        bank.load_elements(values)
+        operands = [0, 128, 255] + [int(b) for b in rng.integers(128, 256, 13)]
+        np.testing.assert_array_equal(
+            bank.multiply_batch(operands), reference_products(bank, operands)
+        )
+
+    @pytest.mark.parametrize("config", all_configs(), ids=lambda c: c.name)
+    def test_bit_identical_under_faults(self, config):
+        fm = inject_random_faults(256, 256, 0.02, dead_row_rate=0.05, seed=7)
+        bank = ComputeBank(8 * 1024, config, 8, fault_model=fm)
+        rng = np.random.default_rng(2)
+        values = rng.integers(128, 256, size=(4, 12)).astype(np.uint64)
+        bank.load_elements(values)
+        operands = [int(b) for b in rng.integers(128, 256, 16)]
+        np.testing.assert_array_equal(
+            bank.multiply_batch(operands), reference_products(bank, operands)
+        )
+
+    def test_stats_parity_with_scalar_loop(self):
+        from repro.core.config import PC3_TR
+
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        values = np.full((2, 8), 200, dtype=np.uint64)
+        bank.load_elements(values)
+        operands = [0, 200, 131, 255, 200]
+        bank.array.reset_stats()
+        bank.decoder.stats.reset()
+        reference_products(bank, operands)
+        scalar_stats = stats_snapshot(bank)
+        bank.array.reset_stats()
+        bank.decoder.stats.reset()
+        bank.multiply_batch(operands)
+        assert stats_snapshot(bank) == scalar_stats
+
+    def test_empty_batch_and_unloaded_bank(self):
+        from repro.core.config import PC3_TR
+
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        with pytest.raises(RuntimeError, match="no loaded elements"):
+            bank.multiply_batch([1])
+        bank.load_elements(np.full((1, 4), 9, dtype=np.uint64))
+        assert bank.multiply_batch([]).shape == (0, 1, 4)
+
+    def test_reload_invalidates_packed_cache(self):
+        from repro.core.config import PC3_TR
+
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        bank.load_elements(np.full((1, 4), 200, dtype=np.uint64))
+        first = bank.multiply_batch([200])
+        bank.load_elements(np.full((1, 4), 131, dtype=np.uint64))
+        second = bank.multiply_batch([200])
+        np.testing.assert_array_equal(second, reference_products(bank, [200]))
+        assert not np.array_equal(first, second)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        config_idx=st.integers(0, len(all_configs()) - 1),
+        seed=st.integers(0, 2**16),
+        fault_rate=st.sampled_from([0.0, 0.01, 0.08]),
+        dead_rate=st.sampled_from([0.0, 0.05]),
+    )
+    def test_bit_identity_property(self, config_idx, seed, fault_rate, dead_rate):
+        """Property pin: for any config/fault map/operand set, the packed
+        path reproduces the scalar seed readout bit for bit."""
+        config = all_configs()[config_idx]
+        rng = np.random.default_rng(seed)
+        fm = (
+            inject_random_faults(256, 256, fault_rate, dead_row_rate=dead_rate, seed=seed)
+            if (fault_rate or dead_rate)
+            else None
+        )
+        bank = ComputeBank(8 * 1024, config, 8, fault_model=fm)
+        values = rng.integers(0, 256, size=(2, 6)).astype(np.uint64)
+        bank.load_elements(values)
+        # fp_mode operands carry the implicit leading one (or are zero).
+        operands = [0] + [int(b) for b in rng.integers(128, 256, 6)]
+        np.testing.assert_array_equal(
+            bank.multiply_batch(operands), reference_products(bank, operands)
+        )
+
+
+class TestVectorizedLoad:
+    def test_load_matches_layout_stored_values(self):
+        """Every stored line equals the layout's scalar expansion."""
+        from repro.core.config import PC3_TR
+
+        bank = ComputeBank(8 * 1024, PC3_TR, 8)
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 256, size=(2, 5)).astype(np.uint64)
+        bank.load_elements(values)
+        w = bank.layout.word_bits
+        for r in range(2):
+            base = r * bank.layout.padded_lines
+            for line_idx, spec in enumerate(bank.layout.lines):
+                row = bank.array.read_row(base + line_idx)
+                for s in range(5):
+                    want = spec.stored_value(
+                        int(values[r, s]), 8, bank.layout.k, PC3_TR.truncated
+                    )
+                    assert scalar_bits_to_int(row[s * w : (s + 1) * w]) == want

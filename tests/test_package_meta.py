@@ -54,7 +54,16 @@ def test_repo_documents_exist():
 
 
 @pytest.mark.parametrize(
-    "module_name", ["repro", "repro.core", "repro.experiments", "repro.analysis"]
+    "module_name",
+    [
+        "repro",
+        "repro.analysis",
+        "repro.arch",
+        "repro.core",
+        "repro.energy",
+        "repro.experiments",
+        "repro.sram",
+    ],
 )
 def test_public_api_is_documented(module_name):
     """Every class/function re-exported via ``__all__`` has a docstring."""
@@ -67,4 +76,21 @@ def test_public_api_is_documented(module_name):
         if (inspect.isclass(obj := getattr(module, name)) or inspect.isfunction(obj))
         and not inspect.getdoc(obj)
     ]
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if not inspect.isclass(obj):
+            continue
+        for attr, member in vars(obj).items():
+            if attr.startswith("_"):
+                continue
+            if isinstance(member, property):
+                documented = member.fget and inspect.getdoc(member.fget)
+            elif inspect.isfunction(member) or isinstance(
+                member, (classmethod, staticmethod)
+            ):
+                documented = inspect.getdoc(member)
+            else:
+                continue  # dataclass fields etc. are documented class-side
+            if not documented:
+                undocumented.append(f"{name}.{attr}")
     assert not undocumented, f"{module_name} exports lack docstrings: {undocumented}"
