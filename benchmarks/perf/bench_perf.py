@@ -1,14 +1,22 @@
 """Performance-trajectory harness: writes ``BENCH_perf.json``.
 
-Times the two hot paths of the packed arithmetic pipeline and emits one
+Times the hot paths of the packed arithmetic pipeline and emits one
 machine-readable artifact so CI can track the perf trajectory over PRs:
 
 * **matmul throughput** across a size grid, for the exact, quantised and
-  DAISM backends — each approximate size both with per-call weight
-  packing (``raw``) and against a pre-packed weight (``prepared``);
+  DAISM backends — the DAISM rows cover every registered GEMM kernel
+  (``float_table`` default, ``uint32_fused`` parity reference,
+  ``blas_factored`` fast path), with the default kernel timed both with
+  per-call weight packing (``raw``) and against a pre-packed weight
+  (``prepared``);
+* **row-budget autotune**: the bench-driven chunk tuning of
+  :func:`repro.core.kernels.autotune_row_budget`, with the candidate
+  timings and the installed winner recorded;
 * **end-to-end network latency**: LeNet inference over a test set under
-  the bfloat16 PC3_tr DAISM backend, with the packing counters recorded
-  to prove the steady state performs zero weight re-pack work;
+  the bfloat16 PC3_tr DAISM backend — once per kernel — with the packing
+  counters recorded to prove the steady state performs zero weight
+  re-pack work, and the classification outputs of the tolerance-path
+  kernels compared against the default;
 * **fault-injection sweep**: the ``fault_sensitivity`` error grid
   computed on the scalar row-by-row SRAM readout vs the vectorized
   bit-plane path (``ComputeBank.multiply_batch``), with the products
@@ -19,7 +27,10 @@ Run::
     python benchmarks/perf/bench_perf.py --out BENCH_perf.json [--quick]
 
 ``--quick`` shrinks the grid and the dataset so a CI smoke step finishes
-in a few seconds; the JSON schema is identical either way.
+in a few seconds; the JSON schema is identical either way, and the quick
+grid is a subset of the full grid so
+``benchmarks/perf/check_perf_regression.py`` can join quick CI rows
+against the committed full baseline.
 """
 
 from __future__ import annotations
@@ -31,7 +42,10 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-perf/1"
+SCHEMA = "repro-perf/2"
+
+#: DAISM kernels timed per size (None = the bit-exact default).
+KERNEL_SUITE = (None, "uint32_fused", "blas_factored")
 
 
 def _best_of(fn, reps: int) -> float:
@@ -45,14 +59,28 @@ def _best_of(fn, reps: int) -> float:
     return best
 
 
+def autotune_rows(quick: bool) -> dict:
+    """Run the bench-driven row-budget autotune and record the choice."""
+    from repro.core.kernels import autotune_row_budget
+
+    shape = (64, 128, 64) if quick else (256, 288, 64)
+    result = autotune_row_budget(kernel="float_table", shape=shape, reps=2 if quick else 3)
+    return {
+        "kernel": result.kernel,
+        "shape": list(result.shape),
+        "timings_ms": {str(k): round(v, 3) for k, v in result.timings_ms.items()},
+        "chosen_budget": result.chosen,
+    }
+
+
 def matmul_rows(quick: bool) -> list[dict]:
-    """Throughput rows across the size grid and backend suite."""
+    """Throughput rows across the size grid, backend suite and kernels."""
     from repro.core.config import PC3_TR
     from repro.formats.floatfmt import BFLOAT16
     from repro.nn.backend import daism_backend, exact_backend, quantized_backend
 
-    sizes = [(64, 64, 32)] if quick else [(64, 128, 64), (256, 288, 64), (1024, 64, 10)]
-    reps = 2 if quick else 5
+    sizes = [(64, 128, 64)] if quick else [(64, 128, 64), (256, 288, 64), (1024, 64, 10)]
+    reps = 3 if quick else 5
     rng = np.random.default_rng(0)
     rows: list[dict] = []
     for m, k, n in sizes:
@@ -60,12 +88,15 @@ def matmul_rows(quick: bool) -> list[dict]:
         b = rng.standard_normal((k, n)).astype(np.float32)
         macs = 2.0 * m * k * n
         suites = [
-            ("exact_float32", exact_backend(), False),
-            ("quantized_bfloat16", quantized_backend(BFLOAT16), False),
-            ("approx_bfloat16_PC3_tr", daism_backend(PC3_TR, BFLOAT16), False),
-            ("approx_bfloat16_PC3_tr", daism_backend(PC3_TR, BFLOAT16), True),
+            (exact_backend(), "-", False),
+            (quantized_backend(BFLOAT16), "dense_blas", False),
         ]
-        for name, backend, prepared in suites:
+        for kernel in KERNEL_SUITE:
+            backend = daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
+            label = kernel or "float_table"
+            suites.append((backend, label, False))
+            suites.append((backend, label, True))
+        for backend, kernel_label, prepared in suites:
             rhs = backend.prepare(b) if prepared else b
             seconds = _best_of(lambda: backend.matmul(a, rhs), reps)
             rows.append(
@@ -73,7 +104,8 @@ def matmul_rows(quick: bool) -> list[dict]:
                     "m": m,
                     "k": k,
                     "n": n,
-                    "backend": name,
+                    "backend": backend.name,
+                    "kernel": kernel_label,
                     "variant": "prepared" if prepared else "raw",
                     "ms_per_call": round(seconds * 1e3, 3),
                     "mmacs_per_s": round(macs / seconds / 1e6, 1),
@@ -83,7 +115,13 @@ def matmul_rows(quick: bool) -> list[dict]:
 
 
 def network_latency(quick: bool) -> dict:
-    """End-to-end LeNet inference latency under the DAISM backend."""
+    """End-to-end LeNet inference latency under the DAISM backend.
+
+    The default (bit-exact) kernel provides the headline ``ms_per_sample``
+    plus the steady-state packing-counter proof; every other registered
+    DAISM kernel gets its own latency row in ``kernels`` with its
+    classification accuracy compared against the default.
+    """
     from repro.core.config import PC3_TR
     from repro.formats.floatfmt import BFLOAT16
     from repro.formats.packed import packing_counters, reset_packing_counters
@@ -95,33 +133,54 @@ def network_latency(quick: bool) -> dict:
     n_test = 32 if quick else 256
     data = shapes_dataset(n_train=8, n_test=n_test, size=16, seed=0)
     model = build_lenet()
-    backend = daism_backend(PC3_TR, BFLOAT16)
 
-    def run() -> float:
-        return evaluate(model, data.test_x, data.test_y, backend=backend)
+    def timed_eval(kernel: str | None) -> tuple[float, float, dict, dict]:
+        backend = daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
 
-    run()  # warm: populates the layers' prepared-weight caches
-    reset_packing_counters()
-    t0 = time.perf_counter()
-    run()
-    seconds = time.perf_counter() - t0
-    second = packing_counters()
-    reset_packing_counters()
-    run()
-    third = packing_counters()
-    # With warm weight caches, every pack in a steady-state pass is an
-    # activation; two identical passes must pack identically (no creeping
-    # weight re-pack work).
-    return {
+        def run() -> float:
+            return evaluate(model, data.test_x, data.test_y, backend=backend)
+
+        run()  # warm: populates the layers' prepared-weight caches
+        reset_packing_counters()
+        t0 = time.perf_counter()
+        accuracy = run()
+        seconds = time.perf_counter() - t0
+        second = packing_counters()
+        reset_packing_counters()
+        run()
+        third = packing_counters()
+        return seconds, accuracy, second, third
+
+    seconds, accuracy, second, third = timed_eval(None)
+    report = {
         "model": "lenet",
         "backend": "approx_bfloat16_PC3_tr",
+        "kernel": "float_table",
         "samples": n_test,
         "ms_total": round(seconds * 1e3, 2),
         "ms_per_sample": round(seconds * 1e3 / n_test, 3),
+        "accuracy": round(float(accuracy), 4),
         "steady_state_pack_calls": second["pack_calls"],
         "steady_state_elements_packed": second["elements_packed"],
+        # With warm weight caches, every pack in a steady-state pass is an
+        # activation; two identical passes must pack identically (no
+        # creeping weight re-pack work).
         "repack_free": second == third,
+        "kernels": [],
     }
+    for kernel in KERNEL_SUITE[1:]:
+        k_seconds, k_accuracy, k_second, k_third = timed_eval(kernel)
+        report["kernels"].append(
+            {
+                "kernel": kernel,
+                "ms_total": round(k_seconds * 1e3, 2),
+                "ms_per_sample": round(k_seconds * 1e3 / n_test, 3),
+                "accuracy": round(float(k_accuracy), 4),
+                "accuracy_matches_default": bool(k_accuracy == accuracy),
+                "repack_free": k_second == k_third,
+            }
+        )
+    return report
 
 
 def fault_sweep(quick: bool) -> dict:
@@ -180,6 +239,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "quick": quick,
+        "autotune": autotune_rows(quick),
         "matmul": matmul_rows(quick),
         "network": network_latency(quick),
         "fault_sweep": fault_sweep(quick),
@@ -200,16 +260,28 @@ def main() -> None:
     report = run(args.out, quick=args.quick)
     net = report["network"]
     print(f"wrote {args.out}")
+    tuned = report["autotune"]
+    print(
+        f"  autotune[{tuned['kernel']}]: row budget {tuned['chosen_budget']}"
+        f" on {'x'.join(map(str, tuned['shape']))}"
+    )
     for row in report["matmul"]:
         print(
             f"  {row['m']}x{row['k']}x{row['n']} {row['backend']:<24}"
-            f" {row['variant']:<9} {row['ms_per_call']:>9.3f} ms"
+            f" {row['kernel']:<13} {row['variant']:<9} {row['ms_per_call']:>9.3f} ms"
             f" {row['mmacs_per_s']:>9.1f} Mmac/s"
         )
     print(
-        f"  lenet/{net['backend']}: {net['ms_total']} ms for {net['samples']}"
-        f" samples ({net['ms_per_sample']} ms/sample), repack_free={net['repack_free']}"
+        f"  lenet/{net['backend']}[{net['kernel']}]: {net['ms_total']} ms for"
+        f" {net['samples']} samples ({net['ms_per_sample']} ms/sample),"
+        f" repack_free={net['repack_free']}"
     )
+    for krow in net["kernels"]:
+        print(
+            f"  lenet/{net['backend']}[{krow['kernel']}]: {krow['ms_total']} ms"
+            f" ({krow['ms_per_sample']} ms/sample),"
+            f" accuracy_matches_default={krow['accuracy_matches_default']}"
+        )
     fs = report["fault_sweep"]
     print(
         f"  fault sweep ({fs['points']} pts): scalar {fs['scalar_ms']} ms ->"

@@ -1,0 +1,176 @@
+"""Perf regression guard: compare a fresh ``BENCH_perf.json`` to a baseline.
+
+CI runs the perf harness in ``--quick`` mode and then calls this script
+to join the fresh matmul rows against the committed full-grid baseline
+(the quick grid is a subset of the full grid, so rows match on
+``(m, k, n, backend, kernel, variant)``).  If the guarded backend's
+throughput regressed by more than ``--max-regression`` on any matching
+row, the script prints the offending rows and exits non-zero.
+
+Two robustness choices keep shared-runner noise from failing builds:
+
+* only the *default kernel*'s rows are guarded by default (``--kernel
+  float_table`` — the hot path every sweep rides on; pass ``--kernel
+  all`` to widen the guard);
+* throughput is **normalised by the same-shape ``exact_float32`` row of
+  the same report** before comparing, so absolute machine speed cancels
+  out and the guard tracks the kernel's overhead factor over BLAS
+  rather than raw MMACs/s (pass ``--absolute`` to compare raw numbers;
+  rows without a reference row in either report fall back to the
+  absolute comparison automatically).
+
+Run::
+
+    python benchmarks/perf/check_perf_regression.py \
+        --fresh BENCH_perf.ci.json --baseline BENCH_perf.json
+
+The default 25% tolerance is deliberately loose — the guard exists to
+catch order-of-magnitude kernel regressions (a lost fast path, an
+accidental repack per call), not single-digit jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REFERENCE_BACKEND = "exact_float32"
+
+
+def _key(row: dict) -> tuple:
+    return (row["m"], row["k"], row["n"], row["backend"], row.get("kernel", "-"), row["variant"])
+
+
+def _reference_mmacs(report: dict, row: dict) -> float | None:
+    for candidate in report.get("matmul", []):
+        if candidate["backend"] == REFERENCE_BACKEND and (
+            candidate["m"], candidate["k"], candidate["n"]
+        ) == (row["m"], row["k"], row["n"]):
+            return candidate["mmacs_per_s"]
+    return None
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    backend: str,
+    max_regression: float,
+    kernel: str | None = None,
+    normalize: bool = True,
+) -> tuple[list[dict], list[dict]]:
+    """Join matmul rows and split them into (checked, regressed).
+
+    Rows of ``backend`` (optionally restricted to one ``kernel``)
+    present in both reports are compared on ``mmacs_per_s`` — by default
+    after dividing each side by its report's same-shape
+    ``exact_float32`` throughput, which cancels machine speed.  A row
+    regresses when the fresh score drops below
+    ``baseline_score * (1 - max_regression)``.
+    """
+    base_rows = {_key(r): r for r in baseline.get("matmul", [])}
+    checked: list[dict] = []
+    regressed: list[dict] = []
+    for row in fresh.get("matmul", []):
+        if row["backend"] != backend:
+            continue
+        if kernel is not None and row.get("kernel") != kernel:
+            continue
+        base = base_rows.get(_key(row))
+        if base is None:
+            continue
+        fresh_score, base_score = row["mmacs_per_s"], base["mmacs_per_s"]
+        unit = "MMACs/s"
+        if normalize:
+            fresh_ref = _reference_mmacs(fresh, row)
+            base_ref = _reference_mmacs(baseline, base)
+            if fresh_ref and base_ref:
+                fresh_score = fresh_score / fresh_ref
+                base_score = base_score / base_ref
+                unit = f"x {REFERENCE_BACKEND}"
+        floor = base_score * (1.0 - max_regression)
+        record = {
+            "key": "x".join(map(str, _key(row)[:3]))
+            + f" {row['backend']}/{row.get('kernel', '-')}/{row['variant']}",
+            "unit": unit,
+            "baseline_score": base_score,
+            "fresh_score": fresh_score,
+            "floor": floor,
+        }
+        checked.append(record)
+        if fresh_score < floor:
+            regressed.append(record)
+    return checked, regressed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="freshly generated BENCH_perf.json")
+    parser.add_argument("--baseline", required=True, help="committed baseline BENCH_perf.json")
+    parser.add_argument(
+        "--backend",
+        default="approx_bfloat16_PC3_tr",
+        help="backend whose rows are guarded",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="float_table",
+        help=(
+            "restrict the guard to one kernel's rows (default: the "
+            "float_table default kernel; pass 'all' to guard every row)"
+        ),
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional score drop before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw MMACs/s instead of normalising by exact_float32",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    kernel = None if args.kernel == "all" else args.kernel
+    checked, regressed = compare(
+        fresh,
+        baseline,
+        args.backend,
+        args.max_regression,
+        kernel,
+        normalize=not args.absolute,
+    )
+    if not checked:
+        print(
+            f"perf guard: no comparable {args.backend!r} rows between"
+            f" {args.fresh} and {args.baseline}"
+        )
+        return 1
+    for record in checked:
+        status = "REGRESSED" if record in regressed else "ok"
+        print(
+            f"perf guard [{status:>9}] {record['key']}:"
+            f" {record['fresh_score']:.4g} vs baseline"
+            f" {record['baseline_score']:.4g} [{record['unit']}]"
+            f" (floor {record['floor']:.4g})"
+        )
+    if regressed:
+        print(
+            f"perf guard: {len(regressed)}/{len(checked)} rows regressed more than"
+            f" {args.max_regression:.0%}"
+        )
+        return 1
+    print(f"perf guard: {len(checked)} rows within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,16 @@ from .error_bounds import truncation_extra_error, worst_case_relative_error
 from .errors import ErrorStats, fp_error_stats, mantissa_error_stats
 from .fp_mul import approx_fp_multiply, exact_fp_multiply, significand_product
 from .gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul, approx_matmul
+from .kernels import (
+    AutotuneResult,
+    GemmKernel,
+    autotune_row_budget,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    select_kernel,
+    table_cache_counters,
+)
 from .related_work import (
     compressed_pp_multiply,
     compressed_pp_multiply_array,
@@ -64,6 +74,14 @@ __all__ = [
     "MatmulBackend",
     "QuantizedMatmul",
     "approx_matmul",
+    "AutotuneResult",
+    "GemmKernel",
+    "autotune_row_budget",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "select_kernel",
+    "table_cache_counters",
     "approx_multiply",
     "approx_multiply_truncated",
     "exact_multiply",

@@ -22,26 +22,25 @@ backends additionally accept stacked ``(B, M, K) @ (K, N)`` inputs,
 flattening the batch into the row dimension so a whole batch runs as one
 GEMM with bit-identical per-sample results.
 
-For table-supported significand widths the kernel collapses the
-normalise+compose back end into a single pre-computed ``uint32`` lookup
-(fraction bits, exponent bump and nonzero flag per significand pair), so
-the per-product work in the hot loop is one gather plus a handful of
-narrow integer ops — several times faster than running the FP pipeline
-per element, and bit-identical to it by construction.
+The arithmetic itself lives in the kernel registry of
+:mod:`repro.core.kernels`: the default ``float_table`` kernel collapses
+the whole normalise+compose back end into one float32 value-table gather
+plus two scale multiplies (bit-identical to the scalar reference), and
+callers can opt into alternatives — including the ``blas_factored``
+exact+correction fast path — by name through ``approx_matmul``'s
+``kernel`` argument or the backends' ``kernel`` field.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
 
 import numpy as np
 
-from ..formats.floatfmt import FLOAT32, FloatFormat, compose, quantize
+from ..formats.floatfmt import FLOAT32, FloatFormat, quantize
 from ..formats.packed import PackedTensor, pack
-from .config import MultiplierConfig, Scheme
-from .fp_mul import _normalise, significand_product
-from .tables import table_supported
+from .config import MultiplierConfig
+from .kernels import default_k_chunk, select_kernel
 
 __all__ = [
     "approx_matmul",
@@ -50,43 +49,6 @@ __all__ = [
     "QuantizedMatmul",
     "ApproxMatmul",
 ]
-
-
-def _default_chunk(m: int, n: int, budget_elems: int = 1 << 22) -> int:
-    """Reduction-chunk size keeping the (m, chunk, n) block under budget."""
-    per_k = max(1, m * n)
-    return max(1, budget_elems // per_k)
-
-
-@functools.lru_cache(maxsize=64)
-def _fused_table(bits: int, scheme: Scheme, truncated: bool) -> np.ndarray:
-    """Pre-computed normalise+compose of every significand pair.
-
-    Entry layout (uint32), indexed ``[ma, mb]``:
-
-    * bits 0..22  — the float32 fraction field of the normalised product
-      (already shifted into container position);
-    * bit 23      — the exponent bump from normalisation overflow;
-    * bit 24      — nonzero flag (0 exactly when the product is zero).
-
-    The entries are derived by running the real pipeline
-    (:func:`significand_product` + :func:`~repro.core.fp_mul._normalise`)
-    over the full operand square, so a gather from this table is
-    bit-identical to the per-element FP back end it replaces.
-    """
-    config = MultiplierConfig(scheme, truncated)
-    operands = np.arange(1 << bits, dtype=np.uint64)
-    product = significand_product(operands[:, None], operands[None, :], bits, config)
-    sig, bump = _normalise(product, np.zeros_like(product, dtype=np.int64), bits, truncated)
-    nonzero = product != 0
-    mantissa_bits = bits - 1
-    frac = ((sig & np.uint64((1 << mantissa_bits) - 1)) << np.uint64(23 - mantissa_bits)).astype(
-        np.uint32
-    )
-    entry = frac | (bump.astype(np.uint32) << np.uint32(23))
-    entry |= nonzero.astype(np.uint32) << np.uint32(24)
-    entry.setflags(write=False)
-    return entry
 
 
 def _as_packed(x: np.ndarray | PackedTensor, fmt: FloatFormat, side: str) -> PackedTensor:
@@ -100,86 +62,13 @@ def _as_packed(x: np.ndarray | PackedTensor, fmt: FloatFormat, side: str) -> Pac
     return pack(x, fmt)
 
 
-def _matmul_fused(
-    pa: PackedTensor, pb: PackedTensor, config: MultiplierConfig, k_chunk: int
-) -> np.ndarray:
-    """2-D packed GEMM through the fused product table."""
-    fmt = pa.fmt
-    m, k = pa.shape
-    n = pb.shape[1]
-    table = _fused_table(fmt.significand_bits, config.scheme, config.truncated)
-
-    ma, mb = pa.significand, pb.significand
-    ea, eb = pa.exponent, pb.exponent
-    sa31 = pa.sign << np.uint32(31)
-    sb31 = pb.sign << np.uint32(31)
-    emax = fmt.max_exponent - fmt.bias
-    emin = 1 - fmt.bias
-    inf_bits = np.uint32(0x7F80_0000)
-    nz_flag = np.uint32(1 << 24)
-
-    out = np.zeros((m, n), dtype=np.float32)
-    for start in range(0, k, k_chunk):
-        stop = min(k, start + k_chunk)
-        entry = table[ma[:, start:stop, None], mb[None, start:stop, :]]
-        exp = ea[:, start:stop, None] + eb[None, start:stop, :]
-        exp = exp + ((entry >> np.uint32(23)) & np.uint32(1)).view(np.int32)
-
-        nonzero = entry >= nz_flag
-        overflow = exp > emax
-        ok = nonzero & ~overflow & ~(exp < emin)
-        # In-range biased exponents fit int32 even after <<23; out-of-range
-        # lanes may wrap but are masked out by `ok`/`overflow` below.
-        base = ((exp + 127) << 23).view(np.uint32)
-        bits32 = np.where(ok, base | (entry & np.uint32(0x007F_FFFF)), np.uint32(0))
-        bits32 = np.where(nonzero & overflow, inf_bits, bits32)
-        bits32 = bits32 | (sa31[:, start:stop, None] ^ sb31[None, start:stop, :])
-        out += bits32.view(np.float32).sum(axis=1, dtype=np.float32)
-    return out
-
-
-def _matmul_generic(
-    pa: PackedTensor, pb: PackedTensor, config: MultiplierConfig, k_chunk: int
-) -> np.ndarray:
-    """2-D packed GEMM through the per-element FP pipeline.
-
-    Used for significand widths too wide to tabulate (e.g. float32).  The
-    normalise/compose path is zero-aware: a zero operand yields a zero
-    product from the multiplier, which :func:`_normalise` keeps at zero
-    and :func:`compose` turns into a (signed) zero — no placeholder
-    significand needed.
-    """
-    fmt = pa.fmt
-    m, k = pa.shape
-    n = pb.shape[1]
-    bits = fmt.significand_bits
-
-    sa, ea, ma = pa.sign, pa.exponent, pa.significand
-    sb, eb, mb = pb.sign, pb.exponent, pb.significand
-
-    out = np.zeros((m, n), dtype=np.float32)
-    for start in range(0, k, k_chunk):
-        stop = min(k, start + k_chunk)
-        mx = ma[:, start:stop, None].astype(np.uint64)
-        my = mb[None, start:stop, :].astype(np.uint64)
-        ex = ea[:, start:stop, None].astype(np.int64)
-        ey = eb[None, start:stop, :].astype(np.int64)
-        sx = sa[:, start:stop, None]
-        sy = sb[None, start:stop, :]
-
-        product = significand_product(mx, my, bits, config)
-        sig, exp = _normalise(product, ex + ey, bits, config.truncated)
-        values = compose(sx ^ sy, exp, sig, fmt)
-        out += values.sum(axis=1, dtype=np.float32)
-    return out
-
-
 def approx_matmul(
     a: np.ndarray | PackedTensor,
     b: np.ndarray | PackedTensor,
     fmt: FloatFormat,
     config: MultiplierConfig,
     k_chunk: int | None = None,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """``a @ b`` with every scalar product computed approximately.
 
@@ -201,6 +90,9 @@ def approx_matmul(
         Reduction chunk size; defaults to a memory-bounded choice
         computed from the *total* row count, so a batched call is
         bit-identical to the same rows flattened into one 2-D GEMM.
+    kernel:
+        Registered kernel name (see :func:`repro.core.kernels.kernel_names`);
+        ``None`` selects the bit-exact default for ``fmt``.
 
     Returns
     -------
@@ -219,10 +111,9 @@ def approx_matmul(
     rows, _ = pa.shape
     n = pb.shape[1]
     if k_chunk is None:
-        k_chunk = _default_chunk(rows, n)
+        k_chunk = default_k_chunk(rows, n)
 
-    kernel = _matmul_fused if table_supported(fmt.significand_bits) else _matmul_generic
-    out = kernel(pa, pb, config, k_chunk)
+    out = select_kernel(fmt, config, kernel).run(pa, pb, config, k_chunk)
     if batched:
         return out.reshape(batch, m, n)
     return out
@@ -311,9 +202,18 @@ class QuantizedMatmul(MatmulBackend):
     studies.  Prepared operands are packed tensors whose cached dense
     form is read back, so they interoperate with ``ApproxMatmul`` caches
     of the same format.
+
+    ``kernel=None`` multiplies the quantised dense values with
+    ``numpy.matmul`` (BLAS).  A named kernel routes the products through
+    the registered packed kernel with an *exact* significand multiplier
+    (``config=None``) instead — the conventional-multiplier datapath,
+    whose products are re-normalised to the format's significand width
+    and summed in datapath order.  Mainly useful for cross-validating
+    kernels against the scalar reference.
     """
 
     fmt: FloatFormat = FLOAT32
+    kernel: str | None = None
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -331,6 +231,18 @@ class QuantizedMatmul(MatmulBackend):
 
     def matmul(self, a, b) -> np.ndarray:
         """Exact product of the ``fmt``-quantised operands."""
+        if self.kernel is not None:
+            pa = _as_packed(a, self.fmt, "a")
+            pb = _as_packed(b, self.fmt, "b")
+            batched = pa.ndim == 3
+            if batched:
+                batch, m, k = pa.shape
+                pa = pa.reshape(batch * m, k)
+            rows, _ = pa.shape
+            n = pb.shape[1]
+            k_chunk = default_k_chunk(rows, n)
+            out = select_kernel(self.fmt, None, self.kernel).run(pa, pb, None, k_chunk)
+            return out.reshape(batch, m, n) if batched else out
         aq = self._dense(a, "a")
         bq = self._dense(b, "b")
         flat, batch = _flatten_batch(aq)
@@ -361,11 +273,17 @@ class ApproxMatmul(MatmulBackend):
     k_chunk:
         Optional K-dimension tile size for :func:`approx_matmul`'s
         accumulation loop; ``None`` lets the kernel pick.
+    kernel:
+        Registered kernel name; ``None`` selects the bit-exact default
+        (``float_table`` for tabulated widths).  ``"blas_factored"``
+        opts into the BLAS fast path with its documented parity
+        tolerance (see :class:`repro.core.kernels.BlasFactoredKernel`).
     """
 
     fmt: FloatFormat
     config: MultiplierConfig
     k_chunk: int | None = None
+    kernel: str | None = None
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -374,7 +292,9 @@ class ApproxMatmul(MatmulBackend):
 
     def matmul(self, a, b) -> np.ndarray:
         """DAISM approximate product (see :func:`approx_matmul`)."""
-        return approx_matmul(a, b, self.fmt, self.config, k_chunk=self.k_chunk)
+        return approx_matmul(
+            a, b, self.fmt, self.config, k_chunk=self.k_chunk, kernel=self.kernel
+        )
 
     def prepare(self, b: np.ndarray) -> PackedTensor:
         """Quantise + decompose a static operand once (see ``pack``)."""

@@ -1,0 +1,843 @@
+"""Pluggable GEMM kernels over packed operands: the arithmetic hot path.
+
+Every approximate (and quantised) matmul in the repository bottoms out in
+one of the kernels registered here.  A kernel consumes two
+:class:`~repro.formats.packed.PackedTensor` operands and produces the
+float32 product matrix; which kernel runs is selected by name through
+:func:`select_kernel` (plumbed up through ``approx_matmul`` and the
+``nn`` backend seam).
+
+Four kernels are built in:
+
+``float_table`` (default for table-supported widths)
+    The float-domain value-table kernel.  A bfloat16-style product is
+    ``(s_a 2^ea) * (s_b 2^eb) * V0[ma, mb]`` where ``V0`` is a
+    ``2^bits x 2^bits`` float32 table of *normalised significand product
+    values* (the one-position normalisation bump folded in, so entries
+    lie in ``[1, 4)``).  Per element the kernel does one table gather
+    and two multiplies by the cached per-operand scale planes — roughly
+    a quarter of the passes of the ``uint32_fused`` pipeline it
+    replaces, and bit-identical to it by construction: scale products
+    are exact powers of two, the gathered value has at most
+    ``significand_bits + 1`` significant bits, overflow to inf falls out
+    of float32 naturally (bfloat16 and float32 share ``emax``), and a
+    cheap subnormal-flush mask reproduces the datapath's
+    flush-to-zero underflow exactly.
+
+``uint32_fused``
+    The previous default: gather a fused uint32 entry (fraction bits,
+    exponent bump, nonzero flag) and re-assemble float32 bit patterns
+    with integer ops.  Kept as the parity reference and for the perf
+    trajectory in ``BENCH_perf.json``.
+
+``blas_factored`` (opt-in fast path)
+    Factor ``V0[ma, mb] = mu[ma] * mu[mb] + E[ma, mb]`` where ``mu`` is
+    the exact significand value and ``E`` the per-config error table.
+    The ``mu`` outer term is exactly the quantised dense operands, so it
+    routes through ``numpy.matmul`` (BLAS); the correction contracts a
+    rank-``r`` SVD factorisation of ``E`` as ``r`` extra BLAS columns.
+    One to two orders of magnitude faster than the gather kernels, but
+    *not* bit-identical: see :class:`BlasFactoredKernel` for the
+    documented parity contract.
+
+``generic``
+    The per-element FP pipeline for significand widths too wide to
+    tabulate (e.g. float32 operands).
+
+Chunking policy: the K-dimension split (``default_k_chunk``) is pinned
+to the historical ``2^22``-element budget because float32 accumulation
+order — and therefore the bit-exact output contract — depends on where
+the reduction is split.  The *row*-block size is the free performance
+parameter: output rows are independent, so any row blocking yields
+bit-identical results, and :func:`autotune_row_budget` tunes it from a
+micro-benchmark (the perf harness drives this and records the choice).
+
+All product tables are built once per ``(bits, config)`` and cached;
+:func:`table_cache_counters` exposes hit/miss counts alongside the
+packing counters of :mod:`repro.formats.packed` so tests and the perf
+harness can prove that hot paths never rebuild a table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..formats.floatfmt import FloatFormat, compose
+from ..formats.packed import PackedTensor
+from .config import MultiplierConfig
+from .fp_mul import _normalise, significand_product
+from .tables import table_supported
+
+__all__ = [
+    "GemmKernel",
+    "FloatTableKernel",
+    "FusedTableKernel",
+    "BlasFactoredKernel",
+    "GenericKernel",
+    "register_kernel",
+    "get_kernel",
+    "kernel_names",
+    "select_kernel",
+    "value_table",
+    "fused_table",
+    "factored_tables",
+    "table_cache_counters",
+    "reset_table_cache_counters",
+    "default_k_chunk",
+    "row_block_budget",
+    "set_row_budget",
+    "reset_tuned_budgets",
+    "autotune_row_budget",
+    "AutotuneResult",
+]
+
+# --------------------------------------------------------------------------
+# Chunking policy
+# --------------------------------------------------------------------------
+
+#: K-split budget (elements of the (rows, k_chunk, n) block).  Pinned:
+#: changing it would regroup the float32 accumulation and change output
+#: bits, so it is part of the bit-exact kernel contract, not a perf knob.
+K_CHUNK_BUDGET = 1 << 22
+
+#: Default row-block budget (elements of the (row_block, k_chunk, n)
+#: working set).  This is the tunable performance parameter — row blocks
+#: are bit-neutral — and :func:`autotune_row_budget` overrides it per
+#: kernel.
+DEFAULT_ROW_BUDGET = 1 << 18
+
+_ROW_BUDGETS: dict[str, int] = {}
+
+
+def default_k_chunk(rows: int, n: int, budget_elems: int = K_CHUNK_BUDGET) -> int:
+    """Reduction-chunk size keeping the (rows, chunk, n) block under budget.
+
+    The formula (and its ``2^22`` budget) is frozen: the K split decides
+    how the float32 accumulation is grouped, so it is part of the
+    bit-exact output contract shared by ``float_table`` and
+    ``uint32_fused``.  Row blocking, not K chunking, is the tuned knob.
+    """
+    per_k = max(1, rows * n)
+    return max(1, budget_elems // per_k)
+
+
+def row_block_budget(kernel_name: str) -> int:
+    """The (possibly autotuned) row-block element budget for a kernel."""
+    return _ROW_BUDGETS.get(kernel_name, DEFAULT_ROW_BUDGET)
+
+
+def set_row_budget(kernel_name: str, budget_elems: int) -> None:
+    """Override the row-block budget for ``kernel_name`` (power users)."""
+    if budget_elems < 1:
+        raise ValueError("row budget must be a positive element count")
+    _ROW_BUDGETS[kernel_name] = int(budget_elems)
+
+
+def reset_tuned_budgets() -> None:
+    """Drop all autotuned/overridden row budgets (back to the default)."""
+    _ROW_BUDGETS.clear()
+
+
+def _row_block(kernel_name: str, k_chunk: int, k: int, n: int) -> int:
+    budget = row_block_budget(kernel_name)
+    return max(1, budget // max(1, min(k, k_chunk) * n))
+
+
+# --------------------------------------------------------------------------
+# Product tables (cached, with hit/miss instrumentation)
+# --------------------------------------------------------------------------
+
+_TABLE_CACHE: dict[tuple, object] = {}
+_TABLE_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def table_cache_counters() -> dict[str, int]:
+    """Snapshot of the kernel-table cache hit/miss counters.
+
+    A *miss* means a table (fused uint32, float value, or factored
+    correction) was built from scratch; a *hit* means a cached table was
+    reused.  Complements :func:`repro.formats.packed.packing_counters`:
+    together they prove a steady-state hot path does zero table-rebuild
+    and zero re-pack work.
+    """
+    return dict(_TABLE_COUNTERS)
+
+
+def reset_table_cache_counters() -> None:
+    """Reset the table cache hit/miss counters to zero."""
+    _TABLE_COUNTERS["hits"] = 0
+    _TABLE_COUNTERS["misses"] = 0
+
+
+def _cached(key: tuple, build):
+    hit = _TABLE_CACHE.get(key)
+    if hit is not None:
+        _TABLE_COUNTERS["hits"] += 1
+        return hit
+    _TABLE_COUNTERS["misses"] += 1
+    value = build()
+    _TABLE_CACHE[key] = value
+    return value
+
+
+def _config_key(config: MultiplierConfig | None) -> tuple:
+    if config is None:
+        return (None, False)
+    return (config.scheme, config.truncated)
+
+
+def _normalised_products(
+    bits: int, config: MultiplierConfig | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(sig, bump, nonzero) of every significand pair under ``config``.
+
+    ``config=None`` means *exact* products (the conventional multiplier
+    followed by the same one-position normalisation) — this is what the
+    quantised-only backend simulates.
+    """
+    operands = np.arange(1 << bits, dtype=np.uint64)
+    a, b = operands[:, None], operands[None, :]
+    if config is None:
+        product = a * b
+        truncated = False
+    else:
+        product = significand_product(a, b, bits, config)
+        truncated = config.truncated
+    sig, bump = _normalise(product, np.zeros_like(product, dtype=np.int64), bits, truncated)
+    return sig, bump.astype(np.int32), product != 0
+
+
+def fused_table(bits: int, config: MultiplierConfig | None) -> np.ndarray:
+    """Pre-computed uint32 normalise+compose entries for every pair.
+
+    Entry layout, indexed ``[ma, mb]``: bits 0..22 hold the float32
+    fraction field of the normalised product (already shifted into
+    container position), bit 23 the exponent bump from normalisation
+    overflow, bit 24 a nonzero flag.  A gather from this table is
+    bit-identical to the per-element FP back end it replaces.
+    """
+
+    def build() -> np.ndarray:
+        sig, bump, nonzero = _normalised_products(bits, config)
+        mantissa_bits = bits - 1
+        frac = (
+            (sig & np.uint64((1 << mantissa_bits) - 1)) << np.uint64(23 - mantissa_bits)
+        ).astype(np.uint32)
+        entry = frac | (bump.astype(np.uint32) << np.uint32(23))
+        entry |= nonzero.astype(np.uint32) << np.uint32(24)
+        entry.setflags(write=False)
+        return entry
+
+    return _cached((bits, *_config_key(config), "fused"), build)
+
+
+def value_table(bits: int, config: MultiplierConfig | None) -> np.ndarray:
+    """The float32 value table ``V0[ma, mb]`` of normalised products.
+
+    ``V0[ma, mb] = sig * 2^(bump - (bits-1))`` is the *value* of the
+    normalised significand product with the normalisation bump folded
+    in; for valid operand indices (MSB set, as ``decompose`` produces,
+    or 0) entries lie in ``[1, 4)`` or are exactly 0.  The full product
+    of two packed values is then
+    ``scale_a * scale_b * V0[ma, mb]`` with ``scale = (-1)^s * 2^e`` —
+    one gather and two multiplies.  Entries carry at most ``bits + 1``
+    significant bits, so every in-range float32 product is exact.
+
+    The table is *asymmetric*: ``ma`` indexes the stored operand, ``mb``
+    the wordline-driving operand of the OR-multiplier.
+    """
+
+    def build() -> np.ndarray:
+        sig, bump, _nonzero = _normalised_products(bits, config)
+        table = np.ldexp(sig.astype(np.float32), bump - np.int32(bits - 1)).astype(
+            np.float32
+        )
+        table.setflags(write=False)
+        return table
+
+    return _cached((bits, *_config_key(config), "value"), build)
+
+
+def _value_table_t(bits: int, config: MultiplierConfig | None) -> np.ndarray:
+    """Contiguous transpose of :func:`value_table` (``[mb, ma]`` layout).
+
+    The transposed-orientation gather of :class:`FloatTableKernel` reads
+    rows indexed by ``mb``, so a row-major transposed copy keeps the
+    inner gather axis contiguous.
+    """
+
+    def build() -> np.ndarray:
+        table = np.ascontiguousarray(value_table(bits, config).T)
+        table.setflags(write=False)
+        return table
+
+    return _cached((bits, *_config_key(config), "value_T"), build)
+
+
+def factored_tables(
+    bits: int,
+    config: MultiplierConfig | None,
+    rank: int | None = None,
+    tol: float = 0.05,
+    max_rank: int = 32,
+) -> tuple[np.ndarray, np.ndarray, dict]:
+    """SVD factor tables of the value-table error ``E = V0 - mu mu^T``.
+
+    ``mu[m] = m * 2^-(bits-1)`` is the exact significand value, so the
+    ``mu`` outer product is the *exact* component of every product and
+    ``E`` is the per-config approximation-error table.  Returns
+    ``(Fa, Fb, info)`` where ``Fa``/``Fb`` are ``(rank, 2^bits)``
+    float32 factor tables (singular values folded in symmetrically) with
+    ``E ~= Fa^T @ Fb``, and ``info`` records the chosen rank and the
+    relative Frobenius residual of the truncation.
+
+    Parameters
+    ----------
+    rank:
+        Explicit truncation rank; ``None`` picks the smallest rank whose
+        relative Frobenius residual is below ``tol`` (capped at
+        ``max_rank``).
+    tol, max_rank:
+        Residual target and rank cap for the automatic choice.
+    """
+
+    def build() -> tuple[np.ndarray, np.ndarray, dict]:
+        v0 = value_table(bits, config).astype(np.float64)
+        mu = np.arange(1 << bits, dtype=np.float64) * 2.0 ** -(bits - 1)
+        error = v0 - np.outer(mu, mu)
+        left, sigma, right_t = np.linalg.svd(error)
+        total = float(np.sqrt((sigma**2).sum()))
+        if rank is None:
+            chosen = int(max_rank)
+            for r in range(max_rank + 1):
+                resid = float(np.sqrt((sigma[r:] ** 2).sum()))
+                if total == 0.0 or resid <= tol * total:
+                    chosen = r
+                    break
+        else:
+            chosen = int(rank)
+        root = np.sqrt(sigma[:chosen])
+        fa = (left[:, :chosen] * root).T.astype(np.float32)
+        fb = (right_t[:chosen, :].T * root).T.astype(np.float32)
+        fa.setflags(write=False)
+        fb.setflags(write=False)
+        resid = float(np.sqrt((sigma[chosen:] ** 2).sum()))
+        info = {
+            "rank": chosen,
+            "rel_frobenius_residual": (resid / total) if total else 0.0,
+        }
+        return fa, fb, info
+
+    return _cached((bits, *_config_key(config), "factored", rank, tol, max_rank), build)
+
+
+# --------------------------------------------------------------------------
+# Kernels
+# --------------------------------------------------------------------------
+
+
+class GemmKernel:
+    """Interface: a named routine computing a packed ``(M, K) @ (K, N)``.
+
+    Kernels consume two 2-D :class:`~repro.formats.packed.PackedTensor`
+    operands of the same format and return the float32 product under
+    ``config`` (``None`` selects exact significand products).  They are
+    registered by name via :func:`register_kernel` and selected through
+    :func:`select_kernel`; ``approx_matmul`` and the backends plumb the
+    name down from user code.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    #: Whether outputs are bit-identical to the scalar reference
+    #: pipeline (``repro.core.mantissa`` + normalise + compose).
+    bit_exact = True
+
+    def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
+        """Whether this kernel can run operands of ``fmt`` under ``config``."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        pa: PackedTensor,
+        pb: PackedTensor,
+        config: MultiplierConfig | None,
+        k_chunk: int,
+    ) -> np.ndarray:
+        """Compute the product of 2-D packed operands."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+#: Gather via flat ``take`` (with a reusable index buffer) below this
+#: many elements per (k_chunk x n) tile; plain fancy indexing above.
+_TAKE_TILE_LIMIT = 1024
+
+
+class FloatTableKernel(GemmKernel):
+    """One-gather float-domain kernel (the bit-exact default).
+
+    Per K-chunk and row block the kernel gathers ``V0[ma, mb]`` and
+    multiplies in the two scale planes.  When operand exponents are
+    comfortably inside the float32 range (the *safe* regime — always
+    true for well-conditioned DNN tensors) every intermediate is exact
+    and the three passes can run in-place in any order.  Otherwise it
+    falls back to computing the exact power-of-two ``scale_a * scale_b``
+    first (so overflow saturates exactly like ``compose``) and applies a
+    subnormal-flush mask replacing the emin branch of the uint32
+    pipeline; overflow to inf needs no mask because bfloat16 and float32
+    share ``emax``.  Both regimes are bit-identical to ``uint32_fused``
+    and to the scalar reference.
+    """
+
+    name = "float_table"
+    bit_exact = True
+
+    #: A GEMM at least this many times taller than wide runs in the
+    #: transposed orientation (long SIMD axis = rows).
+    TRANSPOSE_ASPECT = 16
+
+    def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
+        """Table-supported significand widths (see ``MAX_TABLE_BITS``)."""
+        return table_supported(fmt.significand_bits)
+
+    @staticmethod
+    def _range_masks(pa, pb) -> tuple[bool, bool, bool, np.uint32, np.uint32]:
+        fmt = pa.fmt
+        ea, eb = pa.exponent, pb.exponent
+        ea_min, ea_max = int(ea.min(initial=0)), int(ea.max(initial=0))
+        eb_min, eb_max = int(eb.min(initial=0)), int(eb.max(initial=0))
+
+        # Every float32 intermediate is exact when scale products cannot
+        # overflow or go subnormal; then the in-place multiply order is
+        # bit-equivalent to composing the exact scale product first.
+        f32_exact = ea_max <= 125 and eb_max <= 125 and ea_min + eb_min >= -126
+        emin_u = 1 - fmt.bias
+        emax_u = fmt.max_exponent - fmt.bias
+        # Format-range masks: a product below 2^emin flushes to signed
+        # zero, at or above 2^(emax+1) saturates to inf.  For 8-exponent-
+        # bit formats the overflow mask is a no-op (float32 shares emax,
+        # so IEEE multiply already saturates identically).
+        needs_flush = ea_min + eb_min < emin_u
+        needs_overflow = emax_u < 127 and ea_max + eb_max + 1 > emax_u
+        flush_bits = np.uint32((emin_u + 127) << 23)
+        inf_from = np.uint32((emax_u + 128) << 23)
+        return f32_exact, needs_flush, needs_overflow, flush_bits, inf_from
+
+    @staticmethod
+    def _apply_masks(values, needs_flush, needs_overflow, flush_bits, inf_from):
+        if not (needs_flush or needs_overflow):
+            return
+        bits = values.view(np.uint32)
+        mag = bits & np.uint32(0x7FFF_FFFF)
+        if needs_flush:
+            bits[...] = np.where(mag < flush_bits, bits & np.uint32(0x8000_0000), bits)
+        if needs_overflow:
+            bits[...] = np.where(
+                mag >= inf_from,
+                (bits & np.uint32(0x8000_0000)) | np.uint32(0x7F80_0000),
+                bits,
+            )
+
+    def run(self, pa, pb, config, k_chunk):
+        """Gather-and-scale product, row-blocked and K-chunked.
+
+        Tall-skinny problems (``m >= TRANSPOSE_ASPECT * n``, the shape of
+        batched conv/fc layers) run in a transposed orientation whose
+        inner SIMD axis is the long row dimension; the reduction order
+        over K is unchanged, so both orientations produce identical
+        bits.
+        """
+        fmt = pa.fmt
+        m, k = pa.shape
+        n = pb.shape[1]
+        masks = self._range_masks(pa, pb)
+        f32_exact = masks[0]
+        if f32_exact and m >= self.TRANSPOSE_ASPECT * max(1, n):
+            return self._run_transposed(pa, pb, config, k_chunk, masks)
+
+        table = value_table(fmt.significand_bits, config)
+        flat = table.reshape(-1)
+        width = np.intp(table.shape[0])
+        mai = pa.significand.astype(np.intp)
+        mbi = pb.significand.astype(np.intp)
+        alpha, beta = pa.scale(), pb.scale()
+
+        out = np.zeros((m, n), dtype=np.float32)
+        row_block = _row_block(self.name, k_chunk, k, n)
+        use_take = min(k, k_chunk) * n <= _TAKE_TILE_LIMIT
+        if use_take:
+            idx_buf = np.empty((row_block, min(k, k_chunk), n), dtype=np.intp)
+            val_buf = np.empty((row_block, min(k, k_chunk), n), dtype=np.float32)
+        with np.errstate(over="ignore"):
+            for r0 in range(0, m, row_block):
+                r1 = min(m, r0 + row_block)
+                for c0 in range(0, k, k_chunk):
+                    c1 = min(k, c0 + k_chunk)
+                    if use_take and (r1 - r0, c1 - c0) == idx_buf.shape[:2]:
+                        idx = np.multiply(mai[r0:r1, c0:c1, None], width, out=idx_buf)
+                        idx += mbi[None, c0:c1, :]
+                        flat.take(idx.reshape(-1), out=val_buf.reshape(-1))
+                        values = val_buf
+                    else:
+                        values = table[mai[r0:r1, c0:c1, None], mbi[None, c0:c1, :]]
+                    if f32_exact:
+                        values *= alpha[r0:r1, c0:c1, None]
+                        values *= beta[None, c0:c1, :]
+                    else:
+                        scaled = alpha[r0:r1, c0:c1, None] * beta[None, c0:c1, :]
+                        scaled *= values
+                        values = scaled
+                    self._apply_masks(values, *masks[1:])
+                    out[r0:r1] += values.sum(axis=1, dtype=np.float32)
+        return out
+
+    def _run_transposed(self, pa, pb, config, k_chunk, masks):
+        """Transposed orientation: gather ``V0^T[mb, ma]`` tiles.
+
+        Tiles are ``(n, k_chunk, col_block)`` with the long ``m`` axis
+        innermost (contiguous for gathers, scale multiplies and the
+        reduction).  Summation still runs sequentially over K for every
+        output element — the same association as the standard
+        orientation, hence bit-identical results.  Only taken in the
+        ``f32_exact`` regime, where multiply order is free.
+        """
+        m, k = pa.shape
+        n = pb.shape[1]
+        table_t = _value_table_t(pa.fmt.significand_bits, config)
+        mai_t = pa.significand.T.astype(np.intp, order="C")  # (k, m) copy
+        mbi_t = pb.significand.T.astype(np.intp, order="C")  # (n, k)
+        alpha_t = np.ascontiguousarray(pa.scale().T)
+        beta_t = np.ascontiguousarray(pb.scale().T)
+
+        out = np.empty((m, n), dtype=np.float32)
+        col_block = _row_block(self.name, k_chunk, k, n)
+        with np.errstate(over="ignore"):
+            for m0 in range(0, m, col_block):
+                m1 = min(m, m0 + col_block)
+                acc = np.zeros((n, m1 - m0), dtype=np.float32)
+                for c0 in range(0, k, k_chunk):
+                    c1 = min(k, c0 + k_chunk)
+                    values = table_t[mbi_t[:, c0:c1, None], mai_t[None, c0:c1, m0:m1]]
+                    values *= beta_t[:, c0:c1, None]
+                    values *= alpha_t[None, c0:c1, m0:m1]
+                    self._apply_masks(values, *masks[1:])
+                    acc += values.sum(axis=1, dtype=np.float32)
+                out[m0:m1] = acc.T
+        return out
+
+
+class FusedTableKernel(GemmKernel):
+    """Fused uint32 compose kernel (the previous default, kept for parity).
+
+    Gathers a pre-composed uint32 entry per significand pair and
+    re-assembles float32 bit patterns with integer masks — bit-identical
+    to ``float_table`` and to the scalar reference, a few times slower.
+    """
+
+    name = "uint32_fused"
+    bit_exact = True
+
+    def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
+        """Table-supported significand widths (see ``MAX_TABLE_BITS``)."""
+        return table_supported(fmt.significand_bits)
+
+    def run(self, pa, pb, config, k_chunk):
+        """Gather-and-compose product over fused uint32 entries."""
+        fmt = pa.fmt
+        m, k = pa.shape
+        n = pb.shape[1]
+        table = fused_table(fmt.significand_bits, config)
+
+        ma, mb = pa.significand, pb.significand
+        ea, eb = pa.exponent, pb.exponent
+        sa31 = pa.sign << np.uint32(31)
+        sb31 = pb.sign << np.uint32(31)
+        emax = fmt.max_exponent - fmt.bias
+        emin = 1 - fmt.bias
+        inf_bits = np.uint32(0x7F80_0000)
+        nz_flag = np.uint32(1 << 24)
+
+        out = np.zeros((m, n), dtype=np.float32)
+        row_block = _row_block(self.name, k_chunk, k, n)
+        for r0 in range(0, m, row_block):
+            r1 = min(m, r0 + row_block)
+            for c0 in range(0, k, k_chunk):
+                c1 = min(k, c0 + k_chunk)
+                entry = table[ma[r0:r1, c0:c1, None], mb[None, c0:c1, :]]
+                exp = ea[r0:r1, c0:c1, None] + eb[None, c0:c1, :]
+                exp = exp + ((entry >> np.uint32(23)) & np.uint32(1)).view(np.int32)
+
+                nonzero = entry >= nz_flag
+                overflow = exp > emax
+                ok = nonzero & ~overflow & ~(exp < emin)
+                # In-range biased exponents fit int32 even after <<23;
+                # out-of-range lanes may wrap but are masked by `ok`.
+                base = ((exp + 127) << 23).view(np.uint32)
+                bits32 = np.where(ok, base | (entry & np.uint32(0x007F_FFFF)), np.uint32(0))
+                bits32 = np.where(nonzero & overflow, inf_bits, bits32)
+                bits32 = bits32 | (sa31[r0:r1, c0:c1, None] ^ sb31[None, c0:c1, :])
+                out[r0:r1] += bits32.view(np.float32).sum(axis=1, dtype=np.float32)
+        return out
+
+
+class BlasFactoredKernel(GemmKernel):
+    """BLAS-factored exact+correction fast path (opt-in, not bit-exact).
+
+    Routes the exact component ``(alpha mu[ma]) @ (beta mu[mb])`` — which
+    is literally the quantised dense operands — through ``numpy.matmul``
+    and contracts a rank-``r`` factorisation of the per-config error
+    table as ``r`` additional BLAS columns per reduction element.  Total
+    cost is two BLAS GEMMs plus ``O(r (MK + KN))`` gathers, typically
+    one to two orders of magnitude faster than the gather kernels.
+
+    **Parity contract** (documented, tested): outputs are *not*
+    bit-identical to the default kernel.  The deviation has three
+    sources — the SVD truncation of the error table (bounded by the
+    ``rel_frobenius_residual`` reported by :func:`factored_tables`,
+    default tolerance 5% of the error table, i.e. well below the
+    multiplier's own approximation error), BLAS accumulation order, and
+    the absence of the per-product underflow-flush/overflow-saturate
+    masks (operands must be well-conditioned: products near the float32
+    range edges follow IEEE semantics instead of the datapath's
+    flush-to-zero).  Empirically the relative output deviation on
+    gaussian operands is ~0.4% for bfloat16 PC3_tr at the default rank,
+    an order of magnitude below the ~7% arithmetic approximation error
+    it perturbs.
+    """
+
+    name = "blas_factored"
+    bit_exact = False
+
+    def __init__(self, rank: int | None = None, tol: float = 0.05, max_rank: int = 32):
+        self.rank = rank
+        self.tol = tol
+        self.max_rank = max_rank
+
+    def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
+        """Table-supported significand widths (see ``MAX_TABLE_BITS``)."""
+        return table_supported(fmt.significand_bits)
+
+    def correction_info(self, fmt: FloatFormat, config: MultiplierConfig | None) -> dict:
+        """Rank and residual of the correction used for ``(fmt, config)``."""
+        _fa, _fb, info = factored_tables(
+            fmt.significand_bits, config, self.rank, self.tol, self.max_rank
+        )
+        return dict(info)
+
+    def run(self, pa, pb, config, k_chunk):
+        """Exact BLAS component plus low-rank error-table correction.
+
+        The correction is contracted one rank at a time: two 1-D table
+        gathers re-map each operand's significand plane, the cached
+        scale planes fold in the signed exponents, and a standard BLAS
+        GEMM accumulates — ``rank`` small matmuls instead of one wide
+        one, which avoids materialising transposed ``(m, k, rank)``
+        intermediates.
+        """
+        fa, fb, _info = factored_tables(
+            pa.fmt.significand_bits, config, self.rank, self.tol, self.max_rank
+        )
+        out = pa.dense() @ pb.dense()
+        mai, mbi = pa.significand, pb.significand
+        alpha, beta = pa.scale(), pb.scale()
+        for r in range(fa.shape[0]):
+            left = fa[r].take(mai)
+            left *= alpha
+            right = fb[r].take(mbi)
+            right *= beta
+            out += left @ right
+        return out
+
+
+class GenericKernel(GemmKernel):
+    """Per-element FP pipeline for widths too wide to tabulate.
+
+    Runs the real ``significand_product`` + normalise + compose chain on
+    every element — the only option for e.g. float32 significands, and
+    the ground truth the tabulated kernels are derived from.  The
+    pipeline is zero-aware: a zero operand yields a zero product, which
+    normalise keeps at zero and compose turns into a signed zero.
+    """
+
+    name = "generic"
+    bit_exact = True
+
+    def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
+        """Any format (``config=None`` exact products included)."""
+        return True
+
+    def run(self, pa, pb, config, k_chunk):
+        """Chunked per-element significand-product pipeline."""
+        fmt = pa.fmt
+        m, k = pa.shape
+        n = pb.shape[1]
+        bits = fmt.significand_bits
+
+        sa, ea, ma = pa.sign, pa.exponent, pa.significand
+        sb, eb, mb = pb.sign, pb.exponent, pb.significand
+
+        out = np.zeros((m, n), dtype=np.float32)
+        for c0 in range(0, k, k_chunk):
+            c1 = min(k, c0 + k_chunk)
+            mx = ma[:, c0:c1, None].astype(np.uint64)
+            my = mb[None, c0:c1, :].astype(np.uint64)
+            ex = ea[:, c0:c1, None].astype(np.int64)
+            ey = eb[None, c0:c1, :].astype(np.int64)
+            sx = sa[:, c0:c1, None]
+            sy = sb[None, c0:c1, :]
+
+            if config is None:
+                product = mx * my
+                truncated = False
+            else:
+                product = significand_product(mx, my, bits, config)
+                truncated = config.truncated
+            sig, exp = _normalise(product, ex + ey, bits, truncated)
+            values = compose(sx ^ sy, exp, sig, fmt)
+            out += values.sum(axis=1, dtype=np.float32)
+        return out
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+_KERNELS: dict[str, GemmKernel] = {}
+
+
+def register_kernel(kernel: GemmKernel) -> GemmKernel:
+    """Add (or replace) a kernel in the registry; returns it."""
+    _KERNELS[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> GemmKernel:
+    """Look up a registered kernel by name."""
+    try:
+        return _KERNELS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown GEMM kernel {name!r}; registered: {kernel_names()}"
+        ) from exc
+
+
+def kernel_names() -> list[str]:
+    """Sorted names of all registered kernels."""
+    return sorted(_KERNELS)
+
+
+def select_kernel(
+    fmt: FloatFormat,
+    config: MultiplierConfig | None = None,
+    kernel: str | None = None,
+) -> GemmKernel:
+    """Resolve the kernel for ``(fmt, config)``.
+
+    ``kernel=None`` picks the bit-exact default — ``float_table`` for
+    table-supported significand widths, ``generic`` otherwise.  A named
+    kernel is validated against the registry and against
+    ``kernel.supports``.
+    """
+    if kernel is None:
+        name = "float_table" if table_supported(fmt.significand_bits) else "generic"
+        return _KERNELS[name]
+    found = get_kernel(kernel)
+    if not found.supports(fmt, config):
+        raise ValueError(
+            f"kernel {kernel!r} does not support {fmt.name} operands"
+            f" (config {getattr(config, 'name', None)})"
+        )
+    return found
+
+
+register_kernel(FloatTableKernel())
+register_kernel(FusedTableKernel())
+register_kernel(BlasFactoredKernel())
+register_kernel(GenericKernel())
+
+
+# --------------------------------------------------------------------------
+# Bench-driven row-block autotuning
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AutotuneResult:
+    """Outcome of :func:`autotune_row_budget`.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel the budget was tuned for.
+    shape:
+        ``(m, k, n)`` problem used for the micro-benchmark.
+    timings_ms:
+        Best-of-``reps`` wall time per candidate budget.
+    chosen:
+        The winning budget, already installed via :func:`set_row_budget`.
+    """
+
+    kernel: str
+    shape: tuple[int, int, int]
+    timings_ms: dict[int, float]
+    chosen: int
+
+
+def autotune_row_budget(
+    kernel: str = "float_table",
+    shape: tuple[int, int, int] = (256, 288, 64),
+    fmt: FloatFormat | None = None,
+    config: MultiplierConfig | None = None,
+    candidates: tuple[int, ...] = (1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20),
+    reps: int = 3,
+    seed: int = 0,
+) -> AutotuneResult:
+    """Micro-benchmark candidate row budgets and install the fastest.
+
+    Replaces the historical fixed working-set budget with a measured
+    choice: the kernel is timed on a random ``shape`` problem for every
+    candidate (best of ``reps``), the winner is installed via
+    :func:`set_row_budget`, and the full timing table is returned so the
+    perf harness can record it in ``BENCH_perf.json``.  Row blocking is
+    bit-neutral, so tuning never changes results.
+    """
+    from ..formats.floatfmt import BFLOAT16
+    from ..formats.packed import pack
+    from .config import PC3_TR
+
+    fmt = fmt or BFLOAT16
+    config = config if config is not None else PC3_TR
+    found = get_kernel(kernel)
+    m, k, n = shape
+    rng = np.random.default_rng(seed)
+    pa = pack(rng.standard_normal((m, k)).astype(np.float32), fmt)
+    pb = pack(rng.standard_normal((k, n)).astype(np.float32), fmt)
+    k_chunk = default_k_chunk(m, n)
+
+    previous = _ROW_BUDGETS.get(kernel)
+    timings: dict[int, float] = {}
+    try:
+        for budget in candidates:
+            _ROW_BUDGETS[kernel] = int(budget)
+            found.run(pa, pb, config, k_chunk)  # warm
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                found.run(pa, pb, config, k_chunk)
+                best = min(best, time.perf_counter() - t0)
+            timings[int(budget)] = best * 1e3
+    finally:
+        if previous is None:
+            _ROW_BUDGETS.pop(kernel, None)
+        else:
+            _ROW_BUDGETS[kernel] = previous
+    chosen = min(timings, key=timings.get)
+    set_row_budget(kernel, chosen)
+    return AutotuneResult(kernel=kernel, shape=(m, k, n), timings_ms=timings, chosen=chosen)

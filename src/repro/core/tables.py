@@ -7,7 +7,11 @@ single fancy-indexing gather, an order of magnitude faster than the bit
 loop of :mod:`repro.core.vectorized` — this is what makes whole-CNN
 accuracy sweeps (Fig. 4) cheap.
 
-Tables are built once per ``(bits, config)`` pair and cached.
+Tables are built once per ``(bits, config)`` pair and cached.  This
+module tabulates the *raw significand products*; the GEMM-level tables
+derived from them (the float32 value table, the fused uint32 compose
+entries and the BLAS-factored correction) live in
+:mod:`repro.core.kernels`, with their own cache instrumentation.
 """
 
 from __future__ import annotations

@@ -2,15 +2,22 @@
 
 Whole-network execution (all eight VGG-8 layers instead of Fig. 7's
 single conv1), the arithmetic-error comparison against related-work
-approximate multipliers (LPO, PP-compression), and the packed-operand
-pipeline probe (quantise-once weight packing vs per-call repacking).
+approximate multipliers (LPO, PP-compression), the packed-operand
+pipeline probe (quantise-once weight packing vs per-call repacking),
+and the GEMM kernel-registry probe (per-kernel parity and table-cache
+behaviour of the float-domain / BLAS-factored back ends).
 """
 
 from __future__ import annotations
 
 from ..registry import Experiment, register
 
-__all__ = ["network_end2end_point", "packed_speedup_point", "related_work_point"]
+__all__ = [
+    "kernel_speedup_point",
+    "network_end2end_point",
+    "packed_speedup_point",
+    "related_work_point",
+]
 
 
 def network_end2end_point(params: dict) -> list[dict]:
@@ -51,10 +58,11 @@ def packed_speedup_point(params: dict) -> list[dict]:
     from ...nn.backend import daism_backend
 
     m, k, n = params["m"], params["k"], params["n"]
+    kernel = params.get("kernel") or None
     rng = np.random.default_rng(params["seed"])
     a = rng.standard_normal((m, k)).astype(np.float32)
     b = rng.standard_normal((k, n)).astype(np.float32)
-    backend = daism_backend(PC3_TR, BFLOAT16)
+    backend = daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
     prepared = backend.prepare(b)
     want = backend.matmul(a, b)
 
@@ -72,6 +80,7 @@ def packed_speedup_point(params: dict) -> list[dict]:
     return [
         {
             "shape": f"{m}x{k}x{n}",
+            "kernel": kernel or "float_table",
             "packs/call raw": raw_packs,
             "packs/call prepared": prep_packs,
             "elems packed raw": raw_elems,
@@ -79,6 +88,73 @@ def packed_speedup_point(params: dict) -> list[dict]:
             "front-end work saved": f"{100.0 * (1 - prep_elems / raw_elems):.0f}%",
         }
     ]
+
+
+def kernel_speedup_point(params: dict) -> list[dict]:
+    """Per-kernel parity rows for one GEMM shape and multiplier config.
+
+    Runs every registered kernel that supports the format on identical
+    packed operands and reports, per kernel, whether the output is
+    byte-identical to the bit-exact default, the maximum relative
+    element deviation, and (for the BLAS fast path) the correction rank
+    and its documented residual.  Counts and parity are deterministic,
+    so the rows are cache-safe; wall-clock speedups live in
+    ``benchmarks/perf`` (recorded per kernel in ``BENCH_perf.json``).
+    """
+    import numpy as np
+
+    from ...core.config import MultiplierConfig
+    from ...core.kernels import (
+        default_k_chunk,
+        get_kernel,
+        kernel_names,
+        select_kernel,
+        table_cache_counters,
+    )
+    from ...formats.floatfmt import format_by_name
+    from ...formats.packed import pack
+
+    fmt = format_by_name(params["fmt"])
+    config = MultiplierConfig.from_name(params["config"])
+    m, k, n = params["m"], params["k"], params["n"]
+    rng = np.random.default_rng(params["seed"])
+    pa = pack(rng.standard_normal((m, k)).astype(np.float32), fmt)
+    pb = pack(rng.standard_normal((k, n)).astype(np.float32), fmt)
+    k_chunk = default_k_chunk(m, n)
+
+    default = select_kernel(fmt, config)
+    want = default.run(pa, pb, config, k_chunk)
+    norm = float(np.abs(want).max()) or 1.0
+
+    rows = []
+    for name in kernel_names():
+        kernel = get_kernel(name)
+        if not kernel.supports(fmt, config):
+            continue
+        kernel.run(pa, pb, config, k_chunk)  # warm: builds tables on first use
+        before = table_cache_counters()
+        got = kernel.run(pa, pb, config, k_chunk)
+        after = table_cache_counters()
+        byte_identical = bool(
+            np.array_equal(got.view(np.uint32), want.view(np.uint32))
+        )
+        max_rel = float(np.abs(got - want).max() / norm)
+        row = {
+            "kernel": name,
+            "bit_exact contract": "yes" if kernel.bit_exact else "no (tolerance)",
+            "byte-identical to default": "yes" if byte_identical else "no",
+            "max rel deviation": f"{max_rel:.2e}",
+            "table rebuilds on reuse": after["misses"] - before["misses"],
+        }
+        if name == "blas_factored":
+            info = kernel.correction_info(fmt, config)
+            row["correction"] = (
+                f"rank {info['rank']} (resid {info['rel_frobenius_residual']:.1%})"
+            )
+        else:
+            row["correction"] = "-"
+        rows.append(row)
+    return rows
 
 
 def related_work_point(params: dict) -> list[dict]:
@@ -166,11 +242,35 @@ register(
             "against a pre-packed weight (backend.prepare, as the nn layers "
             "cache it) vs repacking the weight every call — the measured "
             "quantise/decompose work per call, with byte-identical outputs "
-            "asserted. Wall-clock timings live in benchmarks/perf."
+            "asserted. Set kernel=blas_factored (or any registry name) to "
+            "probe a non-default GEMM kernel's front end. Wall-clock "
+            "timings live in benchmarks/perf."
         ),
         run=packed_speedup_point,
         space={"m": (64, 256)},
-        defaults={"k": 128, "n": 64, "seed": 0},
+        defaults={"k": 128, "n": 64, "seed": 0, "kernel": ""},
+        tags=("extension", "core", "perf"),
+        est_seconds=2.0,
+    )
+)
+
+register(
+    Experiment(
+        name="kernel_speedup",
+        artifact="Extension",
+        title="GEMM kernel registry: per-kernel parity and cache behaviour",
+        description=(
+            "The float-domain value-table kernel and the BLAS-factored "
+            "exact+correction fast path next to the uint32-fused and "
+            "generic pipelines: byte-identity to the bit-exact default, "
+            "maximum relative deviation of the tolerance path, correction "
+            "rank/residual, and proof that warm kernels never rebuild "
+            "their tables. Wall-clock speedups are recorded per kernel in "
+            "BENCH_perf.json by benchmarks/perf."
+        ),
+        run=kernel_speedup_point,
+        space={"config": ("PC3_tr", "FLA")},
+        defaults={"fmt": "bfloat16", "m": 96, "k": 64, "n": 32, "seed": 0},
         tags=("extension", "core", "perf"),
         est_seconds=2.0,
     )

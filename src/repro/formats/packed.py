@@ -83,6 +83,7 @@ class PackedTensor:
                 f"{self.sign.shape} / {self.exponent.shape} / {self.significand.shape}"
             )
         self._dense: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -112,6 +113,26 @@ class PackedTensor:
             self._dense = self.unpack()
         return self._dense
 
+    def scale(self) -> np.ndarray:
+        """The signed power-of-two plane ``(-1)^sign * 2^exponent``.
+
+        This is the exact per-element scale factor the float-domain GEMM
+        kernels multiply against the value table; it is computed once
+        and cached (:func:`pack` derives it for free from the quantised
+        bit pattern).  Zero elements carry a signed zero, nonzero
+        elements an exact float32 power of two.
+        """
+        if self._scale is None:
+            scale = np.ldexp(
+                np.where(self.sign, np.float32(-1.0), np.float32(1.0)), self.exponent
+            ).astype(np.float32)
+            zero = self.significand == 0
+            if np.any(zero):
+                bits = scale.view(np.uint32)
+                bits[zero] &= np.uint32(0x8000_0000)
+            self._scale = scale
+        return self._scale
+
     def reshape(self, *shape: int) -> "PackedTensor":
         """A view of the same planes with a new shape (numpy semantics)."""
         out = PackedTensor(
@@ -121,10 +142,79 @@ class PackedTensor:
             self.significand.reshape(*shape),
         )
         out._dense = None if self._dense is None else self._dense.reshape(*shape)
+        out._scale = None if self._scale is None else self._scale.reshape(*shape)
         return out
 
     def __repr__(self) -> str:
         return f"PackedTensor(fmt={self.fmt.name}, shape={self.shape})"
+
+
+def _pack_fast_e8(arr: np.ndarray, fmt: FloatFormat) -> PackedTensor | None:
+    """Single-pass quantise+decompose for full-exponent-range formats.
+
+    For formats with 8 exponent bits (bfloat16, float32 and custom e8
+    widths) round-to-nearest-even, plane extraction, the dense quantised
+    values and the kernel scale plane all derive from one rounded uint32
+    bit pattern — about half the passes of ``quantize`` + ``decompose``.
+    Byte-identical to that pipeline for finite values, including its
+    flush of float32 subnormals to *unsigned* zero (a tiny negative
+    flushes to +0, while a true -0.0 input keeps its sign).  Returns
+    ``None`` when any input is non-finite: those rare tensors take the
+    generic ``quantize`` + ``decompose`` route, which defines the
+    behaviour for specials.  (The check must run on the *pre-rounding*
+    bits — rounding a NaN payload can carry past the sign bit and wrap
+    the pattern into an innocuous-looking one.)
+    """
+    shift = np.uint32(23 - fmt.mantissa_bits)
+    if shift:
+        # Rounding allocates fresh arrays, so viewing the caller's data
+        # is safe — nothing cached aliases it.
+        bits = np.ascontiguousarray(arr, dtype=np.float32).view(np.uint32)
+        if np.any((bits & np.uint32(0x7F80_0000)) == np.uint32(0x7F80_0000)):
+            return None
+        lsb = (bits >> shift) & np.uint32(1)
+        rounded = bits + np.uint32((1 << (int(shift) - 1)) - 1) + lsb
+        rounded &= ~np.uint32((1 << int(shift)) - 1)
+    else:
+        # float32 passes through untouched: copy so the cached
+        # planes/dense never alias the caller's data.
+        bits = np.array(arr, dtype=np.float32, copy=True).view(np.uint32)
+        if np.any((bits & np.uint32(0x7F80_0000)) == np.uint32(0x7F80_0000)):
+            return None
+        rounded = bits
+
+    biased = ((rounded >> np.uint32(23)) & np.uint32(0xFF)).astype(np.int32)
+    zero = biased == 0
+    if fmt.mantissa_bits == 23:
+        # float32 passes through quantize() unflushed: subnormal *values*
+        # survive in the dense array (the planes still flush them).
+        sign = (rounded >> np.uint32(31)).astype(np.uint32)
+        dense = rounded.view(np.float32)
+    else:
+        # quantize() flushes rounded-subnormal magnitudes through
+        # `np.where(..., 0.0)`, which drops the sign; exact ±0 (input
+        # zeros, or tiny values whose mantissa rounds to zero) keep it.
+        sign = np.where(
+            zero & ((rounded & np.uint32(0x7FFF_FFFF)) != 0),
+            np.uint32(0),
+            rounded >> np.uint32(31),
+        ).astype(np.uint32)
+        dense = np.where(zero, sign << np.uint32(31), rounded).view(np.float32)
+    exponent = np.where(zero, np.int32(0), biased - np.int32(127)).astype(np.int32)
+    significand = np.where(
+        zero,
+        np.uint32(0),
+        ((rounded & np.uint32(0x007F_FFFF)) >> shift)
+        | np.uint32(1 << fmt.mantissa_bits),
+    ).astype(np.uint32)
+    scale = np.where(
+        zero, sign << np.uint32(31), rounded & np.uint32(0xFF80_0000)
+    ).view(np.float32)
+
+    packed = PackedTensor(fmt, sign, exponent, significand)
+    packed._dense = dense
+    packed._scale = scale
+    return packed
 
 
 def pack(values: np.ndarray, fmt: FloatFormat) -> "PackedTensor":
@@ -133,13 +223,20 @@ def pack(values: np.ndarray, fmt: FloatFormat) -> "PackedTensor":
     This is the single entry point through which float tensors enter the
     packed arithmetic pipeline — its call count is tracked in the global
     packing counters precisely so callers can verify a value was packed
-    only once.
+    only once.  Formats with a full 8-bit exponent take a fused
+    single-pass route (:func:`_pack_fast_e8`, byte-identical to
+    ``quantize`` + ``decompose`` for finite inputs); narrower exponent
+    ranges go through the generic pipeline.
     """
     if isinstance(values, PackedTensor):
         raise TypeError("values are already packed; pack() expects a float array")
     arr = np.asarray(values, dtype=np.float32)
     _COUNTERS["pack_calls"] += 1
     _COUNTERS["elements_packed"] += arr.size
+    if fmt.exponent_bits == 8:
+        fast = _pack_fast_e8(arr, fmt)
+        if fast is not None:
+            return fast
     quantised = quantize(arr, fmt)
     sign, exponent, significand = decompose(quantised, fmt)
     packed = PackedTensor(fmt, sign, exponent, significand.astype(np.uint32))

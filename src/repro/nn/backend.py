@@ -76,16 +76,28 @@ def exact_backend() -> MatmulBackend:
     return ExactMatmul()
 
 
-def quantized_backend(fmt: FloatFormat = BFLOAT16) -> MatmulBackend:
-    """Narrow storage, exact products (quantisation-only ablation)."""
-    return QuantizedMatmul(fmt)
+def quantized_backend(
+    fmt: FloatFormat = BFLOAT16, kernel: str | None = None
+) -> MatmulBackend:
+    """Narrow storage, exact products (quantisation-only ablation).
+
+    ``kernel`` optionally routes the exact products through a registered
+    packed GEMM kernel instead of dense BLAS (see
+    :class:`repro.core.gemm.QuantizedMatmul`).
+    """
+    return QuantizedMatmul(fmt, kernel=kernel)
 
 
 def daism_backend(
-    config: MultiplierConfig, fmt: FloatFormat = BFLOAT16
+    config: MultiplierConfig, fmt: FloatFormat = BFLOAT16, kernel: str | None = None
 ) -> MatmulBackend:
-    """Full DAISM arithmetic: ``fmt`` storage + approximate products."""
-    return ApproxMatmul(fmt=fmt, config=config)
+    """Full DAISM arithmetic: ``fmt`` storage + approximate products.
+
+    ``kernel`` selects a registered GEMM kernel by name — ``None`` is
+    the bit-exact default; ``"blas_factored"`` opts into the BLAS
+    exact+correction fast path with its documented parity tolerance.
+    """
+    return ApproxMatmul(fmt=fmt, config=config, kernel=kernel)
 
 
 class BfpMatmul(MatmulBackend):

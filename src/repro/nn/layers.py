@@ -113,8 +113,11 @@ class _PreparedWeightCache:
     load) bumps the version and silently invalidates every entry, while
     repeated inference reuses the prepared operand with zero re-quantise
     or decompose work.  Backends with the same ``prepare_key`` (every
-    DAISM config over one format, plus the quantised backend of that
-    format) share a single entry.
+    DAISM config over one format — whichever GEMM kernel it selects —
+    plus the quantised backend of that format) share a single entry: a
+    cached ``PackedTensor`` carries the planes, the dense values and the
+    scale plane, which covers every kernel in
+    :mod:`repro.core.kernels`.
     """
 
     _MAX_ENTRIES = 8

@@ -53,6 +53,54 @@ class TestPackUnpack:
         np.testing.assert_array_equal(packed.exponent, exponent)
         np.testing.assert_array_equal(packed.significand, significand.astype(np.uint32))
 
+    @pytest.mark.parametrize("fmt", [BFLOAT16, FLOAT32], ids=lambda f: f.name)
+    def test_fast_path_parity_on_edge_values(self, fmt):
+        """Signed zeros, subnormals and full-range exponents: the fused
+        e8 fast path must match quantize+decompose byte for byte."""
+        rng = np.random.default_rng(2)
+        x = (
+            rng.standard_normal(4096) * 2.0 ** rng.integers(-140, 127, 4096).astype(np.float64)
+        ).astype(np.float32)
+        x[:10] = [
+            0.0, -0.0, 2.0**-140, -(2.0**-140), 2.0**-126, -(2.0**-126), 1.0, -1.0,
+            3.39e38, -3.39e38,  # finite in float32, round to inf in bfloat16
+        ]
+        packed = pack(x, fmt)
+        want_dense = quantize(x, fmt)
+        sign, exponent, significand = decompose(want_dense, fmt)
+        np.testing.assert_array_equal(packed.dense().view(np.uint32), want_dense.view(np.uint32))
+        np.testing.assert_array_equal(packed.sign, sign)
+        np.testing.assert_array_equal(packed.exponent, exponent)
+        np.testing.assert_array_equal(packed.significand, significand.astype(np.uint32))
+
+    def test_specials_fall_back_to_generic_path(self):
+        """NaN payloads whose rounding would wrap past the sign bit must
+        not slip through the fast path (they packed as -0.0 once)."""
+        evil_nan = np.uint32(0x7FFF_8000).view(np.float32)
+        for special in (evil_nan, np.float32(np.nan), np.float32(np.inf), np.float32(-np.inf)):
+            x = np.array([1.5, special, -2.5], dtype=np.float32)
+            packed = pack(x, BFLOAT16)
+            want = quantize(x, BFLOAT16)
+            np.testing.assert_array_equal(
+                packed.dense().view(np.uint32), want.view(np.uint32)
+            )
+            sign, exponent, significand = decompose(want, BFLOAT16)
+            np.testing.assert_array_equal(packed.sign, sign)
+            np.testing.assert_array_equal(packed.exponent, exponent)
+            np.testing.assert_array_equal(packed.significand, significand.astype(np.uint32))
+
+    def test_scale_plane_is_signed_power_of_two(self):
+        x = np.array([3.5, -0.75, 0.0, -0.0, 2.0**-100], dtype=np.float32)
+        packed = pack(x, BFLOAT16)
+        scale = packed.scale()
+        np.testing.assert_array_equal(
+            scale, np.array([2.0, -0.5, 0.0, -0.0, 2.0**-100], dtype=np.float32)
+        )
+        assert np.signbit(scale[3])
+        # Cached: same object on repeat, carried through reshape.
+        assert packed.scale() is scale
+        np.testing.assert_array_equal(packed.reshape(5, 1).scale().ravel(), scale)
+
     def test_dense_is_cached_and_correct(self):
         x = np.linspace(-3, 3, 12, dtype=np.float32).reshape(3, 4)
         packed = pack(x, BFLOAT16)
