@@ -19,6 +19,14 @@ Two robustness choices keep shared-runner noise from failing builds:
   rows without a reference row in either report fall back to the
   absolute comparison automatically).
 
+When both reports carry a ``serving`` section (schema ``repro-perf/3``),
+the guard additionally compares serving throughput — ``samples_per_s``
+normalised by the report's own smallest-shape ``exact_float32`` MMACs/s
+as a machine-speed proxy — under the (looser) ``--serving-max-regression``
+tolerance, so CI also covers the compiled runtime + micro-batching
+server path.  Reports without the section (older baselines) skip this
+check with a note.
+
 Run::
 
     python benchmarks/perf/check_perf_regression.py \
@@ -103,6 +111,63 @@ def compare(
     return checked, regressed
 
 
+def _serving_throughput(report: dict) -> tuple[float, float | None] | None:
+    """``(samples_per_s, reference_mmacs_or_None)`` for a report.
+
+    The reference is the smallest-shape ``exact_float32`` raw matmul row
+    (present in quick and full grids alike) — the machine-speed proxy
+    serving throughput is normalised by.
+    """
+    serving = report.get("serving")
+    if not serving:
+        return None
+    samples_per_s = serving.get("load", {}).get("samples_per_s")
+    if not samples_per_s:
+        return None
+    refs = [
+        row
+        for row in report.get("matmul", [])
+        if row["backend"] == REFERENCE_BACKEND and row["variant"] == "raw"
+    ]
+    if refs:
+        ref = min(refs, key=lambda r: r["m"] * r["k"] * r["n"])
+        return samples_per_s, ref["mmacs_per_s"]
+    return samples_per_s, None
+
+
+def compare_serving(
+    fresh: dict, baseline: dict, max_regression: float
+) -> tuple[dict | None, bool]:
+    """Compare serving throughput; returns ``(record, regressed)``.
+
+    Normalises by the machine-speed proxy only when **both** reports
+    carry a reference row (mirroring ``compare``'s fallback) — scoring
+    one side normalised and the other raw would compare incompatible
+    units.  Returns ``(None, False)`` when either report lacks a
+    comparable serving section (e.g. a pre-runtime baseline).
+    """
+    fresh_side = _serving_throughput(fresh)
+    base_side = _serving_throughput(baseline)
+    if fresh_side is None or base_side is None:
+        return None, False
+    fresh_score, fresh_ref = fresh_side
+    base_score, base_ref = base_side
+    unit = "samples/s"
+    if fresh_ref and base_ref:
+        fresh_score /= fresh_ref
+        base_score /= base_ref
+        unit = "samples/s per exact MMACs/s"
+    floor = base_score * (1.0 - max_regression)
+    record = {
+        "key": "serving lenet samples/s",
+        "unit": unit,
+        "baseline_score": base_score,
+        "fresh_score": fresh_score,
+        "floor": floor,
+    }
+    return record, fresh_score < floor
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -132,6 +197,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compare raw MMACs/s instead of normalising by exact_float32",
     )
+    parser.add_argument(
+        "--serving-max-regression",
+        type=float,
+        default=0.5,
+        help=(
+            "allowed fractional drop of normalised serving throughput "
+            "(default 0.5 — serving rows mix queueing and compute and are "
+            "noisier than kernel rows)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     with open(args.fresh) as fh:
@@ -148,6 +223,15 @@ def main(argv: list[str] | None = None) -> int:
         kernel,
         normalize=not args.absolute,
     )
+    serving_record, serving_regressed = compare_serving(
+        fresh, baseline, args.serving_max_regression
+    )
+    if serving_record is not None:
+        checked.append(serving_record)
+        if serving_regressed:
+            regressed.append(serving_record)
+    else:
+        print("perf guard: no comparable serving section; skipping serving check")
     if not checked:
         print(
             f"perf guard: no comparable {args.backend!r} rows between"

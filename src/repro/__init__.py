@@ -21,6 +21,11 @@ Subpackages
     design-space exploration (Fig. 7/8, Tables II/III).
 ``repro.nn``
     Pure-numpy DNN framework with pluggable matmul backends (Fig. 4).
+``repro.runtime``
+    Compiled inference runtime: execution plans with pre-resolved
+    kernels and pre-packed weights, the shard-parallel batch engine,
+    and the micro-batching serving frontend (``python -m repro
+    serve-bench``).
 ``repro.analysis``
     Reporting and sweep helpers shared by the benchmarks.
 ``repro.experiments``

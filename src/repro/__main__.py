@@ -13,10 +13,18 @@ Usage::
     python -m repro reproduce ablation_faults --no-cache
     python -m repro reproduce dse_sweep network_latency fault_sensitivity --workers 4
 
+    python -m repro serve-bench               # serving benchmark (defaults)
+    python -m repro serve-bench --model vgg_small --clients 8 --duration 2
+    python -m repro serve-bench --backend exact --shards 4 --json
+
 The quick artefact names (``table1`` .. ``fig8``) are the legacy
 renderers kept for interactive use; ``reproduce`` drives the unified
 experiment engine (:mod:`repro.experiments`) with parallel sweeps,
-content-addressed result caching and CSV/JSON artefact export.
+content-addressed result caching and CSV/JSON artefact export;
+``serve-bench`` compiles a model into an execution plan
+(:mod:`repro.runtime`), stands up the micro-batching inference server
+and drives it with closed-loop load, reporting p50/p99 latency and
+samples/sec.
 """
 
 from __future__ import annotations
@@ -220,13 +228,99 @@ def reproduce(argv: list[str]) -> int:
     return 0
 
 
+def serve_bench(argv: list[str]) -> int:
+    """The ``serve-bench`` subcommand: benchmark the serving runtime."""
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-bench",
+        description=(
+            "Compile a model into an execution plan, serve it through the "
+            "micro-batching frontend and measure closed-loop latency/throughput."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro serve-bench\n"
+            "  python -m repro serve-bench --model vgg_small --clients 8 --duration 2\n"
+            "  python -m repro serve-bench --backend exact --shards 4 --json\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--model",
+        default="lenet",
+        choices=["lenet", "vgg_small", "mini_resnet"],
+        help="model zoo entry to serve",
+    )
+    parser.add_argument(
+        "--backend",
+        default="daism",
+        choices=["daism", "quantized", "exact"],
+        help="arithmetic backend the plan is compiled against",
+    )
+    parser.add_argument(
+        "--kernel", default=None, help="GEMM kernel name (e.g. blas_factored)"
+    )
+    parser.add_argument("--clients", type=int, default=4, help="closed-loop client threads")
+    parser.add_argument("--duration", type=float, default=1.0, help="measured seconds")
+    parser.add_argument("--request-samples", type=int, default=4, help="samples per request")
+    parser.add_argument("--max-batch", type=int, default=64, help="micro-batch sample threshold")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0, help="coalescing latency budget")
+    parser.add_argument("--shards", type=int, default=1, help="engine shard threads")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    from .runtime.serving_bench import serving_benchmark
+
+    try:
+        report = serving_benchmark(
+            model=args.model,
+            backend=args.backend,
+            kernel=args.kernel,
+            clients=args.clients,
+            duration_s=args.duration,
+            request_samples=args.request_samples,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            shards=args.shards,
+        )
+    except ValueError as exc:  # bad kernel name, bad shard/batch config
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(title(f"serve-bench: {report['model']} on {report['backend']}"))
+    print(
+        f"  plan: {report['plan_ops']} ops, shards={report['shards']},"
+        f" max_batch={report['max_batch']}, delay budget {report['max_delay_ms']} ms"
+    )
+    load = report["load"]
+    print(
+        f"  {load['requests']} requests / {load['samples']} samples in"
+        f" {load['duration_s']}s from {load['clients']} closed-loop clients"
+    )
+    print(
+        f"  latency p50 {load['p50_ms']} ms | p99 {load['p99_ms']} ms |"
+        f" mean {load['mean_ms']} ms"
+    )
+    print(
+        f"  throughput {load['samples_per_s']} samples/s"
+        f" (mean micro-batch {load['mean_batch_samples']} samples)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "reproduce":
         return reproduce(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return serve_bench(argv[1:])
     if not argv:
         print("usage: python -m repro <artefact>|all")
         print("       python -m repro reproduce [--list] [<name> ...]")
+        print("       python -m repro serve-bench [--model <name>] [--json]")
         print("artefacts:", ", ".join(ARTEFACTS))
         return 0
     targets = list(ARTEFACTS) if argv[0] == "all" else argv

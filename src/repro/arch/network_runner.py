@@ -27,6 +27,7 @@ __all__ = [
     "LayerReport",
     "NetworkReport",
     "run_network",
+    "run_module",
     "compare_designs",
     "compare_with_eyeriss",
 ]
@@ -141,6 +142,27 @@ def run_network(model: AcceleratorModel, layers: list[ConvLayer]) -> NetworkRepo
             )
         )
     return NetworkReport(design_name=model.name, layers=tuple(reports))
+
+
+def run_module(
+    model: AcceleratorModel,
+    module,
+    input_shape: tuple[int, int, int],
+    include_fc: bool = True,
+) -> NetworkReport:
+    """Execute a software :class:`~repro.nn.layers.Module` on a design.
+
+    Derives the layer shapes from the *same* ``to_plan_op()`` trace the
+    compiled inference runtime executes
+    (:func:`repro.runtime.plan.conv_workload`), so the co-simulation and
+    the software runtime cannot drift apart: one description feeds both.
+    ``input_shape`` is ``(channels, height, width)`` of one sample;
+    ``include_fc`` maps fully connected layers as ``1x1`` convolutions
+    (drop it to model conv stacks only).
+    """
+    from ..runtime.plan import conv_workload  # deferred: runtime imports arch
+
+    return run_network(model, conv_workload(module, input_shape, include_fc=include_fc))
 
 
 def compare_designs(

@@ -61,6 +61,7 @@ harness can prove that hot paths never rebuild a table.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 
 import numpy as np
@@ -152,6 +153,11 @@ def _row_block(kernel_name: str, k_chunk: int, k: int, n: int) -> int:
 
 _TABLE_CACHE: dict[tuple, object] = {}
 _TABLE_COUNTERS = {"hits": 0, "misses": 0}
+#: Guards the table cache *and* its counters so parallel shard execution
+#: (see :mod:`repro.runtime.engine`) neither double-builds a table nor
+#: drops counter increments.  Reentrant because building a factored
+#: table looks up the value table through the same gate.
+_TABLE_LOCK = threading.RLock()
 
 
 def table_cache_counters() -> dict[str, int]:
@@ -161,26 +167,32 @@ def table_cache_counters() -> dict[str, int]:
     correction) was built from scratch; a *hit* means a cached table was
     reused.  Complements :func:`repro.formats.packed.packing_counters`:
     together they prove a steady-state hot path does zero table-rebuild
-    and zero re-pack work.
+    and zero re-pack work.  Reads and updates are lock-guarded, so the
+    counts stay exact under multi-threaded execution.
     """
-    return dict(_TABLE_COUNTERS)
+    with _TABLE_LOCK:
+        return dict(_TABLE_COUNTERS)
 
 
 def reset_table_cache_counters() -> None:
     """Reset the table cache hit/miss counters to zero."""
-    _TABLE_COUNTERS["hits"] = 0
-    _TABLE_COUNTERS["misses"] = 0
+    with _TABLE_LOCK:
+        _TABLE_COUNTERS["hits"] = 0
+        _TABLE_COUNTERS["misses"] = 0
 
 
 def _cached(key: tuple, build):
-    hit = _TABLE_CACHE.get(key)
-    if hit is not None:
-        _TABLE_COUNTERS["hits"] += 1
-        return hit
-    _TABLE_COUNTERS["misses"] += 1
-    value = build()
-    _TABLE_CACHE[key] = value
-    return value
+    with _TABLE_LOCK:
+        hit = _TABLE_CACHE.get(key)
+        if hit is not None:
+            _TABLE_COUNTERS["hits"] += 1
+            return hit
+        # Build under the lock: concurrent first touches of a key must
+        # yield one build (tables are shared read-only afterwards).
+        _TABLE_COUNTERS["misses"] += 1
+        value = build()
+        _TABLE_CACHE[key] = value
+        return value
 
 
 def _config_key(config: MultiplierConfig | None) -> tuple:

@@ -17,6 +17,7 @@ can assert that a hot path performs *zero* re-quantise/decompose work.
 from __future__ import annotations
 
 import dataclasses
+import threading
 
 import numpy as np
 
@@ -34,17 +35,23 @@ __all__ = [
 #: harness and the weight-cache tests use this to prove that cached
 #: operands are never re-packed.
 _COUNTERS = {"pack_calls": 0, "elements_packed": 0}
+#: Guards the counters: shard-parallel execution packs activations from
+#: several threads, and unsynchronised ``+=`` on a shared dict drops
+#: increments (the read-modify-write is not atomic).
+_COUNTERS_LOCK = threading.Lock()
 
 
 def packing_counters() -> dict[str, int]:
-    """A snapshot of the global pack-call counters."""
-    return dict(_COUNTERS)
+    """A snapshot of the global pack-call counters (thread-safe)."""
+    with _COUNTERS_LOCK:
+        return dict(_COUNTERS)
 
 
 def reset_packing_counters() -> None:
     """Reset the global pack-call counters to zero."""
-    _COUNTERS["pack_calls"] = 0
-    _COUNTERS["elements_packed"] = 0
+    with _COUNTERS_LOCK:
+        _COUNTERS["pack_calls"] = 0
+        _COUNTERS["elements_packed"] = 0
 
 
 @dataclasses.dataclass(eq=False, repr=False)
@@ -231,8 +238,9 @@ def pack(values: np.ndarray, fmt: FloatFormat) -> "PackedTensor":
     if isinstance(values, PackedTensor):
         raise TypeError("values are already packed; pack() expects a float array")
     arr = np.asarray(values, dtype=np.float32)
-    _COUNTERS["pack_calls"] += 1
-    _COUNTERS["elements_packed"] += arr.size
+    with _COUNTERS_LOCK:
+        _COUNTERS["pack_calls"] += 1
+        _COUNTERS["elements_packed"] += arr.size
     if fmt.exponent_bits == 8:
         fast = _pack_fast_e8(arr, fmt)
         if fast is not None:

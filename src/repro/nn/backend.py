@@ -30,6 +30,7 @@ __all__ = [
     "default_backend",
     "set_default_backend",
     "use_backend",
+    "inherit_default_backend",
     "daism_backend",
     "exact_backend",
     "quantized_backend",
@@ -69,6 +70,32 @@ def use_backend(backend: MatmulBackend):
         yield backend
     finally:
         set_default_backend(previous)
+
+
+def inherit_default_backend():
+    """Capture this thread's default backend for worker-thread inheritance.
+
+    The default backend is thread-local, so a worker thread spawned
+    inside a :func:`use_backend` scope would otherwise fall back to
+    exact float32 — silently running the wrong arithmetic.  This returns
+    a zero-argument callable that installs the *capturing* thread's
+    default into whichever thread invokes it; pass it as a pool
+    initializer::
+
+        with use_backend(daism_backend(PC3_TR)):
+            pool = ThreadPoolExecutor(4, initializer=inherit_default_backend())
+
+    Every pool worker then sees the scope's backend.  The capture is a
+    snapshot: later ``use_backend``/``set_default_backend`` calls in the
+    parent thread do not retroactively change already-initialised
+    workers.
+    """
+    captured = default_backend()
+
+    def install() -> None:
+        set_default_backend(captured)
+
+    return install
 
 
 def exact_backend() -> MatmulBackend:

@@ -59,6 +59,18 @@ class Parameter:
         return f"Parameter({self.name}, shape={self.data.shape})"
 
 
+def _plan_spec(kind: str, module: "Module | None" = None, **attrs):
+    """Build an :class:`~repro.runtime.ops.OpSpec` (imported lazily).
+
+    The runtime package imports the layers for plan capture, so the
+    layers reach the spec type through a deferred import to keep the
+    dependency one-way at import time.
+    """
+    from ..runtime.ops import OpSpec
+
+    return OpSpec(kind, attrs, module)
+
+
 class Module:
     """Base class: a forward/backward pair plus parameter discovery."""
 
@@ -66,6 +78,17 @@ class Module:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def to_plan_op(self):
+        """Describe this layer for plan capture (see :mod:`repro.runtime`).
+
+        Leaf layers return an :class:`~repro.runtime.ops.OpSpec` naming
+        their kind and static shape attributes; the runtime compiler and
+        the accelerator co-sim both consume that one description.
+        Containers are walked structurally by
+        :func:`repro.runtime.plan.trace` instead.
+        """
+        raise TypeError(f"{type(self).__name__} does not describe a plan op")
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -163,6 +186,19 @@ class Conv2d(Module):
         self._cache: tuple | None = None
         self._prepared = _PreparedWeightCache()
 
+    def to_plan_op(self):
+        """Conv spec: channel/kernel/stride/padding geometry."""
+        out_channels, in_channels, kernel, _ = self.weight.data.shape
+        return _plan_spec(
+            "conv2d",
+            self,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         backend = self.backend or default_backend()
         f = self.weight.data.shape[0]
@@ -215,6 +251,13 @@ class Linear(Module):
         self._x: np.ndarray | None = None
         self._prepared = _PreparedWeightCache()
 
+    def to_plan_op(self):
+        """Linear spec: feature dimensions."""
+        out_features, in_features = self.weight.data.shape
+        return _plan_spec(
+            "linear", self, in_features=in_features, out_features=out_features
+        )
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         backend = self.backend or default_backend()
         self._x = x
@@ -241,6 +284,10 @@ class ReLU(Module):
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
 
+    def to_plan_op(self):
+        """Elementwise spec (no attributes)."""
+        return _plan_spec("relu", self)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
         return np.where(self._mask, x, 0.0).astype(np.float32)
@@ -257,6 +304,10 @@ class MaxPool2d(Module):
     def __init__(self, size: int = 2):
         self.size = size
         self._cache: tuple | None = None
+
+    def to_plan_op(self):
+        """Pooling spec: window size."""
+        return _plan_spec("maxpool2d", self, size=self.size)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         out, arg = F.maxpool2d_forward(x, self.size)
@@ -275,6 +326,10 @@ class GlobalAvgPool(Module):
 
     def __init__(self) -> None:
         self._shape: tuple | None = None
+
+    def to_plan_op(self):
+        """Pooling spec (no attributes)."""
+        return _plan_spec("global_avg_pool", self)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
@@ -297,6 +352,10 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.eps = eps
         self._cache: tuple | None = None
+
+    def to_plan_op(self):
+        """Normalisation spec: channel count (stats captured at compile)."""
+        return _plan_spec("batchnorm2d", self, channels=self.gamma.data.shape[0])
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
@@ -343,6 +402,10 @@ class Dropout(Module):
         self._rng = np.random.default_rng(seed)
         self._mask: np.ndarray | None = None
 
+    def to_plan_op(self):
+        """Dropout spec — an identity at inference, elided from plans."""
+        return _plan_spec("dropout", self, p=self.p)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
@@ -362,6 +425,10 @@ class Flatten(Module):
 
     def __init__(self) -> None:
         self._shape: tuple | None = None
+
+    def to_plan_op(self):
+        """Reshape spec (no attributes)."""
+        return _plan_spec("flatten", self)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape

@@ -1,0 +1,47 @@
+"""Compiled inference runtime: plans, shard-parallel batches, serving.
+
+The eager :mod:`repro.nn` stack dispatches every layer through Python
+per call — backend lookup, prepared-weight cache probe, container
+recursion.  This package compiles a model once and runs it hot:
+
+* :func:`compile_plan` captures any module tree into an
+  :class:`ExecutionPlan` — a flat op list with pre-resolved GEMM
+  kernels and pre-packed weights (zero lookups / ``prepare()`` calls at
+  steady state), byte-identical to the eager eval-mode forward;
+* :class:`BatchEngine` executes one plan shard-parallel across a
+  thread pool with byte-identical outputs to a single-threaded pass;
+* :class:`InferenceServer` queues requests, coalesces them into
+  micro-batches under a latency budget, and serves them from a shared
+  plan; :func:`run_load` measures it closed-loop (p50/p99,
+  samples/sec — the ``serve-bench`` CLI and perf-harness engine).
+
+Quick start::
+
+    from repro.nn.models import build_lenet
+    from repro.nn.backend import daism_backend
+    from repro.core.config import PC3_TR
+    from repro.runtime import compile_plan
+
+    plan = compile_plan(build_lenet(), daism_backend(PC3_TR))
+    logits = plan(images)          # == model.eval()(images), bit for bit
+"""
+
+from .engine import BatchEngine
+from .ops import ExecContext, OpSpec, PlanOp, pack_cols
+from .plan import ExecutionPlan, compile_plan, conv_workload, trace
+from .server import InferenceServer, LoadReport, run_load
+
+__all__ = [
+    "BatchEngine",
+    "ExecContext",
+    "ExecutionPlan",
+    "InferenceServer",
+    "LoadReport",
+    "OpSpec",
+    "PlanOp",
+    "compile_plan",
+    "conv_workload",
+    "pack_cols",
+    "run_load",
+    "trace",
+]

@@ -1,0 +1,366 @@
+"""Plan capture: compile a module tree into a flat execution plan.
+
+:func:`compile_plan` walks any :class:`~repro.nn.layers.Module` tree
+(``Sequential``, ``Residual``, the whole ``model_zoo``) *once*, resolves
+the arithmetic backend into per-layer strategies, prepares (packs) every
+static weight, snapshots BatchNorm statistics, and flattens the result
+into an :class:`ExecutionPlan` — a tuple of
+:class:`~repro.runtime.ops.PlanOp` objects executed in a plain loop.
+Steady-state inference then performs **zero** backend lookups, **zero**
+``prepare()`` calls and no Python recursion; residual blocks become
+explicit stack ops instead of nested calls.
+
+Plans are immutable inference snapshots (eval-mode semantics: dropout is
+elided, batch norm uses the captured running statistics).  Each plan
+records the version of every parameter it captured; executing a plan
+after an optimiser step or a weight load raises, pointing at
+recompilation — the plan-level analogue of the layers' prepared-weight
+cache invalidation.
+
+The same trace drives the accelerator co-simulation:
+:func:`conv_workload` converts the traced op specs into the
+:class:`~repro.arch.workloads.ConvLayer` records
+:mod:`repro.arch.network_runner` executes, so the software runtime and
+the hardware model derive layer shapes from one description instead of
+two parallel walks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..arch.workloads import ConvLayer
+from ..core.gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul
+from ..core.kernels import select_kernel
+from ..formats.packed import PackedTensor
+from ..nn.backend import default_backend
+from ..nn.layers import Module, Parameter, Residual, Sequential
+from .ops import (
+    BackendStrategy,
+    BatchNormOp,
+    ConvOp,
+    ExactStrategy,
+    ExecContext,
+    FlattenOp,
+    GlobalAvgPoolOp,
+    LinearOp,
+    MatmulStrategy,
+    MaxPoolOp,
+    OpSpec,
+    PackedKernelStrategy,
+    PlanOp,
+    QuantDenseStrategy,
+    ReluOp,
+    StackAddPopOp,
+    StackPushOp,
+    StackSwapOp,
+)
+
+__all__ = ["trace", "compile_plan", "ExecutionPlan", "conv_workload"]
+
+
+def trace(module: Module) -> list[OpSpec]:
+    """Flatten a module tree into the ordered list of op specs.
+
+    Containers are walked structurally: a ``Sequential`` concatenates
+    its children, a ``Residual`` becomes explicit stack control specs
+    around its body (and optional shortcut) so the resulting list has no
+    nesting.  Leaves are asked for their ``to_plan_op()`` description;
+    a module that does not provide one is not plan-compilable.
+    """
+    if isinstance(module, Sequential):
+        specs: list[OpSpec] = []
+        for child in module.modules:
+            specs.extend(trace(child))
+        return specs
+    if isinstance(module, Residual):
+        specs = [OpSpec("stack_push")]
+        specs.extend(trace(module.body))
+        if module.shortcut is not None:
+            specs.append(OpSpec("stack_swap"))
+            specs.extend(trace(module.shortcut))
+        specs.append(OpSpec("stack_add_pop"))
+        return specs
+    to_plan_op = getattr(module, "to_plan_op", None)
+    if to_plan_op is None:
+        raise TypeError(
+            f"{type(module).__name__} does not expose to_plan_op(); "
+            "plan compilation supports the repro.nn layer set (and any "
+            "module implementing the seam)"
+        )
+    return [to_plan_op()]
+
+
+def _resolve_strategy(
+    backend: MatmulBackend, weight: np.ndarray
+) -> tuple[MatmulStrategy, object]:
+    """Resolve ``backend`` into a compiled strategy for one weight matrix.
+
+    Returns ``(strategy, prepared)`` where ``prepared`` is the
+    backend-prepared operand (kept for cache-warm introspection).
+    """
+    prepared = backend.prepare(weight)
+    if isinstance(backend, ExactMatmul):
+        return ExactStrategy(prepared), prepared
+    if isinstance(backend, ApproxMatmul):
+        kernel = select_kernel(backend.fmt, backend.config, backend.kernel)
+        strategy = PackedKernelStrategy(
+            backend.fmt, backend.config, kernel, prepared, k_chunk=backend.k_chunk
+        )
+    elif isinstance(backend, QuantizedMatmul):
+        if backend.kernel is None:
+            return QuantDenseStrategy(backend.fmt, prepared.dense()), prepared
+        kernel = select_kernel(backend.fmt, None, backend.kernel)
+        strategy = PackedKernelStrategy(backend.fmt, None, kernel, prepared)
+    else:
+        return BackendStrategy(backend, prepared), prepared
+    # Warm the packed weight's cached planes now so first execution (and
+    # concurrent shards) never race to build them lazily.
+    if isinstance(prepared, PackedTensor):
+        prepared.scale()
+        if strategy.needs_dense:
+            prepared.dense()
+    return strategy, prepared
+
+
+@dataclasses.dataclass
+class ExecutionPlan:
+    """A compiled, immutable, thread-safe forward pass.
+
+    Parameters
+    ----------
+    ops:
+        The flat op sequence (see :mod:`repro.runtime.ops`).
+    backend_name:
+        Label of the backend the plan was compiled against.
+    params:
+        ``(parameter, version)`` snapshot for staleness detection.
+    row_independent:
+        Whether every op is row-independent — the precondition for
+        shard-parallel execution being byte-identical.
+    """
+
+    ops: tuple[PlanOp, ...]
+    backend_name: str
+    params: tuple[tuple[Parameter, int], ...]
+    row_independent: bool
+
+    def execute(self, x: np.ndarray, total_batch: int | None = None) -> np.ndarray:
+        """Run the plan on a batch (or, via ``total_batch``, one shard).
+
+        ``total_batch`` is the full logical batch size; the engine
+        passes it when executing a shard so batch-dependent choices
+        (the packed GEMMs' K-chunk split) match the unsharded run
+        bit-for-bit.  Raises ``RuntimeError`` if any captured parameter
+        changed since compilation.
+        """
+        self.assert_current()
+        x = np.asarray(x, dtype=np.float32)
+        ctx = ExecContext(total_batch=int(total_batch if total_batch is not None else len(x)))
+        for op in self.ops:
+            x = op.apply(x, ctx)
+        return x
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Alias for :meth:`execute` on a full batch."""
+        return self.execute(x)
+
+    def stale(self) -> bool:
+        """Whether any captured parameter changed since compilation."""
+        return any(param.version != version for param, version in self.params)
+
+    def assert_current(self) -> None:
+        """Raise ``RuntimeError`` if the plan no longer matches its model."""
+        for param, version in self.params:
+            if param.version != version:
+                raise RuntimeError(
+                    f"stale plan: parameter {param.name!r} changed "
+                    f"(version {param.version} != captured {version}); "
+                    "recompile with compile_plan()"
+                )
+
+    def describe(self) -> list[dict[str, object]]:
+        """One printable row per op (kind, name, strategy)."""
+        rows = []
+        for i, op in enumerate(self.ops):
+            strategy = getattr(op, "strategy", None)
+            rows.append(
+                {
+                    "op": i,
+                    "kind": op.kind,
+                    "name": op.name,
+                    "strategy": type(strategy).__name__ if strategy else "-",
+                }
+            )
+        return rows
+
+
+def compile_plan(model: Module, backend: MatmulBackend | None = None) -> ExecutionPlan:
+    """Compile a module tree into an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    model:
+        Any tree of :mod:`repro.nn.layers` modules (or custom modules
+        implementing ``to_plan_op``).  The model is not mutated; the
+        plan captures eval-mode semantics regardless of its current
+        train/eval flag.
+    backend:
+        Arithmetic backend; ``None`` captures the calling thread's
+        default (:func:`repro.nn.backend.default_backend`) at compile
+        time — the plan does **not** re-read the default later.
+    """
+    backend = backend or default_backend()
+    ops: list[PlanOp] = []
+    params: list[tuple[Parameter, int]] = []
+    counts: dict[str, int] = {}
+
+    def tag(kind: str) -> str:
+        counts[kind] = counts.get(kind, 0) + 1
+        return f"{kind}{counts[kind]}"
+
+    for spec in trace(model):
+        kind = spec.kind
+        layer = spec.module
+        if kind == "conv2d":
+            weight = layer.weight
+            f = weight.data.shape[0]
+            strategy, _ = _resolve_strategy(backend, weight.data.reshape(f, -1).T)
+            params.append((weight, weight.version))
+            bias = None
+            if layer.bias is not None:
+                bias = layer.bias.data
+                params.append((layer.bias, layer.bias.version))
+            ops.append(
+                ConvOp(
+                    strategy,
+                    bias,
+                    out_channels=f,
+                    kernel=spec.attrs["kernel"],
+                    stride=spec.attrs["stride"],
+                    padding=spec.attrs["padding"],
+                    name=tag("conv"),
+                )
+            )
+        elif kind == "linear":
+            weight = layer.weight
+            strategy, _ = _resolve_strategy(backend, weight.data.T)
+            params.append((weight, weight.version))
+            bias = None
+            if layer.bias is not None:
+                bias = layer.bias.data
+                params.append((layer.bias, layer.bias.version))
+            ops.append(LinearOp(strategy, bias, name=tag("fc")))
+        elif kind == "batchnorm2d":
+            params.append((layer.gamma, layer.gamma.version))
+            params.append((layer.beta, layer.beta.version))
+            ops.append(
+                BatchNormOp(
+                    layer.gamma.data,
+                    layer.beta.data,
+                    layer.running_mean,
+                    layer.running_var,
+                    layer.eps,
+                    name=tag("bn"),
+                )
+            )
+        elif kind == "relu":
+            ops.append(ReluOp())
+        elif kind == "maxpool2d":
+            ops.append(MaxPoolOp(spec.attrs["size"]))
+        elif kind == "global_avg_pool":
+            ops.append(GlobalAvgPoolOp())
+        elif kind == "flatten":
+            ops.append(FlattenOp())
+        elif kind == "dropout":
+            continue  # inference identity
+        elif kind == "stack_push":
+            ops.append(StackPushOp())
+        elif kind == "stack_swap":
+            ops.append(StackSwapOp())
+        elif kind == "stack_add_pop":
+            ops.append(StackAddPopOp())
+        else:
+            raise ValueError(f"unknown plan op kind {kind!r}")
+
+    return ExecutionPlan(
+        ops=tuple(ops),
+        backend_name=backend.name,
+        params=tuple(params),
+        row_independent=all(op.row_independent for op in ops),
+    )
+
+
+def conv_workload(
+    model: Module,
+    input_shape: tuple[int, int, int],
+    include_fc: bool = True,
+    prefix: str = "",
+) -> list[ConvLayer]:
+    """Derive the accelerator workload from the same trace the runtime runs.
+
+    Walks the traced op specs of ``model`` with a symbolic
+    ``(channels, height, width)`` shape and emits one
+    :class:`~repro.arch.workloads.ConvLayer` per convolution (and, when
+    ``include_fc`` is set, one ``1x1`` layer per fully connected layer —
+    an FC is a pointwise conv over a ``1x1`` feature map).  This is the
+    single source of layer shapes shared by the software runtime and
+    :func:`repro.arch.network_runner.run_module`.
+    """
+    c, h, w = input_shape
+    layers: list[ConvLayer] = []
+    shape_stack: list[tuple[int, int, int]] = []
+    conv_i = fc_i = 0
+    for spec in trace(model):
+        kind = spec.kind
+        if kind == "conv2d":
+            conv_i += 1
+            layer = ConvLayer(
+                name=f"{prefix}conv{conv_i}",
+                in_channels=spec.attrs["in_channels"],
+                out_channels=spec.attrs["out_channels"],
+                kernel=spec.attrs["kernel"],
+                height=h,
+                width=w,
+                stride=spec.attrs["stride"],
+                padding=spec.attrs["padding"],
+            )
+            layers.append(layer)
+            c, h, w = layer.out_channels, layer.out_height, layer.out_width
+        elif kind == "linear":
+            fc_i += 1
+            if include_fc:
+                layers.append(
+                    ConvLayer(
+                        name=f"{prefix}fc{fc_i}",
+                        in_channels=spec.attrs["in_features"],
+                        out_channels=spec.attrs["out_features"],
+                        kernel=1,
+                        height=1,
+                        width=1,
+                        stride=1,
+                        padding=0,
+                    )
+                )
+            c, h, w = spec.attrs["out_features"], 1, 1
+        elif kind == "maxpool2d":
+            size = spec.attrs["size"]
+            h, w = h // size, w // size
+        elif kind == "global_avg_pool":
+            h = w = 1
+        elif kind == "flatten":
+            c, h, w = c * h * w, 1, 1
+        elif kind == "stack_push":
+            shape_stack.append((c, h, w))
+        elif kind == "stack_swap":
+            shape_stack[-1], (c, h, w) = (c, h, w), shape_stack[-1]
+        elif kind == "stack_add_pop":
+            saved = shape_stack.pop()
+            if saved != (c, h, w):
+                raise ValueError(
+                    f"residual shape mismatch in workload trace: {saved} vs {(c, h, w)}"
+                )
+        # relu / batchnorm2d / dropout leave the shape unchanged
+    return layers

@@ -1,0 +1,301 @@
+"""Micro-batching serving frontend over a compiled plan.
+
+:class:`InferenceServer` is the production-shaped entry point the
+ROADMAP's serving north star asks for: callers submit requests (arrays
+with a leading sample axis) from any thread and get a future; a single
+dispatcher thread coalesces queued requests into micro-batches — up to a
+batch-size threshold or a latency budget measured from the *oldest*
+queued request — and executes each micro-batch on a shared
+:class:`~repro.runtime.engine.BatchEngine`.  Batching amortises the
+per-call front end (im2col, activation packing, kernel dispatch) across
+requests, which is the software analogue of the paper's batch
+amortisation of bank-imbalance cycles (Sec. V-D).
+
+:func:`run_load` is the closed-loop load generator used by the serving
+benchmark (``python -m repro serve-bench`` and the perf harness): each
+simulated client submits a request, waits for its response, and
+immediately submits the next, so offered load self-regulates to the
+server's capacity while per-request latency (p50/p99) is measured.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import queue
+import threading
+import time
+
+import numpy as np
+
+from .engine import BatchEngine
+from .plan import ExecutionPlan
+
+__all__ = ["InferenceServer", "LoadReport", "run_load"]
+
+
+@dataclasses.dataclass
+class _Request:
+    x: np.ndarray
+    future: concurrent.futures.Future
+    arrival: float
+
+
+_SHUTDOWN = object()
+
+
+class InferenceServer:
+    """Queue requests, coalesce into micro-batches, execute on one plan.
+
+    Parameters
+    ----------
+    runner:
+        A :class:`~repro.runtime.plan.ExecutionPlan` (wrapped in a
+        single-shard engine) or a ready :class:`BatchEngine`.
+    max_batch:
+        Stop coalescing once the pending micro-batch reaches this many
+        samples.  The threshold may be overshot by the final request's
+        size — requests are never split.
+    max_delay_ms:
+        Latency budget: a request waits at most this long in the queue
+        before its micro-batch is dispatched, however empty the batch.
+    """
+
+    def __init__(
+        self,
+        runner: ExecutionPlan | BatchEngine,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.engine = runner if isinstance(runner, BatchEngine) else BatchEngine(runner, shards=1)
+        self.max_batch = int(max_batch)
+        self.max_delay_s = max_delay_ms / 1e3
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        #: Serialises the closed-flag check in submit() against close(),
+        #: so no request can land behind the shutdown sentinel.
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = {"requests": 0, "samples": 0, "batches": 0, "max_batch_samples": 0}
+        self._worker = threading.Thread(
+            target=self._loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._worker.start()
+
+    # -- client side ------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> concurrent.futures.Future:
+        """Enqueue one request; resolves to the plan output for ``x``.
+
+        ``x`` must carry a leading sample axis (shape ``(n, ...)``); the
+        response preserves request order and boundaries regardless of
+        how requests were coalesced.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim < 2:
+            raise ValueError("requests must have a leading sample axis (n, ...)")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            self._queue.put(_Request(x, future, time.monotonic()))
+        return future
+
+    # -- dispatcher -------------------------------------------------------
+
+    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Coalesce queued requests behind ``first`` under the budget."""
+        batch = [first]
+        total = len(first.x)
+        deadline = first.arrival + self.max_delay_s
+        while total < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._queue.get_nowait() if remaining <= 0 else self._queue.get(
+                    timeout=remaining
+                )
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            batch.append(item)
+            total += len(item.x)
+            if remaining <= 0:
+                break
+        return batch, False
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch, shutdown = self._collect(item)
+            try:
+                xs = [r.x for r in batch]
+                # Inside the try: mismatched request shapes must fail the
+                # waiters' futures, not kill the dispatcher thread.
+                x = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
+                out = self.engine.run(x)
+            except BaseException as exc:  # propagate to every waiter
+                for r in batch:
+                    r.future.set_exception(exc)
+            else:
+                offset = 0
+                for r in batch:
+                    r.future.set_result(out[offset : offset + len(r.x)])
+                    offset += len(r.x)
+                with self._stats_lock:
+                    self._stats["requests"] += len(batch)
+                    self._stats["samples"] += len(x)
+                    self._stats["batches"] += 1
+                    self._stats["max_batch_samples"] = max(
+                        self._stats["max_batch_samples"], len(x)
+                    )
+            if shutdown:
+                break
+
+    # -- lifecycle / introspection ---------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Dispatch statistics: requests, samples, batches, occupancy."""
+        with self._stats_lock:
+            stats = dict(self._stats)
+        batches = stats["batches"] or 1
+        stats["mean_batch_samples"] = stats["samples"] / batches
+        return stats
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the dispatcher (idempotent).
+
+        With ``drain`` (the default) every request submitted before the
+        call is still served; without it, queued requests are failed
+        with ``RuntimeError``.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # The sentinel lands behind every accepted request (the lock
+            # excludes in-flight submits), so drain really drains.
+            self._queue.put(_SHUTDOWN)
+        if not drain:
+            failed: list[_Request] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SHUTDOWN:
+                    failed.append(item)
+            for r in failed:
+                r.future.set_exception(RuntimeError("server closed"))
+            # The purge may have swallowed the sentinel; re-arm it so the
+            # dispatcher still sees a stop signal (a duplicate is inert).
+            self._queue.put(_SHUTDOWN)
+        self._worker.join()
+        self.engine.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """Closed-loop load-generator outcome (see :func:`run_load`)."""
+
+    clients: int
+    duration_s: float
+    requests: int
+    samples: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    samples_per_s: float
+    mean_batch_samples: float
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready representation for ``BENCH_perf.json``/CLI output."""
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 3),
+            "requests": self.requests,
+            "samples": self.samples,
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "samples_per_s": round(self.samples_per_s, 1),
+            "mean_batch_samples": round(self.mean_batch_samples, 2),
+        }
+
+
+def run_load(
+    server: InferenceServer,
+    make_request,
+    clients: int = 4,
+    duration_s: float = 1.0,
+    warmup_requests: int = 1,
+) -> LoadReport:
+    """Drive a server with closed-loop clients and measure latency.
+
+    Each of ``clients`` threads repeatedly calls
+    ``make_request(client_id, i)`` for its next payload, submits it, and
+    blocks on the response before issuing the next — classic closed-loop
+    load, so the system is measured at its self-regulated throughput.
+    Per-request wall latencies from all clients are pooled into
+    p50/p99/mean; the first ``warmup_requests`` of every client are
+    excluded (they pay cache warming).
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    counts = [0] * clients
+    samples = [0] * clients
+    start_barrier = threading.Barrier(clients + 1)
+    stop = threading.Event()
+
+    def client(cid: int) -> None:
+        start_barrier.wait()
+        i = 0
+        while not stop.is_set():
+            x = make_request(cid, i)
+            t0 = time.perf_counter()
+            server.submit(x).result()
+            elapsed = time.perf_counter() - t0
+            if i >= warmup_requests:
+                latencies[cid].append(elapsed)
+                counts[cid] += 1
+                samples[cid] += len(x)
+            i += 1
+
+    threads = [threading.Thread(target=client, args=(cid,)) for cid in range(clients)]
+    for t in threads:
+        t.start()
+    start_barrier.wait()
+    t0 = time.perf_counter()
+    time.sleep(duration_s)
+    stop.set()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    pooled = np.array([lat for per in latencies for lat in per]) * 1e3
+    if pooled.size == 0:
+        pooled = np.array([0.0])
+    return LoadReport(
+        clients=clients,
+        duration_s=elapsed,
+        requests=sum(counts),
+        samples=sum(samples),
+        p50_ms=float(np.percentile(pooled, 50)),
+        p99_ms=float(np.percentile(pooled, 99)),
+        mean_ms=float(pooled.mean()),
+        samples_per_s=sum(samples) / elapsed if elapsed > 0 else 0.0,
+        mean_batch_samples=server.stats()["mean_batch_samples"],
+    )

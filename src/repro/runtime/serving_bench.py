@@ -1,0 +1,94 @@
+"""Serving benchmark engine shared by the CLI and the perf harness.
+
+One function, :func:`serving_benchmark`, wires the whole runtime stack
+together — model zoo build, backend selection, plan compilation,
+shard-parallel engine, micro-batching server, closed-loop load
+generator — and returns a JSON-ready report.  ``python -m repro
+serve-bench`` renders it for humans; ``benchmarks/perf/bench_perf.py``
+embeds it in ``BENCH_perf.json`` so CI tracks serving throughput next to
+the kernel rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import PC3_TR
+from ..formats.floatfmt import BFLOAT16
+from ..nn.backend import daism_backend, exact_backend, quantized_backend
+from ..nn.models import model_zoo
+from .engine import BatchEngine
+from .plan import compile_plan
+from .server import InferenceServer, run_load
+
+__all__ = ["serving_benchmark"]
+
+#: Input geometry of the zoo models (channels, height, width).
+_INPUT_SHAPE = (1, 16, 16)
+
+
+def _build_backend(backend: str, kernel: str | None):
+    if backend == "daism":
+        return daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
+    if backend == "quantized":
+        return quantized_backend(BFLOAT16, kernel=kernel)
+    if backend == "exact":
+        return exact_backend()
+    raise ValueError(f"unknown backend {backend!r} (daism / quantized / exact)")
+
+
+def serving_benchmark(
+    model: str = "lenet",
+    backend: str = "daism",
+    kernel: str | None = None,
+    clients: int = 4,
+    duration_s: float = 1.0,
+    request_samples: int = 4,
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    shards: int = 1,
+    seed: int = 0,
+) -> dict:
+    """Stand up the serving stack and measure it under closed-loop load.
+
+    Each client cycles through a pool of pre-generated requests
+    (``request_samples`` images each) so measurement excludes input
+    synthesis.  Returns a dict with the configuration echoed back and a
+    ``load`` section carrying the
+    :class:`~repro.runtime.server.LoadReport` figures (p50/p99/mean
+    latency in ms, samples/sec, mean coalesced micro-batch size).
+    """
+    try:
+        module = model_zoo()[model]
+    except KeyError as exc:
+        raise ValueError(f"unknown model {model!r}; zoo: {sorted(model_zoo())}") from exc
+    module.eval()
+    resolved = _build_backend(backend, kernel)
+    plan = compile_plan(module, resolved)
+
+    rng = np.random.default_rng(seed)
+    c, h, w = _INPUT_SHAPE
+    pool = [
+        rng.standard_normal((request_samples, c, h, w)).astype(np.float32)
+        for _ in range(8)
+    ]
+
+    engine = BatchEngine(plan, shards=shards)
+    with InferenceServer(engine, max_batch=max_batch, max_delay_ms=max_delay_ms) as server:
+        load = run_load(
+            server,
+            make_request=lambda cid, i: pool[(cid + i) % len(pool)],
+            clients=clients,
+            duration_s=duration_s,
+        )
+    return {
+        "model": model,
+        "backend": resolved.name,
+        "kernel": kernel or "default",
+        "plan_ops": len(plan.ops),
+        "shards": shards,
+        "max_batch": max_batch,
+        "max_delay_ms": max_delay_ms,
+        "request_samples": request_samples,
+        "load": load.as_dict(),
+    }

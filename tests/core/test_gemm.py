@@ -153,15 +153,22 @@ def _scalar_reference_matmul(a, b, fmt, config):
         word = (sign << 31) | ((e + 127) << 23) | frac
         return np.uint32(word).view(np.float32)
 
-    out = np.zeros((m, n), dtype=np.float32)
+    # Accumulate exactly as the kernels do: the scalar pipeline defines
+    # the per-element *products*, but the float32 accumulation order is
+    # the kernels' axis-1 reduction over the (m, k, n) value block (the
+    # datapath adder consumes the product stream in that association).
+    # A per-dot-product 1-D ``vals.sum()`` is NOT equivalent: numpy's
+    # pairwise summation regroups 1-D sums once k reaches 8, which can
+    # (and did) differ from the sequential reduction by 1 ulp.
+    vals = np.zeros((m, k, n), dtype=np.float32)
     for i in range(m):
         for j in range(n):
-            vals = np.zeros(k, dtype=np.float32)
             for t in range(k):
                 sign = int(sa[i, t]) ^ int(sb[t, j])
                 exp = int(ea[i, t]) + int(eb[t, j])
-                vals[t] = product_value(int(ma[i, t]), int(mb[t, j]), sign, exp)
-            out[i, j] = vals.sum(dtype=np.float32)
+                vals[i, t, j] = product_value(int(ma[i, t]), int(mb[t, j]), sign, exp)
+    out = np.zeros((m, n), dtype=np.float32)
+    out += vals.sum(axis=1, dtype=np.float32)
     return out
 
 

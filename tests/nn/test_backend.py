@@ -118,3 +118,51 @@ class TestThreadLocalDefault:
             t.start()
             t.join()
         assert isinstance(seen["backend"], ExactMatmul)
+
+
+class TestBackendInheritance:
+    """Worker threads can opt into the spawning thread's default."""
+
+    def test_pool_workers_inherit_scope_backend(self):
+        """Regression: pools spawned inside use_backend() must not fall
+        back to exact float32 when given the inheritance initializer."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.nn.backend import inherit_default_backend
+
+        approx = daism_backend(PC3_TR)
+        with use_backend(approx):
+            with ThreadPoolExecutor(
+                max_workers=2, initializer=inherit_default_backend()
+            ) as pool:
+                seen = list(pool.map(lambda _i: default_backend(), range(4)))
+        assert all(backend is approx for backend in seen)
+
+    def test_without_initializer_workers_fall_back(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with use_backend(daism_backend(PC3_TR)):
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                seen = pool.submit(default_backend).result()
+        assert isinstance(seen, ExactMatmul)
+
+    def test_capture_is_a_snapshot(self):
+        """Later use_backend scopes do not leak into captured installers."""
+        import threading
+
+        approx = daism_backend(PC3_TR)
+        with use_backend(approx):
+            install = __import__(
+                "repro.nn.backend", fromlist=["inherit_default_backend"]
+            ).inherit_default_backend()
+        seen = {}
+
+        def worker():
+            install()
+            seen["backend"] = default_backend()
+
+        with use_backend(daism_backend(FLA)):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["backend"] is approx

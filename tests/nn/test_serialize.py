@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.core.config import PC3_TR
+from repro.formats.floatfmt import BFLOAT16
+from repro.nn.backend import daism_backend, use_backend
 from repro.nn.models import build_lenet, build_mini_resnet, build_mlp
 from repro.nn.serialize import load_state_dict, load_weights, save_weights, state_dict
 
@@ -58,3 +61,49 @@ class TestFileRoundtrip:
         fresh = build_mlp(seed=42)
         load_weights(fresh, path)
         assert evaluate(fresh, data.test_x, data.test_y) == acc_before
+
+
+class TestRoundtripUnderPackedBackends:
+    """Save/load must invalidate prepared-weight caches, byte-exactly.
+
+    The layers cache backend-prepared (packed) weights keyed by the
+    parameter version; a weight load silently writing ``data`` without
+    bumping versions would keep serving the *old* packed planes.  These
+    tests run a forward pass first (warming the caches with the old
+    weights), then load and assert the reloaded model matches a freshly
+    built twin bit-for-bit under both the default and the BLAS-factored
+    kernels.
+    """
+
+    @pytest.mark.parametrize("kernel", [None, "blas_factored"])
+    def test_reload_invalidates_prepared_cache(self, tmp_path, kernel):
+        backend = daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
+        x = np.random.default_rng(3).standard_normal((4, 1, 16, 16)).astype(np.float32)
+
+        source = build_lenet(seed=1).eval()
+        path = str(tmp_path / "lenet.npz")
+        save_weights(source, path)
+
+        target = build_lenet(seed=2).eval()
+        with use_backend(backend):
+            stale = target(x)  # warm the prepared caches with seed-2 weights
+            load_weights(target, path)
+            got = target(x)
+            want = source(x)
+        assert not np.array_equal(stale, got)
+        np.testing.assert_array_equal(
+            got.view(np.uint32), want.view(np.uint32)
+        )
+
+    @pytest.mark.parametrize("kernel", [None, "blas_factored"])
+    def test_state_dict_roundtrip_byte_identical(self, kernel):
+        backend = daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
+        x = np.random.default_rng(4).standard_normal((4, 1, 16, 16)).astype(np.float32)
+        m1 = build_mini_resnet(seed=5).eval()
+        m2 = build_mini_resnet(seed=6).eval()
+        with use_backend(backend):
+            m2(x)  # warm caches before the load
+            load_state_dict(m2, state_dict(m1))
+            np.testing.assert_array_equal(
+                m1(x).view(np.uint32), m2(x).view(np.uint32)
+            )

@@ -1,0 +1,109 @@
+"""Shard engine mechanics and counter thread-safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3_TR
+from repro.core.kernels import (
+    reset_table_cache_counters,
+    table_cache_counters,
+    value_table,
+)
+from repro.formats.floatfmt import BFLOAT16
+from repro.formats.packed import pack, packing_counters, reset_packing_counters
+from repro.nn.backend import daism_backend, exact_backend
+from repro.nn.models import build_lenet, build_mlp
+from repro.runtime import BatchEngine, compile_plan
+
+
+class TestBatchEngine:
+    def test_shard_clamping_respects_min_samples(self):
+        plan = compile_plan(build_mlp().eval(), exact_backend())
+        engine = BatchEngine(plan, shards=8, min_shard_samples=8)
+        x = np.random.default_rng(0).standard_normal((16, 32)).astype(np.float32)
+        out = engine.run(x)  # 16 samples / min 8 -> at most 2 shards
+        assert out.shape == (16, 4)
+        engine.close()
+
+    def test_invalid_shards_rejected(self):
+        plan = compile_plan(build_mlp().eval(), exact_backend())
+        with pytest.raises(ValueError, match="shards"):
+            BatchEngine(plan, shards=0)
+
+    def test_close_is_idempotent_and_context_managed(self):
+        plan = compile_plan(build_mlp().eval(), exact_backend())
+        with BatchEngine(plan, shards=2, min_shard_samples=1) as engine:
+            x = np.random.default_rng(0).standard_normal((4, 32)).astype(np.float32)
+            engine.run(x)
+        engine.close()  # second close is a no-op
+
+    def test_uneven_split_covers_every_sample(self):
+        plan = compile_plan(build_mlp().eval(), exact_backend())
+        x = np.random.default_rng(1).standard_normal((13, 32)).astype(np.float32)
+        with BatchEngine(plan, shards=4, min_shard_samples=1) as engine:
+            np.testing.assert_array_equal(
+                engine.run(x).view(np.uint32), plan.execute(x).view(np.uint32)
+            )
+
+
+class TestCounterThreadSafety:
+    def test_packing_counters_exact_under_contention(self):
+        reset_packing_counters()
+        threads_n, per_thread = 8, 50
+        arr = np.ones((4, 4), dtype=np.float32)
+
+        def worker():
+            for _ in range(per_thread):
+                pack(arr, BFLOAT16)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = packing_counters()
+        assert counters["pack_calls"] == threads_n * per_thread
+        assert counters["elements_packed"] == threads_n * per_thread * arr.size
+        reset_packing_counters()
+
+    def test_table_counters_exact_under_contention(self):
+        value_table(8, PC3_TR)  # ensure the table exists (a miss at most once)
+        reset_table_cache_counters()
+        threads_n, per_thread = 8, 50
+
+        def worker():
+            for _ in range(per_thread):
+                value_table(8, PC3_TR)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = table_cache_counters()
+        assert counters["hits"] == threads_n * per_thread
+        assert counters["misses"] == 0
+        reset_table_cache_counters()
+
+    def test_parallel_shards_report_consistent_pack_work(self):
+        """Sharded and unsharded runs perform identical pack work,
+        and none of it is lost to racy counter updates."""
+        model = build_lenet().eval()
+        plan = compile_plan(model, daism_backend(PC3_TR, BFLOAT16))
+        x = np.random.default_rng(2).standard_normal((16, 1, 16, 16)).astype(np.float32)
+        plan.execute(x)  # warm tables
+
+        reset_packing_counters()
+        plan.execute(x)
+        serial = packing_counters()
+        with BatchEngine(plan, shards=4, min_shard_samples=1) as engine:
+            reset_packing_counters()
+            engine.run(x, shards=4)
+            parallel = packing_counters()
+        # 4 shards pack 4 smaller activations per GEMM layer instead of
+        # one big one: 4x the calls, identical element totals.
+        assert parallel["elements_packed"] == serial["elements_packed"]
+        assert parallel["pack_calls"] == 4 * serial["pack_calls"]
+        reset_packing_counters()

@@ -1,0 +1,182 @@
+"""Micro-batching inference server: coalescing, correctness, lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import PC3_TR
+from repro.formats.floatfmt import BFLOAT16
+from repro.nn.backend import daism_backend, exact_backend
+from repro.nn.models import build_mlp
+from repro.nn.optim import SGD
+from repro.runtime import BatchEngine, InferenceServer, compile_plan, run_load
+from repro.runtime.serving_bench import serving_benchmark
+
+
+def _plan(backend=None):
+    return compile_plan(build_mlp().eval(), backend or exact_backend())
+
+
+def _x(n, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, 32)).astype(np.float32)
+
+
+class TestInferenceServer:
+    def test_single_request_matches_plan(self):
+        plan = _plan()
+        with InferenceServer(plan, max_batch=8, max_delay_ms=1.0) as server:
+            x = _x(4)
+            got = server.submit(x).result(timeout=5)
+        np.testing.assert_array_equal(
+            got.view(np.uint32), plan.execute(x).view(np.uint32)
+        )
+
+    def test_concurrent_requests_get_their_own_rows(self):
+        """Coalesced responses preserve request boundaries.
+
+        Responses are compared against the solo plan output with a tight
+        tolerance rather than byte-exactly: BLAS may pick a different
+        small-M kernel for a 3-row solo GEMM than for the coalesced
+        batch, perturbing the last bit (a boundary mix-up, by contrast,
+        would hand a client another request's values entirely).  The
+        byte-exact dispatch check lives in
+        ``test_daism_uncoalesced_requests_byte_identical``.
+        """
+        plan = _plan()
+        requests = [_x(3, seed=s) for s in range(12)]
+        with InferenceServer(plan, max_batch=64, max_delay_ms=5.0) as server:
+            futures = {}
+            lock = threading.Lock()
+
+            def client(i):
+                fut = server.submit(requests[i])
+                with lock:
+                    futures[i] = fut
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for i, fut in futures.items():
+                np.testing.assert_allclose(
+                    fut.result(timeout=5),
+                    plan.execute(requests[i]),
+                    rtol=1e-4,
+                    atol=1e-5,
+                )
+            stats = server.stats()
+        assert stats["requests"] == 12
+        assert stats["samples"] == 36
+        # Coalescing actually happened: fewer dispatches than requests.
+        assert stats["batches"] < 12
+
+    def test_daism_uncoalesced_requests_byte_identical(self):
+        plan = _plan(daism_backend(PC3_TR, BFLOAT16))
+        x = _x(4, seed=3)
+        # max_batch=1 dispatches each request alone, so the response must
+        # equal the standalone plan output even under the DAISM backend
+        # (whose K-chunk choice depends on the executed batch size).
+        with InferenceServer(plan, max_batch=1, max_delay_ms=0.0) as server:
+            got = server.submit(x).result(timeout=5)
+        np.testing.assert_array_equal(
+            got.view(np.uint32), plan.execute(x).view(np.uint32)
+        )
+
+    def test_latency_budget_dispatches_partial_batches(self):
+        plan = _plan()
+        with InferenceServer(plan, max_batch=1024, max_delay_ms=5.0) as server:
+            t0 = time.perf_counter()
+            got = server.submit(_x(2)).result(timeout=5)
+            elapsed = time.perf_counter() - t0
+        assert got.shape == (2, 4)
+        assert elapsed < 2.0  # budget (5 ms) + slack, not forever
+
+    def test_submit_validates_input(self):
+        with InferenceServer(_plan()) as server:
+            with pytest.raises(ValueError, match="sample axis"):
+                server.submit(np.zeros(32, dtype=np.float32))
+
+    def test_close_drains_pending_requests(self):
+        plan = _plan()
+        server = InferenceServer(plan, max_batch=4, max_delay_ms=50.0)
+        futures = [server.submit(_x(2, seed=s)) for s in range(6)]
+        server.close()
+        for fut in futures:
+            assert fut.result(timeout=5).shape == (2, 4)
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(_x(1))
+
+    def test_mismatched_request_shapes_fail_without_killing_dispatcher(self):
+        plan = _plan()
+        with InferenceServer(plan, max_batch=64, max_delay_ms=20.0) as server:
+            good = server.submit(_x(2))
+            bad = server.submit(
+                np.zeros((2, 7), dtype=np.float32)  # wrong feature width
+            )
+            # Whether or not the two coalesced, the bad request must fail
+            # on its future (np.concatenate or the GEMM raises inside the
+            # dispatch try), the good one must *resolve* (result or the
+            # shared batch failure), and the dispatcher must keep serving.
+            with pytest.raises(Exception):
+                bad.result(timeout=5)
+            try:
+                good.result(timeout=5)
+            except ValueError:
+                pass  # shared fate of the coalesced batch
+            again = server.submit(_x(2)).result(timeout=5)
+        assert again.shape == (2, 4)
+
+    def test_execution_failure_propagates_to_waiters(self):
+        model = build_mlp().eval()
+        plan = compile_plan(model, exact_backend())
+        with InferenceServer(plan, max_batch=4, max_delay_ms=1.0) as server:
+            # Invalidate the plan mid-flight: the dispatcher's stale-plan
+            # error must surface on the future, not kill the thread.
+            for p in model.parameters():
+                p.grad[...] = 1.0
+            SGD(model.parameters(), lr=0.1).step()
+            fut = server.submit(_x(2))
+            with pytest.raises(RuntimeError, match="stale plan"):
+                fut.result(timeout=5)
+
+    def test_accepts_prebuilt_engine(self):
+        plan = _plan()
+        engine = BatchEngine(plan, shards=2, min_shard_samples=1)
+        with InferenceServer(engine, max_batch=8, max_delay_ms=1.0) as server:
+            got = server.submit(_x(4)).result(timeout=5)
+        np.testing.assert_array_equal(
+            got.view(np.uint32), plan.execute(_x(4)).view(np.uint32)
+        )
+
+
+class TestLoadGenerator:
+    def test_closed_loop_smoke(self):
+        with InferenceServer(_plan(), max_batch=16, max_delay_ms=1.0) as server:
+            report = run_load(
+                server,
+                make_request=lambda cid, i: _x(2, seed=cid),
+                clients=2,
+                duration_s=0.2,
+            )
+        assert report.requests > 0
+        assert report.samples == 2 * report.requests
+        assert report.p99_ms >= report.p50_ms >= 0.0
+        assert report.samples_per_s > 0
+        as_dict = report.as_dict()
+        assert set(as_dict) >= {"p50_ms", "p99_ms", "samples_per_s", "clients"}
+
+    def test_serving_benchmark_report_shape(self):
+        report = serving_benchmark(
+            model="lenet", backend="exact", clients=2, duration_s=0.2
+        )
+        assert report["model"] == "lenet"
+        assert report["backend"] == "exact_float32"
+        assert report["plan_ops"] == 10
+        assert report["load"]["samples_per_s"] > 0
+
+    def test_serving_benchmark_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            serving_benchmark(model="alexnet")

@@ -52,3 +52,30 @@ class TestBarChart:
 
         chart = bar_chart([("x", 0.0)])
         assert "x" in chart
+
+
+class TestServeBench:
+    def test_human_readable_report(self, capsys):
+        assert main(
+            ["serve-bench", "--duration", "0.15", "--clients", "2", "--backend", "exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: lenet on exact_float32" in out
+        assert "p50" in out and "samples/s" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(
+            ["serve-bench", "--duration", "0.15", "--clients", "2", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["model"] == "lenet"
+        assert report["backend"] == "approx_bfloat16_PC3_tr"
+        assert report["load"]["requests"] > 0
+
+    def test_unknown_model_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--model", "alexnet"])

@@ -62,6 +62,7 @@ def test_repo_documents_exist():
         "repro.core",
         "repro.energy",
         "repro.experiments",
+        "repro.runtime",
         "repro.sram",
     ],
 )

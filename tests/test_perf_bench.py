@@ -30,7 +30,7 @@ def quick_report(tmp_path_factory):
 
 def test_quick_run_writes_valid_artifact(quick_report):
     report, _path = quick_report
-    assert report["schema"] == "repro-perf/2"
+    assert report["schema"] == "repro-perf/3"
     assert report["quick"] is True
 
     # 1 size x (exact + quantized + 3 kernels x raw/prepared) = 8 rows.
@@ -52,15 +52,29 @@ def test_quick_run_writes_valid_artifact(quick_report):
     net = report["network"]
     assert net["model"] == "lenet"
     assert net["kernel"] == "float_table"
+    assert net["runtime"] == "compiled_plan"
     assert net["samples"] == 32
     assert net["ms_total"] > 0
+    assert net["eager_ms_total"] > 0
+    # The compiled plan runs the same batch stream as the eager pass, so
+    # its logits (not just predictions) must agree byte for byte.
+    assert net["accuracy_matches_eager"] is True
+    assert net["logits_match_eager"] is True
     # The acceptance property: a steady-state inference pass performs no
     # weight re-quantise/decompose work.
     assert net["repack_free"] is True
+    # The plan packs conv images, not K*K-redundant patch matrices.
+    assert net["steady_state_elements_packed"] < net["eager_elements_packed"]
     by_kernel = {row["kernel"]: row for row in net["kernels"]}
     assert {"uint32_fused", "blas_factored"} <= set(by_kernel)
     # uint32_fused computes identical bits, so identical predictions.
     assert by_kernel["uint32_fused"]["accuracy_matches_default"] is True
+
+    serving = report["serving"]
+    assert serving["model"] == "lenet"
+    assert serving["backend"] == "approx_bfloat16_PC3_tr"
+    assert serving["load"]["samples_per_s"] > 0
+    assert serving["load"]["p99_ms"] >= serving["load"]["p50_ms"]
 
 
 def test_prepared_variant_not_slower_than_raw():
@@ -122,7 +136,10 @@ def _run_guard(*args: str) -> subprocess.CompletedProcess:
 
 
 def _write_report(
-    path: pathlib.Path, mmacs: float, exact_mmacs: float | None = None
+    path: pathlib.Path,
+    mmacs: float,
+    exact_mmacs: float | None = None,
+    samples_per_s: float | None = None,
 ) -> pathlib.Path:
     rows = [
         {
@@ -149,7 +166,10 @@ def _write_report(
                 "mmacs_per_s": exact_mmacs,
             }
         )
-    path.write_text(json.dumps({"schema": "repro-perf/2", "matmul": rows}))
+    report: dict = {"schema": "repro-perf/3", "matmul": rows}
+    if samples_per_s is not None:
+        report["serving"] = {"model": "lenet", "load": {"samples_per_s": samples_per_s}}
+    path.write_text(json.dumps(report))
     return path
 
 
@@ -190,10 +210,57 @@ class TestRegressionGuard:
     def test_fails_when_nothing_comparable(self, tmp_path):
         fresh = _write_report(tmp_path / "fresh.json", 100.0)
         base = tmp_path / "base.json"
-        base.write_text(json.dumps({"schema": "repro-perf/2", "matmul": []}))
+        base.write_text(json.dumps({"schema": "repro-perf/3", "matmul": []}))
         result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
         assert result.returncode == 1
         assert "no comparable" in result.stdout
+
+
+class TestServingGuard:
+    def test_skipped_when_baseline_lacks_serving(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, samples_per_s=1000.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "skipping serving check" in result.stdout
+
+    def test_passes_within_serving_tolerance(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, samples_per_s=600.0)
+        base = _write_report(tmp_path / "base.json", 100.0, samples_per_s=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "serving lenet samples/s" in result.stdout
+
+    def test_fails_on_serving_collapse(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, samples_per_s=100.0)
+        base = _write_report(tmp_path / "base.json", 100.0, samples_per_s=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
+    def test_mixed_reference_falls_back_to_absolute(self, tmp_path):
+        # Only the fresh report has an exact_float32 reference: both
+        # sides must be compared raw (identical samples/s -> pass), not
+        # one normalised against one absolute.
+        fresh = _write_report(
+            tmp_path / "fresh.json", 100.0, exact_mmacs=10000.0, samples_per_s=1000.0
+        )
+        base = _write_report(tmp_path / "base.json", 100.0, samples_per_s=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "[samples/s]" in result.stdout
+
+    def test_serving_normalised_by_machine_speed(self, tmp_path):
+        # 2x slower machine: serving throughput halves along with the
+        # exact reference -> normalised score unchanged -> pass.
+        fresh = _write_report(
+            tmp_path / "fresh.json", 50.0, exact_mmacs=5000.0, samples_per_s=500.0
+        )
+        base = _write_report(
+            tmp_path / "base.json", 100.0, exact_mmacs=10000.0, samples_per_s=1000.0
+        )
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
 
     def test_quick_rows_join_committed_baseline(self, quick_report):
         """The quick grid must stay a subset of the committed full grid."""
