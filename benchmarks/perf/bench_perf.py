@@ -24,6 +24,11 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
 * **serving throughput**: the micro-batching inference server under
   closed-loop load (``repro.runtime.serving_bench``), reporting
   p50/p99 latency and samples/sec;
+* **fleet serving**: the multi-process worker fleet under **open-loop
+  Poisson arrivals** at 10x the measured closed-loop rate, reporting
+  p50/p99/p999 latency, shed counts and goodput-under-SLA next to the
+  closed-loop baseline (schema v4's ``fleet`` section) — with the
+  no-silent-drop invariant (``accepted_then_dropped == 0``) asserted;
 * **fault-injection sweep**: the ``fault_sensitivity`` error grid
   computed on the scalar row-by-row SRAM readout vs the vectorized
   bit-plane path (``ComputeBank.multiply_batch``), with the products
@@ -49,7 +54,7 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-perf/3"
+SCHEMA = "repro-perf/4"
 
 #: DAISM kernels timed per size (None = the bit-exact default).
 KERNEL_SUITE = (None, "uint32_fused", "blas_factored")
@@ -267,6 +272,32 @@ def serving_rows(quick: bool) -> dict:
     )
 
 
+def fleet_rows(quick: bool) -> dict:
+    """Open-loop Poisson traffic against the multi-process fleet.
+
+    Quick mode is the CI smoke: 2 workers, a ~1 s burst at 10x the
+    calibrated closed-loop rate.  The no-silent-drop invariant is
+    asserted here so a fleet that quietly abandons accepted requests
+    fails the harness, not just the chaos tests.
+    """
+    from repro.runtime.serving_bench import open_loop_fleet_benchmark
+
+    report = open_loop_fleet_benchmark(
+        models=("lenet",),
+        backend="daism",
+        workers=2,
+        duration_s=1.0 if quick else 2.0,
+        rate_multiplier=10.0,
+        request_samples=4,
+        max_batch=64,
+        max_delay_ms=2.0,
+        sla_ms=50.0,
+        calibration_s=0.3 if quick else 0.5,
+    )
+    assert report["accepted_then_dropped"] == 0, "fleet dropped accepted requests"
+    return report
+
+
 def fault_sweep(quick: bool) -> dict:
     """Scalar vs vectorized fault-injection sweep (the co-sim hot path).
 
@@ -327,6 +358,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "matmul": matmul_rows(quick),
         "network": network_latency(quick),
         "serving": serving_rows(quick),
+        "fleet": fleet_rows(quick),
         "fault_sweep": fault_sweep(quick),
     }
     with open(out_path, "w") as fh:
@@ -375,6 +407,17 @@ def main() -> None:
         f" {serve['samples_per_s']} samples/s, p50 {serve['p50_ms']} ms,"
         f" p99 {serve['p99_ms']} ms ({serve['clients']} closed-loop clients,"
         f" mean micro-batch {serve['mean_batch_samples']})"
+    )
+    fleet = report["fleet"]
+    print(
+        f"  fleet {'+'.join(fleet['models'])}/{fleet['backend']}"
+        f" ({fleet['workers']} workers, open-loop {fleet['offered_rps']} req/s):"
+        f" goodput {fleet['goodput_samples_per_s']} samples/s under"
+        f" {fleet['sla_ms']} ms SLA ({fleet['goodput_vs_closed_loop_x']}x closed-loop"
+        f" {fleet['closed_loop_samples_per_s']}),"
+        f" p50 {fleet['p50_ms']} / p99 {fleet['p99_ms']} / p999 {fleet['p999_ms']} ms,"
+        f" shed {fleet['shed_requests']}/{fleet['offered_requests']},"
+        f" dropped {fleet['accepted_then_dropped']}"
     )
     fs = report["fault_sweep"]
     print(

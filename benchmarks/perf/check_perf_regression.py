@@ -27,6 +27,13 @@ tolerance, so CI also covers the compiled runtime + micro-batching
 server path.  Reports without the section (older baselines) skip this
 check with a note.
 
+Schema ``repro-perf/4`` adds a ``fleet`` section (multi-process workers
+under open-loop Poisson traffic); when both reports carry it, the
+guard compares **goodput under the SLA** (``goodput_samples_per_s``,
+normalised by the same machine-speed proxy) under
+``--fleet-max-regression``, and fails outright if the fresh report
+shows any accepted-then-dropped request.
+
 Run::
 
     python benchmarks/perf/check_perf_regression.py \
@@ -168,6 +175,68 @@ def compare_serving(
     return record, fresh_score < floor
 
 
+def _fleet_goodput(report: dict) -> tuple[float, float | None, int] | None:
+    """``(goodput_samples_per_s, reference_mmacs_or_None, dropped)``.
+
+    The harness emits a single fleet report dict; the machine-speed
+    proxy is the same smallest-shape ``exact_float32`` raw matmul row
+    the serving check uses.
+    """
+    row = report.get("fleet")
+    if isinstance(row, list):  # tolerate a future multi-row section
+        row = row[0] if row else None
+    if not row:
+        return None
+    goodput = row.get("goodput_samples_per_s")
+    if not goodput:
+        return None
+    dropped = int(row.get("accepted_then_dropped", 0))
+    refs = [
+        r
+        for r in report.get("matmul", [])
+        if r["backend"] == REFERENCE_BACKEND and r["variant"] == "raw"
+    ]
+    if refs:
+        ref = min(refs, key=lambda r: r["m"] * r["k"] * r["n"])
+        return goodput, ref["mmacs_per_s"], dropped
+    return goodput, None, dropped
+
+
+def compare_fleet(
+    fresh: dict, baseline: dict, max_regression: float
+) -> tuple[dict | None, bool]:
+    """Compare fleet goodput-under-SLA; returns ``(record, regressed)``.
+
+    Mirrors :func:`compare_serving` — normalised only when both reports
+    carry the machine-speed reference, skipped (``(None, False)``) when
+    either report predates the ``fleet`` section (schema < 4).  A fresh
+    report with any ``accepted_then_dropped`` request regresses
+    unconditionally: the fleet's no-silent-drop invariant is part of
+    the contract, not a throughput number.
+    """
+    fresh_side = _fleet_goodput(fresh)
+    base_side = _fleet_goodput(baseline)
+    if fresh_side is None or base_side is None:
+        return None, False
+    fresh_score, fresh_ref, dropped = fresh_side
+    base_score, base_ref, _ = base_side
+    unit = "goodput samples/s"
+    if fresh_ref and base_ref:
+        fresh_score /= fresh_ref
+        base_score /= base_ref
+        unit = "goodput samples/s per exact MMACs/s"
+    floor = base_score * (1.0 - max_regression)
+    record = {
+        "key": "fleet open-loop goodput"
+        + (f" [{dropped} accepted-then-DROPPED]" if dropped else ""),
+        "unit": unit,
+        "baseline_score": base_score,
+        "fresh_score": fresh_score,
+        "floor": floor,
+    }
+    return record, fresh_score < floor or dropped > 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -207,6 +276,15 @@ def main(argv: list[str] | None = None) -> int:
             "noisier than kernel rows)"
         ),
     )
+    parser.add_argument(
+        "--fleet-max-regression",
+        type=float,
+        default=0.25,
+        help=(
+            "allowed fractional drop of normalised fleet goodput-under-SLA "
+            "(default 0.25); any accepted-then-dropped request also fails"
+        ),
+    )
     args = parser.parse_args(argv)
 
     with open(args.fresh) as fh:
@@ -232,6 +310,15 @@ def main(argv: list[str] | None = None) -> int:
             regressed.append(serving_record)
     else:
         print("perf guard: no comparable serving section; skipping serving check")
+    fleet_record, fleet_regressed = compare_fleet(
+        fresh, baseline, args.fleet_max_regression
+    )
+    if fleet_record is not None:
+        checked.append(fleet_record)
+        if fleet_regressed:
+            regressed.append(fleet_record)
+    else:
+        print("perf guard: no comparable fleet section; skipping fleet check")
     if not checked:
         print(
             f"perf guard: no comparable {args.backend!r} rows between"

@@ -17,6 +17,10 @@ Usage::
     python -m repro serve-bench --model vgg_small --clients 8 --duration 2
     python -m repro serve-bench --backend exact --shards 4 --json
 
+    python -m repro fleet-bench               # open-loop fleet benchmark
+    python -m repro fleet-bench --models lenet mini_resnet --workers 4
+    python -m repro fleet-bench --rate-multiplier 100 --sla-ms 25 --json
+
 The quick artefact names (``table1`` .. ``fig8``) are the legacy
 renderers kept for interactive use; ``reproduce`` drives the unified
 experiment engine (:mod:`repro.experiments`) with parallel sweeps,
@@ -24,7 +28,10 @@ content-addressed result caching and CSV/JSON artefact export;
 ``serve-bench`` compiles a model into an execution plan
 (:mod:`repro.runtime`), stands up the micro-batching inference server
 and drives it with closed-loop load, reporting p50/p99 latency and
-samples/sec.
+samples/sec; ``fleet-bench`` stands up the multi-process
+:class:`~repro.runtime.FleetServer` and floods it with open-loop
+Poisson arrivals at a multiple of the closed-loop rate, reporting
+p50/p99/p999 latency, shed counts and goodput under the SLA.
 """
 
 from __future__ import annotations
@@ -311,16 +318,132 @@ def serve_bench(argv: list[str]) -> int:
     return 0
 
 
+def fleet_bench(argv: list[str]) -> int:
+    """The ``fleet-bench`` subcommand: open-loop multi-process benchmark."""
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet-bench",
+        description=(
+            "Stand up a multi-process serving fleet and flood it with "
+            "open-loop Poisson arrivals at a multiple of the measured "
+            "closed-loop rate; report tail latency, shed counts and "
+            "goodput under the SLA."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro fleet-bench\n"
+            "  python -m repro fleet-bench --models lenet mini_resnet --workers 4\n"
+            "  python -m repro fleet-bench --rate-multiplier 100 --sla-ms 25 --json\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["lenet"],
+        choices=["lenet", "vgg_small", "mini_resnet"],
+        help="model zoo entries served concurrently (round-robin traffic)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="daism",
+        choices=["daism", "quantized", "exact"],
+        help="arithmetic backend workers compile their plans against",
+    )
+    parser.add_argument(
+        "--kernel", default=None, help="GEMM kernel name (e.g. blas_factored)"
+    )
+    parser.add_argument("--workers", type=int, default=2, help="worker processes per model")
+    parser.add_argument("--duration", type=float, default=1.0, help="open-loop seconds")
+    parser.add_argument(
+        "--rate-rps",
+        type=float,
+        default=None,
+        help="explicit offered request rate (skips closed-loop calibration scaling)",
+    )
+    parser.add_argument(
+        "--rate-multiplier",
+        type=float,
+        default=10.0,
+        help="offered rate as a multiple of the measured closed-loop rate",
+    )
+    parser.add_argument("--request-samples", type=int, default=4, help="samples per request")
+    parser.add_argument("--max-batch", type=int, default=64, help="micro-batch sample threshold")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0, help="coalescing latency budget")
+    parser.add_argument(
+        "--max-queue-samples", type=int, default=256, help="admission queue depth per model"
+    )
+    parser.add_argument("--sla-ms", type=float, default=50.0, help="latency SLA for goodput")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    from .runtime.serving_bench import open_loop_fleet_benchmark
+
+    try:
+        report = open_loop_fleet_benchmark(
+            models=args.models,
+            backend=args.backend,
+            kernel=args.kernel,
+            workers=args.workers,
+            duration_s=args.duration,
+            rate_rps=args.rate_rps,
+            rate_multiplier=args.rate_multiplier,
+            request_samples=args.request_samples,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue_samples=args.max_queue_samples,
+            sla_ms=args.sla_ms,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(title(f"fleet-bench: {', '.join(report['models'])} on {report['backend']}"))
+    print(
+        f"  fleet: {report['workers']} worker(s)/model, max_batch={report['max_batch']},"
+        f" queue {report['max_queue_samples']} samples, SLA {report['sla_ms']} ms"
+    )
+    print(
+        f"  offered {report['offered_requests']} requests @"
+        f" {report['offered_rps']} req/s over {report['duration_s']}s"
+        f" | accepted {report['accepted_requests']}"
+        f" | shed {report['shed_requests']}"
+    )
+    print(
+        f"  completed {report['completed_requests']}"
+        f" | failed {report['failed_requests']}"
+        f" | accepted-then-dropped {report['accepted_then_dropped']}"
+        f" | worker restarts {report['worker_restarts']}"
+    )
+    print(
+        f"  latency p50 {report['p50_ms']} ms | p99 {report['p99_ms']} ms |"
+        f" p999 {report['p999_ms']} ms"
+    )
+    print(
+        f"  goodput {report['goodput_samples_per_s']} samples/s under SLA"
+        f" (raw {report['samples_per_s']} samples/s;"
+        f" {report['goodput_vs_closed_loop_x']}x the"
+        f" {report['closed_loop_samples_per_s']} samples/s closed-loop baseline)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "reproduce":
         return reproduce(argv[1:])
     if argv and argv[0] == "serve-bench":
         return serve_bench(argv[1:])
+    if argv and argv[0] == "fleet-bench":
+        return fleet_bench(argv[1:])
     if not argv:
         print("usage: python -m repro <artefact>|all")
         print("       python -m repro reproduce [--list] [<name> ...]")
         print("       python -m repro serve-bench [--model <name>] [--json]")
+        print("       python -m repro fleet-bench [--models <name> ...] [--json]")
         print("artefacts:", ", ".join(ARTEFACTS))
         return 0
     targets = list(ARTEFACTS) if argv[0] == "all" else argv

@@ -4,15 +4,31 @@ Models are plain Python objects; their state is the ordered list of
 parameter tensors plus BatchNorm running statistics.  ``save_weights``
 writes a single ``.npz``; ``load_weights`` restores into an identically
 constructed model (same builder, same seed structure).
+
+``state_bytes`` / ``load_state_bytes`` are the in-memory twins of the
+file pair: one ``.npz``-encoded buffer holding the full model state.
+The serving fleet (:mod:`repro.runtime.fleet`) ships model snapshots to
+worker processes as these buffers — a single picklable ``bytes`` object
+that round-trips every array bit-for-bit, so a worker-rebuilt model
+compiles to a plan whose prepared weights match the parent's exactly.
 """
 
 from __future__ import annotations
+
+import io
 
 import numpy as np
 
 from .layers import BatchNorm2d, Module
 
-__all__ = ["state_dict", "load_state_dict", "save_weights", "load_weights"]
+__all__ = [
+    "state_dict",
+    "load_state_dict",
+    "save_weights",
+    "load_weights",
+    "state_bytes",
+    "load_state_bytes",
+]
 
 
 def _batchnorms(model: Module) -> list[BatchNorm2d]:
@@ -79,4 +95,17 @@ def save_weights(model: Module, path: str) -> None:
 def load_weights(model: Module, path: str) -> None:
     """Load an ``.npz`` written by :func:`save_weights` into ``model``."""
     with np.load(path) as data:
+        load_state_dict(model, dict(data))
+
+
+def state_bytes(model: Module) -> bytes:
+    """Encode the model state as one ``.npz`` buffer (see module docs)."""
+    buf = io.BytesIO()
+    np.savez(buf, **state_dict(model))
+    return buf.getvalue()
+
+
+def load_state_bytes(model: Module, blob: bytes) -> None:
+    """Restore a :func:`state_bytes` buffer into ``model`` (exact)."""
+    with np.load(io.BytesIO(blob)) as data:
         load_state_dict(model, dict(data))

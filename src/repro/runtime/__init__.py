@@ -11,9 +11,19 @@ recursion.  This package compiles a model once and runs it hot:
 * :class:`BatchEngine` executes one plan shard-parallel across a
   thread pool with byte-identical outputs to a single-threaded pass;
 * :class:`InferenceServer` queues requests, coalesces them into
-  micro-batches under a latency budget, and serves them from a shared
-  plan; :func:`run_load` measures it closed-loop (p50/p99,
-  samples/sec — the ``serve-bench`` CLI and perf-harness engine).
+  micro-batches under a latency budget (the reusable
+  :class:`MicroBatcher`), and serves them from a shared plan;
+  :func:`run_load` measures it closed-loop (p50/p99, samples/sec — the
+  ``serve-bench`` CLI and perf-harness engine);
+* :class:`FleetServer` scales the same contract across **worker
+  processes**: each worker rebuilds its plan from a
+  :class:`ModelSnapshot` (``nn/serialize`` state bytes, byte-identical
+  by construction — :func:`plan_digest` proves it), a per-model
+  admission controller sheds overload with structured
+  :class:`ShedLoadError` rejections, and crashed workers restart
+  without dropping accepted futures (:class:`WorkerCrashError` after
+  retries).  :mod:`~repro.runtime.frontend` puts a TCP socket in front;
+  ``fleet-bench`` drives it with open-loop Poisson traffic.
 
 Quick start::
 
@@ -27,21 +37,41 @@ Quick start::
 """
 
 from .engine import BatchEngine
+from .fleet import (
+    FleetServer,
+    ModelSnapshot,
+    ShedLoadError,
+    WorkerCrashError,
+    plan_digest,
+    rebuild_plan,
+    resolve_backend,
+    snapshot_model,
+)
 from .ops import ExecContext, OpSpec, PlanOp, pack_cols
 from .plan import ExecutionPlan, compile_plan, conv_workload, trace
-from .server import InferenceServer, LoadReport, run_load
+from .server import InferenceServer, LoadReport, MicroBatcher, Request, run_load
 
 __all__ = [
     "BatchEngine",
     "ExecContext",
     "ExecutionPlan",
+    "FleetServer",
     "InferenceServer",
     "LoadReport",
+    "MicroBatcher",
+    "ModelSnapshot",
     "OpSpec",
     "PlanOp",
+    "Request",
+    "ShedLoadError",
+    "WorkerCrashError",
     "compile_plan",
     "conv_workload",
     "pack_cols",
+    "plan_digest",
+    "rebuild_plan",
+    "resolve_backend",
     "run_load",
+    "snapshot_model",
     "trace",
 ]

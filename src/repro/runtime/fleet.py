@@ -1,0 +1,751 @@
+"""Multi-process serving fleet: worker pool, registry, admission control.
+
+The single-process :class:`~repro.runtime.server.InferenceServer` tops
+out at one interpreter's worth of compute.  This module scales the same
+compiled runtime across **processes**: each worker deserialises a model
+snapshot (:class:`ModelSnapshot` — zoo architecture + exact weight
+bytes + backend/kernel choice), compiles its **own**
+:class:`~repro.runtime.plan.ExecutionPlan` (plans are eval-frozen and
+pre-packed, so they rebuild deterministically from the snapshot), and
+serves micro-batches over a pipe.  Packing is deterministic, so every
+worker's prepared weights — and therefore its outputs — are
+byte-identical to a parent-side plan compiled from the same snapshot
+(:func:`plan_digest` is the proof obligation the round-trip tests
+check).
+
+:class:`FleetServer` is the frontend: a registry of model deployments
+(several zoo models concurrently), each with its own
+:class:`~repro.runtime.server.MicroBatcher` and one **runner thread per
+worker** pulling coalesced micro-batches off the shared queue — idle
+workers pull next, so load balances itself.  Admission control gates
+``submit``:
+
+* **bounded queue depth** — more than ``max_queue_samples`` waiting
+  samples sheds the request with a structured :class:`ShedLoadError`
+  (``reason="queue_full"``);
+* **latency SLA** — with ``sla_ms`` set, a request whose predicted
+  completion (queued + in-flight samples, times the EWMA service time,
+  over the worker count) exceeds the SLA is shed up front
+  (``reason="sla_unmeetable"``) instead of being accepted into a queue
+  it cannot leave in time.
+
+Accepted requests are never silently dropped: a worker crash mid-batch
+requeues its requests (bypassing admission) up to ``max_retries``
+redeliveries, then fails the future with a structured
+:class:`WorkerCrashError`; the crashed worker is respawned from the
+snapshot and keeps serving.  ``close(drain=True)`` serves every
+accepted request before stopping.
+
+The open-loop Poisson benchmark over this fleet lives in
+:mod:`repro.runtime.serving_bench`; the TCP frontend in
+:mod:`repro.runtime.frontend`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import threading
+import time
+
+import numpy as np
+
+from ..formats.packed import PackedTensor
+from ..nn.models import model_zoo
+from ..nn.serialize import load_state_bytes, state_bytes
+from .ops import (
+    BackendStrategy,
+    ExactStrategy,
+    PackedKernelStrategy,
+    QuantDenseStrategy,
+)
+from .plan import ExecutionPlan, compile_plan
+from .server import MicroBatcher, Request
+
+__all__ = [
+    "ModelSnapshot",
+    "snapshot_model",
+    "rebuild_model",
+    "rebuild_plan",
+    "resolve_backend",
+    "plan_digest",
+    "ShedLoadError",
+    "WorkerCrashError",
+    "FleetServer",
+]
+
+
+def resolve_backend(backend: str, kernel: str | None = None):
+    """Build a backend from its wire name (``daism``/``quantized``/``exact``).
+
+    The fleet ships backend *names* (not objects) to workers so
+    snapshots stay small and pickle-stable; each side resolves the name
+    into the same deterministic backend construction.
+    """
+    from ..core.config import PC3_TR
+    from ..formats.floatfmt import BFLOAT16
+    from ..nn.backend import daism_backend, exact_backend, quantized_backend
+
+    if backend == "daism":
+        return daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
+    if backend == "quantized":
+        return quantized_backend(BFLOAT16, kernel=kernel)
+    if backend == "exact":
+        return exact_backend()
+    raise ValueError(f"unknown backend {backend!r} (daism / quantized / exact)")
+
+
+# --------------------------------------------------------------------------
+# Model snapshots: what a worker needs to rebuild its plan exactly
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSnapshot:
+    """Everything a worker needs to rebuild one serving plan, exactly.
+
+    ``model`` names the :func:`~repro.nn.models.model_zoo` architecture,
+    ``state`` is the :func:`~repro.nn.serialize.state_bytes` buffer
+    (bit-exact weights + BatchNorm statistics), and ``backend`` /
+    ``kernel`` are the wire names :func:`resolve_backend` consumes.
+    The tuple is plain picklable data — safe across ``fork`` and
+    ``spawn`` alike.
+    """
+
+    model: str
+    state: bytes
+    backend: str = "daism"
+    kernel: str | None = None
+
+
+def snapshot_model(
+    model: str,
+    module=None,
+    backend: str = "daism",
+    kernel: str | None = None,
+) -> ModelSnapshot:
+    """Freeze ``module`` (or a fresh zoo build) into a :class:`ModelSnapshot`."""
+    if module is None:
+        module = _zoo_build(model)
+    resolve_backend(backend, kernel)  # fail fast on a bad wire name
+    return ModelSnapshot(
+        model=model, state=state_bytes(module), backend=backend, kernel=kernel
+    )
+
+
+def _zoo_build(model: str):
+    try:
+        return model_zoo()[model]
+    except KeyError as exc:
+        raise ValueError(f"unknown model {model!r}; zoo: {sorted(model_zoo())}") from exc
+
+
+def rebuild_model(snapshot: ModelSnapshot):
+    """Reconstruct the snapshot's module tree with its exact weights."""
+    module = _zoo_build(snapshot.model)
+    load_state_bytes(module, snapshot.state)
+    return module.eval()
+
+
+def rebuild_plan(snapshot: ModelSnapshot) -> ExecutionPlan:
+    """The worker-side path: snapshot → module → ``compile_plan``.
+
+    Deterministic end to end — weights round-trip bit-exactly and
+    packing is pure — so the returned plan's prepared weights match a
+    parent-side compile of the same state byte-for-byte
+    (:func:`plan_digest` pins this).
+    """
+    return compile_plan(
+        rebuild_model(snapshot), resolve_backend(snapshot.backend, snapshot.kernel)
+    )
+
+
+def _digest_arrays(h: "hashlib._Hash", arrays) -> None:
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+
+
+def _strategy_arrays(strategy) -> list[np.ndarray]:
+    if isinstance(strategy, ExactStrategy):
+        return [strategy.weight]
+    if isinstance(strategy, QuantDenseStrategy):
+        return [strategy.weight_q]
+    if isinstance(strategy, PackedKernelStrategy):
+        w = strategy.weight
+        return [w.sign, w.exponent, w.significand, w.scale()]
+    if isinstance(strategy, BackendStrategy):
+        prepared = strategy.prepared
+        if isinstance(prepared, np.ndarray):
+            return [prepared]
+        if isinstance(prepared, PackedTensor):
+            return [prepared.sign, prepared.exponent, prepared.significand]
+        return [np.frombuffer(pickle.dumps(prepared), dtype=np.uint8)]
+    return []
+
+
+def plan_digest(plan: ExecutionPlan) -> list[str]:
+    """Per-op SHA-256 over every captured constant (prepared weights,
+    biases, BatchNorm statistics).
+
+    Two plans with equal digests run the same arithmetic on the same
+    bits — the round-trip proof that a worker-rebuilt plan matches its
+    parent without shipping the plan itself across the process boundary.
+    """
+    digests: list[str] = []
+    for op in plan.ops:
+        h = hashlib.sha256()
+        h.update(type(op).__name__.encode())
+        strategy = getattr(op, "strategy", None)
+        if strategy is not None:
+            h.update(type(strategy).__name__.encode())
+            _digest_arrays(h, _strategy_arrays(strategy))
+        captured = [
+            getattr(op, attr)
+            for attr in ("bias", "gamma", "beta", "mean", "inv_std")
+            if isinstance(getattr(op, attr, None), np.ndarray)
+        ]
+        _digest_arrays(h, captured)
+        digests.append(h.hexdigest())
+    return digests
+
+
+# --------------------------------------------------------------------------
+# Structured serving errors
+# --------------------------------------------------------------------------
+
+
+class ShedLoadError(RuntimeError):
+    """Request rejected at admission — the structured shed-load response.
+
+    ``reason`` is ``"queue_full"`` (bounded queue depth exceeded) or
+    ``"sla_unmeetable"`` (predicted completion beyond the latency SLA).
+    ``as_dict()`` is the wire form the socket frontend returns.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        reason: str,
+        queued_samples: int,
+        limit: int | None = None,
+        predicted_ms: float | None = None,
+        sla_ms: float | None = None,
+    ):
+        self.model = model
+        self.reason = reason
+        self.queued_samples = queued_samples
+        self.limit = limit
+        self.predicted_ms = predicted_ms
+        self.sla_ms = sla_ms
+        detail = (
+            f"queue depth {queued_samples} at limit {limit}"
+            if reason == "queue_full"
+            else f"predicted {predicted_ms:.1f} ms exceeds SLA {sla_ms:.1f} ms"
+        )
+        super().__init__(f"load shed for {model!r}: {detail}")
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-ready structured rejection."""
+        return {
+            "error": "shed_load",
+            "model": self.model,
+            "reason": self.reason,
+            "queued_samples": self.queued_samples,
+            "limit": self.limit,
+            "predicted_ms": self.predicted_ms,
+            "sla_ms": self.sla_ms,
+        }
+
+
+class WorkerCrashError(RuntimeError):
+    """An accepted request failed after exhausting crash redeliveries.
+
+    Raised on the *future*, never silently: an accepted request either
+    resolves with data or with a structured error.
+    """
+
+    def __init__(self, model: str, retries: int):
+        self.model = model
+        self.retries = retries
+        super().__init__(
+            f"worker serving {model!r} crashed; request failed after "
+            f"{retries} redeliver{'y' if retries == 1 else 'ies'}"
+        )
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+
+def _worker_main(conn, snapshot: ModelSnapshot) -> None:
+    """Worker process body: rebuild the plan, then serve the pipe.
+
+    Strict request/reply: every received message is answered exactly
+    once, so the parent's runner thread can block on ``recv``.  A
+    handshake message reports compile success (or the failure reason)
+    before any request is served.
+    """
+    try:
+        plan = rebuild_plan(snapshot)
+    except BaseException as exc:
+        try:
+            conn.send(("init_err", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "stop":
+            break
+        if kind == "run":
+            try:
+                out = plan.execute(msg[1])
+            except BaseException as exc:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", out))
+        elif kind == "digest":
+            conn.send(("ok", plan_digest(plan)))
+        elif kind == "ping":
+            conn.send(("ok", "pong"))
+        else:
+            conn.send(("err", f"unknown message kind {kind!r}"))
+    conn.close()
+
+
+def _default_start_method() -> str:
+    override = os.environ.get("REPRO_FLEET_START_METHOD")
+    if override:
+        return override
+    # fork is near-free and inherits the loaded interpreter; spawn is the
+    # portable fallback (and the only option on Windows/macOS defaults).
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class _WorkerHandle:
+    """One worker process + its pipe, respawnable from the snapshot."""
+
+    def __init__(self, ctx, snapshot: ModelSnapshot, name: str, ready_timeout_s: float):
+        self.ctx = ctx
+        self.snapshot = snapshot
+        self.name = name
+        self.ready_timeout_s = ready_timeout_s
+        self.process: multiprocessing.Process | None = None
+        self.conn: multiprocessing.connection.Connection | None = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        parent, child = self.ctx.Pipe()
+        self.process = self.ctx.Process(
+            target=_worker_main, args=(child, self.snapshot), name=self.name, daemon=True
+        )
+        self.process.start()
+        child.close()  # parent keeps one end; worker death now raises EOFError
+        self.conn = parent
+        if not parent.poll(self.ready_timeout_s):
+            self.kill()
+            raise RuntimeError(f"worker {self.name} did not come up in time")
+        status, payload = parent.recv()
+        if status != "ready":
+            self.kill()
+            raise RuntimeError(f"worker {self.name} failed to build its plan: {payload}")
+        self.pid = payload
+
+    def request(self, msg: tuple) -> tuple[str, object]:
+        """Send one message and block for its reply (runner thread only)."""
+        self.conn.send(msg)
+        return self.conn.recv()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Graceful stop, escalating to terminate/kill (idempotent)."""
+        if self.process is None:
+            return
+        try:
+            self.conn.send(("stop",))
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(1.0)
+        self.conn.close()
+        self.process = None
+
+    def kill(self) -> None:
+        if self.process is not None:
+            self.process.kill()
+            self.process.join(1.0)
+            self.process = None
+
+
+# --------------------------------------------------------------------------
+# Fleet server
+# --------------------------------------------------------------------------
+
+
+class _Deployment:
+    """One registered model: snapshot, batcher, workers, counters."""
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        max_batch: int,
+        max_delay_ms: float,
+        max_queue_samples: int,
+        sla_ms: float | None,
+    ):
+        self.snapshot = snapshot
+        self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
+        self.max_queue_samples = int(max_queue_samples)
+        self.sla_ms = sla_ms
+        self.handles: list[_WorkerHandle] = []
+        self.runners: list[threading.Thread] = []
+        self.lock = threading.Lock()
+        self.inflight_samples = 0
+        self.ewma_ms_per_sample: float | None = None
+        self.abandon = False  # close(drain=False): consumers stop eagerly
+        self.stats = {
+            "accepted_requests": 0,
+            "accepted_samples": 0,
+            "completed_requests": 0,
+            "completed_samples": 0,
+            "failed_requests": 0,
+            "shed_requests": 0,
+            "retried_requests": 0,
+            "worker_restarts": 0,
+            "batches": 0,
+        }
+
+    def note_service(self, elapsed_ms: float, samples: int) -> None:
+        per_sample = elapsed_ms / max(1, samples)
+        with self.lock:
+            if self.ewma_ms_per_sample is None:
+                self.ewma_ms_per_sample = per_sample
+            else:
+                self.ewma_ms_per_sample = 0.2 * per_sample + 0.8 * self.ewma_ms_per_sample
+
+
+class FleetServer:
+    """Route requests across a registry of multi-process model deployments.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes per registered model (a ``register`` call may
+        override per model).
+    max_batch / max_delay_ms:
+        Micro-batch coalescing policy, identical semantics to
+        :class:`~repro.runtime.server.InferenceServer` (the fleet reuses
+        the same :class:`~repro.runtime.server.MicroBatcher`).
+    max_queue_samples:
+        Admission bound: samples queued (accepted, not yet dispatched)
+        per model before requests shed with ``reason="queue_full"``.
+    sla_ms:
+        Optional latency SLA; requests whose predicted completion
+        exceeds it shed with ``reason="sla_unmeetable"``.
+    max_retries:
+        Crash redeliveries per request before its future fails with
+        :class:`WorkerCrashError`.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where
+        available (override with ``REPRO_FLEET_START_METHOD``).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        max_queue_samples: int = 1024,
+        sla_ms: float | None = None,
+        max_retries: int = 1,
+        start_method: str | None = None,
+        ready_timeout_s: float = 60.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.default_workers = int(workers)
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.max_queue_samples = int(max_queue_samples)
+        self.sla_ms = sla_ms
+        self.max_retries = int(max_retries)
+        self.ready_timeout_s = ready_timeout_s
+        self._ctx = multiprocessing.get_context(start_method or _default_start_method())
+        self._deployments: dict[str, _Deployment] = {}
+        self._closed = False
+        self._submit_lock = threading.Lock()
+
+    # -- registry ---------------------------------------------------------
+
+    def register(
+        self,
+        snapshot: ModelSnapshot,
+        workers: int | None = None,
+        max_queue_samples: int | None = None,
+        sla_ms: float | None = None,
+        service_hint_ms_per_sample: float | None = None,
+    ) -> None:
+        """Deploy one model: spawn its workers and start their runners.
+
+        ``service_hint_ms_per_sample`` warm-starts the EWMA service-time
+        predictor so SLA admission is live from the first request
+        instead of after the first served batches (the open-loop bench
+        seeds it from its closed-loop calibration run).
+        """
+        name = snapshot.model
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("fleet is closed")
+            if name in self._deployments:
+                raise ValueError(f"model {name!r} already registered")
+        dep = _Deployment(
+            snapshot,
+            max_batch=self.max_batch,
+            max_delay_ms=self.max_delay_ms,
+            max_queue_samples=max_queue_samples or self.max_queue_samples,
+            sla_ms=self.sla_ms if sla_ms is None else sla_ms,
+        )
+        if service_hint_ms_per_sample is not None:
+            dep.ewma_ms_per_sample = float(service_hint_ms_per_sample)
+        n = workers or self.default_workers
+        for i in range(n):
+            handle = _WorkerHandle(
+                self._ctx, snapshot, f"repro-fleet-{name}-{i}", self.ready_timeout_s
+            )
+            runner = threading.Thread(
+                target=self._run_worker,
+                args=(dep, handle),
+                name=f"repro-fleet-runner-{name}-{i}",
+                daemon=True,
+            )
+            dep.handles.append(handle)
+            dep.runners.append(runner)
+        with self._submit_lock:
+            self._deployments[name] = dep
+        for runner in dep.runners:
+            runner.start()
+
+    def models(self) -> list[str]:
+        """Registered model names."""
+        return sorted(self._deployments)
+
+    def workers(self, model: str) -> list[multiprocessing.Process]:
+        """Live worker processes for ``model`` (chaos tests kill these)."""
+        return [h.process for h in self._deployment(model).handles if h.process]
+
+    def _deployment(self, model: str) -> _Deployment:
+        try:
+            return self._deployments[model]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown model {model!r}; registered: {self.models()}"
+            ) from exc
+
+    # -- client side ------------------------------------------------------
+
+    def submit(self, model: str, x: np.ndarray) -> concurrent.futures.Future:
+        """Admit one request for ``model``; resolves to the plan output.
+
+        Raises :class:`ShedLoadError` (structured, recoverable) when
+        admission control rejects, ``ValueError`` for unknown models or
+        malformed payloads, ``RuntimeError`` after close.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim < 2:
+            raise ValueError("requests must have a leading sample axis (n, ...)")
+        dep = self._deployment(model)
+        n = len(x)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("fleet is closed")
+            queued = dep.batcher.pending_samples
+            if queued + n > dep.max_queue_samples:
+                with dep.lock:
+                    dep.stats["shed_requests"] += 1
+                raise ShedLoadError(
+                    model,
+                    reason="queue_full",
+                    queued_samples=queued,
+                    limit=dep.max_queue_samples,
+                )
+            if dep.sla_ms is not None and dep.ewma_ms_per_sample is not None:
+                with dep.lock:
+                    inflight = dep.inflight_samples
+                    est = dep.ewma_ms_per_sample
+                predicted = (queued + inflight + n) * est / max(1, len(dep.handles))
+                if predicted > dep.sla_ms:
+                    with dep.lock:
+                        dep.stats["shed_requests"] += 1
+                    raise ShedLoadError(
+                        model,
+                        reason="sla_unmeetable",
+                        queued_samples=queued,
+                        predicted_ms=predicted,
+                        sla_ms=dep.sla_ms,
+                    )
+            dep.batcher.put(Request(x, future, time.monotonic()))
+            with dep.lock:
+                dep.stats["accepted_requests"] += 1
+                dep.stats["accepted_samples"] += n
+        return future
+
+    # -- runner threads (one per worker process) --------------------------
+
+    def _run_worker(self, dep: _Deployment, handle: _WorkerHandle) -> None:
+        while True:
+            batch, stop = dep.batcher.next_batch()
+            if batch:
+                self._serve_batch(dep, handle, batch)
+            if stop:
+                # Drain guarantee: don't exit while requests (possibly
+                # requeued by a sibling's crash) still wait behind our
+                # sentinel — recycle the sentinel and keep consuming.
+                if not dep.abandon and dep.batcher.pending_requests > 0:
+                    dep.batcher.put_sentinel()
+                    continue
+                break
+
+    def _serve_batch(
+        self, dep: _Deployment, handle: _WorkerHandle, batch: list[Request]
+    ) -> None:
+        try:
+            xs = [r.x for r in batch]
+            x = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
+        except BaseException as exc:  # mismatched shapes: fail waiters only
+            for r in batch:
+                r.future.set_exception(exc)
+            with dep.lock:
+                dep.stats["failed_requests"] += len(batch)
+            return
+        with dep.lock:
+            dep.inflight_samples += len(x)
+        t0 = time.perf_counter()
+        try:
+            status, payload = handle.request(("run", x))
+        except (EOFError, OSError, BrokenPipeError):
+            with dep.lock:
+                dep.inflight_samples -= len(x)
+            self._handle_crash(dep, handle, batch)
+            return
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        with dep.lock:
+            dep.inflight_samples -= len(x)
+        if status == "ok":
+            dep.note_service(elapsed_ms, len(x))
+            offset = 0
+            for r in batch:
+                r.future.set_result(payload[offset : offset + len(r.x)])
+                offset += len(r.x)
+            with dep.lock:
+                dep.stats["completed_requests"] += len(batch)
+                dep.stats["completed_samples"] += len(x)
+                dep.stats["batches"] += 1
+        else:
+            exc = RuntimeError(f"worker execution failed: {payload}")
+            for r in batch:
+                r.future.set_exception(exc)
+            with dep.lock:
+                dep.stats["failed_requests"] += len(batch)
+
+    def _handle_crash(
+        self, dep: _Deployment, handle: _WorkerHandle, batch: list[Request]
+    ) -> None:
+        """Redeliver or fail a crashed batch, then respawn the worker."""
+        with dep.lock:
+            dep.stats["worker_restarts"] += 1
+        for r in batch:
+            if r.retries >= self.max_retries:
+                r.future.set_exception(WorkerCrashError(dep.snapshot.model, r.retries))
+                with dep.lock:
+                    dep.stats["failed_requests"] += 1
+            else:
+                r.retries += 1
+                with dep.lock:
+                    dep.stats["retried_requests"] += 1
+                dep.batcher.put(r)  # bypasses admission: already accepted
+        handle.kill()  # reap whatever is left before respawning
+        try:
+            handle.spawn()
+        except BaseException as exc:
+            # Without a worker this runner is useless; fail anything
+            # still queued so no accepted future hangs, then exit.
+            for r in dep.batcher.drain_now():
+                r.future.set_exception(
+                    RuntimeError(f"worker respawn failed: {exc}")
+                )
+            raise
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def stats(self) -> dict[str, dict]:
+        """Per-model serving statistics plus queue/health gauges."""
+        out: dict[str, dict] = {}
+        for name, dep in self._deployments.items():
+            with dep.lock:
+                row = dict(dep.stats)
+                row["inflight_samples"] = dep.inflight_samples
+                row["ewma_ms_per_sample"] = (
+                    round(dep.ewma_ms_per_sample, 4)
+                    if dep.ewma_ms_per_sample is not None
+                    else None
+                )
+            row["queued_samples"] = dep.batcher.pending_samples
+            row["workers_alive"] = sum(1 for h in dep.handles if h.alive)
+            row["workers"] = len(dep.handles)
+            out[name] = row
+        return out
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the fleet (idempotent).
+
+        With ``drain`` (default) every accepted request is served (or
+        structurally failed) before workers stop; without it, queued
+        requests fail with ``RuntimeError`` immediately.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            deployments = list(self._deployments.values())
+            for dep in deployments:
+                dep.abandon = not drain
+                # Sentinels land behind every accepted request (the lock
+                # excludes in-flight submits), one per runner thread.
+                dep.batcher.put_sentinel(len(dep.runners))
+        for dep in deployments:
+            if not drain:
+                for r in dep.batcher.drain_now():
+                    r.future.set_exception(RuntimeError("fleet closed"))
+            for runner in dep.runners:
+                runner.join(timeout=60.0)
+            for handle in dep.handles:
+                handle.stop()
+
+    def __enter__(self) -> "FleetServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,217 @@
+"""Socket frontend over the serving fleet.
+
+A thin, dependency-free network layer so clients outside the serving
+process can hit the fleet: a threaded TCP server speaking a
+length-prefixed pickle protocol, one request/reply pair per message,
+persistent connections.  Admission-control outcomes cross the wire
+**structurally** — a shed is not an opaque 500 but the
+:meth:`~repro.runtime.fleet.ShedLoadError.as_dict` payload, so clients
+can implement backoff against ``reason`` / ``predicted_ms`` instead of
+parsing strings.
+
+Wire format (both directions)::
+
+    [4-byte big-endian length][pickled payload]
+
+Client → server messages::
+
+    ("infer", model_name, float32_array)   -> ("ok", output_array)
+                                            | ("shed", shed_dict)
+                                            | ("err", message)
+    ("models",)                            -> ("ok", [names...])
+    ("stats",)                             -> ("ok", stats_dict)
+
+Pickle over the wire means this frontend trusts its peers — bind it to
+loopback (the default) or a private network only, exactly like the
+multiprocessing pipes it mirrors.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import socketserver
+import struct
+import threading
+
+import numpy as np
+
+from .fleet import FleetServer, ShedLoadError
+
+__all__ = ["FleetFrontend", "FleetClient", "FleetRequestError", "FleetShedError"]
+
+_HEADER = struct.Struct(">I")
+#: Refuse absurd frames before allocating (64 MiB of pickled arrays).
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _send_msg(sock: socket.socket, payload: object) -> None:
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            return None  # peer closed
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_msg(sock: socket.socket) -> object | None:
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise ValueError(f"frame of {length} bytes exceeds the {_MAX_FRAME} limit")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        return None
+    return pickle.loads(blob)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one thread per connection (ThreadingTCPServer)
+        fleet: FleetServer = self.server.fleet  # type: ignore[attr-defined]
+        timeout_s: float = self.server.request_timeout_s  # type: ignore[attr-defined]
+        while True:
+            try:
+                msg = _recv_msg(self.request)
+            except (OSError, ValueError, pickle.UnpicklingError):
+                return
+            if msg is None:
+                return
+            try:
+                reply = self._dispatch(fleet, timeout_s, msg)
+            except ShedLoadError as exc:
+                reply = ("shed", exc.as_dict())
+            except BaseException as exc:
+                reply = ("err", f"{type(exc).__name__}: {exc}")
+            try:
+                _send_msg(self.request, reply)
+            except OSError:
+                return
+
+    @staticmethod
+    def _dispatch(fleet: FleetServer, timeout_s: float, msg) -> tuple:
+        kind = msg[0]
+        if kind == "infer":
+            _, model, x = msg
+            out = fleet.submit(model, np.asarray(x, dtype=np.float32)).result(
+                timeout=timeout_s
+            )
+            return ("ok", out)
+        if kind == "models":
+            return ("ok", fleet.models())
+        if kind == "stats":
+            return ("ok", fleet.stats())
+        return ("err", f"unknown message kind {kind!r}")
+
+
+class FleetFrontend:
+    """Serve a :class:`~repro.runtime.fleet.FleetServer` over TCP.
+
+    Binds ``host:port`` (``port=0`` picks a free one — read
+    :attr:`address`), handles each connection on its own thread, and
+    forwards ``infer`` requests into the fleet's admission-controlled
+    ``submit``.  The frontend does not own the fleet: closing the
+    frontend stops the listener, the fleet's own ``close`` drains it.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 60.0,
+    ):
+        self.fleet = fleet
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._server.fleet = fleet  # type: ignore[attr-defined]
+        self._server.request_timeout_s = request_timeout_s  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-fleet-frontend", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Stop accepting connections (idempotent; fleet left running)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "FleetFrontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FleetRequestError(RuntimeError):
+    """The server answered ``err`` (execution failure, unknown model...)."""
+
+
+class FleetShedError(RuntimeError):
+    """The server shed the request; ``info`` is the structured rejection."""
+
+    def __init__(self, info: dict):
+        self.info = info
+        super().__init__(f"request shed: {info.get('reason')} ({info})")
+
+
+class FleetClient:
+    """Blocking client for :class:`FleetFrontend` (one connection).
+
+    Not thread-safe — the protocol is strict request/reply per
+    connection; open one client per thread.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+
+    def _call(self, msg: tuple):
+        _send_msg(self._sock, msg)
+        reply = _recv_msg(self._sock)
+        if reply is None:
+            raise ConnectionError("server closed the connection")
+        status, payload = reply
+        if status == "ok":
+            return payload
+        if status == "shed":
+            raise FleetShedError(payload)
+        raise FleetRequestError(payload)
+
+    def infer(self, model: str, x: np.ndarray) -> np.ndarray:
+        """Run ``x`` through ``model``; raises structured errors on shed/err."""
+        return self._call(("infer", model, np.asarray(x, dtype=np.float32)))
+
+    def models(self) -> list[str]:
+        """Model names registered on the remote fleet."""
+        return self._call(("models",))
+
+    def stats(self) -> dict:
+        """Remote fleet statistics."""
+        return self._call(("stats",))
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,21 +1,29 @@
 """Micro-batching serving frontend over a compiled plan.
 
-:class:`InferenceServer` is the production-shaped entry point the
-ROADMAP's serving north star asks for: callers submit requests (arrays
-with a leading sample axis) from any thread and get a future; a single
-dispatcher thread coalesces queued requests into micro-batches — up to a
-batch-size threshold or a latency budget measured from the *oldest*
-queued request — and executes each micro-batch on a shared
-:class:`~repro.runtime.engine.BatchEngine`.  Batching amortises the
+:class:`MicroBatcher` is the reusable coalescing core: a thread-safe
+request queue whose consumers pull *micro-batches* — runs of queued
+requests coalesced up to a batch-size threshold or a latency budget
+measured from the **oldest** queued request.  Batching amortises the
 per-call front end (im2col, activation packing, kernel dispatch) across
 requests, which is the software analogue of the paper's batch
 amortisation of bank-imbalance cycles (Sec. V-D).
+
+:class:`InferenceServer` is the single-process frontend built on it:
+callers submit requests (arrays with a leading sample axis) from any
+thread and get a future; one dispatcher thread pulls micro-batches and
+executes them on a shared :class:`~repro.runtime.engine.BatchEngine`.
+The multi-process fleet (:mod:`repro.runtime.fleet`) reuses the same
+batcher with one consumer thread per worker process, so both frontends
+share one coalescing policy (and one set of deadline semantics — see
+the regression tests pinning them).
 
 :func:`run_load` is the closed-loop load generator used by the serving
 benchmark (``python -m repro serve-bench`` and the perf harness): each
 simulated client submits a request, waits for its response, and
 immediately submits the next, so offered load self-regulates to the
-server's capacity while per-request latency (p50/p99) is measured.
+server's capacity while per-request latency (p50/p99) is measured.  The
+open-loop (non-blocking Poisson arrival) generator that saturates the
+fleet lives in :mod:`repro.runtime.serving_bench`.
 """
 
 from __future__ import annotations
@@ -31,17 +39,145 @@ import numpy as np
 from .engine import BatchEngine
 from .plan import ExecutionPlan
 
-__all__ = ["InferenceServer", "LoadReport", "run_load"]
+__all__ = ["Request", "MicroBatcher", "InferenceServer", "LoadReport", "run_load"]
 
 
 @dataclasses.dataclass
-class _Request:
+class Request:
+    """One queued inference request.
+
+    ``arrival`` anchors the coalescing deadline (the budget clock runs
+    from the *oldest* request in a batch); ``retries`` counts fleet
+    worker-crash redeliveries (always 0 on the single-process path).
+    """
+
     x: np.ndarray
     future: concurrent.futures.Future
     arrival: float
+    retries: int = 0
 
 
-_SHUTDOWN = object()
+_SENTINEL = object()
+
+
+class MicroBatcher:
+    """Thread-safe request queue with micro-batch coalescing.
+
+    Consumers call :meth:`next_batch`, which blocks for the first
+    request and then coalesces further queued requests until either the
+    batch reaches ``max_batch`` samples (the threshold may be overshot
+    by the final request — requests are never split) or the latency
+    budget, measured from the **oldest** request's arrival, expires.
+
+    Multiple consumers may pull concurrently (the fleet runs one
+    consumer per worker process); each builds its own batch.  Shutdown
+    is per-consumer: :meth:`put_sentinel` enqueues stop markers behind
+    every already-accepted request, and a consumer that receives
+    ``(batch, True)`` should finish ``batch`` and stop.  The pending
+    request/sample counters let admission control and drain logic see
+    queue depth without trusting ``queue.qsize`` approximations.
+    """
+
+    def __init__(self, max_batch: int = 64, max_delay_ms: float = 2.0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_delay_s = max_delay_ms / 1e3
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._pending_requests = 0
+        self._pending_samples = 0
+
+    # -- producer side ----------------------------------------------------
+
+    def put(self, request: Request) -> None:
+        """Enqueue one request (no admission policy — callers gate)."""
+        with self._lock:
+            self._pending_requests += 1
+            self._pending_samples += len(request.x)
+        self._queue.put(request)
+
+    def put_sentinel(self, n: int = 1) -> None:
+        """Enqueue ``n`` stop markers (one per consumer to stop)."""
+        for _ in range(n):
+            self._queue.put(_SENTINEL)
+
+    # -- consumer side ----------------------------------------------------
+
+    def _account(self, request: Request) -> Request:
+        with self._lock:
+            self._pending_requests -= 1
+            self._pending_samples -= len(request.x)
+        return request
+
+    def next_batch(self) -> tuple[list[Request], bool]:
+        """Block for the next micro-batch; ``(batch, stop)``.
+
+        ``stop`` is True when a sentinel was consumed — the batch (which
+        may be empty) must still be served, after which this consumer
+        should exit.  The coalescing deadline is ``oldest.arrival +
+        max_delay_s``: requests arriving later in the window wait only
+        the *remaining* budget, so no request waits more than the full
+        budget before dispatch however empty the batch.
+        """
+        first = self._queue.get()
+        if first is _SENTINEL:
+            return [], True
+        batch = [self._account(first)]
+        total = len(first.x)
+        deadline = first.arrival + self.max_delay_s
+        while total < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._queue.get_nowait() if remaining <= 0 else self._queue.get(
+                    timeout=remaining
+                )
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                return batch, True
+            batch.append(self._account(item))
+            total += len(item.x)
+            if remaining <= 0:
+                break
+        return batch, False
+
+    def drain_now(self) -> list[Request]:
+        """Pull every queued request immediately (sentinels preserved).
+
+        Used by no-drain shutdown to fail pending requests.  Sentinels
+        encountered are re-enqueued so consumers still see their stop
+        markers.
+        """
+        drained: list[Request] = []
+        sentinels = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                sentinels += 1
+            else:
+                drained.append(self._account(item))
+        self.put_sentinel(sentinels)
+        return drained
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests accepted but not yet pulled into a batch."""
+        with self._lock:
+            return self._pending_requests
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples accepted but not yet pulled into a batch."""
+        with self._lock:
+            return self._pending_samples
 
 
 class InferenceServer:
@@ -59,6 +195,9 @@ class InferenceServer:
     max_delay_ms:
         Latency budget: a request waits at most this long in the queue
         before its micro-batch is dispatched, however empty the batch.
+        The clock runs from the *oldest* queued request, so coalesced
+        followers inherit the leader's deadline rather than restarting
+        their own.
     """
 
     def __init__(
@@ -67,14 +206,10 @@ class InferenceServer:
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
     ):
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if max_delay_ms < 0:
-            raise ValueError("max_delay_ms must be >= 0")
         self.engine = runner if isinstance(runner, BatchEngine) else BatchEngine(runner, shards=1)
-        self.max_batch = int(max_batch)
-        self.max_delay_s = max_delay_ms / 1e3
-        self._queue: queue.Queue = queue.Queue()
+        self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
+        self.max_batch = self.batcher.max_batch
+        self.max_delay_s = self.batcher.max_delay_s
         self._closed = False
         #: Serialises the closed-flag check in submit() against close(),
         #: so no request can land behind the shutdown sentinel.
@@ -102,61 +237,41 @@ class InferenceServer:
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("server is closed")
-            self._queue.put(_Request(x, future, time.monotonic()))
+            self.batcher.put(Request(x, future, time.monotonic()))
         return future
 
     # -- dispatcher -------------------------------------------------------
 
-    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
-        """Coalesce queued requests behind ``first`` under the budget."""
-        batch = [first]
-        total = len(first.x)
-        deadline = first.arrival + self.max_delay_s
-        while total < self.max_batch:
-            remaining = deadline - time.monotonic()
-            try:
-                item = self._queue.get_nowait() if remaining <= 0 else self._queue.get(
-                    timeout=remaining
-                )
-            except queue.Empty:
-                break
-            if item is _SHUTDOWN:
-                return batch, True
-            batch.append(item)
-            total += len(item.x)
-            if remaining <= 0:
-                break
-        return batch, False
-
     def _loop(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
+            batch, stop = self.batcher.next_batch()
+            if batch:
+                self._serve(batch)
+            if stop:
                 break
-            batch, shutdown = self._collect(item)
-            try:
-                xs = [r.x for r in batch]
-                # Inside the try: mismatched request shapes must fail the
-                # waiters' futures, not kill the dispatcher thread.
-                x = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
-                out = self.engine.run(x)
-            except BaseException as exc:  # propagate to every waiter
-                for r in batch:
-                    r.future.set_exception(exc)
-            else:
-                offset = 0
-                for r in batch:
-                    r.future.set_result(out[offset : offset + len(r.x)])
-                    offset += len(r.x)
-                with self._stats_lock:
-                    self._stats["requests"] += len(batch)
-                    self._stats["samples"] += len(x)
-                    self._stats["batches"] += 1
-                    self._stats["max_batch_samples"] = max(
-                        self._stats["max_batch_samples"], len(x)
-                    )
-            if shutdown:
-                break
+
+    def _serve(self, batch: list[Request]) -> None:
+        try:
+            xs = [r.x for r in batch]
+            # Inside the try: mismatched request shapes must fail the
+            # waiters' futures, not kill the dispatcher thread.
+            x = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
+            out = self.engine.run(x)
+        except BaseException as exc:  # propagate to every waiter
+            for r in batch:
+                r.future.set_exception(exc)
+        else:
+            offset = 0
+            for r in batch:
+                r.future.set_result(out[offset : offset + len(r.x)])
+                offset += len(r.x)
+            with self._stats_lock:
+                self._stats["requests"] += len(batch)
+                self._stats["samples"] += len(x)
+                self._stats["batches"] += 1
+                self._stats["max_batch_samples"] = max(
+                    self._stats["max_batch_samples"], len(x)
+                )
 
     # -- lifecycle / introspection ---------------------------------------
 
@@ -181,21 +296,10 @@ class InferenceServer:
             self._closed = True
             # The sentinel lands behind every accepted request (the lock
             # excludes in-flight submits), so drain really drains.
-            self._queue.put(_SHUTDOWN)
+            self.batcher.put_sentinel()
         if not drain:
-            failed: list[_Request] = []
-            while True:
-                try:
-                    item = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if item is not _SHUTDOWN:
-                    failed.append(item)
-            for r in failed:
+            for r in self.batcher.drain_now():
                 r.future.set_exception(RuntimeError("server closed"))
-            # The purge may have swallowed the sentinel; re-arm it so the
-            # dispatcher still sees a stop signal (a duplicate is inert).
-            self._queue.put(_SHUTDOWN)
         self._worker.join()
         self.engine.close()
 
@@ -251,6 +355,13 @@ def run_load(
     Per-request wall latencies from all clients are pooled into
     p50/p99/mean; the first ``warmup_requests`` of every client are
     excluded (they pay cache warming).
+
+    Latency is measured from submit time.  The dispatcher's coalescing
+    budget, by contrast, runs from the *oldest* queued request — a
+    follower coalesced behind an older leader waits strictly less than
+    the full budget, so measured latency is bounded by ``budget +
+    service`` per request however batches form (the deadline-semantics
+    regression tests pin this).
     """
     if clients < 1:
         raise ValueError("clients must be >= 1")

@@ -1,40 +1,46 @@
 """Serving benchmark engine shared by the CLI and the perf harness.
 
-One function, :func:`serving_benchmark`, wires the whole runtime stack
-together — model zoo build, backend selection, plan compilation,
-shard-parallel engine, micro-batching server, closed-loop load
-generator — and returns a JSON-ready report.  ``python -m repro
-serve-bench`` renders it for humans; ``benchmarks/perf/bench_perf.py``
-embeds it in ``BENCH_perf.json`` so CI tracks serving throughput next to
-the kernel rows.
+Two entry points wire the runtime stack together and return JSON-ready
+reports:
+
+* :func:`serving_benchmark` — the single-process path: model zoo build,
+  backend selection, plan compilation, shard-parallel engine,
+  micro-batching server, **closed-loop** load generator (each client
+  waits for its response before sending the next, so offered load
+  self-regulates to capacity).  ``python -m repro serve-bench`` renders
+  it; ``benchmarks/perf/bench_perf.py`` embeds it in ``BENCH_perf.json``
+  under ``serving``.
+
+* :func:`open_loop_fleet_benchmark` — the fleet path: stand up a
+  multi-process :class:`~repro.runtime.fleet.FleetServer` and drive it
+  with **open-loop Poisson arrivals** at a configured multiple of the
+  measured closed-loop rate (or an explicit request rate).  Open-loop
+  clients do *not* wait — arrivals keep coming however slow the system
+  gets — which is what exposes saturation behaviour: queue growth,
+  shed-load admission decisions, and the p50/p99/p999 latency tail.
+  Reported goodput counts only requests completed within the SLA, and
+  the report asserts the fleet's no-silent-drop invariant (every
+  accepted request resolved).  ``python -m repro fleet-bench`` renders
+  it; the perf harness embeds it under ``fleet`` (schema v4).
 """
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 
-from ..core.config import PC3_TR
-from ..formats.floatfmt import BFLOAT16
-from ..nn.backend import daism_backend, exact_backend, quantized_backend
 from ..nn.models import model_zoo
 from .engine import BatchEngine
+from .fleet import FleetServer, ShedLoadError, resolve_backend, snapshot_model
 from .plan import compile_plan
 from .server import InferenceServer, run_load
 
-__all__ = ["serving_benchmark"]
+__all__ = ["serving_benchmark", "open_loop_fleet_benchmark"]
 
 #: Input geometry of the zoo models (channels, height, width).
 _INPUT_SHAPE = (1, 16, 16)
-
-
-def _build_backend(backend: str, kernel: str | None):
-    if backend == "daism":
-        return daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
-    if backend == "quantized":
-        return quantized_backend(BFLOAT16, kernel=kernel)
-    if backend == "exact":
-        return exact_backend()
-    raise ValueError(f"unknown backend {backend!r} (daism / quantized / exact)")
 
 
 def serving_benchmark(
@@ -63,7 +69,7 @@ def serving_benchmark(
     except KeyError as exc:
         raise ValueError(f"unknown model {model!r}; zoo: {sorted(model_zoo())}") from exc
     module.eval()
-    resolved = _build_backend(backend, kernel)
+    resolved = resolve_backend(backend, kernel)
     plan = compile_plan(module, resolved)
 
     rng = np.random.default_rng(seed)
@@ -91,4 +97,201 @@ def serving_benchmark(
         "max_delay_ms": max_delay_ms,
         "request_samples": request_samples,
         "load": load.as_dict(),
+    }
+
+
+def _percentiles_ms(latencies_s: list[float]) -> dict[str, float]:
+    if not latencies_s:
+        return {"p50_ms": 0.0, "p99_ms": 0.0, "p999_ms": 0.0, "mean_ms": 0.0}
+    pooled = np.asarray(latencies_s) * 1e3
+    return {
+        "p50_ms": round(float(np.percentile(pooled, 50)), 3),
+        "p99_ms": round(float(np.percentile(pooled, 99)), 3),
+        "p999_ms": round(float(np.percentile(pooled, 99.9)), 3),
+        "mean_ms": round(float(pooled.mean()), 3),
+    }
+
+
+def open_loop_fleet_benchmark(
+    models: tuple[str, ...] | list[str] = ("lenet",),
+    backend: str = "daism",
+    kernel: str | None = None,
+    workers: int = 2,
+    duration_s: float = 1.0,
+    rate_rps: float | None = None,
+    rate_multiplier: float = 10.0,
+    request_samples: int = 4,
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    max_queue_samples: int = 256,
+    sla_ms: float = 50.0,
+    calibration_s: float = 0.4,
+    drain_timeout_s: float = 30.0,
+    seed: int = 0,
+    start_method: str | None = None,
+) -> dict:
+    """Open-loop heavy-traffic benchmark against a multi-process fleet.
+
+    A Poisson arrival process (exponential inter-arrival gaps) submits
+    requests for ``duration_s`` without ever waiting for responses,
+    cycling round-robin across the registered ``models``.  The offered
+    request rate is ``rate_rps`` if given; otherwise a short
+    **closed-loop calibration run** on the single-process server
+    measures the baseline rate and the generator offers
+    ``rate_multiplier``× that (the ISSUE's 10–100× regime).  The
+    admission controller sheds what the fleet cannot absorb; everything
+    accepted must resolve — the report's ``accepted_then_dropped`` field
+    is asserted ``0``.
+
+    Returns a JSON-ready dict: offered/accepted/shed/completed counts,
+    p50/p99/p999 latency over completed requests, raw completed
+    throughput, **goodput** (samples/s from requests completed within
+    ``sla_ms``), and the closed-loop baseline for the speedup ratio.
+    """
+    models = list(models)
+    if not models:
+        raise ValueError("need at least one model")
+
+    # Closed-loop baseline: what one process sustains when clients wait.
+    closed = serving_benchmark(
+        model=models[0],
+        backend=backend,
+        kernel=kernel,
+        clients=2,
+        duration_s=calibration_s,
+        request_samples=request_samples,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        seed=seed,
+    )["load"]
+    closed_rps = closed["samples_per_s"] / request_samples
+    offered_rps = rate_rps if rate_rps is not None else closed_rps * rate_multiplier
+    if offered_rps <= 0:
+        raise ValueError("offered rate must be positive")
+
+    rng = np.random.default_rng(seed)
+    c, h, w = _INPUT_SHAPE
+    pool = [
+        rng.standard_normal((request_samples, c, h, w)).astype(np.float32)
+        for _ in range(8)
+    ]
+
+    lock = threading.Lock()
+    completed: list[float] = []  # latency (s) of every completed request
+    good: list[int] = [0]  # samples completed within the SLA
+    failed: list[int] = [0]
+    offered = [0]
+    shed = [0]
+    accepted = [0]
+    outstanding: list = []
+
+    fleet = FleetServer(
+        workers=workers,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        max_queue_samples=max_queue_samples,
+        # SLA-aware admission: once the EWMA service-time predictor says a
+        # request cannot complete inside the SLA, it sheds up front
+        # (reason="sla_unmeetable") instead of poisoning the queue — this
+        # is what keeps goodput near raw throughput under saturation.
+        sla_ms=sla_ms,
+        start_method=start_method,
+    )
+    try:
+        # Seed the SLA predictor with the calibrated service time so
+        # admission control is live from the first arrival (the EWMA
+        # otherwise admits an unbounded burst before its first update).
+        hint = 1e3 / closed["samples_per_s"] if closed["samples_per_s"] else None
+        for name in models:
+            fleet.register(
+                snapshot_model(name, backend=backend, kernel=kernel),
+                service_hint_ms_per_sample=hint,
+            )
+
+        def on_done(t_submit: float, n_samples: int):
+            def callback(fut):
+                latency = time.perf_counter() - t_submit
+                with lock:
+                    if fut.exception() is not None:
+                        failed[0] += 1
+                        return
+                    completed.append(latency)
+                    if latency * 1e3 <= sla_ms:
+                        good[0] += n_samples
+
+            return callback
+
+        # Open-loop Poisson generator: sleep the exponential gap, submit,
+        # never block on results.
+        t_start = time.perf_counter()
+        t_next = t_start
+        i = 0
+        while True:
+            t_next += rng.exponential(1.0 / offered_rps)
+            now = time.perf_counter()
+            if t_next > t_start + duration_s:
+                break
+            if t_next > now:
+                time.sleep(t_next - now)
+            x = pool[i % len(pool)]
+            model = models[i % len(models)]
+            i += 1
+            offered[0] += 1
+            t_submit = time.perf_counter()
+            try:
+                fut = fleet.submit(model, x)
+            except ShedLoadError:
+                with lock:
+                    shed[0] += 1
+                continue
+            accepted[0] += 1
+            fut.add_done_callback(on_done(t_submit, len(x)))
+            outstanding.append(fut)
+        # Drain: every accepted future must resolve (data or structured
+        # error) — a timeout here is an accepted-then-dropped request.
+        dropped = 0
+        for fut in outstanding:
+            try:
+                fut.exception(timeout=drain_timeout_s)
+            except TimeoutError:
+                dropped += 1
+        elapsed = time.perf_counter() - t_start
+        stats = fleet.stats()
+    finally:
+        fleet.close(drain=True)
+
+    with lock:
+        percentiles = _percentiles_ms(completed)
+        n_completed = len(completed)
+        goodput = good[0] / elapsed if elapsed > 0 else 0.0
+        throughput = n_completed * request_samples / elapsed if elapsed > 0 else 0.0
+    restarts = sum(row["worker_restarts"] for row in stats.values())
+    return {
+        "models": models,
+        "backend": backend,
+        "kernel": kernel or "default",
+        "workers": workers,
+        "request_samples": request_samples,
+        "max_batch": max_batch,
+        "max_delay_ms": max_delay_ms,
+        "max_queue_samples": max_queue_samples,
+        "sla_ms": sla_ms,
+        "duration_s": round(elapsed, 3),
+        "offered_rps": round(offered_rps, 1),
+        "offered_requests": offered[0],
+        "accepted_requests": accepted[0],
+        "shed_requests": shed[0],
+        "completed_requests": n_completed,
+        "failed_requests": failed[0],
+        "accepted_then_dropped": dropped,
+        "worker_restarts": restarts,
+        **percentiles,
+        "samples_per_s": round(throughput, 1),
+        "goodput_samples_per_s": round(goodput, 1),
+        "closed_loop_samples_per_s": closed["samples_per_s"],
+        "goodput_vs_closed_loop_x": round(
+            goodput / closed["samples_per_s"], 2
+        )
+        if closed["samples_per_s"]
+        else 0.0,
     }

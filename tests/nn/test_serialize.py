@@ -3,11 +3,21 @@
 import numpy as np
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core.config import PC3_TR
 from repro.formats.floatfmt import BFLOAT16
 from repro.nn.backend import daism_backend, use_backend
 from repro.nn.models import build_lenet, build_mini_resnet, build_mlp
-from repro.nn.serialize import load_state_dict, load_weights, save_weights, state_dict
+from repro.nn.serialize import (
+    load_state_bytes,
+    load_state_dict,
+    load_weights,
+    save_weights,
+    state_bytes,
+    state_dict,
+)
 
 
 class TestStateDict:
@@ -61,6 +71,75 @@ class TestFileRoundtrip:
         fresh = build_mlp(seed=42)
         load_weights(fresh, path)
         assert evaluate(fresh, data.test_x, data.test_y) == acc_before
+
+
+class TestStateBytes:
+    """The in-memory buffer form the fleet ships to worker processes."""
+
+    def test_roundtrip_byte_identical(self):
+        m1 = build_lenet(seed=11)
+        m2 = build_lenet(seed=12)
+        load_state_bytes(m2, state_bytes(m1))
+        x = np.random.default_rng(5).standard_normal((2, 1, 16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(
+            m1.eval()(x).view(np.uint32), m2.eval()(x).view(np.uint32)
+        )
+
+    def test_blob_is_plain_bytes(self):
+        blob = state_bytes(build_mlp())
+        assert isinstance(blob, bytes)  # picklable across fork and spawn
+
+
+class TestSnapshotRoundtripProperty:
+    """Property-based proof of the fleet's byte-parity foundation.
+
+    A worker rebuilds its plan from a :class:`ModelSnapshot` — zoo
+    architecture name + ``state_bytes`` + backend wire name — through
+    the exact code path :func:`repro.runtime.fleet.rebuild_plan` runs in
+    the child process.  For *any* initialisation seed and any serving
+    backend, the rebuilt plan's prepared weights must match a
+    parent-side compile of the same module byte-for-byte
+    (``plan_digest``), and so must its outputs.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        backend=st.sampled_from(["exact", "quantized", "daism"]),
+    )
+    def test_snapshot_to_worker_plan_is_byte_exact(self, seed, backend):
+        from repro.runtime import compile_plan, plan_digest
+        from repro.runtime.fleet import (
+            rebuild_plan,
+            resolve_backend,
+            snapshot_model,
+        )
+
+        module = build_lenet(seed=seed).eval()
+        snapshot = snapshot_model("lenet", module=module, backend=backend)
+        parent = compile_plan(module, resolve_backend(backend))
+        rebuilt = rebuild_plan(snapshot)
+
+        assert plan_digest(parent) == plan_digest(rebuilt)
+        x = (
+            np.random.default_rng(seed)
+            .standard_normal((3, 1, 16, 16))
+            .astype(np.float32)
+        )
+        np.testing.assert_array_equal(
+            parent.execute(x).view(np.uint32), rebuilt.execute(x).view(np.uint32)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_state_bytes_roundtrip_any_seed(self, seed):
+        m1 = build_mlp(seed=seed)
+        m2 = build_mlp(seed=seed + 1)
+        load_state_bytes(m2, state_bytes(m1))
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(
+                p1.data.view(np.uint32), p2.data.view(np.uint32)
+            )
 
 
 class TestRoundtripUnderPackedBackends:

@@ -1,0 +1,146 @@
+"""Fleet parity: worker-pool outputs byte-identical to the single-process path.
+
+Every zoo model under every serving backend must produce, through the
+multi-process fleet, byte-for-byte the outputs of a single-process
+:class:`~repro.runtime.BatchEngine` over the same compiled plan.  The
+fleet is configured with ``max_batch=1`` so each dispatched micro-batch
+is exactly one request — the DAISM kernels' K-chunk choice depends on
+the executed batch size, so coalescing requests *legitimately* changes
+bits (pinned by ``test_daism_uncoalesced_requests_byte_identical`` for
+the single-process server); parity across the process boundary is the
+property under test here, not coalescing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import model_zoo
+from repro.runtime import BatchEngine, FleetServer, compile_plan, plan_digest
+from repro.runtime.fleet import (
+    _WorkerHandle,
+    rebuild_plan,
+    resolve_backend,
+    snapshot_model,
+)
+
+MODELS = ["lenet", "vgg_small", "mini_resnet"]
+BACKENDS = ["exact", "quantized", "daism"]
+
+
+def _x(n, seed=0):
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((n, 1, 16, 16))
+        .astype(np.float32)
+    )
+
+
+def _reference(model, backend):
+    """(snapshot, single-process engine) built from the same module."""
+    module = model_zoo()[model]
+    module.eval()
+    snap = snapshot_model(model, module=module, backend=backend)
+    engine = BatchEngine(compile_plan(module, resolve_backend(backend)))
+    return snap, engine
+
+
+class TestFleetByteParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_zoo_model_backend_matrix(self, model, backend):
+        snap, engine = _reference(model, backend)
+        requests = [_x(2, seed=s) for s in range(4)]
+        with FleetServer(workers=2, max_batch=1, max_delay_ms=0.0) as fleet:
+            fleet.register(snap)
+            futures = [fleet.submit(model, x) for x in requests]
+            outputs = [f.result(timeout=60) for f in futures]
+        for x, got in zip(requests, outputs):
+            np.testing.assert_array_equal(
+                got.view(np.uint32), engine.run(x).view(np.uint32)
+            )
+
+    def test_four_workers_byte_identical(self):
+        snap, engine = _reference("lenet", "daism")
+        requests = [_x(3, seed=s) for s in range(12)]
+        with FleetServer(workers=4, max_batch=1, max_delay_ms=0.0) as fleet:
+            fleet.register(snap)
+            futures = [fleet.submit("lenet", x) for x in requests]
+            outputs = [f.result(timeout=60) for f in futures]
+            stats = fleet.stats()["lenet"]
+        assert stats["workers"] == 4
+        assert stats["completed_requests"] == 12
+        for x, got in zip(requests, outputs):
+            np.testing.assert_array_equal(
+                got.view(np.uint32), engine.run(x).view(np.uint32)
+            )
+
+    def test_interleaved_multi_model_traffic(self):
+        """Two models served concurrently; routing never crosses streams."""
+        snap_a, engine_a = _reference("lenet", "daism")
+        snap_b, engine_b = _reference("mini_resnet", "exact")
+        with FleetServer(workers=2, max_batch=1, max_delay_ms=0.0) as fleet:
+            fleet.register(snap_a)
+            fleet.register(snap_b)
+            assert fleet.models() == ["lenet", "mini_resnet"]
+            futures = []
+            for i in range(10):
+                model = "lenet" if i % 2 == 0 else "mini_resnet"
+                x = _x(2, seed=100 + i)
+                futures.append((model, x, fleet.submit(model, x)))
+            for model, x, fut in futures:
+                engine = engine_a if model == "lenet" else engine_b
+                np.testing.assert_array_equal(
+                    fut.result(timeout=60).view(np.uint32),
+                    engine.run(x).view(np.uint32),
+                )
+            stats = fleet.stats()
+        assert stats["lenet"]["completed_requests"] == 5
+        assert stats["mini_resnet"]["completed_requests"] == 5
+
+    def test_submit_validates_model_and_shape(self):
+        snap, _ = _reference("lenet", "exact")
+        with FleetServer(workers=1, max_batch=1, max_delay_ms=0.0) as fleet:
+            fleet.register(snap)
+            with pytest.raises(ValueError, match="unknown model"):
+                fleet.submit("alexnet", _x(1))
+            with pytest.raises(ValueError, match="sample axis"):
+                fleet.submit("lenet", np.zeros(16, dtype=np.float32))
+            with pytest.raises(ValueError, match="already registered"):
+                fleet.register(snap)
+
+
+class TestWorkerPlanDigest:
+    """The cross-process proof: worker-rebuilt plans carry the same bits."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_digest_matches_parent(self, backend):
+        module = model_zoo()["lenet"]
+        module.eval()
+        snap = snapshot_model("lenet", module=module, backend=backend)
+        parent = plan_digest(compile_plan(module, resolve_backend(backend)))
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        handle = _WorkerHandle(ctx, snap, "digest-probe", ready_timeout_s=60.0)
+        try:
+            status, worker_digest = handle.request(("digest",))
+        finally:
+            handle.stop()
+        assert status == "ok"
+        assert worker_digest == parent
+
+    def test_digest_discriminates_weights(self):
+        from repro.nn.models import build_lenet
+
+        a = compile_plan(build_lenet(seed=1).eval(), resolve_backend("daism"))
+        b = compile_plan(build_lenet(seed=2).eval(), resolve_backend("daism"))
+        assert plan_digest(a) != plan_digest(b)
+
+    def test_rebuild_plan_digest_matches_in_process(self):
+        module = model_zoo()["mini_resnet"]
+        module.eval()
+        snap = snapshot_model("mini_resnet", module=module, backend="daism")
+        parent = compile_plan(module, resolve_backend("daism"))
+        assert plan_digest(parent) == plan_digest(rebuild_plan(snap))

@@ -1,0 +1,101 @@
+"""TCP frontend over the fleet: framing, parity, structured errors."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import BatchEngine, FleetServer, compile_plan
+from repro.runtime.fleet import resolve_backend, snapshot_model
+from repro.runtime.frontend import (
+    FleetClient,
+    FleetFrontend,
+    FleetRequestError,
+    FleetShedError,
+)
+
+
+def _x(n, seed=0):
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((n, 1, 16, 16))
+        .astype(np.float32)
+    )
+
+
+@pytest.fixture()
+def served_fleet():
+    from repro.nn.models import model_zoo
+
+    module = model_zoo()["lenet"]
+    module.eval()
+    snap = snapshot_model("lenet", module=module, backend="daism")
+    engine = BatchEngine(compile_plan(module, resolve_backend("daism")))
+    with FleetServer(workers=1, max_batch=1, max_delay_ms=0.0) as fleet:
+        fleet.register(snap)
+        with FleetFrontend(fleet) as frontend:
+            host, port = frontend.address
+            with FleetClient(host, port) as client:
+                yield client, engine, fleet
+
+
+class TestFrontend:
+    def test_models_over_the_wire(self, served_fleet):
+        client, _, _ = served_fleet
+        assert client.models() == ["lenet"]
+
+    def test_infer_byte_identical_to_engine(self, served_fleet):
+        client, engine, _ = served_fleet
+        x = _x(3, seed=7)
+        got = client.infer("lenet", x)
+        np.testing.assert_array_equal(
+            got.view(np.uint32), engine.run(x).view(np.uint32)
+        )
+
+    def test_many_requests_one_connection(self, served_fleet):
+        client, engine, _ = served_fleet
+        for s in range(8):
+            x = _x(2, seed=s)
+            np.testing.assert_array_equal(
+                client.infer("lenet", x).view(np.uint32),
+                engine.run(x).view(np.uint32),
+            )
+
+    def test_unknown_model_is_structured_error(self, served_fleet):
+        client, _, _ = served_fleet
+        with pytest.raises(FleetRequestError, match="unknown model"):
+            client.infer("alexnet", _x(1))
+
+    def test_stats_over_the_wire(self, served_fleet):
+        client, _, fleet = served_fleet
+        client.infer("lenet", _x(2))
+        remote = client.stats()
+        assert remote.keys() == fleet.stats().keys()
+        assert remote["lenet"]["completed_requests"] >= 1
+
+    def test_shed_crosses_the_wire_structurally(self):
+        """An admission rejection arrives as data, not a stringly error."""
+        with FleetServer(workers=1, max_batch=8, sla_ms=1.0) as fleet:
+            fleet.register(
+                snapshot_model("lenet", backend="exact"),
+                service_hint_ms_per_sample=10.0,
+            )
+            with FleetFrontend(fleet) as frontend:
+                host, port = frontend.address
+                with FleetClient(host, port) as client:
+                    with pytest.raises(FleetShedError) as err:
+                        client.infer("lenet", _x(4))
+        info = err.value.info
+        assert info["error"] == "shed_load"
+        assert info["reason"] == "sla_unmeetable"
+        assert info["predicted_ms"] == pytest.approx(40.0)
+
+    def test_second_client_gets_its_own_connection(self, served_fleet):
+        client, engine, fleet = served_fleet
+        frontend_host, frontend_port = client._sock.getpeername()
+        with FleetClient(frontend_host, frontend_port) as other:
+            x = _x(2, seed=99)
+            np.testing.assert_array_equal(
+                other.infer("lenet", x).view(np.uint32),
+                engine.run(x).view(np.uint32),
+            )
+        # The original connection still works after the other closed.
+        assert client.models() == ["lenet"]

@@ -12,6 +12,7 @@ from repro.nn.backend import daism_backend, exact_backend
 from repro.nn.models import build_mlp
 from repro.nn.optim import SGD
 from repro.runtime import BatchEngine, InferenceServer, compile_plan, run_load
+from repro.runtime.server import MicroBatcher, Request
 from repro.runtime.serving_bench import serving_benchmark
 
 
@@ -152,6 +153,80 @@ class TestInferenceServer:
         )
 
 
+class TestCoalescingDeadline:
+    def test_budget_measured_from_oldest_queued_request(self):
+        """Regression pin: the coalescing clock starts at the *oldest*
+        queued request, not at each arrival.
+
+        A request joining a batch that has already waited most of the
+        budget must be dispatched when the *batch's* deadline expires —
+        restarting the clock per arrival would let a trickle of traffic
+        postpone dispatch indefinitely.  ``run_load`` measures latency
+        from each request's own submit, which is the client-side view of
+        the same clock, not a second deadline.
+        """
+        plan = _plan()
+        with InferenceServer(plan, max_batch=1024, max_delay_ms=400.0) as server:
+            first = server.submit(_x(2, seed=0))
+            time.sleep(0.2)
+            t0 = time.perf_counter()
+            second = server.submit(_x(2, seed=1))
+            second.result(timeout=5)
+            waited = time.perf_counter() - t0
+            assert first.done()  # dispatched together at the shared deadline
+            stats = server.stats()
+        # ~200 ms of budget remained when the second request arrived; a
+        # per-arrival clock would have held it the full 400 ms.
+        assert waited < 0.35, f"second request waited {waited:.3f}s"
+        assert stats["batches"] == 1
+
+
+class TestMicroBatcher:
+    def _req(self, n, seed=0):
+        import concurrent.futures
+
+        return Request(_x(n, seed=seed), concurrent.futures.Future(), time.monotonic())
+
+    def test_pending_counters_track_puts_and_batches(self):
+        batcher = MicroBatcher(max_batch=4, max_delay_ms=0.0)
+        batcher.put(self._req(3))
+        batcher.put(self._req(2))
+        assert batcher.pending_requests == 2
+        assert batcher.pending_samples == 5
+        batch, stop = batcher.next_batch()
+        assert not stop
+        assert len(batch) >= 1
+        assert batcher.pending_requests == 2 - len(batch)
+
+    def test_sentinel_stops_consumer(self):
+        batcher = MicroBatcher(max_batch=4, max_delay_ms=0.0)
+        batcher.put_sentinel()
+        batch, stop = batcher.next_batch()
+        assert batch == []
+        assert stop
+
+    def test_drain_now_preserves_sentinels(self):
+        """Draining mustn't eat another consumer's shutdown signal."""
+        batcher = MicroBatcher(max_batch=4, max_delay_ms=50.0)
+        batcher.put(self._req(1))
+        batcher.put_sentinel(2)
+        batcher.put(self._req(2))
+        drained = batcher.drain_now()
+        assert len(drained) == 2
+        assert batcher.pending_requests == 0
+        # Both sentinels are still deliverable after the drain.
+        for _ in range(2):
+            batch, stop = batcher.next_batch()
+            assert batch == []
+            assert stop
+
+    def test_validates_configuration(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_delay_ms=-1.0)
+
+
 class TestLoadGenerator:
     def test_closed_loop_smoke(self):
         with InferenceServer(_plan(), max_batch=16, max_delay_ms=1.0) as server:
@@ -180,3 +255,31 @@ class TestLoadGenerator:
     def test_serving_benchmark_rejects_unknown_model(self):
         with pytest.raises(ValueError, match="unknown model"):
             serving_benchmark(model="alexnet")
+
+    def test_open_loop_fleet_benchmark_report_shape(self):
+        from repro.runtime.serving_bench import open_loop_fleet_benchmark
+
+        report = open_loop_fleet_benchmark(
+            models=["lenet"],
+            backend="exact",
+            workers=1,
+            duration_s=0.2,
+            calibration_s=0.1,
+            rate_rps=200.0,
+            sla_ms=50.0,
+        )
+        assert report["models"] == ["lenet"]
+        assert report["offered_requests"] > 0
+        assert (
+            report["accepted_requests"] + report["shed_requests"]
+            == report["offered_requests"]
+        )
+        assert report["accepted_then_dropped"] == 0
+        assert report["p999_ms"] >= report["p99_ms"] >= report["p50_ms"]
+        assert report["goodput_samples_per_s"] <= report["samples_per_s"]
+
+    def test_open_loop_fleet_benchmark_rejects_empty_models(self):
+        from repro.runtime.serving_bench import open_loop_fleet_benchmark
+
+        with pytest.raises(ValueError, match="at least one model"):
+            open_loop_fleet_benchmark(models=[])

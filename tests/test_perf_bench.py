@@ -30,7 +30,7 @@ def quick_report(tmp_path_factory):
 
 def test_quick_run_writes_valid_artifact(quick_report):
     report, _path = quick_report
-    assert report["schema"] == "repro-perf/3"
+    assert report["schema"] == "repro-perf/4"
     assert report["quick"] is True
 
     # 1 size x (exact + quantized + 3 kernels x raw/prepared) = 8 rows.
@@ -75,6 +75,14 @@ def test_quick_run_writes_valid_artifact(quick_report):
     assert serving["backend"] == "approx_bfloat16_PC3_tr"
     assert serving["load"]["samples_per_s"] > 0
     assert serving["load"]["p99_ms"] >= serving["load"]["p50_ms"]
+
+    fleet = report["fleet"]
+    assert fleet["models"] == ["lenet"]
+    assert fleet["workers"] == 2
+    assert fleet["offered_requests"] > 0
+    assert fleet["accepted_then_dropped"] == 0
+    assert fleet["goodput_samples_per_s"] > 0
+    assert fleet["p999_ms"] >= fleet["p99_ms"] >= fleet["p50_ms"]
 
 
 def test_prepared_variant_not_slower_than_raw():
@@ -140,6 +148,8 @@ def _write_report(
     mmacs: float,
     exact_mmacs: float | None = None,
     samples_per_s: float | None = None,
+    goodput: float | None = None,
+    dropped: int = 0,
 ) -> pathlib.Path:
     rows = [
         {
@@ -166,9 +176,15 @@ def _write_report(
                 "mmacs_per_s": exact_mmacs,
             }
         )
-    report: dict = {"schema": "repro-perf/3", "matmul": rows}
+    report: dict = {"schema": "repro-perf/4", "matmul": rows}
     if samples_per_s is not None:
         report["serving"] = {"model": "lenet", "load": {"samples_per_s": samples_per_s}}
+    if goodput is not None:
+        report["fleet"] = {
+            "models": ["lenet"],
+            "goodput_samples_per_s": goodput,
+            "accepted_then_dropped": dropped,
+        }
     path.write_text(json.dumps(report))
     return path
 
@@ -258,6 +274,59 @@ class TestServingGuard:
         )
         base = _write_report(
             tmp_path / "base.json", 100.0, exact_mmacs=10000.0, samples_per_s=1000.0
+        )
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+
+    def test_skipped_when_baseline_lacks_fleet(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, goodput=500.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "skipping fleet check" in result.stdout
+
+    def test_fleet_goodput_within_tolerance_passes(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, goodput=800.0)
+        base = _write_report(tmp_path / "base.json", 100.0, goodput=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "fleet open-loop goodput" in result.stdout
+
+    def test_fleet_goodput_collapse_fails(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, goodput=100.0)
+        base = _write_report(tmp_path / "base.json", 100.0, goodput=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
+    def test_fleet_regression_flag_tunes_tolerance(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, goodput=700.0)
+        base = _write_report(tmp_path / "base.json", 100.0, goodput=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1  # 30% drop > default 25%
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--fleet-max-regression", "0.5",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_any_accepted_then_dropped_fails(self, tmp_path):
+        """The no-silent-drop invariant is guarded, not just throughput."""
+        fresh = _write_report(
+            tmp_path / "fresh.json", 100.0, goodput=1000.0, dropped=1
+        )
+        base = _write_report(tmp_path / "base.json", 100.0, goodput=1000.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "DROPPED" in result.stdout
+
+    def test_fleet_normalised_by_machine_speed(self, tmp_path):
+        # 2x slower machine: goodput halves with the exact reference.
+        fresh = _write_report(
+            tmp_path / "fresh.json", 50.0, exact_mmacs=5000.0, goodput=500.0
+        )
+        base = _write_report(
+            tmp_path / "base.json", 100.0, exact_mmacs=10000.0, goodput=1000.0
         )
         result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
         assert result.returncode == 0, result.stdout
