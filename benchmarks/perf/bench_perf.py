@@ -5,13 +5,20 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
 
 * **matmul throughput** across a size grid, for the exact, quantised and
   DAISM backends — the DAISM rows cover every registered GEMM kernel
-  (``float_table`` default, ``uint32_fused`` parity reference,
-  ``blas_factored`` fast path), with the default kernel timed both with
-  per-call weight packing (``raw``) and against a pre-packed weight
-  (``prepared``);
+  (``float_table`` default, ``float_table_native`` compiled gather tier,
+  ``uint32_fused`` parity reference, ``blas_factored`` /
+  ``blas_factored_fast`` fast paths) plus
+  the ``auto`` tier router, each timed both with per-call weight packing
+  (``raw``) and against a pre-packed weight (``prepared``);
 * **row-budget autotune**: the bench-driven chunk tuning of
-  :func:`repro.core.kernels.autotune_row_budget`, with the candidate
-  timings and the installed winner recorded;
+  :func:`repro.core.kernels.autotune_row_budget` for the bit-exact
+  tiers, persisted through the on-disk
+  :class:`~repro.core.tune_cache.TuneCache` (hit/miss counters and the
+  machine fingerprint recorded);
+* **tier certification** (schema v5): the per-config
+  :func:`~repro.core.router.certify_fast_path` certificates, the
+  measured :func:`~repro.core.router.autotune_tier` decision, and the
+  native-tier status behind ``kernel="auto"``;
 * **end-to-end network latency**: LeNet inference over a test set under
   the bfloat16 PC3_tr DAISM backend.  The headline ``ms_per_sample`` row
   runs the **compiled execution plan** (:mod:`repro.runtime`) — the
@@ -20,7 +27,10 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
   byte-identical logits asserted and the packing counters recorded to
   prove the steady state performs zero weight re-pack work (and, on the
   plan path, ~K*K less activation quantise work).  Every other
-  registered DAISM kernel keeps its eager latency row;
+  registered DAISM kernel keeps its eager latency row, and two extra
+  plan rows close the LUT-vs-BLAS loop: the **router-enabled** plan
+  (``kernel="auto"``) and the quantised **dense-BLAS** plan, with their
+  ratio (``routed_vs_dense_blas_x``) the artifact CI guards;
 * **serving throughput**: the micro-batching inference server under
   closed-loop load (``repro.runtime.serving_bench``), reporting
   p50/p99 latency and samples/sec;
@@ -54,10 +64,19 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-perf/4"
+SCHEMA = "repro-perf/5"
 
-#: DAISM kernels timed per size (None = the bit-exact default).
-KERNEL_SUITE = (None, "uint32_fused", "blas_factored")
+#: DAISM kernels timed per size ("auto" = the certified tier router).
+#: Explicit names, so rows join stably against the committed baseline
+#: whatever the machine's default tier resolves to.
+KERNEL_SUITE = (
+    "float_table",
+    "float_table_native",
+    "uint32_fused",
+    "blas_factored",
+    "blas_factored_fast",
+    "auto",
+)
 
 
 def _best_of(fn, reps: int) -> float:
@@ -72,16 +91,68 @@ def _best_of(fn, reps: int) -> float:
 
 
 def autotune_rows(quick: bool) -> dict:
-    """Run the bench-driven row-budget autotune and record the choice."""
+    """Row-budget autotune for both bit-exact tiers, persisted on disk.
+
+    Each tier's budget goes through the :class:`TuneCache`: the first
+    harness run on a machine measures and writes, later runs replay
+    (``source == "cache"``) — the counters in the artifact prove which
+    happened.
+    """
     from repro.core.kernels import autotune_row_budget
+    from repro.core.tune_cache import TuneCache
 
     shape = (64, 128, 64) if quick else (256, 288, 64)
-    result = autotune_row_budget(kernel="float_table", shape=shape, reps=2 if quick else 3)
+    cache = TuneCache()
+    rows = []
+    for kernel in ("float_table", "float_table_native"):
+        result = autotune_row_budget(
+            kernel=kernel, shape=shape, reps=2 if quick else 3, cache=cache
+        )
+        rows.append(
+            {
+                "kernel": result.kernel,
+                "shape": list(result.shape),
+                "timings_ms": {str(k): round(v, 3) for k, v in result.timings_ms.items()},
+                "chosen_budget": result.chosen,
+                "source": result.source,
+            }
+        )
     return {
-        "kernel": result.kernel,
-        "shape": list(result.shape),
-        "timings_ms": {str(k): round(v, 3) for k, v in result.timings_ms.items()},
-        "chosen_budget": result.chosen,
+        "rows": rows,
+        "cache": {
+            "path": cache.path,
+            "fingerprint": cache.fingerprint,
+            **cache.counters(),
+        },
+    }
+
+
+def tier_rows(quick: bool) -> dict:
+    """Certified tier-router evidence: per-config certificates + decision."""
+    import dataclasses
+
+    from repro.core.config import PC3_TR, all_configs
+    from repro.core.kernels import kernel_tiers
+    from repro.core.router import FAST_TIERS, autotune_tier, certify_fast_path
+    from repro.core.tune_cache import TuneCache
+    from repro.formats.floatfmt import BFLOAT16
+
+    certificates = [
+        dataclasses.asdict(certify_fast_path(BFLOAT16, config, kernel=kernel))
+        for config in all_configs()
+        for kernel in FAST_TIERS
+    ]
+    decision = autotune_tier(
+        BFLOAT16,
+        PC3_TR,
+        shape=(64, 128, 64) if quick else (256, 288, 64),
+        cache=TuneCache(),
+        reps=2 if quick else 3,
+    )
+    return {
+        "status": kernel_tiers(),
+        "certificates": certificates,
+        "autotune_tier": decision,
     }
 
 
@@ -105,9 +176,8 @@ def matmul_rows(quick: bool) -> list[dict]:
         ]
         for kernel in KERNEL_SUITE:
             backend = daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
-            label = kernel or "float_table"
-            suites.append((backend, label, False))
-            suites.append((backend, label, True))
+            suites.append((backend, kernel, False))
+            suites.append((backend, kernel, True))
         for backend, kernel_label, prepared in suites:
             rhs = backend.prepare(b) if prepared else b
             seconds = _best_of(lambda: backend.matmul(a, rhs), reps)
@@ -138,13 +208,14 @@ def network_latency(quick: bool) -> dict:
     with its classification accuracy compared against the default.
     """
     from repro.core.config import PC3_TR
+    from repro.core.kernels import exact_tier_name
     from repro.formats.floatfmt import BFLOAT16
     from repro.formats.packed import packing_counters, reset_packing_counters
-    from repro.nn.backend import daism_backend
+    from repro.nn.backend import daism_backend, quantized_backend
     from repro.nn.data import iterate_batches, shapes_dataset
     from repro.nn.models import build_lenet
     from repro.nn.train import evaluate
-    from repro.runtime import BatchEngine, compile_plan
+    from repro.runtime import BatchEngine, compile_plan, plan_tiers
 
     n_test = 32 if quick else 256
     batch_size = 64
@@ -217,7 +288,7 @@ def network_latency(quick: bool) -> dict:
     report = {
         "model": "lenet",
         "backend": "approx_bfloat16_PC3_tr",
-        "kernel": "float_table",
+        "kernel": exact_tier_name(BFLOAT16),
         "runtime": "compiled_plan",
         "samples": n_test,
         "batch_size": batch_size,
@@ -253,6 +324,51 @@ def network_latency(quick: bool) -> dict:
                 "repack_free": k_second == k_third,
             }
         )
+
+    # The LUT-vs-BLAS gap, measured end to end on the plan path: the
+    # router-enabled approximate plan against the quantised dense-BLAS
+    # plan.  Their ratio is the figure CI guards (see
+    # check_perf_regression.py --routed-max-ratio), so the two passes
+    # are interleaved rep by rep — background machine-speed drift hits
+    # both sides of the ratio instead of one.
+    def plan_pass(backend):
+        plan = compile_plan(model.eval(), backend)
+        eng = BatchEngine(plan, shards=1)
+
+        def one_pass() -> None:
+            for bx, _by in iterate_batches(data.test_x, data.test_y, batch_size):
+                eng.run(bx)
+
+        return plan, one_pass
+
+    routed_plan, routed_pass = plan_pass(
+        daism_backend(PC3_TR, BFLOAT16, kernel="auto")
+    )
+    dense_plan, dense_pass = plan_pass(quantized_backend(BFLOAT16))
+    routed_pass()  # warm (tables, certificates)
+    dense_pass()
+    routed_s = dense_s = float("inf")
+    for _ in range(max(reps, 3)):
+        t0 = time.perf_counter()
+        routed_pass()
+        routed_s = min(routed_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        dense_pass()
+        dense_s = min(dense_s, time.perf_counter() - t0)
+    routed_tiers = plan_tiers(routed_plan)
+    dense_tiers = plan_tiers(dense_plan)
+    report["routed"] = {
+        "kernel": "auto",
+        "plan_kernels": routed_tiers,
+        "ms_total": round(routed_s * 1e3, 2),
+        "ms_per_sample": round(routed_s * 1e3 / n_test, 3),
+    }
+    report["quantized_dense"] = {
+        "plan_kernels": dense_tiers,
+        "ms_total": round(dense_s * 1e3, 2),
+        "ms_per_sample": round(dense_s * 1e3 / n_test, 3),
+    }
+    report["routed_vs_dense_blas_x"] = round(routed_s / dense_s, 2)
     return report
 
 
@@ -355,6 +471,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "numpy": np.__version__,
         "quick": quick,
         "autotune": autotune_rows(quick),
+        "tiers": tier_rows(quick),
         "matmul": matmul_rows(quick),
         "network": network_latency(quick),
         "serving": serving_rows(quick),
@@ -377,10 +494,26 @@ def main() -> None:
     report = run(args.out, quick=args.quick)
     net = report["network"]
     print(f"wrote {args.out}")
-    tuned = report["autotune"]
+    for tuned in report["autotune"]["rows"]:
+        print(
+            f"  autotune[{tuned['kernel']}]: row budget {tuned['chosen_budget']}"
+            f" on {'x'.join(map(str, tuned['shape']))} ({tuned['source']})"
+        )
+    cache = report["autotune"]["cache"]
     print(
-        f"  autotune[{tuned['kernel']}]: row budget {tuned['chosen_budget']}"
-        f" on {'x'.join(map(str, tuned['shape']))}"
+        f"  tune cache: {cache['hits']} hits / {cache['misses']} misses /"
+        f" {cache['invalidations']} invalidations"
+        f" (fingerprint {cache['fingerprint']})"
+    )
+    tiers = report["tiers"]
+    certified = sum(1 for c in tiers["certificates"] if c["certified"])
+    decision = tiers["autotune_tier"]
+    print(
+        f"  tiers: exact tier {tiers['status']['exact_tier']}"
+        f" (native backend: {tiers['status']['native']['backend']}),"
+        f" {certified}/{len(tiers['certificates'])} configs certified,"
+        f" autotuned {decision['shape_class']} -> {decision['tier']}"
+        f" ({decision['source']})"
     )
     for row in report["matmul"]:
         print(
@@ -401,6 +534,13 @@ def main() -> None:
             f" ({krow['ms_per_sample']} ms/sample),"
             f" accuracy_matches_default={krow['accuracy_matches_default']}"
         )
+    routed = net["routed"]
+    print(
+        f"  lenet routed plan [{'+'.join(routed['plan_kernels'])}]:"
+        f" {routed['ms_per_sample']} ms/sample vs dense BLAS"
+        f" {net['quantized_dense']['ms_per_sample']} ms/sample"
+        f" -> {net['routed_vs_dense_blas_x']}x"
+    )
     serve = report["serving"]["load"]
     print(
         f"  serving lenet/{report['serving']['backend']}:"

@@ -9,9 +9,13 @@ row, the script prints the offending rows and exits non-zero.
 
 Two robustness choices keep shared-runner noise from failing builds:
 
-* only the *default kernel*'s rows are guarded by default (``--kernel
-  float_table`` — the hot path every sweep rides on; pass ``--kernel
-  all`` to widen the guard);
+* only the guarded-tier rows are compared by default (``--kernel
+  float_table,float_table_native,blas_factored`` — the bit-exact hot
+  paths plus the certified fast path; a comma list restricts further,
+  ``--kernel all`` widens to every row).  Rows the baseline lacks —
+  e.g. ``float_table_native`` against a pre-native baseline — are
+  skipped by the join, so the guard tightens automatically as the
+  baseline is regenerated;
 * throughput is **normalised by the same-shape ``exact_float32`` row of
   the same report** before comparing, so absolute machine speed cancels
   out and the guard tracks the kernel's overhead factor over BLAS
@@ -33,6 +37,14 @@ guard compares **goodput under the SLA** (``goodput_samples_per_s``,
 normalised by the same machine-speed proxy) under
 ``--fleet-max-regression``, and fails outright if the fresh report
 shows any accepted-then-dropped request.
+
+Schema ``repro-perf/5`` adds the routed-network headline
+``network.routed_vs_dense_blas_x`` — the tier-routed approximate LeNet
+ms/sample as a multiple of the quantised ``dense_blas`` LeNet pass in
+the *same* report.  Being a same-report ratio it needs no baseline or
+machine-speed proxy: the fresh value is guarded against the absolute
+``--routed-max-ratio`` ceiling (default 3.0).  Reports without the
+field (older schemas) skip this check with a note.
 
 Run::
 
@@ -71,12 +83,12 @@ def compare(
     baseline: dict,
     backend: str,
     max_regression: float,
-    kernel: str | None = None,
+    kernels: "set[str] | None" = None,
     normalize: bool = True,
 ) -> tuple[list[dict], list[dict]]:
     """Join matmul rows and split them into (checked, regressed).
 
-    Rows of ``backend`` (optionally restricted to one ``kernel``)
+    Rows of ``backend`` (optionally restricted to the ``kernels`` set)
     present in both reports are compared on ``mmacs_per_s`` — by default
     after dividing each side by its report's same-shape
     ``exact_float32`` throughput, which cancels machine speed.  A row
@@ -89,7 +101,7 @@ def compare(
     for row in fresh.get("matmul", []):
         if row["backend"] != backend:
             continue
-        if kernel is not None and row.get("kernel") != kernel:
+        if kernels is not None and row.get("kernel") not in kernels:
             continue
         base = base_rows.get(_key(row))
         if base is None:
@@ -237,6 +249,28 @@ def compare_fleet(
     return record, fresh_score < floor or dropped > 0
 
 
+def check_routed_ratio(fresh: dict, max_ratio: float) -> tuple[dict | None, bool]:
+    """Guard the routed-vs-dense headline; returns ``(record, regressed)``.
+
+    ``network.routed_vs_dense_blas_x`` (schema ``repro-perf/5``) is a
+    same-report ratio — routed approximate LeNet ms/sample over the
+    quantised ``dense_blas`` pass — so it is compared against the
+    absolute ``max_ratio`` ceiling rather than a baseline row.  Returns
+    ``(None, False)`` when the fresh report predates the field.
+    """
+    ratio = fresh.get("network", {}).get("routed_vs_dense_blas_x")
+    if ratio is None:
+        return None, False
+    record = {
+        "key": "routed lenet vs quantized dense_blas",
+        "unit": "x dense_blas ms/sample (ceiling, lower is better)",
+        "baseline_score": max_ratio,
+        "fresh_score": ratio,
+        "floor": max_ratio,
+    }
+    return record, ratio > max_ratio
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -249,10 +283,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--kernel",
-        default="float_table",
+        default="float_table,float_table_native,blas_factored",
         help=(
-            "restrict the guard to one kernel's rows (default: the "
-            "float_table default kernel; pass 'all' to guard every row)"
+            "comma-separated kernels whose rows are guarded (default: "
+            "the bit-exact tiers plus the certified fast path; pass "
+            "'all' to guard every row)"
         ),
     )
     parser.add_argument(
@@ -277,6 +312,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--routed-max-ratio",
+        type=float,
+        default=3.0,
+        help=(
+            "absolute ceiling on the fresh report's routed-vs-dense "
+            "LeNet ratio (network.routed_vs_dense_blas_x, schema >= 5); "
+            "skipped with a note when the field is absent (default 3.0)"
+        ),
+    )
+    parser.add_argument(
         "--fleet-max-regression",
         type=float,
         default=0.25,
@@ -292,13 +337,17 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline) as fh:
         baseline = json.load(fh)
 
-    kernel = None if args.kernel == "all" else args.kernel
+    kernels = (
+        None
+        if args.kernel == "all"
+        else {name.strip() for name in args.kernel.split(",") if name.strip()}
+    )
     checked, regressed = compare(
         fresh,
         baseline,
         args.backend,
         args.max_regression,
-        kernel,
+        kernels,
         normalize=not args.absolute,
     )
     serving_record, serving_regressed = compare_serving(
@@ -319,6 +368,18 @@ def main(argv: list[str] | None = None) -> int:
             regressed.append(fleet_record)
     else:
         print("perf guard: no comparable fleet section; skipping fleet check")
+    routed_record, routed_regressed = check_routed_ratio(
+        fresh, args.routed_max_ratio
+    )
+    if routed_record is not None:
+        checked.append(routed_record)
+        if routed_regressed:
+            regressed.append(routed_record)
+    else:
+        print(
+            "perf guard: fresh report has no routed_vs_dense_blas_x;"
+            " skipping routed-ratio check"
+        )
     if not checked:
         print(
             f"perf guard: no comparable {args.backend!r} rows between"

@@ -235,6 +235,42 @@ def reproduce(argv: list[str]) -> int:
     return 0
 
 
+def _bench_error(exc: ValueError, as_json: bool) -> int:
+    """Render a bench ValueError; unknown kernels get a structured form.
+
+    In ``--json`` mode an :class:`~repro.core.kernels.UnknownKernelError`
+    is emitted as a JSON object carrying the offending name and the
+    registered kernel list, so callers script against data instead of
+    parsing the message.
+    """
+    import json
+
+    from .core.kernels import UnknownKernelError
+
+    if as_json:
+        payload: dict = {"error": str(exc)}
+        if isinstance(exc, UnknownKernelError):
+            payload["kernel"] = exc.kernel
+            payload["registered_kernels"] = exc.registered
+        print(json.dumps(payload, indent=2), file=sys.stderr)
+    else:
+        print(f"error: {exc}", file=sys.stderr)
+    return 2
+
+
+def _kernel_flag(parser: "argparse.ArgumentParser") -> None:
+    """Add the shared ``--kernel`` option to a bench subcommand parser."""
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help=(
+            "GEMM kernel tier: a registered kernel name (e.g. "
+            "float_table_native, blas_factored) or 'auto' for the "
+            "certified tier router; default is the bit-exact default tier"
+        ),
+    )
+
+
 def serve_bench(argv: list[str]) -> int:
     """The ``serve-bench`` subcommand: benchmark the serving runtime."""
     import json
@@ -265,9 +301,7 @@ def serve_bench(argv: list[str]) -> int:
         choices=["daism", "quantized", "exact"],
         help="arithmetic backend the plan is compiled against",
     )
-    parser.add_argument(
-        "--kernel", default=None, help="GEMM kernel name (e.g. blas_factored)"
-    )
+    _kernel_flag(parser)
     parser.add_argument("--clients", type=int, default=4, help="closed-loop client threads")
     parser.add_argument("--duration", type=float, default=1.0, help="measured seconds")
     parser.add_argument("--request-samples", type=int, default=4, help="samples per request")
@@ -292,8 +326,7 @@ def serve_bench(argv: list[str]) -> int:
             shards=args.shards,
         )
     except ValueError as exc:  # bad kernel name, bad shard/batch config
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _bench_error(exc, args.json)
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
@@ -301,6 +334,12 @@ def serve_bench(argv: list[str]) -> int:
     print(
         f"  plan: {report['plan_ops']} ops, shards={report['shards']},"
         f" max_batch={report['max_batch']}, delay budget {report['max_delay_ms']} ms"
+    )
+    native = report["native_tier"]
+    print(
+        f"  tier: kernel={report['kernel']}"
+        f" -> plan kernels {', '.join(report['plan_kernels']) or '-'}"
+        f" (native backend: {native['backend']})"
     )
     load = report["load"]
     print(
@@ -351,9 +390,7 @@ def fleet_bench(argv: list[str]) -> int:
         choices=["daism", "quantized", "exact"],
         help="arithmetic backend workers compile their plans against",
     )
-    parser.add_argument(
-        "--kernel", default=None, help="GEMM kernel name (e.g. blas_factored)"
-    )
+    _kernel_flag(parser)
     parser.add_argument("--workers", type=int, default=2, help="worker processes per model")
     parser.add_argument("--duration", type=float, default=1.0, help="open-loop seconds")
     parser.add_argument(
@@ -396,8 +433,7 @@ def fleet_bench(argv: list[str]) -> int:
             sla_ms=args.sla_ms,
         )
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _bench_error(exc, args.json)
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
@@ -405,6 +441,12 @@ def fleet_bench(argv: list[str]) -> int:
     print(
         f"  fleet: {report['workers']} worker(s)/model, max_batch={report['max_batch']},"
         f" queue {report['max_queue_samples']} samples, SLA {report['sla_ms']} ms"
+    )
+    native = report["native_tier"]
+    print(
+        f"  tier: kernel={report['kernel']}"
+        f" -> plan kernels {', '.join(report['plan_kernels']) or '-'}"
+        f" (native backend: {native['backend']})"
     )
     print(
         f"  offered {report['offered_requests']} requests @"

@@ -26,13 +26,27 @@ from .gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul, app
 from .kernels import (
     AutotuneResult,
     GemmKernel,
+    UnknownKernelError,
     autotune_row_budget,
+    exact_tier_name,
     get_kernel,
     kernel_names,
+    kernel_tiers,
     register_kernel,
     select_kernel,
+    shape_class,
     table_cache_counters,
 )
+from .native import native_active, native_available, native_status
+from .router import (
+    TierCertificate,
+    TierDecision,
+    autotune_tier,
+    certify_fast_path,
+    route_decision,
+    route_kernel,
+)
+from .tune_cache import TuneCache, machine_fingerprint
 from .related_work import (
     compressed_pp_multiply,
     compressed_pp_multiply_array,
@@ -76,12 +90,27 @@ __all__ = [
     "approx_matmul",
     "AutotuneResult",
     "GemmKernel",
+    "UnknownKernelError",
     "autotune_row_budget",
+    "exact_tier_name",
     "get_kernel",
     "kernel_names",
+    "kernel_tiers",
     "register_kernel",
     "select_kernel",
+    "shape_class",
     "table_cache_counters",
+    "native_active",
+    "native_available",
+    "native_status",
+    "TierCertificate",
+    "TierDecision",
+    "autotune_tier",
+    "certify_fast_path",
+    "route_decision",
+    "route_kernel",
+    "TuneCache",
+    "machine_fingerprint",
     "approx_multiply",
     "approx_multiply_truncated",
     "exact_multiply",

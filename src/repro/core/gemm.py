@@ -41,6 +41,7 @@ from ..formats.floatfmt import FLOAT32, FloatFormat, quantize
 from ..formats.packed import PackedTensor, pack
 from .config import MultiplierConfig
 from .kernels import default_k_chunk, select_kernel
+from .router import route_kernel
 
 __all__ = [
     "approx_matmul",
@@ -92,7 +93,9 @@ def approx_matmul(
         bit-identical to the same rows flattened into one 2-D GEMM.
     kernel:
         Registered kernel name (see :func:`repro.core.kernels.kernel_names`);
-        ``None`` selects the bit-exact default for ``fmt``.
+        ``None`` selects the bit-exact default for ``fmt``, ``"auto"``
+        lets the certified tier router pick per shape (see
+        :func:`repro.core.router.route_kernel`).
 
     Returns
     -------
@@ -113,7 +116,8 @@ def approx_matmul(
     if k_chunk is None:
         k_chunk = default_k_chunk(rows, n)
 
-    out = select_kernel(fmt, config, kernel).run(pa, pb, config, k_chunk)
+    found = route_kernel(fmt, config, kernel, shape=(rows, pa.shape[1], n))
+    out = found.run(pa, pb, config, k_chunk)
     if batched:
         return out.reshape(batch, m, n)
     return out
@@ -203,13 +207,15 @@ class QuantizedMatmul(MatmulBackend):
     form is read back, so they interoperate with ``ApproxMatmul`` caches
     of the same format.
 
-    ``kernel=None`` multiplies the quantised dense values with
-    ``numpy.matmul`` (BLAS).  A named kernel routes the products through
-    the registered packed kernel with an *exact* significand multiplier
-    (``config=None``) instead — the conventional-multiplier datapath,
-    whose products are re-normalised to the format's significand width
-    and summed in datapath order.  Mainly useful for cross-validating
-    kernels against the scalar reference.
+    ``kernel=None`` (or ``"auto"`` — exact products have no faster
+    certified tier than BLAS itself) multiplies the quantised dense
+    values with ``numpy.matmul`` (BLAS).  A named kernel routes the
+    products through the registered packed kernel with an *exact*
+    significand multiplier (``config=None``) instead — the
+    conventional-multiplier datapath, whose products are re-normalised
+    to the format's significand width and summed in datapath order.
+    Mainly useful for cross-validating kernels against the scalar
+    reference.
     """
 
     fmt: FloatFormat = FLOAT32
@@ -231,7 +237,7 @@ class QuantizedMatmul(MatmulBackend):
 
     def matmul(self, a, b) -> np.ndarray:
         """Exact product of the ``fmt``-quantised operands."""
-        if self.kernel is not None:
+        if self.kernel is not None and self.kernel != "auto":
             pa = _as_packed(a, self.fmt, "a")
             pb = _as_packed(b, self.fmt, "b")
             batched = pa.ndim == 3
@@ -275,9 +281,12 @@ class ApproxMatmul(MatmulBackend):
         accumulation loop; ``None`` lets the kernel pick.
     kernel:
         Registered kernel name; ``None`` selects the bit-exact default
-        (``float_table`` for tabulated widths).  ``"blas_factored"``
-        opts into the BLAS fast path with its documented parity
-        tolerance (see :class:`repro.core.kernels.BlasFactoredKernel`).
+        tier (``float_table_native``/``float_table`` for tabulated
+        widths).  ``"blas_factored"`` opts into the BLAS fast path with
+        its documented parity tolerance (see
+        :class:`repro.core.kernels.BlasFactoredKernel`); ``"auto"`` lets
+        the certified tier router pick per shape
+        (:func:`repro.core.router.route_kernel`).
     """
 
     fmt: FloatFormat

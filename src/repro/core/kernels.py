@@ -7,9 +7,9 @@ float32 product matrix; which kernel runs is selected by name through
 :func:`select_kernel` (plumbed up through ``approx_matmul`` and the
 ``nn`` backend seam).
 
-Four kernels are built in:
+Six kernels are built in:
 
-``float_table`` (default for table-supported widths)
+``float_table`` (bit-exact reference tier for table-supported widths)
     The float-domain value-table kernel.  A bfloat16-style product is
     ``(s_a 2^ea) * (s_b 2^eb) * V0[ma, mb]`` where ``V0`` is a
     ``2^bits x 2^bits`` float32 table of *normalised significand product
@@ -23,6 +23,14 @@ Four kernels are built in:
     of float32 naturally (bfloat16 and float32 share ``emax``), and a
     cheap subnormal-flush mask reproduces the datapath's
     flush-to-zero underflow exactly.
+
+``float_table_native`` (bit-exact default when numba is installed)
+    The same one-gather algorithm compiled to a cache-blocked,
+    ``prange``-multithreaded scalar loop nest via numba
+    (:mod:`repro.core.native`).  Byte-identical to ``float_table`` by
+    the shared accumulation association; on boxes without numba (or
+    with ``REPRO_DISABLE_NATIVE=1``) every call silently delegates to
+    ``float_table``, so the tier is always safe to select.
 
 ``uint32_fused``
     The previous default: gather a fused uint32 entry (fraction bits,
@@ -39,6 +47,13 @@ Four kernels are built in:
     One to two orders of magnitude faster than the gather kernels, but
     *not* bit-identical: see :class:`BlasFactoredKernel` for the
     documented parity contract.
+
+``blas_factored_fast`` (the router's certified fast tier)
+    The same kernel at a 25% truncation tolerance (rank ~1-3 instead of
+    ~14 for bfloat16).  Correction cost is linear in rank, so this is
+    the variant that closes the LUT-vs-BLAS gap end to end; the tier
+    router only routes to it when its measured probe error certifies
+    against the config's analytic worst-case bound.
 
 ``generic``
     The per-element FP pipeline for significand widths too wide to
@@ -70,18 +85,25 @@ from ..formats.floatfmt import FloatFormat, compose
 from ..formats.packed import PackedTensor
 from .config import MultiplierConfig
 from .fp_mul import _normalise, significand_product
+from .native import jit_gather, native_active, native_status
 from .tables import table_supported
 
 __all__ = [
     "GemmKernel",
     "FloatTableKernel",
+    "NativeGatherKernel",
     "FusedTableKernel",
     "BlasFactoredKernel",
     "GenericKernel",
+    "UnknownKernelError",
     "register_kernel",
     "get_kernel",
     "kernel_names",
     "select_kernel",
+    "exact_tier_name",
+    "kernel_tiers",
+    "shape_class",
+    "SHAPE_CLASSES",
     "value_table",
     "fused_table",
     "factored_tables",
@@ -145,6 +167,34 @@ def reset_tuned_budgets() -> None:
 def _row_block(kernel_name: str, k_chunk: int, k: int, n: int) -> int:
     budget = row_block_budget(kernel_name)
     return max(1, budget // max(1, min(k, k_chunk) * n))
+
+
+#: Coarse problem-size classes the tier router and tune cache key on.
+SHAPE_CLASSES = ("tiny", "tall_skinny", "general")
+
+#: A GEMM at or below this many MACs counts as ``tiny``: fixed per-call
+#: overhead (BLAS dispatch, correction setup) dominates there, so the
+#: router keeps tiny problems on the gather tier.
+TINY_SHAPE_MACS = 1 << 14
+
+
+def shape_class(m: int | None, k: int, n: int) -> str:
+    """Classify an ``(m, k, n)`` problem into one of :data:`SHAPE_CLASSES`.
+
+    ``m=None`` means the batch dimension is unknown (plan compile time
+    resolves kernels before any input arrives) and maps to ``general``
+    — the conservative class serving batches actually land in.  The
+    tall-skinny threshold reuses ``FloatTableKernel.TRANSPOSE_ASPECT``
+    so the class boundary coincides with the kernel's own orientation
+    switch.
+    """
+    if m is None:
+        return "general"
+    if m * k * n <= TINY_SHAPE_MACS:
+        return "tiny"
+    if m >= FloatTableKernel.TRANSPOSE_ASPECT * max(1, n):
+        return "tall_skinny"
+    return "general"
 
 
 # --------------------------------------------------------------------------
@@ -545,6 +595,96 @@ class FloatTableKernel(GemmKernel):
         return out
 
 
+class NativeGatherKernel(GemmKernel):
+    """Numba-compiled native tier of the one-gather value-table GEMM.
+
+    Runs :func:`repro.core.native.gather_gemm` — the same gather + two
+    scale multiplies + range masks as :class:`FloatTableKernel`, with
+    the identical accumulation association (sequential within a K-chunk,
+    chunk partials in order), compiled to a ``prange``-parallel scalar
+    loop nest.  Byte-identical to ``float_table`` on every input.
+
+    Delegation keeps that claim airtight rather than probabilistic.  The
+    kernel falls back to ``float_table`` whenever
+
+    * the native tier is inactive (no numba, or
+      ``REPRO_DISABLE_NATIVE=1``) — graceful degradation, or
+    * the numpy kernel's reduction for the shape degenerates to a tile
+      whose *inner* axis is a single element (``n < 2``, or a transposed
+      tall-skinny run whose column block is 1 — including a remainder
+      block): there numpy's pairwise ``sum`` regroups the float32
+      accumulation, and matching that regrouping scalar-by-scalar is not
+      worth the complexity for shapes the gather tier has no business
+      winning anyway.
+
+    Either way callers observe one bit-exact kernel; only the speed
+    differs.  :attr:`active_backend` reports which path will run.
+    """
+
+    name = "float_table_native"
+    bit_exact = True
+
+    def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
+        """Table-supported significand widths (same envelope as ``float_table``)."""
+        return table_supported(fmt.significand_bits)
+
+    @property
+    def active_backend(self) -> str:
+        """``"numba-njit"`` when the JIT will run, else ``"numpy-fallback"``."""
+        return "numba-njit" if native_active() else "numpy-fallback"
+
+    def _call_args(self, pa, pb, config, k_chunk) -> tuple | None:
+        """Build the ``gather_gemm`` argument tuple, or ``None`` to delegate.
+
+        ``None`` marks the degenerate shapes documented on the class —
+        the ones where ``float_table``'s numpy reduction would regroup
+        the accumulation.  Exposed separately so the parity suite can
+        execute the uncompiled loop body on exactly the arguments the
+        JIT would receive.
+        """
+        m, k = pa.shape
+        n = pb.shape[1]
+        if n < 2:
+            return None
+        masks = FloatTableKernel._range_masks(pa, pb)
+        f32_exact, needs_flush, needs_overflow, flush_bits, inf_from = masks
+        if f32_exact and m >= FloatTableKernel.TRANSPOSE_ASPECT * max(1, n):
+            col_block = _row_block("float_table", k_chunk, k, n)
+            if col_block < 2 or m % col_block == 1:
+                return None
+        table = value_table(pa.fmt.significand_bits, config)
+        flush_t = np.asarray([flush_bits], dtype=np.uint32).view(np.float32)[0]
+        inf_t = np.asarray([inf_from], dtype=np.uint32).view(np.float32)[0]
+        ma = np.ascontiguousarray(pa.significand.astype(np.intp))
+        mb_t = pb.significand.T.astype(np.intp, order="C")
+        alpha = np.ascontiguousarray(pa.scale())
+        beta_t = np.ascontiguousarray(pb.scale().T)
+        row_block = _row_block(self.name, k_chunk, k, n)
+        return (
+            table,
+            ma,
+            alpha,
+            mb_t,
+            beta_t,
+            int(k_chunk),
+            int(row_block),
+            bool(f32_exact),
+            bool(needs_flush),
+            bool(needs_overflow),
+            flush_t,
+            inf_t,
+        )
+
+    def run(self, pa, pb, config, k_chunk):
+        """Compiled gather GEMM; delegates to ``float_table`` when inactive."""
+        jit = jit_gather() if native_active() else None
+        if jit is not None:
+            args = self._call_args(pa, pb, config, k_chunk)
+            if args is not None:
+                return jit(*args)
+        return _KERNELS["float_table"].run(pa, pb, config, k_chunk)
+
+
 class FusedTableKernel(GemmKernel):
     """Fused uint32 compose kernel (the previous default, kept for parity).
 
@@ -622,15 +762,32 @@ class BlasFactoredKernel(GemmKernel):
     gaussian operands is ~0.4% for bfloat16 PC3_tr at the default rank,
     an order of magnitude below the ~7% arithmetic approximation error
     it perturbs.
+
+    Two instances are registered: ``blas_factored`` (default 5%
+    truncation tolerance, rank ~14 for bfloat16) and
+    ``blas_factored_fast`` (25% tolerance, rank ~1-3) — the correction
+    cost scales linearly with rank, so the fast variant trades a still-
+    certified deviation (~2% on gaussian operands, an order of magnitude
+    inside the analytic bound) for most of the remaining LUT-vs-BLAS
+    gap.  The tier router (:mod:`repro.core.router`) only ever routes to
+    either after measuring that trade on a probe GEMM.
     """
 
     name = "blas_factored"
     bit_exact = False
 
-    def __init__(self, rank: int | None = None, tol: float = 0.05, max_rank: int = 32):
+    def __init__(
+        self,
+        rank: int | None = None,
+        tol: float = 0.05,
+        max_rank: int = 32,
+        name: str | None = None,
+    ):
         self.rank = rank
         self.tol = tol
         self.max_rank = max_rank
+        if name is not None:
+            self.name = name
 
     def supports(self, fmt: FloatFormat, config: MultiplierConfig | None) -> bool:
         """Table-supported significand widths (see ``MAX_TABLE_BITS``)."""
@@ -730,19 +887,64 @@ def register_kernel(kernel: GemmKernel) -> GemmKernel:
     return kernel
 
 
+class UnknownKernelError(ValueError):
+    """An unregistered kernel name, carrying the valid names as data.
+
+    ``kernel`` is the offending name and ``registered`` the sorted
+    registry names at raise time — CLI layers (``serve-bench``,
+    ``fleet-bench``) render both as a structured error instead of making
+    users parse the message.
+    """
+
+    def __init__(self, kernel: str, registered: list[str]):
+        super().__init__(f"unknown GEMM kernel {kernel!r}; registered: {registered}")
+        #: The name that failed to resolve.
+        self.kernel = kernel
+        #: Registered kernel names at raise time.
+        self.registered = registered
+
+
 def get_kernel(name: str) -> GemmKernel:
-    """Look up a registered kernel by name."""
+    """Look up a registered kernel by name (:class:`UnknownKernelError` if absent)."""
     try:
         return _KERNELS[name]
     except KeyError as exc:
-        raise ValueError(
-            f"unknown GEMM kernel {name!r}; registered: {kernel_names()}"
-        ) from exc
+        raise UnknownKernelError(name, kernel_names()) from exc
 
 
 def kernel_names() -> list[str]:
     """Sorted names of all registered kernels."""
     return sorted(_KERNELS)
+
+
+def exact_tier_name(fmt: FloatFormat) -> str:
+    """Name of the bit-exact default tier for ``fmt`` in this process.
+
+    ``float_table_native`` when the native tier is active (numba
+    importable and ``REPRO_DISABLE_NATIVE`` unset), ``float_table``
+    otherwise; ``generic`` for significand widths too wide to tabulate.
+    All three produce identical bits — the name only decides speed.
+    """
+    if not table_supported(fmt.significand_bits):
+        return "generic"
+    return "float_table_native" if native_active() else "float_table"
+
+
+def kernel_tiers() -> dict:
+    """Tier introspection for reports and benches.
+
+    Returns ``{"kernels": [...], "exact_tier": <bf16 default tier>,
+    "native": native_status()}`` — the ``table_cache_counters``-style
+    snapshot the serving benches and the perf harness embed so recorded
+    numbers always say which tier produced them.
+    """
+    from ..formats.floatfmt import BFLOAT16
+
+    return {
+        "kernels": kernel_names(),
+        "exact_tier": exact_tier_name(BFLOAT16),
+        "native": native_status(),
+    }
 
 
 def select_kernel(
@@ -752,14 +954,16 @@ def select_kernel(
 ) -> GemmKernel:
     """Resolve the kernel for ``(fmt, config)``.
 
-    ``kernel=None`` picks the bit-exact default — ``float_table`` for
-    table-supported significand widths, ``generic`` otherwise.  A named
-    kernel is validated against the registry and against
-    ``kernel.supports``.
+    ``kernel=None`` picks the bit-exact default tier
+    (:func:`exact_tier_name`): ``float_table_native`` when the native
+    tier is active, else ``float_table`` for table-supported significand
+    widths, ``generic`` otherwise.  A named kernel is validated against
+    the registry and against ``kernel.supports``.  (The shape-aware
+    ``"auto"`` policy lives one level up, in
+    :func:`repro.core.router.route_kernel`.)
     """
     if kernel is None:
-        name = "float_table" if table_supported(fmt.significand_bits) else "generic"
-        return _KERNELS[name]
+        return _KERNELS[exact_tier_name(fmt)]
     found = get_kernel(kernel)
     if not found.supports(fmt, config):
         raise ValueError(
@@ -770,8 +974,10 @@ def select_kernel(
 
 
 register_kernel(FloatTableKernel())
+register_kernel(NativeGatherKernel())
 register_kernel(FusedTableKernel())
 register_kernel(BlasFactoredKernel())
+register_kernel(BlasFactoredKernel(tol=0.25, name="blas_factored_fast"))
 register_kernel(GenericKernel())
 
 
@@ -794,12 +1000,16 @@ class AutotuneResult:
         Best-of-``reps`` wall time per candidate budget.
     chosen:
         The winning budget, already installed via :func:`set_row_budget`.
+    source:
+        ``"measured"`` when the micro-benchmark ran, ``"cache"`` when a
+        :class:`~repro.core.tune_cache.TuneCache` hit skipped it.
     """
 
     kernel: str
     shape: tuple[int, int, int]
     timings_ms: dict[int, float]
     chosen: int
+    source: str = "measured"
 
 
 def autotune_row_budget(
@@ -810,6 +1020,7 @@ def autotune_row_budget(
     candidates: tuple[int, ...] = (1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20),
     reps: int = 3,
     seed: int = 0,
+    cache: "TuneCache | None" = None,
 ) -> AutotuneResult:
     """Micro-benchmark candidate row budgets and install the fastest.
 
@@ -819,6 +1030,12 @@ def autotune_row_budget(
     :func:`set_row_budget`, and the full timing table is returned so the
     perf harness can record it in ``BENCH_perf.json``.  Row blocking is
     bit-neutral, so tuning never changes results.
+
+    Passing a :class:`~repro.core.tune_cache.TuneCache` makes the result
+    persistent: a cached budget for ``(kernel, shape_class)`` on this
+    machine fingerprint is installed without re-measuring (``source ==
+    "cache"``), and a fresh measurement is written back for the next
+    process.
     """
     from ..formats.floatfmt import BFLOAT16
     from ..formats.packed import pack
@@ -828,6 +1045,21 @@ def autotune_row_budget(
     config = config if config is not None else PC3_TR
     found = get_kernel(kernel)
     m, k, n = shape
+    if cache is not None:
+        entry = cache.get(kernel, shape_class(m, k, n))
+        if entry is not None and entry.get("budget"):
+            chosen = int(entry["budget"])
+            set_row_budget(kernel, chosen)
+            timings = {
+                int(b): float(t) for b, t in (entry.get("timings_ms") or {}).items()
+            }
+            return AutotuneResult(
+                kernel=kernel,
+                shape=(m, k, n),
+                timings_ms=timings or {chosen: 0.0},
+                chosen=chosen,
+                source="cache",
+            )
     rng = np.random.default_rng(seed)
     pa = pack(rng.standard_normal((m, k)).astype(np.float32), fmt)
     pb = pack(rng.standard_normal((k, n)).astype(np.float32), fmt)
@@ -852,4 +1084,6 @@ def autotune_row_budget(
             _ROW_BUDGETS[kernel] = previous
     chosen = min(timings, key=timings.get)
     set_row_budget(kernel, chosen)
+    if cache is not None:
+        cache.put(kernel, shape_class(m, k, n), budget=chosen, timings_ms=timings)
     return AutotuneResult(kernel=kernel, shape=(m, k, n), timings_ms=timings, chosen=chosen)

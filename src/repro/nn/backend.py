@@ -110,7 +110,8 @@ def quantized_backend(
 
     ``kernel`` optionally routes the exact products through a registered
     packed GEMM kernel instead of dense BLAS (see
-    :class:`repro.core.gemm.QuantizedMatmul`).
+    :class:`repro.core.gemm.QuantizedMatmul`); ``"auto"`` resolves to
+    dense BLAS — exact products have no faster certified tier.
     """
     return QuantizedMatmul(fmt, kernel=kernel)
 
@@ -121,8 +122,11 @@ def daism_backend(
     """Full DAISM arithmetic: ``fmt`` storage + approximate products.
 
     ``kernel`` selects a registered GEMM kernel by name — ``None`` is
-    the bit-exact default; ``"blas_factored"`` opts into the BLAS
-    exact+correction fast path with its documented parity tolerance.
+    the bit-exact default tier (``float_table_native`` when numba is
+    active, ``float_table`` otherwise — identical bits either way);
+    ``"blas_factored"`` opts into the BLAS exact+correction fast path
+    with its documented parity tolerance; ``"auto"`` lets the certified
+    tier router pick per shape (:mod:`repro.core.router`).
     """
     return ApproxMatmul(fmt=fmt, config=config, kernel=kernel)
 

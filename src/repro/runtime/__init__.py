@@ -48,7 +48,7 @@ from .fleet import (
     snapshot_model,
 )
 from .ops import ExecContext, OpSpec, PlanOp, pack_cols
-from .plan import ExecutionPlan, compile_plan, conv_workload, trace
+from .plan import ExecutionPlan, compile_plan, conv_workload, plan_tiers, trace
 from .server import InferenceServer, LoadReport, MicroBatcher, Request, run_load
 
 __all__ = [
@@ -69,6 +69,7 @@ __all__ = [
     "conv_workload",
     "pack_cols",
     "plan_digest",
+    "plan_tiers",
     "rebuild_plan",
     "resolve_backend",
     "run_load",

@@ -85,12 +85,19 @@ def resolve_backend(backend: str, kernel: str | None = None):
 
     The fleet ships backend *names* (not objects) to workers so
     snapshots stay small and pickle-stable; each side resolves the name
-    into the same deterministic backend construction.
+    into the same deterministic backend construction.  ``kernel`` must
+    be ``None``, ``"auto"`` (tier router), or a registered kernel name
+    — unknown names fail fast here, with the structured
+    :class:`~repro.core.kernels.UnknownKernelError` listing the
+    registry, instead of surfacing at the first matmul in a worker.
     """
     from ..core.config import PC3_TR
+    from ..core.kernels import get_kernel
     from ..formats.floatfmt import BFLOAT16
     from ..nn.backend import daism_backend, exact_backend, quantized_backend
 
+    if kernel is not None and kernel != "auto":
+        get_kernel(kernel)
     if backend == "daism":
         return daism_backend(PC3_TR, BFLOAT16, kernel=kernel)
     if backend == "quantized":
@@ -193,11 +200,15 @@ def _strategy_arrays(strategy) -> list[np.ndarray]:
 
 def plan_digest(plan: ExecutionPlan) -> list[str]:
     """Per-op SHA-256 over every captured constant (prepared weights,
-    biases, BatchNorm statistics).
+    biases, BatchNorm statistics) *and* the resolved kernel tier.
 
     Two plans with equal digests run the same arithmetic on the same
     bits — the round-trip proof that a worker-rebuilt plan matches its
     parent without shipping the plan itself across the process boundary.
+    Hashing the kernel name makes tier choice part of that proof: a
+    worker whose router resolved ``"auto"`` differently (or whose
+    native tier differs) produces a different digest instead of a
+    silent arithmetic mismatch.
     """
     digests: list[str] = []
     for op in plan.ops:
@@ -206,6 +217,9 @@ def plan_digest(plan: ExecutionPlan) -> list[str]:
         strategy = getattr(op, "strategy", None)
         if strategy is not None:
             h.update(type(strategy).__name__.encode())
+            kernel = getattr(strategy, "kernel_name", None)
+            if kernel is not None:
+                h.update(kernel.encode())
             _digest_arrays(h, _strategy_arrays(strategy))
         captured = [
             getattr(op, attr)

@@ -149,6 +149,10 @@ class MatmulStrategy:
     packed_input = False
     #: Whether packed inputs must carry the dense value plane.
     needs_dense = False
+    #: The kernel-tier name behind this strategy, for introspection
+    #: (``ExecutionPlan.describe``/``plan_tiers``); ``None`` for
+    #: strategies with no registry kernel (e.g. exact float32 BLAS).
+    kernel_name: str | None = None
 
     def matmul2d(self, a: np.ndarray, rows_total: int) -> np.ndarray:
         """Product of a 2-D float operand against the prepared weight."""
@@ -167,6 +171,8 @@ class ExactStrategy(MatmulStrategy):
 
 class QuantDenseStrategy(MatmulStrategy):
     """Quantise the activation, BLAS against the quantised dense weight."""
+
+    kernel_name = "dense_blas"
 
     def __init__(self, fmt: FloatFormat, weight_q: np.ndarray):
         self.fmt = fmt
@@ -207,6 +213,7 @@ class PackedKernelStrategy(MatmulStrategy):
         # An unknown kernel that does read it still works — PackedTensor
         # falls back to recomposing dense values from the planes.
         self.needs_dense = not kernel.bit_exact
+        self.kernel_name = kernel.name
 
     def matmul2d(self, a: np.ndarray, rows_total: int) -> np.ndarray:
         return self.matmul_packed(pack(a, self.fmt), rows_total)

@@ -34,6 +34,7 @@ import numpy as np
 from ..arch.workloads import ConvLayer
 from ..core.gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul
 from ..core.kernels import select_kernel
+from ..core.router import route_kernel
 from ..formats.packed import PackedTensor
 from ..nn.backend import default_backend
 from ..nn.layers import Module, Parameter, Residual, Sequential
@@ -58,7 +59,22 @@ from .ops import (
     StackSwapOp,
 )
 
-__all__ = ["trace", "compile_plan", "ExecutionPlan", "conv_workload"]
+__all__ = ["trace", "compile_plan", "ExecutionPlan", "conv_workload", "plan_tiers"]
+
+
+def plan_tiers(plan: "ExecutionPlan") -> list[str]:
+    """Sorted kernel-tier names a plan's GEMM ops resolved to.
+
+    Packed-kernel ops report their registry kernel name;
+    dense-BLAS quantised ops report ``dense_blas``.  The serving benches
+    embed this so recorded throughput always names the tiers behind it.
+    """
+    names = set()
+    for op in plan.ops:
+        kernel = getattr(getattr(op, "strategy", None), "kernel_name", None)
+        if kernel is not None:
+            names.add(kernel)
+    return sorted(names)
 
 
 def trace(module: Module) -> list[OpSpec]:
@@ -105,12 +121,20 @@ def _resolve_strategy(
     if isinstance(backend, ExactMatmul):
         return ExactStrategy(prepared), prepared
     if isinstance(backend, ApproxMatmul):
-        kernel = select_kernel(backend.fmt, backend.config, backend.kernel)
+        # Per-op tier resolution: the router sees this op's (K, N); the
+        # batch dimension is unknown until requests arrive, so it routes
+        # the conservative "general" class.  Deterministic per process
+        # set, so fleet workers rebuilding the plan pick the same tier
+        # (cross-process plan_digest parity).
+        k, n = prepared.shape
+        kernel = route_kernel(
+            backend.fmt, backend.config, backend.kernel, shape=(None, k, n)
+        )
         strategy = PackedKernelStrategy(
             backend.fmt, backend.config, kernel, prepared, k_chunk=backend.k_chunk
         )
     elif isinstance(backend, QuantizedMatmul):
-        if backend.kernel is None:
+        if backend.kernel is None or backend.kernel == "auto":
             return QuantDenseStrategy(backend.fmt, prepared.dense()), prepared
         kernel = select_kernel(backend.fmt, None, backend.kernel)
         strategy = PackedKernelStrategy(backend.fmt, None, kernel, prepared)
@@ -182,16 +206,18 @@ class ExecutionPlan:
                 )
 
     def describe(self) -> list[dict[str, object]]:
-        """One printable row per op (kind, name, strategy)."""
+        """One printable row per op (kind, name, strategy, resolved kernel)."""
         rows = []
         for i, op in enumerate(self.ops):
             strategy = getattr(op, "strategy", None)
+            kernel = getattr(strategy, "kernel_name", None)
             rows.append(
                 {
                     "op": i,
                     "kind": op.kind,
                     "name": op.name,
                     "strategy": type(strategy).__name__ if strategy else "-",
+                    "kernel": kernel or "-",
                 }
             )
         return rows

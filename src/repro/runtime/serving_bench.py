@@ -31,10 +31,11 @@ import time
 
 import numpy as np
 
+from ..core.native import native_status
 from ..nn.models import model_zoo
 from .engine import BatchEngine
 from .fleet import FleetServer, ShedLoadError, resolve_backend, snapshot_model
-from .plan import compile_plan
+from .plan import compile_plan, plan_tiers
 from .server import InferenceServer, run_load
 
 __all__ = ["serving_benchmark", "open_loop_fleet_benchmark"]
@@ -91,6 +92,8 @@ def serving_benchmark(
         "model": model,
         "backend": resolved.name,
         "kernel": kernel or "default",
+        "plan_kernels": plan_tiers(plan),
+        "native_tier": native_status(),
         "plan_ops": len(plan.ops),
         "shards": shards,
         "max_batch": max_batch,
@@ -153,7 +156,7 @@ def open_loop_fleet_benchmark(
         raise ValueError("need at least one model")
 
     # Closed-loop baseline: what one process sustains when clients wait.
-    closed = serving_benchmark(
+    closed_report = serving_benchmark(
         model=models[0],
         backend=backend,
         kernel=kernel,
@@ -163,7 +166,8 @@ def open_loop_fleet_benchmark(
         max_batch=max_batch,
         max_delay_ms=max_delay_ms,
         seed=seed,
-    )["load"]
+    )
+    closed = closed_report["load"]
     closed_rps = closed["samples_per_s"] / request_samples
     offered_rps = rate_rps if rate_rps is not None else closed_rps * rate_multiplier
     if offered_rps <= 0:
@@ -270,6 +274,8 @@ def open_loop_fleet_benchmark(
         "models": models,
         "backend": backend,
         "kernel": kernel or "default",
+        "plan_kernels": closed_report["plan_kernels"],
+        "native_tier": closed_report["native_tier"],
         "workers": workers,
         "request_samples": request_samples,
         "max_batch": max_batch,

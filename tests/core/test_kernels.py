@@ -17,6 +17,7 @@ from repro.core.kernels import (
     BlasFactoredKernel,
     autotune_row_budget,
     default_k_chunk,
+    exact_tier_name,
     factored_tables,
     fused_table,
     get_kernel,
@@ -126,8 +127,12 @@ class TestRegistry:
             get_kernel("no_such_kernel")
 
     def test_default_selection_by_format(self):
-        assert select_kernel(BFLOAT16, PC3_TR).name == "float_table"
+        # The default tier is native when numba is active, else float_table
+        # — exact_tier_name is the single source of truth either way.
+        assert select_kernel(BFLOAT16, PC3_TR).name == exact_tier_name(BFLOAT16)
+        assert exact_tier_name(BFLOAT16) in ("float_table", "float_table_native")
         assert select_kernel(FLOAT32, PC3_TR).name == "generic"
+        assert exact_tier_name(FLOAT32) == "generic"
 
     def test_named_selection_validates_support(self):
         assert select_kernel(BFLOAT16, PC3_TR, "blas_factored").name == "blas_factored"

@@ -1,0 +1,300 @@
+"""Tests for the native compiled gather tier (repro.core.native).
+
+The contract under test: ``float_table_native`` is **byte-identical** to
+``float_table`` — same gather, same scale multiplies, same subnormal
+flush / inf overflow / signed-zero handling, same sequential
+accumulation order — whether the numba JIT is active or the pure-python
+fallback body runs.  Plus the graceful-degradation satellite: without
+numba (or with ``REPRO_DISABLE_NATIVE=1``) the kernel silently delegates
+to ``float_table`` and the introspection surfaces say so.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FLA, PC2_TR, PC3, PC3_TR, all_configs
+from repro.core.kernels import (
+    NativeGatherKernel,
+    default_k_chunk,
+    exact_tier_name,
+    get_kernel,
+    kernel_names,
+    kernel_tiers,
+)
+from repro.core.native import (
+    gather_gemm,
+    native_active,
+    native_available,
+    native_disabled,
+    native_status,
+)
+from repro.formats.floatfmt import BFLOAT16, FLOAT8_E4M3, FLOAT16
+from repro.formats.packed import pack
+
+_NATIVE = get_kernel("float_table_native")
+_TABLE = get_kernel("float_table")
+
+
+def _extreme_operands(rng, shape, zero_frac=0.1):
+    """Finite operands spanning the full bfloat16 exponent range."""
+    exponents = rng.integers(-126, 127, shape).astype(np.float64)
+    values = (rng.standard_normal(shape) * 2.0**exponents).astype(np.float32)
+    values[rng.random(shape) < zero_frac] = 0.0
+    values[rng.random(shape) < zero_frac] = -0.0
+    return values
+
+
+def _assert_native_matches(a, b, fmt, config, k_chunk):
+    pa, pb = pack(a, fmt), pack(b, fmt)
+    want = _TABLE.run(pa, pb, config, k_chunk)
+    got = _NATIVE.run(pa, pb, config, k_chunk)
+    np.testing.assert_array_equal(got.view(np.uint32), want.view(np.uint32))
+    # Exercise the compiled/fallback body directly too, bypassing the
+    # delegation guards, whenever the shape qualifies for it.
+    args = _NATIVE._call_args(pa, pb, config, k_chunk)
+    if args is not None:
+        direct = gather_gemm(*args)
+        np.testing.assert_array_equal(
+            direct.view(np.uint32), want.view(np.uint32)
+        )
+
+
+class TestRegistration:
+    def test_registered_and_bit_exact(self):
+        assert "float_table_native" in kernel_names()
+        assert _NATIVE.bit_exact
+        assert isinstance(_NATIVE, NativeGatherKernel)
+
+    def test_supports_matches_float_table(self):
+        for fmt in (BFLOAT16, FLOAT16, FLOAT8_E4M3):
+            assert _NATIVE.supports(fmt, PC3_TR) == _TABLE.supports(fmt, PC3_TR)
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("config", all_configs(), ids=lambda c: c.name)
+    def test_all_configs_byte_identical(self, config):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((23, 37)).astype(np.float32)
+        b = rng.standard_normal((37, 11)).astype(np.float32)
+        _assert_native_matches(a, b, BFLOAT16, config, k_chunk=7)
+
+    @pytest.mark.parametrize("config", [None, PC3_TR], ids=["exact", "PC3_tr"])
+    def test_exact_products_and_full_k(self, config):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((9, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 5)).astype(np.float32)
+        _assert_native_matches(a, b, BFLOAT16, config, k_chunk=16)
+
+    @pytest.mark.parametrize(
+        "shape,k_chunk",
+        [
+            ((5, 9, 3), 4),  # ragged tail chunk
+            ((8, 17, 2), 5),  # n below the numpy pairwise threshold
+            ((8, 17, 1), 17),  # single output column: must delegate
+            ((96, 17, 4), 17),  # row-blocked
+            ((640, 13, 5), 13),  # float_table takes its transposed path
+        ],
+    )
+    def test_shape_and_chunk_boundaries(self, shape, k_chunk):
+        m, k, n = shape
+        rng = np.random.default_rng(m * k * n)
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        _assert_native_matches(a, b, BFLOAT16, PC3_TR, k_chunk)
+
+    @pytest.mark.parametrize("fmt", [FLOAT16, FLOAT8_E4M3], ids=lambda f: f.name)
+    def test_narrow_formats(self, fmt):
+        # float16/float8 exercise the non-f32-exact branch and the case
+        # where the flush mask applies even on the f32-exact branch.
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((13, 19)).astype(np.float32)
+        b = rng.standard_normal((19, 7)).astype(np.float32)
+        _assert_native_matches(a, b, fmt, PC3, k_chunk=6)
+
+    @pytest.mark.parametrize("config", [FLA, PC2_TR], ids=lambda c: c.name)
+    def test_extreme_operands_specials(self, config):
+        # Full exponent range: subnormal flush, inf overflow, signed
+        # zeros, and inf + -inf accumulation NaNs must all match bits.
+        rng = np.random.default_rng(13)
+        a = _extreme_operands(rng, (17, 23))
+        b = _extreme_operands(rng, (23, 9))
+        with np.errstate(all="ignore"):
+            _assert_native_matches(a, b, BFLOAT16, config, k_chunk=8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 24),
+        k=st.integers(1, 32),
+        n=st.integers(1, 12),
+        k_chunk=st.integers(1, 32),
+        config_i=st.integers(0, len(all_configs()) - 1),
+        seed=st.integers(0, 2**16),
+    )
+    def test_hypothesis_byte_parity(self, m, k, n, k_chunk, config_i, seed):
+        config = all_configs()[config_i]
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        _assert_native_matches(a, b, BFLOAT16, config, min(k_chunk, k))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16), k_chunk=st.integers(1, 16))
+    def test_hypothesis_both_orientations(self, seed, k_chunk):
+        # Tall-skinny (float_table's transposed fast path) and wide-n
+        # orientations of the same operand pool.
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((48, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 3)).astype(np.float32)
+        _assert_native_matches(a, b, BFLOAT16, PC3_TR, k_chunk)
+        _assert_native_matches(
+            np.ascontiguousarray(b.T), np.ascontiguousarray(a.T), BFLOAT16,
+            PC3_TR, k_chunk,
+        )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_batch_engine_sharded_byte_parity(self, shards):
+        from repro.nn.backend import daism_backend
+        from repro.nn.models import model_zoo
+        from repro.runtime import BatchEngine, compile_plan, plan_tiers
+
+        module = model_zoo()["lenet"]
+        module.eval()
+        x = np.random.default_rng(5).standard_normal((16, 1, 16, 16)).astype(
+            np.float32
+        )
+        plan_native = compile_plan(
+            module, daism_backend(PC3_TR, BFLOAT16, kernel="float_table_native")
+        )
+        plan_table = compile_plan(
+            module, daism_backend(PC3_TR, BFLOAT16, kernel="float_table")
+        )
+        assert plan_tiers(plan_native) == ["float_table_native"]
+        got = BatchEngine(plan_native, shards=shards).run(x)
+        want = BatchEngine(plan_table, shards=1).run(x)
+        np.testing.assert_array_equal(got.view(np.uint32), want.view(np.uint32))
+
+
+class TestGracefulDegradation:
+    def test_status_shape(self):
+        status = native_status()
+        assert set(status) >= {
+            "available",
+            "disabled",
+            "active",
+            "backend",
+            "numba_version",
+            "threads",
+        }
+        assert status["active"] == (status["available"] and not status["disabled"])
+        assert status["backend"] in ("numba-njit", "numpy-fallback")
+        assert native_active() == status["active"]
+        assert native_available() == status["available"]
+
+    def test_kernel_tiers_reports_native(self):
+        tiers = kernel_tiers()
+        assert "float_table_native" in tiers["kernels"]
+        assert tiers["exact_tier"] == exact_tier_name(BFLOAT16)
+        assert tiers["native"]["backend"] in ("numba-njit", "numpy-fallback")
+
+    def test_active_backend_property(self):
+        expected = "numba-njit" if native_active() else "numpy-fallback"
+        assert _NATIVE.active_backend == expected
+
+    def test_disable_env_kills_native(self):
+        env = {**os.environ, "REPRO_DISABLE_NATIVE": "1"}
+        env["PYTHONPATH"] = "src"
+        code = (
+            "import json;"
+            "from repro.core.native import native_active, native_disabled, native_status;"
+            "from repro.core.kernels import exact_tier_name;"
+            "from repro.formats.floatfmt import BFLOAT16;"
+            "print(json.dumps({'active': native_active(),"
+            " 'disabled': native_disabled(),"
+            " 'backend': native_status()['backend'],"
+            " 'tier': exact_tier_name(BFLOAT16)}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        got = json.loads(out.stdout)
+        assert got["disabled"] is True
+        assert got["active"] is False
+        assert got["backend"] == "numpy-fallback"
+        assert got["tier"] == "float_table"
+
+    def test_disabled_kernel_still_byte_exact(self, monkeypatch):
+        # With native disabled the kernel must silently delegate — same
+        # bits, no error.
+        monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+        assert native_disabled()
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((6, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        pa, pb = pack(a, BFLOAT16), pack(b, BFLOAT16)
+        got = _NATIVE.run(pa, pb, PC3_TR, 8)
+        want = _TABLE.run(pa, pb, PC3_TR, 8)
+        np.testing.assert_array_equal(got.view(np.uint32), want.view(np.uint32))
+
+
+class TestCrossProcessDigest:
+    def test_plan_digest_parity_with_native_tier(self):
+        # Two fresh processes compiling the same snapshot with the native
+        # tier must agree on the digest — the tier choice is part of it.
+        code = (
+            "from repro.nn.models import model_zoo;"
+            "from repro.runtime import compile_plan, plan_digest, resolve_backend;"
+            "m = model_zoo()['lenet']; m.eval();"
+            "plan = compile_plan(m, resolve_backend('daism', 'float_table_native'));"
+            "print(plan_digest(plan))"
+        )
+        env = {**os.environ, "PYTHONPATH": "src"}
+        digests = [
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        ]
+        assert digests[0] == digests[1]
+        # And the tier is visibly different from the plain table tier.
+        code_table = code.replace("'float_table_native'", "'float_table'")
+        other = subprocess.run(
+            [sys.executable, "-c", code_table],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        assert other != digests[0]
+
+
+class TestCliKernelFlag:
+    def test_unknown_kernel_structured_error(self):
+        env = {**os.environ, "PYTHONPATH": "src"}
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "serve-bench", "--kernel", "bogus",
+             "--json"],
+            capture_output=True, text=True, env=env,
+        )
+        assert out.returncode == 2
+        err = json.loads(out.stderr)
+        assert err["kernel"] == "bogus"
+        assert "float_table_native" in err["registered_kernels"]
+        assert "unknown GEMM kernel" in err["error"]
+
+    def test_unknown_kernel_plain_error(self):
+        env = {**os.environ, "PYTHONPATH": "src"}
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "fleet-bench", "--kernel", "bogus"],
+            capture_output=True, text=True, env=env,
+        )
+        assert out.returncode == 2
+        assert "unknown GEMM kernel" in out.stderr
+        assert "float_table_native" in out.stderr

@@ -16,12 +16,17 @@ GUARD = REPO / "benchmarks" / "perf" / "check_perf_regression.py"
 def quick_report(tmp_path_factory):
     """One --quick harness run shared by the smoke assertions."""
     out = tmp_path_factory.mktemp("perf") / "BENCH_perf.json"
+    cache_dir = tmp_path_factory.mktemp("cache")
     env_src = str(REPO / "src")
     result = subprocess.run(
         [sys.executable, str(HARNESS), "--quick", "--out", str(out)],
         capture_output=True,
         text=True,
-        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONPATH": env_src,
+            "PATH": "/usr/bin:/bin",
+            "REPRO_CACHE_DIR": str(cache_dir),
+        },
         timeout=600,
     )
     assert result.returncode == 0, result.stderr
@@ -30,28 +35,58 @@ def quick_report(tmp_path_factory):
 
 def test_quick_run_writes_valid_artifact(quick_report):
     report, _path = quick_report
-    assert report["schema"] == "repro-perf/4"
+    assert report["schema"] == "repro-perf/5"
     assert report["quick"] is True
 
-    # 1 size x (exact + quantized + 3 kernels x raw/prepared) = 8 rows.
-    assert len(report["matmul"]) == 8
+    # 1 size x (exact + quantized + 6 kernels x raw/prepared) = 14 rows.
+    assert len(report["matmul"]) == 14
     for row in report["matmul"]:
         assert row["ms_per_call"] > 0
         assert row["mmacs_per_s"] > 0
     combos = {(r["backend"], r["kernel"], r["variant"]) for r in report["matmul"]}
     assert ("exact_float32", "-", "raw") in combos
     assert ("quantized_bfloat16", "dense_blas", "raw") in combos
-    for kernel in ("float_table", "uint32_fused", "blas_factored"):
+    for kernel in (
+        "float_table",
+        "float_table_native",
+        "uint32_fused",
+        "blas_factored",
+        "blas_factored_fast",
+        "auto",
+    ):
         assert ("approx_bfloat16_PC3_tr", kernel, "raw") in combos
         assert ("approx_bfloat16_PC3_tr", kernel, "prepared") in combos
 
     tuned = report["autotune"]
-    assert tuned["kernel"] == "float_table"
-    assert str(tuned["chosen_budget"]) in tuned["timings_ms"]
+    assert [row["kernel"] for row in tuned["rows"]] == [
+        "float_table",
+        "float_table_native",
+    ]
+    for row in tuned["rows"]:
+        assert str(row["chosen_budget"]) in row["timings_ms"]
+        assert row["source"] in ("measured", "cache")
+    # A fresh REPRO_CACHE_DIR means both budgets were measured and written.
+    assert tuned["cache"]["misses"] >= 2
+    assert tuned["cache"]["fingerprint"]
+
+    tiers = report["tiers"]
+    # Both fast-tier candidates certified per Table I config (5 x 2).
+    assert len(tiers["certificates"]) == 10
+    assert all(cert["certified"] for cert in tiers["certificates"])
+    assert {cert["kernel"] for cert in tiers["certificates"]} == {
+        "blas_factored",
+        "blas_factored_fast",
+    }
+    assert tiers["autotune_tier"]["source"] == "measured"
+    assert tiers["autotune_tier"]["tier"] in tiers["autotune_tier"]["timings_ms"]
+    # Degradation surface: the artifact records which gather tier ran.
+    assert tiers["status"]["exact_tier"] in ("float_table", "float_table_native")
+    assert tiers["status"]["native"]["backend"] in ("numba-njit", "numpy-fallback")
 
     net = report["network"]
     assert net["model"] == "lenet"
-    assert net["kernel"] == "float_table"
+    # The headline row rides the default (bit-exact) tier of the machine.
+    assert net["kernel"] in ("float_table", "float_table_native")
     assert net["runtime"] == "compiled_plan"
     assert net["samples"] == 32
     assert net["ms_total"] > 0
@@ -66,9 +101,16 @@ def test_quick_run_writes_valid_artifact(quick_report):
     # The plan packs conv images, not K*K-redundant patch matrices.
     assert net["steady_state_elements_packed"] < net["eager_elements_packed"]
     by_kernel = {row["kernel"]: row for row in net["kernels"]}
-    assert {"uint32_fused", "blas_factored"} <= set(by_kernel)
+    assert {"uint32_fused", "blas_factored", "blas_factored_fast"} <= set(by_kernel)
     # uint32_fused computes identical bits, so identical predictions.
     assert by_kernel["uint32_fused"]["accuracy_matches_default"] is True
+
+    # The LUT-vs-BLAS headline: router-enabled plan vs dense BLAS plan.
+    assert net["routed"]["kernel"] == "auto"
+    assert net["routed"]["plan_kernels"]
+    assert net["routed"]["ms_per_sample"] > 0
+    assert net["quantized_dense"]["plan_kernels"] == ["dense_blas"]
+    assert net["routed_vs_dense_blas_x"] > 0
 
     serving = report["serving"]
     assert serving["model"] == "lenet"
@@ -150,6 +192,7 @@ def _write_report(
     samples_per_s: float | None = None,
     goodput: float | None = None,
     dropped: int = 0,
+    routed_ratio: float | None = None,
 ) -> pathlib.Path:
     rows = [
         {
@@ -176,9 +219,11 @@ def _write_report(
                 "mmacs_per_s": exact_mmacs,
             }
         )
-    report: dict = {"schema": "repro-perf/4", "matmul": rows}
+    report: dict = {"schema": "repro-perf/5", "matmul": rows}
     if samples_per_s is not None:
         report["serving"] = {"model": "lenet", "load": {"samples_per_s": samples_per_s}}
+    if routed_ratio is not None:
+        report["network"] = {"routed_vs_dense_blas_x": routed_ratio}
     if goodput is not None:
         report["fleet"] = {
             "models": ["lenet"],
@@ -222,6 +267,53 @@ class TestRegressionGuard:
             "--fresh", str(fresh), "--baseline", str(base), "--absolute"
         )
         assert result.returncode == 1
+
+    def test_routed_ratio_within_ceiling_passes(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, routed_ratio=2.1)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "routed lenet vs quantized dense_blas" in result.stdout
+
+    def test_routed_ratio_above_ceiling_fails(self, tmp_path):
+        """The LUT-vs-BLAS acceptance gap is an absolute ceiling, no baseline."""
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, routed_ratio=3.4)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+        # The flag tunes the ceiling.
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--routed-max-ratio", "4.0",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_routed_ratio_skipped_when_absent(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "skipping routed-ratio check" in result.stdout
+
+    def test_kernel_flag_accepts_comma_list(self, tmp_path):
+        # A list naming only an absent kernel leaves no matmul rows to
+        # join; with no other sections that means nothing comparable.
+        fresh = _write_report(tmp_path / "fresh.json", 60.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--kernel", "float_table_native,blas_factored",
+        )
+        assert result.returncode == 1
+        assert "no comparable" in result.stdout
+        # Naming the present kernel in the list restores the (failing) join.
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--kernel", "float_table,float_table_native",
+        )
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
 
     def test_fails_when_nothing_comparable(self, tmp_path):
         fresh = _write_report(tmp_path / "fresh.json", 100.0)
