@@ -25,8 +25,14 @@ def trained_suite():
     from repro.nn.train import train
 
     data = shapes_dataset(n_train=640, n_test=256, size=16, seed=0)
+    zoo = model_zoo()
     models = {}
-    for name, model in model_zoo().items():
+    # The Fig. 4 accuracy study covers the three CNNs trainable on the
+    # 16x16 shapes dataset; the scenario models (mobilenet_edge,
+    # transformer_encoder) are inference-only workloads with different
+    # input geometry and are benchmarked in the perf harness instead.
+    for name in ("lenet", "vgg_small", "mini_resnet"):
+        model = zoo[name]
         train(model, data, epochs=16, batch_size=32, lr=0.04, seed=0)
         models[name] = model
     return models, data

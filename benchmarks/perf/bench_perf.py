@@ -31,6 +31,13 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
   plan rows close the LUT-vs-BLAS loop: the **router-enabled** plan
   (``kernel="auto"``) and the quantised **dense-BLAS** plan, with their
   ratio (``routed_vs_dense_blas_x``) the artifact CI guards;
+* **scenario workloads** (schema v6): compiled-plan inference latency
+  for the two co-sim-only models — the grouped/depthwise
+  ``mobilenet_edge`` stack and the ``transformer_encoder`` block
+  (approximate attention) — under the DAISM backend, with the plan
+  logits asserted byte-identical to eager before the row is recorded
+  (``check_perf_regression.py --scenario-max-regression`` guards the
+  per-sample latency);
 * **serving throughput**: the micro-batching inference server under
   closed-loop load (``repro.runtime.serving_bench``), reporting
   p50/p99 latency and samples/sec;
@@ -64,7 +71,16 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-perf/5"
+SCHEMA = "repro-perf/6"
+
+#: Scenario-model input geometry for the perf rows.  Reduced from the
+#: canonical sizes (mobilenet_edge is fully convolutional, the
+#: transformer takes any sequence length) so the quick CI run stays
+#: cheap while exercising every layer kind.
+SCENARIO_INPUTS = {
+    "mobilenet_edge": (3, 48, 48),
+    "transformer_encoder": (8, 256),
+}
 
 #: DAISM kernels timed per size ("auto" = the certified tier router).
 #: Explicit names, so rows join stably against the committed baseline
@@ -372,6 +388,75 @@ def network_latency(quick: bool) -> dict:
     return report
 
 
+def scenario_rows(quick: bool) -> list[dict]:
+    """Compiled-plan latency for the co-sim scenario workloads.
+
+    One row per :data:`SCENARIO_INPUTS` model under the default DAISM
+    backend: the grouped/depthwise MobileNet-edge stack (per-group
+    packed-gather GEMMs) and the transformer encoder (approximate
+    attention, LayerNorm, softmax).  Each row's logits are asserted
+    byte-identical to the eager pass before the timing is recorded, so
+    a row in the artifact is also a parity proof for the machine that
+    generated it.
+    """
+    from repro.core.config import PC3_TR
+    from repro.formats.floatfmt import BFLOAT16
+    from repro.nn.backend import daism_backend, use_backend
+    from repro.nn.models import model_zoo
+    from repro.runtime import BatchEngine, compile_plan
+
+    samples = 8 if quick else 16
+    batch_size = 8 if quick else 16
+    reps = 1 if quick else 3
+    rng = np.random.default_rng(0)
+    backend = daism_backend(PC3_TR, BFLOAT16)
+    rows: list[dict] = []
+    for model, shape in SCENARIO_INPUTS.items():
+        module = model_zoo()[model]
+        module.eval()
+        x = rng.standard_normal((samples, *shape)).astype(np.float32)
+        plan = compile_plan(module, backend)
+        engine = BatchEngine(plan, shards=1)
+
+        def plan_pass() -> np.ndarray:
+            return np.concatenate(
+                [engine.run(x[i : i + batch_size]) for i in range(0, samples, batch_size)]
+            )
+
+        plan_pass()  # warm: value tables + prepared weights
+        t0 = time.perf_counter()
+        logits = plan_pass()
+        seconds = time.perf_counter() - t0
+        for _ in range(reps - 1):
+            t0 = time.perf_counter()
+            plan_pass()
+            seconds = min(seconds, time.perf_counter() - t0)
+
+        with use_backend(backend):
+            eager = np.concatenate(
+                [module(x[i : i + batch_size]) for i in range(0, samples, batch_size)]
+            )
+        logits_match = bool(
+            np.array_equal(logits.view(np.uint32), eager.view(np.uint32))
+        )
+        assert logits_match, f"{model}: plan logits diverged from eager"
+        rows.append(
+            {
+                "model": model,
+                "backend": backend.name,
+                "kernel": "default",
+                "input_shape": list(shape),
+                "samples": samples,
+                "batch_size": batch_size,
+                "plan_ops": len(plan.ops),
+                "ms_total": round(seconds * 1e3, 2),
+                "ms_per_sample": round(seconds * 1e3 / samples, 3),
+                "logits_match_eager": logits_match,
+            }
+        )
+    return rows
+
+
 def serving_rows(quick: bool) -> dict:
     """Micro-batching server under closed-loop load (the runtime path)."""
     from repro.runtime.serving_bench import serving_benchmark
@@ -474,6 +559,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "tiers": tier_rows(quick),
         "matmul": matmul_rows(quick),
         "network": network_latency(quick),
+        "scenario": scenario_rows(quick),
         "serving": serving_rows(quick),
         "fleet": fleet_rows(quick),
         "fault_sweep": fault_sweep(quick),
@@ -541,6 +627,13 @@ def main() -> None:
         f" {net['quantized_dense']['ms_per_sample']} ms/sample"
         f" -> {net['routed_vs_dense_blas_x']}x"
     )
+    for srow in report["scenario"]:
+        print(
+            f"  scenario {srow['model']}/{srow['backend']}:"
+            f" {srow['ms_total']} ms for {srow['samples']} samples"
+            f" ({srow['ms_per_sample']} ms/sample, {srow['plan_ops']} plan ops,"
+            f" logits_match_eager={srow['logits_match_eager']})"
+        )
     serve = report["serving"]["load"]
     print(
         f"  serving lenet/{report['serving']['backend']}:"

@@ -38,6 +38,15 @@ normalised by the same machine-speed proxy) under
 ``--fleet-max-regression``, and fails outright if the fresh report
 shows any accepted-then-dropped request.
 
+Schema ``repro-perf/6`` adds a ``scenario`` section: compiled-plan
+ms/sample for the co-sim scenario workloads (``mobilenet_edge``,
+``transformer_encoder``) under the DAISM backend.  Rows join on
+``(model, backend, kernel)``; per-sample throughput is normalised by
+the same machine-speed proxy as the serving check and guarded under
+``--scenario-max-regression``.  A fresh scenario row whose
+``logits_match_eager`` flag is false regresses unconditionally —
+plan/eager parity is part of the contract, not a latency number.
+
 Schema ``repro-perf/5`` adds the routed-network headline
 ``network.routed_vs_dense_blas_x`` — the tier-routed approximate LeNet
 ms/sample as a multiple of the quantised ``dense_blas`` LeNet pass in
@@ -249,6 +258,67 @@ def compare_fleet(
     return record, fresh_score < floor or dropped > 0
 
 
+def _machine_proxy(report: dict) -> float | None:
+    """Smallest-shape ``exact_float32`` raw matmul MMACs/s, or ``None``."""
+    refs = [
+        row
+        for row in report.get("matmul", [])
+        if row["backend"] == REFERENCE_BACKEND and row["variant"] == "raw"
+    ]
+    if not refs:
+        return None
+    ref = min(refs, key=lambda r: r["m"] * r["k"] * r["n"])
+    return ref["mmacs_per_s"]
+
+
+def compare_scenarios(
+    fresh: dict, baseline: dict, max_regression: float
+) -> tuple[list[dict], list[dict]]:
+    """Join scenario rows on ``(model, backend, kernel)`` → (checked, regressed).
+
+    The score is per-sample throughput (``1000 / ms_per_sample``),
+    normalised by the machine-speed proxy when both reports carry one —
+    mirroring :func:`compare_serving`.  Quick and full grids use
+    different sample counts but ``ms_per_sample`` is comparable across
+    them.  A fresh row with ``logits_match_eager`` false regresses
+    regardless of its latency.  Reports without the section (schema < 6)
+    yield ``([], [])``.
+    """
+    base_rows = {
+        (r["model"], r["backend"], r.get("kernel", "default")): r
+        for r in baseline.get("scenario", [])
+    }
+    fresh_ref = _machine_proxy(fresh)
+    base_ref = _machine_proxy(baseline)
+    checked: list[dict] = []
+    regressed: list[dict] = []
+    for row in fresh.get("scenario", []):
+        base = base_rows.get((row["model"], row["backend"], row.get("kernel", "default")))
+        if base is None:
+            continue
+        parity_ok = bool(row.get("logits_match_eager", True))
+        fresh_score = 1e3 / row["ms_per_sample"] if row["ms_per_sample"] else 0.0
+        base_score = 1e3 / base["ms_per_sample"] if base["ms_per_sample"] else 0.0
+        unit = "samples/s"
+        if fresh_ref and base_ref:
+            fresh_score /= fresh_ref
+            base_score /= base_ref
+            unit = "samples/s per exact MMACs/s"
+        floor = base_score * (1.0 - max_regression)
+        record = {
+            "key": f"scenario {row['model']}/{row['backend']}"
+            + ("" if parity_ok else " [logits DIVERGED from eager]"),
+            "unit": unit,
+            "baseline_score": base_score,
+            "fresh_score": fresh_score,
+            "floor": floor,
+        }
+        checked.append(record)
+        if fresh_score < floor or not parity_ok:
+            regressed.append(record)
+    return checked, regressed
+
+
 def check_routed_ratio(fresh: dict, max_ratio: float) -> tuple[dict | None, bool]:
     """Guard the routed-vs-dense headline; returns ``(record, regressed)``.
 
@@ -322,6 +392,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--scenario-max-regression",
+        type=float,
+        default=0.5,
+        help=(
+            "allowed fractional drop of normalised scenario-workload "
+            "throughput (schema >= 6; default 0.5 — whole-network rows "
+            "are noisier than kernel rows); a row whose logits diverged "
+            "from eager fails regardless"
+        ),
+    )
+    parser.add_argument(
         "--fleet-max-regression",
         type=float,
         default=0.25,
@@ -368,6 +449,14 @@ def main(argv: list[str] | None = None) -> int:
             regressed.append(fleet_record)
     else:
         print("perf guard: no comparable fleet section; skipping fleet check")
+    scenario_checked, scenario_regressed = compare_scenarios(
+        fresh, baseline, args.scenario_max_regression
+    )
+    if scenario_checked:
+        checked.extend(scenario_checked)
+        regressed.extend(scenario_regressed)
+    else:
+        print("perf guard: no comparable scenario section; skipping scenario check")
     routed_record, routed_regressed = check_routed_ratio(
         fresh, args.routed_max_ratio
     )

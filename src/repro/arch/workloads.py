@@ -25,6 +25,8 @@ __all__ = [
     "mobilenet_edge_layers",
     "resnet_mini_layers",
     "transformer_block_layers",
+    "mobilenet_edge_nn_layers",
+    "transformer_encoder_nn_layers",
     "workload_by_name",
     "workload_names",
 ]
@@ -238,6 +240,33 @@ def transformer_block_layers(d_model: int = 256, seq_len: int = 64) -> list[Conv
     ]
 
 
+def mobilenet_edge_nn_layers() -> list[ConvLayer]:
+    """MobileNet-edge shapes derived from the *executable* ``nn`` model.
+
+    Traces :func:`repro.nn.models.build_mobilenet_edge` through
+    :func:`repro.runtime.plan.conv_workload` — the sync test pins this
+    equal to the hand-registered :func:`mobilenet_edge_layers`, so the
+    co-sim sweeps and the running software share one shape source.
+    """
+    from ..nn.models import build_mobilenet_edge  # deferred: nn imports arch-free
+    from ..runtime.plan import conv_workload  # deferred: runtime imports arch
+
+    return conv_workload(build_mobilenet_edge(), (3, 96, 96), include_fc=False)
+
+
+def transformer_encoder_nn_layers() -> list[ConvLayer]:
+    """Transformer-block shapes derived from the *executable* ``nn`` model.
+
+    Traces :func:`repro.nn.models.build_transformer_encoder` (attention
+    contributes its QKV/output projections; the MLP its two FCs) and is
+    pinned equal to :func:`transformer_block_layers` by the sync test.
+    """
+    from ..nn.models import build_transformer_encoder
+    from ..runtime.plan import conv_workload
+
+    return conv_workload(build_transformer_encoder(), (256, 64, 1), include_fc=True)
+
+
 #: Name -> layer-list factory; the string space the experiment engine
 #: sweeps (sweep-point parameters must stay JSON-serialisable).
 _WORKLOADS = {
@@ -248,6 +277,8 @@ _WORKLOADS = {
     "resnet_mini": resnet_mini_layers,
     "mobilenet_edge": mobilenet_edge_layers,
     "transformer_block": transformer_block_layers,
+    "mobilenet_edge_nn": mobilenet_edge_nn_layers,
+    "transformer_encoder_nn": transformer_encoder_nn_layers,
 }
 
 

@@ -176,11 +176,22 @@ register(
             "Eyeriss baseline: cycles, ms/image, energy, area and the "
             "cycle ratio, across edge CNNs (LeNet, MobileNet-style "
             "depthwise), VGG-8 and a transformer block, at batch 1 and "
-            "batch 64 (the paper's amortisation lever)."
+            "batch 64 (the paper's amortisation lever). The *_nn "
+            "workloads are the same MobileNet-edge/transformer shapes "
+            "traced from the executable nn models instead of the "
+            "hand-registered tables (pinned equal by the sync tests)."
         ),
         run=network_latency_point,
         space={
-            "network": ("lenet", "mobilenet_edge", "resnet_mini", "vgg8", "transformer_block"),
+            "network": (
+                "lenet",
+                "mobilenet_edge",
+                "mobilenet_edge_nn",
+                "resnet_mini",
+                "vgg8",
+                "transformer_block",
+                "transformer_encoder_nn",
+            ),
             "batch": (1, 64),
         },
         defaults={"banks": 16, "bank_kb": 32},

@@ -91,6 +91,18 @@ def packed_speedup_point(params: dict) -> list[dict]:
     ]
 
 
+#: Representative GEMM shapes per scenario workload, swept by
+#: ``kernel_speedup``: LeNet-class (the historical default probe), the
+#: MobileNet-edge ``pw2`` pointwise conv (``oh*ow x C_in x C_out`` after
+#: im2col at 24x24), and the transformer block's QKV projection
+#: (``seq x d_model x 3*d_model``).
+_WORKLOAD_GEMMS = {
+    "lenet": (96, 64, 32),
+    "mobilenet_edge": (576, 64, 128),
+    "transformer_block": (64, 256, 768),
+}
+
+
 def kernel_speedup_point(params: dict) -> list[dict]:
     """Per-kernel parity rows for one GEMM shape and multiplier config.
 
@@ -117,7 +129,19 @@ def kernel_speedup_point(params: dict) -> list[dict]:
 
     fmt = format_by_name(params["fmt"])
     config = MultiplierConfig.from_name(params["config"])
-    m, k, n = params["m"], params["k"], params["n"]
+    workload = params.get("workload")
+    if workload is not None and workload != "custom":
+        try:
+            m, k, n = _WORKLOAD_GEMMS[workload]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload {workload!r}; known: "
+                f"{', '.join(sorted(_WORKLOAD_GEMMS))}, custom (use m/k/n)"
+            ) from None
+    else:
+        # ``--set workload=custom`` pins the sweep axis to one point and
+        # hands shape control back to the m/k/n parameters.
+        m, k, n = params["m"], params["k"], params["n"]
     rng = np.random.default_rng(params["seed"])
     pa = pack(rng.standard_normal((m, k)).astype(np.float32), fmt)
     pb = pack(rng.standard_normal((k, n)).astype(np.float32), fmt)
@@ -141,6 +165,8 @@ def kernel_speedup_point(params: dict) -> list[dict]:
         )
         max_rel = float(np.abs(got - want).max() / norm)
         row = {
+            "workload": workload or "custom",
+            "gemm": f"{m}x{k}x{n}",
             "kernel": name,
             "bit_exact contract": "yes" if kernel.bit_exact else "no (tolerance)",
             "byte-identical to default": "yes" if byte_identical else "no",
@@ -341,14 +367,19 @@ register(
             "generic pipelines: byte-identity to the bit-exact default, "
             "maximum relative deviation of the tolerance path, correction "
             "rank/residual, and proof that warm kernels never rebuild "
-            "their tables. Wall-clock speedups are recorded per kernel in "
-            "BENCH_perf.json by benchmarks/perf."
+            "their tables, across representative GEMM shapes from the "
+            "LeNet-class probe, the MobileNet-edge pointwise conv and the "
+            "transformer QKV projection. Wall-clock speedups are recorded "
+            "per kernel in BENCH_perf.json by benchmarks/perf."
         ),
         run=kernel_speedup_point,
-        space={"config": ("PC3_tr", "FLA")},
+        space={
+            "config": ("PC3_tr", "FLA"),
+            "workload": ("lenet", "mobilenet_edge", "transformer_block"),
+        },
         defaults={"fmt": "bfloat16", "m": 96, "k": 64, "n": 32, "seed": 0},
         tags=("extension", "core", "perf"),
-        est_seconds=2.0,
+        est_seconds=4.0,
     )
 )
 

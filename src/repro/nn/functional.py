@@ -18,11 +18,20 @@ __all__ = [
     "col2im",
     "conv2d_forward",
     "conv2d_backward",
+    "grouped_conv2d_forward",
+    "grouped_conv2d_backward",
     "maxpool2d_forward",
     "maxpool2d_backward",
     "avgpool_global_forward",
     "avgpool_global_backward",
+    "layernorm_forward",
+    "layernorm_backward",
     "softmax",
+    "softmax_backward",
+    "split_heads",
+    "merge_heads",
+    "attention_core",
+    "attention_core_backward",
     "cross_entropy",
     "cross_entropy_grad",
 ]
@@ -146,6 +155,95 @@ def conv2d_backward(
     return dx.astype(np.float32), dweight.astype(np.float32), dbias.astype(np.float32)
 
 
+def grouped_conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    groups: int,
+    backend: MatmulBackend | None = None,
+    prepared_weights=None,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Grouped/depthwise convolution: one batched GEMM per channel group.
+
+    ``weight`` has shape ``(F, C // groups, K, K)``: input channel group
+    ``g`` only meets filters ``[g*F/G, (g+1)*F/G)``.  Each group runs the
+    same im2col GEMM as :func:`conv2d_forward` on its channel slice, and
+    the per-group outputs are concatenated along the filter axis —
+    exactly the block-diagonal structure of the dense kernel matrix, so
+    ``groups=1`` degenerates to the dense path.  ``prepared_weights`` is
+    an optional sequence of backend-prepared per-group ``(C/G*K*K, F/G)``
+    matrices (the layers cache these).  Returns ``(output, cols_cache)``
+    with one patch matrix per group for the backward pass.
+    """
+    backend = backend or default_backend()
+    n, c, h, w = x.shape
+    f, cg, kernel, _ = weight.shape
+    if c != cg * groups or f % groups:
+        raise ValueError(
+            f"grouped conv shape mismatch: input {c} channels, weight "
+            f"{cg} channels/group x {groups} groups, {f} filters"
+        )
+    fg = f // groups
+    oh = _out_size(h, kernel, stride, padding)
+    ow = _out_size(w, kernel, stride, padding)
+
+    cols_cache: list[np.ndarray] = []
+    outs: list[np.ndarray] = []
+    for g in range(groups):
+        cols = im2col(x[:, g * cg : (g + 1) * cg], kernel, stride, padding)
+        if prepared_weights is not None:
+            wmat = prepared_weights[g]
+        else:
+            wmat = weight[g * fg : (g + 1) * fg].reshape(fg, -1).T
+        outs.append(backend.matmul(cols.reshape(n, oh * ow, -1), wmat))
+        cols_cache.append(cols)
+    out = np.concatenate(outs, axis=2)
+    if bias is not None:
+        out = out + bias[None, None, :]
+    out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+    return np.ascontiguousarray(out, dtype=np.float32), cols_cache
+
+
+def grouped_conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    cols_cache: list[np.ndarray],
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+    groups: int,
+    backend: MatmulBackend | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of the grouped convolution: ``(dx, dweight, dbias)``.
+
+    Each group's backward is the dense :func:`conv2d_backward` pair of
+    GEMMs on that group's slice of the gradient and patch cache.
+    """
+    backend = backend or default_backend()
+    f, cg, kernel, _ = weight.shape
+    n, c, h, w = x_shape
+    fg = f // groups
+    grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, f)  # (N*OH*OW, F)
+
+    dbias = grad_mat.sum(axis=0)
+    dweight = np.empty_like(weight)
+    dx_groups: list[np.ndarray] = []
+    group_shape = (n, cg, h, w)
+    for g in range(groups):
+        grad_g = np.ascontiguousarray(grad_mat[:, g * fg : (g + 1) * fg])
+        cols = cols_cache[g]
+        dweight[g * fg : (g + 1) * fg] = backend.matmul(grad_g.T, cols).reshape(
+            fg, cg, kernel, kernel
+        )
+        wrows = weight[g * fg : (g + 1) * fg].reshape(fg, -1)
+        dcols = backend.matmul(grad_g, wrows)
+        dx_groups.append(col2im(dcols, group_shape, kernel, stride, padding))
+    dx = np.concatenate(dx_groups, axis=1)
+    return dx.astype(np.float32), dweight.astype(np.float32), dbias.astype(np.float32)
+
+
 def maxpool2d_forward(x: np.ndarray, size: int) -> tuple[np.ndarray, np.ndarray]:
     """Non-overlapping max pooling.  Returns ``(output, argmax_cache)``."""
     n, c, h, w = x.shape
@@ -183,11 +281,142 @@ def avgpool_global_backward(grad_out: np.ndarray, x_shape: tuple[int, int, int, 
     return np.broadcast_to(grad_out[:, :, None, None] * scale, x_shape).astype(np.float32)
 
 
+def layernorm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float
+) -> tuple[np.ndarray, tuple]:
+    """Layer normalisation over the last axis.  Returns ``(out, cache)``.
+
+    Normalises every feature vector to zero mean / unit variance and
+    applies the affine ``gamma * x_hat + beta``.  Both the eager layer
+    and the compiled plan op call this one function, so the two regimes
+    are byte-identical by construction.
+    """
+    mean = x.mean(axis=-1, keepdims=True, dtype=np.float32)
+    var = x.var(axis=-1, keepdims=True, dtype=np.float32)
+    inv_std = (1.0 / np.sqrt(var + np.float32(eps))).astype(np.float32)
+    x_hat = ((x - mean) * inv_std).astype(np.float32)
+    out = (gamma * x_hat + beta).astype(np.float32)
+    return out, (x_hat, inv_std)
+
+
+def layernorm_backward(
+    grad: np.ndarray, gamma: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of :func:`layernorm_forward`: ``(dx, dgamma, dbeta)``."""
+    x_hat, inv_std = cache
+    d = x_hat.shape[-1]
+    axes = tuple(range(x_hat.ndim - 1))
+    dgamma = (grad * x_hat).sum(axis=axes)
+    dbeta = grad.sum(axis=axes)
+    g = grad * gamma
+    sum_g = g.sum(axis=-1, keepdims=True)
+    sum_gx = (g * x_hat).sum(axis=-1, keepdims=True)
+    dx = (inv_std / d) * (d * g - sum_g - x_hat * sum_gx)
+    return dx.astype(np.float32), dgamma.astype(np.float32), dbeta.astype(np.float32)
+
+
 def softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax (numerically stabilised)."""
-    shifted = logits - logits.max(axis=1, keepdims=True)
+    """Softmax over the **last** axis (numerically stabilised).
+
+    Max-subtraction keeps ``exp`` in range even at the top of the
+    bfloat16 dynamic range (~3e38), where the naive form overflows to
+    ``inf/inf``.  Works on any rank: classifier logits ``(N, C)`` and
+    batched attention scores ``(B, H, T, T)`` alike normalise their
+    trailing axis.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_backward(grad: np.ndarray, probs: np.ndarray) -> np.ndarray:
+    """Gradient through :func:`softmax` given its output ``probs``."""
+    inner = (grad * probs).sum(axis=-1, keepdims=True)
+    return (probs * (grad - inner)).astype(np.float32)
+
+
+def split_heads(x: np.ndarray, heads: int) -> np.ndarray:
+    """``(N, T, D) -> (N, H, T, D/H)`` — per-head view of a projection."""
+    n, t, d = x.shape
+    if d % heads:
+        raise ValueError(f"model dim {d} not divisible by {heads} heads")
+    return np.ascontiguousarray(x.reshape(n, t, heads, d // heads).transpose(0, 2, 1, 3))
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """``(N, H, T, D/H) -> (N, T, D)`` — inverse of :func:`split_heads`."""
+    n, h, t, dh = x.shape
+    return np.ascontiguousarray(x.transpose(0, 2, 1, 3).reshape(n, t, h * dh))
+
+
+def attention_core(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    backend: MatmulBackend | None = None,
+    scale: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scaled dot-product attention with both products on the backend.
+
+    ``q``/``k``/``v`` are ``(N, H, T, Dh)``.  Unlike the weight GEMMs,
+    ``Q K^T`` and ``A V`` multiply two *activations* — there is no static
+    operand to pre-pack, so each (sample, head) pair runs as its own
+    2-D ``backend.matmul`` (on the accelerator these are the products
+    DAISM must stream both operands for).  Per-pair products keep
+    samples independent, which is what makes attention shard-safe: the
+    GEMM shapes (and hence the packed kernels' K-chunk choices) depend
+    only on ``(T, Dh)``, never on the batch size.
+
+    Returns ``(context, probs)`` with ``context`` ``(N, H, T, Dh)`` and
+    the post-softmax attention weights ``probs`` ``(N, H, T, T)``.
+    Shared by the eager layer and the compiled plan op, so the two
+    regimes are byte-identical by construction.
+    """
+    backend = backend or default_backend()
+    n, h, t, dh = q.shape
+    if scale is None:
+        scale = 1.0 / np.sqrt(dh)
+    scale = np.float32(scale)
+    probs = np.empty((n, h, t, t), dtype=np.float32)
+    context = np.empty((n, h, t, dh), dtype=np.float32)
+    for i in range(n):
+        for j in range(h):
+            kt = np.ascontiguousarray(k[i, j].T)
+            scores = (backend.matmul(q[i, j], kt) * scale).astype(np.float32)
+            p = softmax(scores).astype(np.float32)
+            probs[i, j] = p
+            context[i, j] = backend.matmul(p, v[i, j])
+    return context, probs
+
+
+def attention_core_backward(
+    grad: np.ndarray,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    probs: np.ndarray,
+    backend: MatmulBackend | None = None,
+    scale: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of :func:`attention_core`: ``(dq, dk, dv)``."""
+    backend = backend or default_backend()
+    n, h, t, dh = q.shape
+    if scale is None:
+        scale = 1.0 / np.sqrt(dh)
+    scale = np.float32(scale)
+    dq = np.empty_like(q)
+    dk = np.empty_like(k)
+    dv = np.empty_like(v)
+    for i in range(n):
+        for j in range(h):
+            p = probs[i, j]
+            g = grad[i, j]
+            dv[i, j] = backend.matmul(np.ascontiguousarray(p.T), g)
+            dp = backend.matmul(g, np.ascontiguousarray(v[i, j].T))
+            ds = softmax_backward(dp, p) * scale
+            dq[i, j] = backend.matmul(ds, k[i, j])
+            dk[i, j] = backend.matmul(np.ascontiguousarray(ds.T), q[i, j])
+    return dq, dk, dv
 
 
 def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:

@@ -25,6 +25,9 @@ __all__ = [
     "MaxPool2d",
     "GlobalAvgPool",
     "BatchNorm2d",
+    "LayerNorm",
+    "Softmax",
+    "MultiHeadAttention",
     "Dropout",
     "Flatten",
     "Sequential",
@@ -153,7 +156,13 @@ class _PreparedWeightCache:
         hit = self._entries.get(key)
         if hit is not None and hit[0] == param.version:
             return hit[1]
-        prepared = backend.prepare(build())
+        built = build()
+        if isinstance(built, (list, tuple)):
+            # Grouped layers prepare one operand per channel group under
+            # a single cache entry, invalidated together.
+            prepared = tuple(backend.prepare(b) for b in built)
+        else:
+            prepared = backend.prepare(built)
         if key not in self._entries and len(self._entries) >= self._MAX_ENTRIES:
             self._entries.pop(next(iter(self._entries)))  # FIFO, evict one
         self._entries[key] = (param.version, prepared)
@@ -161,7 +170,14 @@ class _PreparedWeightCache:
 
 
 class Conv2d(Module):
-    """2-D convolution via the backend GEMM (He initialisation)."""
+    """2-D convolution via the backend GEMM (He initialisation).
+
+    ``groups > 1`` makes it a grouped convolution (``groups ==
+    in_channels == out_channels`` is depthwise): the weight holds
+    ``in_channels // groups`` channels per filter and the forward runs
+    one batched approximate GEMM per group, each group's weight matrix
+    prepared (packed) once and cached like the dense path.
+    """
 
     def __init__(
         self,
@@ -171,45 +187,72 @@ class Conv2d(Module):
         stride: int = 1,
         padding: int = 1,
         bias: bool = True,
+        groups: int = 1,
+        label: str | None = None,
         backend: MatmulBackend | None = None,
         rng: np.random.Generator | None = None,
     ):
+        if groups < 1 or in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"groups={groups} must divide in_channels={in_channels} "
+                f"and out_channels={out_channels}"
+            )
         rng = rng or np.random.default_rng(0)
-        fan_in = in_channels * kernel * kernel
+        fan_in = (in_channels // groups) * kernel * kernel
         self.weight = Parameter(
-            _he_init(rng, (out_channels, in_channels, kernel, kernel), fan_in), "conv.weight"
+            _he_init(rng, (out_channels, in_channels // groups, kernel, kernel), fan_in),
+            "conv.weight",
         )
         self.bias = Parameter(np.zeros(out_channels), "conv.bias") if bias else None
         self.stride = stride
         self.padding = padding
+        self.groups = groups
+        self.label = label
         self.backend = backend
         self._cache: tuple | None = None
         self._prepared = _PreparedWeightCache()
 
     def to_plan_op(self):
-        """Conv spec: channel/kernel/stride/padding geometry."""
-        out_channels, in_channels, kernel, _ = self.weight.data.shape
+        """Conv spec: channel/kernel/stride/padding/group geometry."""
+        out_channels, channels_per_group, kernel, _ = self.weight.data.shape
         return _plan_spec(
             "conv2d",
             self,
-            in_channels=in_channels,
+            in_channels=channels_per_group * self.groups,
             out_channels=out_channels,
             kernel=kernel,
             stride=self.stride,
             padding=self.padding,
+            groups=self.groups,
+            label=self.label,
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         backend = self.backend or default_backend()
         f = self.weight.data.shape[0]
-        wmat = self._prepared.get(
-            backend, self.weight, "fwd", lambda: self.weight.data.reshape(f, -1).T
+        if self.groups == 1:
+            wmat = self._prepared.get(
+                backend, self.weight, "fwd", lambda: self.weight.data.reshape(f, -1).T
+            )
+            out, cols = F.conv2d_forward(
+                x, self.weight.data, self.bias.data if self.bias else None,
+                self.stride, self.padding, backend, prepared_weight=wmat,
+            )
+            self._cache = (x.shape, cols)
+            return out
+        fg = f // self.groups
+        wmats = self._prepared.get(
+            backend, self.weight, "fwd",
+            lambda: [
+                np.ascontiguousarray(self.weight.data[g * fg : (g + 1) * fg].reshape(fg, -1).T)
+                for g in range(self.groups)
+            ],
         )
-        out, cols = F.conv2d_forward(
+        out, cols_cache = F.grouped_conv2d_forward(
             x, self.weight.data, self.bias.data if self.bias else None,
-            self.stride, self.padding, backend, prepared_weight=wmat,
+            self.stride, self.padding, self.groups, backend, prepared_weights=wmats,
         )
-        self._cache = (x.shape, cols)
+        self._cache = (x.shape, cols_cache)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -217,14 +260,20 @@ class Conv2d(Module):
             raise RuntimeError("backward called before forward")
         backend = self.backend or default_backend()
         x_shape, cols = self._cache
-        f = self.weight.data.shape[0]
-        wrows = self._prepared.get(
-            backend, self.weight, "bwd", lambda: self.weight.data.reshape(f, -1)
-        )
-        dx, dw, db = F.conv2d_backward(
-            grad, x_shape, cols, self.weight.data, self.stride, self.padding, backend,
-            prepared_weight=wrows,
-        )
+        if self.groups > 1:
+            dx, dw, db = F.grouped_conv2d_backward(
+                grad, x_shape, cols, self.weight.data,
+                self.stride, self.padding, self.groups, backend,
+            )
+        else:
+            f = self.weight.data.shape[0]
+            wrows = self._prepared.get(
+                backend, self.weight, "bwd", lambda: self.weight.data.reshape(f, -1)
+            )
+            dx, dw, db = F.conv2d_backward(
+                grad, x_shape, cols, self.weight.data, self.stride, self.padding, backend,
+                prepared_weight=wrows,
+            )
         self.weight.grad += dw
         if self.bias is not None:
             self.bias.grad += db
@@ -239,6 +288,7 @@ class Linear(Module):
         in_features: int,
         out_features: int,
         bias: bool = True,
+        label: str | None = None,
         backend: MatmulBackend | None = None,
         rng: np.random.Generator | None = None,
     ):
@@ -247,6 +297,7 @@ class Linear(Module):
             _he_init(rng, (out_features, in_features), in_features), "linear.weight"
         )
         self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
+        self.label = label
         self.backend = backend
         self._x: np.ndarray | None = None
         self._prepared = _PreparedWeightCache()
@@ -255,7 +306,8 @@ class Linear(Module):
         """Linear spec: feature dimensions."""
         out_features, in_features = self.weight.data.shape
         return _plan_spec(
-            "linear", self, in_features=in_features, out_features=out_features
+            "linear", self,
+            in_features=in_features, out_features=out_features, label=self.label,
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -271,9 +323,16 @@ class Linear(Module):
         if self._x is None:
             raise RuntimeError("backward called before forward")
         backend = self.backend or default_backend()
-        self.weight.grad += backend.matmul(grad.T, self._x)
+        if grad.ndim > 2:
+            # Sequence inputs: fold the leading axes into rows for the
+            # weight/bias gradients, keep the batched shape for dx.
+            grad2 = np.ascontiguousarray(grad.reshape(-1, grad.shape[-1]))
+            x2 = np.ascontiguousarray(self._x.reshape(-1, self._x.shape[-1]))
+        else:
+            grad2, x2 = grad, self._x
+        self.weight.grad += backend.matmul(grad2.T, x2)
         if self.bias is not None:
-            self.bias.grad += grad.sum(axis=0)
+            self.bias.grad += grad2.sum(axis=0)
         w = self._prepared.get(backend, self.weight, "bwd", lambda: self.weight.data)
         return backend.matmul(grad, w).astype(np.float32)
 
@@ -385,6 +444,112 @@ class BatchNorm2d(Module):
         sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
         dx = (inv_std[None, :, None, None] / m) * (m * g - sum_g - x_hat * sum_gx)
         return dx.astype(np.float32)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(dim), "ln.gamma")
+        self.beta = Parameter(np.zeros(dim), "ln.beta")
+        self.eps = eps
+        self._cache: tuple | None = None
+
+    def to_plan_op(self):
+        """Normalisation spec: feature dimension."""
+        return _plan_spec("layernorm", self, dim=self.gamma.data.shape[0])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, cache = F.layernorm_forward(x, self.gamma.data, self.beta.data, self.eps)
+        self._cache = cache
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        dx, dgamma, dbeta = F.layernorm_backward(grad, self.gamma.data, self._cache)
+        self.gamma.grad += dgamma
+        self.beta.grad += dbeta
+        return dx
+
+
+class Softmax(Module):
+    """Softmax over the trailing axis (stabilised, any rank)."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+
+    def to_plan_op(self):
+        """Elementwise-row spec (no attributes)."""
+        return _plan_spec("softmax", self)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._probs = F.softmax(x).astype(np.float32)
+        return self._probs
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._probs is None:
+            raise RuntimeError("backward called before forward")
+        return F.softmax_backward(grad, self._probs)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention on ``(N, T, D)`` sequences.
+
+    The QKV and output projections are :class:`Linear` layers (prepared
+    approximate GEMMs over the batch-folded rows); the per-head
+    ``Q K^T`` and ``A V`` products stream through the backend per
+    (sample, head) pair via :func:`repro.nn.functional.attention_core`,
+    so every multiply in the block lands on the DAISM datapath.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        heads: int,
+        backend: MatmulBackend | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if d_model % heads:
+            raise ValueError(f"d_model={d_model} not divisible by heads={heads}")
+        rng = rng or np.random.default_rng(0)
+        self.qkv = Linear(d_model, 3 * d_model, label="qkv_proj", backend=backend, rng=rng)
+        self.out = Linear(d_model, d_model, label="attn_out", backend=backend, rng=rng)
+        self.heads = heads
+        self.scale = float(1.0 / np.sqrt(d_model // heads))
+        self.backend = backend
+        self._cache: tuple | None = None
+
+    def to_plan_op(self):
+        """Attention spec: model width and head count."""
+        return _plan_spec(
+            "attention", self, d_model=self.qkv.weight.data.shape[1], heads=self.heads
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        backend = self.backend or default_backend()
+        d = x.shape[-1]
+        qkv = self.qkv(x)
+        q = F.split_heads(np.ascontiguousarray(qkv[..., :d]), self.heads)
+        k = F.split_heads(np.ascontiguousarray(qkv[..., d : 2 * d]), self.heads)
+        v = F.split_heads(np.ascontiguousarray(qkv[..., 2 * d :]), self.heads)
+        context, probs = F.attention_core(q, k, v, backend, self.scale)
+        self._cache = (q, k, v, probs)
+        return self.out(F.merge_heads(context))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        backend = self.backend or default_backend()
+        q, k, v, probs = self._cache
+        d_context = F.split_heads(self.out.backward(grad), self.heads)
+        dq, dk, dv = F.attention_core_backward(
+            d_context, q, k, v, probs, backend, self.scale
+        )
+        d_qkv = np.concatenate(
+            [F.merge_heads(dq), F.merge_heads(dk), F.merge_heads(dv)], axis=-1
+        )
+        return self.qkv.backward(d_qkv)
 
 
 class Dropout(Module):

@@ -16,15 +16,26 @@ from .layers import (
     Conv2d,
     Flatten,
     GlobalAvgPool,
+    LayerNorm,
     Linear,
     MaxPool2d,
     Module,
+    MultiHeadAttention,
     ReLU,
     Residual,
     Sequential,
 )
 
-__all__ = ["build_mlp", "build_lenet", "build_vgg_small", "build_mini_resnet", "model_zoo"]
+__all__ = [
+    "build_mlp",
+    "build_lenet",
+    "build_vgg_small",
+    "build_mini_resnet",
+    "build_mobilenet_edge",
+    "build_transformer_encoder",
+    "model_zoo",
+    "model_input_shape",
+]
 
 
 def build_mlp(
@@ -113,12 +124,94 @@ def build_mini_resnet(
     )
 
 
+def build_mobilenet_edge(
+    in_channels: int = 3, num_classes: int = 4, size: int = 96, seed: int = 0
+) -> Module:
+    """MobileNet-style edge CNN: strided stem + 3 depthwise-separable blocks.
+
+    Layer labels (``stem``/``dw*``/``pw*``) match the hand-registered
+    co-sim workload ``mobilenet_edge_layers`` in
+    :mod:`repro.arch.workloads`; the sync test derives the shapes from
+    this module's plan trace and checks them against that registry.
+    Fully convolutional until the GAP head, so it runs at any input
+    size (the registered shapes assume ``size=96``).
+    """
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(in_channels, 32, 3, stride=2, padding=1, label="stem", rng=rng),
+        ReLU(),
+        Conv2d(32, 32, 3, padding=1, groups=32, label="dw1", rng=rng),
+        ReLU(),
+        Conv2d(32, 64, 1, padding=0, label="pw1", rng=rng),
+        ReLU(),
+        Conv2d(64, 64, 3, stride=2, padding=1, groups=64, label="dw2", rng=rng),
+        ReLU(),
+        Conv2d(64, 128, 1, padding=0, label="pw2", rng=rng),
+        ReLU(),
+        Conv2d(128, 128, 3, padding=1, groups=128, label="dw3", rng=rng),
+        ReLU(),
+        Conv2d(128, 128, 1, padding=0, label="pw3", rng=rng),
+        ReLU(),
+        GlobalAvgPool(),
+        Linear(128, num_classes, rng=rng),
+    )
+
+
+def build_transformer_encoder(
+    d_model: int = 256, heads: int = 8, mlp_ratio: int = 4, seed: int = 0
+) -> Module:
+    """One pre-classifier transformer encoder block on ``(N, T, D)``.
+
+    Post-norm residual layout: attention + LayerNorm, then a GELU-free
+    MLP (ReLU, matching the rest of the suite) + LayerNorm.  The four
+    projection labels (``qkv_proj``/``attn_out``/``mlp_up``/
+    ``mlp_down``) match the co-sim workload ``transformer_block_layers``
+    registry.  Sequence length is free at run time; the registered
+    shapes assume ``T=64``.
+    """
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Residual(MultiHeadAttention(d_model, heads, rng=rng)),
+        LayerNorm(d_model),
+        Residual(
+            Sequential(
+                Linear(d_model, mlp_ratio * d_model, label="mlp_up", rng=rng),
+                ReLU(),
+                Linear(mlp_ratio * d_model, d_model, label="mlp_down", rng=rng),
+            )
+        ),
+        LayerNorm(d_model),
+    )
+
+
 def model_zoo(
     in_channels: int = 1, num_classes: int = 4, size: int = 16, seed: int = 0
 ) -> dict[str, Module]:
-    """The Fig. 4 model suite, keyed by family name."""
+    """The model suite, keyed by family name.
+
+    The first three are the Fig. 4 accuracy-study CNNs (trained on the
+    16x16 shapes dataset); ``mobilenet_edge`` and ``transformer_encoder``
+    are the co-sim scenario workloads, served inference-only.
+    """
     return {
         "lenet": build_lenet(in_channels, num_classes, size, seed),
         "vgg_small": build_vgg_small(in_channels, num_classes, size, seed),
         "mini_resnet": build_mini_resnet(in_channels, num_classes, seed=seed),
+        "mobilenet_edge": build_mobilenet_edge(num_classes=num_classes, seed=seed),
+        "transformer_encoder": build_transformer_encoder(seed=seed),
     }
+
+
+def model_input_shape(name: str) -> tuple[int, ...]:
+    """Canonical per-sample input shape for each zoo model."""
+    shapes = {
+        "lenet": (1, 16, 16),
+        "vgg_small": (1, 16, 16),
+        "mini_resnet": (1, 16, 16),
+        "mobilenet_edge": (3, 96, 96),
+        "transformer_encoder": (64, 256),
+    }
+    try:
+        return shapes[name]
+    except KeyError:
+        raise KeyError(f"unknown zoo model {name!r}; have {sorted(shapes)}") from None

@@ -64,7 +64,7 @@ from .ops import (
     PackedKernelStrategy,
     QuantDenseStrategy,
 )
-from .plan import ExecutionPlan, compile_plan
+from .plan import ExecutionPlan, compile_plan, op_strategies
 from .server import MicroBatcher, Request
 
 __all__ = [
@@ -214,16 +214,22 @@ def plan_digest(plan: ExecutionPlan) -> list[str]:
     for op in plan.ops:
         h = hashlib.sha256()
         h.update(type(op).__name__.encode())
-        strategy = getattr(op, "strategy", None)
-        if strategy is not None:
+        # Grouped conv / attention carry several strategies; hash each in
+        # order so a single diverging group (or projection) flips the digest.
+        for strategy in op_strategies(op):
             h.update(type(strategy).__name__.encode())
             kernel = getattr(strategy, "kernel_name", None)
             if kernel is not None:
                 h.update(kernel.encode())
             _digest_arrays(h, _strategy_arrays(strategy))
+        backend = getattr(op, "backend", None)
+        if backend is not None:
+            # Attention's activation-activation products run on the
+            # captured backend itself; its name pins that arithmetic.
+            h.update(backend.name.encode())
         captured = [
             getattr(op, attr)
-            for attr in ("bias", "gamma", "beta", "mean", "inv_std")
+            for attr in ("bias", "qkv_bias", "out_bias", "gamma", "beta", "mean", "inv_std")
             if isinstance(getattr(op, attr, None), np.ndarray)
         ]
         _digest_arrays(h, captured)

@@ -54,8 +54,13 @@ __all__ = [
     "PackedKernelStrategy",
     "BackendStrategy",
     "pack_cols",
+    "gather_packed_cols",
     "ConvOp",
+    "GroupedConvOp",
     "LinearOp",
+    "AttentionOp",
+    "LayerNormOp",
+    "SoftmaxOp",
     "ReluOp",
     "MaxPoolOp",
     "GlobalAvgPoolOp",
@@ -256,6 +261,41 @@ class BackendStrategy(MatmulStrategy):
 # --------------------------------------------------------------------------
 
 
+def gather_packed_cols(
+    packed: PackedTensor,
+    kernel: int,
+    stride: int,
+    padding: int,
+    need_dense: bool = False,
+    channels: slice | None = None,
+) -> PackedTensor:
+    """Gather already-packed image planes through im2col.
+
+    ``channels`` restricts the gather to a channel slice of the packed
+    image — slicing, like the gather itself, commutes with elementwise
+    quantisation, so grouped convolutions can pack the whole image once
+    and carve per-group patch planes byte-identical to
+    ``pack(im2col(x[:, channels]))``.  ``im2col`` reads real strides, so
+    the sliced views gather without a copy.
+    """
+
+    def gather(plane: np.ndarray) -> np.ndarray:
+        if channels is not None:
+            plane = plane[:, channels]
+        return F.im2col(plane, kernel, stride, padding)
+
+    cols = PackedTensor(
+        packed.fmt,
+        gather(packed.sign),
+        gather(packed.exponent),
+        gather(packed.significand),
+    )
+    cols._scale = gather(packed.scale())
+    if need_dense:
+        cols._dense = gather(packed.dense())
+    return cols
+
+
 def pack_cols(
     x: np.ndarray,
     kernel: int,
@@ -276,20 +316,7 @@ def pack_cols(
     either order (zeros pack to all-zero planes with ``+0`` scale).
     """
     packed = pack(np.ascontiguousarray(x, dtype=np.float32), fmt)
-
-    def gather(plane: np.ndarray) -> np.ndarray:
-        return F.im2col(plane, kernel, stride, padding)
-
-    cols = PackedTensor(
-        fmt,
-        gather(packed.sign),
-        gather(packed.exponent),
-        gather(packed.significand),
-    )
-    cols._scale = gather(packed.scale())
-    if need_dense:
-        cols._dense = gather(packed.dense())
-    return cols
+    return gather_packed_cols(packed, kernel, stride, padding, need_dense)
 
 
 # --------------------------------------------------------------------------
@@ -348,8 +375,81 @@ class ConvOp(PlanOp):
         return np.ascontiguousarray(out, dtype=np.float32)
 
 
+class GroupedConvOp(PlanOp):
+    """Grouped/depthwise convolution: one resolved strategy per group.
+
+    Packs the input image *once* and gathers each group's patch planes
+    from a channel slice of the shared packed planes (see
+    :func:`gather_packed_cols`) — the grouped analogue of the
+    :class:`ConvOp` pack-once optimisation, byte-identical to the eager
+    per-group ``pack(im2col(x[:, slice]))``.
+    """
+
+    kind = "conv2d"
+
+    def __init__(
+        self,
+        strategies: tuple[MatmulStrategy, ...],
+        bias: np.ndarray | None,
+        out_channels: int,
+        kernel: int,
+        stride: int,
+        padding: int,
+        groups: int,
+        name: str = "conv2d",
+    ):
+        self.strategies = tuple(strategies)
+        self.bias = bias
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.name = name
+        self.row_independent = all(s.row_independent for s in self.strategies)
+
+    def apply(self, x: np.ndarray, ctx: ExecContext) -> np.ndarray:
+        n, c, h, w = x.shape
+        cg = c // self.groups
+        oh = (h + 2 * self.padding - self.kernel) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel) // self.stride + 1
+        rows_total = ctx.total_batch * oh * ow
+        first = self.strategies[0]
+        packed = None
+        if first.packed_input:
+            packed = pack(np.ascontiguousarray(x, dtype=np.float32), first.fmt)
+        outs = []
+        for g, strategy in enumerate(self.strategies):
+            channels = slice(g * cg, (g + 1) * cg)
+            if strategy.packed_input:
+                pa = gather_packed_cols(
+                    packed, self.kernel, self.stride, self.padding,
+                    need_dense=strategy.needs_dense, channels=channels,
+                )
+                out_g = strategy.matmul_packed(pa, rows_total)
+            elif isinstance(strategy, BackendStrategy):
+                cols = F.im2col(x[:, channels], self.kernel, self.stride, self.padding)
+                out_g = strategy.matmul3d(cols.reshape(n, oh * ow, -1))
+                out_g = out_g.reshape(n * oh * ow, -1)
+            else:
+                cols = F.im2col(x[:, channels], self.kernel, self.stride, self.padding)
+                out_g = strategy.matmul2d(cols, rows_total)
+            outs.append(out_g.reshape(n, oh * ow, -1))
+        out = np.concatenate(outs, axis=2)
+        if self.bias is not None:
+            out = out + self.bias[None, None, :]
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        return np.ascontiguousarray(out, dtype=np.float32)
+
+
 class LinearOp(PlanOp):
-    """Fully connected product with a pre-resolved strategy."""
+    """Fully connected product with a pre-resolved strategy.
+
+    Accepts sequence inputs ``(N, T, D)`` as well as ``(N, D)``: the
+    leading axes fold into GEMM rows exactly as the eager backend does,
+    with the K-chunk pinned to the *full-batch* row count so sharded
+    execution matches the unsharded bits.
+    """
 
     kind = "linear"
 
@@ -360,10 +460,124 @@ class LinearOp(PlanOp):
         self.row_independent = strategy.row_independent
 
     def apply(self, x: np.ndarray, ctx: ExecContext) -> np.ndarray:
-        out = self.strategy.matmul2d(x, ctx.total_batch)
+        if x.ndim > 2:
+            lead = x.shape[:-1]
+            per_sample = 1
+            for dim in lead[1:]:
+                per_sample *= dim
+            if isinstance(self.strategy, BackendStrategy):
+                out = self.strategy.matmul3d(x)
+            else:
+                out = self.strategy.matmul2d(
+                    np.ascontiguousarray(x.reshape(-1, x.shape[-1])),
+                    ctx.total_batch * per_sample,
+                )
+                out = out.reshape(*lead, -1)
+        else:
+            out = self.strategy.matmul2d(x, ctx.total_batch)
         if self.bias is not None:
             out = out + self.bias[None, :]
         return out.astype(np.float32, copy=False)
+
+
+class AttentionOp(PlanOp):
+    """Multi-head self-attention with pre-resolved projection strategies.
+
+    The QKV and output projections run through compiled
+    :class:`MatmulStrategy` instances (pre-packed weights, pinned
+    K-chunks); the per-(sample, head) ``Q K^T``/``A V`` products call
+    the captured backend through the same
+    :func:`repro.nn.functional.attention_core` the eager layer uses, so
+    the whole block is byte-identical by construction.  Those inner
+    GEMM shapes depend only on ``(T, Dh)``, never the batch, which
+    keeps the op row-independent whenever its projections are.
+    """
+
+    kind = "attention"
+
+    def __init__(
+        self,
+        qkv_strategy: MatmulStrategy,
+        qkv_bias: np.ndarray | None,
+        out_strategy: MatmulStrategy,
+        out_bias: np.ndarray | None,
+        heads: int,
+        scale: float,
+        backend,
+        name: str = "attention",
+    ):
+        self.qkv_strategy = qkv_strategy
+        self.qkv_bias = qkv_bias
+        self.out_strategy = out_strategy
+        self.out_bias = out_bias
+        self.heads = heads
+        self.scale = scale
+        self.backend = backend
+        self.name = name
+        self.row_independent = (
+            qkv_strategy.row_independent and out_strategy.row_independent
+        )
+
+    @property
+    def strategies(self) -> tuple[MatmulStrategy, ...]:
+        return (self.qkv_strategy, self.out_strategy)
+
+    def _project(
+        self,
+        strategy: MatmulStrategy,
+        bias: np.ndarray | None,
+        x: np.ndarray,
+        rows_total: int,
+    ) -> np.ndarray:
+        n, t, _d = x.shape
+        if isinstance(strategy, BackendStrategy):
+            out = strategy.matmul3d(x)
+        else:
+            out = strategy.matmul2d(
+                np.ascontiguousarray(x.reshape(n * t, -1)), rows_total
+            )
+            out = out.reshape(n, t, -1)
+        if bias is not None:
+            out = out + bias[None, :]
+        return out.astype(np.float32, copy=False)
+
+    def apply(self, x: np.ndarray, ctx: ExecContext) -> np.ndarray:
+        n, t, d = x.shape
+        rows_total = ctx.total_batch * t
+        qkv = self._project(self.qkv_strategy, self.qkv_bias, x, rows_total)
+        q = F.split_heads(np.ascontiguousarray(qkv[..., :d]), self.heads)
+        k = F.split_heads(np.ascontiguousarray(qkv[..., d : 2 * d]), self.heads)
+        v = F.split_heads(np.ascontiguousarray(qkv[..., 2 * d :]), self.heads)
+        context, _probs = F.attention_core(q, k, v, self.backend, self.scale)
+        return self._project(
+            self.out_strategy, self.out_bias, F.merge_heads(context), rows_total
+        )
+
+
+class LayerNormOp(PlanOp):
+    """Layer normalisation over captured affine parameters."""
+
+    kind = "layernorm"
+
+    def __init__(self, gamma: np.ndarray, beta: np.ndarray, eps: float, name: str = "layernorm"):
+        self.gamma = gamma
+        self.beta = beta
+        self.eps = eps
+        self.name = name
+
+    def apply(self, x: np.ndarray, ctx: ExecContext) -> np.ndarray:
+        out, _cache = F.layernorm_forward(x, self.gamma, self.beta, self.eps)
+        return out
+
+
+class SoftmaxOp(PlanOp):
+    """Softmax over the trailing axis."""
+
+    kind = "softmax"
+    name = "softmax"
+
+    def apply(self, x: np.ndarray, ctx: ExecContext) -> np.ndarray:
+        return F.softmax(x).astype(np.float32, copy=False)
 
 
 class ReluOp(PlanOp):

@@ -39,6 +39,7 @@ from ..formats.packed import PackedTensor
 from ..nn.backend import default_backend
 from ..nn.layers import Module, Parameter, Residual, Sequential
 from .ops import (
+    AttentionOp,
     BackendStrategy,
     BatchNormOp,
     ConvOp,
@@ -46,6 +47,8 @@ from .ops import (
     ExecContext,
     FlattenOp,
     GlobalAvgPoolOp,
+    GroupedConvOp,
+    LayerNormOp,
     LinearOp,
     MatmulStrategy,
     MaxPoolOp,
@@ -54,12 +57,34 @@ from .ops import (
     PlanOp,
     QuantDenseStrategy,
     ReluOp,
+    SoftmaxOp,
     StackAddPopOp,
     StackPushOp,
     StackSwapOp,
 )
 
-__all__ = ["trace", "compile_plan", "ExecutionPlan", "conv_workload", "plan_tiers"]
+__all__ = [
+    "trace",
+    "compile_plan",
+    "ExecutionPlan",
+    "conv_workload",
+    "plan_tiers",
+    "op_strategies",
+]
+
+
+def op_strategies(op: PlanOp) -> tuple[MatmulStrategy, ...]:
+    """All matmul strategies behind one op (zero, one, or several).
+
+    Single-GEMM ops carry ``.strategy``; grouped convolutions and
+    attention carry a ``.strategies`` tuple.  Introspection (tier
+    listings, plan digests) iterates this one accessor.
+    """
+    strategies = getattr(op, "strategies", None)
+    if strategies is not None:
+        return tuple(strategies)
+    strategy = getattr(op, "strategy", None)
+    return (strategy,) if strategy is not None else ()
 
 
 def plan_tiers(plan: "ExecutionPlan") -> list[str]:
@@ -71,9 +96,9 @@ def plan_tiers(plan: "ExecutionPlan") -> list[str]:
     """
     names = set()
     for op in plan.ops:
-        kernel = getattr(getattr(op, "strategy", None), "kernel_name", None)
-        if kernel is not None:
-            names.add(kernel)
+        for strategy in op_strategies(op):
+            if strategy.kernel_name is not None:
+                names.add(strategy.kernel_name)
     return sorted(names)
 
 
@@ -209,7 +234,8 @@ class ExecutionPlan:
         """One printable row per op (kind, name, strategy, resolved kernel)."""
         rows = []
         for i, op in enumerate(self.ops):
-            strategy = getattr(op, "strategy", None)
+            strategies = op_strategies(op)
+            strategy = strategies[0] if strategies else None
             kernel = getattr(strategy, "kernel_name", None)
             rows.append(
                 {
@@ -253,23 +279,76 @@ def compile_plan(model: Module, backend: MatmulBackend | None = None) -> Executi
         if kind == "conv2d":
             weight = layer.weight
             f = weight.data.shape[0]
-            strategy, _ = _resolve_strategy(backend, weight.data.reshape(f, -1).T)
+            groups = spec.attrs.get("groups", 1)
             params.append((weight, weight.version))
             bias = None
             if layer.bias is not None:
                 bias = layer.bias.data
                 params.append((layer.bias, layer.bias.version))
+            if groups > 1:
+                fg = f // groups
+                strategies = tuple(
+                    _resolve_strategy(
+                        backend,
+                        np.ascontiguousarray(
+                            weight.data[g * fg : (g + 1) * fg].reshape(fg, -1).T
+                        ),
+                    )[0]
+                    for g in range(groups)
+                )
+                ops.append(
+                    GroupedConvOp(
+                        strategies,
+                        bias,
+                        out_channels=f,
+                        kernel=spec.attrs["kernel"],
+                        stride=spec.attrs["stride"],
+                        padding=spec.attrs["padding"],
+                        groups=groups,
+                        name=tag("conv"),
+                    )
+                )
+            else:
+                strategy, _ = _resolve_strategy(backend, weight.data.reshape(f, -1).T)
+                ops.append(
+                    ConvOp(
+                        strategy,
+                        bias,
+                        out_channels=f,
+                        kernel=spec.attrs["kernel"],
+                        stride=spec.attrs["stride"],
+                        padding=spec.attrs["padding"],
+                        name=tag("conv"),
+                    )
+                )
+        elif kind == "attention":
+            qkv, out = layer.qkv, layer.out
+            qkv_strategy, _ = _resolve_strategy(backend, qkv.weight.data.T)
+            out_strategy, _ = _resolve_strategy(backend, out.weight.data.T)
+            for linear in (qkv, out):
+                params.append((linear.weight, linear.weight.version))
+                if linear.bias is not None:
+                    params.append((linear.bias, linear.bias.version))
             ops.append(
-                ConvOp(
-                    strategy,
-                    bias,
-                    out_channels=f,
-                    kernel=spec.attrs["kernel"],
-                    stride=spec.attrs["stride"],
-                    padding=spec.attrs["padding"],
-                    name=tag("conv"),
+                AttentionOp(
+                    qkv_strategy,
+                    qkv.bias.data if qkv.bias is not None else None,
+                    out_strategy,
+                    out.bias.data if out.bias is not None else None,
+                    heads=spec.attrs["heads"],
+                    scale=layer.scale,
+                    backend=backend,
+                    name=tag("attn"),
                 )
             )
+        elif kind == "layernorm":
+            params.append((layer.gamma, layer.gamma.version))
+            params.append((layer.beta, layer.beta.version))
+            ops.append(
+                LayerNormOp(layer.gamma.data, layer.beta.data, layer.eps, name=tag("ln"))
+            )
+        elif kind == "softmax":
+            ops.append(SoftmaxOp())
         elif kind == "linear":
             weight = layer.weight
             strategy, _ = _resolve_strategy(backend, weight.data.T)
@@ -331,8 +410,13 @@ def conv_workload(
     ``(channels, height, width)`` shape and emits one
     :class:`~repro.arch.workloads.ConvLayer` per convolution (and, when
     ``include_fc`` is set, one ``1x1`` layer per fully connected layer —
-    an FC is a pointwise conv over a ``1x1`` feature map).  This is the
-    single source of layer shapes shared by the software runtime and
+    an FC is a pointwise conv over the current token/feature map, and an
+    attention block contributes its QKV/output projections).  Layers
+    carrying a ``label`` keep it as their workload name, which is what
+    lets the sync tests compare trace-derived shapes against the
+    hand-registered tables in :mod:`repro.arch.workloads`.  Sequence
+    models trace with ``input_shape = (d_model, seq_len, 1)``.  This is
+    the single source of layer shapes shared by the software runtime and
     :func:`repro.arch.network_runner.run_module`.
     """
     c, h, w = input_shape
@@ -343,8 +427,9 @@ def conv_workload(
         kind = spec.kind
         if kind == "conv2d":
             conv_i += 1
+            label = spec.attrs.get("label") or f"conv{conv_i}"
             layer = ConvLayer(
-                name=f"{prefix}conv{conv_i}",
+                name=f"{prefix}{label}",
                 in_channels=spec.attrs["in_channels"],
                 out_channels=spec.attrs["out_channels"],
                 kernel=spec.attrs["kernel"],
@@ -352,25 +437,61 @@ def conv_workload(
                 width=w,
                 stride=spec.attrs["stride"],
                 padding=spec.attrs["padding"],
+                groups=spec.attrs.get("groups", 1),
             )
             layers.append(layer)
             c, h, w = layer.out_channels, layer.out_height, layer.out_width
         elif kind == "linear":
             fc_i += 1
             if include_fc:
+                # An FC over (h, w) tokens is a pointwise conv on the
+                # h x w map; classifier heads see h = w = 1 after
+                # flatten/GAP, sequence models keep h = seq_len.
+                label = spec.attrs.get("label") or f"fc{fc_i}"
                 layers.append(
                     ConvLayer(
-                        name=f"{prefix}fc{fc_i}",
+                        name=f"{prefix}{label}",
                         in_channels=spec.attrs["in_features"],
                         out_channels=spec.attrs["out_features"],
                         kernel=1,
-                        height=1,
-                        width=1,
+                        height=h,
+                        width=w,
                         stride=1,
                         padding=0,
                     )
                 )
-            c, h, w = spec.attrs["out_features"], 1, 1
+            c = spec.attrs["out_features"]
+        elif kind == "attention":
+            # The two weight GEMMs of the block: QKV and output
+            # projections as pointwise convs over the token map.  The
+            # activation-activation products (QK^T, AV) have no static
+            # operand to pre-load into SRAM and are deliberately absent
+            # (see arch.workloads.transformer_block_layers).
+            d_model = spec.attrs["d_model"]
+            layers.append(
+                ConvLayer(
+                    name=f"{prefix}qkv_proj",
+                    in_channels=d_model,
+                    out_channels=3 * d_model,
+                    kernel=1,
+                    height=h,
+                    width=w,
+                    stride=1,
+                    padding=0,
+                )
+            )
+            layers.append(
+                ConvLayer(
+                    name=f"{prefix}attn_out",
+                    in_channels=d_model,
+                    out_channels=d_model,
+                    kernel=1,
+                    height=h,
+                    width=w,
+                    stride=1,
+                    padding=0,
+                )
+            )
         elif kind == "maxpool2d":
             size = spec.attrs["size"]
             h, w = h // size, w // size
@@ -388,5 +509,5 @@ def conv_workload(
                 raise ValueError(
                     f"residual shape mismatch in workload trace: {saved} vs {(c, h, w)}"
                 )
-        # relu / batchnorm2d / dropout leave the shape unchanged
+        # relu / batchnorm2d / layernorm / softmax / dropout keep the shape
     return layers

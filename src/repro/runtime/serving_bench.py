@@ -32,7 +32,7 @@ import time
 import numpy as np
 
 from ..core.native import native_status
-from ..nn.models import model_zoo
+from ..nn.models import model_input_shape, model_zoo
 from .engine import BatchEngine
 from .fleet import FleetServer, ShedLoadError, resolve_backend, snapshot_model
 from .plan import compile_plan, plan_tiers
@@ -40,8 +40,14 @@ from .server import InferenceServer, run_load
 
 __all__ = ["serving_benchmark", "open_loop_fleet_benchmark"]
 
-#: Input geometry of the zoo models (channels, height, width).
-_INPUT_SHAPE = (1, 16, 16)
+
+def _request_pool(model: str, request_samples: int, rng: np.random.Generator) -> list[np.ndarray]:
+    """Pre-generated request batches in the model's input geometry."""
+    shape = model_input_shape(model)
+    return [
+        rng.standard_normal((request_samples, *shape)).astype(np.float32)
+        for _ in range(8)
+    ]
 
 
 def serving_benchmark(
@@ -74,11 +80,7 @@ def serving_benchmark(
     plan = compile_plan(module, resolved)
 
     rng = np.random.default_rng(seed)
-    c, h, w = _INPUT_SHAPE
-    pool = [
-        rng.standard_normal((request_samples, c, h, w)).astype(np.float32)
-        for _ in range(8)
-    ]
+    pool = _request_pool(model, request_samples, rng)
 
     engine = BatchEngine(plan, shards=shards)
     with InferenceServer(engine, max_batch=max_batch, max_delay_ms=max_delay_ms) as server:
@@ -174,11 +176,7 @@ def open_loop_fleet_benchmark(
         raise ValueError("offered rate must be positive")
 
     rng = np.random.default_rng(seed)
-    c, h, w = _INPUT_SHAPE
-    pool = [
-        rng.standard_normal((request_samples, c, h, w)).astype(np.float32)
-        for _ in range(8)
-    ]
+    pools = {name: _request_pool(name, request_samples, rng) for name in models}
 
     lock = threading.Lock()
     completed: list[float] = []  # latency (s) of every completed request
@@ -237,8 +235,9 @@ def open_loop_fleet_benchmark(
                 break
             if t_next > now:
                 time.sleep(t_next - now)
-            x = pool[i % len(pool)]
             model = models[i % len(models)]
+            pool = pools[model]
+            x = pool[i % len(pool)]
             i += 1
             offered[0] += 1
             t_submit = time.perf_counter()

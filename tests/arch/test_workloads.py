@@ -1,6 +1,8 @@
 """Tests for the convolution workload descriptions."""
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.arch.workloads import (
     ConvLayer,
@@ -9,6 +11,8 @@ from repro.arch.workloads import (
     resnet_mini_layers,
     vgg8_conv1,
     vgg8_layers,
+    workload_by_name,
+    workload_names,
 )
 
 
@@ -130,11 +134,56 @@ class TestNewWorkloads:
             assert l.macs == 32 * l.in_channels * l.out_channels
 
     def test_workload_registry(self):
-        from repro.arch.workloads import workload_by_name, workload_names
-
         assert {"vgg8", "mobilenet_edge", "transformer_block"} <= set(workload_names())
         for name in workload_names():
             layers = workload_by_name(name)
             assert layers and all(l.macs > 0 for l in layers)
         with pytest.raises(KeyError, match="unknown workload"):
             workload_by_name("nope")
+
+    def test_nn_traced_workloads_registered(self):
+        assert {"mobilenet_edge_nn", "transformer_encoder_nn"} <= set(workload_names())
+
+    def test_unknown_workload_error_lists_every_name(self):
+        """The KeyError is actionable: it names the typo and every valid
+        workload, so sweep configs fail loudly with the fix in hand."""
+        with pytest.raises(KeyError) as excinfo:
+            workload_by_name("mobilnet_edge")
+        message = str(excinfo.value)
+        assert "mobilnet_edge" in message
+        for name in workload_names():
+            assert name in message
+
+
+class TestGroupedConvProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 8),  # groups
+        st.integers(1, 4),  # channels per group
+        st.integers(1, 4),  # filters per group
+        st.sampled_from([1, 3]),
+        st.integers(6, 16),
+    )
+    def test_grouping_divides_mac_count_by_groups(self, groups, cg, fg, k, size):
+        """Grouped MACs are exactly the dense MACs over ``groups`` — the
+        1/groups compute saving that motivates depthwise stacks."""
+        grouped = ConvLayer("g", groups * cg, groups * fg, k, size, size, groups=groups)
+        dense = ConvLayer("d", groups * cg, groups * fg, k, size, size)
+        assert grouped.macs * groups == dense.macs
+        assert grouped.macs_dense * groups == dense.macs_dense
+        assert grouped.kernel_elements * groups == dense.kernel_elements
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 64), st.sampled_from([1, 3]), st.integers(6, 16))
+    def test_depthwise_ratio_is_one_over_channels(self, channels, k, size):
+        dw = ConvLayer("dw", channels, channels, k, size, size, groups=channels)
+        dense = ConvLayer("d", channels, channels, k, size, size)
+        assert dw.filters_per_slice == 1
+        assert dw.macs_dense / dense.macs_dense == pytest.approx(1 / channels)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 64), st.integers(1, 64), st.integers(2, 64))
+    def test_non_dividing_groups_always_raise(self, c, f, groups):
+        assume(c % groups or f % groups)
+        with pytest.raises(ValueError, match="groups"):
+            ConvLayer("bad", c, f, 3, 16, 16, groups=groups)

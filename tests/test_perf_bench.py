@@ -35,7 +35,7 @@ def quick_report(tmp_path_factory):
 
 def test_quick_run_writes_valid_artifact(quick_report):
     report, _path = quick_report
-    assert report["schema"] == "repro-perf/5"
+    assert report["schema"] == "repro-perf/6"
     assert report["quick"] is True
 
     # 1 size x (exact + quantized + 6 kernels x raw/prepared) = 14 rows.
@@ -111,6 +111,18 @@ def test_quick_run_writes_valid_artifact(quick_report):
     assert net["routed"]["ms_per_sample"] > 0
     assert net["quantized_dense"]["plan_kernels"] == ["dense_blas"]
     assert net["routed_vs_dense_blas_x"] > 0
+
+    scenario = report["scenario"]
+    assert [row["model"] for row in scenario] == [
+        "mobilenet_edge",
+        "transformer_encoder",
+    ]
+    for row in scenario:
+        assert row["backend"] == "approx_bfloat16_PC3_tr"
+        assert row["ms_per_sample"] > 0
+        assert row["plan_ops"] > 0
+        # The timed plan pass replays the eager batch stream byte for byte.
+        assert row["logits_match_eager"] is True
 
     serving = report["serving"]
     assert serving["model"] == "lenet"
@@ -193,6 +205,8 @@ def _write_report(
     goodput: float | None = None,
     dropped: int = 0,
     routed_ratio: float | None = None,
+    scenario_ms: float | None = None,
+    scenario_parity: bool = True,
 ) -> pathlib.Path:
     rows = [
         {
@@ -230,6 +244,16 @@ def _write_report(
             "goodput_samples_per_s": goodput,
             "accepted_then_dropped": dropped,
         }
+    if scenario_ms is not None:
+        report["scenario"] = [
+            {
+                "model": "mobilenet_edge",
+                "backend": "approx_bfloat16_PC3_tr",
+                "kernel": "default",
+                "ms_per_sample": scenario_ms,
+                "logits_match_eager": scenario_parity,
+            }
+        ]
     path.write_text(json.dumps(report))
     return path
 
@@ -422,6 +446,45 @@ class TestServingGuard:
         )
         result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
         assert result.returncode == 0, result.stdout
+
+    def test_skipped_when_baseline_lacks_scenario(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, scenario_ms=40.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "skipping scenario check" in result.stdout
+
+    def test_scenario_within_tolerance_passes(self, tmp_path):
+        # 1.5x slower per sample keeps 2/3 of the score — above the
+        # default 50% floor -> pass.
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, scenario_ms=60.0)
+        base = _write_report(tmp_path / "base.json", 100.0, scenario_ms=40.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "scenario mobilenet_edge" in result.stdout
+
+    def test_scenario_collapse_fails(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, scenario_ms=200.0)
+        base = _write_report(tmp_path / "base.json", 100.0, scenario_ms=40.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+        # The flag tunes the floor.
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--scenario-max-regression", "0.9",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_scenario_parity_divergence_fails_unconditionally(self, tmp_path):
+        """A fast-but-wrong scenario row can never pass the guard."""
+        fresh = _write_report(
+            tmp_path / "fresh.json", 100.0, scenario_ms=40.0, scenario_parity=False
+        )
+        base = _write_report(tmp_path / "base.json", 100.0, scenario_ms=40.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "DIVERGED" in result.stdout
 
     def test_quick_rows_join_committed_baseline(self, quick_report):
         """The quick grid must stay a subset of the committed full grid."""
