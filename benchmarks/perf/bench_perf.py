@@ -49,7 +49,13 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
 * **fault-injection sweep**: the ``fault_sensitivity`` error grid
   computed on the scalar row-by-row SRAM readout vs the vectorized
   bit-plane path (``ComputeBank.multiply_batch``), with the products
-  asserted bit-identical and the speedup recorded.
+  asserted bit-identical and the speedup recorded;
+* **fault tolerance** (schema v7): a seeded subset of the chaos matrix
+  (``repro.chaos.matrix``) — live table bit-flips, a worker killed
+  mid-run, latency spikes — against a real multi-process fleet behind
+  the TCP frontend, reporting goodput retention, corruption detection,
+  post-recovery byte parity and the worst-case recovery time
+  (``check_perf_regression.py --fault-recovery-max-ms`` guards it).
 
 Run::
 
@@ -71,7 +77,7 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-perf/6"
+SCHEMA = "repro-perf/7"
 
 #: Scenario-model input geometry for the perf rows.  Reduced from the
 #: canonical sizes (mobilenet_edge is fully convolutional, the
@@ -547,6 +553,42 @@ def fault_sweep(quick: bool) -> dict:
     }
 
 
+def fault_tolerance(quick: bool) -> dict:
+    """Seeded chaos-matrix subset: recovery time under real failures.
+
+    Runs the single-site scenarios of the chaos matrix (quick mode adds
+    no combinations — those stay in the full matrix and the chaos-smoke
+    CI step) and distils the contract numbers CI guards: zero
+    accepted-then-dropped, 100% corruption detection, post-recovery
+    byte parity, and the worst-case recovery time across scenarios
+    (heartbeat-respawn or heal, whichever the scenario exercised).
+    ``run_matrix`` itself asserts the boolean invariants per row, so a
+    report that exists at all already proves them; the numbers are
+    recorded so the regression guard can bound the *recovery latency*.
+    """
+    from repro.chaos.matrix import run_matrix
+
+    names = ["table_bitflip", "worker_crash", "latency_spike"]
+    if not quick:
+        names += ["socket_drop", "table_bitflip+worker_crash"]
+    rows = run_matrix(quick=True, seed=0, scenarios=names)
+    accepted = sum(r["accepted"] for r in rows)
+    completed = sum(r["completed"] for r in rows)
+    recoveries = [r["recovery_ms"] for r in rows if r["recovery_ms"] is not None]
+    return {
+        "scenarios": rows,
+        "accepted": accepted,
+        "completed": completed,
+        "dropped": sum(r["dropped"] for r in rows),
+        "goodput_retention": round(completed / max(1, accepted), 4),
+        "detection_ok": all(r["detected"] for r in rows),
+        "parity_ok": all(
+            r["post_recovery_parity"] and r["digest_parity"] for r in rows
+        ),
+        "recovery_ms_max": round(max(recoveries), 2) if recoveries else None,
+    }
+
+
 def run(out_path: str, quick: bool = False) -> dict:
     """Execute the harness and write the JSON artifact to ``out_path``."""
     report = {
@@ -563,6 +605,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "serving": serving_rows(quick),
         "fleet": fleet_rows(quick),
         "fault_sweep": fault_sweep(quick),
+        "fault_tolerance": fault_tolerance(quick),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -657,6 +700,14 @@ def main() -> None:
         f"  fault sweep ({fs['points']} pts): scalar {fs['scalar_ms']} ms ->"
         f" vectorized {fs['vectorized_ms']} ms ({fs['speedup_x']}x,"
         f" bit_identical={fs['bit_identical']})"
+    )
+    ft = report["fault_tolerance"]
+    print(
+        f"  fault tolerance ({len(ft['scenarios'])} scenarios):"
+        f" goodput retention {100.0 * ft['goodput_retention']:.1f}%"
+        f" ({ft['completed']}/{ft['accepted']}, dropped {ft['dropped']}),"
+        f" detection_ok={ft['detection_ok']}, parity_ok={ft['parity_ok']},"
+        f" worst recovery {ft['recovery_ms_max']} ms"
     )
 
 

@@ -55,6 +55,15 @@ machine-speed proxy: the fresh value is guarded against the absolute
 ``--routed-max-ratio`` ceiling (default 3.0).  Reports without the
 field (older schemas) skip this check with a note.
 
+Schema ``repro-perf/7`` adds a ``fault_tolerance`` section: the seeded
+chaos-matrix subset (live table bit-flips, a killed worker, latency
+spikes against a real fleet).  Like the routed ratio it needs no
+baseline: the fresh report's worst-case ``recovery_ms_max`` is guarded
+against the absolute ``--fault-recovery-max-ms`` ceiling, and any
+dropped request, missed corruption detection or post-recovery parity
+break fails unconditionally — those are contract booleans, not latency
+numbers.  Reports without the section skip this check with a note.
+
 Run::
 
     python benchmarks/perf/check_perf_regression.py \
@@ -341,6 +350,44 @@ def check_routed_ratio(fresh: dict, max_ratio: float) -> tuple[dict | None, bool
     return record, ratio > max_ratio
 
 
+def check_fault_recovery(fresh: dict, max_ms: float) -> tuple[dict | None, bool]:
+    """Guard fault-tolerance recovery; returns ``(record, regressed)``.
+
+    The ``fault_tolerance`` section (schema ``repro-perf/7``) reports
+    the worst-case ``recovery_ms_max`` across the chaos scenarios — a
+    same-report absolute number (heal or heartbeat-respawn latency), so
+    it is compared against the ``max_ms`` ceiling rather than a
+    baseline row.  The section's contract booleans (zero dropped,
+    corruption detected, post-recovery parity) fail unconditionally
+    when violated.  Returns ``(None, False)`` when the fresh report
+    predates the section.
+    """
+    section = fresh.get("fault_tolerance")
+    if not section:
+        return None, False
+    recovery = section.get("recovery_ms_max")
+    dropped = int(section.get("dropped", 0))
+    detection_ok = bool(section.get("detection_ok", True))
+    parity_ok = bool(section.get("parity_ok", True))
+    broken = []
+    if dropped:
+        broken.append(f"{dropped} accepted-then-DROPPED")
+    if not detection_ok:
+        broken.append("corruption UNDETECTED")
+    if not parity_ok:
+        broken.append("post-recovery parity BROKEN")
+    record = {
+        "key": "fault-tolerance worst recovery"
+        + (f" [{'; '.join(broken)}]" if broken else ""),
+        "unit": "ms (ceiling, lower is better)",
+        "baseline_score": max_ms,
+        "fresh_score": recovery if recovery is not None else 0.0,
+        "floor": max_ms,
+    }
+    regressed = bool(broken) or (recovery is not None and recovery > max_ms)
+    return record, regressed
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -400,6 +447,18 @@ def main(argv: list[str] | None = None) -> int:
             "throughput (schema >= 6; default 0.5 — whole-network rows "
             "are noisier than kernel rows); a row whose logits diverged "
             "from eager fails regardless"
+        ),
+    )
+    parser.add_argument(
+        "--fault-recovery-max-ms",
+        type=float,
+        default=2000.0,
+        help=(
+            "absolute ceiling in ms on the fresh report's worst-case "
+            "chaos-scenario recovery time (fault_tolerance.recovery_ms_max, "
+            "schema >= 7); the section's contract booleans fail "
+            "unconditionally; skipped with a note when absent "
+            "(default 2000)"
         ),
     )
     parser.add_argument(
@@ -468,6 +527,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "perf guard: fresh report has no routed_vs_dense_blas_x;"
             " skipping routed-ratio check"
+        )
+    recovery_record, recovery_regressed = check_fault_recovery(
+        fresh, args.fault_recovery_max_ms
+    )
+    if recovery_record is not None:
+        checked.append(recovery_record)
+        if recovery_regressed:
+            regressed.append(recovery_record)
+    else:
+        print(
+            "perf guard: fresh report has no fault_tolerance section;"
+            " skipping fault-recovery check"
         )
     if not checked:
         print(

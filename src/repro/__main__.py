@@ -21,6 +21,9 @@ Usage::
     python -m repro fleet-bench --models lenet mini_resnet --workers 4
     python -m repro fleet-bench --rate-multiplier 100 --sla-ms 25 --json
 
+    python -m repro chaos-smoke --quick       # seeded fault-injection matrix
+    python -m repro chaos-smoke --scenario table_bitflip worker_crash --json
+
 The quick artefact names (``table1`` .. ``fig8``) are the legacy
 renderers kept for interactive use; ``reproduce`` drives the unified
 experiment engine (:mod:`repro.experiments`) with parallel sweeps,
@@ -31,7 +34,11 @@ and drives it with closed-loop load, reporting p50/p99 latency and
 samples/sec; ``fleet-bench`` stands up the multi-process
 :class:`~repro.runtime.FleetServer` and floods it with open-loop
 Poisson arrivals at a multiple of the closed-loop rate, reporting
-p50/p99/p999 latency, shed counts and goodput under the SLA.
+p50/p99/p999 latency, shed counts and goodput under the SLA;
+``chaos-smoke`` runs the seeded fault-injection matrix
+(:mod:`repro.chaos.matrix`) against a live fleet and asserts the
+fault-tolerance contract (zero accepted-then-dropped, 100% corruption
+detection, post-recovery byte parity).
 """
 
 from __future__ import annotations
@@ -473,6 +480,78 @@ def fleet_bench(argv: list[str]) -> int:
     return 0
 
 
+def chaos_smoke(argv: list[str]) -> int:
+    """The ``chaos-smoke`` subcommand: run the seeded injection matrix."""
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos-smoke",
+        description=(
+            "Run the seeded fault-injection matrix against a live fleet "
+            "behind the TCP frontend: every fault site and their pairwise "
+            "combinations, asserting zero accepted-then-dropped, 100%% "
+            "corruption detection and post-recovery byte parity."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro chaos-smoke --quick\n"
+            "  python -m repro chaos-smoke --scenario table_bitflip worker_crash\n"
+            "  python -m repro chaos-smoke --json\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small request counts (CI smoke mode)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="injection seed")
+    parser.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="run only these scenarios (default: the full matrix)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit rows as JSON")
+    args = parser.parse_args(argv)
+
+    from .chaos.matrix import SCENARIOS, run_matrix
+
+    if args.scenario:
+        unknown = [s for s in args.scenario if s not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            print("known:", ", ".join(SCENARIOS), file=sys.stderr)
+            return 2
+    try:
+        rows = run_matrix(quick=args.quick, seed=args.seed, scenarios=args.scenario)
+    except AssertionError as exc:
+        print(f"chaos invariant violated: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(title("chaos-smoke: seeded fault-injection matrix"))
+    display = [
+        {
+            "scenario": r["scenario"],
+            "accepted": r["accepted"],
+            "completed": r["completed"],
+            "failed (structured)": r["failed_structured"],
+            "dropped": r["dropped"],
+            "injected": r["injected"],
+            "detected": "yes" if r["detected"] else "NO",
+            "recovery ms": (
+                f"{r['recovery_ms']:.1f}" if r["recovery_ms"] is not None else "-"
+            ),
+            "parity": "yes" if r["post_recovery_parity"] else "NO",
+        }
+        for r in rows
+    ]
+    print(format_table(display))
+    print(f"\nall {len(rows)} scenario(s) hold the fault-tolerance contract")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "reproduce":
@@ -481,11 +560,14 @@ def main(argv: list[str] | None = None) -> int:
         return serve_bench(argv[1:])
     if argv and argv[0] == "fleet-bench":
         return fleet_bench(argv[1:])
+    if argv and argv[0] == "chaos-smoke":
+        return chaos_smoke(argv[1:])
     if not argv:
         print("usage: python -m repro <artefact>|all")
         print("       python -m repro reproduce [--list] [<name> ...]")
         print("       python -m repro serve-bench [--model <name>] [--json]")
         print("       python -m repro fleet-bench [--models <name> ...] [--json]")
+        print("       python -m repro chaos-smoke [--quick] [--json]")
         print("artefacts:", ", ".join(ARTEFACTS))
         return 0
     targets = list(ARTEFACTS) if argv[0] == "all" else argv

@@ -1,0 +1,48 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The paper's resilience argument (DNNs tolerate controlled arithmetic
+error) is only worth production trust if the *stack* tolerates the
+failures that argument invites.  This package injects them, seeded and
+reproducible, at every layer:
+
+* :mod:`~repro.chaos.inject` — SRAM-style bit flips into live kernel
+  state: cached product tables and packed weight planes, the latter via
+  a :class:`~repro.chaos.inject.FaultyKernel` wrapper that reuses the
+  :class:`~repro.sram.faults.FaultModel` stuck-at/dead-row semantics;
+* :mod:`~repro.chaos.worker` — latency spikes and crashes inside fleet
+  worker processes (carried on the model snapshot, deterministic per
+  worker);
+* :mod:`~repro.chaos.net` — drops, partial length-prefix writes and
+  slow-loris senders against the TCP frontend;
+* :mod:`~repro.chaos.matrix` — the seeded injection matrix: every
+  single fault site and their pairwise combinations, asserting the
+  fleet invariants (zero accepted-then-dropped, 100% corruption
+  detection, post-recovery byte parity).  ``python -m repro
+  chaos-smoke`` runs it; the ``fault_tolerance`` BENCH section and CI
+  guard consume its numbers.
+
+Injection is *explicit* everywhere: nothing in this package runs unless
+a test, the matrix, or a chaos-configured snapshot asks for it.
+"""
+
+from .inject import (
+    FaultyKernel,
+    corrupt_cached_tables,
+    corrupt_packed,
+    flip_bits,
+    wrap_plan_kernels,
+)
+from .matrix import SCENARIOS, run_matrix, run_scenario
+from .worker import WorkerChaos
+
+__all__ = [
+    "FaultyKernel",
+    "SCENARIOS",
+    "WorkerChaos",
+    "corrupt_cached_tables",
+    "corrupt_packed",
+    "flip_bits",
+    "run_matrix",
+    "run_scenario",
+    "wrap_plan_kernels",
+]

@@ -1,0 +1,208 @@
+"""The chaos test matrix: combined failures vs the fault-tolerance contract.
+
+Each scenario boots a real multi-process fleet behind the TCP frontend,
+injects one fault site (or a pairwise combination), drives seeded
+traffic through a reconnecting client, and measures the contract:
+
+* **zero accepted-then-dropped** — the fleet's own accounting must
+  close exactly (``accepted == completed + failed``) under every
+  combined failure; a shed or a structured error is fine, a stranded
+  future is not;
+* **byte-identical recovery** — once healing/respawn completes, an
+  inference through the surviving fleet equals a parent-side plan
+  executed on the same bytes, bit for bit, and every worker's
+  :func:`~repro.runtime.fleet.plan_digest` matches the parent's;
+* **100% corruption detection** — every worker whose tables were
+  bit-flipped at boot must report the corruption in its next
+  :func:`~repro.core.integrity.check_and_heal` round.
+
+Fault sites: ``table_bitflip`` (SRAM-style flips in the worker's cached
+product tables), ``worker_crash`` (a worker killed mid-run from the
+parent), ``latency_spike`` (seeded in-worker stalls, countered by
+hedged dispatch), ``socket_drop`` (truncated headers, partial frames
+and a slow-loris client against the frontend).  The six pairwise
+combinations cover the interactions.
+
+``run_matrix(quick=True)`` is the CI ``chaos-smoke`` entry point; the
+``fault_tolerance`` experiment sweeps rates instead (in-process — the
+experiment engine's pool workers are daemonic and cannot fork a fleet).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+__all__ = ["SCENARIOS", "run_scenario", "run_matrix"]
+
+#: name -> fault-site knobs (pairs cover every two-site interaction).
+SCENARIOS: dict[str, dict] = {
+    "table_bitflip": {"flips": 1},
+    "worker_crash": {"kill": True},
+    "latency_spike": {"latency": True},
+    "socket_drop": {"socket": True},
+    "table_bitflip+worker_crash": {"flips": 1, "kill": True},
+    "table_bitflip+latency_spike": {"flips": 1, "latency": True},
+    "table_bitflip+socket_drop": {"flips": 1, "socket": True},
+    "worker_crash+latency_spike": {"kill": True, "latency": True},
+    "worker_crash+socket_drop": {"kill": True, "socket": True},
+    "latency_spike+socket_drop": {"latency": True, "socket": True},
+}
+
+_MODEL = "lenet"
+_SHAPE = (2, 1, 16, 16)
+
+
+def _malform(host: str, port: int, x: np.ndarray) -> int:
+    """Throw every malformed-traffic shape at the frontend; count them."""
+    from . import net as chaos_net
+
+    payload = ("infer", _MODEL, x)
+    for attack in (
+        lambda s: chaos_net.send_truncated_header(s, 2),
+        lambda s: chaos_net.send_partial_frame(s, payload, 0.5),
+        lambda s: chaos_net.slow_loris_send(
+            s, payload, chunk=64, delay_s=0.001, max_bytes=256
+        ),
+    ):
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            attack(sock)
+        # The abrupt close right here is part of the injection: the
+        # handler is mid-read on a frame that will never complete.
+    return 3
+
+
+def run_scenario(name: str, spec: dict, quick: bool = True, seed: int = 0) -> dict:
+    """Run one scenario end to end; returns its measurement row."""
+    from ..runtime.fleet import (
+        FleetServer,
+        plan_digest,
+        rebuild_plan,
+        snapshot_model,
+    )
+    from ..runtime.frontend import (
+        FleetClient,
+        FleetDeadlineError,
+        FleetFrontend,
+        FleetRequestError,
+        FleetShedError,
+    )
+    from .worker import WorkerChaos
+
+    flips = int(spec.get("flips", 0))
+    latency = bool(spec.get("latency", False))
+    kill = bool(spec.get("kill", False))
+    drop = bool(spec.get("socket", False))
+
+    chaos = None
+    if flips or latency:
+        chaos = WorkerChaos(
+            seed=seed,
+            latency_prob=0.5 if latency else 0.0,
+            latency_spike_ms=20.0 if latency else 0.0,
+            boot_table_flips=flips,
+        ).as_dict()
+    snapshot = snapshot_model(_MODEL, backend="daism", chaos=chaos)
+    n = 6 if quick else 24
+    rng = np.random.default_rng(seed)
+    xs = [rng.standard_normal(_SHAPE).astype(np.float32) for _ in range(n)]
+    x_ref = xs[0]
+    # Parent-side ground truth from the same snapshot bytes (the parent
+    # never binds the chaos policy — only workers do).
+    ref_plan = rebuild_plan(snapshot)
+    reference = ref_plan.execute(x_ref)
+    parent_digest = plan_digest(ref_plan)
+
+    injected = 0
+    client_ok = client_failed = 0
+    detected = True
+    with FleetServer(
+        workers=2,
+        max_batch=4,
+        max_delay_ms=1.0,
+        max_retries=2,
+        heartbeat_interval_s=0.5,
+    ) as server:
+        server.register(snapshot)
+        injected += 2 * flips  # every worker corrupts its tables at boot
+        with FleetFrontend(server, request_timeout_s=60.0) as frontend:
+            host, port = frontend.address
+            with FleetClient(host, port) as client:
+                for i, x in enumerate(xs):
+                    if kill and i == n // 2:
+                        server.workers(_MODEL)[0].kill()
+                        injected += 1
+                    if drop and i == n // 2:
+                        injected += _malform(host, port, x)
+                    try:
+                        client.infer_retrying(
+                            _MODEL,
+                            x,
+                            max_attempts=4,
+                            seed=seed + i,
+                            timeout_ms=30_000.0,
+                            hedge_ms=10.0 if latency else None,
+                        )
+                        client_ok += 1
+                    except (FleetRequestError, FleetShedError, FleetDeadlineError):
+                        client_failed += 1  # structured — never a hang
+                if flips:
+                    reports = server.check_health(_MODEL)
+                    # Every reachable worker booted corrupted (respawned
+                    # ones re-corrupt at boot): each must detect it.
+                    detected = bool(reports) and all(
+                        len(r.get("corrupted_tables", ()))
+                        + len(r.get("canary_failures", ()))
+                        >= 1
+                        for r in reports
+                        if "error" not in r
+                    )
+                # Recovery is complete (healed tables / respawned
+                # workers): outputs and digests must match the parent.
+                out = client.infer(_MODEL, x_ref)
+                parity = bool(np.array_equal(out, reference))
+                digest_parity = all(
+                    d == parent_digest for d in server.plan_digests(_MODEL)
+                )
+        stats = server.stats()[_MODEL]
+
+    dropped = (
+        stats["accepted_requests"]
+        - stats["completed_requests"]
+        - stats["failed_requests"]
+    )
+    return {
+        "scenario": name,
+        "accepted": stats["accepted_requests"],
+        "completed": stats["completed_requests"],
+        "failed_structured": stats["failed_requests"],
+        "client_ok": client_ok,
+        "client_failed": client_failed,
+        "dropped": dropped,
+        "injected": injected,
+        "detected": detected,
+        "worker_restarts": stats["worker_restarts"],
+        "recovery_ms": stats["last_recovery_ms"],
+        "post_recovery_parity": parity,
+        "digest_parity": digest_parity,
+    }
+
+
+def run_matrix(
+    quick: bool = True, seed: int = 0, scenarios: list[str] | None = None
+) -> list[dict]:
+    """Run the matrix and assert the fault-tolerance contract per row."""
+    rows: list[dict] = []
+    for name, spec in SCENARIOS.items():
+        if scenarios is not None and name not in scenarios:
+            continue
+        row = run_scenario(name, spec, quick=quick, seed=seed)
+        assert row["dropped"] == 0, f"{name}: {row['dropped']} accepted-then-dropped"
+        assert row["post_recovery_parity"], f"{name}: post-recovery output diverged"
+        assert row["digest_parity"], f"{name}: worker plan digests diverged"
+        assert row["detected"], f"{name}: injected corruption went undetected"
+        if spec.get("kill"):
+            assert row["worker_restarts"] >= 1, f"{name}: killed worker not respawned"
+        rows.append(row)
+    return rows

@@ -1,0 +1,71 @@
+"""Network chaos against the TCP frontend: drops, partial frames, loris.
+
+Helpers speak the frontend's own wire format (4-byte big-endian length
+prefix + pickle) so tests and the chaos matrix can produce *precisely*
+malformed traffic: a header with no body, a body cut mid-pickle, a
+client that trickles one byte per write.  The server-side contract
+under all of them: the handler thread ends (or keeps politely waiting)
+without wedging the acceptor, and other connections keep serving.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+
+from ..runtime.frontend import _HEADER
+
+__all__ = [
+    "frame",
+    "send_truncated_header",
+    "send_partial_frame",
+    "slow_loris_send",
+]
+
+
+def frame(payload: object) -> bytes:
+    """One complete wire frame for ``payload``."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(blob)) + blob
+
+
+def send_truncated_header(sock: socket.socket, n_bytes: int = 2) -> None:
+    """Send only the first ``n_bytes`` of a length prefix, then stop."""
+    sock.sendall(_HEADER.pack(1 << 16)[:n_bytes])
+
+
+def send_partial_frame(
+    sock: socket.socket, payload: object, fraction: float = 0.5
+) -> int:
+    """Send a frame cut at ``fraction`` of its bytes; returns bytes sent.
+
+    The header goes out intact, so the server commits to reading a body
+    it will never fully receive — the mid-request drop site.
+    """
+    data = frame(payload)
+    cut = max(_HEADER.size, int(len(data) * fraction))
+    sock.sendall(data[:cut])
+    return cut
+
+
+def slow_loris_send(
+    sock: socket.socket,
+    payload: object,
+    chunk: int = 1,
+    delay_s: float = 0.002,
+    max_bytes: int | None = None,
+) -> int:
+    """Trickle a frame ``chunk`` bytes at a time; returns bytes sent.
+
+    With ``max_bytes`` the send stops early (a loris that never
+    finishes); without it the frame completes, just slowly.
+    """
+    data = frame(payload)
+    limit = len(data) if max_bytes is None else min(max_bytes, len(data))
+    sent = 0
+    while sent < limit:
+        sock.sendall(data[sent : sent + chunk])
+        sent += chunk
+        time.sleep(delay_s)
+    return sent

@@ -1,0 +1,91 @@
+"""Chaos inside fleet worker processes: crashes, latency, boot corruption.
+
+A :class:`WorkerChaos` rides on the model snapshot
+(:class:`~repro.runtime.fleet.ModelSnapshot` carries its ``as_dict()``
+form, plain picklable data) so injection survives ``fork`` and
+``spawn`` alike.  Each worker binds the shared config to its own
+deterministic stream — the seed is mixed with the worker's process
+name, so runs reproduce exactly while workers still fail independently.
+
+Sites:
+
+* ``crash_prob`` — before serving a batch, the worker hard-exits
+  (``os._exit``), modelling a segfault/OOM-kill: no goodbye message,
+  the parent sees ``EOFError`` on the pipe mid-request;
+* ``latency_prob`` / ``latency_spike_ms`` — the worker sleeps before
+  executing, modelling GC pauses, page faults, CPU contention (the
+  tail-latency site hedged dispatch exists for);
+* ``boot_table_flips`` — right after the plan compiles (and the
+  integrity checksums/canaries are registered against healthy state),
+  bits flip in the worker's cached tables — the corruption the next
+  health check must detect and heal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import time
+
+import numpy as np
+
+__all__ = ["WorkerChaos", "BoundWorkerChaos"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerChaos:
+    """Seeded chaos policy for fleet workers (wire-safe via dicts)."""
+
+    seed: int = 0
+    crash_prob: float = 0.0
+    latency_prob: float = 0.0
+    latency_spike_ms: float = 0.0
+    boot_table_flips: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict | None) -> "WorkerChaos | None":
+        if not data:
+            return None
+        return WorkerChaos(**data)
+
+    def bind(self, worker_name: str) -> "BoundWorkerChaos":
+        """Bind to one worker's deterministic stream (seed x name)."""
+        mix = int.from_bytes(
+            hashlib.sha256(worker_name.encode()).digest()[:4], "big"
+        )
+        return BoundWorkerChaos(self, np.random.default_rng((self.seed, mix)))
+
+
+class BoundWorkerChaos:
+    """One worker's live chaos state: an rng plus the shared policy."""
+
+    def __init__(self, config: WorkerChaos, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+
+    def on_boot(self) -> list[tuple]:
+        """Corrupt the worker's freshly built tables (if configured)."""
+        if self.config.boot_table_flips <= 0:
+            return []
+        from .inject import corrupt_cached_tables
+
+        return corrupt_cached_tables(
+            n_tables=self.config.boot_table_flips, flips_per_table=1, seed=self.rng
+        )
+
+    def before_run(self) -> None:
+        """Maybe crash or stall, exactly as configured, before a batch."""
+        if self.config.crash_prob > 0 and self.rng.random() < self.config.crash_prob:
+            # A real crash: no reply, no cleanup — the parent's pipe read
+            # raises and the redelivery/respawn machinery takes over.
+            os._exit(13)
+        if (
+            self.config.latency_prob > 0
+            and self.config.latency_spike_ms > 0
+            and self.rng.random() < self.config.latency_prob
+        ):
+            time.sleep(self.config.latency_spike_ms / 1e3)

@@ -1,0 +1,411 @@
+"""Kernel-state integrity: checksums, canary probes, heal-or-demote.
+
+The serving stack keeps long-lived arithmetic state in process memory —
+the cached product tables (:mod:`repro.core.kernels`) and pre-packed
+weight planes — and the byte-exactness contract silently dies the
+moment any of it is corrupted (an SRAM-style bit flip turns into wrong
+logits, not a crash).  This module makes corruption a *detected,
+recoverable* event:
+
+* **per-table checksums** — every table registered at build time (the
+  ``prepare()``/first-touch path in :func:`repro.core.kernels._cached`)
+  records a SHA-256 over its bytes plus the deterministic rebuild
+  closure that produced it;
+* **canary probes** — a pinned GEMM per ``(fmt, config, kernel)``
+  whose byte-exact output digest is recorded when the state is known
+  healthy (plan compile / worker boot) and re-checked periodically;
+* **heal** — a checksum or canary mismatch rebuilds the table from
+  source (tables are pure functions of ``(bits, config)``) and
+  re-verifies;
+* **demote** — corruption that *recurs* on the same table marks its
+  ``(significand bits, config)`` as demoted; the tier router
+  (:func:`repro.core.router.route_decision`) then pins ``"auto"`` to
+  the bit-exact tier for that config and a structured
+  :class:`IntegrityError` event records the degradation.
+
+Everything is in-process state: fleet workers each run their own
+registry (a worker's ``("health",)`` message triggers
+:func:`check_and_heal` there), and the parent mirrors demotions into
+its deployment snapshots so respawned workers inherit them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+import time
+
+import numpy as np
+
+__all__ = [
+    "IntegrityError",
+    "IntegrityEvent",
+    "checksum_value",
+    "register_table",
+    "register_canary",
+    "registered_tables",
+    "registered_canaries",
+    "verify_tables",
+    "verify_canaries",
+    "check_and_heal",
+    "is_demoted",
+    "demote",
+    "demoted_keys",
+    "integrity_events",
+    "corruption_counts",
+    "reset_integrity",
+]
+
+
+def checksum_value(value) -> str:
+    """SHA-256 over an array (or nested arrays) — dtype, shape and bytes.
+
+    Handles the cache's value shapes: a bare ``ndarray``, the factored
+    ``(U, V, info)`` tuple (arrays hashed in order, the info dict by its
+    sorted item repr), and falls back to ``repr`` for anything else.
+    """
+    h = hashlib.sha256()
+    _feed(h, value)
+    return h.hexdigest()
+
+
+def _feed(h, value) -> None:
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, dict):
+        h.update(repr(sorted(value.items(), key=lambda kv: repr(kv[0]))).encode())
+    else:
+        h.update(repr(value).encode())
+
+
+@dataclasses.dataclass(frozen=True)
+class IntegrityEvent:
+    """One detection/recovery/degradation event, structured for wires."""
+
+    kind: str  #: ``table_corruption`` | ``canary_mismatch`` | ``demotion``
+    site: str  #: table key / canary key, stringified
+    action: str  #: ``rebuilt`` | ``demoted`` | ``detected``
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self) | {"error": "integrity"}
+
+
+class IntegrityError(RuntimeError):
+    """Corruption recurred past the heal budget; carries the event.
+
+    Emitted as a structured *event* on the healing path (recorded, the
+    tier demotes, serving continues) and raised only by callers that opt
+    into strict mode.
+    """
+
+    def __init__(self, event: IntegrityEvent):
+        self.event = event
+        super().__init__(f"integrity: {event.kind} at {event.site} -> {event.action}")
+
+    def as_dict(self) -> dict:
+        return self.event.as_dict()
+
+
+@dataclasses.dataclass
+class _TableRecord:
+    digest: str
+    rebuild: object  # zero-arg closure returning a fresh table
+
+
+@dataclasses.dataclass
+class _CanaryRecord:
+    fmt: object
+    config: object
+    kernel: object
+    expected: str
+
+
+_LOCK = threading.RLock()
+_TABLES: dict[tuple, _TableRecord] = {}
+_CANARIES: dict[tuple, _CanaryRecord] = {}
+_CORRUPTIONS: dict[tuple, int] = {}
+_DEMOTED: set[tuple] = set()
+_EVENTS: list[IntegrityEvent] = []
+
+#: Distinct corruption detections on one site before the router demotes
+#: its config to the bit-exact tier (the "corruption recurs" policy).
+DEMOTE_AFTER = 2
+
+
+# --------------------------------------------------------------------------
+# Registration (called from the prepare()/build path)
+# --------------------------------------------------------------------------
+
+
+def register_table(key: tuple, value, rebuild) -> None:
+    """Record a freshly built table's checksum + rebuild closure.
+
+    Called by the kernel table cache on every build (miss).  Re-building
+    after a heal re-registers the same digest — tables are pure
+    functions of their key.
+    """
+    digest = checksum_value(value)
+    with _LOCK:
+        _TABLES[key] = _TableRecord(digest=digest, rebuild=rebuild)
+
+
+def _probe_digest(fmt, config, kernel) -> str:
+    """Run the pinned canary GEMM and digest its output bytes.
+
+    The probe is tiny (8x32 @ 32x16, fixed seed) and exercises the full
+    gather path — table lookups included — so a flipped table bit that
+    lands in the probed index set changes the digest.  Deterministic by
+    the bit-exactness contract (and deterministic within a process even
+    for the non-bit-exact factored tiers).
+    """
+    from ..core.kernels import default_k_chunk
+    from ..formats.packed import pack
+
+    rng = np.random.default_rng(0xC0FFEE)
+    a = rng.standard_normal((8, 32)).astype(np.float32)
+    b = rng.standard_normal((32, 16)).astype(np.float32)
+    out = kernel.run(pack(a, fmt), pack(b, fmt), config, default_k_chunk(8, 16))
+    return checksum_value(out)
+
+
+def register_canary(fmt, config, kernel) -> str:
+    """Record the healthy output digest of the pinned GEMM (idempotent).
+
+    Called at plan compile time (``_resolve_strategy``) and on worker
+    boot — both moments the tables were just built, i.e. known healthy.
+    Returns the expected digest.
+    """
+    key = (fmt.name, config.name if config is not None else None, kernel.name)
+    with _LOCK:
+        record = _CANARIES.get(key)
+        if record is not None:
+            return record.expected
+    expected = _probe_digest(fmt, config, kernel)
+    with _LOCK:
+        record = _CANARIES.setdefault(
+            key, _CanaryRecord(fmt=fmt, config=config, kernel=kernel, expected=expected)
+        )
+        return record.expected
+
+
+def registered_tables() -> list[tuple]:
+    """Keys of every checksummed table."""
+    with _LOCK:
+        return list(_TABLES)
+
+
+def registered_canaries() -> list[tuple]:
+    """Keys of every registered canary probe."""
+    with _LOCK:
+        return list(_CANARIES)
+
+
+# --------------------------------------------------------------------------
+# Verification + healing
+# --------------------------------------------------------------------------
+
+
+def _demote_key_for_table(key: tuple) -> tuple:
+    # Table cache keys are (bits, scheme, truncated, kind); demotion is
+    # per (bits, scheme, truncated) — every kind shares the config.
+    return tuple(key[:3])
+
+
+def _note_corruption(key: tuple, kind: str, site: str) -> IntegrityEvent | None:
+    """Count one detection; returns the demotion event if the budget blew."""
+    _CORRUPTIONS[key] = _CORRUPTIONS.get(key, 0) + 1
+    _EVENTS.append(IntegrityEvent(kind=kind, site=site, action="rebuilt"))
+    if _CORRUPTIONS[key] >= DEMOTE_AFTER:
+        if kind == "table_corruption":
+            demote_key = _demote_key_for_table(key)
+        else:  # canary key: (fmt_name, config_name, kernel_name)
+            record = _CANARIES[key]
+            demote_key = _demote_key_for_canary(record)
+        if demote_key not in _DEMOTED:
+            _DEMOTED.add(demote_key)
+            event = IntegrityEvent(
+                kind="demotion",
+                site=site,
+                action="demoted",
+                detail=f"corruption recurred {_CORRUPTIONS[key]}x; "
+                "router pinned to the bit-exact tier",
+            )
+            _EVENTS.append(event)
+            return event
+    return None
+
+
+def _demote_key_for_canary(record: _CanaryRecord) -> tuple:
+    config = record.config
+    if config is None:
+        return (record.fmt.significand_bits, None, False)
+    return (record.fmt.significand_bits, config.scheme, config.truncated)
+
+
+def verify_tables(heal: bool = True) -> dict:
+    """Re-checksum every registered table against the live cache.
+
+    A mismatch is *always* detected (the digest covers every byte).
+    With ``heal`` the table is rebuilt from source and reinstalled in
+    the cache; recurring corruption demotes (see :data:`DEMOTE_AFTER`).
+    """
+    from . import kernels
+
+    corrupted: list[tuple] = []
+    demotions: list[dict] = []
+    with _LOCK:
+        records = list(_TABLES.items())
+    for key, record in records:
+        live = kernels.peek_table(key)
+        if live is None:
+            continue  # cache was cleared externally; nothing to verify
+        if checksum_value(live) == record.digest:
+            continue
+        corrupted.append(key)
+        with _LOCK:
+            event = _note_corruption(key, "table_corruption", str(key))
+            if event is not None:
+                demotions.append(event.as_dict())
+        if heal:
+            fresh = record.rebuild()
+            kernels.install_table(key, fresh)
+            with _LOCK:
+                _TABLES[key] = _TableRecord(
+                    digest=checksum_value(fresh), rebuild=record.rebuild
+                )
+    return {
+        "tables_checked": len(records),
+        "corrupted_tables": [str(k) for k in corrupted],
+        "healed_tables": len(corrupted) if heal else 0,
+        "demotions": demotions,
+    }
+
+
+def verify_canaries(heal: bool = True) -> dict:
+    """Re-run every canary probe against its recorded healthy digest.
+
+    On mismatch the table layer is healed first (the usual cause) and
+    the probe retried; a mismatch that *survives* healing counts as
+    recurred corruption and demotes immediately — the kernel's output
+    is wrong for reasons a rebuild did not fix.
+    """
+    with _LOCK:
+        records = list(_CANARIES.items())
+    failures: list[str] = []
+    persistent: list[str] = []
+    demotions: list[dict] = []
+    for key, record in records:
+        got = _probe_digest(record.fmt, record.config, record.kernel)
+        if got == record.expected:
+            continue
+        failures.append(str(key))
+        if not heal:
+            continue
+        verify_tables(heal=True)
+        got = _probe_digest(record.fmt, record.config, record.kernel)
+        with _LOCK:
+            if got == record.expected:
+                _EVENTS.append(
+                    IntegrityEvent(
+                        kind="canary_mismatch", site=str(key), action="rebuilt"
+                    )
+                )
+            else:
+                persistent.append(str(key))
+                demote_key = _demote_key_for_canary(record)
+                _DEMOTED.add(demote_key)
+                event = IntegrityEvent(
+                    kind="canary_mismatch",
+                    site=str(key),
+                    action="demoted",
+                    detail="probe still wrong after table heal",
+                )
+                _EVENTS.append(event)
+                demotions.append(event.as_dict())
+    return {
+        "canaries_checked": len(records),
+        "canary_failures": failures,
+        "persistent_failures": persistent,
+        "demotions": demotions,
+    }
+
+
+def check_and_heal() -> dict:
+    """One full integrity round: tables, then canaries; heals in place.
+
+    The worker ``("health",)`` message and the fleet's periodic health
+    monitor run exactly this.  Returns a merged, wire-ready report.
+    """
+    t0 = time.perf_counter()
+    tables = verify_tables(heal=True)
+    canaries = verify_canaries(heal=True)
+    report = {**tables, **canaries}
+    report["demotions"] = tables["demotions"] + canaries["demotions"]
+    report["demoted"] = bool(report["demotions"]) or bool(demoted_keys())
+    report["elapsed_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+    return report
+
+
+# --------------------------------------------------------------------------
+# Demotion state (consulted by the tier router)
+# --------------------------------------------------------------------------
+
+
+def is_demoted(fmt, config) -> bool:
+    """Has ``(fmt, config)`` been demoted to the bit-exact tier?"""
+    if config is None:
+        return False
+    with _LOCK:
+        return (fmt.significand_bits, config.scheme, config.truncated) in _DEMOTED
+
+
+def demote(fmt, config) -> None:
+    """Manually demote ``(fmt, config)`` (tests / operator override)."""
+    with _LOCK:
+        _DEMOTED.add((fmt.significand_bits, config.scheme, config.truncated))
+        _EVENTS.append(
+            IntegrityEvent(
+                kind="demotion",
+                site=f"({fmt.name}, {config.name})",
+                action="demoted",
+                detail="manual demotion",
+            )
+        )
+
+
+def demoted_keys() -> list[tuple]:
+    """Snapshot of demoted ``(significand_bits, scheme, truncated)`` keys."""
+    with _LOCK:
+        return sorted(_DEMOTED)
+
+
+def integrity_events() -> list[IntegrityEvent]:
+    """Every event recorded since the last :func:`reset_integrity`."""
+    with _LOCK:
+        return list(_EVENTS)
+
+
+def corruption_counts() -> dict[tuple, int]:
+    """Per-site detection counts (drives the demote-after policy)."""
+    with _LOCK:
+        return dict(_CORRUPTIONS)
+
+
+def reset_integrity() -> None:
+    """Clear events, corruption counts and demotions (tests).
+
+    Table/canary registrations are kept — they mirror live cache state,
+    which a reset does not change.
+    """
+    with _LOCK:
+        _CORRUPTIONS.clear()
+        _DEMOTED.clear()
+        _EVENTS.clear()

@@ -83,6 +83,7 @@ import numpy as np
 
 from ..formats.floatfmt import FloatFormat, compose
 from ..formats.packed import PackedTensor
+from . import integrity
 from .config import MultiplierConfig
 from .fp_mul import _normalise, significand_product
 from .native import jit_gather, native_active, native_status
@@ -109,6 +110,8 @@ __all__ = [
     "factored_tables",
     "table_cache_counters",
     "reset_table_cache_counters",
+    "peek_table",
+    "install_table",
     "default_k_chunk",
     "row_block_budget",
     "set_row_budget",
@@ -242,7 +245,33 @@ def _cached(key: tuple, build):
         _TABLE_COUNTERS["misses"] += 1
         value = build()
         _TABLE_CACHE[key] = value
-        return value
+    # Register the checksum + rebuild closure outside the table lock
+    # (integrity takes its own lock first when healing; keeping the
+    # integrity -> table ordering on both paths avoids a deadlock).
+    integrity.register_table(key, value, build)
+    return value
+
+
+def peek_table(key: tuple):
+    """The live cache entry for ``key`` (``None`` if absent).
+
+    Integrity verification reads the *live* bytes through this — no
+    build, no counter churn — to compare against the registered
+    checksum.
+    """
+    with _TABLE_LOCK:
+        return _TABLE_CACHE.get(key)
+
+
+def install_table(key: tuple, value) -> None:
+    """Replace a cache entry in place (the integrity heal path).
+
+    Kernels look their tables up per ``run`` call, so the next GEMM on
+    any thread reads the healed entry; the corrupted array is left to
+    the garbage collector once in-flight calls drop it.
+    """
+    with _TABLE_LOCK:
+        _TABLE_CACHE[key] = value
 
 
 def _config_key(config: MultiplierConfig | None) -> tuple:

@@ -37,6 +37,7 @@ import time
 import numpy as np
 
 from ..formats.floatfmt import FloatFormat
+from . import integrity
 from .config import MultiplierConfig
 from .error_bounds import worst_case_relative_error
 from .kernels import (
@@ -259,6 +260,16 @@ def route_decision(
             kernel=found.name,
             shape_class=cls,
             reason="no certified fast path (exact products or untabulated format)",
+        )
+    if integrity.is_demoted(fmt, config):
+        # Corruption recurred on this config's tables: the integrity
+        # subsystem pinned it to the bit-exact path.  Overrides recorded
+        # (autotuned) tiers — a measured speed win never outranks a
+        # correctness demotion.
+        return TierDecision(
+            kernel=exact_tier_name(fmt),
+            shape_class=cls,
+            reason="integrity demotion: corruption recurred on this config",
         )
     with _RECORDED_LOCK:
         pinned = _RECORDED.get((fmt.name, config.name, cls))

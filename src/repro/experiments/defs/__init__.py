@@ -10,7 +10,9 @@ Each module registers the experiments of one group into
   (whole-network execution, related-work multiplier comparison);
 * :mod:`~repro.experiments.defs.accelerator` — the accelerator
   co-simulation suite (``dse_sweep``, ``network_latency``,
-  ``fault_sensitivity``).
+  ``fault_sensitivity``);
+* :mod:`~repro.experiments.defs.chaos` — the serving fault-tolerance
+  sweep (``fault_tolerance``).
 """
 
-from . import ablations, accelerator, extensions, figures, tables  # noqa: F401
+from . import ablations, accelerator, chaos, extensions, figures, tables  # noqa: F401

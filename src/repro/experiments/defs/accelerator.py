@@ -57,8 +57,11 @@ def fault_error_matrix(
 
     config = MultiplierConfig.from_name(config_name)
     rng = np.random.default_rng(seed)
+    # One stream end to end: the fault map draws from the same generator
+    # as the operand sampling below (the chaos injectors share this
+    # contract), instead of re-deriving a second generator from the seed.
     fm = inject_random_faults(
-        256, 256, cell_fault_rate=rate, dead_row_rate=dead_row_rate, seed=seed
+        256, 256, cell_fault_rate=rate, dead_row_rate=dead_row_rate, seed=rng
     )
     bank = ComputeBank(8 * 1024, config, 8, fault_model=fm)
     # Fill the whole bank (geometry depends on the config's word width and

@@ -38,6 +38,7 @@ Quick start::
 
 from .engine import BatchEngine
 from .fleet import (
+    DeadlineExceededError,
     FleetServer,
     ModelSnapshot,
     ShedLoadError,
@@ -53,6 +54,7 @@ from .server import InferenceServer, LoadReport, MicroBatcher, Request, run_load
 
 __all__ = [
     "BatchEngine",
+    "DeadlineExceededError",
     "ExecContext",
     "ExecutionPlan",
     "FleetServer",

@@ -36,6 +36,28 @@ redeliveries, then fails the future with a structured
 snapshot and keeps serving.  ``close(drain=True)`` serves every
 accepted request before stopping.
 
+Self-healing (PR 9) extends the contract to *detected* degradation:
+
+* a **heartbeat monitor** pings workers and respawns ones that died
+  idle (a mid-request death is caught by the runner's pipe read);
+* **deadline propagation** — ``submit(..., timeout_ms=...)`` carries an
+  absolute deadline through admission (predicted-completion check),
+  dispatch (expired requests fail with a structured
+  :class:`DeadlineExceededError`) and into the worker (which refuses to
+  compute work that already missed its budget);
+* **hedged dispatch** — ``submit(..., hedge_ms=...)`` enqueues a
+  duplicate after the hedge delay; first resolution wins (tail-latency
+  insurance against a stalling worker);
+* a **circuit breaker** (``breaker_threshold``) quarantines a model
+  whose workers crash repeatedly — its queue fails structurally and
+  new submits shed with ``reason="circuit_open"`` while other models
+  keep serving; after ``breaker_cooldown_s`` the deployment revives;
+* **integrity health checks** — ``check_health(model)`` asks each
+  worker to run :func:`repro.core.integrity.check_and_heal` (checksum +
+  canary verification, rebuild on mismatch); a worker that reports
+  recurring corruption demotes the deployment to the bit-exact kernel
+  tier and respawns on it.
+
 The open-loop Poisson benchmark over this fleet lives in
 :mod:`repro.runtime.serving_bench`; the TCP frontend in
 :mod:`repro.runtime.frontend`.
@@ -43,6 +65,7 @@ The open-loop Poisson benchmark over this fleet lives in
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import dataclasses
 import hashlib
@@ -76,6 +99,7 @@ __all__ = [
     "plan_digest",
     "ShedLoadError",
     "WorkerCrashError",
+    "DeadlineExceededError",
     "FleetServer",
 ]
 
@@ -121,13 +145,17 @@ class ModelSnapshot:
     (bit-exact weights + BatchNorm statistics), and ``backend`` /
     ``kernel`` are the wire names :func:`resolve_backend` consumes.
     The tuple is plain picklable data — safe across ``fork`` and
-    ``spawn`` alike.
+    ``spawn`` alike.  ``chaos`` optionally carries a
+    :class:`~repro.chaos.worker.WorkerChaos` policy in dict form —
+    workers bind it to their own deterministic fault stream (tests and
+    the chaos matrix only; production snapshots leave it ``None``).
     """
 
     model: str
     state: bytes
     backend: str = "daism"
     kernel: str | None = None
+    chaos: dict | None = None
 
 
 def snapshot_model(
@@ -135,13 +163,18 @@ def snapshot_model(
     module=None,
     backend: str = "daism",
     kernel: str | None = None,
+    chaos: dict | None = None,
 ) -> ModelSnapshot:
     """Freeze ``module`` (or a fresh zoo build) into a :class:`ModelSnapshot`."""
     if module is None:
         module = _zoo_build(model)
     resolve_backend(backend, kernel)  # fail fast on a bad wire name
     return ModelSnapshot(
-        model=model, state=state_bytes(module), backend=backend, kernel=kernel
+        model=model,
+        state=state_bytes(module),
+        backend=backend,
+        kernel=kernel,
+        chaos=chaos,
     )
 
 
@@ -245,9 +278,13 @@ def plan_digest(plan: ExecutionPlan) -> list[str]:
 class ShedLoadError(RuntimeError):
     """Request rejected at admission — the structured shed-load response.
 
-    ``reason`` is ``"queue_full"`` (bounded queue depth exceeded) or
-    ``"sla_unmeetable"`` (predicted completion beyond the latency SLA).
-    ``as_dict()`` is the wire form the socket frontend returns.
+    ``reason`` is ``"queue_full"`` (bounded queue depth exceeded),
+    ``"sla_unmeetable"`` (predicted completion beyond the latency SLA /
+    the request's propagated deadline), or ``"circuit_open"`` (the
+    model's circuit breaker quarantined its workers after repeated
+    crashes).  ``as_dict()`` is the wire form the socket frontend
+    returns — ``predicted_ms`` / ``retry_after_ms`` are the hints the
+    client-side backoff honours.
     """
 
     def __init__(
@@ -258,6 +295,7 @@ class ShedLoadError(RuntimeError):
         limit: int | None = None,
         predicted_ms: float | None = None,
         sla_ms: float | None = None,
+        retry_after_ms: float | None = None,
     ):
         self.model = model
         self.reason = reason
@@ -265,11 +303,13 @@ class ShedLoadError(RuntimeError):
         self.limit = limit
         self.predicted_ms = predicted_ms
         self.sla_ms = sla_ms
-        detail = (
-            f"queue depth {queued_samples} at limit {limit}"
-            if reason == "queue_full"
-            else f"predicted {predicted_ms:.1f} ms exceeds SLA {sla_ms:.1f} ms"
-        )
+        self.retry_after_ms = retry_after_ms
+        if reason == "queue_full":
+            detail = f"queue depth {queued_samples} at limit {limit}"
+        elif reason == "circuit_open":
+            detail = f"circuit open, retry after {retry_after_ms:.0f} ms"
+        else:
+            detail = f"predicted {predicted_ms:.1f} ms exceeds SLA {sla_ms:.1f} ms"
         super().__init__(f"load shed for {model!r}: {detail}")
 
     def as_dict(self) -> dict:
@@ -282,6 +322,7 @@ class ShedLoadError(RuntimeError):
             "limit": self.limit,
             "predicted_ms": self.predicted_ms,
             "sla_ms": self.sla_ms,
+            "retry_after_ms": self.retry_after_ms,
         }
 
 
@@ -292,18 +333,62 @@ class WorkerCrashError(RuntimeError):
     resolves with data or with a structured error.
     """
 
-    def __init__(self, model: str, retries: int):
+    def __init__(self, model: str, retries: int, reason: str = "crash"):
         self.model = model
         self.retries = retries
+        self.reason = reason
         super().__init__(
-            f"worker serving {model!r} crashed; request failed after "
+            f"worker serving {model!r} crashed ({reason}); request failed after "
             f"{retries} redeliver{'y' if retries == 1 else 'ies'}"
         )
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-ready structured failure."""
+        return {
+            "error": "worker_crash",
+            "model": self.model,
+            "retries": self.retries,
+            "reason": self.reason,
+        }
+
+
+class DeadlineExceededError(RuntimeError):
+    """An accepted request's propagated deadline passed before completion.
+
+    Raised on the future (structured, never a silent drop) when the
+    client-supplied ``timeout_ms`` budget expired while the request
+    waited in the queue or before a worker could serve it.
+    """
+
+    def __init__(self, model: str, late_ms: float):
+        self.model = model
+        self.late_ms = late_ms
+        super().__init__(
+            f"deadline exceeded for {model!r}: {late_ms:.1f} ms past budget"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-ready structured failure."""
+        return {"error": "deadline_exceeded", "model": self.model, "late_ms": self.late_ms}
 
 
 # --------------------------------------------------------------------------
 # Worker process
 # --------------------------------------------------------------------------
+
+
+def _worker_exact_tier(snapshot: ModelSnapshot) -> str | None:
+    """The bit-exact kernel tier name for this snapshot's backend.
+
+    Reported in health replies so the parent can demote the deployment
+    (respawn workers pinned to this tier) without re-deriving the
+    format; ``None`` for backends without a packed kernel path.
+    """
+    from ..core.kernels import exact_tier_name
+
+    backend = resolve_backend(snapshot.backend, snapshot.kernel)
+    fmt = getattr(backend, "fmt", None)
+    return exact_tier_name(fmt) if fmt is not None else None
 
 
 def _worker_main(conn, snapshot: ModelSnapshot) -> None:
@@ -313,9 +398,24 @@ def _worker_main(conn, snapshot: ModelSnapshot) -> None:
     once, so the parent's runner thread can block on ``recv``.  A
     handshake message reports compile success (or the failure reason)
     before any request is served.
+
+    Message kinds: ``("run", x[, deadline_remaining_s])`` executes a
+    batch (an already-expired deadline replies ``("expired", late_s)``
+    without computing); ``("digest",)`` / ``("ping",)`` introspect;
+    ``("health",)`` runs a full integrity round (checksums, canaries,
+    heal) and replies with its report plus the demotion tier;
+    ``("chaos", params)`` injects table corruption on demand (tests).
     """
     try:
         plan = rebuild_plan(snapshot)
+        exact_tier = _worker_exact_tier(snapshot)
+        chaos = None
+        if snapshot.chaos:
+            from ..chaos.worker import WorkerChaos
+
+            chaos = WorkerChaos.from_dict(snapshot.chaos).bind(
+                multiprocessing.current_process().name
+            )
     except BaseException as exc:
         try:
             conn.send(("init_err", f"{type(exc).__name__}: {exc}"))
@@ -323,6 +423,10 @@ def _worker_main(conn, snapshot: ModelSnapshot) -> None:
             conn.close()
         return
     conn.send(("ready", os.getpid()))
+    if chaos is not None:
+        # After the handshake (and after integrity registered healthy
+        # checksums during the rebuild): corrupt the live tables.
+        chaos.on_boot()
     while True:
         try:
             msg = conn.recv()
@@ -332,6 +436,12 @@ def _worker_main(conn, snapshot: ModelSnapshot) -> None:
         if kind == "stop":
             break
         if kind == "run":
+            if chaos is not None:
+                chaos.before_run()
+            deadline_remaining = msg[2] if len(msg) > 2 else None
+            if deadline_remaining is not None and deadline_remaining <= 0:
+                conn.send(("expired", -deadline_remaining))
+                continue
             try:
                 out = plan.execute(msg[1])
             except BaseException as exc:
@@ -342,6 +452,26 @@ def _worker_main(conn, snapshot: ModelSnapshot) -> None:
             conn.send(("ok", plan_digest(plan)))
         elif kind == "ping":
             conn.send(("ok", "pong"))
+        elif kind == "health":
+            from ..core.integrity import check_and_heal
+
+            try:
+                report = check_and_heal()
+                report["exact_tier"] = exact_tier
+                report["pid"] = os.getpid()
+                conn.send(("ok", report))
+            except BaseException as exc:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        elif kind == "chaos":
+            from ..chaos.inject import corrupt_cached_tables
+
+            params = msg[1] if len(msg) > 1 else {}
+            corrupted = corrupt_cached_tables(
+                n_tables=params.get("n_tables", 1),
+                flips_per_table=params.get("flips_per_table", 1),
+                seed=params.get("seed", 0),
+            )
+            conn.send(("ok", [str(k) for k in corrupted]))
         else:
             conn.send(("err", f"unknown message kind {kind!r}"))
     conn.close()
@@ -357,7 +487,14 @@ def _default_start_method() -> str:
 
 
 class _WorkerHandle:
-    """One worker process + its pipe, respawnable from the snapshot."""
+    """One worker process + its pipe, respawnable from the snapshot.
+
+    ``lock`` serialises pipe use between the runner thread (batches)
+    and the health monitor (pings, health rounds, idle respawns) — the
+    protocol is strict request/reply per pipe, so exactly one thread
+    may hold a request in flight.  The monitor only ever *tries* the
+    lock: a runner mid-request already proves the worker is live.
+    """
 
     def __init__(self, ctx, snapshot: ModelSnapshot, name: str, ready_timeout_s: float):
         self.ctx = ctx
@@ -366,6 +503,7 @@ class _WorkerHandle:
         self.ready_timeout_s = ready_timeout_s
         self.process: multiprocessing.Process | None = None
         self.conn: multiprocessing.connection.Connection | None = None
+        self.lock = threading.Lock()
         self.spawn()
 
     def spawn(self) -> None:
@@ -445,6 +583,12 @@ class _Deployment:
         self.inflight_samples = 0
         self.ewma_ms_per_sample: float | None = None
         self.abandon = False  # close(drain=False): consumers stop eagerly
+        # Circuit-breaker state: recent crash wall-clock times, and when
+        # open, the monotonic time the quarantine lifts.
+        self.crash_times: collections.deque[float] = collections.deque(maxlen=64)
+        self.quarantined = False
+        self.open_until = 0.0
+        self.last_recovery_ms: float | None = None
         self.stats = {
             "accepted_requests": 0,
             "accepted_samples": 0,
@@ -455,6 +599,13 @@ class _Deployment:
             "retried_requests": 0,
             "worker_restarts": 0,
             "batches": 0,
+            "expired_requests": 0,
+            "hedged_requests": 0,
+            "hedge_wins": 0,
+            "breaker_opens": 0,
+            "integrity_checks": 0,
+            "integrity_corruptions": 0,
+            "integrity_demotions": 0,
         }
 
     def note_service(self, elapsed_ms: float, samples: int) -> None:
@@ -490,6 +641,19 @@ class FleetServer:
     start_method:
         ``multiprocessing`` start method; default ``fork`` where
         available (override with ``REPRO_FLEET_START_METHOD``).
+    heartbeat_interval_s:
+        Health-monitor period: each tick pings idle workers (respawning
+        any that died between batches) and revives deployments whose
+        circuit-breaker cooldown elapsed.  ``None`` disables the
+        monitor (crash recovery still happens on the runner path, and
+        revival happens lazily at the next ``submit``).
+    breaker_threshold / breaker_window_s / breaker_cooldown_s:
+        Circuit breaker: ``breaker_threshold`` worker crashes within
+        ``breaker_window_s`` seconds quarantine the model — queued
+        requests fail structurally, submits shed with
+        ``reason="circuit_open"`` — until ``breaker_cooldown_s``
+        elapses and the deployment revives with fresh workers.
+        ``breaker_threshold=None`` (default) disables the breaker.
     """
 
     def __init__(
@@ -502,6 +666,10 @@ class FleetServer:
         max_retries: int = 1,
         start_method: str | None = None,
         ready_timeout_s: float = 60.0,
+        heartbeat_interval_s: float | None = 5.0,
+        breaker_threshold: int | None = None,
+        breaker_window_s: float = 30.0,
+        breaker_cooldown_s: float = 5.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -512,10 +680,25 @@ class FleetServer:
         self.sla_ms = sla_ms
         self.max_retries = int(max_retries)
         self.ready_timeout_s = ready_timeout_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window_s = float(breaker_window_s)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
         self._ctx = multiprocessing.get_context(start_method or _default_start_method())
         self._deployments: dict[str, _Deployment] = {}
         self._closed = False
         self._submit_lock = threading.Lock()
+        self._events: list[dict] = []
+        self._events_lock = threading.Lock()
+        self._monitor_stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        if heartbeat_interval_s is not None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                args=(float(heartbeat_interval_s),),
+                name="repro-fleet-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
 
     # -- registry ---------------------------------------------------------
 
@@ -585,22 +768,53 @@ class FleetServer:
 
     # -- client side ------------------------------------------------------
 
-    def submit(self, model: str, x: np.ndarray) -> concurrent.futures.Future:
+    def submit(
+        self,
+        model: str,
+        x: np.ndarray,
+        timeout_ms: float | None = None,
+        hedge_ms: float | None = None,
+    ) -> concurrent.futures.Future:
         """Admit one request for ``model``; resolves to the plan output.
 
+        ``timeout_ms`` propagates a completion deadline: admission sheds
+        up front when the predicted completion already misses it, and an
+        accepted request whose deadline passes before service fails with
+        a structured :class:`DeadlineExceededError` (the remaining
+        budget travels to the worker, which refuses expired work).
+        ``hedge_ms`` arms hedged dispatch: if the request is still
+        unresolved after that delay a duplicate is enqueued and the
+        first resolution wins — tail-latency insurance against one
+        stalled worker.
+
         Raises :class:`ShedLoadError` (structured, recoverable) when
-        admission control rejects, ``ValueError`` for unknown models or
-        malformed payloads, ``RuntimeError`` after close.
+        admission control rejects — including ``reason="circuit_open"``
+        while the model is quarantined — ``ValueError`` for unknown
+        models or malformed payloads, ``RuntimeError`` after close.
         """
         x = np.asarray(x, dtype=np.float32)
         if x.ndim < 2:
             raise ValueError("requests must have a leading sample axis (n, ...)")
         dep = self._deployment(model)
         n = len(x)
+        now = time.monotonic()
+        deadline = now + timeout_ms / 1e3 if timeout_ms is not None else None
         future: concurrent.futures.Future = concurrent.futures.Future()
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("fleet is closed")
+            if dep.quarantined:
+                if now >= dep.open_until:
+                    self._revive(dep)
+                else:
+                    with dep.lock:
+                        dep.stats["shed_requests"] += 1
+                    raise ShedLoadError(
+                        model,
+                        reason="circuit_open",
+                        queued_samples=dep.batcher.pending_samples,
+                        retry_after_ms=(dep.open_until - now) * 1e3,
+                    )
             queued = dep.batcher.pending_samples
             if queued + n > dep.max_queue_samples:
                 with dep.lock:
@@ -611,12 +825,20 @@ class FleetServer:
                     queued_samples=queued,
                     limit=dep.max_queue_samples,
                 )
-            if dep.sla_ms is not None and dep.ewma_ms_per_sample is not None:
+            sla_budget_ms = dep.sla_ms
+            if deadline is not None:
+                remaining_ms = (deadline - now) * 1e3
+                sla_budget_ms = (
+                    remaining_ms
+                    if sla_budget_ms is None
+                    else min(sla_budget_ms, remaining_ms)
+                )
+            if sla_budget_ms is not None and dep.ewma_ms_per_sample is not None:
                 with dep.lock:
                     inflight = dep.inflight_samples
                     est = dep.ewma_ms_per_sample
                 predicted = (queued + inflight + n) * est / max(1, len(dep.handles))
-                if predicted > dep.sla_ms:
+                if predicted > sla_budget_ms:
                     with dep.lock:
                         dep.stats["shed_requests"] += 1
                     raise ShedLoadError(
@@ -624,13 +846,55 @@ class FleetServer:
                         reason="sla_unmeetable",
                         queued_samples=queued,
                         predicted_ms=predicted,
-                        sla_ms=dep.sla_ms,
+                        sla_ms=sla_budget_ms,
                     )
-            dep.batcher.put(Request(x, future, time.monotonic()))
+            request = Request(x, future, now, deadline=deadline)
+            dep.batcher.put(request)
             with dep.lock:
                 dep.stats["accepted_requests"] += 1
                 dep.stats["accepted_samples"] += n
+        if hedge_ms is not None:
+            timer = threading.Timer(
+                hedge_ms / 1e3, self._dispatch_hedge, args=(dep, request)
+            )
+            timer.daemon = True
+            timer.start()
         return future
+
+    def _dispatch_hedge(self, dep: _Deployment, request: Request) -> None:
+        """Enqueue the hedged duplicate if the primary hasn't resolved."""
+        with self._submit_lock:
+            if self._closed or dep.quarantined or request.future.done():
+                return
+            dep.batcher.put(
+                Request(
+                    request.x,
+                    request.future,
+                    time.monotonic(),
+                    retries=self.max_retries,  # a crashed hedge never redelivers
+                    deadline=request.deadline,
+                    hedged=True,
+                )
+            )
+            with dep.lock:
+                dep.stats["hedged_requests"] += 1
+
+    @staticmethod
+    def _try_result(r: Request, value) -> bool:
+        """Resolve a future if still pending (hedged pairs race)."""
+        try:
+            r.future.set_result(value)
+            return True
+        except concurrent.futures.InvalidStateError:
+            return False
+
+    @staticmethod
+    def _try_exception(r: Request, exc: BaseException) -> bool:
+        try:
+            r.future.set_exception(exc)
+            return True
+        except concurrent.futures.InvalidStateError:
+            return False
 
     # -- runner threads (one per worker process) --------------------------
 
@@ -639,6 +903,10 @@ class FleetServer:
             batch, stop = dep.batcher.next_batch()
             if batch:
                 self._serve_batch(dep, handle, batch)
+            if dep.quarantined:
+                # The breaker opened (this thread or a sibling): stop
+                # consuming; _quarantine drained and failed the queue.
+                break
             if stop:
                 # Drain guarantee: don't exit while requests (possibly
                 # requeued by a sibling's crash) still wait behind our
@@ -648,28 +916,76 @@ class FleetServer:
                     continue
                 break
 
+    def _complete(self, dep: _Deployment, r: Request, payload) -> None:
+        """Resolve one request with data, keeping hedged accounting exact."""
+        if self._try_result(r, payload):
+            with dep.lock:
+                dep.stats["completed_requests"] += 1
+                dep.stats["completed_samples"] += len(r.x)
+                if r.hedged:
+                    dep.stats["hedge_wins"] += 1
+
+    def _fail(self, dep: _Deployment, r: Request, exc: BaseException) -> None:
+        """Resolve one request with a structured error (never both)."""
+        if self._try_exception(r, exc):
+            with dep.lock:
+                dep.stats["failed_requests"] += 1
+                if isinstance(exc, DeadlineExceededError):
+                    dep.stats["expired_requests"] += 1
+
+    def _split_expired(
+        self, dep: _Deployment, batch: list[Request]
+    ) -> tuple[list[Request], float | None]:
+        """Fail already-expired requests; return (live batch, min remaining).
+
+        ``min remaining`` (seconds) is the tightest live deadline — it
+        rides to the worker so compute that can no longer meet any
+        waiter is refused there too.
+        """
+        now = time.monotonic()
+        live: list[Request] = []
+        remaining: float | None = None
+        for r in batch:
+            if r.deadline is not None and now >= r.deadline:
+                self._fail(
+                    dep,
+                    r,
+                    DeadlineExceededError(dep.snapshot.model, (now - r.deadline) * 1e3),
+                )
+                continue
+            live.append(r)
+            if r.deadline is not None:
+                left = r.deadline - now
+                remaining = left if remaining is None else min(remaining, left)
+        return live, remaining
+
     def _serve_batch(
         self, dep: _Deployment, handle: _WorkerHandle, batch: list[Request]
     ) -> None:
+        batch, deadline_remaining = self._split_expired(dep, batch)
+        # Hedged duplicates whose primary already resolved are dead
+        # weight — drop them before shipping bytes to the worker.
+        batch = [r for r in batch if not (r.hedged and r.future.done())]
+        if not batch:
+            return
         try:
             xs = [r.x for r in batch]
             x = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
         except BaseException as exc:  # mismatched shapes: fail waiters only
             for r in batch:
-                r.future.set_exception(exc)
-            with dep.lock:
-                dep.stats["failed_requests"] += len(batch)
+                self._fail(dep, r, exc)
             return
         with dep.lock:
             dep.inflight_samples += len(x)
         t0 = time.perf_counter()
-        try:
-            status, payload = handle.request(("run", x))
-        except (EOFError, OSError, BrokenPipeError):
-            with dep.lock:
-                dep.inflight_samples -= len(x)
-            self._handle_crash(dep, handle, batch)
-            return
+        with handle.lock:
+            try:
+                status, payload = handle.request(("run", x, deadline_remaining))
+            except (EOFError, OSError, BrokenPipeError):
+                with dep.lock:
+                    dep.inflight_samples -= len(x)
+                self._handle_crash(dep, handle, batch)
+                return
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         with dep.lock:
             dep.inflight_samples -= len(x)
@@ -677,30 +993,43 @@ class FleetServer:
             dep.note_service(elapsed_ms, len(x))
             offset = 0
             for r in batch:
-                r.future.set_result(payload[offset : offset + len(r.x)])
+                self._complete(dep, r, payload[offset : offset + len(r.x)])
                 offset += len(r.x)
             with dep.lock:
-                dep.stats["completed_requests"] += len(batch)
-                dep.stats["completed_samples"] += len(x)
                 dep.stats["batches"] += 1
+        elif status == "expired":
+            # The worker refused work past its deadline: every waiter in
+            # this batch missed the tightest budget or shares its fate.
+            for r in batch:
+                late = 0.0
+                if r.deadline is not None:
+                    late = max(0.0, (time.monotonic() - r.deadline) * 1e3)
+                self._fail(dep, r, DeadlineExceededError(dep.snapshot.model, late))
         else:
             exc = RuntimeError(f"worker execution failed: {payload}")
             for r in batch:
-                r.future.set_exception(exc)
-            with dep.lock:
-                dep.stats["failed_requests"] += len(batch)
+                self._fail(dep, r, exc)
 
     def _handle_crash(
         self, dep: _Deployment, handle: _WorkerHandle, batch: list[Request]
     ) -> None:
-        """Redeliver or fail a crashed batch, then respawn the worker."""
+        """Redeliver or fail a crashed batch, respawn, maybe open the breaker.
+
+        Caller holds ``handle.lock`` (the crash was observed on an
+        in-flight request), so the respawn cannot race the monitor.
+        """
+        t_crash = time.perf_counter()
         with dep.lock:
             dep.stats["worker_restarts"] += 1
+            dep.crash_times.append(time.monotonic())
+        if self._breaker_should_open(dep):
+            self._quarantine(dep, handle, batch)
+            return
         for r in batch:
+            if r.future.done():
+                continue  # hedge already resolved it elsewhere
             if r.retries >= self.max_retries:
-                r.future.set_exception(WorkerCrashError(dep.snapshot.model, r.retries))
-                with dep.lock:
-                    dep.stats["failed_requests"] += 1
+                self._fail(dep, r, WorkerCrashError(dep.snapshot.model, r.retries))
             else:
                 r.retries += 1
                 with dep.lock:
@@ -713,10 +1042,254 @@ class FleetServer:
             # Without a worker this runner is useless; fail anything
             # still queued so no accepted future hangs, then exit.
             for r in dep.batcher.drain_now():
-                r.future.set_exception(
-                    RuntimeError(f"worker respawn failed: {exc}")
-                )
+                self._fail(dep, r, RuntimeError(f"worker respawn failed: {exc}"))
             raise
+        dep.last_recovery_ms = (time.perf_counter() - t_crash) * 1e3
+
+    # -- circuit breaker ---------------------------------------------------
+
+    def _breaker_should_open(self, dep: _Deployment) -> bool:
+        if self.breaker_threshold is None or dep.quarantined:
+            return False
+        cutoff = time.monotonic() - self.breaker_window_s
+        with dep.lock:
+            recent = sum(1 for t in dep.crash_times if t >= cutoff)
+        return recent >= self.breaker_threshold
+
+    def _quarantine(
+        self, dep: _Deployment, handle: _WorkerHandle, batch: list[Request]
+    ) -> None:
+        """Open the breaker: fail the queue, stop workers, start cooldown.
+
+        Only this model degrades — its runner threads exit (sentinels +
+        the ``quarantined`` flag) and its workers die, while every other
+        deployment keeps serving untouched.
+        """
+        model = dep.snapshot.model
+        with dep.lock:
+            dep.stats["breaker_opens"] += 1
+        dep.quarantined = True
+        dep.open_until = time.monotonic() + self.breaker_cooldown_s
+        self._record_event(
+            {
+                "error": "circuit_open",
+                "model": model,
+                "cooldown_s": self.breaker_cooldown_s,
+            }
+        )
+        exc = WorkerCrashError(dep.snapshot.model, self.max_retries, reason="circuit open")
+        for r in batch:
+            self._fail(dep, r, exc)
+        for r in dep.batcher.drain_now():
+            self._fail(dep, r, exc)
+        dep.batcher.put_sentinel(len(dep.runners))
+        handle.kill()
+        for other in dep.handles:
+            if other is not handle:
+                # Sibling runners may be mid-request; kill reaps the
+                # process, their pipe read fails, and the quarantine
+                # flag stops them before a respawn.
+                other.kill()
+
+    def _revive(self, dep: _Deployment) -> None:
+        """Half-open -> closed: respawn workers and runners after cooldown.
+
+        Called with ``_submit_lock`` held (lazy revival on submit) or
+        from the monitor (which takes the lock itself).  A crash after
+        revival re-opens the breaker through the normal counting path.
+        """
+        t0 = time.perf_counter()
+        model = dep.snapshot.model
+        fresh_handles: list[_WorkerHandle] = []
+        for i, old in enumerate(dep.handles):
+            handle = _WorkerHandle(
+                self._ctx, dep.snapshot, f"repro-fleet-{model}-{i}", self.ready_timeout_s
+            )
+            fresh_handles.append(handle)
+        dep.handles = fresh_handles
+        dep.runners = []
+        for i, handle in enumerate(dep.handles):
+            runner = threading.Thread(
+                target=self._run_worker,
+                args=(dep, handle),
+                name=f"repro-fleet-runner-{model}-{i}",
+                daemon=True,
+            )
+            dep.runners.append(runner)
+        dep.quarantined = False
+        with dep.lock:
+            dep.crash_times.clear()
+        # Runners that exited through the quarantine flag never consumed
+        # their sentinel; purge the stale markers or the fresh runners
+        # would stop before serving anything.
+        dep.batcher.clear_sentinels()
+        for runner in dep.runners:
+            runner.start()
+        dep.last_recovery_ms = (time.perf_counter() - t0) * 1e3
+        self._record_event({"error": "circuit_closed", "model": model})
+
+    # -- health monitor ----------------------------------------------------
+
+    def _record_event(self, event: dict) -> None:
+        with self._events_lock:
+            self._events.append(dict(event))
+
+    def events(self) -> list[dict]:
+        """Structured degradation events (breaker trips, demotions, ...)."""
+        with self._events_lock:
+            return list(self._events)
+
+    def _monitor_loop(self, interval_s: float) -> None:
+        while not self._monitor_stop.wait(interval_s):
+            try:
+                self._monitor_tick()
+            except Exception as exc:  # the monitor itself must survive
+                self._record_event(
+                    {"error": "monitor_error", "detail": f"{type(exc).__name__}: {exc}"}
+                )
+
+    def _monitor_tick(self) -> None:
+        """One heartbeat round: revive cooled breakers, respawn dead idlers.
+
+        Workers are only probed when their ``handle.lock`` is free — a
+        runner mid-request already proves the worker is live, and the
+        pipe's strict request/reply protocol forbids interleaving.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            deployments = list(self._deployments.values())
+            for dep in deployments:
+                if dep.quarantined and time.monotonic() >= dep.open_until:
+                    self._revive(dep)
+        for dep in deployments:
+            if dep.quarantined or dep.abandon:
+                continue
+            for handle in dep.handles:
+                if not handle.lock.acquire(blocking=False):
+                    continue
+                try:
+                    self._heartbeat(dep, handle)
+                finally:
+                    handle.lock.release()
+
+    def _heartbeat(self, dep: _Deployment, handle: _WorkerHandle) -> None:
+        """Ping one idle worker; respawn it if dead or unresponsive.
+
+        Caller holds ``handle.lock``.
+        """
+        healthy = False
+        if handle.alive and handle.conn is not None:
+            try:
+                handle.conn.send(("ping",))
+                if handle.conn.poll(self.ready_timeout_s):
+                    handle.conn.recv()
+                    healthy = True
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+        if healthy:
+            return
+        t0 = time.perf_counter()
+        handle.kill()
+        try:
+            handle.spawn()
+        except BaseException as exc:
+            self._record_event(
+                {
+                    "error": "respawn_failed",
+                    "model": dep.snapshot.model,
+                    "worker": handle.name,
+                    "detail": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        dep.last_recovery_ms = (time.perf_counter() - t0) * 1e3
+        with dep.lock:
+            dep.stats["worker_restarts"] += 1
+        self._record_event(
+            {
+                "error": "worker_respawned",
+                "model": dep.snapshot.model,
+                "worker": handle.name,
+                "recovery_ms": dep.last_recovery_ms,
+            }
+        )
+
+    def check_health(self, model: str) -> list[dict]:
+        """Run one integrity round (checksums + canaries + heal) per worker.
+
+        Each worker executes :func:`repro.core.integrity.check_and_heal`
+        in its own process; the merged reports come back per worker.  A
+        worker reporting recurred corruption (``demoted``) demotes the
+        whole deployment: its snapshot is pinned to the bit-exact kernel
+        tier and every worker respawns on it — corrupted state cannot
+        survive the respawn, and the tier cannot re-corrupt the same way
+        (no approximate tables to flip).
+        """
+        dep = self._deployment(model)
+        reports: list[dict] = []
+        demote_tier: str | None = None
+        for handle in dep.handles:
+            with handle.lock:
+                try:
+                    status, payload = handle.request(("health",))
+                except (EOFError, OSError, BrokenPipeError):
+                    reports.append({"error": "worker_unreachable", "worker": handle.name})
+                    continue
+            if status != "ok":
+                reports.append({"error": "health_failed", "detail": payload})
+                continue
+            reports.append(payload)
+            with dep.lock:
+                dep.stats["integrity_checks"] += 1
+                dep.stats["integrity_corruptions"] += len(
+                    payload.get("corrupted_tables", ())
+                ) + len(payload.get("canary_failures", ()))
+            if payload.get("demoted") and payload.get("exact_tier"):
+                demote_tier = payload["exact_tier"]
+        if demote_tier is not None and dep.snapshot.kernel != demote_tier:
+            self._demote(dep, demote_tier)
+        return reports
+
+    def _demote(self, dep: _Deployment, tier: str) -> None:
+        """Pin the deployment to the bit-exact tier and respawn its workers."""
+        t0 = time.perf_counter()
+        model = dep.snapshot.model
+        dep.snapshot = dataclasses.replace(dep.snapshot, kernel=tier)
+        with dep.lock:
+            dep.stats["integrity_demotions"] += 1
+        for handle in dep.handles:
+            with handle.lock:
+                handle.snapshot = dep.snapshot
+                handle.kill()
+                handle.spawn()
+        dep.last_recovery_ms = (time.perf_counter() - t0) * 1e3
+        self._record_event(
+            {
+                "error": "integrity",
+                "model": model,
+                "action": "demoted",
+                "kernel": tier,
+                "recovery_ms": dep.last_recovery_ms,
+            }
+        )
+
+    def plan_digests(self, model: str) -> list[list[str]]:
+        """Per-worker :func:`plan_digest` — the byte-identity proof.
+
+        Equal lists across workers (and against a parent-side compile of
+        the same snapshot) mean every process runs the same arithmetic
+        on the same bits; the chaos matrix asserts this *after* recovery.
+        """
+        dep = self._deployment(model)
+        out: list[list[str]] = []
+        for handle in dep.handles:
+            with handle.lock:
+                status, payload = handle.request(("digest",))
+            if status != "ok":
+                raise RuntimeError(f"digest failed on {handle.name}: {payload}")
+            out.append(payload)
+        return out
 
     # -- lifecycle / introspection ----------------------------------------
 
@@ -735,6 +1308,12 @@ class FleetServer:
             row["queued_samples"] = dep.batcher.pending_samples
             row["workers_alive"] = sum(1 for h in dep.handles if h.alive)
             row["workers"] = len(dep.handles)
+            row["quarantined"] = dep.quarantined
+            row["last_recovery_ms"] = (
+                round(dep.last_recovery_ms, 3)
+                if dep.last_recovery_ms is not None
+                else None
+            )
             out[name] = row
         return out
 
@@ -745,6 +1324,9 @@ class FleetServer:
         structurally failed) before workers stop; without it, queued
         requests fail with ``RuntimeError`` immediately.
         """
+        self._monitor_stop.set()
+        if self._monitor is not None and self._monitor is not threading.current_thread():
+            self._monitor.join(timeout=10.0)
         with self._submit_lock:
             if self._closed:
                 return

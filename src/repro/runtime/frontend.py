@@ -6,8 +6,9 @@ length-prefixed pickle protocol, one request/reply pair per message,
 persistent connections.  Admission-control outcomes cross the wire
 **structurally** — a shed is not an opaque 500 but the
 :meth:`~repro.runtime.fleet.ShedLoadError.as_dict` payload, so clients
-can implement backoff against ``reason`` / ``predicted_ms`` instead of
-parsing strings.
+can implement backoff against ``reason`` / ``predicted_ms`` /
+``retry_after_ms`` instead of parsing strings; a missed deadline is the
+:meth:`~repro.runtime.fleet.DeadlineExceededError.as_dict` payload.
 
 Wire format (both directions)::
 
@@ -15,11 +16,18 @@ Wire format (both directions)::
 
 Client → server messages::
 
-    ("infer", model_name, float32_array)   -> ("ok", output_array)
+    ("infer", model_name, float32_array[, opts])
+                                           -> ("ok", output_array)
                                             | ("shed", shed_dict)
+                                            | ("deadline", deadline_dict)
                                             | ("err", message)
     ("models",)                            -> ("ok", [names...])
     ("stats",)                             -> ("ok", stats_dict)
+
+``opts`` is an optional dict — ``{"timeout_ms": float, "hedge_ms":
+float}`` — forwarded to :meth:`~repro.runtime.fleet.FleetServer.submit`
+(deadline propagation and hedged dispatch).  The three-element form
+stays valid, so old clients keep working.
 
 Pickle over the wire means this frontend trusts its peers — bind it to
 loopback (the default) or a private network only, exactly like the
@@ -29,16 +37,24 @@ multiprocessing pipes it mirrors.
 from __future__ import annotations
 
 import pickle
+import random
 import socket
 import socketserver
 import struct
 import threading
+import time
 
 import numpy as np
 
-from .fleet import FleetServer, ShedLoadError
+from .fleet import DeadlineExceededError, FleetServer, ShedLoadError
 
-__all__ = ["FleetFrontend", "FleetClient", "FleetRequestError", "FleetShedError"]
+__all__ = [
+    "FleetFrontend",
+    "FleetClient",
+    "FleetRequestError",
+    "FleetShedError",
+    "FleetDeadlineError",
+]
 
 _HEADER = struct.Struct(">I")
 #: Refuse absurd frames before allocating (64 MiB of pickled arrays).
@@ -76,8 +92,7 @@ def _recv_msg(sock: socket.socket) -> object | None:
 
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # one thread per connection (ThreadingTCPServer)
-        fleet: FleetServer = self.server.fleet  # type: ignore[attr-defined]
-        timeout_s: float = self.server.request_timeout_s  # type: ignore[attr-defined]
+        server: _FrontendServer = self.server  # type: ignore[assignment]
         while True:
             try:
                 msg = _recv_msg(self.request)
@@ -86,9 +101,11 @@ class _Handler(socketserver.BaseRequestHandler):
             if msg is None:
                 return
             try:
-                reply = self._dispatch(fleet, timeout_s, msg)
+                reply = self._dispatch(server.fleet, server.request_timeout_s, msg)
             except ShedLoadError as exc:
                 reply = ("shed", exc.as_dict())
+            except DeadlineExceededError as exc:
+                reply = ("deadline", exc.as_dict())
             except BaseException as exc:
                 reply = ("err", f"{type(exc).__name__}: {exc}")
             try:
@@ -100,16 +117,44 @@ class _Handler(socketserver.BaseRequestHandler):
     def _dispatch(fleet: FleetServer, timeout_s: float, msg) -> tuple:
         kind = msg[0]
         if kind == "infer":
-            _, model, x = msg
-            out = fleet.submit(model, np.asarray(x, dtype=np.float32)).result(
-                timeout=timeout_s
+            model, x = msg[1], msg[2]
+            opts = msg[3] if len(msg) > 3 else {}
+            if not isinstance(opts, dict):
+                return ("err", f"infer opts must be a dict, got {type(opts).__name__}")
+            future = fleet.submit(
+                model,
+                np.asarray(x, dtype=np.float32),
+                timeout_ms=opts.get("timeout_ms"),
+                hedge_ms=opts.get("hedge_ms"),
             )
-            return ("ok", out)
+            return ("ok", future.result(timeout=timeout_s))
         if kind == "models":
             return ("ok", fleet.models())
         if kind == "stats":
             return ("ok", fleet.stats())
         return ("err", f"unknown message kind {kind!r}")
+
+
+class _FrontendServer(socketserver.ThreadingTCPServer):
+    """The TCP server with its fleet wiring as real constructor state.
+
+    ``fleet`` and ``request_timeout_s`` are declared fields (handlers
+    read them through the typed ``self.server`` reference) instead of
+    attributes injected onto an anonymous subclass after the fact.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        fleet: FleetServer,
+        request_timeout_s: float,
+    ):
+        self.fleet = fleet
+        self.request_timeout_s = float(request_timeout_s)
+        super().__init__(address, _Handler)
 
 
 class FleetFrontend:
@@ -118,8 +163,11 @@ class FleetFrontend:
     Binds ``host:port`` (``port=0`` picks a free one — read
     :attr:`address`), handles each connection on its own thread, and
     forwards ``infer`` requests into the fleet's admission-controlled
-    ``submit``.  The frontend does not own the fleet: closing the
-    frontend stops the listener, the fleet's own ``close`` drains it.
+    ``submit``.  ``request_timeout_s`` bounds how long a handler thread
+    waits on one future; ``join_timeout_s`` bounds how long ``close``
+    waits for the acceptor thread.  The frontend does not own the
+    fleet: closing the frontend stops the listener, the fleet's own
+    ``close`` drains it.
     """
 
     def __init__(
@@ -128,16 +176,12 @@ class FleetFrontend:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout_s: float = 60.0,
+        join_timeout_s: float = 10.0,
     ):
         self.fleet = fleet
-
-        class _Server(socketserver.ThreadingTCPServer):
-            allow_reuse_address = True
-            daemon_threads = True
-
-        self._server = _Server((host, port), _Handler)
-        self._server.fleet = fleet  # type: ignore[attr-defined]
-        self._server.request_timeout_s = request_timeout_s  # type: ignore[attr-defined]
+        self.request_timeout_s = float(request_timeout_s)
+        self.join_timeout_s = float(join_timeout_s)
+        self._server = _FrontendServer((host, port), fleet, request_timeout_s)
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="repro-fleet-frontend", daemon=True
         )
@@ -152,7 +196,7 @@ class FleetFrontend:
         """Stop accepting connections (idempotent; fleet left running)."""
         self._server.shutdown()
         self._server.server_close()
-        self._thread.join(timeout=10.0)
+        self._thread.join(timeout=self.join_timeout_s)
 
     def __enter__(self) -> "FleetFrontend":
         return self
@@ -173,31 +217,150 @@ class FleetShedError(RuntimeError):
         super().__init__(f"request shed: {info.get('reason')} ({info})")
 
 
+class FleetDeadlineError(RuntimeError):
+    """The request's propagated deadline expired server-side."""
+
+    def __init__(self, info: dict):
+        self.info = info
+        super().__init__(
+            f"deadline exceeded: {info.get('late_ms', 0.0):.1f} ms past budget"
+        )
+
+
 class FleetClient:
     """Blocking client for :class:`FleetFrontend` (one connection).
 
     Not thread-safe — the protocol is strict request/reply per
     connection; open one client per thread.
+
+    The client self-heals its transport: a reset connection or a short
+    read triggers reconnect-with-backoff (``reconnect_attempts`` tries,
+    exponential from ``reconnect_backoff_s``) and **one** resend of the
+    in-flight message.  ``infer`` is safe to resend — the fleet either
+    never admitted the lost request or failed its future when the
+    connection's handler died; nothing is double-counted as completed.
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 60.0,
+        reconnect_attempts: int = 3,
+        reconnect_backoff_s: float = 0.05,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self.reconnect_attempts = int(reconnect_attempts)
+        self.reconnect_backoff_s = float(reconnect_backoff_s)
+        self._sock: socket.socket | None = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout_s
+        )
+
+    def _reconnect(self) -> None:
+        self.close()
+        last: Exception | None = None
+        for attempt in range(self.reconnect_attempts):
+            try:
+                self._connect()
+                return
+            except OSError as exc:
+                last = exc
+                time.sleep(self.reconnect_backoff_s * (2**attempt))
+        raise ConnectionError(
+            f"reconnect to {self._host}:{self._port} failed after "
+            f"{self.reconnect_attempts} attempts"
+        ) from last
+
+    def _roundtrip(self, msg: tuple):
+        if self._sock is None:
+            self._reconnect()
+        try:
+            _send_msg(self._sock, msg)
+            reply = _recv_msg(self._sock)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            reply = None
+        if reply is None:
+            # Reset / short read / server restart: heal the transport
+            # and resend exactly once on the fresh connection.
+            self._reconnect()
+            _send_msg(self._sock, msg)
+            reply = _recv_msg(self._sock)
+            if reply is None:
+                raise ConnectionError("server closed the connection")
+        return reply
 
     def _call(self, msg: tuple):
-        _send_msg(self._sock, msg)
-        reply = _recv_msg(self._sock)
-        if reply is None:
-            raise ConnectionError("server closed the connection")
-        status, payload = reply
+        status, payload = self._roundtrip(msg)
         if status == "ok":
             return payload
         if status == "shed":
             raise FleetShedError(payload)
+        if status == "deadline":
+            raise FleetDeadlineError(payload)
         raise FleetRequestError(payload)
 
-    def infer(self, model: str, x: np.ndarray) -> np.ndarray:
-        """Run ``x`` through ``model``; raises structured errors on shed/err."""
-        return self._call(("infer", model, np.asarray(x, dtype=np.float32)))
+    def infer(
+        self,
+        model: str,
+        x: np.ndarray,
+        timeout_ms: float | None = None,
+        hedge_ms: float | None = None,
+    ) -> np.ndarray:
+        """Run ``x`` through ``model``; raises structured errors on shed/err.
+
+        ``timeout_ms`` / ``hedge_ms`` ride the wire to the fleet's
+        deadline propagation and hedged dispatch.
+        """
+        msg: tuple = ("infer", model, np.asarray(x, dtype=np.float32))
+        opts = {}
+        if timeout_ms is not None:
+            opts["timeout_ms"] = timeout_ms
+        if hedge_ms is not None:
+            opts["hedge_ms"] = hedge_ms
+        if opts:
+            msg = msg + (opts,)
+        return self._call(msg)
+
+    def infer_retrying(
+        self,
+        model: str,
+        x: np.ndarray,
+        max_attempts: int = 5,
+        base_backoff_ms: float = 10.0,
+        max_backoff_ms: float = 2000.0,
+        seed: int = 0,
+        timeout_ms: float | None = None,
+        hedge_ms: float | None = None,
+    ) -> np.ndarray:
+        """``infer`` with shed-aware retry: exponential backoff + jitter.
+
+        A shed reply is a *hint-carrying* rejection — ``retry_after_ms``
+        (circuit open) or ``predicted_ms`` (SLA pressure) set the wait
+        floor when present; otherwise the wait doubles from
+        ``base_backoff_ms``.  Jitter is drawn from a seeded generator so
+        retry schedules are reproducible in tests and benchmarks.  The
+        last attempt's error propagates unchanged.
+        """
+        rng = random.Random(seed)
+        for attempt in range(max_attempts):
+            try:
+                return self.infer(model, x, timeout_ms=timeout_ms, hedge_ms=hedge_ms)
+            except FleetShedError as exc:
+                if attempt == max_attempts - 1:
+                    raise
+                backoff = min(max_backoff_ms, base_backoff_ms * (2**attempt))
+                hint = exc.info.get("retry_after_ms") or exc.info.get("predicted_ms")
+                if hint is not None:
+                    backoff = max(backoff, float(hint))
+                backoff = min(backoff, max_backoff_ms)
+                time.sleep((backoff * (0.5 + rng.random())) / 1e3)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def models(self) -> list[str]:
         """Model names registered on the remote fleet."""
@@ -208,7 +371,13 @@ class FleetClient:
         return self._call(("stats",))
 
     def close(self) -> None:
-        self._sock.close()
+        """Close the connection (idempotent; reconnects on next call)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "FleetClient":
         return self

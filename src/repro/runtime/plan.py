@@ -33,6 +33,7 @@ import numpy as np
 
 from ..arch.workloads import ConvLayer
 from ..core.gemm import ApproxMatmul, ExactMatmul, MatmulBackend, QuantizedMatmul
+from ..core.integrity import register_canary
 from ..core.kernels import select_kernel
 from ..core.router import route_kernel
 from ..formats.packed import PackedTensor
@@ -171,6 +172,10 @@ def _resolve_strategy(
         prepared.scale()
         if strategy.needs_dense:
             prepared.dense()
+    # Record the healthy canary digest for this (fmt, config, kernel)
+    # while the tables are freshly built — the integrity subsystem's
+    # periodic probe compares against it (idempotent per process).
+    register_canary(strategy.fmt, strategy.config, strategy.kernel)
     return strategy, prepared
 
 

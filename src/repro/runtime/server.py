@@ -49,12 +49,20 @@ class Request:
     ``arrival`` anchors the coalescing deadline (the budget clock runs
     from the *oldest* request in a batch); ``retries`` counts fleet
     worker-crash redeliveries (always 0 on the single-process path).
+    ``deadline`` is an absolute ``time.monotonic()`` completion deadline
+    propagated from the client (``None`` = no deadline): the fleet fails
+    expired requests with a structured error instead of serving stale
+    work, and forwards the remaining budget to the worker.  ``hedged``
+    marks the duplicate dispatch of a hedged request — it shares the
+    primary's future (first resolution wins) and skips accounting.
     """
 
     x: np.ndarray
     future: concurrent.futures.Future
     arrival: float
     retries: int = 0
+    deadline: float | None = None
+    hedged: bool = False
 
 
 _SENTINEL = object()
@@ -164,6 +172,32 @@ class MicroBatcher:
                 drained.append(self._account(item))
         self.put_sentinel(sentinels)
         return drained
+
+    def clear_sentinels(self) -> int:
+        """Remove queued stop markers, keeping requests in order.
+
+        A quarantined deployment's runners may exit via the quarantine
+        flag without consuming their sentinel; reviving it must purge
+        those stale markers or the fresh runners stop immediately.  Only
+        safe while no consumer is pulling (the fleet calls this with all
+        runners exited and submits excluded).  Returns the count removed.
+        """
+        kept: list = []
+        removed = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                removed += 1
+            else:
+                kept.append(item)
+        for item in kept:
+            # Straight re-queue: these were never un-accounted, so the
+            # pending counters must not move.
+            self._queue.put(item)
+        return removed
 
     # -- introspection ----------------------------------------------------
 

@@ -114,12 +114,19 @@ def inject_random_faults(
     cols: int,
     cell_fault_rate: float,
     dead_row_rate: float = 0.0,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
 ) -> FaultModel:
-    """Sample a random fault map (half stuck-at-0, half stuck-at-1)."""
+    """Sample a random fault map (half stuck-at-0, half stuck-at-1).
+
+    ``seed`` is an int or a live ``numpy.random.Generator`` — passing a
+    generator draws from the caller's stream, the one seeding contract
+    shared by the co-sim experiments and the chaos injectors (so a
+    sweep that also samples operands uses a single stream instead of
+    re-deriving a second generator from the same int).
+    """
     if not 0.0 <= cell_fault_rate < 1.0 or not 0.0 <= dead_row_rate < 1.0:
         raise ValueError("fault rates must be in [0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     faulty = rng.random((rows, cols)) < cell_fault_rate
     polarity = rng.random((rows, cols)) < 0.5
     sa0 = frozenset(map(tuple, np.argwhere(faulty & polarity)))

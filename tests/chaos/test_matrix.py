@@ -1,0 +1,69 @@
+"""Tests for the chaos matrix: scenario coverage and the contract end to end.
+
+Running every scenario belongs to the ``chaos-smoke`` CI step; here a
+representative subset proves the machinery (``run_matrix`` asserts the
+fault-tolerance contract internally, so a returned row *is* the proof)
+plus structural checks on the scenario table itself.
+"""
+
+import itertools
+
+from repro.chaos.matrix import SCENARIOS, run_matrix, run_scenario
+
+
+class TestScenarioTable:
+    def test_single_sites_present(self):
+        for site in ("table_bitflip", "worker_crash", "latency_spike", "socket_drop"):
+            assert site in SCENARIOS
+
+    def test_every_pairwise_combination_present(self):
+        singles = [n for n in SCENARIOS if "+" not in n]
+        for a, b in itertools.combinations(singles, 2):
+            assert f"{a}+{b}" in SCENARIOS or f"{b}+{a}" in SCENARIOS
+
+    def test_combo_specs_union_their_parts(self):
+        for name, spec in SCENARIOS.items():
+            if "+" not in name:
+                continue
+            merged: dict = {}
+            for part in name.split("+"):
+                merged |= SCENARIOS[part]
+            assert spec == merged
+
+
+class TestMatrixContract:
+    def test_table_bitflip_detects_and_heals(self):
+        rows = run_matrix(quick=True, seed=0, scenarios=["table_bitflip"])
+        (row,) = rows
+        assert row["dropped"] == 0
+        assert row["detected"]
+        assert row["injected"] >= 2  # one flip per worker at boot
+        assert row["post_recovery_parity"] and row["digest_parity"]
+
+    def test_worker_crash_respawns_and_recovers(self):
+        rows = run_matrix(quick=True, seed=0, scenarios=["worker_crash"])
+        (row,) = rows
+        assert row["worker_restarts"] >= 1
+        assert row["recovery_ms"] is not None and row["recovery_ms"] > 0
+        assert row["dropped"] == 0
+
+    def test_unknown_scenario_filter_yields_nothing(self):
+        assert run_matrix(quick=True, scenarios=["no_such_site"]) == []
+
+    def test_run_scenario_row_shape(self):
+        row = run_scenario("latency_spike", SCENARIOS["latency_spike"], quick=True)
+        for key in (
+            "scenario",
+            "accepted",
+            "completed",
+            "failed_structured",
+            "dropped",
+            "injected",
+            "detected",
+            "worker_restarts",
+            "recovery_ms",
+            "post_recovery_parity",
+            "digest_parity",
+        ):
+            assert key in row
+        assert row["accepted"] == row["completed"] + row["failed_structured"]

@@ -1,0 +1,206 @@
+"""Tests for the kernel-state integrity layer: checksum, canary, heal, demote.
+
+The contract under test: every registered table's corruption is
+detected (the digest covers every byte), healing restores byte-exact
+behaviour, recurring corruption demotes the config's ``"auto"`` route
+to the bit-exact tier, and the whole loop is observable through
+structured events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import integrity, kernels
+from repro.core.config import PC3_TR
+from repro.core.gemm import approx_matmul
+from repro.core.integrity import (
+    IntegrityError,
+    IntegrityEvent,
+    check_and_heal,
+    checksum_value,
+    corruption_counts,
+    demote,
+    demoted_keys,
+    integrity_events,
+    is_demoted,
+    registered_canaries,
+    registered_tables,
+    reset_integrity,
+    verify_canaries,
+    verify_tables,
+)
+from repro.core.kernels import exact_tier_name, get_kernel
+from repro.core.router import AUTO_KERNEL, route_decision
+from repro.formats.floatfmt import BFLOAT16
+
+
+@pytest.fixture(autouse=True)
+def _clean_integrity():
+    reset_integrity()
+    yield
+    # Heal anything a test corrupted and forgot, then drop the
+    # demotion/event state so the router is back on its normal policy.
+    check_and_heal()
+    reset_integrity()
+
+
+def _gemm(seed=0, kernel="float_table"):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((8, 32)).astype(np.float32)
+    b = rng.standard_normal((32, 16)).astype(np.float32)
+    return approx_matmul(a, b, BFLOAT16, PC3_TR, kernel=kernel)
+
+
+def _corrupt_one_table():
+    """Flip one bit in the first registered table with a live cache entry."""
+    from repro.chaos.inject import flip_bits
+
+    for key in sorted(registered_tables(), key=repr):
+        value = kernels.peek_table(key)
+        if value is None:
+            continue
+        target = value
+        if isinstance(value, (tuple, list)):
+            target = next(v for v in value if isinstance(v, np.ndarray))
+        flip_bits(target, 1, seed=0)
+        return key
+    raise AssertionError("no registered table has a live cache entry")
+
+
+class TestChecksum:
+    def test_deterministic_and_byte_sensitive(self):
+        arr = np.arange(64, dtype=np.float32)
+        assert checksum_value(arr) == checksum_value(arr.copy())
+        bumped = arr.copy()
+        bumped[3] = np.float32(np.frombuffer(
+            np.uint32(arr[3:4].view(np.uint32)[0] ^ 1).tobytes(), dtype=np.float32
+        )[0])
+        assert checksum_value(bumped) != checksum_value(arr)
+
+    def test_covers_dtype_and_shape(self):
+        arr = np.zeros(16, dtype=np.float32)
+        assert checksum_value(arr) != checksum_value(arr.astype(np.float64))
+        assert checksum_value(arr) != checksum_value(arr.reshape(4, 4))
+
+    def test_tuple_values_hash_members_in_order(self):
+        u, v = np.ones(4), np.zeros(4)
+        assert checksum_value((u, v)) != checksum_value((v, u))
+
+
+class TestVerifyAndHeal:
+    def test_build_registers_tables(self):
+        _gemm()
+        assert registered_tables()
+
+    def test_clean_state_verifies_clean(self):
+        _gemm()
+        report = verify_tables(heal=True)
+        assert report["tables_checked"] >= 1
+        assert report["corrupted_tables"] == []
+        assert report["healed_tables"] == 0
+
+    def test_corruption_detected_and_healed(self):
+        baseline = _gemm()
+        key = _corrupt_one_table()
+        report = verify_tables(heal=True)
+        assert str(key) in report["corrupted_tables"]
+        assert report["healed_tables"] >= 1
+        # Healed means byte-exact again, and the next round is clean.
+        np.testing.assert_array_equal(
+            _gemm().view(np.uint32), baseline.view(np.uint32)
+        )
+        assert verify_tables(heal=True)["corrupted_tables"] == []
+
+    def test_detection_without_heal_leaves_corruption(self):
+        _gemm()
+        key = _corrupt_one_table()
+        report = verify_tables(heal=False)
+        assert str(key) in report["corrupted_tables"]
+        assert report["healed_tables"] == 0
+        # Still corrupted: a second no-heal pass finds it again.
+        assert str(key) in verify_tables(heal=False)["corrupted_tables"]
+        verify_tables(heal=True)
+
+    def test_events_are_structured(self):
+        _gemm()
+        _corrupt_one_table()
+        verify_tables(heal=True)
+        events = integrity_events()
+        assert events and isinstance(events[0], IntegrityEvent)
+        wire = events[0].as_dict()
+        assert wire["error"] == "integrity"
+        assert wire["kind"] == "table_corruption"
+
+
+class TestCanary:
+    def test_register_is_idempotent_and_passes_clean(self):
+        # Canaries register at plan compile / worker boot; do it directly.
+        expected = integrity.register_canary(
+            BFLOAT16, PC3_TR, get_kernel("float_table")
+        )
+        assert registered_canaries()
+        assert (
+            integrity.register_canary(BFLOAT16, PC3_TR, get_kernel("float_table"))
+            == expected
+        )
+        report = verify_canaries(heal=True)
+        assert report["canaries_checked"] >= 1
+        assert report["canary_failures"] == []
+
+    def test_canary_catches_and_heals_table_corruption(self):
+        # Flip enough bits that the pinned probe's index set is hit.
+        from repro.chaos.inject import corrupt_cached_tables
+
+        _gemm()
+        integrity.register_canary(BFLOAT16, PC3_TR, get_kernel("float_table"))
+        baseline = _gemm()
+        corrupt_cached_tables(n_tables=64, flips_per_table=64, seed=1)
+        report = check_and_heal()
+        assert report["corrupted_tables"]  # checksums saw it
+        assert report["persistent_failures"] == []  # heal fixed the probe
+        np.testing.assert_array_equal(
+            _gemm().view(np.uint32), baseline.view(np.uint32)
+        )
+
+
+class TestDemotion:
+    def test_recurring_corruption_demotes_the_config(self):
+        _gemm()
+        demotions = []
+        for _ in range(integrity.DEMOTE_AFTER):
+            _corrupt_one_table()
+            demotions += verify_tables(heal=True)["demotions"]
+        assert demotions, "corruption recurred past the budget but no demotion"
+        assert demoted_keys()
+        assert max(corruption_counts().values()) >= integrity.DEMOTE_AFTER
+
+    def test_router_pins_demoted_config_to_exact_tier(self):
+        assert not is_demoted(BFLOAT16, PC3_TR)
+        demote(BFLOAT16, PC3_TR)
+        assert is_demoted(BFLOAT16, PC3_TR)
+        decision = route_decision(BFLOAT16, PC3_TR, AUTO_KERNEL, shape=(256, 288, 64))
+        assert decision.kernel == exact_tier_name(BFLOAT16)
+        assert "demotion" in decision.reason
+
+    def test_integrity_error_carries_wire_dict(self):
+        event = IntegrityEvent(kind="demotion", site="x", action="demoted")
+        exc = IntegrityError(event)
+        assert exc.event is event
+        assert exc.as_dict()["error"] == "integrity"
+
+    def test_check_and_heal_reports_demoted_flag(self):
+        _gemm()
+        report = check_and_heal()
+        assert report["demoted"] is False
+        demote(BFLOAT16, PC3_TR)
+        assert check_and_heal()["demoted"] is True
+
+
+class TestRebuildRegistration:
+    def test_heal_reregisters_fresh_digest(self):
+        _gemm()
+        key = _corrupt_one_table()
+        verify_tables(heal=True)
+        live = kernels.peek_table(key)
+        assert live is not None
+        assert checksum_value(live) == integrity._TABLES[key].digest

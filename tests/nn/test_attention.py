@@ -106,9 +106,13 @@ class TestLayerNorm:
     def test_unit_affine_gives_zero_mean_unit_variance(self, n, d, seed):
         rng = np.random.default_rng(seed)
         x = (rng.standard_normal((n, d)) * 10 + 3).astype(np.float32)
-        out = LayerNorm(d)(x)  # fresh layer: gamma=1, beta=0
+        layer = LayerNorm(d)
+        out = layer(x)  # fresh layer: gamma=1, beta=0
         np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
-        np.testing.assert_allclose(out.var(axis=-1), 1.0, rtol=1e-2)
+        # The contract is v/(v+eps), not exactly 1: a row of near-equal
+        # values (possible at small d) has eps-dominated variance.
+        v = x.astype(np.float64).var(axis=-1)
+        np.testing.assert_allclose(out.var(axis=-1), v / (v + layer.eps), rtol=1e-2)
 
     def test_affine_is_gamma_xhat_plus_beta(self):
         rng = np.random.default_rng(2)

@@ -1,0 +1,148 @@
+"""Frontend chaos: malformed wire traffic, dead peers, client self-healing.
+
+The contract: nothing a client does over TCP — dying mid-request,
+sending half a length prefix, trickling bytes — may wedge the server or
+poison other connections; and the client heals its own transport
+(reconnect + single resend) without the caller noticing.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.chaos import net as chaos_net
+from repro.runtime import BatchEngine, FleetServer, compile_plan
+from repro.runtime.fleet import resolve_backend, snapshot_model
+from repro.runtime.frontend import (
+    FleetClient,
+    FleetDeadlineError,
+    FleetFrontend,
+)
+
+
+def _x(n, seed=0):
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((n, 1, 16, 16))
+        .astype(np.float32)
+    )
+
+
+@pytest.fixture()
+def served_fleet():
+    from repro.nn.models import model_zoo
+
+    module = model_zoo()["lenet"]
+    module.eval()
+    snap = snapshot_model("lenet", module=module, backend="daism")
+    engine = BatchEngine(compile_plan(module, resolve_backend("daism")))
+    with FleetServer(workers=1, max_batch=4, max_delay_ms=0.5) as fleet:
+        fleet.register(snap)
+        with FleetFrontend(fleet, request_timeout_s=30.0) as frontend:
+            host, port = frontend.address
+            yield host, port, engine
+
+
+class TestMalformedTraffic:
+    def test_truncated_header_then_close_never_wedges(self, served_fleet):
+        host, port, engine = served_fleet
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            chaos_net.send_truncated_header(sock, 2)
+        # The handler is blocked on a header that never completes, on
+        # its own thread — a fresh client must be served immediately.
+        with FleetClient(host, port, timeout_s=10.0) as client:
+            x = _x(2, seed=1)
+            np.testing.assert_array_equal(client.infer("lenet", x), engine.run(x))
+
+    def test_partial_frame_then_close_never_wedges(self, served_fleet):
+        host, port, engine = served_fleet
+        payload = ("infer", "lenet", _x(2))
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            chaos_net.send_partial_frame(sock, payload, 0.5)
+        with FleetClient(host, port, timeout_s=10.0) as client:
+            x = _x(2, seed=2)
+            np.testing.assert_array_equal(client.infer("lenet", x), engine.run(x))
+
+    def test_slow_loris_sender_does_not_block_others(self, served_fleet):
+        host, port, engine = served_fleet
+        payload = ("infer", "lenet", _x(2))
+        stop = threading.Event()
+
+        def loris():
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                chaos_net.slow_loris_send(
+                    sock, payload, chunk=32, delay_s=0.005, max_bytes=512
+                )
+                stop.wait(2.0)
+
+        thread = threading.Thread(target=loris, daemon=True)
+        thread.start()
+        try:
+            with FleetClient(host, port, timeout_s=10.0) as client:
+                for s in range(3):
+                    x = _x(2, seed=s)
+                    np.testing.assert_array_equal(
+                        client.infer("lenet", x), engine.run(x)
+                    )
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+    def test_client_killed_mid_request_server_keeps_serving(self, served_fleet):
+        host, port, engine = served_fleet
+        # Send a complete request then vanish before reading the reply.
+        raw = chaos_net.frame(("infer", "lenet", _x(4)))
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(raw)
+            # Abrupt close: RST instead of a clean shutdown.
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+        with FleetClient(host, port, timeout_s=10.0) as client:
+            x = _x(2, seed=3)
+            np.testing.assert_array_equal(client.infer("lenet", x), engine.run(x))
+
+
+class TestClientSelfHealing:
+    def test_reconnects_after_transport_killed(self, served_fleet):
+        host, port, engine = served_fleet
+        client = FleetClient(host, port, timeout_s=10.0)
+        try:
+            x = _x(2, seed=4)
+            np.testing.assert_array_equal(client.infer("lenet", x), engine.run(x))
+            # Kill the transport underneath the client.
+            client._sock.close()
+            np.testing.assert_array_equal(client.infer("lenet", x), engine.run(x))
+        finally:
+            client.close()
+
+    def test_close_is_idempotent_and_reconnects_on_next_call(self, served_fleet):
+        host, port, engine = served_fleet
+        client = FleetClient(host, port, timeout_s=10.0)
+        client.close()
+        client.close()  # second close is a no-op
+        x = _x(2, seed=5)
+        np.testing.assert_array_equal(client.infer("lenet", x), engine.run(x))
+        client.close()
+
+
+class TestDeadlineOverTheWire:
+    def test_expired_deadline_is_a_structured_error(self, served_fleet):
+        host, port, _ = served_fleet
+        with FleetClient(host, port, timeout_s=10.0) as client:
+            with pytest.raises(FleetDeadlineError) as err:
+                # A microsecond budget expires before any worker runs it.
+                client.infer("lenet", _x(2), timeout_ms=0.001)
+            assert err.value.info.get("error") == "deadline_exceeded"
+            assert err.value.info.get("model") == "lenet"
+
+    def test_generous_deadline_serves_normally(self, served_fleet):
+        host, port, engine = served_fleet
+        with FleetClient(host, port, timeout_s=10.0) as client:
+            x = _x(2, seed=6)
+            got = client.infer("lenet", x, timeout_ms=30_000.0)
+            np.testing.assert_array_equal(got, engine.run(x))

@@ -35,7 +35,7 @@ def quick_report(tmp_path_factory):
 
 def test_quick_run_writes_valid_artifact(quick_report):
     report, _path = quick_report
-    assert report["schema"] == "repro-perf/6"
+    assert report["schema"] == "repro-perf/7"
     assert report["quick"] is True
 
     # 1 size x (exact + quantized + 6 kernels x raw/prepared) = 14 rows.
@@ -138,6 +138,19 @@ def test_quick_run_writes_valid_artifact(quick_report):
     assert fleet["goodput_samples_per_s"] > 0
     assert fleet["p999_ms"] >= fleet["p99_ms"] >= fleet["p50_ms"]
 
+    ft = report["fault_tolerance"]
+    assert {r["scenario"] for r in ft["scenarios"]} == {
+        "table_bitflip",
+        "worker_crash",
+        "latency_spike",
+    }
+    assert ft["dropped"] == 0
+    assert ft["accepted"] == ft["completed"]
+    assert ft["goodput_retention"] == 1.0
+    assert ft["detection_ok"] is True
+    assert ft["parity_ok"] is True
+    assert ft["recovery_ms_max"] > 0
+
 
 def test_prepared_variant_not_slower_than_raw():
     """Satellite regression guard: prepared operands must win (or tie).
@@ -207,6 +220,7 @@ def _write_report(
     routed_ratio: float | None = None,
     scenario_ms: float | None = None,
     scenario_parity: bool = True,
+    fault_tolerance: dict | None = None,
 ) -> pathlib.Path:
     rows = [
         {
@@ -244,6 +258,8 @@ def _write_report(
             "goodput_samples_per_s": goodput,
             "accepted_then_dropped": dropped,
         }
+    if fault_tolerance is not None:
+        report["fault_tolerance"] = fault_tolerance
     if scenario_ms is not None:
         report["scenario"] = [
             {
@@ -485,6 +501,66 @@ class TestServingGuard:
         result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
         assert result.returncode == 1
         assert "DIVERGED" in result.stdout
+
+    def test_fault_recovery_skipped_when_absent(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "no fault_tolerance section" in result.stdout
+
+    def test_fault_recovery_within_ceiling_passes(self, tmp_path):
+        """Recovery time is an absolute ceiling on the fresh report."""
+        ft = {
+            "recovery_ms_max": 120.0,
+            "dropped": 0,
+            "detection_ok": True,
+            "parity_ok": True,
+        }
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, fault_tolerance=ft)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "fault-tolerance worst recovery" in result.stdout
+
+    def test_fault_recovery_above_ceiling_fails(self, tmp_path):
+        ft = {
+            "recovery_ms_max": 5000.0,
+            "dropped": 0,
+            "detection_ok": True,
+            "parity_ok": True,
+        }
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, fault_tolerance=ft)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+        # The flag tunes the ceiling.
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--fault-recovery-max-ms", "10000",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_fault_contract_breakage_fails_regardless_of_speed(self, tmp_path):
+        """Drops, missed detections or broken parity fail unconditionally."""
+        for broken, marker in (
+            ({"dropped": 1}, "DROPPED"),
+            ({"detection_ok": False}, "UNDETECTED"),
+            ({"parity_ok": False}, "parity BROKEN"),
+        ):
+            ft = {
+                "recovery_ms_max": 1.0,
+                "dropped": 0,
+                "detection_ok": True,
+                "parity_ok": True,
+                **broken,
+            }
+            fresh = _write_report(tmp_path / "fresh.json", 100.0, fault_tolerance=ft)
+            base = _write_report(tmp_path / "base.json", 100.0)
+            result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+            assert result.returncode == 1, marker
+            assert marker in result.stdout
 
     def test_quick_rows_join_committed_baseline(self, quick_report):
         """The quick grid must stay a subset of the committed full grid."""
