@@ -55,7 +55,15 @@ machine-readable artifact so CI can track the perf trajectory over PRs:
   mid-run, latency spikes — against a real multi-process fleet behind
   the TCP frontend, reporting goodput retention, corruption detection,
   post-recovery byte parity and the worst-case recovery time
-  (``check_perf_regression.py --fault-recovery-max-ms`` guards it).
+  (``check_perf_regression.py --fault-recovery-max-ms`` guards it);
+* **scheduling** (schema v8): the same deterministic Poisson+burst
+  trace replayed against two identically configured fleets — static
+  coalescing knobs vs the cost-model
+  :class:`~repro.runtime.scheduler.SchedulingPolicy` — with per-request
+  byte parity asserted between the arms and goodput aggregated over
+  seeds (``check_perf_regression.py --sched-max-regression`` guards the
+  cost-model-vs-static goodput ratio; a parity break fails the harness
+  itself).
 
 Run::
 
@@ -77,7 +85,7 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-perf/7"
+SCHEMA = "repro-perf/8"
 
 #: Scenario-model input geometry for the perf rows.  Reduced from the
 #: canonical sizes (mobilenet_edge is fully convolutional, the
@@ -589,6 +597,50 @@ def fault_tolerance(quick: bool) -> dict:
     }
 
 
+def scheduling_rows(quick: bool) -> dict:
+    """Static vs cost-model scheduling on one deterministic trace.
+
+    Runs :func:`repro.runtime.serving_bench.replay_trace_benchmark` —
+    which itself asserts per-request byte parity between the two policy
+    arms (``strict_parity``), so a report that exists at all already
+    proves scheduling never changed served bytes.  Goodput is averaged
+    over seeds before the ratio is taken: per-seed goodput on a loaded
+    host is noisy (requests complete right at the SLA edge), and the
+    guard bounds the aggregate, not one seed's coin flip.
+    """
+    from repro.runtime.serving_bench import replay_trace_benchmark
+
+    seeds = (0,) if quick else (0, 1, 2)
+    runs = []
+    for seed in seeds:
+        runs.append(
+            replay_trace_benchmark(
+                models=("lenet", "vgg_small"),
+                backend="daism",
+                workers=2,
+                duration_s=0.6 if quick else 1.5,
+                calibration_s=0.25 if quick else 0.3,
+                seed=seed,
+            )
+        )
+    static_goodput = sum(r["static"]["goodput_samples_per_s"] for r in runs) / len(runs)
+    cost_goodput = sum(
+        r["cost_model"]["goodput_samples_per_s"] for r in runs
+    ) / len(runs)
+    return {
+        "seeds": list(seeds),
+        "policy_arms": ["static", "cost_model"],
+        "parity_ok": all(r["parity"]["ok"] for r in runs),
+        "parity_checked": sum(r["parity"]["checked"] for r in runs),
+        "static_goodput_samples_per_s": round(static_goodput, 1),
+        "cost_model_goodput_samples_per_s": round(cost_goodput, 1),
+        "goodput_ratio": (
+            round(cost_goodput / static_goodput, 3) if static_goodput > 0 else None
+        ),
+        "runs": runs,
+    }
+
+
 def run(out_path: str, quick: bool = False) -> dict:
     """Execute the harness and write the JSON artifact to ``out_path``."""
     report = {
@@ -606,6 +658,7 @@ def run(out_path: str, quick: bool = False) -> dict:
         "fleet": fleet_rows(quick),
         "fault_sweep": fault_sweep(quick),
         "fault_tolerance": fault_tolerance(quick),
+        "scheduling": scheduling_rows(quick),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -708,6 +761,15 @@ def main() -> None:
         f" ({ft['completed']}/{ft['accepted']}, dropped {ft['dropped']}),"
         f" detection_ok={ft['detection_ok']}, parity_ok={ft['parity_ok']},"
         f" worst recovery {ft['recovery_ms_max']} ms"
+    )
+    sched = report["scheduling"]
+    print(
+        f"  scheduling ({len(sched['seeds'])} seed(s)):"
+        f" cost-model goodput {sched['cost_model_goodput_samples_per_s']}"
+        f" vs static {sched['static_goodput_samples_per_s']} samples/s"
+        f" -> ratio {sched['goodput_ratio']},"
+        f" byte parity {sched['parity_checked']} requests,"
+        f" parity_ok={sched['parity_ok']}"
     )
 
 

@@ -64,6 +64,17 @@ dropped request, missed corruption detection or post-recovery parity
 break fails unconditionally — those are contract booleans, not latency
 numbers.  Reports without the section skip this check with a note.
 
+Schema ``repro-perf/8`` adds a ``scheduling`` section: one
+deterministic Poisson+burst trace replayed under the static and
+cost-model scheduling policies.  Like the routed ratio it is a
+same-report comparison needing no baseline or machine proxy: the
+cost-model-vs-static ``goodput_ratio`` (aggregated over seeds) is
+guarded against the ``--sched-max-regression`` floor
+(``ratio >= 1 - tolerance``), and a byte-parity break between the two
+arms fails unconditionally — scheduling may change *when* work runs,
+never *what* it computes.  Reports without the section skip this check
+with a note.
+
 Run::
 
     python benchmarks/perf/check_perf_regression.py \
@@ -388,6 +399,37 @@ def check_fault_recovery(fresh: dict, max_ms: float) -> tuple[dict | None, bool]
     return record, regressed
 
 
+def check_scheduling(fresh: dict, max_regression: float) -> tuple[dict | None, bool]:
+    """Guard the scheduling section; returns ``(record, regressed)``.
+
+    The ``scheduling`` section (schema ``repro-perf/8``) carries the
+    cost-model-vs-static ``goodput_ratio`` on the same trace in the same
+    report, so no baseline or machine-speed proxy is involved: the ratio
+    must stay at or above ``1 - max_regression`` (the cost model must
+    not serve less than static does, beyond noise tolerance).  A parity
+    break between the two policy arms fails unconditionally — it means
+    a scheduling decision changed served bytes, which no throughput
+    number can excuse.  Returns ``(None, False)`` when the fresh report
+    predates the section.
+    """
+    section = fresh.get("scheduling")
+    if not section:
+        return None, False
+    ratio = section.get("goodput_ratio")
+    parity_ok = bool(section.get("parity_ok", True))
+    floor = 1.0 - max_regression
+    record = {
+        "key": "scheduling cost-model vs static goodput"
+        + ("" if parity_ok else " [policy byte parity BROKEN]"),
+        "unit": "x static goodput (floor, higher is better)",
+        "baseline_score": 1.0,
+        "fresh_score": ratio if ratio is not None else 0.0,
+        "floor": floor,
+    }
+    regressed = (not parity_ok) or ratio is None or ratio < floor
+    return record, regressed
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -459,6 +501,18 @@ def main(argv: list[str] | None = None) -> int:
             "schema >= 7); the section's contract booleans fail "
             "unconditionally; skipped with a note when absent "
             "(default 2000)"
+        ),
+    )
+    parser.add_argument(
+        "--sched-max-regression",
+        type=float,
+        default=0.2,
+        help=(
+            "allowed fractional shortfall of the cost-model-vs-static "
+            "scheduling goodput ratio below 1.0 (scheduling.goodput_ratio, "
+            "schema >= 8; default 0.2 — per-request goodput at the SLA "
+            "edge is noisy on shared runners); a byte-parity break "
+            "between the policy arms fails unconditionally"
         ),
     )
     parser.add_argument(
@@ -539,6 +593,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "perf guard: fresh report has no fault_tolerance section;"
             " skipping fault-recovery check"
+        )
+    sched_record, sched_regressed = check_scheduling(
+        fresh, args.sched_max_regression
+    )
+    if sched_record is not None:
+        checked.append(sched_record)
+        if sched_regressed:
+            regressed.append(sched_record)
+    else:
+        print(
+            "perf guard: fresh report has no scheduling section;"
+            " skipping scheduling check"
         )
     if not checked:
         print(

@@ -20,6 +20,10 @@ Usage::
     python -m repro fleet-bench               # open-loop fleet benchmark
     python -m repro fleet-bench --models lenet mini_resnet --workers 4
     python -m repro fleet-bench --rate-multiplier 100 --sla-ms 25 --json
+    python -m repro fleet-bench --policy cost_model --shards 2
+
+    python -m repro trace-replay              # static vs cost-model on one trace
+    python -m repro trace-replay --models lenet vgg_small --duration 2 --json
 
     python -m repro chaos-smoke --quick       # seeded fault-injection matrix
     python -m repro chaos-smoke --scenario table_bitflip worker_crash --json
@@ -35,6 +39,10 @@ samples/sec; ``fleet-bench`` stands up the multi-process
 :class:`~repro.runtime.FleetServer` and floods it with open-loop
 Poisson arrivals at a multiple of the closed-loop rate, reporting
 p50/p99/p999 latency, shed counts and goodput under the SLA;
+``trace-replay`` replays one deterministic Poisson+burst trace under
+both scheduling policies (static knobs vs the cost-model
+:class:`~repro.runtime.scheduler.SchedulingPolicy`) and compares
+goodput with per-request byte parity asserted;
 ``chaos-smoke`` runs the seeded fault-injection matrix
 (:mod:`repro.chaos.matrix`) against a live fleet and asserts the
 fault-tolerance contract (zero accepted-then-dropped, 100% corruption
@@ -278,6 +286,20 @@ def _kernel_flag(parser: "argparse.ArgumentParser") -> None:
     )
 
 
+def _policy_flag(parser: "argparse.ArgumentParser") -> None:
+    """Add the shared ``--policy`` option to a bench subcommand parser."""
+    parser.add_argument(
+        "--policy",
+        default="static",
+        choices=["static", "cost_model"],
+        help=(
+            "scheduling policy: 'static' serves with the configured knobs "
+            "unchanged; 'cost_model' lets the architecture cost model pick "
+            "micro-batch size, coalescing delay and shard split online"
+        ),
+    )
+
+
 def serve_bench(argv: list[str]) -> int:
     """The ``serve-bench`` subcommand: benchmark the serving runtime."""
     import json
@@ -315,6 +337,13 @@ def serve_bench(argv: list[str]) -> int:
     parser.add_argument("--max-batch", type=int, default=64, help="micro-batch sample threshold")
     parser.add_argument("--max-delay-ms", type=float, default=2.0, help="coalescing latency budget")
     parser.add_argument("--shards", type=int, default=1, help="engine shard threads")
+    _policy_flag(parser)
+    parser.add_argument(
+        "--sla-ms",
+        type=float,
+        default=None,
+        help="latency SLA the cost-model policy targets (default: none)",
+    )
     parser.add_argument("--json", action="store_true", help="emit the report as JSON")
     args = parser.parse_args(argv)
 
@@ -331,6 +360,8 @@ def serve_bench(argv: list[str]) -> int:
             max_batch=args.max_batch,
             max_delay_ms=args.max_delay_ms,
             shards=args.shards,
+            policy=args.policy,
+            sla_ms=args.sla_ms,
         )
     except ValueError as exc:  # bad kernel name, bad shard/batch config
         return _bench_error(exc, args.json)
@@ -340,7 +371,8 @@ def serve_bench(argv: list[str]) -> int:
     print(title(f"serve-bench: {report['model']} on {report['backend']}"))
     print(
         f"  plan: {report['plan_ops']} ops, shards={report['shards']},"
-        f" max_batch={report['max_batch']}, delay budget {report['max_delay_ms']} ms"
+        f" max_batch={report['max_batch']}, delay budget {report['max_delay_ms']} ms,"
+        f" policy={report['policy']}"
     )
     native = report["native_tier"]
     print(
@@ -419,6 +451,8 @@ def fleet_bench(argv: list[str]) -> int:
         "--max-queue-samples", type=int, default=256, help="admission queue depth per model"
     )
     parser.add_argument("--sla-ms", type=float, default=50.0, help="latency SLA for goodput")
+    parser.add_argument("--shards", type=int, default=1, help="engine shard threads per worker")
+    _policy_flag(parser)
     parser.add_argument("--json", action="store_true", help="emit the report as JSON")
     args = parser.parse_args(argv)
 
@@ -438,6 +472,8 @@ def fleet_bench(argv: list[str]) -> int:
             max_delay_ms=args.max_delay_ms,
             max_queue_samples=args.max_queue_samples,
             sla_ms=args.sla_ms,
+            shards=args.shards,
+            policy=args.policy,
         )
     except ValueError as exc:
         return _bench_error(exc, args.json)
@@ -447,7 +483,8 @@ def fleet_bench(argv: list[str]) -> int:
     print(title(f"fleet-bench: {', '.join(report['models'])} on {report['backend']}"))
     print(
         f"  fleet: {report['workers']} worker(s)/model, max_batch={report['max_batch']},"
-        f" queue {report['max_queue_samples']} samples, SLA {report['sla_ms']} ms"
+        f" queue {report['max_queue_samples']} samples, SLA {report['sla_ms']} ms,"
+        f" shards={report['shards']}, policy={report['policy']}"
     )
     native = report["native_tier"]
     print(
@@ -476,6 +513,118 @@ def fleet_bench(argv: list[str]) -> int:
         f" (raw {report['samples_per_s']} samples/s;"
         f" {report['goodput_vs_closed_loop_x']}x the"
         f" {report['closed_loop_samples_per_s']} samples/s closed-loop baseline)"
+    )
+    return 0
+
+
+def trace_replay(argv: list[str]) -> int:
+    """The ``trace-replay`` subcommand: static vs cost-model on one trace."""
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace-replay",
+        description=(
+            "Replay one deterministic Poisson+burst trace against two "
+            "identically configured fleets — static scheduling knobs vs "
+            "the cost-model policy — and compare goodput under a "
+            "per-model SLA.  Byte parity between the two arms is "
+            "asserted per request."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro trace-replay\n"
+            "  python -m repro trace-replay --models lenet vgg_small --duration 2\n"
+            "  python -m repro trace-replay --seed 3 --json\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["lenet", "vgg_small"],
+        choices=["lenet", "vgg_small", "mini_resnet", "mobilenet_edge", "transformer_encoder"],
+        help="model zoo entries in the trace (round-robin arrivals)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="daism",
+        choices=["daism", "quantized", "exact"],
+        help="arithmetic backend workers compile their plans against",
+    )
+    _kernel_flag(parser)
+    parser.add_argument("--workers", type=int, default=2, help="worker processes per model (static arm)")
+    parser.add_argument("--duration", type=float, default=1.5, help="trace seconds")
+    parser.add_argument(
+        "--rate-multiplier",
+        type=float,
+        default=3.0,
+        help="calm-phase rate as a multiple of the measured closed-loop rate",
+    )
+    parser.add_argument(
+        "--burst-multiplier", type=float, default=4.0, help="burst-phase rate multiplier"
+    )
+    parser.add_argument("--request-samples", type=int, default=4, help="samples per request")
+    parser.add_argument("--max-batch", type=int, default=64, help="micro-batch sample threshold")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0, help="coalescing latency budget")
+    parser.add_argument(
+        "--sla-ms",
+        type=float,
+        default=None,
+        help="explicit SLA for every model (default: per-model, derived from calibration)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace + data seed")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    from .runtime.serving_bench import replay_trace_benchmark
+
+    try:
+        report = replay_trace_benchmark(
+            models=args.models,
+            backend=args.backend,
+            kernel=args.kernel,
+            workers=args.workers,
+            duration_s=args.duration,
+            rate_multiplier=args.rate_multiplier,
+            burst_multiplier=args.burst_multiplier,
+            request_samples=args.request_samples,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            sla_ms=args.sla_ms,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        return _bench_error(exc, args.json)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(title(f"trace-replay: {', '.join(report['models'])} on {report['backend']}"))
+    trace = report["trace"]
+    print(
+        f"  trace: {trace['requests']} requests over {trace['duration_s']}s @"
+        f" {trace['rate_rps']} req/s calm, x{trace['burst_multiplier']} bursts,"
+        f" seed {trace['seed']}"
+    )
+    print(
+        f"  SLA (ms): "
+        + ", ".join(f"{m}={v}" for m, v in report["sla_ms"].items())
+        + f" | batch cap {report['max_batch']}"
+        f" (byte-stable window {report['byte_stable_window']})"
+    )
+    for arm in ("static", "cost_model"):
+        row = report[arm]
+        workers = ",".join(str(w) for w in row["workers_per_model"].values())
+        print(
+            f"  {arm:>10}: goodput {row['goodput_samples_per_s']} samples/s"
+            f" | accepted {row['accepted_requests']}/{row['offered_requests']}"
+            f" | p50 {row['p50_ms']} ms p99 {row['p99_ms']} ms"
+            f" | workers/model {workers}"
+        )
+    parity = report["parity"]
+    print(
+        f"  parity: {parity['checked']} requests completed under both arms,"
+        f" {parity['mismatches']} hash mismatches"
+        f" | goodput ratio {report['goodput_ratio']}"
     )
     return 0
 
@@ -560,6 +709,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_bench(argv[1:])
     if argv and argv[0] == "fleet-bench":
         return fleet_bench(argv[1:])
+    if argv and argv[0] == "trace-replay":
+        return trace_replay(argv[1:])
     if argv and argv[0] == "chaos-smoke":
         return chaos_smoke(argv[1:])
     if not argv:
@@ -567,6 +718,7 @@ def main(argv: list[str] | None = None) -> int:
         print("       python -m repro reproduce [--list] [<name> ...]")
         print("       python -m repro serve-bench [--model <name>] [--json]")
         print("       python -m repro fleet-bench [--models <name> ...] [--json]")
+        print("       python -m repro trace-replay [--models <name> ...] [--json]")
         print("       python -m repro chaos-smoke [--quick] [--json]")
         print("artefacts:", ", ".join(ARTEFACTS))
         return 0

@@ -61,6 +61,7 @@ __all__ = [
     "recorded_tiers",
     "reset_recorded_tiers",
     "route_decision",
+    "route_decision_sla",
     "route_kernel",
 ]
 
@@ -301,6 +302,83 @@ def route_decision(
             f"no fast tier certified: best measured "
             f"{cert.measured_rel_error:.2e} > "
             f"{cert.margin:g} x analytic bound {cert.analytic_bound:.3g}"
+        ),
+        certificate=cert,
+    )
+
+
+def route_decision_sla(
+    fmt: FloatFormat,
+    config: MultiplierConfig | None = None,
+    predicted_exact_ms: float | None = None,
+    sla_budget_ms: float | None = None,
+    shape: tuple[int | None, int, int] | None = None,
+) -> TierDecision:
+    """SLA-aware tier choice: bit-exact unless it cannot meet the deadline.
+
+    The quality-first inversion of :func:`route_decision`'s fastest-
+    certified policy, used by the cost-model scheduler: the **bit-exact
+    tier wins whenever it can** — no SLA budget, no calibrated
+    prediction, or a prediction inside the budget all stay exact — and
+    only genuine SLA pressure (``predicted_exact_ms > sla_budget_ms``)
+    routes to a fast tier.  Even then the ladder is the same certified
+    one: the first :data:`FAST_TIERS` candidate whose
+    :func:`certify_fast_path` certificate clears the margin; a config
+    with no certified fast tier stays bit-exact *and misses the SLA*
+    rather than serve uncertified arithmetic.  Integrity demotions
+    override everything, exactly as in :func:`route_decision`.
+    """
+    cls = shape_class(*shape) if shape is not None else "general"
+    exact = select_kernel(fmt, config, None).name
+    if not table_supported(fmt.significand_bits) or config is None:
+        return TierDecision(
+            kernel=exact,
+            shape_class=cls,
+            reason="no certified fast path (exact products or untabulated format)",
+        )
+    if integrity.is_demoted(fmt, config):
+        return TierDecision(
+            kernel=exact_tier_name(fmt),
+            shape_class=cls,
+            reason="integrity demotion: corruption recurred on this config",
+        )
+    if predicted_exact_ms is None or sla_budget_ms is None:
+        return TierDecision(
+            kernel=exact,
+            shape_class=cls,
+            reason="bit-exact default: no SLA budget or uncalibrated prediction",
+        )
+    if predicted_exact_ms <= sla_budget_ms:
+        return TierDecision(
+            kernel=exact,
+            shape_class=cls,
+            reason=(
+                f"bit-exact meets SLA: predicted {predicted_exact_ms:.2f} ms <= "
+                f"budget {sla_budget_ms:.2f} ms"
+            ),
+        )
+    cert = None
+    for candidate in FAST_TIERS:
+        cert = certify_fast_path(fmt, config, kernel=candidate)
+        if cert.certified:
+            return TierDecision(
+                kernel=candidate,
+                shape_class=cls,
+                reason=(
+                    f"sla pressure: predicted exact {predicted_exact_ms:.2f} ms > "
+                    f"budget {sla_budget_ms:.2f} ms; certified "
+                    f"{cert.measured_rel_error:.2e} <= {cert.margin:g} x "
+                    f"analytic bound {cert.analytic_bound:.3g}"
+                ),
+                certificate=cert,
+            )
+    return TierDecision(
+        kernel=exact_tier_name(fmt),
+        shape_class=cls,
+        reason=(
+            "sla pressure but no certified fast tier: staying bit-exact "
+            f"(best measured {cert.measured_rel_error:.2e} > "
+            f"{cert.margin:g} x analytic bound {cert.analytic_bound:.3g})"
         ),
         certificate=cert,
     )

@@ -12,7 +12,18 @@ Each module registers the experiments of one group into
   co-simulation suite (``dse_sweep``, ``network_latency``,
   ``fault_sensitivity``);
 * :mod:`~repro.experiments.defs.chaos` — the serving fault-tolerance
-  sweep (``fault_tolerance``).
+  sweep (``fault_tolerance``);
+* :mod:`~repro.experiments.defs.scheduling` — the scheduling trace
+  replay (``trace_replay``): static vs cost-model policies across the
+  DSE design grid.
 """
 
-from . import ablations, accelerator, chaos, extensions, figures, tables  # noqa: F401
+from . import (  # noqa: F401
+    ablations,
+    accelerator,
+    chaos,
+    extensions,
+    figures,
+    scheduling,
+    tables,
+)

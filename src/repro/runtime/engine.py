@@ -37,13 +37,33 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import threading
+import warnings
 
 import numpy as np
 
 from ..nn.backend import inherit_default_backend
 from .plan import ExecutionPlan
 
-__all__ = ["BatchEngine"]
+__all__ = ["BatchEngine", "ShardClampWarning"]
+
+
+class ShardClampWarning(UserWarning):
+    """A requested shard count exceeded the batch's rows and was clamped.
+
+    Structured (``requested`` / ``effective`` / ``samples`` attributes)
+    so callers and tests can assert on the clamp instead of parsing the
+    message.  Raised as a warning, not an error: the run still produces
+    the byte-identical result, just on fewer shards than asked.
+    """
+
+    def __init__(self, requested: int, effective: int, samples: int):
+        self.requested = requested
+        self.effective = effective
+        self.samples = samples
+        super().__init__(
+            f"requested {requested} shards for a {samples}-sample batch; "
+            f"clamped to {effective} (shards cannot exceed samples)"
+        )
 
 
 class BatchEngine:
@@ -60,6 +80,12 @@ class BatchEngine:
         Batches are never split below this many samples per shard —
         tiny shards cost more in dispatch than they recover in
         parallelism.
+    policy:
+        Optional :class:`~repro.runtime.scheduler.SchedulingPolicy`.
+        When set, calls without an explicit ``shards`` override ask the
+        policy for a shard count from its cost-model amortisation curve
+        (each shard re-pays the first-image latency); the engine's
+        ``shards`` becomes the ceiling.
     """
 
     def __init__(
@@ -67,6 +93,7 @@ class BatchEngine:
         plan: ExecutionPlan,
         shards: int | None = None,
         min_shard_samples: int = 8,
+        policy=None,
     ):
         if shards is not None and shards < 1:
             raise ValueError("shards must be >= 1")
@@ -79,6 +106,7 @@ class BatchEngine:
                 "change results — use shards=1"
             )
         self.min_shard_samples = max(1, int(min_shard_samples))
+        self.policy = policy
         # Capture the construction-time default backend now: the pool is
         # created lazily, possibly after the creating use_backend scope
         # has exited, and the documented contract is that workers inherit
@@ -106,9 +134,20 @@ class BatchEngine:
         """
         x = np.asarray(x, dtype=np.float32)
         n = len(x)
-        want = self.shards if shards is None else int(shards)
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards is None and self.policy is not None:
+            want = self.policy.shard_decision(n, self.shards)
+        else:
+            want = self.shards if shards is None else int(shards)
         if want > 1 and not self.plan.row_independent:
             raise ValueError("plan couples samples; cannot shard")
+        if want > n > 0:
+            # Validate up front: more shards than rows cannot be
+            # honoured.  Clamp loudly (structured warning) instead of
+            # silently degrading.
+            warnings.warn(ShardClampWarning(want, n, n), stacklevel=2)
+            want = n
         effective = max(1, min(want, n // self.min_shard_samples or 1))
         if effective == 1:
             return self.plan.execute(x)

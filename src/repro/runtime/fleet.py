@@ -156,6 +156,10 @@ class ModelSnapshot:
     backend: str = "daism"
     kernel: str | None = None
     chaos: dict | None = None
+    #: Worker-side shard ceiling: > 1 runs each batch through a
+    #: :class:`~repro.runtime.engine.BatchEngine` (byte-identical to
+    #: unsharded execution by the engine's contract).
+    shards: int = 1
 
 
 def snapshot_model(
@@ -164,10 +168,13 @@ def snapshot_model(
     backend: str = "daism",
     kernel: str | None = None,
     chaos: dict | None = None,
+    shards: int = 1,
 ) -> ModelSnapshot:
     """Freeze ``module`` (or a fresh zoo build) into a :class:`ModelSnapshot`."""
     if module is None:
         module = _zoo_build(model)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     resolve_backend(backend, kernel)  # fail fast on a bad wire name
     return ModelSnapshot(
         model=model,
@@ -175,6 +182,7 @@ def snapshot_model(
         backend=backend,
         kernel=kernel,
         chaos=chaos,
+        shards=int(shards),
     )
 
 
@@ -408,6 +416,13 @@ def _worker_main(conn, snapshot: ModelSnapshot) -> None:
     """
     try:
         plan = rebuild_plan(snapshot)
+        shards = getattr(snapshot, "shards", 1)
+        if shards > 1:
+            from .engine import BatchEngine
+
+            run_batch = BatchEngine(plan, shards=shards).run
+        else:
+            run_batch = plan.execute
         exact_tier = _worker_exact_tier(snapshot)
         chaos = None
         if snapshot.chaos:
@@ -443,7 +458,7 @@ def _worker_main(conn, snapshot: ModelSnapshot) -> None:
                 conn.send(("expired", -deadline_remaining))
                 continue
             try:
-                out = plan.execute(msg[1])
+                out = run_batch(msg[1])
             except BaseException as exc:
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
             else:
@@ -572,9 +587,19 @@ class _Deployment:
         max_delay_ms: float,
         max_queue_samples: int,
         sla_ms: float | None,
+        policy=None,
     ):
         self.snapshot = snapshot
-        self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
+        #: Optional :class:`~repro.runtime.scheduler.SchedulingPolicy`.
+        #: Cost-model mode drives adaptive coalescing through the
+        #: batcher and model-based admission estimates; every mode
+        #: receives measured service times as correction observations.
+        self.policy = policy
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            policy=policy if policy is not None and policy.mode == "cost_model" else None,
+        )
         self.max_queue_samples = int(max_queue_samples)
         self.sla_ms = sla_ms
         self.handles: list[_WorkerHandle] = []
@@ -709,6 +734,9 @@ class FleetServer:
         max_queue_samples: int | None = None,
         sla_ms: float | None = None,
         service_hint_ms_per_sample: float | None = None,
+        policy=None,
+        target_sps: float | None = None,
+        seed: int = 0,
     ) -> None:
         """Deploy one model: spawn its workers and start their runners.
 
@@ -716,6 +744,22 @@ class FleetServer:
         predictor so SLA admission is live from the first request
         instead of after the first served batches (the open-loop bench
         seeds it from its closed-loop calibration run).
+
+        ``policy`` attaches a scheduling policy: a mode string
+        (``"static"`` / ``"cost_model"``) builds one from the model's
+        cost surface, or pass a ready
+        :class:`~repro.runtime.scheduler.SchedulingPolicy`.  With a
+        policy and **no** service hint, the EWMA warm-start is *derived
+        from the cost model*: worker 0 serves one small probe batch, the
+        measured time seeds the policy's correction factor, and the
+        corrected steady-state prediction (not the raw probe) becomes
+        the admission estimate — first-request SLA decisions stop being
+        guesswork.  In cost-model mode the policy additionally drives
+        adaptive coalescing, admission estimates, worker sizing for
+        ``target_sps``, and — for ``kernel="auto"`` snapshots under an
+        SLA — pins the kernel tier through the certified SLA router
+        before the fleet spawns.  All of its decisions and correction
+        updates land in :meth:`events`.
         """
         name = snapshot.model
         with self._submit_lock:
@@ -723,20 +767,61 @@ class FleetServer:
                 raise RuntimeError("fleet is closed")
             if name in self._deployments:
                 raise ValueError(f"model {name!r} already registered")
+        resolved_sla = self.sla_ms if sla_ms is None else sla_ms
+        policy = self._build_policy(snapshot, policy, resolved_sla, target_sps, seed)
+        probe_handle: _WorkerHandle | None = None
+        if policy is not None and service_hint_ms_per_sample is None and not snapshot.chaos:
+            probe_handle = _WorkerHandle(
+                self._ctx, snapshot, f"repro-fleet-{name}-0", self.ready_timeout_s
+            )
+            self._probe_warm_start(policy, snapshot, probe_handle)
+        if (
+            policy is not None
+            and policy.mode == "cost_model"
+            and snapshot.kernel == "auto"
+            and resolved_sla is not None
+        ):
+            pinned = self._pin_tier(policy, snapshot)
+            if pinned is not snapshot:
+                snapshot = pinned
+                if probe_handle is not None:
+                    # The probe worker compiled on "auto"; respawn it on
+                    # the pinned tier so every worker's plan digest (and
+                    # arithmetic) matches the recorded decision.
+                    probe_handle.snapshot = snapshot
+                    probe_handle.kill()
+                    probe_handle.spawn()
         dep = _Deployment(
             snapshot,
             max_batch=self.max_batch,
             max_delay_ms=self.max_delay_ms,
             max_queue_samples=max_queue_samples or self.max_queue_samples,
-            sla_ms=self.sla_ms if sla_ms is None else sla_ms,
+            sla_ms=resolved_sla,
+            policy=policy,
         )
         if service_hint_ms_per_sample is not None:
             dep.ewma_ms_per_sample = float(service_hint_ms_per_sample)
-        n = workers or self.default_workers
+            if policy is not None and policy.correction is None:
+                # A hint is a steady-state measurement too: seed the
+                # correction so the policy is calibrated from the start.
+                cap = policy.batch_cap
+                policy.seed_correction(cap, service_hint_ms_per_sample * cap)
+        elif policy is not None:
+            warm = policy.predicted_ms_per_sample(policy.batch_cap)
+            if warm is not None:
+                dep.ewma_ms_per_sample = warm
+        n = workers
+        if n is None and policy is not None:
+            n = policy.worker_count(self.default_workers)
+        n = n or self.default_workers
         for i in range(n):
-            handle = _WorkerHandle(
-                self._ctx, snapshot, f"repro-fleet-{name}-{i}", self.ready_timeout_s
-            )
+            if i == 0 and probe_handle is not None:
+                handle = probe_handle
+                probe_handle = None
+            else:
+                handle = _WorkerHandle(
+                    self._ctx, snapshot, f"repro-fleet-{name}-{i}", self.ready_timeout_s
+                )
             runner = threading.Thread(
                 target=self._run_worker,
                 args=(dep, handle),
@@ -745,10 +830,100 @@ class FleetServer:
             )
             dep.handles.append(handle)
             dep.runners.append(runner)
+        if probe_handle is not None:
+            # Worker sizing chose 0 extra slots for the probe worker's
+            # index (cannot happen today — n >= 1 — but stay safe).
+            probe_handle.stop()
         with self._submit_lock:
             self._deployments[name] = dep
         for runner in dep.runners:
             runner.start()
+
+    def _build_policy(
+        self,
+        snapshot: ModelSnapshot,
+        policy,
+        sla_ms: float | None,
+        target_sps: float | None,
+        seed: int,
+    ):
+        """Resolve the ``register(policy=...)`` argument to a policy object.
+
+        Mode strings build a :func:`~repro.runtime.scheduler.policy_for_model`
+        over the fleet's coalescing knobs; ready policies pass through.
+        Either way the policy's event stream is journalled into
+        :meth:`events`.
+        """
+        if policy is None:
+            return None
+        if isinstance(policy, str):
+            from .scheduler import policy_for_model
+
+            policy = policy_for_model(
+                snapshot.model,
+                mode=policy,
+                sla_ms=sla_ms,
+                max_batch=self.max_batch,
+                max_delay_ms=self.max_delay_ms,
+                target_sps=target_sps,
+                seed=seed,
+                on_event=self._record_event,
+            )
+        elif policy.on_event is None:
+            policy.on_event = self._record_event
+        return policy
+
+    def _probe_warm_start(
+        self, policy, snapshot: ModelSnapshot, handle: _WorkerHandle
+    ) -> None:
+        """Serve one probe batch on ``handle`` and seed the policy correction.
+
+        The probe measures wall time for a small zeros batch; the policy
+        turns that single point into a calibrated amortisation curve
+        (cost-model shape x measured correction).  Failures downgrade to
+        a cold start (recorded), never a failed register.
+        """
+        from ..nn.models import model_input_shape
+
+        batch = max(1, min(8, policy.batch_cap))
+        x = np.zeros((batch, *model_input_shape(snapshot.model)), dtype=np.float32)
+        t0 = time.perf_counter()
+        try:
+            with handle.lock:
+                status, payload = handle.request(("run", x))
+        except (EOFError, OSError, BrokenPipeError):
+            status, payload = "err", "probe worker unreachable"
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        if status == "ok":
+            policy.seed_correction(batch, elapsed_ms)
+        else:
+            self._record_event(
+                {
+                    "error": "probe_failed",
+                    "model": snapshot.model,
+                    "detail": str(payload),
+                }
+            )
+
+    def _pin_tier(self, policy, snapshot: ModelSnapshot) -> ModelSnapshot:
+        """SLA-aware tier choice for ``kernel="auto"`` snapshots.
+
+        Asks the policy (which delegates to the certified
+        :func:`~repro.core.router.route_decision_sla`) whether the
+        bit-exact tier meets the SLA service budget; the decided kernel
+        is pinned into the snapshot so every worker — and every plan
+        digest — reflects one recorded, certified decision instead of a
+        per-worker router resolution.
+        """
+        backend = resolve_backend(snapshot.backend, None)
+        fmt = getattr(backend, "fmt", None)
+        config = getattr(backend, "config", None)
+        if fmt is None:
+            return snapshot
+        decision = policy.tier_decision(fmt, config)
+        if decision.kernel == snapshot.kernel:
+            return snapshot
+        return dataclasses.replace(snapshot, kernel=decision.kernel)
 
     def models(self) -> list[str]:
         """Registered model names."""
@@ -833,10 +1008,19 @@ class FleetServer:
                     if sla_budget_ms is None
                     else min(sla_budget_ms, remaining_ms)
                 )
-            if sla_budget_ms is not None and dep.ewma_ms_per_sample is not None:
+            with dep.lock:
+                inflight = dep.inflight_samples
+            est = None
+            if dep.policy is not None and dep.policy.mode == "cost_model":
+                # Prediction x correction: the EWMA is the correction
+                # term on top of the cost model, not the whole estimate.
+                # Evaluated at the batch size the backlog will actually
+                # drain at, so admission and batching stay coherent.
+                est = dep.policy.admission_ms_per_sample(queued + inflight + n)
+            if est is None:
                 with dep.lock:
-                    inflight = dep.inflight_samples
                     est = dep.ewma_ms_per_sample
+            if sla_budget_ms is not None and est is not None:
                 predicted = (queued + inflight + n) * est / max(1, len(dep.handles))
                 if predicted > sla_budget_ms:
                     with dep.lock:
@@ -991,6 +1175,8 @@ class FleetServer:
             dep.inflight_samples -= len(x)
         if status == "ok":
             dep.note_service(elapsed_ms, len(x))
+            if dep.policy is not None:
+                dep.policy.observe(len(x), elapsed_ms)
             offset = 0
             for r in batch:
                 self._complete(dep, r, payload[offset : offset + len(r.x)])
@@ -1305,6 +1491,9 @@ class FleetServer:
                     if dep.ewma_ms_per_sample is not None
                     else None
                 )
+            row["policy"] = dep.policy.mode if dep.policy is not None else "static"
+            if dep.policy is not None and dep.policy.correction is not None:
+                row["sched_correction"] = round(dep.policy.correction, 4)
             row["queued_samples"] = dep.batcher.pending_samples
             row["workers_alive"] = sum(1 for h in dep.handles if h.alive)
             row["workers"] = len(dep.handles)

@@ -1,0 +1,666 @@
+"""Cost-model-driven serving scheduler: the co-sim in the serving loop.
+
+The paper's claim is that the DAISM cost models predict latency and
+energy well enough to steer design choices.  This module turns that
+claim into the *serving* scheduler: the same ``arch/`` tables that rank
+accelerator designs offline now pick micro-batch size, shard split,
+worker count and kernel tier online.
+
+Prediction → correction → decision
+----------------------------------
+
+* **Prediction** — :class:`CostSurface` builds a per-model latency
+  surface from the architecture models alone: the layer list comes from
+  :func:`~repro.runtime.plan.conv_workload` (the same traced shapes the
+  co-sim parity tests lock), the accelerator design is chosen
+  deterministically from :func:`~repro.arch.dse.evaluate_grid`'s Pareto
+  front, and the batch-amortisation curve is
+  :meth:`~repro.arch.network_runner.NetworkReport.batch_cycles`: the
+  first image pays the busiest-bank latency, every further image the
+  steady rate.  No hand-tuned latency constants enter the serving path
+  — every predicted number is ``cycles / clock``.
+
+* **Correction** — model cycles are accelerator time, not wall time on
+  this host.  :meth:`SchedulingPolicy.observe` folds measured per-batch
+  service times into a single multiplicative EWMA correction factor
+  (``measured / predicted``): the existing reactive EWMA becomes the
+  correction term *on top of* the model instead of the whole estimate,
+  so one observation at one batch size calibrates the entire
+  amortisation curve.
+
+* **Decision** — :meth:`SchedulingPolicy.batch_decision` (micro-batch
+  size and coalescing delay under the SLA),
+  :meth:`SchedulingPolicy.shard_decision` (shard split from the
+  amortisation curve: each shard re-pays the first-image cost),
+  :meth:`SchedulingPolicy.worker_count` (per-model fleet sizing for a
+  target rate) and :meth:`SchedulingPolicy.tier_decision` (SLA-aware
+  certified tier choice through :func:`repro.core.router.route_decision_sla`
+  — never an uncertified tier).  Decisions are pure functions of the
+  surface, the correction factor and the configured knobs, hence
+  deterministic under a fixed seed; every decision and every correction
+  update is emitted as a structured event (the fleet journals them in
+  ``fleet.events()``).
+
+Byte-stability window
+---------------------
+
+Micro-batch coalescing must never change served bytes.  Two kernel
+choices depend on the *actual* GEMM row count and are byte-affecting:
+the packed K-chunk split (:func:`~repro.core.kernels.default_k_chunk`,
+part of the bit contract) and the tall-skinny transposed orientation
+(``m >= TRANSPOSE_ASPECT * n``).  :func:`byte_stable_max_batch` computes,
+from the same traced geometry, the largest batch for which every GEMM in
+the plan stays in a single K chunk *and* on one side of the orientation
+threshold for all batch sizes in ``[min_batch, cap]`` — inside that
+window, coalescing is byte-neutral and the static/cost-model policies
+serve bit-identical responses per request.  The policy clamps its
+adaptive batch ceiling to this window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import threading
+
+from ..arch.dse import DEFAULT_BANK_KB, DEFAULT_BANKS
+from ..arch.network_runner import run_network
+from ..arch.workloads import ConvLayer
+
+__all__ = [
+    "BatchDecision",
+    "CostSurface",
+    "SchedulingPolicy",
+    "byte_stable_max_batch",
+    "policy_for_model",
+    "POLICY_MODES",
+]
+
+#: The two policy modes every serving entry point accepts.
+POLICY_MODES = ("static", "cost_model")
+
+
+def _workload_layers(model: str) -> list[ConvLayer]:
+    """The traced GEMM geometry for a zoo model (single source of shapes)."""
+    from ..nn.models import model_input_shape, model_zoo
+    from .plan import conv_workload
+
+    try:
+        module = model_zoo()[model]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown model {model!r}; zoo: {sorted(model_zoo())}"
+        ) from exc
+    shape = model_input_shape(model)
+    if len(shape) == 2:
+        # Sequence models feed (seq_len, d_model); the trace walks a
+        # symbolic (channels, height, width) = (d_model, seq_len, 1).
+        seq_len, d_model = shape
+        shape = (d_model, seq_len, 1)
+    return conv_workload(module, shape)
+
+
+def _gemm_geometry(layers: list[ConvLayer]) -> list[tuple[int, int, int]]:
+    """Per-GEMM ``(rows_per_sample, k, n)`` for every weight GEMM.
+
+    Grouped convolutions run one GEMM per group over the per-group
+    reduction and output widths; FC layers are 1x1 convs in the traced
+    workload, so they fall out of the same formula.
+    """
+    geoms: list[tuple[int, int, int]] = []
+    for layer in layers:
+        rows = layer.out_height * layer.out_width
+        k = (layer.in_channels // layer.groups) * layer.kernel * layer.kernel
+        n = layer.out_channels // layer.groups
+        geoms.append((rows, k, n))
+    return geoms
+
+
+def byte_stable_max_batch(
+    model: str,
+    min_batch: int = 1,
+    cap: int = 1024,
+) -> int:
+    """Largest batch for which coalescing cannot change served bytes.
+
+    The one batch-coupled, byte-affecting choice on the packed kernel
+    path is the frozen-budget K-chunk split: ``default_k_chunk(m, n)``
+    derives from the *actual* GEMM row count ``m = batch * rows``, and
+    the split decides how the float32 accumulation is grouped.  As long
+    as every weight GEMM ``(rows_per_sample r, k, n)`` runs in a single
+    K chunk — ``default_k_chunk(B*r, n) >= k``, i.e.
+    ``B*r*n <= K_CHUNK_BUDGET // k`` — accumulation grouping is
+    batch-invariant, and the packed tier's remaining batch-dependent
+    choice (the tall-skinny transposed orientation) is bit-neutral by
+    construction, so coalescing cannot change served bytes.
+
+    Returns the largest ``B`` in ``[min_batch, cap]`` keeping every
+    GEMM single-chunk; ``min_batch`` when no larger window exists
+    (callers should then dispatch fixed-size batches).  The window is
+    a guarantee for the packed tiers (daism / quantized backends);
+    BLAS-backed exact tiers additionally rely on the library computing
+    each row identically across row counts, which the policy parity
+    tests cover for the row counts serving actually sees.
+    """
+    from ..core.kernels import K_CHUNK_BUDGET
+
+    if min_batch < 1:
+        raise ValueError("min_batch must be >= 1")
+    best = cap
+    for rows, k, n in _gemm_geometry(_workload_layers(model)):
+        best = min(best, (K_CHUNK_BUDGET // max(1, k)) // max(1, rows * n))
+    return max(min_batch, best)
+
+
+@dataclasses.dataclass(frozen=True)
+class CostSurface:
+    """Per-model latency/energy surface derived from the ``arch/`` models.
+
+    ``first_cycles`` / ``steady_cycles`` are the whole-network totals of
+    :class:`~repro.arch.network_runner.NetworkReport`; the amortisation
+    curve is exactly the co-sim's ``batch_cycles``.  ``design`` names
+    the DSE grid point the surface was evaluated on.
+    """
+
+    model: str
+    design: str
+    clock_hz: float
+    first_cycles: int
+    steady_cycles: int
+    energy_uj_per_sample: float
+
+    @classmethod
+    def from_zoo(
+        cls,
+        model: str,
+        banks_grid: tuple[int, ...] = DEFAULT_BANKS,
+        bank_kb_grid: tuple[int, ...] = DEFAULT_BANK_KB,
+        design: "DaismDesign | None" = None,
+    ) -> "CostSurface":
+        """Build the surface for a zoo model.
+
+        Without an explicit ``design``, the DSE grid is evaluated on the
+        model's traced workload and the fastest Pareto-front point wins
+        (deterministic: grid order is banks-major, ties broken by area).
+        """
+        from ..arch.daism import DaismDesign
+        from ..arch.dse import evaluate_grid
+
+        layers = _workload_layers(model)
+        if design is None:
+            rows = evaluate_grid(layers, banks_grid, bank_kb_grid)
+            front = [r for r in rows if r["pareto"]] or rows
+            chosen = min(front, key=lambda r: (r["cycles"], r["area [mm2]"]))
+            design = DaismDesign(banks=chosen["banks"], bank_kb=chosen["bank_kb"])
+        report = run_network(design, layers)
+        return cls(
+            model=model,
+            design=f"{design.banks}x{design.bank_kb}kB",
+            clock_hz=design.clock_hz,
+            first_cycles=report.total_cycles,
+            steady_cycles=report.total_steady_cycles,
+            energy_uj_per_sample=report.total_energy_uj,
+        )
+
+    def batch_cycles(self, batch: int) -> int:
+        """Co-sim batch amortisation: first image full, rest steady."""
+        return self.first_cycles + (max(1, batch) - 1) * self.steady_cycles
+
+    def model_ms_per_sample(self, batch: int) -> float:
+        """Predicted accelerator milliseconds per sample at ``batch``."""
+        batch = max(1, batch)
+        return self.batch_cycles(batch) / batch / self.clock_hz * 1e3
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchDecision:
+    """One micro-batch decision: the knobs and why."""
+
+    max_batch: int
+    max_delay_ms: float
+    reason: str
+
+
+# Process-wide surface cache: surfaces are pure functions of the model
+# name and grid, and evaluating the DSE grid is the expensive part.
+_SURFACES: dict[tuple, CostSurface] = {}
+_SURFACES_LOCK = threading.Lock()
+
+
+def _cached_surface(model: str) -> CostSurface:
+    key = (model, DEFAULT_BANKS, DEFAULT_BANK_KB)
+    with _SURFACES_LOCK:
+        cached = _SURFACES.get(key)
+    if cached is not None:
+        return cached
+    surface = CostSurface.from_zoo(model)
+    with _SURFACES_LOCK:
+        return _SURFACES.setdefault(key, surface)
+
+
+class SchedulingPolicy:
+    """One scheduling policy: prediction x correction -> decisions.
+
+    Parameters
+    ----------
+    surface:
+        The model's :class:`CostSurface`.
+    mode:
+        ``"cost_model"`` makes decisions from the surface;
+        ``"static"`` always returns the configured knobs unchanged (the
+        baseline the BENCH ``scheduling`` section compares against) —
+        both modes share this one class so benches swap a string, not a
+        code path.
+    sla_ms:
+        Latency SLA the decisions target (``None``: throughput-greedy).
+    max_batch / max_delay_ms:
+        The static knobs; the adaptive ceiling never exceeds
+        ``max_batch`` and the adaptive delay never exceeds
+        ``max_delay_ms``.
+    byte_stable_cap:
+        Upper bound on the adaptive batch so coalescing stays
+        byte-neutral (see :func:`byte_stable_max_batch`); ``None``
+        leaves only ``max_batch``.
+    target_sps:
+        Optional offered load (samples/s) for worker sizing.
+    seed:
+        Recorded in every event; decisions are deterministic given the
+        same observations, so replaying a seeded trace replays the
+        decisions.
+    on_event:
+        Callback for structured decision/correction events (the fleet
+        wires this to its event journal).
+    """
+
+    #: EWMA weight of a new correction observation (matches the fleet's
+    #: reactive service-time EWMA it replaces).
+    ALPHA = 0.2
+    #: Fraction of the SLA budgeted to one batch's service time; the
+    #: rest absorbs queueing, coalescing delay and dispatch overhead.
+    SLA_SERVICE_FRACTION = 0.5
+    #: Relative correction change that triggers a fresh event (bounds
+    #: event volume without hiding drift).
+    EVENT_DRIFT = 0.1
+
+    def __init__(
+        self,
+        surface: CostSurface,
+        mode: str = "cost_model",
+        sla_ms: float | None = None,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        byte_stable_cap: int | None = None,
+        target_sps: float | None = None,
+        seed: int = 0,
+        on_event=None,
+    ):
+        if mode not in POLICY_MODES:
+            raise ValueError(f"unknown policy mode {mode!r}; one of {POLICY_MODES}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.surface = surface
+        self.mode = mode
+        self.sla_ms = sla_ms
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.byte_stable_cap = byte_stable_cap
+        self.target_sps = target_sps
+        self.seed = int(seed)
+        self.on_event = on_event
+        self._lock = threading.Lock()
+        self._correction: float | None = None
+        self._last_emitted_correction: float | None = None
+        self._last_batch_decision: BatchDecision | None = None
+        self._events: list[dict] = []
+
+    # -- correction (the online EWMA term) --------------------------------
+
+    @property
+    def correction(self) -> float | None:
+        """Current measured/predicted EWMA ratio (``None`` until seeded)."""
+        with self._lock:
+            return self._correction
+
+    def observe(self, samples: int, elapsed_ms: float) -> float:
+        """Fold one measured batch service time into the correction EWMA.
+
+        Returns the updated correction factor.  The ratio is taken
+        against the *model's* prediction at the observed batch size, so
+        the correction stays a pure calibration term and the
+        amortisation shape keeps coming from the cost model.
+        """
+        predicted = self.surface.model_ms_per_sample(samples)
+        ratio = (elapsed_ms / max(1, samples)) / predicted if predicted > 0 else 1.0
+        with self._lock:
+            if self._correction is None:
+                self._correction = ratio
+            else:
+                self._correction = self.ALPHA * ratio + (1 - self.ALPHA) * self._correction
+            current = self._correction
+            last = self._last_emitted_correction
+            drifted = last is None or abs(current - last) > self.EVENT_DRIFT * last
+            if drifted:
+                self._last_emitted_correction = current
+        if drifted:
+            self._emit(
+                {
+                    "event": "sched_correction",
+                    "model": self.surface.model,
+                    "correction": round(current, 4),
+                    "observed_batch": int(samples),
+                    "observed_ms_per_sample": round(elapsed_ms / max(1, samples), 4),
+                }
+            )
+        return current
+
+    def seed_correction(self, samples: int, elapsed_ms: float) -> float:
+        """Warm-start the correction from one probe measurement."""
+        predicted = self.surface.model_ms_per_sample(samples)
+        ratio = (elapsed_ms / max(1, samples)) / predicted if predicted > 0 else 1.0
+        with self._lock:
+            self._correction = ratio
+            self._last_emitted_correction = ratio
+        self._emit(
+            {
+                "event": "sched_warm_start",
+                "model": self.surface.model,
+                "correction": round(ratio, 4),
+                "probe_batch": int(samples),
+                "probe_ms": round(elapsed_ms, 4),
+            }
+        )
+        return ratio
+
+    def predicted_ms_per_sample(self, batch: int) -> float | None:
+        """Model prediction x correction; ``None`` while uncalibrated."""
+        correction = self.correction
+        if correction is None:
+            return None
+        return self.surface.model_ms_per_sample(batch) * correction
+
+    def predicted_batch_ms(self, batch: int) -> float | None:
+        """Corrected service time of one whole ``batch``-sample dispatch."""
+        per_sample = self.predicted_ms_per_sample(batch)
+        return None if per_sample is None else per_sample * max(1, batch)
+
+    def admission_ms_per_sample(self, pending_samples: int) -> float | None:
+        """Per-sample estimate for admission control.
+
+        A backlog of ``pending_samples`` drains at the batch size it will
+        actually be served at — amortised batches up to the cap (the
+        ``backlog_drain`` rule), never at the cold batch-1 rate.  Quoting
+        the batch-1 per-sample cost (which carries the whole first-image
+        latency) would overstate drain time by the amortisation ratio and
+        shed traffic the fleet could comfortably serve.
+        """
+        batch = max(1, min(self.batch_cap, int(pending_samples)))
+        return self.predicted_ms_per_sample(batch)
+
+    # -- decisions ---------------------------------------------------------
+
+    @property
+    def batch_cap(self) -> int:
+        """The adaptive ceiling: static knob clamped to the byte-stable window."""
+        cap = self.max_batch
+        if self.byte_stable_cap is not None:
+            cap = min(cap, self.byte_stable_cap)
+        return max(1, cap)
+
+    def _candidates(self) -> list[int]:
+        cap = self.batch_cap
+        sizes = []
+        b = 1
+        while b < cap:
+            sizes.append(b)
+            b *= 2
+        sizes.append(cap)
+        return sizes
+
+    def batch_decision(self, pending_samples: int = 0) -> BatchDecision:
+        """Pick the micro-batch ceiling and coalescing delay for one pull.
+
+        Static mode returns the configured knobs.  Cost-model mode picks
+        the largest candidate batch whose corrected service time fits
+        ``SLA_SERVICE_FRACTION`` of the SLA (amortisation makes larger
+        batches strictly better per sample, so the largest feasible one
+        maximises goodput), and spends what remains of that budget on
+        coalescing delay — except when the queue already holds a full
+        batch, where waiting buys nothing and the delay drops to zero.
+        """
+        if self.mode == "static":
+            decision = BatchDecision(self.max_batch, self.max_delay_ms, "static")
+            self._note_batch_decision(decision, pending_samples)
+            return decision
+        cap = self.batch_cap
+        batch_ms = self.predicted_batch_ms(cap)
+        if batch_ms is None:
+            # Uncalibrated: fall back to the static knobs within the
+            # byte-stable window until the first observation lands.
+            decision = BatchDecision(cap, self.max_delay_ms, "cold")
+            self._note_batch_decision(decision, pending_samples)
+            return decision
+        if self.sla_ms is None:
+            decision = BatchDecision(cap, self.max_delay_ms, "no_sla_throughput_greedy")
+            self._note_batch_decision(decision, pending_samples)
+            return decision
+        if pending_samples >= cap:
+            # Backlog already exceeds a full batch: every queued request
+            # is latency-bound on drain time, so amortisation (largest
+            # batch, no coalescing wait) is also the goodput-optimal
+            # choice — restore SLA headroom as fast as possible.
+            decision = BatchDecision(cap, 0.0, "backlog_drain")
+            self._note_batch_decision(decision, pending_samples)
+            return decision
+        budget_ms = self.sla_ms * self.SLA_SERVICE_FRACTION
+        chosen = None
+        for candidate in self._candidates():
+            service = self.predicted_batch_ms(candidate)
+            if service is not None and service <= budget_ms:
+                chosen = candidate
+        if chosen is None:
+            # Even one sample misses the budget: the SLA is infeasible at
+            # the current corrected speed, so drain at the amortised cap
+            # with no coalescing wait — smaller batches would only slow
+            # the drain further.  Shedding is admission's job.
+            decision = BatchDecision(cap, 0.0, "sla_infeasible_drain")
+            self._note_batch_decision(decision, pending_samples)
+            return decision
+        if pending_samples >= chosen:
+            delay_ms = 0.0
+            reason = "queue_full_batch_no_wait"
+        else:
+            headroom = budget_ms - (self.predicted_batch_ms(chosen) or 0.0)
+            delay_ms = max(0.0, min(self.max_delay_ms, headroom))
+            reason = "sla_batch_fit"
+        decision = BatchDecision(chosen, delay_ms, reason)
+        self._note_batch_decision(decision, pending_samples)
+        return decision
+
+    def _note_batch_decision(self, decision: BatchDecision, pending: int) -> None:
+        with self._lock:
+            last = self._last_batch_decision
+            changed = (
+                last is None
+                or last.max_batch != decision.max_batch
+                or last.reason != decision.reason
+            )
+            if changed:
+                self._last_batch_decision = decision
+        if changed:
+            self._emit(
+                {
+                    "event": "sched_batch_decision",
+                    "model": self.surface.model,
+                    "policy": self.mode,
+                    "max_batch": decision.max_batch,
+                    "max_delay_ms": round(decision.max_delay_ms, 4),
+                    "pending_samples": int(pending),
+                    "reason": decision.reason,
+                }
+            )
+
+    def shard_decision(self, n_samples: int, max_shards: int) -> int:
+        """Shard count minimising the amortisation-curve batch time.
+
+        Each shard re-pays the first-image (busiest-bank) latency and
+        then runs its ``ceil(n/s)`` samples at the steady rate, so the
+        predicted shard time is ``first + (ceil(n/s) - 1) * steady``
+        cycles.  The multiplicative correction cancels in the argmin.
+        The smallest shard count within 5% of the optimum wins —
+        thread dispatch is not free, and fewer shards lose nothing
+        measurable.  Static mode returns ``max_shards`` unchanged
+        (today's fixed-thread-count behaviour).
+        """
+        max_shards = max(1, int(max_shards))
+        if self.mode == "static" or n_samples <= 1:
+            return max_shards if self.mode == "static" else 1
+        first = self.surface.first_cycles
+        steady = self.surface.steady_cycles
+        times = {
+            s: first + (math.ceil(n_samples / s) - 1) * steady
+            for s in range(1, max_shards + 1)
+        }
+        best = min(times.values())
+        for s in sorted(times):
+            if times[s] <= best * 1.05:
+                return s
+        return max_shards
+
+    def worker_count(self, default_workers: int, max_workers: int | None = None) -> int:
+        """Per-model fleet sizing from the corrected throughput prediction.
+
+        With a ``target_sps`` offered load and a calibrated correction,
+        the worker count is the smallest one whose aggregate corrected
+        steady-state throughput covers the target; otherwise the
+        configured default stands.  The ceiling never exceeds the host's
+        CPU count — worker processes beyond the cores add no capacity,
+        only contention: every measured service time inflates, which
+        would ratchet the correction EWMA upward and poison admission
+        for the whole deployment.  On an oversubscribed host this
+        legitimately sizes *below* the configured default.
+        """
+        ceiling = max_workers if max_workers is not None else max(default_workers, 4)
+        ceiling = max(1, min(ceiling, os.cpu_count() or 1))
+        if self.mode == "static" or self.target_sps is None:
+            return default_workers
+        per_sample_ms = self.predicted_ms_per_sample(self.batch_cap)
+        if per_sample_ms is None or per_sample_ms <= 0:
+            return default_workers
+        capacity_per_worker = 1e3 / per_sample_ms  # samples/s at the cap
+        needed = math.ceil(self.target_sps / capacity_per_worker)
+        workers = max(1, min(ceiling, needed))
+        self._emit(
+            {
+                "event": "sched_worker_sizing",
+                "model": self.surface.model,
+                "workers": workers,
+                "default_workers": default_workers,
+                "cpu_count": os.cpu_count() or 1,
+                "target_sps": round(self.target_sps, 1),
+                "worker_capacity_sps": round(capacity_per_worker, 1),
+            }
+        )
+        return workers
+
+    def tier_decision(self, fmt, config, batch: int | None = None):
+        """SLA-aware certified tier choice (``kernel="auto"`` only).
+
+        Delegates to :func:`repro.core.router.route_decision_sla`: the
+        bit-exact tier wins whenever its corrected prediction meets the
+        SLA service budget; a *certified* fast tier is only chosen under
+        genuine SLA pressure, and an uncertified tier is never chosen.
+        The decision is emitted as an event either way.
+        """
+        from ..core.router import route_decision_sla
+
+        batch = batch if batch is not None else self.batch_cap
+        predicted = self.predicted_batch_ms(batch)
+        budget = (
+            self.sla_ms * self.SLA_SERVICE_FRACTION if self.sla_ms is not None else None
+        )
+        decision = route_decision_sla(
+            fmt, config, predicted_exact_ms=predicted, sla_budget_ms=budget
+        )
+        self._emit(
+            {
+                "event": "sched_tier_decision",
+                "model": self.surface.model,
+                "kernel": decision.kernel,
+                "reason": decision.reason,
+                "predicted_exact_ms": None if predicted is None else round(predicted, 3),
+                "sla_budget_ms": None if budget is None else round(budget, 3),
+            }
+        )
+        return decision
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        event = dict(event)
+        event.setdefault("seed", self.seed)
+        with self._lock:
+            self._events.append(event)
+        if self.on_event is not None:
+            self.on_event(dict(event))
+
+    def events(self) -> list[dict]:
+        """Every decision and correction update, in order."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def describe(self) -> dict:
+        """JSON-ready snapshot of the surface, knobs and correction."""
+        return {
+            "model": self.surface.model,
+            "mode": self.mode,
+            "design": self.surface.design,
+            "clock_hz": self.surface.clock_hz,
+            "first_cycles": self.surface.first_cycles,
+            "steady_cycles": self.surface.steady_cycles,
+            "energy_uj_per_sample": round(self.surface.energy_uj_per_sample, 3),
+            "sla_ms": self.sla_ms,
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_ms,
+            "byte_stable_cap": self.byte_stable_cap,
+            "batch_cap": self.batch_cap,
+            "correction": self.correction,
+            "seed": self.seed,
+        }
+
+
+def policy_for_model(
+    model: str,
+    mode: str = "cost_model",
+    sla_ms: float | None = None,
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    min_request_samples: int = 1,
+    target_sps: float | None = None,
+    seed: int = 0,
+    on_event=None,
+) -> SchedulingPolicy:
+    """Build a :class:`SchedulingPolicy` for a zoo model.
+
+    The cost surface is cached per process (it is a pure function of
+    the model's traced geometry and the DSE grid), and the adaptive
+    batch ceiling is clamped to the model's byte-stability window so
+    policy choice can never change served bytes.  A coalescing batcher
+    may overshoot its ceiling by one request's worth of samples
+    (requests are never split), so the ceiling is
+    ``window - (min_request_samples - 1)``: even a maximal overshoot
+    lands exactly on the window edge, never past it.
+    """
+    window = byte_stable_max_batch(model, min_batch=min_request_samples)
+    cap = max(min_request_samples, window - (min_request_samples - 1))
+    return SchedulingPolicy(
+        _cached_surface(model),
+        mode=mode,
+        sla_ms=sla_ms,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        byte_stable_cap=cap,
+        target_sps=target_sps,
+        seed=seed,
+        on_event=on_event,
+    )

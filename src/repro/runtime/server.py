@@ -86,13 +86,19 @@ class MicroBatcher:
     queue depth without trusting ``queue.qsize`` approximations.
     """
 
-    def __init__(self, max_batch: int = 64, max_delay_ms: float = 2.0):
+    def __init__(self, max_batch: int = 64, max_delay_ms: float = 2.0, policy=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay_ms < 0:
             raise ValueError("max_delay_ms must be >= 0")
         self.max_batch = int(max_batch)
         self.max_delay_s = max_delay_ms / 1e3
+        #: Optional :class:`~repro.runtime.scheduler.SchedulingPolicy`.
+        #: When set, every :meth:`next_batch` pull asks it for the batch
+        #: ceiling and delay budget (adaptive coalescing); the
+        #: constructor knobs remain the static fallback and the policy's
+        #: own caps.
+        self.policy = policy
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._pending_requests = 0
@@ -133,10 +139,15 @@ class MicroBatcher:
         first = self._queue.get()
         if first is _SENTINEL:
             return [], True
+        if self.policy is not None:
+            decision = self.policy.batch_decision(self.pending_samples)
+            max_batch, max_delay_s = decision.max_batch, decision.max_delay_ms / 1e3
+        else:
+            max_batch, max_delay_s = self.max_batch, self.max_delay_s
         batch = [self._account(first)]
         total = len(first.x)
-        deadline = first.arrival + self.max_delay_s
-        while total < self.max_batch:
+        deadline = first.arrival + max_delay_s
+        while total < max_batch:
             remaining = deadline - time.monotonic()
             try:
                 item = self._queue.get_nowait() if remaining <= 0 else self._queue.get(
@@ -239,9 +250,16 @@ class InferenceServer:
         runner: ExecutionPlan | BatchEngine,
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
+        policy=None,
     ):
         self.engine = runner if isinstance(runner, BatchEngine) else BatchEngine(runner, shards=1)
-        self.batcher = MicroBatcher(max_batch=max_batch, max_delay_ms=max_delay_ms)
+        #: Optional scheduling policy: drives adaptive coalescing in the
+        #: batcher and receives measured batch service times (the online
+        #: correction term).
+        self.policy = policy
+        self.batcher = MicroBatcher(
+            max_batch=max_batch, max_delay_ms=max_delay_ms, policy=policy
+        )
         self.max_batch = self.batcher.max_batch
         self.max_delay_s = self.batcher.max_delay_s
         self._closed = False
@@ -290,7 +308,10 @@ class InferenceServer:
             # Inside the try: mismatched request shapes must fail the
             # waiters' futures, not kill the dispatcher thread.
             x = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
+            t0 = time.perf_counter()
             out = self.engine.run(x)
+            if self.policy is not None:
+                self.policy.observe(len(x), (time.perf_counter() - t0) * 1e3)
         except BaseException as exc:  # propagate to every waiter
             for r in batch:
                 r.future.set_exception(exc)

@@ -26,6 +26,7 @@ reports:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 
@@ -38,7 +39,12 @@ from .fleet import FleetServer, ShedLoadError, resolve_backend, snapshot_model
 from .plan import compile_plan, plan_tiers
 from .server import InferenceServer, run_load
 
-__all__ = ["serving_benchmark", "open_loop_fleet_benchmark"]
+__all__ = [
+    "serving_benchmark",
+    "open_loop_fleet_benchmark",
+    "replay_trace_benchmark",
+    "generate_trace",
+]
 
 
 def _request_pool(model: str, request_samples: int, rng: np.random.Generator) -> list[np.ndarray]:
@@ -60,16 +66,22 @@ def serving_benchmark(
     max_batch: int = 64,
     max_delay_ms: float = 2.0,
     shards: int = 1,
+    policy: str = "static",
+    sla_ms: float | None = None,
     seed: int = 0,
 ) -> dict:
     """Stand up the serving stack and measure it under closed-loop load.
 
     Each client cycles through a pool of pre-generated requests
     (``request_samples`` images each) so measurement excludes input
-    synthesis.  Returns a dict with the configuration echoed back and a
-    ``load`` section carrying the
-    :class:`~repro.runtime.server.LoadReport` figures (p50/p99/mean
-    latency in ms, samples/sec, mean coalesced micro-batch size).
+    synthesis.  ``policy="cost_model"`` attaches a
+    :class:`~repro.runtime.scheduler.SchedulingPolicy` (adaptive
+    batch/delay in the server, adaptive shards in the engine, targeting
+    ``sla_ms`` when given); ``"static"`` keeps the configured knobs.
+    Returns a dict with the configuration echoed back and a ``load``
+    section carrying the :class:`~repro.runtime.server.LoadReport`
+    figures (p50/p99/mean latency in ms, samples/sec, mean coalesced
+    micro-batch size).
     """
     try:
         module = model_zoo()[model]
@@ -79,11 +91,29 @@ def serving_benchmark(
     resolved = resolve_backend(backend, kernel)
     plan = compile_plan(module, resolved)
 
+    policy_obj = None
+    if policy == "cost_model":
+        from .scheduler import policy_for_model
+
+        policy_obj = policy_for_model(
+            model,
+            mode=policy,
+            sla_ms=sla_ms,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            min_request_samples=request_samples,
+            seed=seed,
+        )
+    elif policy != "static":
+        raise ValueError(f"unknown policy {policy!r} (static / cost_model)")
+
     rng = np.random.default_rng(seed)
     pool = _request_pool(model, request_samples, rng)
 
-    engine = BatchEngine(plan, shards=shards)
-    with InferenceServer(engine, max_batch=max_batch, max_delay_ms=max_delay_ms) as server:
+    engine = BatchEngine(plan, shards=shards, policy=policy_obj)
+    with InferenceServer(
+        engine, max_batch=max_batch, max_delay_ms=max_delay_ms, policy=policy_obj
+    ) as server:
         load = run_load(
             server,
             make_request=lambda cid, i: pool[(cid + i) % len(pool)],
@@ -100,9 +130,46 @@ def serving_benchmark(
         "shards": shards,
         "max_batch": max_batch,
         "max_delay_ms": max_delay_ms,
+        "policy": policy,
+        "sla_ms": sla_ms,
         "request_samples": request_samples,
         "load": load.as_dict(),
     }
+
+
+def _bench_policy(
+    model: str,
+    policy: str,
+    sla_ms: float | None,
+    request_samples: int,
+    max_batch: int,
+    max_delay_ms: float,
+    seed: int,
+    target_sps: float | None = None,
+):
+    """Cost-model policy for one bench deployment; ``None`` for static.
+
+    ``min_request_samples`` rides in so the adaptive batch ceiling
+    accounts for coalescing overshoot (a batcher may exceed its ceiling
+    by one request's worth of samples) and still stays inside the
+    byte-stability window.  ``target_sps`` is the model's share of the
+    offered load — the policy sizes the deployment's worker count to
+    cover it.
+    """
+    if policy != "cost_model":
+        return None
+    from .scheduler import policy_for_model
+
+    return policy_for_model(
+        model,
+        mode=policy,
+        sla_ms=sla_ms,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        min_request_samples=request_samples,
+        target_sps=target_sps,
+        seed=seed,
+    )
 
 
 def _percentiles_ms(latencies_s: list[float]) -> dict[str, float]:
@@ -132,6 +199,8 @@ def open_loop_fleet_benchmark(
     sla_ms: float = 50.0,
     calibration_s: float = 0.4,
     drain_timeout_s: float = 30.0,
+    shards: int = 1,
+    policy: str = "static",
     seed: int = 0,
     start_method: str | None = None,
 ) -> dict:
@@ -156,6 +225,8 @@ def open_loop_fleet_benchmark(
     models = list(models)
     if not models:
         raise ValueError("need at least one model")
+    if policy not in ("static", "cost_model"):
+        raise ValueError(f"unknown policy {policy!r} (static / cost_model)")
 
     # Closed-loop baseline: what one process sustains when clients wait.
     closed_report = serving_benchmark(
@@ -206,8 +277,11 @@ def open_loop_fleet_benchmark(
         hint = 1e3 / closed["samples_per_s"] if closed["samples_per_s"] else None
         for name in models:
             fleet.register(
-                snapshot_model(name, backend=backend, kernel=kernel),
+                snapshot_model(name, backend=backend, kernel=kernel, shards=shards),
                 service_hint_ms_per_sample=hint,
+                policy=_bench_policy(
+                    name, policy, sla_ms, request_samples, max_batch, max_delay_ms, seed
+                ),
             )
 
         def on_done(t_submit: float, n_samples: int):
@@ -280,6 +354,8 @@ def open_loop_fleet_benchmark(
         "max_batch": max_batch,
         "max_delay_ms": max_delay_ms,
         "max_queue_samples": max_queue_samples,
+        "shards": shards,
+        "policy": policy,
         "sla_ms": sla_ms,
         "duration_s": round(elapsed, 3),
         "offered_rps": round(offered_rps, 1),
@@ -299,4 +375,306 @@ def open_loop_fleet_benchmark(
         )
         if closed["samples_per_s"]
         else 0.0,
+    }
+
+# --------------------------------------------------------------------------
+# Trace replay: one deterministic trace, two policies, byte-parity asserted
+# --------------------------------------------------------------------------
+
+
+def generate_trace(
+    models: list[str],
+    duration_s: float,
+    rate_rps: float,
+    burst_multiplier: float = 4.0,
+    phase_s: float = 0.25,
+    seed: int = 0,
+) -> list[dict]:
+    """Deterministic open-loop arrival trace: Poisson with bursty phases.
+
+    Arrivals follow exponential inter-arrival gaps whose rate alternates
+    between ``rate_rps`` (calm phases) and ``rate_rps *
+    burst_multiplier`` (burst phases) every ``phase_s`` seconds; models
+    are assigned round-robin.  The trace is a pure function of its
+    arguments — replaying it under two scheduling policies compares the
+    policies, not the workload.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    trace: list[dict] = []
+    t = 0.0
+    i = 0
+    while True:
+        rate = rate_rps * (burst_multiplier if int(t / phase_s) % 2 else 1.0)
+        t += rng.exponential(1.0 / rate)
+        if t >= duration_s:
+            return trace
+        trace.append({"rid": i, "t": round(t, 6), "model": models[i % len(models)]})
+        i += 1
+
+
+def replay_trace_benchmark(
+    models: tuple[str, ...] | list[str] = ("lenet", "vgg_small"),
+    backend: str = "daism",
+    kernel: str | None = None,
+    workers: int = 2,
+    duration_s: float = 1.5,
+    rate_rps: float | None = None,
+    rate_multiplier: float = 3.0,
+    burst_multiplier: float = 4.0,
+    phase_s: float = 0.25,
+    request_samples: int = 4,
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    max_queue_samples: int = 512,
+    sla_ms: float | None = None,
+    calibration_s: float = 0.4,
+    drain_timeout_s: float = 30.0,
+    seed: int = 0,
+    start_method: str | None = None,
+    strict_parity: bool = True,
+) -> dict:
+    """Replay one deterministic mixed-model trace under both policies.
+
+    The same Poisson+burst trace (see :func:`generate_trace`) is driven
+    against two identically configured fleets — one with today's static
+    coalescing knobs, one with the cost-model
+    :class:`~repro.runtime.scheduler.SchedulingPolicy` — and the report
+    compares goodput (samples from requests completed within the SLA).
+
+    **Byte parity is asserted, not assumed**: every completed request's
+    output is SHA-256 hashed, and requests completed under both policies
+    must hash identically (scheduling may change *when* work runs, never
+    *what* it computes).  To make that provable end to end, the batch
+    ceiling is clamped so even an overshooting coalesce stays inside
+    every model's byte-stability window
+    (:func:`~repro.runtime.scheduler.byte_stable_max_batch`).
+
+    ``sla_ms=None`` derives a **per-model** SLA from a per-model
+    calibration run — ``1.25 x`` that model's measured service time of
+    one full static batch — so the trace exercises genuine SLA pressure
+    at any machine speed instead of hard-coding a latency, and a slow
+    model (vgg_small runs ~4-5x lenet) is not held to a fast model's
+    deadline.  An explicit ``sla_ms`` applies to every model.
+    """
+    from .scheduler import byte_stable_max_batch
+
+    models = list(models)
+    if not models:
+        raise ValueError("need at least one model")
+
+    # Parity-safe static ceiling: a coalescing batcher may overshoot its
+    # ceiling by one request, so ceiling + request - 1 must stay inside
+    # the tightest byte-stability window across the trace's models.
+    window = min(
+        byte_stable_max_batch(name, min_batch=request_samples) for name in models
+    )
+    eff_max_batch = max(request_samples, min(max_batch, window - request_samples + 1))
+
+    hint: dict[str, float] = {}
+    sla: dict[str, float] = {}
+    closed_sps: dict[str, float] = {}
+    plan_kernels: dict[str, list] = {}
+    native_tier = None
+    for name in models:
+        closed_report = serving_benchmark(
+            model=name,
+            backend=backend,
+            kernel=kernel,
+            clients=2,
+            duration_s=calibration_s,
+            request_samples=request_samples,
+            max_batch=eff_max_batch,
+            max_delay_ms=max_delay_ms,
+            seed=seed,
+        )
+        closed = closed_report["load"]
+        if not closed["samples_per_s"]:
+            raise RuntimeError(f"calibration run for {name!r} served no samples")
+        per_sample_ms = 1e3 / closed["samples_per_s"]
+        hint[name] = per_sample_ms
+        sla[name] = (
+            sla_ms if sla_ms is not None else 1.25 * per_sample_ms * eff_max_batch
+        )
+        closed_sps[name] = closed["samples_per_s"]
+        plan_kernels[name] = closed_report["plan_kernels"]
+        native_tier = closed_report["native_tier"]
+    closed_rps = sum(closed_sps.values()) / len(models) / request_samples
+    offered_rps = rate_rps if rate_rps is not None else closed_rps * rate_multiplier
+
+    trace = generate_trace(
+        models, duration_s, offered_rps, burst_multiplier, phase_s, seed
+    )
+    if not trace:
+        raise RuntimeError("empty trace; raise duration_s or the offered rate")
+    rng = np.random.default_rng(seed)
+    pools = {name: _request_pool(name, request_samples, rng) for name in models}
+
+    # Each model's share of the offered sample rate over the whole trace
+    # (bursts included): the cost-model policy sizes its worker pool to
+    # cover this — static deployments keep the configured worker count.
+    offered_sps_per_model = (
+        len(trace) * request_samples / duration_s / len(models)
+    )
+
+    def replay_once(mode: str) -> tuple[dict, dict]:
+        fleet = FleetServer(
+            workers=workers,
+            max_batch=eff_max_batch,
+            max_delay_ms=max_delay_ms,
+            max_queue_samples=max_queue_samples,
+            start_method=start_method,
+        )
+        lock = threading.Lock()
+        results: dict[int, dict] = {}
+        failed = [0]
+        shed = 0
+        outstanding: list = []
+        try:
+            for name in models:
+                fleet.register(
+                    snapshot_model(name, backend=backend, kernel=kernel),
+                    sla_ms=sla[name],
+                    service_hint_ms_per_sample=hint[name],
+                    policy=_bench_policy(
+                        name,
+                        mode,
+                        sla[name],
+                        request_samples,
+                        eff_max_batch,
+                        max_delay_ms,
+                        seed,
+                        target_sps=offered_sps_per_model,
+                    ),
+                )
+
+            def make_callback(rid: int, model: str, t_submit: float, n: int):
+                def callback(fut):
+                    latency_ms = (time.perf_counter() - t_submit) * 1e3
+                    if fut.exception() is not None:
+                        with lock:
+                            failed[0] += 1
+                        return
+                    digest = hashlib.sha256(
+                        np.ascontiguousarray(fut.result()).tobytes()
+                    ).hexdigest()
+                    with lock:
+                        results[rid] = {
+                            "model": model,
+                            "latency_ms": latency_ms,
+                            "samples": n,
+                            "sha256": digest,
+                        }
+
+                return callback
+
+            t_start = time.perf_counter()
+            for event in trace:
+                now = time.perf_counter() - t_start
+                if event["t"] > now:
+                    time.sleep(event["t"] - now)
+                pool = pools[event["model"]]
+                x = pool[event["rid"] % len(pool)]
+                t_submit = time.perf_counter()
+                try:
+                    fut = fleet.submit(event["model"], x)
+                except ShedLoadError:
+                    shed += 1
+                    continue
+                fut.add_done_callback(
+                    make_callback(event["rid"], event["model"], t_submit, len(x))
+                )
+                outstanding.append(fut)
+            dropped = 0
+            for fut in outstanding:
+                try:
+                    fut.exception(timeout=drain_timeout_s)
+                except TimeoutError:
+                    dropped += 1
+            elapsed = time.perf_counter() - t_start
+            events = fleet.events()
+            fleet_stats = fleet.stats()
+        finally:
+            fleet.close(drain=True)
+        with lock:
+            done = dict(results)
+        good = sum(
+            r["samples"] for r in done.values() if r["latency_ms"] <= sla[r["model"]]
+        )
+        served = sum(r["samples"] for r in done.values())
+        report = {
+            "policy": mode,
+            "workers_per_model": {
+                name: fleet_stats[name]["workers"] for name in models
+            },
+            "offered_requests": len(trace),
+            "accepted_requests": len(outstanding),
+            "shed_requests": shed,
+            "completed_requests": len(done),
+            "failed_requests": failed[0],
+            "accepted_then_dropped": dropped,
+            **_percentiles_ms([r["latency_ms"] / 1e3 for r in done.values()]),
+            "duration_s": round(elapsed, 3),
+            "samples_per_s": round(served / elapsed, 1) if elapsed > 0 else 0.0,
+            "goodput_samples_per_s": round(good / elapsed, 1) if elapsed > 0 else 0.0,
+            "sched_events": sum(
+                1 for e in events if str(e.get("event", "")).startswith("sched_")
+            ),
+        }
+        return report, done
+
+    static_report, static_results = replay_once("static")
+    cost_report, cost_results = replay_once("cost_model")
+
+    common = sorted(set(static_results) & set(cost_results))
+    mismatches = [
+        rid
+        for rid in common
+        if static_results[rid]["sha256"] != cost_results[rid]["sha256"]
+    ]
+    parity_ok = bool(common) and not mismatches
+    if strict_parity and not parity_ok:
+        raise AssertionError(
+            f"policy byte-parity violated: {len(mismatches)} of {len(common)} "
+            f"requests completed under both policies differ "
+            f"(first: {mismatches[:5]})"
+            if common
+            else "policy byte-parity unverifiable: no request completed under both policies"
+        )
+    static_goodput = static_report["goodput_samples_per_s"]
+    cost_goodput = cost_report["goodput_samples_per_s"]
+    return {
+        "models": models,
+        "backend": backend,
+        "kernel": kernel or "default",
+        "plan_kernels": plan_kernels,
+        "native_tier": native_tier,
+        "workers": workers,
+        "request_samples": request_samples,
+        "max_batch": eff_max_batch,
+        "requested_max_batch": max_batch,
+        "byte_stable_window": window,
+        "max_delay_ms": max_delay_ms,
+        "max_queue_samples": max_queue_samples,
+        "sla_ms": {name: round(sla[name], 3) for name in models},
+        "closed_loop_samples_per_s": closed_sps,
+        "trace": {
+            "requests": len(trace),
+            "duration_s": duration_s,
+            "rate_rps": round(offered_rps, 1),
+            "burst_multiplier": burst_multiplier,
+            "phase_s": phase_s,
+            "seed": seed,
+        },
+        "static": static_report,
+        "cost_model": cost_report,
+        "parity": {
+            "checked": len(common),
+            "mismatches": len(mismatches),
+            "ok": parity_ok,
+        },
+        "goodput_ratio": (
+            round(cost_goodput / static_goodput, 3) if static_goodput > 0 else None
+        ),
     }

@@ -35,7 +35,7 @@ def quick_report(tmp_path_factory):
 
 def test_quick_run_writes_valid_artifact(quick_report):
     report, _path = quick_report
-    assert report["schema"] == "repro-perf/7"
+    assert report["schema"] == "repro-perf/8"
     assert report["quick"] is True
 
     # 1 size x (exact + quantized + 6 kernels x raw/prepared) = 14 rows.
@@ -151,6 +151,25 @@ def test_quick_run_writes_valid_artifact(quick_report):
     assert ft["parity_ok"] is True
     assert ft["recovery_ms_max"] > 0
 
+    sched = report["scheduling"]
+    assert sched["seeds"] == [0]  # quick mode: one seed
+    assert sched["policy_arms"] == ["static", "cost_model"]
+    # Byte parity between policy arms is load-bearing: the replay bench
+    # raises on any hash mismatch, and the guard fails on parity_ok.
+    assert sched["parity_ok"] is True
+    assert sched["parity_checked"] > 0
+    assert sched["static_goodput_samples_per_s"] > 0
+    assert sched["cost_model_goodput_samples_per_s"] > 0
+    assert sched["goodput_ratio"] > 0
+    for run in sched["runs"]:
+        assert run["parity"]["ok"] is True
+        for arm in ("static", "cost_model"):
+            assert run[arm]["policy"] == arm
+            assert run[arm]["accepted_requests"] > 0
+            assert run[arm]["accepted_then_dropped"] == 0
+        # The cost-model arm actually exercised the scheduler.
+        assert run["cost_model"]["sched_events"] > 0
+
 
 def test_prepared_variant_not_slower_than_raw():
     """Satellite regression guard: prepared operands must win (or tie).
@@ -221,6 +240,7 @@ def _write_report(
     scenario_ms: float | None = None,
     scenario_parity: bool = True,
     fault_tolerance: dict | None = None,
+    scheduling: dict | None = None,
 ) -> pathlib.Path:
     rows = [
         {
@@ -260,6 +280,8 @@ def _write_report(
         }
     if fault_tolerance is not None:
         report["fault_tolerance"] = fault_tolerance
+    if scheduling is not None:
+        report["scheduling"] = scheduling
     if scenario_ms is not None:
         report["scenario"] = [
             {
@@ -561,6 +583,45 @@ class TestServingGuard:
             result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
             assert result.returncode == 1, marker
             assert marker in result.stdout
+
+    def test_scheduling_skipped_when_absent(self, tmp_path):
+        fresh = _write_report(tmp_path / "fresh.json", 100.0)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "no scheduling section" in result.stdout
+
+    def test_scheduling_ratio_above_floor_passes(self, tmp_path):
+        """The cost-model-vs-static ratio is self-contained, no baseline."""
+        sched = {"goodput_ratio": 0.95, "parity_ok": True}
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, scheduling=sched)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 0, result.stdout
+        assert "scheduling cost-model vs static goodput" in result.stdout
+
+    def test_scheduling_ratio_below_floor_fails(self, tmp_path):
+        sched = {"goodput_ratio": 0.5, "parity_ok": True}
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, scheduling=sched)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+        # The flag tunes the floor.
+        result = _run_guard(
+            "--fresh", str(fresh), "--baseline", str(base),
+            "--sched-max-regression", "0.6",
+        )
+        assert result.returncode == 0, result.stdout
+
+    def test_scheduling_parity_break_fails_regardless_of_ratio(self, tmp_path):
+        """A fast-but-byte-diverging scheduler can never pass the guard."""
+        sched = {"goodput_ratio": 2.0, "parity_ok": False}
+        fresh = _write_report(tmp_path / "fresh.json", 100.0, scheduling=sched)
+        base = _write_report(tmp_path / "base.json", 100.0)
+        result = _run_guard("--fresh", str(fresh), "--baseline", str(base))
+        assert result.returncode == 1
+        assert "policy byte parity BROKEN" in result.stdout
 
     def test_quick_rows_join_committed_baseline(self, quick_report):
         """The quick grid must stay a subset of the committed full grid."""
